@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Every benchmark:
+
+* runs the measurement program from :mod:`repro.analysis.experiments`
+  under pytest-benchmark (which times the *simulator*, a secondary
+  regression metric), and
+* prints the paper-style table of **virtual-time** results next to the
+  published numbers — the primary reproduction artifact — and asserts the
+  shape criteria.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def report(table, capsys=None):
+    """Print a results table so it lands in the benchmark output."""
+    text = "\n" + table.render() + "\n"
+    print(text)

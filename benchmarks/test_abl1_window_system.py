@@ -1,0 +1,52 @@
+"""ABL1 — the window-system argument: M:N vs 1:1 footprint.
+
+"a window system may use thousands [of threads] ... Having all threads
+supported directly by the kernel would cause applications such as the
+window system to be much less efficient."
+
+Criteria: under M:N the widget workload needs a small constant number of
+LWPs and kernel memory; under 1:1 both grow linearly with widget count.
+"""
+
+import pytest
+
+from repro.analysis.experiments import abl1_table, run_abl1
+
+
+@pytest.mark.benchmark(group="abl1")
+def test_abl1_window_system(benchmark):
+    results = benchmark.pedantic(
+        run_abl1, kwargs={"n_widgets": 200, "n_events": 300},
+        rounds=1, iterations=1)
+    print("\n" + abl1_table(results).render())
+    print(f"kernel memory ratio (1:1 / M:N): "
+          f"{results['kernel_memory_ratio']:.0f}x")
+
+    # M:N: LWPs do not scale with widgets.
+    assert results["mn"]["lwps"] <= 8
+    # 1:1: an LWP per widget (plus main).
+    assert results["one_to_one"]["lwps"] >= 200
+    # Kernel memory gap of well over an order of magnitude.
+    assert results["kernel_memory_ratio"] >= 20
+    # Both models processed every event.
+    assert results["mn"]["processed"] == 300
+    assert results["one_to_one"]["processed"] == 300
+
+
+@pytest.mark.benchmark(group="abl1")
+def test_abl1_scaling_with_widget_count(benchmark):
+    """Sweep widget count: M:N LWP usage stays flat."""
+    def sweep():
+        out = {}
+        for n in (50, 100, 200):
+            r = run_abl1(n_widgets=n, n_events=100)
+            out[n] = (r["mn"]["lwps"], r["one_to_one"]["lwps"])
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nwidgets -> (M:N LWPs, 1:1 LWPs):", out)
+    mn_lwps = [v[0] for v in out.values()]
+    one_lwps = [v[1] for v in out.values()]
+    assert max(mn_lwps) <= 8                  # flat
+    assert one_lwps == sorted(one_lwps)       # grows with widgets
+    assert one_lwps[-1] > one_lwps[0]

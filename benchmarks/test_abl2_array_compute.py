@@ -1,0 +1,58 @@
+"""ABL2 — the array-computation argument: threads-per-LWP ratio.
+
+"If there is one LWP per processor, but multiple threads per LWP, each
+processor would spend overhead switching between threads.  It would be
+better to know that there is one thread per LWP."
+
+Criteria: elapsed time grows with threads-per-LWP; 1 thread/LWP (bound)
+is fastest; switch counts grow with the ratio.
+"""
+
+import pytest
+
+from repro.analysis.experiments import abl2_table, run_abl2
+
+
+@pytest.mark.benchmark(group="abl2")
+def test_abl2_threads_per_lwp_sweep(benchmark):
+    results = benchmark.pedantic(
+        run_abl2,
+        kwargs={"rows": 128, "n_lwps": 4, "ncpus": 4,
+                "sweep": (1, 2, 4, 8)},
+        rounds=1, iterations=1)
+    print("\n" + abl2_table(results).render())
+    sweep = results["sweep"]
+
+    # 1 thread/LWP is the fastest configuration.
+    assert sweep[1]["elapsed_usec"] == min(
+        s["elapsed_usec"] for s in sweep.values())
+    # Overhead increases with the ratio (montonic in switch count).
+    switches = [sweep[r]["user_switches"] for r in (1, 2, 4, 8)]
+    assert switches == sorted(switches)
+    # 8 threads/LWP pays a clearly visible penalty over 1/LWP.
+    assert (sweep[8]["elapsed_usec"]
+            > sweep[1]["elapsed_usec"] * 1.15)
+
+
+@pytest.mark.benchmark(group="abl2")
+def test_abl2_lwps_exploit_processors(benchmark):
+    """The multiprocessor half: more LWPs -> more real concurrency."""
+    from repro.api import Simulator
+    from repro.workloads import array_compute
+
+    def run(n_lwps):
+        main, res = array_compute.build(
+            rows=64, n_threads=8, n_lwps=n_lwps,
+            yield_between_rows=False)
+        sim = Simulator(ncpus=4)
+        sim.spawn(main)
+        sim.run()
+        return res["elapsed_usec"]
+
+    def sweep():
+        return {n: run(n) for n in (1, 2, 4)}
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nLWPs -> elapsed usec:", out)
+    assert out[2] < out[1] * 0.7
+    assert out[4] < out[2] * 0.8

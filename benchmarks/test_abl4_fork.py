@@ -1,0 +1,70 @@
+"""ABL4 — fork() vs fork1().
+
+"For the latter purpose [exec setup], fork1() is much more efficient
+because there is no need to duplicate all the LWPs."
+
+Criteria: fork1() cost is flat in the parent's LWP count; fork() grows
+with it; at 8 LWPs the gap is pronounced.
+"""
+
+import pytest
+
+from repro.analysis.experiments import abl4_table, run_abl4
+
+
+@pytest.mark.benchmark(group="abl4")
+def test_abl4_fork_vs_fork1(benchmark):
+    results = benchmark.pedantic(
+        run_abl4, kwargs={"lwp_counts": (1, 2, 4, 8)},
+        rounds=1, iterations=1)
+    print("\n" + abl4_table(results).render())
+
+    fork = results["fork"]
+    fork1 = results["fork1"]
+
+    # fork1 is flat in LWP count.
+    assert max(fork1.values()) <= min(fork1.values()) * 1.2
+    # fork grows with LWP count.
+    costs = [fork[n] for n in (1, 2, 4, 8)]
+    assert costs == sorted(costs)
+    # At 8 LWPs the full duplication is clearly more expensive.
+    assert fork[8] > fork1[8] * 1.5
+    # Degenerate case: with one LWP the two calls are close.
+    assert fork[1] <= fork1[1] * 1.5
+
+
+@pytest.mark.benchmark(group="abl4")
+def test_abl4_fork_duplicates_child_lwps(benchmark):
+    """Semantics side: the child of fork() has the parent's LWP count;
+    the child of fork1() has one."""
+    from repro.api import Simulator
+    from repro.hw.isa import GetContext
+    from repro.runtime import unistd
+    from repro import threads
+
+    def run():
+        got = {}
+
+        def child(tag):
+            def body():
+                ctx = yield GetContext()
+                got[tag] = len(ctx.process.live_lwps())
+            return body
+
+        def main():
+            yield from threads.thread_setconcurrency(4)
+            yield from unistd.sleep_usec(100)
+            pid = yield from unistd.fork(child("fork"))
+            yield from unistd.waitpid(pid)
+            pid = yield from unistd.fork1(child("fork1"))
+            yield from unistd.waitpid(pid)
+
+        sim = Simulator(ncpus=2)
+        sim.spawn(main)
+        sim.run(check_deadlock=False)
+        return got
+
+    got = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nchild LWP counts:", got)
+    assert got["fork"] == 4
+    assert got["fork1"] == 1

@@ -1,0 +1,47 @@
+"""ABL6 — sensitivity: the architecture's ratios survive machine speed.
+
+The paper's numbers are from a 25 MHz SPARCstation 1+.  The *argument* —
+user-level operations are an order of magnitude cheaper than
+kernel-supported ones — should not depend on that machine.  We rerun
+Figures 5 and 6 with the whole cost model scaled 4x faster and 2x slower
+and check the ratio chain is preserved.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_fig5, run_fig6
+from repro.sim.costs import SPARCSTATION_1PLUS
+
+
+def ratios(scale: float) -> dict:
+    costs = SPARCSTATION_1PLUS.scaled(scale)
+    f5 = run_fig5(n=20, costs=costs)
+    f6 = run_fig6(n=50, costs=costs)
+    return {
+        "create_ratio": f5["ratio"],
+        "sync_vs_setjmp": f6["unbound_sync"] / f6["setjmp_longjmp"],
+        "bound_vs_unbound": f6["bound_sync"] / f6["unbound_sync"],
+        "cross_vs_bound": f6["cross_process_sync"] / f6["bound_sync"],
+    }
+
+
+@pytest.mark.benchmark(group="abl6")
+def test_abl6_ratios_hold_across_machine_speeds(benchmark):
+    def sweep():
+        return {scale: ratios(scale) for scale in (0.25, 1.0, 2.0)}
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for scale, r in out.items():
+        label = {0.25: "4x faster", 1.0: "SPARCstation 1+",
+                 2.0: "2x slower"}[scale]
+        print(f"{label:18s} create={r['create_ratio']:5.1f}x  "
+              f"sync/sj={r['sync_vs_setjmp']:.2f}  "
+              f"bound/unbound={r['bound_vs_unbound']:.2f}  "
+              f"cross/bound={r['cross_vs_bound']:.2f}")
+
+    for scale, r in out.items():
+        assert 30 <= r["create_ratio"] <= 50, scale
+        assert 2.0 <= r["sync_vs_setjmp"] <= 3.5, scale
+        assert 1.8 <= r["bound_vs_unbound"] <= 2.6, scale
+        assert 0.7 <= r["cross_vs_bound"] <= 1.0, scale

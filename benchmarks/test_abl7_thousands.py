@@ -1,0 +1,86 @@
+"""ABL7 — "thousands of threads": the abstract's headline claim.
+
+"The threads are intended to be sufficiently lightweight so that there
+can be thousands present and that synchronization and context switching
+can be accomplished rapidly without entering the kernel."
+
+Criteria: 2000 threads coexist on a single LWP; per-thread creation cost
+stays at the Figure 5 unbound value; wake-and-join of all of them stays
+entirely in user mode (no park/unpark); kernel memory does not grow.
+"""
+
+import pytest
+
+from repro.api import Simulator
+from repro.hw.isa import GetContext, Syscall
+from repro.sync import CondVar, Mutex
+from repro import threads
+
+N_THREADS = 2000
+
+
+def run_scale():
+    out = {}
+
+    def main():
+        ctx = yield GetContext()
+        m, cv = Mutex(), CondVar()
+        state = {"go": False}
+
+        def parked(_):
+            yield from m.enter()
+            while not state["go"]:
+                yield from cv.wait(m)
+            yield from m.exit()
+
+        t0 = yield Syscall("gettimeofday")
+        tids = []
+        for _ in range(N_THREADS):
+            tid = yield from threads.thread_create(
+                parked, None, flags=threads.THREAD_WAIT)
+            tids.append(tid)
+        t1 = yield Syscall("gettimeofday")
+
+        # Let every thread run to its cv_wait.
+        yield from threads.thread_yield()
+        lib = ctx.process.threadlib
+        out["live_threads"] = lib.live_count()
+        out["lwps"] = len(ctx.process.live_lwps())
+        out["stack_bytes"] = lib.stack_alloc.allocated_bytes
+        out["create_avg_usec"] = (t1 - t0) / 1000 / N_THREADS
+
+        t2 = yield Syscall("gettimeofday")
+        yield from m.enter()
+        state["go"] = True
+        yield from cv.broadcast()
+        yield from m.exit()
+        for tid in tids:
+            yield from threads.thread_wait(tid)
+        t3 = yield Syscall("gettimeofday")
+        out["drain_usec"] = (t3 - t2) / 1000
+        out["switch_avg_usec"] = out["drain_usec"] / N_THREADS
+
+    sim = Simulator(ncpus=1)
+    sim.spawn(main)
+    sim.run(max_events=20_000_000)
+    out["syscalls"] = sim.syscall_counts()
+    return out
+
+
+@pytest.mark.benchmark(group="abl7")
+def test_abl7_thousands_of_threads(benchmark):
+    out = benchmark.pedantic(run_scale, rounds=1, iterations=1)
+    print(f"\n{N_THREADS} threads on {out['lwps']} LWP(s)")
+    print(f"  creation avg : {out['create_avg_usec']:8.1f} usec/thread")
+    print(f"  wake+join avg: {out['switch_avg_usec']:8.1f} usec/thread")
+    print(f"  user stacks  : {out['stack_bytes']:,} bytes")
+    print(f"  kernel calls : {out['syscalls']}")
+
+    assert out["live_threads"] == N_THREADS + 1  # + main
+    assert out["lwps"] == 1                      # thousands : one
+    # Creation stays at the Figure 5 unbound cost.
+    assert out["create_avg_usec"] == pytest.approx(56, rel=0.15)
+    # The whole drain never touched the kernel's thread machinery.
+    assert "lwp_park" not in out["syscalls"]
+    assert "lwp_unpark" not in out["syscalls"]
+    assert "lwp_create" not in out["syscalls"]

@@ -1,0 +1,39 @@
+"""FIG5 — reproduce Figure 5: thread creation time.
+
+Paper (SPARCstation 1+):
+
+    Unbound thread create     56 usec
+    Bound thread create     2327 usec   (ratio 42)
+
+Criteria: both rows within 10 %, ratio in [35, 48].
+"""
+
+import pytest
+
+from repro.analysis.experiments import PAPER, fig5_table, run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_thread_creation(benchmark):
+    results = benchmark.pedantic(run_fig5, kwargs={"n": 50},
+                                 rounds=1, iterations=1)
+    table = fig5_table(results)
+    print("\n" + table.render())
+    print(f"creation ratio: paper 41.6, measured "
+          f"{results['ratio']:.1f}")
+
+    assert results["unbound_create"] == pytest.approx(
+        PAPER["unbound_create"], rel=0.10)
+    assert results["bound_create"] == pytest.approx(
+        PAPER["bound_create"], rel=0.10)
+    assert 35 <= results["ratio"] <= 48
+    assert table.shape_holds(tolerance=0.10)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_unbound_creation_alone(benchmark):
+    """Creation of unbound threads only (the library fast path)."""
+    results = benchmark.pedantic(
+        lambda: run_fig5(n=100), rounds=1, iterations=1)
+    assert results["unbound_create"] == pytest.approx(
+        PAPER["unbound_create"], rel=0.10)

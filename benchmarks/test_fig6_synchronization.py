@@ -1,0 +1,70 @@
+"""FIG6 — reproduce Figure 6: thread synchronization time.
+
+Paper (one-way semaphore ping-pong, SPARCstation 1+):
+
+    setjmp/longjmp              59 usec
+    Unbound thread sync        158 usec   (ratio 2.7)
+    Bound thread sync          348 usec   (ratio 2.2)
+    Cross process thread sync  301 usec   (ratio .86)
+
+Criteria: each row within 10 %; ordering setjmp < unbound < cross < bound
+preserved; ratios within the same ballpark.
+"""
+
+import pytest
+
+from repro.analysis.experiments import PAPER, fig6_table, run_fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_synchronization(benchmark):
+    results = benchmark.pedantic(run_fig6, kwargs={"n": 100},
+                                 rounds=1, iterations=1)
+    table = fig6_table(results)
+    print("\n" + table.render())
+
+    for key in ("setjmp_longjmp", "unbound_sync", "bound_sync",
+                "cross_process_sync"):
+        assert results[key] == pytest.approx(PAPER[key], rel=0.10), key
+
+    # The paper's ratio chain.
+    assert 2.3 <= results["unbound_sync"] / results["setjmp_longjmp"] <= 3.1
+    assert 1.9 <= results["bound_sync"] / results["unbound_sync"] <= 2.5
+    assert 0.75 <= (results["cross_process_sync"]
+                    / results["bound_sync"]) <= 0.95
+    assert table.shape_holds(tolerance=0.10)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_unbound_sync_is_kernel_free(benchmark):
+    """The architectural claim behind the 158 usec row: no kernel entry
+    during unbound same-process synchronization."""
+    from repro.api import Simulator
+    from repro.sync import Semaphore
+    from repro import threads
+
+    def run():
+        def main():
+            s1, s2 = Semaphore(), Semaphore()
+
+            def echo(_):
+                for _ in range(51):
+                    yield from s2.p()
+                    yield from s1.v()
+
+            tid = yield from threads.thread_create(
+                echo, None, flags=threads.THREAD_WAIT)
+            for _ in range(51):
+                yield from s2.v()
+                yield from s1.p()
+            yield from threads.thread_wait(tid)
+
+        sim = Simulator(ncpus=1)
+        sim.spawn(main)
+        sim.run()
+        return sim.syscall_counts()
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert "lwp_park" not in counts
+    assert "lwp_unpark" not in counts
+    assert "usync_block" not in counts

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The paper's database example: record locks living inside a file.
+
+"a file can be created that contains data base records.  Each record can
+contain a mutual exclusion lock variable that controls access to the
+associated record. ... Once the lock has been acquired, if any thread
+within any process mapping the file attempts to acquire the lock that
+thread will block until the lock is released."
+
+Several processes, each multi-threaded, run read-modify-write
+transactions against shared records; the in-file mutexes provide the
+mutual exclusion, and the final counter check proves it.
+
+Run:  python examples/database_locking.py
+"""
+
+from repro.analysis.report import format_dict
+from repro.api import Simulator
+from repro.workloads import database
+
+
+def main():
+    params = dict(n_records=24, n_processes=3, n_threads=4,
+                  txns_per_thread=25, txn_compute_usec=80)
+    print(format_dict("configuration", params))
+    print()
+
+    main_prog, results = database.build(**params)
+    sim = Simulator(ncpus=4)
+    sim.spawn(main_prog)
+    sim.run()
+
+    print(format_dict("results", {
+        "transactions committed": results["committed"],
+        "transactions expected": results["expected"],
+        "cross-process consistency": results["consistent"],
+        "locks left held": results["locks_left_held"],
+        "elapsed virtual usec": results["elapsed_usec"],
+        "throughput (txns/sec)": results["throughput_per_sec"],
+    }))
+
+    verdict = "PASS" if results["consistent"] else "FAIL"
+    print(f"\n{verdict}: every read-modify-write survived contention "
+          "across 3 processes x 4 threads,\nserialized purely by mutex "
+          "variables mapped from the record file.")
+
+
+if __name__ == "__main__":
+    main()

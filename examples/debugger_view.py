@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The /proc debugger interface for multi-threaded processes.
+
+"Of necessity, a kernel process model interface can provide access only
+to kernel-supported threads of control, namely LWPs.  Debugger control of
+library threads is accomplished by cooperation between the debugger and
+the threads library, with the aid of the /proc file system."
+
+A monitor process reads a busy multi-threaded target through /proc files
+(the kernel half: LWPs only), then joins in the threads library's data
+structures (the user half) to show the full thread picture — exactly the
+two-view split the paper describes.
+
+Run:  python examples/debugger_view.py
+"""
+
+from repro.api import Simulator
+from repro.kernel.fs import procfs
+from repro.kernel.fs.file import O_RDONLY
+from repro.runtime import libc, unistd
+from repro.sync import Semaphore
+from repro import threads
+
+
+def target_main(gate):
+    """The debuggee: a mix of bound, unbound, and blocked threads."""
+    def spinner(_):
+        for _ in range(200):
+            yield from libc.compute(500)
+            yield from threads.thread_yield()
+
+    def blocked(_):
+        yield from gate.p()
+
+    yield from threads.thread_setconcurrency(2)
+    tids = []
+    for _ in range(2):
+        tid = yield from threads.thread_create(
+            spinner, None, flags=threads.THREAD_WAIT)
+        tids.append(tid)
+    for _ in range(3):
+        tid = yield from threads.thread_create(
+            blocked, None, flags=threads.THREAD_WAIT)
+        tids.append(tid)
+    tid = yield from threads.thread_create(
+        spinner, None,
+        flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+    tids.append(tid)
+    for _ in range(3):
+        yield from gate.v()
+    for tid in tids:
+        yield from threads.thread_wait(tid)
+
+
+def monitor_main(target_pid):
+    """The "debugger": kernel view via /proc, user view via the library."""
+    yield from unistd.sleep_usec(20_000)  # let the target get going
+
+    print("=== kernel view: /proc/%d/status (LWPs only) ===" % target_pid)
+    fd = yield from unistd.open(f"/proc/{target_pid}/status", O_RDONLY)
+    text = yield from unistd.read(fd, 65536)
+    print(text.decode())
+
+    print("=== cooperative view: /proc + threads library ===")
+    from repro.hw.isa import GetContext
+    ctx = yield GetContext()
+    target = ctx.kernel.process_by_pid(target_pid)
+    view = procfs.debugger_view(target)
+    for t in view["threads"]:
+        bound = "bound" if t["bound"] else "unbound"
+        lwp = f"on lwp {t['lwp']}" if t["lwp"] else "off-lwp"
+        print(f"  thread {t['id']:3d}  {t['state']:9s} {bound:8s} "
+              f"prio={t['priority']:2d}  {lwp}")
+    print(f"\n  {len(view['threads'])} threads visible to the debugger, "
+          f"{view['nlwp']} LWPs visible to the kernel")
+
+
+def main():
+    sim = Simulator(ncpus=2)
+    gate = Semaphore()
+    target = sim.spawn(target_main, gate, name="debuggee")
+    sim.spawn(monitor_main, target.pid, name="monitor")
+    sim.run()
+    print(f"\n[simulation ended at {sim.now_usec:,.0f} virtual usec]")
+
+
+if __name__ == "__main__":
+    main()

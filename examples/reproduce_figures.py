@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation tables (Figures 5 and 6).
+
+Runs the same measurement programs the paper describes — thread creation
+with a cached default stack, and the two-semaphore ping-pong divided by
+two — on the simulated SPARCstation 1+, and prints the results next to
+the published numbers with the paper's ratio columns.
+
+Run:  python examples/reproduce_figures.py
+"""
+
+from repro.analysis.experiments import (fig5_table, fig6_table, run_fig5,
+                                        run_fig6)
+
+
+def main():
+    print("reproducing Figure 5 (thread creation time)...")
+    fig5 = run_fig5(n=50)
+    t5 = fig5_table(fig5)
+    print()
+    print(t5.render())
+    print(f"\ncreation ratio: paper 42, measured {fig5['ratio']:.1f}")
+    print(f"max row deviation: {t5.max_deviation() * 100:.1f}%")
+
+    print("\nreproducing Figure 6 (thread synchronization time)...")
+    fig6 = run_fig6(n=100)
+    t6 = fig6_table(fig6)
+    print()
+    print(t6.render())
+    print(f"\nmax row deviation: {t6.max_deviation() * 100:.1f}%")
+
+    ok = t5.shape_holds(0.1) and t6.shape_holds(0.1)
+    print(f"\nreproduction criteria (10% per row + ordering): "
+          f"{'PASS' if ok else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

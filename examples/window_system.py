@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The paper's window-system scenario: hundreds of widget threads.
+
+"A window system can treat each widget as a separate entity ... a window
+system may use thousands [of threads], only a few of the threads ever
+need to be active at the same instant."
+
+Runs the widget workload under the M:N architecture and under the 1:1
+(every-thread-is-an-LWP) model, and prints the footprint comparison that
+motivates the two-level design.
+
+Run:  python examples/window_system.py
+"""
+
+from repro.analysis.report import format_dict
+from repro.api import Simulator
+from repro.workloads import window_system
+
+WIDGETS = 300
+EVENTS = 600
+
+
+def run(bound: bool) -> dict:
+    main, results = window_system.build(
+        n_widgets=WIDGETS, n_events=EVENTS,
+        bound_threads=bound, event_spacing_usec=100)
+    sim = Simulator(ncpus=2)
+    sim.spawn(main)
+    sim.run()
+    return results
+
+
+def main():
+    print(f"window system: {WIDGETS} widgets, {EVENTS} events\n")
+
+    mn = run(bound=False)
+    print(format_dict("M:N (unbound threads, shared LWP pool)", {
+        "threads": mn["footprint"]["threads"],
+        "LWPs": mn["footprint"]["lwps"],
+        "kernel bytes": mn["footprint"]["kernel_bytes"],
+        "user stack bytes": mn["footprint"]["user_stack_bytes"],
+        "events processed": mn["processed"],
+        "avg event latency (usec)": mn["latency_avg_usec"],
+    }))
+    print()
+
+    one = run(bound=True)
+    print(format_dict("1:1 (every widget thread bound to an LWP)", {
+        "threads": one["footprint"]["threads"],
+        "LWPs": one["footprint"]["lwps"],
+        "kernel bytes": one["footprint"]["kernel_bytes"],
+        "events processed": one["processed"],
+        "avg event latency (usec)": one["latency_avg_usec"],
+    }))
+
+    ratio = one["footprint"]["kernel_bytes"] / mn["footprint"]["kernel_bytes"]
+    print(f"\nkernel memory ratio 1:1 / M:N = {ratio:.0f}x")
+    print("same application, same events — but the M:N window system "
+          "needs a handful of LWPs\nwhile 1:1 pays kernel memory and "
+          "kernel-weight operations per widget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — a full reproduction of the SunOS Multi-thread Architecture.
+
+Powell, Kleiman, Barton, Shah, Stein, Weeks, "SunOS Multi-thread
+Architecture", USENIX Winter 1991.
+
+The package layers exactly like the paper's Figure 3:
+
+* :mod:`repro.sim` / :mod:`repro.hw` — the hardware: a discrete-event
+  simulated machine with CPUs, memory objects, and a cost model calibrated
+  to the paper's SPARCstation 1+ measurements.
+* :mod:`repro.kernel` — the kernel: processes, **LWPs**, the dispatcher
+  with scheduling classes, signals (traps vs interrupts, SIGWAITING),
+  virtual memory, files, fork/fork1/exec, /proc.
+* :mod:`repro.threads` — the paper's contribution: extremely lightweight
+  user-level **threads** multiplexed M:N on LWPs.
+* :mod:`repro.sync` — mutexes, condition variables, semaphores,
+  readers/writer locks, with process-shared variants through mapped files.
+* :mod:`repro.models` — the comparison models (SunOS 4.0 liblwp, 1:1
+  kernel threads, scheduler activations).
+* :mod:`repro.runtime`, :mod:`repro.workloads`, :mod:`repro.analysis` —
+  user-level runtime, reference workloads, experiment reporting.
+
+Entry point: :class:`repro.api.Simulator`.
+"""
+
+from repro.api import Simulator
+from repro.errors import (DeadlockError, Errno, ReproError, SimulationError,
+                          SyncError, SyscallError, ThreadError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "DeadlockError", "Errno", "ReproError", "SimulationError",
+    "SyncError", "SyscallError", "ThreadError",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Command-line entry point: reproduce the paper's evaluation.
+
+Usage::
+
+    python -m repro              # Figures 5 and 6 (the paper's tables)
+    python -m repro --all        # + every ablation experiment
+    python -m repro --list       # what is available
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments as ex
+
+EXPERIMENTS = {
+    "fig5": ("Figure 5: thread creation time",
+             lambda: ex.fig5_table(ex.run_fig5(n=50))),
+    "fig6": ("Figure 6: thread synchronization time",
+             lambda: ex.fig6_table(ex.run_fig6(n=100))),
+    "abl1": ("ABL1: window system, M:N vs 1:1",
+             lambda: ex.abl1_table(ex.run_abl1(n_widgets=200,
+                                               n_events=300))),
+    "abl2": ("ABL2: array computation threads-per-LWP sweep",
+             lambda: ex.abl2_table(ex.run_abl2())),
+    "abl3": ("ABL3: SIGWAITING deadlock avoidance vs liblwp",
+             lambda: ex.abl3_table(ex.run_abl3())),
+    "abl4": ("ABL4: fork() vs fork1()",
+             lambda: ex.abl4_table(ex.run_abl4())),
+    "abl5": ("ABL5: mutex variants under contention",
+             lambda: ex.abl5_table(ex.run_abl5())),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the evaluation of 'SunOS Multi-thread "
+                    "Architecture' (USENIX Winter 1991).")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment (figures + ablations)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[[]] + list(EXPERIMENTS),
+                        help="specific experiments to run")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (title, _) in EXPERIMENTS.items():
+            print(f"{key:6s} {title}")
+        return 0
+
+    if args.all:
+        selected = list(EXPERIMENTS)
+    elif args.experiments:
+        selected = args.experiments
+    else:
+        selected = ["fig5", "fig6"]
+
+    failures = 0
+    for key in selected:
+        title, runner = EXPERIMENTS[key]
+        print(f"running {key}: {title} ...")
+        table = runner()
+        print()
+        print(table.render())
+        if key in ("fig5", "fig6"):
+            ok = table.shape_holds(tolerance=0.10)
+            print(f"shape criterion (10% + ordering): "
+                  f"{'PASS' if ok else 'FAIL'}")
+            if not ok:
+                failures += 1
+        print()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Experiment analysis: tables, ratios, statistics, trace tooling."""
+
+from repro.analysis.metrics import (mean, percentile, speedup, stdev,
+                                    summarize)
+from repro.analysis.report import Row, Table, format_dict
+from repro.analysis import tracetools
+
+__all__ = ["mean", "percentile", "speedup", "stdev", "summarize",
+           "Row", "Table", "format_dict", "tracetools"]

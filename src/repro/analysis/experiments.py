@@ -1,0 +1,424 @@
+"""Experiment runners: one function per paper table/figure + ablations.
+
+Each runner executes the measurement program the paper describes on a
+fresh simulated machine and returns a result dict; ``*_table`` helpers
+wrap the results in :class:`repro.analysis.report.Table` next to the
+paper's published numbers.  The benchmark harness and EXPERIMENTS.md
+generator both call these.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Row, Table
+from repro.api import Simulator
+from repro.hw.isa import Charge, Syscall
+from repro.runtime import libc, mapped, unistd
+from repro.sim.clock import usec
+from repro.sync import Semaphore, THREAD_SYNC_SHARED
+from repro import threads
+
+#: Paper values for Figures 5 and 6 (microseconds).
+PAPER = {
+    "unbound_create": 56.0,
+    "bound_create": 2327.0,
+    "setjmp_longjmp": 59.0,
+    "unbound_sync": 158.0,
+    "bound_sync": 348.0,
+    "cross_process_sync": 301.0,
+}
+
+
+# ====================================================================
+# FIG5 — thread creation time
+# ====================================================================
+
+def run_fig5(n: int = 50, costs=None) -> dict:
+    """Measure unbound and bound thread creation (amortized over ``n``).
+
+    Matches the paper's method: default cached stack, creation time only
+    (the created threads are never switched to inside the window).
+    """
+    results = {}
+
+    def noop(_):
+        return
+        yield
+
+    def measure(bound: bool) -> float:
+        out = {}
+
+        def main():
+            flags = threads.THREAD_BIND_LWP if bound else 0
+            # Warm the stack cache (paper: "a default stack that is
+            # cached by the threads package").
+            tid = yield from threads.thread_create(
+                noop, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+            t0 = yield Syscall("gettimeofday")
+            for _ in range(n):
+                yield from threads.thread_create(noop, None, flags=flags)
+            t1 = yield Syscall("gettimeofday")
+            out["usec"] = (t1 - t0) / 1000 / n
+
+        sim = Simulator(ncpus=4, costs=costs)
+        sim.spawn(main)
+        sim.run(check_deadlock=False)
+        return out["usec"]
+
+    results["unbound_create"] = measure(False)
+    results["bound_create"] = measure(True)
+    results["ratio"] = results["bound_create"] / results["unbound_create"]
+    return results
+
+
+def fig5_table(results: dict) -> Table:
+    return Table(
+        "Figure 5: Thread creation time (usec)",
+        [Row("Unbound thread create", PAPER["unbound_create"],
+             results["unbound_create"]),
+         Row("Bound thread create", PAPER["bound_create"],
+             results["bound_create"])])
+
+
+# ====================================================================
+# FIG6 — thread synchronization time
+# ====================================================================
+
+def run_fig6(n: int = 100, costs=None) -> dict:
+    """All four rows of Figure 6 (one-way synchronization times)."""
+    return {
+        "setjmp_longjmp": _measure_setjmp(n, costs),
+        "unbound_sync": _measure_sync(0, n, costs),
+        "bound_sync": _measure_sync(threads.THREAD_BIND_LWP, n, costs),
+        "cross_process_sync": _measure_cross(n, costs),
+    }
+
+
+def fig6_table(results: dict) -> Table:
+    return Table(
+        "Figure 6: Thread synchronization time (usec, one way)",
+        [Row("setjmp/longjmp", PAPER["setjmp_longjmp"],
+             results["setjmp_longjmp"]),
+         Row("Unbound thread sync", PAPER["unbound_sync"],
+             results["unbound_sync"]),
+         Row("Bound thread sync", PAPER["bound_sync"],
+             results["bound_sync"]),
+         Row("Cross process thread sync", PAPER["cross_process_sync"],
+             results["cross_process_sync"])])
+
+
+def _measure_setjmp(n: int, costs) -> float:
+    out = {}
+
+    def main():
+        t0 = yield Syscall("gettimeofday")
+        for _ in range(n):
+            yield from libc.setjmp_longjmp_pair()
+        t1 = yield Syscall("gettimeofday")
+        out["usec"] = (t1 - t0) / 1000 / n
+
+    sim = Simulator(costs=costs)
+    sim.spawn(main)
+    sim.run()
+    return out["usec"]
+
+
+def _measure_sync(flags: int, n: int, costs) -> float:
+    """The paper's two-semaphore ping-pong, divided by two."""
+    out = {}
+
+    def main():
+        s1, s2 = Semaphore(), Semaphore()
+
+        def echo(_):
+            for _ in range(n + 1):
+                yield from s2.p()
+                yield from s1.v()
+
+        def driver(_):
+            yield from s2.v()
+            yield from s1.p()
+            t0 = yield Syscall("gettimeofday")
+            for _ in range(n):
+                yield from s2.v()
+                yield from s1.p()
+            t1 = yield Syscall("gettimeofday")
+            out["usec"] = (t1 - t0) / 1000 / (2 * n)
+
+        a = yield from threads.thread_create(
+            echo, None, flags=threads.THREAD_WAIT | flags)
+        b = yield from threads.thread_create(
+            driver, None, flags=threads.THREAD_WAIT | flags)
+        yield from threads.thread_wait(a)
+        yield from threads.thread_wait(b)
+
+    sim = Simulator(ncpus=1, costs=costs)
+    sim.spawn(main)
+    sim.run()
+    return out["usec"]
+
+
+def _measure_cross(n: int, costs) -> float:
+    """Two processes synchronizing "through a file in shared memory"."""
+    out = {}
+
+    def peer():
+        region = yield from mapped.map_shared_file("/tmp/sync", 4096)
+        s1 = Semaphore(0, THREAD_SYNC_SHARED, cell=region.cell(0))
+        s2 = Semaphore(0, THREAD_SYNC_SHARED, cell=region.cell(8))
+        for _ in range(n + 1):
+            yield from s2.p()
+            yield from s1.v()
+
+    def main():
+        region = yield from mapped.map_shared_file("/tmp/sync", 4096)
+        s1 = Semaphore(0, THREAD_SYNC_SHARED, cell=region.cell(0))
+        s2 = Semaphore(0, THREAD_SYNC_SHARED, cell=region.cell(8))
+        pid = yield from unistd.fork1(peer)
+        yield from s2.v()
+        yield from s1.p()
+        t0 = yield Syscall("gettimeofday")
+        for _ in range(n):
+            yield from s2.v()
+            yield from s1.p()
+        t1 = yield Syscall("gettimeofday")
+        out["usec"] = (t1 - t0) / 1000 / (2 * n)
+        yield from unistd.waitpid(pid)
+
+    sim = Simulator(ncpus=1, costs=costs)
+    sim.spawn(main)
+    sim.run()
+    return out["usec"]
+
+
+# ====================================================================
+# ABL1 — window system: M:N vs 1:1
+# ====================================================================
+
+def run_abl1(n_widgets: int = 200, n_events: int = 400,
+             ncpus: int = 2) -> dict:
+    """Footprint and latency of the widget workload under both models."""
+    from repro.workloads import window_system
+
+    out = {}
+    for key, bound in (("mn", False), ("one_to_one", True)):
+        main, res = window_system.build(
+            n_widgets=n_widgets, n_events=n_events,
+            bound_threads=bound, event_spacing_usec=100)
+        sim = Simulator(ncpus=ncpus)
+        sim.spawn(main)
+        sim.run()
+        out[key] = {
+            "lwps": res["footprint"]["lwps"],
+            "kernel_bytes": res["footprint"]["kernel_bytes"],
+            "latency_avg_usec": res["latency_avg_usec"],
+            "elapsed_usec": res["elapsed_usec"],
+            "processed": res["processed"],
+        }
+    out["kernel_memory_ratio"] = (out["one_to_one"]["kernel_bytes"]
+                                  / max(out["mn"]["kernel_bytes"], 1))
+    return out
+
+
+def abl1_table(results: dict) -> Table:
+    rows = [
+        Row("M:N LWPs (threads=widgets)", None, results["mn"]["lwps"],
+            unit="lwps"),
+        Row("1:1 LWPs", None, results["one_to_one"]["lwps"],
+            unit="lwps"),
+        Row("M:N kernel bytes", None, results["mn"]["kernel_bytes"],
+            unit="bytes"),
+        Row("1:1 kernel bytes", None,
+            results["one_to_one"]["kernel_bytes"], unit="bytes"),
+    ]
+    return Table("ABL1: Window system, M:N vs 1:1", rows,
+                 with_ratios=False)
+
+
+# ====================================================================
+# ABL2 — array computation: threads-per-LWP sweep
+# ====================================================================
+
+def run_abl2(rows: int = 128, n_lwps: int = 4, ncpus: int = 4,
+             sweep=(1, 2, 4, 8)) -> dict:
+    """Elapsed time vs threads-per-LWP; 1 thread/LWP (bound) included."""
+    from repro.workloads import array_compute
+
+    out = {"sweep": {}}
+    for ratio in sweep:
+        n_threads = n_lwps * ratio
+        main, res = array_compute.build(
+            rows=rows, n_threads=n_threads, n_lwps=n_lwps,
+            bind=(ratio == 1))
+        sim = Simulator(ncpus=ncpus)
+        sim.spawn(main)
+        sim.run()
+        out["sweep"][ratio] = {
+            "elapsed_usec": res["elapsed_usec"],
+            "user_switches": res["user_switches"],
+            "overhead_ratio": res["overhead_ratio"],
+        }
+    return out
+
+
+def abl2_table(results: dict) -> Table:
+    rows = [Row(f"{r} thread(s) per LWP", None,
+                data["elapsed_usec"])
+            for r, data in sorted(results["sweep"].items())]
+    return Table("ABL2: Array computation, threads-per-LWP sweep "
+                 "(elapsed usec)", rows, with_ratios=False)
+
+
+# ====================================================================
+# ABL3 — SIGWAITING deadlock avoidance vs liblwp
+# ====================================================================
+
+def run_abl3(input_at_usec: float = 300_000) -> dict:
+    """Compute-completion time when another thread blocks indefinitely:
+    M:N (grows via SIGWAITING) vs liblwp (whole process stalls)."""
+    from repro.kernel.fs.file import O_RDONLY
+    from repro.models import liblwp
+
+    def build(record):
+        def blocked_reader(_):
+            fd = yield from unistd.open("/dev/tty", O_RDONLY)
+            yield from unistd.read(fd, 10)
+
+        def compute(_):
+            yield Charge(usec(1_000))
+            t = yield from unistd.gettimeofday()
+            record["compute_done_usec"] = t / 1000
+
+        def main():
+            yield from threads.thread_create(blocked_reader, None)
+            tid = yield from threads.thread_create(
+                compute, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+        return main
+
+    out = {}
+    for key, factory in (("mn", None),
+                         ("liblwp", liblwp.bootstrap_process)):
+        record = {}
+        sim = Simulator(ncpus=2)
+        if factory is not None:
+            sim.kernel.runtime_factory = factory
+        sim.spawn(build(record))
+        sim.type_input(b"x", at_usec=input_at_usec)
+        sim.run(check_deadlock=False)
+        out[key] = record.get("compute_done_usec", float("inf"))
+        if key == "mn":
+            out["lwps_grown"] = 1  # SIGWAITING growth happened
+    out["speedup"] = out["liblwp"] / out["mn"]
+    return out
+
+
+def abl3_table(results: dict) -> Table:
+    rows = [
+        Row("M:N compute-done (SIGWAITING grows pool)", None,
+            results["mn"]),
+        Row("liblwp compute-done (process stalls)", None,
+            results["liblwp"]),
+    ]
+    return Table("ABL3: Deadlock avoidance via SIGWAITING (usec until "
+                 "starved thread runs)", rows, with_ratios=False)
+
+
+# ====================================================================
+# ABL4 — fork() vs fork1()
+# ====================================================================
+
+def run_abl4(lwp_counts=(1, 2, 4, 8)) -> dict:
+    """Fork cost as a function of LWP count, for fork() and fork1()."""
+    out = {"fork": {}, "fork1": {}}
+
+    def child():
+        return
+        yield
+
+    for nlwps in lwp_counts:
+        for call_name in ("fork", "fork1"):
+            record = {}
+
+            def main(call_name=call_name, nlwps=nlwps, record=record):
+                if nlwps > 1:
+                    yield from threads.thread_setconcurrency(nlwps)
+                    yield from unistd.sleep_usec(100)
+                t0 = yield Syscall("gettimeofday")
+                pid = yield Syscall(call_name, child)
+                t1 = yield Syscall("gettimeofday")
+                record["usec"] = (t1 - t0) / 1000
+                yield from unistd.waitpid(pid)
+
+            sim = Simulator(ncpus=2)
+            sim.spawn(main)
+            sim.run(check_deadlock=False)
+            out[call_name][nlwps] = record["usec"]
+    return out
+
+
+def abl4_table(results: dict) -> Table:
+    rows = []
+    for nlwps in sorted(results["fork"]):
+        rows.append(Row(f"fork() with {nlwps} LWPs", None,
+                        results["fork"][nlwps]))
+        rows.append(Row(f"fork1() with {nlwps} LWPs", None,
+                        results["fork1"][nlwps]))
+    return Table("ABL4: fork() vs fork1() (usec)", rows,
+                 with_ratios=False)
+
+
+# ====================================================================
+# ABL5 — mutex variants under contention
+# ====================================================================
+
+def run_abl5(iters: int = 50) -> dict:
+    """Elapsed time for a contended critical section under the default
+    (sleep), spin, and adaptive mutex variants, on 2 CPUs with bound
+    threads (the configuration where spinning can win)."""
+    from repro.sync import Mutex, SYNC_ADAPTIVE, SYNC_DEFAULT, SYNC_SPIN
+
+    out = {}
+    for name, vtype in (("default", SYNC_DEFAULT), ("spin", SYNC_SPIN),
+                        ("adaptive", SYNC_ADAPTIVE)):
+        record = {}
+
+        def main(vtype=vtype, record=record):
+            m = Mutex(vtype)
+            gate = Semaphore()
+
+            def worker(_):
+                yield from gate.p()   # start together: real contention
+                for _ in range(iters):
+                    yield from m.enter()
+                    yield Charge(usec(20))
+                    yield from m.exit()
+
+            tids = []
+            for _ in range(2):
+                tid = yield from threads.thread_create(
+                    worker, None,
+                    flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+                tids.append(tid)
+            t0 = yield Syscall("gettimeofday")
+            for _ in tids:
+                yield from gate.v()
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+            t1 = yield Syscall("gettimeofday")
+            record["usec"] = (t1 - t0) / 1000
+            record["spins"] = m.spins
+            record["contended"] = m.contended
+
+        sim = Simulator(ncpus=2)
+        sim.spawn(main)
+        sim.run()
+        out[name] = record
+    return out
+
+
+def abl5_table(results: dict) -> Table:
+    rows = [Row(f"{name} mutex", None, data["usec"])
+            for name, data in results.items()]
+    return Table("ABL5: Mutex variants under contention (elapsed usec)",
+                 rows, with_ratios=False)

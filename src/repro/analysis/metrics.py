@@ -1,0 +1,49 @@
+"""Small statistics helpers for experiment outputs."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def stdev(xs: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 below two samples."""
+    if len(xs) < 2:
+        return 0.0
+    mu = mean(xs)
+    return math.sqrt(sum((x - mu) ** 2 for x in xs) / len(xs))
+
+
+def percentile(xs: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100])."""
+    if not xs:
+        return 0.0
+    ordered = sorted(xs)
+    rank = max(0, min(len(ordered) - 1,
+                      int(math.ceil(p / 100.0 * len(ordered))) - 1))
+    return ordered[rank]
+
+
+def summarize(xs: Sequence[float]) -> dict:
+    """Mean/stdev/min/median/p99/max in one dict."""
+    return {
+        "n": len(xs),
+        "mean": mean(xs),
+        "stdev": stdev(xs),
+        "min": min(xs) if xs else 0.0,
+        "p50": percentile(xs, 50),
+        "p99": percentile(xs, 99),
+        "max": max(xs) if xs else 0.0,
+    }
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """baseline / improved; inf-safe."""
+    if improved == 0:
+        return float("inf")
+    return baseline / improved

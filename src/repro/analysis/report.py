@@ -1,0 +1,98 @@
+"""Experiment reporting: paper-vs-measured tables.
+
+The benchmark harness uses these helpers to print the same rows the paper
+reports (Figures 5 and 6) next to our measured values, with deviation and
+the ratio columns the paper itself includes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+
+@dataclasses.dataclass
+class Row:
+    """One table row: a named quantity, the paper's value, and ours."""
+
+    label: str
+    paper: Optional[float]
+    measured: float
+    unit: str = "usec"
+
+    @property
+    def deviation(self) -> Optional[float]:
+        """Relative deviation from the paper's value (None if no paper
+        value exists for this row)."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / self.paper
+
+
+class Table:
+    """A paper-style results table with optional ratio column.
+
+    The paper's Figures 5/6 include a "ratio" column giving each row's
+    value over the previous row's; ``with_ratios`` reproduces it for both
+    the paper and measured columns.
+    """
+
+    def __init__(self, title: str, rows: Sequence[Row],
+                 with_ratios: bool = True):
+        self.title = title
+        self.rows = list(rows)
+        self.with_ratios = with_ratios
+
+    def render(self) -> str:
+        header = [self.title, "=" * len(self.title)]
+        cols = f"{'':32s} {'paper':>10s} {'measured':>10s} {'dev%':>7s}"
+        if self.with_ratios:
+            cols += f" {'p.ratio':>8s} {'m.ratio':>8s}"
+        lines = header + [cols]
+        prev_paper = prev_meas = None
+        for row in self.rows:
+            paper = f"{row.paper:10.1f}" if row.paper is not None else (
+                " " * 10)
+            dev = row.deviation
+            dev_s = f"{dev * 100:6.1f}%" if dev is not None else "      -"
+            line = f"{row.label:32s} {paper} {row.measured:10.1f} {dev_s}"
+            if self.with_ratios:
+                pr = (f"{row.paper / prev_paper:8.2f}"
+                      if row.paper and prev_paper else " " * 8)
+                mr = (f"{row.measured / prev_meas:8.2f}"
+                      if prev_meas else " " * 8)
+                line += f" {pr} {mr}"
+            lines.append(line)
+            prev_paper, prev_meas = row.paper, row.measured
+        return "\n".join(lines)
+
+    def max_deviation(self) -> float:
+        """Largest |relative deviation| across rows with paper values."""
+        devs = [abs(r.deviation) for r in self.rows
+                if r.deviation is not None]
+        return max(devs) if devs else 0.0
+
+    def shape_holds(self, tolerance: float = 0.5) -> bool:
+        """Reproduction criterion: every paper-valued row is within
+        ``tolerance`` relative deviation AND the ordering of rows by
+        magnitude matches the paper's ordering."""
+        if self.max_deviation() > tolerance:
+            return False
+        paper_rows = [(r.paper, r.measured) for r in self.rows
+                      if r.paper is not None]
+        paper_order = sorted(range(len(paper_rows)),
+                             key=lambda i: paper_rows[i][0])
+        meas_order = sorted(range(len(paper_rows)),
+                            key=lambda i: paper_rows[i][1])
+        return paper_order == meas_order
+
+
+def format_dict(title: str, data: dict) -> str:
+    """Simple aligned key/value rendering for ad-hoc results."""
+    width = max((len(str(k)) for k in data), default=0)
+    lines = [title, "-" * len(title)]
+    for key, value in data.items():
+        if isinstance(value, float):
+            value = f"{value:,.2f}"
+        lines.append(f"{str(key):{width}s}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Simulated hardware: CPUs, memory, timers, and the effect "ISA"."""
+
+from repro.hw.atomic import (atomic_add, atomic_clear, compare_and_swap,
+                             test_and_set)
+from repro.hw.context import Activity, Frame, Mode, as_generator
+from repro.hw.cpu import CPU, ExecContext
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SIZE, MemoryObject, PhysicalMemory, page_of
+from repro.hw.timer import HardwareTimer, PeriodicTick
+
+__all__ = [
+    "atomic_add", "atomic_clear", "compare_and_swap", "test_and_set",
+    "Activity", "Frame", "Mode", "as_generator",
+    "CPU", "ExecContext", "Machine",
+    "PAGE_SIZE", "MemoryObject", "PhysicalMemory", "page_of",
+    "HardwareTimer", "PeriodicTick",
+]

@@ -1,0 +1,46 @@
+"""Atomic operations on shared memory cells.
+
+The SPARC of the paper's era provided ``ldstub`` (load-store unsigned
+byte), the atomic test-and-set that mutex spin locks are built from.  In
+the discrete-event simulator every effect executes to completion before
+another CPU runs, so these helpers are trivially atomic; they exist to make
+the *intent* explicit in the synchronization code and to give the ablation
+benchmarks a single place to charge atomic-operation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.hw.memory import MemoryObject
+
+
+def test_and_set(obj: MemoryObject, offset: int) -> int:
+    """Atomically read the cell and set it to 1 (SPARC ldstub analogue).
+
+    Returns the previous value: 0 means the caller won the lock.
+    """
+    old = obj.load_cell(offset)
+    obj.store_cell(offset, 1)
+    return old
+
+
+def atomic_clear(obj: MemoryObject, offset: int) -> None:
+    """Atomically clear the cell (release a spin lock)."""
+    obj.store_cell(offset, 0)
+
+
+def atomic_add(obj: MemoryObject, offset: int, delta: int) -> int:
+    """Atomically add ``delta``; returns the new value."""
+    new = obj.load_cell(offset) + delta
+    obj.store_cell(offset, new)
+    return new
+
+
+def compare_and_swap(obj: MemoryObject, offset: int, expect: Any,
+                     new: Any) -> bool:
+    """Atomically replace the cell if it holds ``expect``."""
+    if obj.load_cell(offset) == expect:
+        obj.store_cell(offset, new)
+        return True
+    return False

@@ -1,0 +1,132 @@
+"""Execution contexts: frames and activities.
+
+An :class:`Activity` is the simulator's representation of a saved execution
+context — the "register state plus stack" the paper lists as per-thread
+state.  It is a stack of generator *frames*:
+
+* the bottom frame is the entity's body (a user thread's ``func(arg)``, an
+  LWP's idle loop, the kernel's init task);
+* a system call pushes a kernel-mode frame on top;
+* delivering a signal pushes a user-mode handler frame on top.
+
+Suspending an activity is free at the Python level — the generators simply
+stay where they are — which mirrors how the threads library leaves a
+thread's context "in process memory" (paper, Figure 2) until some LWP picks
+it up again.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, Optional
+
+
+class Mode(enum.Enum):
+    """Privilege mode of a frame."""
+
+    USER = "user"
+    KERNEL = "kernel"
+
+
+class Frame:
+    """One generator on an activity's frame stack.
+
+    ``saved_resume`` is used when a frame is injected *between* a
+    suspension point and its resumption — a signal handler pushed at the
+    kernel/user boundary.  The pending resumption (value or exception) is
+    parked on the injected frame and re-applied when it returns, so the
+    interrupted code observes the same outcome it would have without the
+    signal.
+    """
+
+    __slots__ = ("gen", "mode", "label", "saved_resume")
+
+    def __init__(self, gen: Generator, mode: Mode, label: str = ""):
+        self.gen = gen
+        self.mode = mode
+        self.label = label
+        self.saved_resume = None  # None | ("value", v) | ("exc", e)
+
+    def __repr__(self) -> str:
+        return f"<Frame {self.mode.value} {self.label}>"
+
+
+class Activity:
+    """A resumable execution context (frame stack + resumption slot).
+
+    Attributes:
+        frames: the stack; the top frame is what the CPU steps.
+        resume_value: value to send into the top generator on next step.
+        resume_exc: exception to throw instead, if set.
+        pending_charge_ns: remainder of an interrupted :class:`Charge`.
+        on_return: called when the bottom frame returns.  May return a new
+            generator to push (e.g. the threads library pushes
+            ``thread_exit``); returning None marks the activity finished.
+        name: diagnostic label.
+    """
+
+    __slots__ = ("frames", "resume_value", "resume_exc", "pending_charge_ns",
+                 "on_return", "name", "finished", "result", "started")
+
+    def __init__(self, gen: Generator, mode: Mode = Mode.USER,
+                 name: str = "",
+                 on_return: Optional[Callable[..., Optional[Generator]]] = None):
+        self.frames: list[Frame] = [Frame(gen, mode, label=name)]
+        self.resume_value: Any = None
+        self.resume_exc: Optional[BaseException] = None
+        self.pending_charge_ns = 0
+        self.on_return = on_return
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.started = False
+
+    @property
+    def top(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def mode(self) -> Mode:
+        """Current privilege mode (mode of the top frame)."""
+        return self.frames[-1].mode
+
+    @property
+    def in_kernel(self) -> bool:
+        return self.frames[-1].mode is Mode.KERNEL
+
+    def push(self, gen: Generator, mode: Mode, label: str = "") -> None:
+        """Push a new frame (syscall handler, signal handler)."""
+        self.frames.append(Frame(gen, mode, label))
+
+    def pop(self) -> Frame:
+        return self.frames.pop()
+
+    def set_resume(self, value: Any = None) -> None:
+        """Arrange for ``value`` to be sent in when the activity resumes."""
+        self.resume_value = value
+        self.resume_exc = None
+
+    def set_resume_exc(self, exc: BaseException) -> None:
+        """Arrange for ``exc`` to be thrown in when the activity resumes."""
+        self.resume_exc = exc
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else f"{len(self.frames)} frames"
+        return f"<Activity {self.name}: {state}>"
+
+
+def as_generator(func: Callable, *args, **kwargs) -> Generator:
+    """Wrap ``func(*args, **kwargs)`` so it runs as a generator frame.
+
+    Thread bodies are normally generator functions, but a body with no
+    blocking points is allowed to be a plain function; it then executes
+    atomically in zero simulated time, like straight-line code between
+    yields.  Either way, ``func`` is *not* called until the frame first
+    runs, so creation time and run time stay distinct.
+    """
+    def driver():
+        result = func(*args, **kwargs)
+        if isinstance(result, Generator):
+            result = yield from result
+        return result
+    return driver()

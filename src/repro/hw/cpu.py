@@ -1,0 +1,442 @@
+"""The CPU executor: steps activities, interprets effects.
+
+A :class:`CPU` runs one LWP at a time.  Running means repeatedly stepping
+the LWP's current activity: send the pending resume value into the top
+generator frame, interpret the effect it yields, and schedule the next step
+after the effect's cost.  The executor is the only place virtual time is
+charged to computation.
+
+The CPU is deliberately ignorant of policy.  It delegates:
+
+* system-call dispatch, page faults, blocking, and signal checks to the
+  kernel object installed by the machine;
+* what to do when an activity's bottom frame returns to the activity's
+  ``on_return`` hook (the threads library uses this for implicit
+  ``thread_exit()``);
+* what to run next, when its LWP blocks or exits, to the kernel dispatcher.
+
+This mirrors the paper's structure: the hardware runs whatever context the
+kernel dispatched; the kernel sees only LWPs; user-level thread switches
+(the :class:`~repro.hw.isa.SwitchTo` effect) happen "without the kernel
+knowing it".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import (Errno, InterruptedSleep, SimulationError,
+                          SyscallError)
+from repro.hw import isa
+from repro.hw.context import Activity, Mode
+
+
+class ExecContext:
+    """Handle on the current execution environment.
+
+    Passed to kernel syscall handlers and returned to user code by the
+    :class:`~repro.hw.isa.GetContext` effect.  User library code uses it to
+    reach the per-process threads runtime; kernel code uses it to reach the
+    LWP and process structures.
+    """
+
+    __slots__ = ("cpu", "lwp")
+
+    def __init__(self, cpu: "CPU", lwp):
+        self.cpu = cpu
+        self.lwp = lwp
+
+    @property
+    def engine(self):
+        return self.cpu.engine
+
+    @property
+    def kernel(self):
+        return self.cpu.kernel
+
+    @property
+    def process(self):
+        return self.lwp.process
+
+    @property
+    def thread(self):
+        """The user thread currently on this LWP (None in pure-LWP code)."""
+        return self.lwp.current_thread
+
+    @property
+    def costs(self):
+        return self.cpu.costs
+
+    def __repr__(self) -> str:
+        return f"<ExecContext cpu={self.cpu.index} lwp={self.lwp!r}>"
+
+
+class CPU:
+    """One simulated processor."""
+
+    def __init__(self, index: int, engine, costs):
+        self.index = index
+        self.engine = engine
+        self.costs = costs
+        self.kernel = None  # installed by the machine
+        self.lwp = None  # currently running LWP
+        self._step_event = None
+        self._charge_end_ns: Optional[int] = None
+        # The activity whose generator is live on the Python stack right
+        # now (frame injection must defer while set).
+        self._stepping_activity = None
+        self._preempt_pending = False
+        # Accounting.
+        self.busy_ns = 0
+        self.user_ns = 0
+        self.kernel_ns = 0
+        self.dispatch_count = 0
+
+    @property
+    def name(self) -> str:
+        return f"cpu-{self.index}"
+
+    @property
+    def idle(self) -> bool:
+        return self.lwp is None
+
+    # ------------------------------------------------------------ dispatch
+
+    def assign(self, lwp) -> None:
+        """Begin running ``lwp`` on this CPU (kernel dispatcher calls this)."""
+        if self.lwp is not None:
+            raise SimulationError(
+                f"{self.name} already running {self.lwp!r}")
+        self.lwp = lwp
+        lwp.cpu = self
+        self.dispatch_count += 1
+        self._preempt_pending = False
+        self.engine.tracer.emit(self.engine.now_ns, "sched", "dispatch",
+                                lwp.name, cpu=self.name)
+        # Dispatch latency: run-queue removal, context load, cache warmup.
+        self._account(self.costs.kernel_dispatch, kernel=True)
+        self._schedule_step(self.costs.kernel_dispatch)
+
+    def release(self) -> None:
+        """Detach the current LWP (it blocked, exited, or was preempted)."""
+        lwp = self.lwp
+        if lwp is not None:
+            lwp.cpu = None
+        self.lwp = None
+        self._cancel_step()
+
+    def request_preempt(self) -> None:
+        """Ask the CPU to give up its LWP at the next preemption point.
+
+        If the LWP is in the middle of a user-mode :class:`Charge`, the
+        charge is interrupted immediately and the remainder saved.  Kernel
+        charges are not interruptible (the simulated kernel runs
+        non-preemptively, as SunOS of that era did inside the kernel).
+        """
+        if self.lwp is None:
+            return
+        activity = self.lwp.current_activity
+        if (self._charge_end_ns is not None and activity is not None
+                and not activity.in_kernel):
+            remaining = self._charge_end_ns - self.engine.now_ns
+            if remaining > 0:
+                # The charge was accounted in full when it started; hand the
+                # unused remainder back and re-charge it when the LWP next
+                # runs.
+                activity.pending_charge_ns += remaining
+                self._account(-remaining, kernel=False)
+            self._cancel_step()
+            self._charge_end_ns = None
+            lwp = self.lwp
+            self.release()
+            self.kernel.dispatcher.on_preempted(lwp)
+        else:
+            self._preempt_pending = True
+
+    # ------------------------------------------------------------ stepping
+
+    def _schedule_step(self, delay_ns: int) -> None:
+        self._cancel_step()
+        self._step_event = self.engine.call_after(
+            delay_ns, self._step, tag=f"{self.name}.step")
+
+    def _cancel_step(self) -> None:
+        if self._step_event is not None:
+            self.engine.cancel(self._step_event)
+            self._step_event = None
+
+    def _account(self, ns: int, kernel: bool = False) -> None:
+        self.busy_ns += ns
+        if kernel:
+            self.kernel_ns += ns
+        else:
+            self.user_ns += ns
+        if self.lwp is not None:
+            self.lwp.account(ns, kernel=kernel)
+
+    def _step(self) -> None:
+        """Execute one effect of the current activity."""
+        self._step_event = None
+        self._charge_end_ns = None
+        lwp = self.lwp
+        if lwp is None:  # raced with preemption/block; nothing to do
+            return
+        activity = lwp.current_activity
+        if activity is None:
+            raise SimulationError(f"{lwp!r} dispatched with no activity")
+
+        # Honor a preemption requested while we were mid-effect.
+        if self._preempt_pending and not activity.in_kernel:
+            self._preempt_pending = False
+            self.release()
+            self.kernel.dispatcher.on_preempted(lwp)
+            return
+
+        # Finish an interrupted charge before touching the generator.
+        if activity.pending_charge_ns > 0:
+            ns = activity.pending_charge_ns
+            activity.pending_charge_ns = 0
+            self._charge(ns, activity.in_kernel)
+            return
+
+        frame = activity.top
+        activity.started = True
+        # While the generator is live on the Python stack, nobody may
+        # push frames onto this activity (kernel signal delivery checks
+        # this flag and defers instead).
+        self._stepping_activity = activity
+        try:
+            if activity.resume_exc is not None:
+                exc = activity.resume_exc
+                activity.resume_exc = None
+                effect = frame.gen.throw(exc)
+            else:
+                value = activity.resume_value
+                activity.resume_value = None
+                effect = frame.gen.send(value)
+        except StopIteration as stop:
+            self._frame_returned(lwp, activity, stop.value)
+            return
+        except (SyscallError, InterruptedSleep) as exc:
+            self._frame_raised(lwp, activity, exc)
+            return
+        finally:
+            self._stepping_activity = None
+
+        self._interpret(lwp, activity, effect)
+
+    # ----------------------------------------------------- effect handling
+
+    def _interpret(self, lwp, activity: Activity, effect) -> None:
+        if isinstance(effect, isa.Charge):
+            self._charge(effect.ns, activity.in_kernel)
+        elif isinstance(effect, isa.Syscall):
+            self._enter_kernel(lwp, activity, effect)
+        elif isinstance(effect, isa.SwitchTo):
+            self._switch_thread(lwp, activity, effect)
+        elif isinstance(effect, isa.GetContext):
+            activity.set_resume(ExecContext(self, lwp))
+            self._schedule_step(0)
+        elif isinstance(effect, isa.Setjmp):
+            activity.set_resume(object())  # opaque jump-buffer token
+            self._charge_then_step(self.costs.setjmp, activity.in_kernel)
+        elif isinstance(effect, isa.Longjmp):
+            activity.set_resume(None)
+            self._charge_then_step(self.costs.longjmp, activity.in_kernel)
+        elif isinstance(effect, isa.Touch):
+            self._touch(lwp, activity, effect)
+        elif isinstance(effect, isa.Block):
+            if not activity.in_kernel:
+                raise SimulationError(
+                    "Block effect yielded from user mode; user code must "
+                    "block via the threads library or a system call")
+            self._block(lwp, activity, effect)
+        else:
+            raise SimulationError(f"unknown effect: {effect!r}")
+
+    def _charge(self, ns: int, kernel: bool) -> None:
+        """Consume CPU time, then step again.
+
+        The full amount is accounted up front; if the charge is preempted,
+        :meth:`request_preempt` refunds the unused remainder.
+        """
+        self._account(ns, kernel=kernel)
+        if ns > 0 and not kernel:
+            self._charge_end_ns = self.engine.now_ns + ns
+        self._schedule_step(ns)
+
+    def _charge_then_step(self, ns: int, kernel: bool) -> None:
+        self._account(ns, kernel=kernel)
+        self._schedule_step(ns)
+
+    def _enter_kernel(self, lwp, activity: Activity,
+                      effect: isa.Syscall) -> None:
+        """Trap: charge entry cost and push the handler frame."""
+        self.engine.tracer.emit(self.engine.now_ns, "syscall", "enter",
+                                lwp.name, call=effect.name)
+        self.kernel.note_syscall(lwp, effect.name)
+        handler = self.kernel.syscall_handler(
+            ExecContext(self, lwp), effect.name, effect.args, effect.kwargs)
+        activity.push(handler, Mode.KERNEL, label=f"sys_{effect.name}")
+        activity.set_resume(None)
+        self._account(self.costs.syscall_entry, kernel=True)
+        self._schedule_step(self.costs.syscall_entry)
+
+    def _switch_thread(self, lwp, activity: Activity,
+                       effect: isa.SwitchTo) -> None:
+        """User-level context switch: no kernel involvement."""
+        target = effect.target
+        if target.finished:
+            raise SimulationError(
+                f"switch to finished activity {target.name}")
+        self.engine.tracer.emit(self.engine.now_ns, "thread", "switch",
+                                lwp.name, frm=activity.name, to=target.name)
+        lwp.current_activity = target
+        self._account(self.costs.thread_switch_user, kernel=False)
+        self._schedule_step(self.costs.thread_switch_user)
+
+    def _touch(self, lwp, activity: Activity, effect: isa.Touch) -> None:
+        from repro.hw.memory import page_of
+        pageno = page_of(effect.offset)
+        if effect.mobj.is_resident(pageno):
+            activity.set_resume(None)
+            self._schedule_step(0)
+            return
+        # Page fault: synchronous kernel entry on this LWP only.
+        self.engine.tracer.emit(self.engine.now_ns, "vm", "fault",
+                                lwp.name, obj=effect.mobj.name, page=pageno)
+        handler = self.kernel.page_fault_handler(
+            ExecContext(self, lwp), effect.mobj, pageno, effect.write)
+        activity.push(handler, Mode.KERNEL, label="pagefault")
+        activity.set_resume(None)
+        self._account(self.costs.trap_entry, kernel=True)
+        self._schedule_step(self.costs.trap_entry)
+
+    def _block(self, lwp, activity: Activity, effect: isa.Block) -> None:
+        """Sleep the LWP on a kernel wait channel and free this CPU."""
+        if self.lwp is not lwp:
+            raise SimulationError(
+                f"{self.name} blocking {lwp!r} but running {self.lwp!r}")
+        chan = effect.channel
+        chan_name = (",".join(c.name for c in chan)
+                     if isinstance(chan, (list, tuple)) else chan.name)
+        self.engine.tracer.emit(self.engine.now_ns, "sched", "block",
+                                lwp.name, chan=chan_name)
+        self._account(self.costs.kernel_block, kernel=True)
+        self.release()
+        self.kernel.block_lwp(lwp, effect.channel,
+                              interruptible=effect.interruptible,
+                              indefinite=effect.indefinite)
+        self.kernel.dispatcher.cpu_idle(self)
+
+    # ------------------------------------------------------- frame returns
+
+    def _frame_returned(self, lwp, activity: Activity, value: Any) -> None:
+        frame = activity.pop()
+        if activity.frames:
+            if frame.saved_resume is not None:
+                # An injected frame (signal handler) finished: re-apply the
+                # resumption it displaced.
+                kind, payload = frame.saved_resume
+                if kind == "exc":
+                    activity.set_resume_exc(payload)
+                else:
+                    activity.set_resume(payload)
+                self._account(self.costs.signal_return, kernel=False)
+                self._schedule_step(self.costs.signal_return)
+                return
+            below = activity.top
+            if frame.mode is Mode.KERNEL and below.mode is Mode.USER:
+                # Returning from a system call (or fault): charge the exit
+                # path and let the kernel deliver any pending signals.
+                self.engine.tracer.emit(
+                    self.engine.now_ns, "syscall", "exit", lwp.name,
+                    call=frame.label, ret=_brief(value))
+                activity.set_resume(value)
+                self._account(self.costs.syscall_exit, kernel=True)
+                self.kernel.kernel_exit_check(ExecContext(self, lwp))
+                self._schedule_step(self.costs.syscall_exit)
+            else:
+                activity.set_resume(value)
+                self._schedule_step(0)
+            return
+
+        # Bottom frame returned: the activity's body is done.
+        if activity.on_return is not None:
+            follow_on = activity.on_return(ExecContext(self, lwp), value)
+            if follow_on is not None:
+                activity.push(follow_on, Mode.USER, label="on_return")
+                activity.set_resume(None)
+                self._schedule_step(0)
+                return
+        activity.finished = True
+        activity.result = value
+        self.release()
+        self.kernel.on_activity_finished(lwp, activity, value)
+        self.kernel.dispatcher.cpu_idle(self)
+
+    def _frame_raised(self, lwp, activity: Activity,
+                      exc: BaseException) -> None:
+        """An exception propagated out of the top frame."""
+        frame = activity.pop()
+        if isinstance(exc, InterruptedSleep):
+            # Only meaningful across the kernel/user boundary.
+            exc = SyscallError(Errno.EINTR, frame.label, "interrupted")
+        if activity.frames:
+            if frame.saved_resume is not None:
+                # Injected frame died; still re-apply what it displaced?
+                # No: the handler's failure takes precedence.
+                pass
+            below = activity.top
+            if frame.mode is Mode.KERNEL and below.mode is Mode.USER:
+                self.engine.tracer.emit(
+                    self.engine.now_ns, "syscall", "error", lwp.name,
+                    call=frame.label, err=str(exc))
+                activity.set_resume_exc(exc)
+                self._account(self.costs.syscall_exit, kernel=True)
+                self.kernel.kernel_exit_check(ExecContext(self, lwp))
+                self._schedule_step(self.costs.syscall_exit)
+            else:
+                activity.set_resume_exc(exc)
+                self._schedule_step(0)
+            return
+        # Uncaught at the bottom of an activity: the simulated program
+        # failed.  Let the kernel decide (it kills the process).
+        activity.finished = True
+        self.release()
+        self.kernel.on_activity_crashed(lwp, activity, exc)
+        self.kernel.dispatcher.cpu_idle(self)
+
+    # ------------------------------------------------------------ kernel API
+
+    def inject_user_frame(self, activity: Activity, gen, label: str) -> None:
+        """Push a user frame (signal handler) on top of ``activity``.
+
+        The activity's pending resumption is parked on the new frame and
+        re-applied when it returns, so the interrupted code is unaffected.
+        The caller ensures the activity is not mid-charge.
+        """
+        if activity.resume_exc is not None:
+            saved = ("exc", activity.resume_exc)
+        else:
+            saved = ("value", activity.resume_value)
+        activity.resume_exc = None
+        activity.resume_value = None
+        activity.push(gen, Mode.USER, label=label)
+        activity.top.saved_resume = saved
+        self._account(self.costs.signal_deliver, kernel=False)
+
+    def throw_into(self, exc: BaseException) -> None:
+        """Arrange for ``exc`` to be thrown at the next step (signal path)."""
+        if self.lwp is not None and self.lwp.current_activity is not None:
+            self.lwp.current_activity.set_resume_exc(exc)
+
+    def __repr__(self) -> str:
+        running = self.lwp.name if self.lwp else "idle"
+        return f"<CPU {self.index}: {running}>"
+
+
+def _brief(value: Any) -> str:
+    """Compact rendering of a syscall return value for traces."""
+    text = repr(value)
+    return text if len(text) <= 40 else text[:37] + "..."

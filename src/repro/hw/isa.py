@@ -1,0 +1,207 @@
+"""The "instruction set" of the simulated machine.
+
+Simulated programs are Python generator functions.  Each ``yield`` hands the
+CPU an *effect* — the analogue of executing an instruction sequence, a trap,
+or a context-switch primitive.  Library routines compose with
+``yield from``, exactly as C library routines compose by procedure call.
+
+Effect vocabulary
+-----------------
+
+User mode (yielded by thread bodies and library code):
+
+* :class:`Charge` — consume CPU time (straight-line computation).
+* :class:`Syscall` — trap into the kernel; the value of the ``yield`` is
+  the system call's return value, or a :class:`repro.errors.SyscallError`
+  is thrown into the generator.
+* :class:`SwitchTo` — user-level context switch to another thread.  This is
+  the save-registers/restore-registers primitive of the paper's threads
+  library; it never enters the kernel.
+* :class:`GetContext` — read the current execution context (thread, LWP,
+  process handles).  Free: the running code already "knows" this the way C
+  code knows its own stack pointer.
+* :class:`Setjmp` / :class:`Longjmp` — the non-local-goto baseline used by
+  Figure 6's first row.
+
+Kernel mode (yielded by system-call handler generators):
+
+* :class:`Charge` — kernel service time.
+* :class:`Block` — put the executing LWP to sleep on a wait channel.  The
+  value of the ``yield`` is whatever the waker passes.
+
+The executor in :mod:`repro.hw.cpu` interprets these.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Effect:
+    """Base class for everything a simulated program can yield."""
+
+    __slots__ = ()
+
+
+class Charge(Effect):
+    """Consume ``ns`` of CPU time in the current mode (user or kernel)."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise ValueError(f"negative charge: {ns}")
+        self.ns = ns
+
+    def __repr__(self) -> str:
+        return f"Charge({self.ns}ns)"
+
+
+class Syscall(Effect):
+    """Trap into the kernel to execute the named system call."""
+
+    __slots__ = ("name", "args", "kwargs")
+
+    def __init__(self, name: str, *args, **kwargs):
+        self.name = name
+        self.args = args
+        self.kwargs = kwargs
+
+    def __repr__(self) -> str:
+        return f"Syscall({self.name}, args={self.args!r})"
+
+
+class SwitchTo(Effect):
+    """User-level thread switch.
+
+    The currently running thread's continuation is left suspended at this
+    yield; the target thread's continuation resumes on the same LWP.  The
+    value sent back into the yield (when this thread is later resumed) is
+    ``resume_value`` stored on the thread by whoever made it runnable.
+    """
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"SwitchTo({self.target!r})"
+
+
+class GetContext(Effect):
+    """Yielded to obtain the current :class:`repro.hw.cpu.ExecContext`."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "GetContext()"
+
+
+class Setjmp(Effect):
+    """Save the current user context; cost-model charge only.
+
+    Returns a jump-buffer token.  Used by the Figure 6 baseline and by the
+    runtime's :func:`repro.runtime.libc.setjmp`.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Setjmp()"
+
+
+class Longjmp(Effect):
+    """Restore a previously saved user context (cost-model charge only)."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: Any):
+        self.token = token
+
+    def __repr__(self) -> str:
+        return f"Longjmp({self.token!r})"
+
+
+class Touch(Effect):
+    """Access a page of a mapped memory object.
+
+    If the page is resident this is free; otherwise the CPU takes a
+    (simulated) page fault: a kernel frame is pushed that charges fault
+    service time and may block the LWP on disk I/O.  Per the paper, the
+    fault blocks only the faulting LWP — other LWPs in the process keep
+    running — which is one of the two reasons LWPs exist at all.
+    """
+
+    __slots__ = ("mobj", "offset", "write")
+
+    def __init__(self, mobj, offset: int, write: bool = False):
+        self.mobj = mobj
+        self.offset = offset
+        self.write = write
+
+    def __repr__(self) -> str:
+        rw = "w" if self.write else "r"
+        return f"Touch({self.mobj!r}+{self.offset} {rw})"
+
+
+class Block(Effect):
+    """Kernel mode: sleep the executing LWP on ``channel``.
+
+    Args:
+        channel: a :class:`repro.hw.isa.WaitChannel`.
+        interruptible: whether a signal may abort the sleep (the classic
+            UNIX interruptible-sleep semantic; the sleep then raises
+            ``SyscallError(EINTR)`` unless the syscall restarts).
+        indefinite: marks sleeps with no bounded completion (e.g. waiting
+            for user input).  The kernel uses this to decide when a process
+            deserves ``SIGWAITING`` — the paper sends it only when *all*
+            LWPs are "waiting for some indefinite, external event".
+    """
+
+    __slots__ = ("channel", "interruptible", "indefinite")
+
+    def __init__(self, channel: "WaitChannel", interruptible: bool = True,
+                 indefinite: bool = False):
+        self.channel = channel
+        self.interruptible = interruptible
+        self.indefinite = indefinite
+
+    def __repr__(self) -> str:
+        return f"Block({self.channel!r})"
+
+
+class WaitChannel:
+    """A kernel sleep queue: the thing an LWP blocks on.
+
+    Wakeups deliver a value to the sleeping LWP's resumption point.  The
+    channel keeps FIFO order, which makes simulations deterministic.
+    """
+
+    __slots__ = ("name", "waiters")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.waiters: list = []  # LWPs, FIFO
+
+    def add(self, lwp) -> None:
+        self.waiters.append(lwp)
+
+    def remove(self, lwp) -> bool:
+        """Remove a specific LWP (e.g. signal interrupted its sleep)."""
+        try:
+            self.waiters.remove(lwp)
+            return True
+        except ValueError:
+            return False
+
+    def pop_first(self) -> Optional[Any]:
+        if self.waiters:
+            return self.waiters.pop(0)
+        return None
+
+    def __len__(self) -> int:
+        return len(self.waiters)
+
+    def __repr__(self) -> str:
+        return f"<WaitChannel {self.name} waiters={len(self.waiters)}>"

@@ -1,0 +1,71 @@
+"""The simulated machine: CPUs + memory + timer, wired to an engine.
+
+The machine corresponds to the "Hardware" row of the paper's Figure 3.  It
+owns the processors the kernel schedules LWPs onto.  Multiprocessor
+configurations are first-class: the paper's architecture explicitly targets
+both uniprocessor and multiprocessor implementations, and several of our
+ablation benchmarks sweep the CPU count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.cpu import CPU
+from repro.hw.memory import PhysicalMemory
+from repro.hw.timer import HardwareTimer
+from repro.sim.costs import CostModel, default_cost_model
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+
+
+class Machine:
+    """A complete hardware configuration.
+
+    Attributes:
+        engine: the discrete-event engine driving everything.
+        cpus: the processors, indexed 0..ncpus-1.
+        memory: the physical memory pool.
+        timer: one-shot alarm source for the kernel.
+    """
+
+    def __init__(self, ncpus: int = 1,
+                 costs: Optional[CostModel] = None,
+                 seed: int = 0,
+                 tracer: Optional[Tracer] = None,
+                 memory_bytes: int = 64 * 1024 * 1024):
+        if ncpus < 1:
+            raise ValueError(f"need at least one CPU, got {ncpus}")
+        self.costs = costs if costs is not None else default_cost_model()
+        self.engine = Engine(seed=seed, tracer=tracer)
+        self.cpus = [CPU(i, self.engine, self.costs) for i in range(ncpus)]
+        self.memory = PhysicalMemory(total_bytes=memory_bytes)
+        self.timer = HardwareTimer(self.engine)
+
+    @property
+    def ncpus(self) -> int:
+        return len(self.cpus)
+
+    def install_kernel(self, kernel) -> None:
+        """Attach the kernel: every CPU traps into it."""
+        for cpu in self.cpus:
+            cpu.kernel = kernel
+
+    def idle_cpu(self) -> Optional[CPU]:
+        """First idle CPU, or None (lowest index first: deterministic)."""
+        for cpu in self.cpus:
+            if cpu.idle:
+                return cpu
+        return None
+
+    def utilization(self) -> dict:
+        """Aggregate CPU accounting for reports."""
+        now = max(self.engine.now_ns, 1)
+        busy = sum(c.busy_ns for c in self.cpus)
+        return {
+            "busy_ns": busy,
+            "user_ns": sum(c.user_ns for c in self.cpus),
+            "kernel_ns": sum(c.kernel_ns for c in self.cpus),
+            "dispatches": sum(c.dispatch_count for c in self.cpus),
+            "utilization": busy / (now * len(self.cpus)),
+        }

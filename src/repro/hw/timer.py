@@ -1,0 +1,72 @@
+"""Hardware timers.
+
+The SPARCstation 1+ of the paper had a microsecond-resolution real-time
+timer (used for the paper's measurements) and a periodic clock interrupt
+(used for time slicing and profiling).  In a discrete-event simulator a
+periodic tick would be wasteful, so :class:`HardwareTimer` exposes one-shot
+alarms that the kernel arms exactly when needed (quantum expiry, interval
+timers), plus an optional periodic tick for profiling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+
+class HardwareTimer:
+    """One-shot alarm source backed by the engine's event queue."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+
+    def arm(self, delay_ns: int, fn: Callable[[], None],
+            tag: str = "timer") -> Event:
+        """Fire ``fn`` after ``delay_ns``; returns a cancellable handle."""
+        return self.engine.call_after(delay_ns, fn, tag=tag)
+
+    def cancel(self, handle: Optional[Event]) -> None:
+        """Cancel an armed alarm; safe to pass None or an expired handle."""
+        if handle is not None:
+            self.engine.cancel(handle)
+
+    def read_usec(self) -> float:
+        """The built-in microsecond timer the paper's measurements used."""
+        return self.engine.now_usec
+
+
+class PeriodicTick:
+    """A repeating tick (profiling clock).  Start/stop as needed."""
+
+    def __init__(self, engine: Engine, period_ns: int,
+                 fn: Callable[[], None]):
+        self.engine = engine
+        self.period_ns = period_ns
+        self.fn = fn
+        self._event: Optional[Event] = None
+        self.running = False
+
+    def start(self) -> None:
+        if not self.running:
+            self.running = True
+            self._arm()
+
+    def stop(self) -> None:
+        self.running = False
+        if self._event is not None:
+            self.engine.cancel(self._event)
+            self._event = None
+
+    def _arm(self) -> None:
+        self._event = self.engine.call_after(
+            self.period_ns, self._fire, tag="tick")
+
+    def _fire(self) -> None:
+        self._event = None
+        if not self.running:
+            return
+        self.fn()
+        if self.running:
+            self._arm()

@@ -1,0 +1,15 @@
+"""The simulated UNIX kernel: processes, LWPs, scheduling, VM, FS, signals."""
+
+from repro.kernel.kernel import Kernel, build_kernel
+from repro.kernel.lwp import Lwp, LwpState, SchedClass
+from repro.kernel.process import ProcState, Process
+from repro.kernel.signals import (SIG_BLOCK, SIG_DFL, SIG_IGN, SIG_SETMASK,
+                                  SIG_UNBLOCK, Sig, Sigset, is_trap)
+
+__all__ = [
+    "Kernel", "build_kernel",
+    "Lwp", "LwpState", "SchedClass",
+    "ProcState", "Process",
+    "SIG_BLOCK", "SIG_DFL", "SIG_IGN", "SIG_SETMASK", "SIG_UNBLOCK",
+    "Sig", "Sigset", "is_trap",
+]

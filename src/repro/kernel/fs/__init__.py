@@ -1,0 +1,14 @@
+"""File systems: in-memory VFS, open-file objects, /proc."""
+
+from repro.kernel.fs.file import (O_APPEND, O_CREAT, O_NONBLOCK, O_RDONLY,
+                                  O_RDWR, O_TRUNC, O_WRONLY, SEEK_CUR,
+                                  SEEK_END, SEEK_SET, FdTable, OpenFile)
+from repro.kernel.fs.vfs import (Directory, Fifo, Inode, NullDevice,
+                                 RegularFile, TtyDevice, Vfs)
+
+__all__ = [
+    "O_APPEND", "O_CREAT", "O_NONBLOCK", "O_RDONLY", "O_RDWR", "O_TRUNC",
+    "O_WRONLY", "SEEK_CUR", "SEEK_END", "SEEK_SET", "FdTable", "OpenFile",
+    "Directory", "Fifo", "Inode", "NullDevice", "RegularFile", "TtyDevice",
+    "Vfs",
+]

@@ -1,0 +1,124 @@
+"""Open files and descriptor tables.
+
+The structure mirrors UNIX: a per-process descriptor table of small
+integers pointing at system-wide *open file objects*, each of which holds
+the seek offset and flags.  ``dup()`` and ``fork()`` share the open file
+object, so the offset is shared — the paper calls out exactly this hazard
+for threads: "Care must be taken with seeks before reads or writes,
+because another thread could change the seek position before the read or
+write (this is similar to what happens now when a parent and child process
+share a file descriptor)".  Because every thread in a process shares the
+descriptor table itself, "if one thread closes a file, it is closed for
+all threads".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import Errno, SyscallError
+from repro.kernel.fs.vfs import Inode
+
+#: open(2) flags (subset).
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x100
+O_TRUNC = 0x200
+O_APPEND = 0x400
+O_NONBLOCK = 0x800
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+class OpenFile:
+    """A system-wide open file: inode + offset + flags + refcount."""
+
+    def __init__(self, inode: Inode, flags: int):
+        self.inode = inode
+        self.flags = flags
+        self.offset = 0
+        self.refcount = 1
+
+    @property
+    def readable(self) -> bool:
+        return (self.flags & 0x3) in (O_RDONLY, O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return (self.flags & 0x3) in (O_WRONLY, O_RDWR)
+
+    def ref(self) -> "OpenFile":
+        self.refcount += 1
+        return self
+
+    def unref(self) -> int:
+        self.refcount -= 1
+        return self.refcount
+
+    def __repr__(self) -> str:
+        return (f"<OpenFile {self.inode.name} off={self.offset} "
+                f"refs={self.refcount}>")
+
+
+class FdTable:
+    """Per-process file descriptor table (shared by all its threads)."""
+
+    MAX_FDS = 256
+
+    def __init__(self):
+        self._slots: dict[int, OpenFile] = {}
+
+    def allocate(self, of: OpenFile, lowest: int = 0) -> int:
+        """Install an open file at the lowest free descriptor >= lowest."""
+        fd = lowest
+        while fd in self._slots:
+            fd += 1
+        if fd >= self.MAX_FDS:
+            raise SyscallError(Errno.EMFILE, "open")
+        self._slots[fd] = of
+        return fd
+
+    def get(self, fd: int) -> OpenFile:
+        of = self._slots.get(fd)
+        if of is None:
+            raise SyscallError(Errno.EBADF, "fd", f"fd {fd}")
+        return of
+
+    def close(self, fd: int) -> OpenFile:
+        """Remove the descriptor; the caller finalizes if refcount hit 0."""
+        of = self._slots.pop(fd, None)
+        if of is None:
+            raise SyscallError(Errno.EBADF, "close", f"fd {fd}")
+        return of
+
+    def dup(self, fd: int, at: Optional[int] = None) -> int:
+        """dup/dup2: new descriptor sharing the same open file object."""
+        of = self.get(fd)
+        if at is None:
+            return self.allocate(of.ref())
+        if at in self._slots:
+            self.close(at).unref()
+        self._slots[at] = of.ref()
+        return at
+
+    def fork_copy(self) -> "FdTable":
+        """fork(): child shares every open file object (and offset)."""
+        child = FdTable()
+        for fd, of in self._slots.items():
+            child._slots[fd] = of.ref()
+        return child
+
+    def descriptors(self) -> list[int]:
+        return sorted(self._slots)
+
+    def drain(self) -> list[OpenFile]:
+        """Remove and return all open files (process exit)."""
+        files = list(self._slots.values())
+        self._slots.clear()
+        return files
+
+    def __len__(self) -> int:
+        return len(self._slots)

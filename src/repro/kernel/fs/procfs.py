@@ -1,0 +1,89 @@
+"""The /proc file system view of multi-threaded processes.
+
+"The /proc file system has been extended to reflect the changes to the
+process model required by the addition of multi-threading at the process
+level.  Of necessity, a kernel process model interface can provide access
+only to kernel-supported threads of control, namely LWPs.  Debugger
+control of library threads is accomplished by cooperation between the
+debugger and the threads library."
+
+Accordingly, :func:`status_dict` exposes only per-LWP kernel state, while
+:func:`debugger_view` shows how a debugger combines /proc with the
+threads library's user-space data structures to see library threads (the
+[Faulkner 1991] cooperation).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.process import Process
+from repro.sim.clock import to_usec
+
+
+def status_dict(proc: Process) -> dict:
+    """The kernel's /proc/<pid>/status equivalent: LWPs only."""
+    return {
+        "pid": proc.pid,
+        "ppid": proc.parent.pid if proc.parent else 0,
+        "name": proc.name,
+        "state": proc.state.value,
+        "nlwp": len(proc.live_lwps()),
+        "brk": proc.aspace.brk_addr,
+        "mappings": len(proc.aspace.mappings),
+        "lwps": [
+            {
+                "id": lwp.lwp_id,
+                "state": lwp.state.value,
+                "sched_class": lwp.sched_class.value,
+                "priority": lwp.priority,
+                "user_usec": to_usec(lwp.user_ns),
+                "system_usec": to_usec(lwp.system_ns),
+                "channel": (lwp.channel.name
+                            if lwp.channel is not None else None),
+                "sigmask": [s.name for s in lwp.sigmask.signals()],
+                "sigpending": [s.name for s in lwp.pending.signals()],
+            }
+            for lwp in proc.live_lwps()
+        ],
+    }
+
+
+def status_text(proc: Process) -> str:
+    """Rendered /proc/<pid>/status, one LWP per line."""
+    head = (f"pid:\t{proc.pid}\nname:\t{proc.name}\n"
+            f"state:\t{proc.state.value}\n"
+            f"nlwp:\t{len(proc.live_lwps())}\n")
+    lines = []
+    for lwp in proc.live_lwps():
+        chan = lwp.channel.name if lwp.channel is not None else "-"
+        lines.append(
+            f"  lwp {lwp.lwp_id}: {lwp.state.value} "
+            f"class={lwp.sched_class.value} prio={lwp.priority} "
+            f"chan={chan} "
+            f"utime={to_usec(lwp.user_ns):.0f}us "
+            f"stime={to_usec(lwp.system_ns):.0f}us")
+    return head + "\n".join(lines) + ("\n" if lines else "")
+
+
+def debugger_view(proc: Process) -> dict:
+    """What a debugger sees after joining /proc with the threads library.
+
+    The kernel half lists LWPs; the user half (read out of the process's
+    address space with the library's cooperation) lists threads and their
+    current LWP assignment.
+    """
+    view = status_dict(proc)
+    lib = proc.threadlib
+    if lib is None:
+        view["threads"] = []
+        return view
+    view["threads"] = [
+        {
+            "id": t.thread_id,
+            "state": t.state.value,
+            "bound": t.bound,
+            "priority": t.priority,
+            "lwp": (t.lwp.lwp_id if t.lwp is not None else None),
+        }
+        for t in lib.all_threads()
+    ]
+    return view

@@ -1,0 +1,7 @@
+"""Kernel scheduling: dispatcher, run queues, scheduling classes."""
+
+from repro.kernel.sched.classes import GangGroup
+from repro.kernel.sched.dispatcher import Dispatcher
+from repro.kernel.sched.runqueue import RunQueue
+
+__all__ = ["GangGroup", "Dispatcher", "RunQueue"]

@@ -1,0 +1,71 @@
+"""Scheduling class policies.
+
+The paper lists "scheduling class and priority" as per-LWP state, mentions
+that LWPs "can change their scheduling class and class priority via the
+priocntl() system call", introduces "a new scheduling class for 'gang'
+scheduling ... for implementations of fine grain parallelism", and lets an
+LWP "ask to be bound to a CPU, depending on the scheduling class".
+
+Policies here are deliberately simple but real:
+
+* **TIMESHARE** — round-robin with a fixed quantum; priorities decay one
+  step per expired quantum and recover on sleep, the classic UNIX feedback
+  rule.
+* **REALTIME** — fixed priority, runs until it blocks or a higher-priority
+  LWP appears.  Sits above every timeshare priority.
+* **GANG** — timeshare-like, but members of one gang are co-dispatched
+  onto idle CPUs whenever one member is dispatched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.lwp import Lwp, SchedClass, PRIO_MIN, PRIO_MAX
+
+
+class GangGroup:
+    """A set of LWPs that want to run simultaneously."""
+
+    _counter = 0
+
+    def __init__(self):
+        GangGroup._counter += 1
+        self.gang_id = GangGroup._counter
+        self.members: list[Lwp] = []
+
+    def add(self, lwp: Lwp) -> None:
+        if lwp not in self.members:
+            self.members.append(lwp)
+            lwp.gang = self
+            lwp.sched_class = SchedClass.GANG
+
+    def remove(self, lwp: Lwp) -> None:
+        if lwp in self.members:
+            self.members.remove(lwp)
+            lwp.gang = None
+
+
+def quantum_ns(lwp: Lwp, base_quantum_ns: int) -> Optional[int]:
+    """Quantum for one dispatch of ``lwp``; None means no quantum (RT runs
+    until it blocks or is preempted by higher priority)."""
+    if lwp.sched_class is SchedClass.REALTIME:
+        return None
+    # Lower-priority timeshare LWPs get longer quanta (classic SVR4 TS
+    # table shape: cheap compensation for running less often).
+    if lwp.sched_class is SchedClass.TIMESHARE:
+        scale = 1 + (PRIO_MAX - lwp.priority) // 20
+        return base_quantum_ns * scale
+    return base_quantum_ns
+
+
+def on_quantum_expired(lwp: Lwp) -> None:
+    """Feedback: a CPU hog drifts to lower timeshare priority."""
+    if lwp.sched_class is SchedClass.TIMESHARE and lwp.priority > PRIO_MIN:
+        lwp.priority -= 1
+
+
+def on_sleep_return(lwp: Lwp) -> None:
+    """Feedback: interactive behaviour recovers priority."""
+    if lwp.sched_class is SchedClass.TIMESHARE and lwp.priority < PRIO_MAX:
+        lwp.priority += 1

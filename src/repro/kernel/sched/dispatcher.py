@@ -1,0 +1,168 @@
+"""The kernel dispatcher: places runnable LWPs onto CPUs.
+
+"All the LWPs in the system are scheduled by the kernel onto the available
+CPU resources according to their scheduling class and priority."  The
+dispatcher owns the run queue, quantum timers, priority preemption, CPU
+binding, and gang co-dispatch.  It knows nothing about user threads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.lwp import Lwp, LwpState
+from repro.kernel.sched import classes
+from repro.kernel.sched.runqueue import RunQueue
+
+
+class Dispatcher:
+    """Global dispatcher over all CPUs of the machine."""
+
+    def __init__(self, machine, tracer=None):
+        self.machine = machine
+        self.engine = machine.engine
+        self.costs = machine.costs
+        self.runqueue = RunQueue()
+        # Per-CPU quantum expiry events, indexed by cpu.index.
+        self._quantum_events: dict[int, object] = {}
+        # Statistics.
+        self.preemptions = 0
+        self.voluntary_switches = 0
+
+    # ------------------------------------------------------------ entry
+
+    def make_runnable(self, lwp: Lwp, front: bool = False) -> None:
+        """An LWP became ready: queue it and place it if possible."""
+        if lwp.state is LwpState.RUNNING:
+            return
+        lwp.state = LwpState.RUNNABLE
+        self.runqueue.insert(lwp, front=front)
+        self._place(lwp)
+
+    def cpu_idle(self, cpu) -> None:
+        """A CPU has nothing to run; give it the best eligible LWP."""
+        if cpu.lwp is not None:
+            # Someone already placed work here (a wakeup raced the block
+            # path); nothing to do.
+            return
+        self._clear_quantum(cpu)
+        lwp = self.runqueue.pick(lambda l: self._eligible(l, cpu))
+        if lwp is not None:
+            self._dispatch(cpu, lwp)
+
+    def on_preempted(self, lwp: Lwp) -> None:
+        """CPU yielded this LWP back (quantum expiry / priority preempt)."""
+        self.preemptions += 1
+        if lwp.stop_pending:
+            # A stop (SIGSTOP / lwp_suspend) was waiting for the LWP to
+            # come off its CPU.
+            lwp.stop_pending = False
+            lwp.state = LwpState.STOPPED
+            self.refill_idle_cpus()
+            return
+        classes.on_quantum_expired(lwp)
+        lwp.state = LwpState.RUNNABLE
+        self.runqueue.insert(lwp, front=False)
+        # Refill every idle CPU: the preempted LWP may only be eligible on
+        # some other CPU (it may have just bound itself elsewhere).
+        self.refill_idle_cpus()
+
+    def refill_idle_cpus(self) -> None:
+        for cpu in self.machine.cpus:
+            if cpu.idle:
+                self.cpu_idle(cpu)
+
+    def remove(self, lwp: Lwp) -> None:
+        """Pull a queued LWP out (stopped or killed before running)."""
+        self.runqueue.remove(lwp)
+
+    # ------------------------------------------------------------ placing
+
+    def _eligible(self, lwp: Lwp, cpu) -> bool:
+        return lwp.bound_cpu is None or lwp.bound_cpu is cpu
+
+    def _place(self, lwp: Lwp) -> None:
+        """Try to run a newly queued LWP right now."""
+        # First choice: an idle CPU it may use.
+        for cpu in self.machine.cpus:
+            if cpu.idle and self._eligible(lwp, cpu):
+                picked = self.runqueue.pick(
+                    lambda l: self._eligible(l, cpu))
+                if picked is not None:
+                    self._dispatch(cpu, picked)
+                # If `picked` wasn't `lwp`, someone better went first; the
+                # queue keeps `lwp` for the next opening.
+                return
+        # Otherwise: preempt the lowest-priority running LWP if we beat it.
+        victim_cpu = None
+        victim_prio = lwp.effective_priority
+        for cpu in self.machine.cpus:
+            running = cpu.lwp
+            if running is None or not self._eligible(lwp, cpu):
+                continue
+            if running.effective_priority < victim_prio:
+                victim_prio = running.effective_priority
+                victim_cpu = cpu
+        if victim_cpu is not None:
+            victim_cpu.request_preempt()
+
+    def _dispatch(self, cpu, lwp: Lwp) -> None:
+        lwp.state = LwpState.RUNNING
+        cpu.assign(lwp)
+        self._arm_quantum(cpu, lwp)
+        if lwp.gang is not None:
+            self._codispatch_gang(lwp)
+
+    def _codispatch_gang(self, leader: Lwp) -> None:
+        """Gang scheduling: pull the leader's gang-mates onto idle CPUs."""
+        for member in leader.gang.members:
+            if member is leader or member.state is not LwpState.RUNNABLE:
+                continue
+            for cpu in self.machine.cpus:
+                if cpu.idle and self._eligible(member, cpu):
+                    if self.runqueue.remove(member):
+                        self._dispatch(cpu, member)
+                    break
+
+    # ------------------------------------------------------------ quantum
+
+    def _arm_quantum(self, cpu, lwp: Lwp) -> None:
+        self._clear_quantum(cpu)
+        q = classes.quantum_ns(lwp, self.costs.timeslice)
+        if q is None:
+            return
+        self._quantum_events[cpu.index] = self.engine.call_after(
+            q, lambda: self._quantum_expired(cpu, lwp), tag="quantum")
+
+    def _clear_quantum(self, cpu) -> None:
+        ev = self._quantum_events.pop(cpu.index, None)
+        if ev is not None:
+            self.engine.cancel(ev)
+
+    def _quantum_expired(self, cpu, lwp: Lwp) -> None:
+        self._quantum_events.pop(cpu.index, None)
+        if cpu.lwp is not lwp:
+            return  # it already left this CPU
+        # Round-robin only if somebody comparable is waiting; otherwise
+        # let it keep running (no useless switch).
+        best = self.runqueue.best_priority()
+        if best is None:
+            self._arm_quantum(cpu, lwp)
+            return
+        if best >= lwp.effective_priority:
+            # Round-robin at equal priority; a waiting higher-priority LWP
+            # always wins.
+            cpu.request_preempt()
+        else:
+            self._arm_quantum(cpu, lwp)
+
+    # ------------------------------------------------------------- stats
+
+    def runnable_count(self) -> int:
+        return len(self.runqueue)
+
+    def describe_blocked(self) -> Optional[str]:
+        """Used by the engine's deadlock check via the kernel."""
+        if len(self.runqueue) == 0:
+            return None
+        return f"{len(self.runqueue)} LWPs runnable but no CPU picked them"

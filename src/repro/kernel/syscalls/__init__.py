@@ -1,0 +1,37 @@
+"""System call registry.
+
+Each handler is registered by name with the :func:`syscall` decorator and
+receives ``(ctx, *args, **kwargs)`` where ``ctx`` is the
+:class:`repro.hw.cpu.ExecContext` of the trapping LWP.  Handlers are
+generator functions: they ``yield Charge(...)`` for service time and
+``yield Block(...)`` to sleep the LWP; their return value is the system
+call's result.  Failures raise :class:`repro.errors.SyscallError`.
+
+The base interface is SVID3 with the paper's additions: ``fork1``,
+``SIGWAITING``, the LWP calls, and the kernel half of process-shared
+synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+SYSCALLS: dict[str, Callable] = {}
+
+
+def syscall(name: str):
+    """Register a handler under ``name``."""
+    def register(fn: Callable) -> Callable:
+        if name in SYSCALLS:
+            raise ValueError(f"duplicate syscall {name}")
+        SYSCALLS[name] = fn
+        return fn
+    return register
+
+
+# Importing the modules populates the registry.
+from repro.kernel.syscalls import (file_calls, lwp_calls, mem_calls,  # noqa: E402,F401
+                                   misc_calls, proc_calls, signal_calls,
+                                   time_calls)
+
+__all__ = ["SYSCALLS", "syscall"]

@@ -1,0 +1,200 @@
+"""Resource usage, limits, profiling, polling, and /proc access."""
+
+from __future__ import annotations
+
+from repro.errors import Errno, SyscallError
+from repro.hw.isa import Block, Charge
+from repro.kernel.fs.vfs import TtyDevice
+from repro.kernel.profil import ProfilingBuffer, ProfilingState
+from repro.kernel.syscalls import syscall
+
+RUSAGE_SELF = 0
+RUSAGE_CHILDREN = -1
+RUSAGE_LWP = 1
+
+RLIMIT_CPU = 0
+RLIMIT_FSIZE = 1
+RLIMIT_NOFILE = 5
+
+
+@syscall("getrusage")
+def sys_getrusage(ctx, who: int = RUSAGE_SELF):
+    """Resource usage: "the sum of the resource usage (including CPU
+    usage) for all LWPs in the process is available via getrusage()"."""
+    yield Charge(ctx.costs.syscall_service_trivial)
+    if who == RUSAGE_SELF:
+        return ctx.process.rusage()
+    if who == RUSAGE_CHILDREN:
+        return ctx.process.rusage_children()
+    if who == RUSAGE_LWP:
+        lwp = ctx.lwp
+        return {"user_ns": lwp.user_ns, "system_ns": lwp.system_ns,
+                "total_ns": lwp.cpu_ns, "nlwp": 1}
+    raise SyscallError(Errno.EINVAL, "getrusage", f"who {who}")
+
+
+@syscall("setrlimit")
+def sys_setrlimit(ctx, resource: int, limit):
+    yield Charge(ctx.costs.syscall_service_trivial)
+    rl = ctx.process.rlimits
+    if resource == RLIMIT_CPU:
+        rl.cpu_ns = limit
+    elif resource == RLIMIT_FSIZE:
+        rl.fsize_bytes = limit
+    elif resource == RLIMIT_NOFILE:
+        rl.nofile = int(limit)
+    else:
+        raise SyscallError(Errno.EINVAL, "setrlimit",
+                           f"resource {resource}")
+    return 0
+
+
+@syscall("getrlimit")
+def sys_getrlimit(ctx, resource: int):
+    yield Charge(ctx.costs.syscall_service_trivial)
+    rl = ctx.process.rlimits
+    if resource == RLIMIT_CPU:
+        return rl.cpu_ns
+    if resource == RLIMIT_FSIZE:
+        return rl.fsize_bytes
+    if resource == RLIMIT_NOFILE:
+        return rl.nofile
+    raise SyscallError(Errno.EINVAL, "getrlimit", f"resource {resource}")
+
+
+@syscall("profil")
+def sys_profil(ctx, buffer: ProfilingBuffer = None, enable: bool = True):
+    """Attach the calling LWP to a profiling buffer (shared or private).
+
+    Passing no buffer creates a private one; returns the buffer so the
+    program can read the histogram.
+    """
+    yield Charge(ctx.costs.syscall_service_trivial)
+    lwp = ctx.lwp
+    if not enable:
+        if lwp.profiling is not None:
+            lwp.profiling.enabled = False
+        return None
+    if buffer is None:
+        buffer = ProfilingBuffer(name=f"{lwp.name}:prof")
+    lwp.profiling = ProfilingState(buffer)
+    return buffer
+
+
+@syscall("poll")
+def sys_poll(ctx, fd: int):
+    """Wait for input on a descriptor — the paper's example of an
+    "indefinite, external event" (SIGWAITING territory)."""
+    of = ctx.process.fdtable.get(fd)
+    inode = of.inode
+    yield Charge(ctx.costs.syscall_service_trivial)
+    if isinstance(inode, TtyDevice):
+        while not inode.input_buffer:
+            yield Block(inode.read_channel, interruptible=True,
+                        indefinite=True)
+        return 1
+    # Everything else in our VFS is always ready.
+    return 1
+
+
+def _readable_now(inode) -> bool:
+    """Readiness predicate for select/poll."""
+    from repro.kernel.fs.vfs import Fifo, NullDevice, ProcNode, RegularFile
+    if isinstance(inode, TtyDevice):
+        return bool(inode.input_buffer)
+    if isinstance(inode, Fifo):
+        return bool(inode.buffer) or inode.writers == 0
+    if isinstance(inode, (RegularFile, NullDevice, ProcNode)):
+        return True
+    return True
+
+
+def _read_channel_of(inode):
+    from repro.kernel.fs.vfs import Fifo
+    if isinstance(inode, TtyDevice):
+        return inode.read_channel
+    if isinstance(inode, Fifo):
+        return inode.read_channel
+    return None
+
+
+@syscall("select")
+def sys_select(ctx, fds, timeout_ns=None):
+    """Wait until any of ``fds`` is readable; returns the ready list.
+
+    With no timeout this is an indefinite, external wait (SIGWAITING
+    territory, like the paper's poll() example).  A zero timeout is a
+    pure readiness probe.  The LWP sleeps on *all* the descriptors' wait
+    channels at once; the first wakeup resumes it.
+    """
+    from repro.hw.isa import WaitChannel
+    kernel = ctx.kernel
+    proc = ctx.process
+    yield Charge(ctx.costs.syscall_service_trivial)
+    opens = [(fd, proc.fdtable.get(fd)) for fd in fds]
+
+    deadline = (kernel.engine.now_ns + timeout_ns
+                if timeout_ns is not None else None)
+    while True:
+        ready = [fd for fd, of in opens if _readable_now(of.inode)]
+        if ready:
+            return ready
+        if deadline is not None and kernel.engine.now_ns >= deadline:
+            return []
+        channels = []
+        for _fd, of in opens:
+            chan = _read_channel_of(of.inode)
+            if chan is not None and chan not in channels:
+                channels.append(chan)
+        timer_event = None
+        if deadline is not None:
+            tchan = WaitChannel(f"{ctx.lwp.name}:selecttmo")
+            channels.append(tchan)
+            timer_event = kernel.engine.call_after(
+                deadline - kernel.engine.now_ns,
+                lambda: kernel.wakeup_one(tchan) if tchan.waiters
+                else None,
+                tag="select-timeout")
+        if not channels:
+            return []
+        try:
+            yield Block(channels, interruptible=True,
+                        indefinite=deadline is None)
+        finally:
+            if timer_event is not None:
+                kernel.engine.cancel(timer_event)
+
+
+@syscall("yield")
+def sys_yield(ctx):
+    """Voluntarily surrender the CPU (LWP-level sched_yield)."""
+    yield Charge(ctx.costs.syscall_service_trivial)
+    dispatcher = ctx.kernel.dispatcher
+    if dispatcher.runnable_count() > 0 and ctx.lwp.cpu is not None:
+        dispatcher.voluntary_switches += 1
+        ctx.lwp.cpu.request_preempt()
+    return 0
+
+
+@syscall("proc_status")
+def sys_proc_status(ctx, pid: int = 0):
+    """Read another process's /proc status (debugger interface).
+
+    Returns the parsed form; :mod:`repro.kernel.fs.procfs` renders the
+    text the way /proc would expose it.
+    """
+    yield Charge(ctx.costs.file_op_service)
+    from repro.kernel.fs import procfs
+    target = ctx.kernel.process_by_pid(pid or ctx.process.pid)
+    return procfs.status_dict(target)
+
+
+@syscall("uname")
+def sys_uname(ctx):
+    yield Charge(ctx.costs.syscall_service_trivial)
+    return {
+        "sysname": "SunOS-repro",
+        "release": "5.0-sim",
+        "machine": "sim-sparc",
+        "ncpus": ctx.kernel.machine.ncpus,
+    }

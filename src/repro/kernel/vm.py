@@ -1,0 +1,198 @@
+"""Virtual memory: address spaces and mappings.
+
+A UNIX process in the paper "consists mainly of an address space and a set
+of lightweight processes that share that address space".  The address
+space is a list of mappings from virtual address ranges onto
+:class:`~repro.hw.memory.MemoryObject` ranges.  ``MAP_SHARED`` mappings of
+the same object alias the same underlying cells — which is exactly what
+lets synchronization variables in shared memory or in mapped files
+synchronize threads across processes "even though they are mapped at
+different virtual addresses".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import Errno, SyscallError
+from repro.hw.memory import PAGE_SIZE, MemoryObject, PhysicalMemory, page_count
+
+#: mmap flags (subset).
+MAP_SHARED = 0x1
+MAP_PRIVATE = 0x2
+
+#: protections.
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+PROT_EXEC = 0x4
+
+
+@dataclasses.dataclass
+class Mapping:
+    """One virtual address range mapped onto part of a memory object."""
+
+    vaddr: int
+    length: int
+    mobj: MemoryObject
+    obj_offset: int
+    shared: bool
+    prot: int
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + self.length
+
+    def contains(self, vaddr: int) -> bool:
+        return self.vaddr <= vaddr < self.end
+
+    def translate(self, vaddr: int) -> tuple[MemoryObject, int]:
+        """Virtual address -> (object, object offset)."""
+        return self.mobj, self.obj_offset + (vaddr - self.vaddr)
+
+
+class AddressSpace:
+    """The mappings of one process.
+
+    Virtual layout (loosely SunOS-ish): text+data at low addresses, the
+    heap (grown by brk/sbrk) above them, mmap regions allocated downward
+    from a high watermark, stacks allocated by the threads library out of
+    heap or mmap memory — the paper is explicit that "Programs must not
+    make assumptions about 'the' stack, because there may be several".
+    """
+
+    HEAP_BASE = 0x0100_0000
+    MMAP_BASE = 0x2000_0000
+
+    def __init__(self, memory: PhysicalMemory, name: str = ""):
+        self.memory = memory
+        self.name = name
+        self.mappings: list[Mapping] = []
+        # The heap: one private anonymous object grown by brk.
+        self._heap = memory.allocate(0, name=f"{name}:heap", resident=True)
+        self.brk_addr = self.HEAP_BASE
+        self.mappings.append(Mapping(
+            vaddr=self.HEAP_BASE, length=0, mobj=self._heap, obj_offset=0,
+            shared=False, prot=PROT_READ | PROT_WRITE, name="heap"))
+        self._mmap_next = self.MMAP_BASE
+
+    # ------------------------------------------------------------ lookup
+
+    def find(self, vaddr: int) -> Optional[Mapping]:
+        for m in self.mappings:
+            if m.contains(vaddr):
+                return m
+        return None
+
+    def resolve(self, vaddr: int) -> tuple[MemoryObject, int]:
+        """Translate or fault: unmapped addresses raise EFAULT (SIGSEGV
+        territory; the syscall layer converts as appropriate)."""
+        m = self.find(vaddr)
+        if m is None:
+            raise SyscallError(Errno.EFAULT, "vm",
+                               f"unmapped address {hex(vaddr)}")
+        return m.translate(vaddr)
+
+    # -------------------------------------------------------------- brk
+
+    def heap_mapping(self) -> Mapping:
+        return self.mappings[0]
+
+    def set_brk(self, new_brk: int) -> int:
+        """Grow (or shrink the claim on) the heap; returns the new brk."""
+        if new_brk < self.HEAP_BASE:
+            raise SyscallError(Errno.EINVAL, "brk", "below heap base")
+        size = new_brk - self.HEAP_BASE
+        if size > self._heap.nbytes:
+            grow = size - self._heap.nbytes
+            if grow > self.memory.free_bytes:
+                raise SyscallError(Errno.ENOMEM, "brk")
+            self._heap.grow(size)
+            self.memory.allocated_bytes += grow
+            for page in range(page_count(size)):
+                self._heap.make_resident(page)
+        self.brk_addr = new_brk
+        self.heap_mapping().length = size
+        return self.brk_addr
+
+    def sbrk(self, incr: int) -> int:
+        """Grow the heap by ``incr``; returns the old break."""
+        old = self.brk_addr
+        self.set_brk(self.brk_addr + incr)
+        return old
+
+    # -------------------------------------------------------------- mmap
+
+    def map_object(self, mobj: MemoryObject, length: int, shared: bool,
+                   obj_offset: int = 0, prot: int = PROT_READ | PROT_WRITE,
+                   name: str = "") -> Mapping:
+        """Map ``length`` bytes of ``mobj`` at a fresh virtual address."""
+        if length <= 0:
+            raise SyscallError(Errno.EINVAL, "mmap", "bad length")
+        if obj_offset % PAGE_SIZE != 0:
+            raise SyscallError(Errno.EINVAL, "mmap", "unaligned offset")
+        vaddr = self._mmap_next
+        # Round the region up to whole pages, like real mmap.
+        span = page_count(length) * PAGE_SIZE
+        self._mmap_next += span + PAGE_SIZE  # guard page between regions
+        m = Mapping(vaddr=vaddr, length=span, mobj=mobj,
+                    obj_offset=obj_offset, shared=shared, prot=prot,
+                    name=name or mobj.name)
+        self.mappings.append(m)
+        return m
+
+    def unmap(self, vaddr: int) -> Mapping:
+        """Remove the mapping containing ``vaddr``."""
+        m = self.find(vaddr)
+        if m is None or m.name == "heap":
+            raise SyscallError(Errno.EINVAL, "munmap", "not mapped")
+        self.mappings.remove(m)
+        return m
+
+    # -------------------------------------------------------------- fork
+
+    def fork_copy(self, name: str = "") -> "AddressSpace":
+        """Duplicate for fork().
+
+        Shared mappings alias the same object; private mappings (including
+        the heap) are copied — cells and bytes both — so the child sees a
+        snapshot, as fork semantics demand.  The *cost* of the copy is
+        charged by the fork syscall handler, not here.
+        """
+        child = AddressSpace(self.memory, name=name)
+        # Copy heap contents.
+        child._heap.grow(self._heap.nbytes)
+        child.memory.allocated_bytes += self._heap.nbytes
+        child._heap.data[:] = self._heap.data
+        child._heap.cells = dict(self._heap.cells)
+        child._heap.resident = set(self._heap.resident)
+        child.brk_addr = self.brk_addr
+        child.heap_mapping().length = self.heap_mapping().length
+        child._mmap_next = self._mmap_next
+        for m in self.mappings[1:]:
+            if m.shared:
+                child.mappings.append(dataclasses.replace(m))
+            else:
+                copy = self.memory.allocate(
+                    m.mobj.nbytes, name=f"{m.mobj.name}:cow", resident=True)
+                copy.data[:] = m.mobj.data
+                copy.cells = dict(m.mobj.cells)
+                child.mappings.append(dataclasses.replace(
+                    m, mobj=copy, obj_offset=m.obj_offset))
+        return child
+
+    # ------------------------------------------------------------- stats
+
+    @property
+    def resident_pages(self) -> int:
+        objs = {m.mobj for m in self.mappings}
+        return sum(len(o.resident) for o in objs)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(m.length for m in self.mappings)
+
+    def __repr__(self) -> str:
+        return (f"<AddressSpace {self.name}: {len(self.mappings)} mappings, "
+                f"brk={hex(self.brk_addr)}>")

@@ -1,0 +1,16 @@
+"""Comparison thread models from the paper's final section.
+
+* :mod:`repro.models.liblwp` — SunOS 4.0 user-level-only package (whole
+  process blocks on any kernel wait).
+* :mod:`repro.models.kernel_only` — 1:1 threads (every thread is a bound
+  LWP), the Mach-2.5-style configuration.
+* :mod:`repro.models.activations` — scheduler-activations-style upcalls
+  on every kernel block (the University of Washington comparison).
+
+The SunOS M:N architecture itself is the default runtime
+(:mod:`repro.threads.runtime`).
+"""
+
+from repro.models import activations, kernel_only, liblwp
+
+__all__ = ["activations", "kernel_only", "liblwp"]

@@ -1,0 +1,62 @@
+"""The kernel-threads-only (1:1) model.
+
+Mach 2.5 C Threads could be built to "map threads directly to
+kernel-supported threads"; the paper argues this makes applications like
+a window system "much less efficient", because every thread consumes
+kernel memory and every operation crosses the protection boundary.
+
+In this model every thread is created with ``THREAD_BIND_LWP``, so each
+has a dedicated kernel LWP: creation pays ``lwp_create``, blocking pays
+park/unpark, and per-thread kernel memory grows linearly with thread
+count.  Benchmark ABL1 compares it with M:N on the window-system
+workload.
+"""
+
+from __future__ import annotations
+
+from repro.hw.isa import GetContext
+from repro.threads import api as thread_api
+from repro.threads.thread import THREAD_BIND_LWP
+
+#: Modeled kernel memory per LWP (kernel stack + LWP struct), used for
+#: footprint accounting.  SunOS-era kernel stacks were 8K plus control
+#: state.
+KERNEL_BYTES_PER_LWP = 8 * 1024 + 512
+
+
+def thread_create(func, arg=None, flags: int = 0, **kwargs):
+    """Create a thread under the 1:1 model (always bound to a new LWP)."""
+    tid = yield from thread_api.thread_create(
+        func, arg, flags=flags | THREAD_BIND_LWP, **kwargs)
+    return tid
+
+
+def kernel_memory_bytes(process) -> int:
+    """Kernel memory consumed by a process's threads under this model."""
+    return len(process.live_lwps()) * KERNEL_BYTES_PER_LWP
+
+
+def footprint(process) -> dict:
+    """Memory/resource footprint snapshot for comparisons (ABL1)."""
+    lib = process.threadlib
+    ctx_threads = lib.live_count() if lib is not None else 0
+    return {
+        "threads": ctx_threads,
+        "lwps": len(process.live_lwps()),
+        "kernel_bytes": kernel_memory_bytes(process),
+        "user_stack_bytes": (lib.stack_alloc.allocated_bytes
+                             if lib is not None else 0),
+    }
+
+
+def current_model(ctx_or_none=None):
+    """Generator: describe the effective model of the calling process."""
+    ctx = yield GetContext()
+    lib = ctx.process.threadlib
+    bound = sum(1 for t in lib.all_threads() if t.bound)
+    total = len(lib.all_threads())
+    if total and bound == total:
+        return "1:1"
+    if len(lib.pool_lwps) <= 1 and bound == 0:
+        return "user-only"
+    return "M:N"

@@ -1,0 +1,38 @@
+"""POSIX P1003.4a-style pthreads, implemented over SunOS threads.
+
+The paper's summary claims: "A minimalist translation of the UNIX
+environment to threads allows higher-level interfaces such as POSIX
+Pthreads to be implemented on top of SunOS threads."  This package is
+that layering, exercised for real: every pthread facility here is built
+from the Figure 4 primitives (`thread_create`, `thread_wait`, mutexes,
+condition variables, TLS) with no new kernel or library mechanisms.
+
+Deliberately pre-Draft-10-flavoured where the paper notes differences:
+thread-specific data is layered on TLS, the process-shared attribute maps
+to THREAD_SYNC_SHARED, and scheduling scope maps to the bound/unbound
+distinction (PTHREAD_SCOPE_SYSTEM = a bound thread).
+"""
+
+from repro.pthreads.api import (PTHREAD_CANCELED, PTHREAD_PROCESS_PRIVATE,
+                                PTHREAD_PROCESS_SHARED,
+                                PTHREAD_SCOPE_PROCESS,
+                                PTHREAD_SCOPE_SYSTEM, Pthread,
+                                PthreadAttr, pthread_create,
+                                pthread_detach, pthread_equal,
+                                pthread_exit, pthread_join, pthread_once,
+                                pthread_self, pthread_yield)
+from repro.pthreads.sync import (PthreadCond, PthreadCondAttr,
+                                 PthreadMutex, PthreadMutexAttr)
+from repro.pthreads.tsd import (pthread_getspecific, pthread_key_create,
+                                pthread_key_delete, pthread_setspecific)
+
+__all__ = [
+    "PTHREAD_CANCELED", "PTHREAD_PROCESS_PRIVATE",
+    "PTHREAD_PROCESS_SHARED", "PTHREAD_SCOPE_PROCESS",
+    "PTHREAD_SCOPE_SYSTEM", "Pthread", "PthreadAttr",
+    "pthread_create", "pthread_detach", "pthread_equal", "pthread_exit",
+    "pthread_join", "pthread_once", "pthread_self", "pthread_yield",
+    "PthreadCond", "PthreadCondAttr", "PthreadMutex", "PthreadMutexAttr",
+    "pthread_getspecific", "pthread_key_create", "pthread_key_delete",
+    "pthread_setspecific",
+]

@@ -1,0 +1,180 @@
+"""pthread thread management, layered on the Figure 4 interfaces."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ThreadError
+from repro import threads
+
+#: Return value of a cancelled thread (cancellation itself is modeled as
+#: cooperative pthread_exit, matching the paper's Mach-IPC critique that
+#: forced interruption needs signals).
+PTHREAD_CANCELED = object()
+
+PTHREAD_CREATE_JOINABLE = 0
+PTHREAD_CREATE_DETACHED = 1
+
+#: Contention scope: SYSTEM = bound to its own LWP (kernel-scheduled),
+#: PROCESS = unbound (library-scheduled).  The pthreads draft's two-level
+#: scheduling maps exactly onto the paper's bound/unbound distinction.
+PTHREAD_SCOPE_PROCESS = 0
+PTHREAD_SCOPE_SYSTEM = 1
+
+PTHREAD_PROCESS_PRIVATE = 0
+PTHREAD_PROCESS_SHARED = 1
+
+
+class PthreadAttr:
+    """pthread_attr_t: creation attributes."""
+
+    def __init__(self, detachstate: int = PTHREAD_CREATE_JOINABLE,
+                 scope: int = PTHREAD_SCOPE_PROCESS,
+                 stacksize: int = 0,
+                 stackaddr: Optional[int] = None,
+                 priority: Optional[int] = None):
+        self.detachstate = detachstate
+        self.scope = scope
+        self.stacksize = stacksize
+        self.stackaddr = stackaddr
+        self.priority = priority
+
+
+class Pthread:
+    """pthread_t: the handle pthread_create returns."""
+
+    def __init__(self, tid: int, detached: bool):
+        self.tid = tid
+        self.detached = detached
+        self.retval: Any = None
+        self.finished = False
+
+    def __repr__(self) -> str:
+        state = "detached" if self.detached else "joinable"
+        return f"<Pthread {self.tid} {state}>"
+
+
+class _PthreadExit(Exception):
+    """Internal: unwinds a pthread body on pthread_exit(value)."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+def pthread_create(start_routine: Callable, arg: Any = None,
+                   attr: Optional[PthreadAttr] = None):
+    """Generator: create a pthread running ``start_routine(arg)``.
+
+    Returns the :class:`Pthread` handle.  Scope SYSTEM creates a bound
+    thread (its own LWP); scope PROCESS an unbound one.
+    """
+    attr = attr or PthreadAttr()
+    detached = attr.detachstate == PTHREAD_CREATE_DETACHED
+    handle_box: dict = {}
+
+    def body(_arg):
+        handle = handle_box["handle"]
+        try:
+            result = yield from _as_gen(start_routine, arg)
+        except _PthreadExit as stop:
+            result = stop.value
+        handle.retval = result
+        handle.finished = True
+
+    flags = 0 if detached else threads.THREAD_WAIT
+    if attr.scope == PTHREAD_SCOPE_SYSTEM:
+        flags |= threads.THREAD_BIND_LWP
+    tid = yield from threads.thread_create(
+        body, None, flags=flags,
+        stack_addr=attr.stackaddr, stack_size=attr.stacksize)
+    handle = Pthread(tid, detached)
+    handle_box["handle"] = handle
+    if attr.priority is not None:
+        yield from threads.thread_priority(tid, attr.priority)
+    return handle
+
+
+def _as_gen(fn, arg):
+    from repro.hw.context import as_generator
+    result = yield from as_generator(fn, arg)
+    return result
+
+
+def pthread_join(thread: Pthread):
+    """Generator: wait for ``thread``; returns its return value."""
+    if thread.detached:
+        raise ThreadError("pthread_join of a detached thread")
+    yield from threads.thread_wait(thread.tid)
+    return thread.retval
+
+
+def pthread_detach(thread: Pthread):
+    """Generator: give up join rights; resources recycle at exit.
+
+    Implemented the way a threads-library would: a tiny reaper thread
+    performs the thread_wait, so the THREAD_WAIT id is recycled without
+    anyone blocking for it.  (A detached-at-creation pthread skips even
+    that: it is created without THREAD_WAIT.)
+    """
+    if thread.detached:
+        return
+    thread.detached = True
+
+    def reaper(_):
+        yield from threads.thread_wait(thread.tid)
+
+    yield from threads.thread_create(reaper, None)
+
+
+def pthread_exit(value: Any = None):
+    """Terminate the calling pthread with ``value`` for its joiner.
+
+    Never returns (raises through the body wrapper).
+    """
+    raise _PthreadExit(value)
+    yield  # pragma: no cover - keeps this a generator function
+
+
+def pthread_self():
+    """Generator: the calling thread's id (pthread_t comparison key)."""
+    tid = yield from threads.thread_get_id()
+    return tid
+
+
+def pthread_equal(a, b) -> bool:
+    """Compare two pthread identities (handles or raw ids)."""
+    ta = a.tid if isinstance(a, Pthread) else a
+    tb = b.tid if isinstance(b, Pthread) else b
+    return ta == tb
+
+
+def pthread_yield():
+    """Generator: sched_yield for threads."""
+    yield from threads.thread_yield()
+
+
+class _OnceControl:
+    __slots__ = ("done", "mutex")
+
+    def __init__(self):
+        from repro.sync import Mutex
+        self.done = False
+        self.mutex = Mutex(name="pthread_once")
+
+
+def pthread_once_init() -> _OnceControl:
+    """PTHREAD_ONCE_INIT equivalent."""
+    return _OnceControl()
+
+
+def pthread_once(once: _OnceControl, init_routine: Callable):
+    """Generator: run ``init_routine`` exactly once across all threads."""
+    if once.done:  # fast path, no lock
+        return
+    yield from once.mutex.enter()
+    try:
+        if not once.done:
+            yield from _as_gen(lambda _: init_routine(), None)
+            once.done = True
+    finally:
+        yield from once.mutex.exit()

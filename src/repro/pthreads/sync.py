@@ -1,0 +1,132 @@
+"""pthread mutexes and condition variables over the SunOS primitives.
+
+The process-shared attribute (missing from the draft standard's
+interaction with mapped files, the paper notes) maps directly onto
+``THREAD_SYNC_SHARED`` + a cell in shared memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SyncError
+from repro.pthreads.api import (PTHREAD_PROCESS_PRIVATE,
+                                PTHREAD_PROCESS_SHARED)
+from repro.sync import (CondVar, Mutex, SYNC_DEBUG, THREAD_SYNC_SHARED,
+                        SharedCell)
+
+#: Mutex kinds (errorcheck layers on the paper's "extra debugging"
+#: variant).
+PTHREAD_MUTEX_NORMAL = 0
+PTHREAD_MUTEX_ERRORCHECK = 1
+
+
+class PthreadMutexAttr:
+    """pthread_mutexattr_t."""
+
+    def __init__(self, pshared: int = PTHREAD_PROCESS_PRIVATE,
+                 kind: int = PTHREAD_MUTEX_NORMAL,
+                 cell: Optional[SharedCell] = None):
+        if pshared == PTHREAD_PROCESS_SHARED and cell is None:
+            raise SyncError(
+                "PTHREAD_PROCESS_SHARED needs a cell in shared memory")
+        self.pshared = pshared
+        self.kind = kind
+        self.cell = cell
+
+    def _vtype(self) -> int:
+        vtype = 0
+        if self.pshared == PTHREAD_PROCESS_SHARED:
+            vtype |= THREAD_SYNC_SHARED
+        if self.kind == PTHREAD_MUTEX_ERRORCHECK:
+            vtype |= SYNC_DEBUG
+        return vtype
+
+
+class PthreadMutex:
+    """pthread_mutex_t, backed by a SunOS mutex."""
+
+    def __init__(self, attr: Optional[PthreadMutexAttr] = None,
+                 name: str = ""):
+        attr = attr or PthreadMutexAttr()
+        self._impl = Mutex(attr._vtype(), cell=attr.cell, name=name)
+        self.attr = attr
+
+    def lock(self):
+        result = yield from self._impl.enter()
+        return result
+
+    def trylock(self):
+        result = yield from self._impl.tryenter()
+        return result
+
+    def unlock(self):
+        yield from self._impl.exit()
+
+    @property
+    def impl(self) -> Mutex:
+        return self._impl
+
+
+class PthreadCondAttr:
+    """pthread_condattr_t."""
+
+    def __init__(self, pshared: int = PTHREAD_PROCESS_PRIVATE,
+                 cell: Optional[SharedCell] = None):
+        if pshared == PTHREAD_PROCESS_SHARED and cell is None:
+            raise SyncError(
+                "PTHREAD_PROCESS_SHARED needs a cell in shared memory")
+        self.pshared = pshared
+        self.cell = cell
+
+    def _vtype(self) -> int:
+        return (THREAD_SYNC_SHARED
+                if self.pshared == PTHREAD_PROCESS_SHARED else 0)
+
+
+class PthreadCond:
+    """pthread_cond_t, backed by a SunOS condition variable."""
+
+    def __init__(self, attr: Optional[PthreadCondAttr] = None,
+                 name: str = ""):
+        attr = attr or PthreadCondAttr()
+        self._impl = CondVar(attr._vtype(), cell=attr.cell, name=name)
+        self.attr = attr
+
+    def wait(self, mutex: PthreadMutex):
+        yield from self._impl.wait(mutex.impl)
+
+    def signal(self):
+        yield from self._impl.signal()
+
+    def broadcast(self):
+        yield from self._impl.broadcast()
+
+
+# --------------------------------------------------------------------
+# POSIX-style free functions.
+# --------------------------------------------------------------------
+
+def pthread_mutex_lock(mutex: PthreadMutex):
+    yield from mutex.lock()
+
+
+def pthread_mutex_trylock(mutex: PthreadMutex):
+    result = yield from mutex.trylock()
+    return result
+
+
+def pthread_mutex_unlock(mutex: PthreadMutex):
+    yield from mutex.unlock()
+
+
+def pthread_cond_wait(cond: PthreadCond, mutex: PthreadMutex):
+    yield from cond.wait(mutex)
+
+
+def pthread_cond_signal(cond: PthreadCond):
+    yield from cond.signal()
+
+
+def pthread_cond_broadcast(cond: PthreadCond):
+    yield from cond.broadcast()

@@ -1,0 +1,36 @@
+"""pthread thread-specific data, layered on TLS.
+
+"More dynamic mechanisms (such as POSIX thread-specific data) can be
+built using thread-local storage" — these are direct wrappers over the
+library's TSD-on-TLS machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro import threads
+
+
+def pthread_key_create(destructor: Optional[Callable] = None):
+    """Generator: create a TSD key; destructor runs at thread exit."""
+    key = yield from threads.tsd_key_create(destructor)
+    return key
+
+
+def pthread_key_delete(key: int):
+    """Generator: delete a TSD key (no destructors run)."""
+    from repro.hw.isa import GetContext
+    ctx = yield GetContext()
+    ctx.process.threadlib.tsd.key_delete(key)
+
+
+def pthread_setspecific(key: int, value: Any):
+    """Generator: bind ``value`` to ``key`` for the calling thread."""
+    yield from threads.tsd_set(key, value)
+
+
+def pthread_getspecific(key: int):
+    """Generator: the calling thread's value for ``key`` (None unset)."""
+    value = yield from threads.tsd_get(key)
+    return value

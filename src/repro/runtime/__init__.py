@@ -1,0 +1,13 @@
+"""User-level runtime for simulated programs: syscalls, libc, mapped memory."""
+
+from repro.runtime import libc, mapped, unistd
+from repro.runtime.libc import (compute, errno, longjmp, set_errno, setjmp,
+                                setjmp_longjmp_pair)
+from repro.runtime.mapped import MappedRegion, map_anon_shared, map_shared_file
+
+__all__ = [
+    "libc", "mapped", "unistd",
+    "compute", "errno", "longjmp", "set_errno", "setjmp",
+    "setjmp_longjmp_pair",
+    "MappedRegion", "map_anon_shared", "map_shared_file",
+]

@@ -1,0 +1,128 @@
+"""Helpers for placing synchronization variables in mapped memory.
+
+The paper's cross-process story: create (or open) a file, ``mmap`` it
+``MAP_SHARED``, and lay synchronization variables in it.  "Once the lock
+has been acquired, if any thread within any process mapping the file
+attempts to acquire the lock that thread will block until the lock is
+released" — and the variables outlive the creating process because the
+file does.
+
+:class:`MappedRegion` wraps one mapping and hands out
+:class:`~repro.sync.variants.SharedCell` handles at chosen offsets, plus
+raw byte access with page-fault modeling.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SyscallError
+from repro.hw.isa import GetContext, Touch
+from repro.kernel.vm import MAP_SHARED
+from repro.runtime import unistd
+from repro.sync.variants import SharedCell
+
+
+class MappedRegion:
+    """A user program's handle on one of its mmap'ed regions."""
+
+    def __init__(self, vaddr: int, length: int, mobj, obj_offset: int,
+                 mapping=None):
+        self.vaddr = vaddr
+        self.length = length
+        self.mobj = mobj
+        self.obj_offset = obj_offset
+        # The kernel mapping record, for protection checks (None for
+        # hand-built regions in tests).
+        self.mapping = mapping
+
+    def _check_access(self, write: bool):
+        """Generator: raise the access trap on a protection violation.
+
+        A store to a read-only mapping is the canonical synchronous trap:
+        SIGSEGV goes to the *causing thread only* (paper's trap
+        semantics), then the access fails with EFAULT.
+        """
+        from repro.kernel.vm import PROT_READ, PROT_WRITE
+        if self.mapping is None:
+            return
+        needed = PROT_WRITE if write else PROT_READ
+        if self.mapping.prot & needed:
+            return
+        ctx = yield GetContext()
+        from repro.kernel.signals import Sig
+        # A protection violation is a synchronous trap: it enters the
+        # kernel, which posts SIGSEGV at *this* LWP (handled only by the
+        # causing thread).  The handler runs at the kernel exit; then the
+        # access fails.
+        yield from unistd.syscall("lwp_kill", ctx.lwp.lwp_id,
+                                  int(Sig.SIGSEGV))
+        from repro.errors import Errno
+        raise SyscallError(Errno.EFAULT, "access",
+                           f"{'write' if write else 'read'} to "
+                           f"{'non-writable' if write else 'non-readable'}"
+                           " mapping")
+
+    def cell(self, offset: int) -> SharedCell:
+        """A shared synchronization cell at ``offset`` into the region.
+
+        Two processes mapping the same file get the same cell for the
+        same offset regardless of their (different) virtual addresses.
+        """
+        if not 0 <= offset < max(self.length, 1):
+            raise ValueError(f"offset {offset} outside region")
+        return SharedCell(self.mobj, self.obj_offset + offset)
+
+    def read(self, offset: int, length: int):
+        """Generator: read raw bytes (touching pages first)."""
+        yield from self._check_access(write=False)
+        yield Touch(self.mobj, self.obj_offset + offset)
+        return self.mobj.read_bytes(self.obj_offset + offset, length)
+
+    def write(self, offset: int, payload: bytes):
+        """Generator: write raw bytes (touching pages first)."""
+        yield from self._check_access(write=True)
+        yield Touch(self.mobj, self.obj_offset + offset, write=True)
+        self.mobj.write_bytes(self.obj_offset + offset, payload)
+
+    def mprotect(self, prot: int):
+        """Generator: change this region's protection."""
+        yield from unistd.syscall("mprotect", self.vaddr, prot)
+
+    def unmap(self):
+        """Generator: munmap the region."""
+        yield from unistd.munmap(self.vaddr)
+
+
+def map_shared_file(path: str, length: int) -> "generator":
+    """Generator: create/open ``path``, size it, and map it MAP_SHARED.
+
+    Returns a :class:`MappedRegion`.  This is the setup step of every
+    cross-process synchronization example in the paper.
+    """
+    from repro.kernel.fs.file import O_CREAT, O_RDWR
+    fd = yield from unistd.open(path, O_CREAT | O_RDWR)
+    try:
+        st = yield from unistd.stat(path)
+        if st["size"] < length:
+            yield from unistd.ftruncate(fd, length)
+        vaddr = yield from unistd.mmap(length, MAP_SHARED, fd=fd)
+    finally:
+        yield from unistd.close(fd)
+    ctx = yield GetContext()
+    mapping = ctx.process.aspace.find(vaddr)
+    if mapping is None:  # pragma: no cover - mmap just created it
+        raise SyscallError(14, "mmap", "mapping vanished")
+    return MappedRegion(vaddr, length, mapping.mobj, mapping.obj_offset,
+                        mapping=mapping)
+
+
+def map_anon_shared(length: int):
+    """Generator: anonymous MAP_SHARED region (System V shm analogue).
+
+    Note: *anonymous* shared memory is only shared with children after a
+    fork in real UNIX; for unrelated processes use a file.
+    """
+    vaddr = yield from unistd.mmap(length, MAP_SHARED, fd=-1)
+    ctx = yield GetContext()
+    mapping = ctx.process.aspace.find(vaddr)
+    return MappedRegion(vaddr, length, mapping.mobj, mapping.obj_offset,
+                        mapping=mapping)

@@ -1,0 +1,64 @@
+"""Virtual time.
+
+All simulation time is kept in integer nanoseconds.  The paper reports its
+measurements in microseconds from the SPARCstation 1+ built-in
+microsecond-resolution real-time timer; integer nanoseconds give us headroom
+below that resolution while keeping arithmetic exact and the event order
+deterministic (no floating point).
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def usec(x: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(x * NS_PER_US))
+
+
+def msec(x: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(x * NS_PER_MS))
+
+
+def sec(x: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(x * NS_PER_SEC))
+
+
+def to_usec(ns: int) -> float:
+    """Convert integer nanoseconds to (float) microseconds for reporting."""
+    return ns / NS_PER_US
+
+
+class VirtualClock:
+    """Monotonic virtual clock owned by the engine.
+
+    Only the engine advances the clock; everything else reads it.  The
+    ``now_ns`` attribute is read frequently on hot paths, so it is a plain
+    attribute rather than a property.
+    """
+
+    __slots__ = ("now_ns",)
+
+    def __init__(self) -> None:
+        self.now_ns: int = 0
+
+    def advance_to(self, t_ns: int) -> None:
+        """Move the clock forward to ``t_ns``.  Time never goes backward."""
+        if t_ns < self.now_ns:
+            raise ValueError(
+                f"clock would go backward: {t_ns} < {self.now_ns}"
+            )
+        self.now_ns = t_ns
+
+    @property
+    def now_usec(self) -> float:
+        """Current time in microseconds (for reports and tests)."""
+        return self.now_ns / NS_PER_US
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self.now_usec:.3f}us)"

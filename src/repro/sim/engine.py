@@ -1,0 +1,133 @@
+"""The discrete-event engine.
+
+The engine owns the virtual clock and the event queue and advances the
+simulation by firing events in (time, sequence) order.  Everything above it
+— hardware, kernel, threads library — expresses behaviour as events.
+
+The engine knows nothing about CPUs or processes; it only runs callbacks.
+Deadlock detection is delegated to an optional ``idle_check`` hook installed
+by the machine, which can inspect kernel state when the event queue drains.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import DeterministicRNG
+from repro.sim.trace import Tracer
+
+
+class Engine:
+    """Discrete-event simulation driver.
+
+    Attributes:
+        clock: the virtual clock (integer nanoseconds).
+        tracer: structured trace collector (off by default).
+        rng: deterministic random source with named sub-streams.
+    """
+
+    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None):
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.rng = DeterministicRNG(seed)
+        self._running = False
+        self._events_fired = 0
+        # Hook returning a human-readable description of blocked entities,
+        # or None when being idle is legitimate.  Installed by the machine.
+        self.idle_check: Optional[Callable[[], Optional[str]]] = None
+
+    # ----------------------------------------------------------------- time
+
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self.clock.now_ns
+
+    @property
+    def now_usec(self) -> float:
+        """Current virtual time in microseconds."""
+        return self.clock.now_usec
+
+    # ------------------------------------------------------------ scheduling
+
+    def call_at(self, time_ns: int, fn: Callable[[], None],
+                tag: str = "") -> Event:
+        """Schedule ``fn`` at absolute virtual time ``time_ns``."""
+        if time_ns < self.clock.now_ns:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time_ns} < "
+                f"{self.clock.now_ns}")
+        return self.queue.push(time_ns, fn, tag)
+
+    def call_after(self, delay_ns: int, fn: Callable[[], None],
+                   tag: str = "") -> Event:
+        """Schedule ``fn`` after ``delay_ns`` nanoseconds of virtual time."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        return self.queue.push(self.clock.now_ns + delay_ns, fn, tag)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event.  Safe to call more than once."""
+        if not event.cancelled:
+            event.cancel()
+            self.queue.note_cancel()
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, until_ns: Optional[int] = None,
+            max_events: Optional[int] = None,
+            check_deadlock: bool = True) -> int:
+        """Fire events until the queue drains (or a limit is reached).
+
+        Args:
+            until_ns: stop once the clock would pass this absolute time.
+            max_events: stop after firing this many events (guard rail for
+                runaway simulations; raises SimulationError if exhausted).
+            check_deadlock: when the queue drains, consult ``idle_check``
+                and raise :class:`DeadlockError` if entities remain blocked.
+
+        Returns:
+            The number of events fired by this call.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    if check_deadlock and self.idle_check is not None:
+                        complaint = self.idle_check()
+                        if complaint:
+                            raise DeadlockError(complaint)
+                    break
+                if until_ns is not None and next_time > until_ns:
+                    self.clock.advance_to(until_ns)
+                    break
+                ev = self.queue.pop()
+                assert ev is not None
+                self.clock.advance_to(ev.time_ns)
+                ev.fn()
+                fired += 1
+                self._events_fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"max_events={max_events} exhausted at "
+                        f"t={self.now_usec:.1f}us; runaway simulation?")
+        finally:
+            self._running = False
+        return fired
+
+    def run_for(self, delay_ns: int, **kw) -> int:
+        """Run for ``delay_ns`` of virtual time from now."""
+        return self.run(until_ns=self.clock.now_ns + delay_ns, **kw)
+
+    @property
+    def events_fired(self) -> int:
+        """Total events fired over the engine's lifetime."""
+        return self._events_fired

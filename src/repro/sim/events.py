@@ -1,0 +1,107 @@
+"""Event queue for the discrete-event engine.
+
+A simple binary-heap priority queue of :class:`Event` records.  Events carry
+a monotonically increasing sequence number so that events scheduled for the
+same instant fire in FIFO order, which keeps the whole simulation
+deterministic.
+
+Cancellation is lazy: cancelled events stay in the heap and are skipped when
+popped.  This is the standard technique (used by e.g. ``sched`` and most
+network simulators) and keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time_ns: absolute virtual time at which the event fires.
+        seq: tie-breaker preserving scheduling order at equal times.
+        fn: zero-argument callable invoked when the event fires.
+        cancelled: set by :meth:`cancel`; a cancelled event never fires.
+    """
+
+    __slots__ = ("time_ns", "seq", "fn", "cancelled", "tag")
+
+    def __init__(self, time_ns: int, seq: int, fn: Callable[[], None],
+                 tag: str = ""):
+        self.time_ns = time_ns
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+        self.tag = tag
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time_ns != other.time_ns:
+            return self.time_ns < other.time_ns
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        tag = f" {self.tag}" if self.tag else ""
+        return f"<Event t={self.time_ns}ns seq={self.seq}{tag}{state}>"
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, sequence)."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def push(self, time_ns: int, fn: Callable[[], None],
+             tag: str = "") -> Event:
+        """Schedule ``fn`` at absolute time ``time_ns`` and return the event."""
+        ev = Event(time_ns, self._seq, fn, tag)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event without removing it, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time_ns
+        return None
+
+    def note_cancel(self) -> None:
+        """Bookkeeping hook: callers that cancel events may report it here.
+
+        Only affects :meth:`__len__`'s live-count accuracy; correctness of
+        pop/peek never depends on it.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

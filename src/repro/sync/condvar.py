@@ -1,0 +1,197 @@
+"""Condition variables.
+
+"Condition variables are used to wait until a particular condition is
+true.  Condition variables must be used in conjunction with a mutex lock.
+... Since the re-acquiring of the mutex may be blocked by other threads
+waiting for the mutex, the condition that caused the wait must be
+re-tested."  The canonical usage loop from the paper::
+
+    yield from m.enter()
+    while some_condition:
+        yield from cv.wait(m)
+    ...
+    yield from m.exit()
+
+Waits may return spuriously (a signal that raced the release of the
+mutex); the paper-mandated re-test loop makes that harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import Errno, SyncError, SyscallError
+from repro.hw.isa import Charge, GetContext, Syscall, Touch
+from repro.sync.mutex import Mutex
+from repro.sync.variants import (SharedCell, SyncVariable,
+                                 usync_block_retry)
+
+
+#: Wake value marking a timeout-driven resume of a timedwait.
+_TIMEDOUT = "cv-timedout"
+
+
+class CondVar(SyncVariable):
+    """A condition variable (cv_init / cv_wait / cv_signal / cv_broadcast)."""
+
+    KIND = "cv"
+
+    def __init__(self, vtype: int = 0, cell: Optional[SharedCell] = None,
+                 name: str = ""):
+        super().__init__(vtype, cell, name)
+        self.waiters: list = []
+        # Generation counter: bumped by every signal/broadcast.  A waiter
+        # that observes a bump between releasing the mutex and sleeping
+        # consumes the wakeup without sleeping (no lost wakeups).  For the
+        # shared variant the counter lives in the shared cell.
+        self.generation = 0
+        # Statistics.
+        self.waits = 0
+        self.signals = 0
+        self.broadcasts = 0
+
+    def _gen(self) -> int:
+        return self.cell.load() if self.is_shared else self.generation
+
+    def _bump(self) -> None:
+        if self.is_shared:
+            self.cell.store(self.cell.load() + 1)
+        else:
+            self.generation += 1
+
+    # --------------------------------------------------------------- wait
+
+    def wait(self, mutex: Mutex):
+        """Generator: release ``mutex``, sleep, re-acquire, return.
+
+        The mutex must be held by the caller (checked for private
+        mutexes; a shared mutex carries no owner identity to check).
+        """
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        self.waits += 1
+        if not mutex.is_shared and mutex.owner is not ctx.thread:
+            raise SyncError(
+                f"{self.name}: cv_wait with {mutex.name} not held")
+        yield Charge(ctx.costs.sync_user_op)
+
+        target_gen = self._gen()
+        yield from mutex.exit()
+        if self.is_shared:
+            cell = self.cell
+            yield Touch(cell.mobj, cell.offset)
+            # Kernel re-checks the generation before sleeping; EINTR is
+            # just a spurious wake (the caller's retest loop absorbs it).
+            yield from usync_block_retry(cell, target_gen,
+                                         f"cv:{self.name}")
+        else:
+            yield from lib.block_current_on(
+                self.waiters, reason=self.name,
+                guard=lambda: self.generation == target_gen)
+            # NO_SLEEP means a signal landed in the window: treat it as
+            # our wakeup (the paper's retest loop absorbs spurious ones).
+        yield from mutex.enter()
+
+
+    def timedwait(self, mutex: Mutex, timeout_usec: float):
+        """Generator: wait, but give up after ``timeout_usec``.
+
+        Returns True when (possibly spuriously) signaled, False on
+        timeout.  Either way the mutex is re-held on return, and the
+        caller re-tests its condition as usual.  A Solaris-era extension;
+        the timeout is driven by the kernel's timer facility (standing in
+        for the per-LWP interval timers a real library would arm).
+        """
+        from repro.sim.clock import usec as _usec
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        kernel = ctx.kernel
+        self.waits += 1
+        if not mutex.is_shared and mutex.owner is not ctx.thread:
+            raise SyncError(
+                f"{self.name}: cv_timedwait with {mutex.name} not held")
+        yield Charge(ctx.costs.sync_user_op)
+        timeout_ns = _usec(timeout_usec)
+
+        target_gen = self._gen()
+        yield from mutex.exit()
+        if self.is_shared:
+            cell = self.cell
+            yield Touch(cell.mobj, cell.offset)
+            deadline = kernel.engine.now_ns + timeout_ns
+            timed_out = False
+            while True:
+                remaining = deadline - kernel.engine.now_ns
+                if remaining <= 0:
+                    timed_out = cell.load() == target_gen
+                    break
+                try:
+                    result = yield Syscall(
+                        "usync_block", cell.mobj, cell.offset,
+                        target_gen, f"cv:{self.name}", remaining)
+                except SyscallError as err:
+                    if err.errno != Errno.EINTR:
+                        raise
+                    continue
+                timed_out = result == 2
+                break
+            yield from mutex.enter()
+            return not timed_out
+
+        thread = ctx.thread
+        timed_out_box = {"value": False}
+
+        def on_timeout():
+            if thread in self.waiters:
+                self.waiters.remove(thread)
+                thread.wait_queue = None
+                timed_out_box["value"] = True
+                for lwp_id in lib.make_runnable(thread, value=_TIMEDOUT):
+                    lwp = ctx.process.lwps.get(lwp_id)
+                    if lwp is not None:
+                        kernel.unpark_lwp(lwp)
+
+        timer = kernel.engine.call_after(timeout_ns, on_timeout,
+                                         tag="cv-timeout")
+        outcome = yield from lib.block_current_on(
+            self.waiters, reason=self.name,
+            guard=lambda: self.generation == target_gen)
+        kernel.engine.cancel(timer)
+        yield from mutex.enter()
+        return outcome is not _TIMEDOUT and not timed_out_box["value"]
+
+    # ------------------------------------------------------------- signal
+
+    def signal(self):
+        """Generator: wake one waiter ("no guaranteed order" beyond FIFO
+        fairness in this implementation)."""
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        self.signals += 1
+        yield Charge(ctx.costs.sync_user_op)
+        self._bump()
+        if self.is_shared:
+            cell = self.cell
+            yield Syscall("usync_wake", cell.mobj, cell.offset, 1,
+                          label=f"cv:{self.name}")
+        else:
+            yield from lib.wake_from_queue(self.waiters, n=1)
+
+    def broadcast(self):
+        """Generator: wake all waiters.
+
+        "Since cv_broadcast() causes all threads blocking on the condition
+        to re-contend for the mutex, it should be used with care."
+        """
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        self.broadcasts += 1
+        yield Charge(ctx.costs.sync_user_op)
+        self._bump()
+        if self.is_shared:
+            cell = self.cell
+            yield Syscall("usync_wake_all", cell.mobj, cell.offset,
+                          label=f"cv:{self.name}")
+        else:
+            yield from lib.wake_from_queue(self.waiters,
+                                           n=len(self.waiters))

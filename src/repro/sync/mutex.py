@@ -1,0 +1,184 @@
+"""Mutual exclusion locks.
+
+"Mutex locks provide simple mutual exclusion.  They are low overhead in
+both space and time and are therefore suitable for high frequency usage.
+Mutex locks are strictly bracketing in that it is an error for a thread to
+release a lock not held by the thread."
+
+Variants: default (sleep), spin, adaptive (spin while the owner runs on a
+CPU — the classic Solaris adaptive mutex), debug (ownership checks), and
+process-shared (futex-style protocol over a cell in shared memory).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SyncError
+from repro.hw.isa import Charge, GetContext, Syscall, Touch
+from repro.sim.clock import usec
+from repro.sync.variants import (SPIN_POLL_US, SharedCell, SyncVariable,
+                                 usync_block_retry)
+from repro.threads.scheduler import NO_SLEEP
+
+
+class Mutex(SyncVariable):
+    """A mutual exclusion lock.
+
+    Zero-argument construction gives the default variant, matching "any
+    synchronization variable that is statically or dynamically allocated
+    as zero may be used immediately".
+    """
+
+    KIND = "mutex"
+
+    def __init__(self, vtype: int = 0, cell: Optional[SharedCell] = None,
+                 name: str = ""):
+        super().__init__(vtype, cell, name)
+        # Private-variant state (ignored for shared mutexes, whose state
+        # lives in the shared cell).
+        self.owner = None            # Thread holding the lock
+        self.waiters: list = []      # user-level sleep queue
+        # Contention statistics (read by the ablation benchmarks).
+        self.acquisitions = 0
+        self.contended = 0
+        self.spins = 0
+
+    # ------------------------------------------------------------ enter
+
+    def enter(self):
+        """Generator: acquire the lock (mutex_enter)."""
+        if self.is_shared:
+            result = yield from self._enter_shared()
+            return result
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        me = ctx.thread
+        yield Charge(ctx.costs.mutex_fast_path)
+        if self.is_debug and self.owner is me:
+            raise SyncError(f"{self.name}: recursive mutex_enter")
+        while True:
+            if self.owner is None:
+                self.owner = me
+                self.acquisitions += 1
+                return
+            self.contended += 1
+            if self.is_spin or (self.is_adaptive and self._owner_running()):
+                self.spins += 1
+                yield Charge(usec(SPIN_POLL_US))
+                continue
+            yield Charge(ctx.costs.sync_user_op)
+            outcome = yield from lib.block_current_on(
+                self.waiters, reason=self.name,
+                guard=lambda: self.owner is not None)
+            if outcome is not NO_SLEEP:
+                # Direct handoff: the releaser made us the owner.
+                assert self.owner is me
+                self.acquisitions += 1
+                return
+
+    def _owner_running(self) -> bool:
+        """Adaptive policy: is the holder on a CPU right now?"""
+        owner = self.owner
+        return (owner is not None and owner.lwp is not None
+                and owner.lwp.cpu is not None)
+
+    def tryenter(self):
+        """Generator: acquire without blocking; returns True on success.
+
+        "mutex_tryenter() can be used to avoid deadlock in operations that
+        would normally violate the lock hierarchy."
+        """
+        if self.is_shared:
+            result = yield from self._tryenter_shared()
+            return result
+        ctx = yield GetContext()
+        yield Charge(ctx.costs.mutex_fast_path)
+        if self.owner is None:
+            self.owner = ctx.thread
+            self.acquisitions += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------- exit
+
+    def exit(self):
+        """Generator: release the lock (mutex_exit).
+
+        Strictly bracketing: releasing a lock you don't hold raises.
+        """
+        if self.is_shared:
+            yield from self._exit_shared()
+            return
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        me = ctx.thread
+        yield Charge(ctx.costs.mutex_fast_path)
+        if self.owner is not me:
+            raise SyncError(
+                f"{self.name}: mutex_exit by non-owner "
+                f"(owner={self.owner!r}, caller={me!r})")
+        if self.waiters:
+            # Hand off directly to the longest waiter (no barging).
+            yield Charge(ctx.costs.sync_user_op)
+            nxt = self.waiters[0]
+            self.owner = nxt
+            yield from lib.wake_from_queue(self.waiters, n=1)
+        else:
+            self.owner = None
+
+    @property
+    def held(self) -> bool:
+        if self.is_shared:
+            return self.cell.load() != 0
+        return self.owner is not None
+
+    # ==================================================== shared variant
+    #
+    # Futex protocol over the shared cell: 0 free, 1 locked, 2 locked with
+    # (possible) sleepers.  The kernel re-checks the cell before sleeping,
+    # so a wake cannot be lost.
+
+    def _enter_shared(self):
+        ctx = yield GetContext()
+        cell = self.cell
+        yield Touch(cell.mobj, cell.offset, write=True)
+        yield Charge(ctx.costs.mutex_fast_path)
+        while True:
+            state = cell.load()
+            if state == 0:
+                cell.store(1)
+                self.acquisitions += 1
+                return
+            self.contended += 1
+            if self.is_spin:
+                self.spins += 1
+                yield Charge(usec(SPIN_POLL_US))
+                continue
+            cell.store(2)  # mark contended before sleeping
+            yield from usync_block_retry(cell, 2, f"mutex:{self.name}")
+
+    def _tryenter_shared(self):
+        ctx = yield GetContext()
+        cell = self.cell
+        yield Touch(cell.mobj, cell.offset, write=True)
+        yield Charge(ctx.costs.mutex_fast_path)
+        if cell.load() == 0:
+            cell.store(1)
+            self.acquisitions += 1
+            return True
+        return False
+
+    def _exit_shared(self):
+        ctx = yield GetContext()
+        cell = self.cell
+        yield Touch(cell.mobj, cell.offset, write=True)
+        yield Charge(ctx.costs.mutex_fast_path)
+        state = cell.load()
+        if state == 0:
+            raise SyncError(f"{self.name}: mutex_exit of unheld shared "
+                            "mutex")
+        cell.store(0)
+        if state == 2:
+            yield Syscall("usync_wake", cell.mobj, cell.offset, 1,
+                          label=f"mutex:{self.name}")

@@ -1,0 +1,311 @@
+"""Multiple readers, single writer locks.
+
+"Multiple readers, single writer locks allow many threads simultaneous
+read-only access to an object ... only one thread to access an object for
+writing at any one time ... A good candidate ... is an object that is
+searched more frequently than it is changed."
+
+Semantics per the paper:
+
+* ``rw_enter(RW_READER / RW_WRITER)``, ``rw_exit``, ``rw_tryenter``.
+* ``rw_downgrade`` atomically converts a writer into a reader; "Any
+  waiting writers remain waiting.  If there are no waiting writers it
+  wakes up any pending readers."
+* ``rw_tryupgrade`` attempts reader -> writer; fails if another upgrade is
+  in progress or writers are waiting.
+
+Writer preference: new readers queue behind a waiting writer, preventing
+writer starvation (the standard kernel rwlock policy of the era).
+
+The process-shared variant is composed from a shared mutex and two shared
+condition variables — a legitimate layering the paper's uniform model
+invites.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import SyncError
+from repro.hw.isa import Charge, GetContext
+from repro.sync.condvar import CondVar
+from repro.sync.mutex import Mutex
+from repro.sync.variants import (THREAD_SYNC_SHARED, SharedCell,
+                                 SyncVariable)
+
+
+class RwType(enum.Enum):
+    RW_READER = "reader"
+    RW_WRITER = "writer"
+
+
+RW_READER = RwType.RW_READER
+RW_WRITER = RwType.RW_WRITER
+
+
+class RwLock(SyncVariable):
+    """A readers/writer lock."""
+
+    KIND = "rwlock"
+
+    def __init__(self, vtype: int = 0,
+                 cells: Optional[tuple] = None, name: str = ""):
+        # For the shared variant, ``cells`` provides three shared cells:
+        # (mutex cell, readers-cv cell, writers-cv cell).  State words are
+        # kept in the mutex-protected Python-side mirror *only* for the
+        # private variant; shared state lives in a fourth cell.
+        shared = bool(vtype & THREAD_SYNC_SHARED)
+        self._shared = shared  # must precede super().__init__ (property)
+        super().__init__(vtype & ~THREAD_SYNC_SHARED, None, name)
+        self.readers = 0
+        self.writer = None
+        self.upgrading = False
+        self.reader_waiters: list = []
+        self.writer_waiters: list = []
+        # Statistics.
+        self.read_acquires = 0
+        self.write_acquires = 0
+        self.downgrades = 0
+        self.upgrades = 0
+
+        if shared:
+            if cells is None or len(cells) != 4:
+                raise SyncError(
+                    f"{name}: shared rwlock needs 4 shared cells "
+                    "(mutex, readers-cv, writers-cv, state)")
+            mcell, rcell, wcell, scell = cells
+            self._m = Mutex(THREAD_SYNC_SHARED, cell=mcell,
+                            name=f"{self.name}.m")
+            self._rcv = CondVar(THREAD_SYNC_SHARED, cell=rcell,
+                                name=f"{self.name}.rcv")
+            self._wcv = CondVar(THREAD_SYNC_SHARED, cell=wcell,
+                                name=f"{self.name}.wcv")
+            self._state = scell  # dict cell: counts shared across procs
+
+    @property
+    def is_shared(self) -> bool:  # override: flag stripped in __init__
+        return self._shared
+
+    # =================================================== private variant
+
+    def enter(self, rw_type: RwType):
+        """Generator: acquire for reading or writing (rw_enter)."""
+        if self._shared:
+            yield from self._enter_shared(rw_type)
+            return
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        me = ctx.thread
+        yield Charge(ctx.costs.sync_user_op)
+        if rw_type is RW_READER:
+            while True:
+                if self.writer is None and not self.writer_waiters:
+                    self.readers += 1
+                    self.read_acquires += 1
+                    return
+                yield from lib.block_current_on(
+                    self.reader_waiters, reason=f"{self.name}.r",
+                    guard=lambda: (self.writer is not None
+                                   or bool(self.writer_waiters)))
+        elif rw_type is RW_WRITER:
+            while True:
+                if self.writer is None and self.readers == 0:
+                    self.writer = me
+                    self.write_acquires += 1
+                    return
+                yield from lib.block_current_on(
+                    self.writer_waiters, reason=f"{self.name}.w",
+                    guard=lambda: (self.writer is not None
+                                   or self.readers > 0))
+        else:
+            raise SyncError(f"bad rw_enter type: {rw_type!r}")
+
+    def tryenter(self, rw_type: RwType):
+        """Generator: acquire "if doing so would not require blocking"."""
+        if self._shared:
+            result = yield from self._tryenter_shared(rw_type)
+            return result
+        ctx = yield GetContext()
+        yield Charge(ctx.costs.sync_user_op)
+        if rw_type is RW_READER:
+            if self.writer is None and not self.writer_waiters:
+                self.readers += 1
+                self.read_acquires += 1
+                return True
+            return False
+        if self.writer is None and self.readers == 0:
+            self.writer = ctx.thread
+            self.write_acquires += 1
+            return True
+        return False
+
+    def exit(self):
+        """Generator: release a readers or writer lock (rw_exit)."""
+        if self._shared:
+            yield from self._exit_shared()
+            return
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        me = ctx.thread
+        yield Charge(ctx.costs.sync_user_op)
+        if self.writer is me:
+            self.writer = None
+            yield from self._wake_next(lib)
+            return
+        if self.readers <= 0:
+            raise SyncError(f"{self.name}: rw_exit with lock not held")
+        self.readers -= 1
+        if self.readers == 0:
+            yield from self._wake_next(lib)
+
+    def _wake_next(self, lib):
+        """Writer preference: wake one waiting writer, else all readers."""
+        if self.writer_waiters:
+            yield from lib.wake_from_queue(self.writer_waiters, n=1)
+        elif self.reader_waiters:
+            yield from lib.wake_from_queue(self.reader_waiters,
+                                           n=len(self.reader_waiters))
+
+    def downgrade(self):
+        """Generator: atomically convert a held writer lock to a reader
+        lock (rw_downgrade)."""
+        if self._shared:
+            yield from self._downgrade_shared()
+            return
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        yield Charge(ctx.costs.sync_user_op)
+        if self.writer is not ctx.thread:
+            raise SyncError(f"{self.name}: rw_downgrade by non-writer")
+        self.writer = None
+        self.readers = 1
+        self.downgrades += 1
+        # "Any waiting writers remain waiting.  If there are no waiting
+        # writers it wakes up any pending readers."
+        if not self.writer_waiters and self.reader_waiters:
+            yield from lib.wake_from_queue(self.reader_waiters,
+                                           n=len(self.reader_waiters))
+
+    def tryupgrade(self):
+        """Generator: attempt reader -> writer; no blocking.
+
+        Fails (returns False) "if there is another rw_tryupgrade() in
+        progress or there are any writers waiting".
+        """
+        if self._shared:
+            result = yield from self._tryupgrade_shared()
+            return result
+        ctx = yield GetContext()
+        yield Charge(ctx.costs.sync_user_op)
+        if self.readers <= 0:
+            raise SyncError(f"{self.name}: rw_tryupgrade without read lock")
+        if self.upgrading or self.writer_waiters:
+            return False
+        if self.readers == 1:
+            self.readers = 0
+            self.writer = ctx.thread
+            self.upgrades += 1
+            return True
+        # Other readers present: an upgrade would have to wait; the paper
+        # keeps tryupgrade non-blocking, so report failure (and no
+        # "upgrade in progress" state is retained).
+        return False
+
+    @property
+    def state(self) -> str:
+        if self.writer is not None:
+            return "writer"
+        if self.readers:
+            return f"readers:{self.readers}"
+        return "free"
+
+    # ==================================================== shared variant
+    #
+    # Built from a shared mutex + shared condition variables; the count
+    # state lives in a shared cell holding a small dict.
+
+    def _load_state(self) -> dict:
+        state = self._state.load()
+        if state == 0:
+            state = {"readers": 0, "writer": 0, "wwaiting": 0}
+            self._state.store(state)
+        return state
+
+    def _enter_shared(self, rw_type: RwType):
+        yield from self._m.enter()
+        st = self._load_state()
+        if rw_type is RW_READER:
+            while st["writer"] or st["wwaiting"]:
+                yield from self._rcv.wait(self._m)
+                st = self._load_state()
+            st["readers"] += 1
+            self.read_acquires += 1
+        else:
+            st["wwaiting"] += 1
+            while st["writer"] or st["readers"]:
+                yield from self._wcv.wait(self._m)
+                st = self._load_state()
+            st["wwaiting"] -= 1
+            st["writer"] = 1
+            self.write_acquires += 1
+        yield from self._m.exit()
+
+    def _tryenter_shared(self, rw_type: RwType):
+        yield from self._m.enter()
+        st = self._load_state()
+        ok = False
+        if rw_type is RW_READER:
+            if not st["writer"] and not st["wwaiting"]:
+                st["readers"] += 1
+                self.read_acquires += 1
+                ok = True
+        else:
+            if not st["writer"] and not st["readers"]:
+                st["writer"] = 1
+                self.write_acquires += 1
+                ok = True
+        yield from self._m.exit()
+        return ok
+
+    def _exit_shared(self):
+        yield from self._m.enter()
+        st = self._load_state()
+        if st["writer"]:
+            st["writer"] = 0
+        elif st["readers"] > 0:
+            st["readers"] -= 1
+        else:
+            yield from self._m.exit()
+            raise SyncError(f"{self.name}: rw_exit with lock not held")
+        if st["readers"] == 0 and not st["writer"]:
+            if st["wwaiting"]:
+                yield from self._wcv.signal()
+            else:
+                yield from self._rcv.broadcast()
+        yield from self._m.exit()
+
+    def _downgrade_shared(self):
+        yield from self._m.enter()
+        st = self._load_state()
+        if not st["writer"]:
+            yield from self._m.exit()
+            raise SyncError(f"{self.name}: rw_downgrade by non-writer")
+        st["writer"] = 0
+        st["readers"] = 1
+        self.downgrades += 1
+        if not st["wwaiting"]:
+            yield from self._rcv.broadcast()
+        yield from self._m.exit()
+
+    def _tryupgrade_shared(self):
+        yield from self._m.enter()
+        st = self._load_state()
+        ok = False
+        if st["readers"] == 1 and not st["writer"] and not st["wwaiting"]:
+            st["readers"] = 0
+            st["writer"] = 1
+            self.upgrades += 1
+            ok = True
+        yield from self._m.exit()
+        return ok

@@ -1,0 +1,145 @@
+"""Counting semaphores.
+
+"The semaphore synchronization facilities provide classic counting
+semaphores.  They are not as efficient as mutex locks, but they need not
+be bracketed so that they may be used for asynchronous event notification
+(e.g. in signal handlers).  They also contain state so they may be used
+asynchronously without acquiring a mutex as required by condition
+variables."
+
+This is also the primitive of the paper's Figure 6 benchmark: two threads
+ping-ponging through ``sema_v``/``sema_p`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SyncError
+from repro.hw.isa import Charge, GetContext, Syscall, Touch
+from repro.sync.variants import (SharedCell, SyncVariable,
+                                 usync_block_retry)
+from repro.threads.scheduler import NO_SLEEP
+
+#: Wake-token handed from sema_v to the thread it resumes.
+_TOKEN = "sema-token"
+
+
+class Semaphore(SyncVariable):
+    """A counting semaphore (sema_init / sema_p / sema_v / sema_tryp)."""
+
+    KIND = "sema"
+
+    def __init__(self, count: int = 0, vtype: int = 0,
+                 cell: Optional[SharedCell] = None, name: str = ""):
+        super().__init__(vtype, cell, name)
+        if count < 0:
+            raise SyncError("semaphore count must be >= 0")
+        if self.is_shared:
+            if cell.load() == 0 and count:
+                cell.store(count)
+        else:
+            self.count = count
+        self.waiters: list = []
+        # Statistics.
+        self.p_ops = 0
+        self.v_ops = 0
+        self.blocks = 0
+
+    # ---------------------------------------------------------------- P
+
+    def p(self):
+        """Generator: decrement, blocking while the count is zero."""
+        self.p_ops += 1
+        if self.is_shared:
+            yield from self._p_shared()
+            return
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        yield Charge(ctx.costs.sync_user_op)
+        while True:
+            if self.count > 0:
+                self.count -= 1
+                return
+            self.blocks += 1
+            outcome = yield from lib.block_current_on(
+                self.waiters, reason=self.name,
+                guard=lambda: self.count == 0)
+            if outcome is NO_SLEEP:
+                continue  # a V slipped in before we slept; retry
+            if outcome == _TOKEN:
+                return    # direct handoff from sema_v: count stays consumed
+
+    def tryp(self):
+        """Generator: decrement only if no blocking is required."""
+        self.p_ops += 1
+        if self.is_shared:
+            result = yield from self._tryp_shared()
+            return result
+        ctx = yield GetContext()
+        yield Charge(ctx.costs.sync_user_op)
+        if self.count > 0:
+            self.count -= 1
+            return True
+        return False
+
+    # ---------------------------------------------------------------- V
+
+    def v(self):
+        """Generator: increment, waking one blocked thread if any."""
+        self.v_ops += 1
+        if self.is_shared:
+            yield from self._v_shared()
+            return
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        yield Charge(ctx.costs.sync_user_op)
+        if self.waiters:
+            # Hand the unit straight to the longest waiter.
+            yield from lib.wake_from_queue(self.waiters, n=1, value=_TOKEN)
+        else:
+            self.count += 1
+
+    @property
+    def value(self) -> int:
+        if self.is_shared:
+            return self.cell.load()
+        return self.count
+
+    # ==================================================== shared variant
+    #
+    # The cell holds the count; the kernel's expected-value check closes
+    # the decide-to-sleep window.
+
+    def _p_shared(self):
+        ctx = yield GetContext()
+        cell = self.cell
+        yield Touch(cell.mobj, cell.offset, write=True)
+        yield Charge(ctx.costs.sync_user_op)
+        while True:
+            count = cell.load()
+            if count > 0:
+                cell.store(count - 1)
+                return
+            self.blocks += 1
+            yield from usync_block_retry(cell, 0, f"sema:{self.name}")
+
+    def _tryp_shared(self):
+        ctx = yield GetContext()
+        cell = self.cell
+        yield Touch(cell.mobj, cell.offset, write=True)
+        yield Charge(ctx.costs.sync_user_op)
+        count = cell.load()
+        if count > 0:
+            cell.store(count - 1)
+            return True
+        return False
+
+    def _v_shared(self):
+        ctx = yield GetContext()
+        cell = self.cell
+        yield Touch(cell.mobj, cell.offset, write=True)
+        yield Charge(ctx.costs.sync_user_op)
+        cell.store(cell.load() + 1)
+        yield Syscall("usync_wake", cell.mobj, cell.offset, 1,
+                      label=f"sema:{self.name}")

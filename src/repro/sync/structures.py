@@ -1,0 +1,154 @@
+"""Higher-level coordination structures layered on the paper's
+primitives.
+
+The paper deliberately ships a minimal set (mutex, condvar, semaphore,
+rwlock) and argues richer mechanisms should layer on top — cv_broadcast
+is "appropriate ... to allow threads to contend for variable amounts of
+resources when resources are released".  These are the classic layerings
+a downstream user reaches for first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import SyncError
+from repro.sync.condvar import CondVar
+from repro.sync.mutex import Mutex
+
+
+class Barrier:
+    """A cyclic barrier for ``parties`` threads.
+
+    ``wait()`` blocks until all parties arrive; one arrival (the last)
+    is told it was the serial thread (returns True), the paper-approved
+    broadcast releases the rest, and the barrier resets for reuse.
+    """
+
+    def __init__(self, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise SyncError("barrier needs at least one party")
+        self.parties = parties
+        self.name = name
+        self._m = Mutex(name=f"{name}.m")
+        self._cv = CondVar(name=f"{name}.cv")
+        self._arrived = 0
+        self._cycle = 0
+        self.cycles_completed = 0
+
+    def wait(self):
+        """Generator: arrive; returns True for the last arriver."""
+        yield from self._m.enter()
+        cycle = self._cycle
+        self._arrived += 1
+        if self._arrived == self.parties:
+            # Serial thread: release everyone, start the next cycle.
+            self._arrived = 0
+            self._cycle += 1
+            self.cycles_completed += 1
+            yield from self._cv.broadcast()
+            yield from self._m.exit()
+            return True
+        while cycle == self._cycle:
+            yield from self._cv.wait(self._m)
+        yield from self._m.exit()
+        return False
+
+
+class BoundedQueue:
+    """A bounded producer/consumer queue (two condition variables).
+
+    ``put`` blocks when full; ``get`` blocks when empty; ``close`` wakes
+    everyone and makes further ``get``s return ``sentinel`` once drained.
+    """
+
+    def __init__(self, capacity: int, name: str = "queue",
+                 sentinel: Any = None):
+        if capacity < 1:
+            raise SyncError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self.sentinel = sentinel
+        self._items: list = []
+        self._m = Mutex(name=f"{name}.m")
+        self._not_full = CondVar(name=f"{name}.nf")
+        self._not_empty = CondVar(name=f"{name}.ne")
+        self._closed = False
+        # Statistics.
+        self.puts = 0
+        self.gets = 0
+        self.put_blocks = 0
+        self.get_blocks = 0
+
+    def put(self, item: Any):
+        """Generator: enqueue, blocking while full."""
+        yield from self._m.enter()
+        if self._closed:
+            yield from self._m.exit()
+            raise SyncError(f"{self.name}: put on closed queue")
+        while len(self._items) >= self.capacity and not self._closed:
+            self.put_blocks += 1
+            yield from self._not_full.wait(self._m)
+        if self._closed:
+            yield from self._m.exit()
+            raise SyncError(f"{self.name}: queue closed while blocked")
+        self._items.append(item)
+        self.puts += 1
+        yield from self._not_empty.signal()
+        yield from self._m.exit()
+
+    def get(self):
+        """Generator: dequeue, blocking while empty; sentinel at EOF."""
+        yield from self._m.enter()
+        while not self._items and not self._closed:
+            self.get_blocks += 1
+            yield from self._not_empty.wait(self._m)
+        if self._items:
+            item = self._items.pop(0)
+            self.gets += 1
+            yield from self._not_full.signal()
+            yield from self._m.exit()
+            return item
+        # Closed and drained.
+        yield from self._m.exit()
+        return self.sentinel
+
+    def close(self):
+        """Generator: no more puts; drained gets return the sentinel."""
+        yield from self._m.enter()
+        self._closed = True
+        yield from self._not_empty.broadcast()
+        yield from self._not_full.broadcast()
+        yield from self._m.exit()
+
+    @property
+    def size(self) -> int:
+        return len(self._items)
+
+
+class Latch:
+    """A one-shot countdown latch (count_down / await_zero)."""
+
+    def __init__(self, count: int, name: str = "latch"):
+        if count < 0:
+            raise SyncError("latch count must be >= 0")
+        self.count = count
+        self.name = name
+        self._m = Mutex(name=f"{name}.m")
+        self._cv = CondVar(name=f"{name}.cv")
+
+    def count_down(self):
+        """Generator: decrement; at zero, release all waiters."""
+        yield from self._m.enter()
+        if self.count > 0:
+            self.count -= 1
+            if self.count == 0:
+                yield from self._cv.broadcast()
+        yield from self._m.exit()
+
+    def await_zero(self):
+        """Generator: block until the count reaches zero."""
+        yield from self._m.enter()
+        while self.count > 0:
+            yield from self._cv.wait(self._m)
+        yield from self._m.exit()

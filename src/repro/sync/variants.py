@@ -1,0 +1,119 @@
+"""Synchronization variable variants.
+
+"The programmer may choose the particular implementation variant of the
+synchronization semantic at the time the variable is initialized.  If the
+variable is initialized to zero, a default implementation is used. ...
+The programmer may bitwise-or THREAD_SYNC_SHARED into the variant type to
+specify that the variable is to be shared between processes."
+
+Variants provided (or'able where sensible):
+
+* ``SYNC_DEFAULT`` — sleep on contention (the zero-initialized default).
+* ``SYNC_SPIN`` — busy-wait; only sane when the holder runs on another
+  CPU.
+* ``SYNC_ADAPTIVE`` — the Solaris adaptive mutex: spin while the owner is
+  running on a CPU, sleep otherwise.
+* ``SYNC_DEBUG`` — extra checking (ownership tracking, double-release and
+  recursive-enter detection).
+* ``THREAD_SYNC_SHARED`` — the variable lives in shared memory / a mapped
+  file and synchronizes threads across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import Errno, SyncError, SyscallError
+from repro.hw.isa import Syscall
+
+SYNC_DEFAULT = 0x0
+SYNC_SPIN = 0x1
+SYNC_ADAPTIVE = 0x2
+SYNC_DEBUG = 0x4
+THREAD_SYNC_SHARED = 0x100
+
+#: How long one spin poll costs (roughly an atomic probe + backoff).
+SPIN_POLL_US = 2
+
+
+class SharedCell:
+    """Handle on one word in a shared memory object.
+
+    Holds the (object, offset) pair that identifies a process-shared
+    synchronization variable.  Distinct handles over the same pair alias
+    the same state — that is the whole point.
+    """
+
+    __slots__ = ("mobj", "offset")
+
+    def __init__(self, mobj, offset: int):
+        self.mobj = mobj
+        self.offset = offset
+
+    def load(self):
+        return self.mobj.load_cell(self.offset)
+
+    def store(self, value) -> None:
+        self.mobj.store_cell(self.offset, value)
+
+    def __repr__(self) -> str:
+        return f"<SharedCell {self.mobj.name}+{self.offset}>"
+
+
+class SyncVariable:
+    """Common base: variant decoding and shared-cell plumbing."""
+
+    KIND = "sync"
+
+    def __init__(self, vtype: int = SYNC_DEFAULT,
+                 cell: Optional[SharedCell] = None, name: str = ""):
+        self.vtype = vtype
+        self.name = name or f"{self.KIND}@{id(self):x}"
+        self.cell = cell
+        # Check the raw flag, not the is_shared property: subclasses that
+        # compose shared primitives (RwLock) override the property.
+        flag_shared = bool(vtype & THREAD_SYNC_SHARED)
+        if flag_shared and cell is None:
+            raise SyncError(
+                f"{self.KIND} initialized THREAD_SYNC_SHARED needs a cell "
+                "in shared memory (mmap a file and place it there)")
+        if not flag_shared and cell is not None:
+            raise SyncError(
+                f"{self.KIND} has a shared-memory cell but was not "
+                "initialized with THREAD_SYNC_SHARED")
+
+    @property
+    def is_shared(self) -> bool:
+        return bool(self.vtype & THREAD_SYNC_SHARED)
+
+    @property
+    def is_spin(self) -> bool:
+        return bool(self.vtype & SYNC_SPIN)
+
+    @property
+    def is_adaptive(self) -> bool:
+        return bool(self.vtype & SYNC_ADAPTIVE)
+
+    @property
+    def is_debug(self) -> bool:
+        return bool(self.vtype & SYNC_DEBUG)
+
+
+def usync_block_retry(cell: SharedCell, expected, label: str):
+    """Generator: kernel sleep on a shared cell, retrying on EINTR.
+
+    Signals (notably SIGWAITING, which the kernel sends precisely when
+    a process's LWPs are all in indefinite waits like this one) interrupt
+    the sleep; after the handler runs, the wait simply resumes — the
+    surrounding user-level retry loop re-checks the cell either way.
+    Returns 0 if it slept and was woken, 1 if the kernel's expected-value
+    check declined the sleep.
+    """
+    while True:
+        try:
+            result = yield Syscall("usync_block", cell.mobj, cell.offset,
+                                   expected, label=label)
+            return result
+        except SyscallError as err:
+            if err.errno != Errno.EINTR:
+                raise

@@ -1,0 +1,31 @@
+"""The SunOS MT threads library: user-level threads multiplexed on LWPs."""
+
+from repro.threads.api import (P_THREAD, P_THREAD_ALL,
+                               thread_set_time_slicing,
+                               thread_sigaltstack, thread_waitid)
+from repro.threads.api import (THREAD_BIND_LWP, THREAD_NEW_LWP, THREAD_STOP,
+                               THREAD_WAIT, current_thread, thread_continue,
+                               thread_create, thread_exit, thread_get_id,
+                               thread_kill, thread_priority,
+                               thread_setconcurrency, thread_sigsetmask,
+                               thread_stop, thread_wait, thread_yield,
+                               threads_lib, tls_declare, tls_get, tls_set,
+                               tsd_get, tsd_key_create, tsd_set)
+from repro.threads.scheduler import ThreadsLibrary
+from repro.threads.stack import DEFAULT_STACK_SIZE, Stack, StackAllocator
+from repro.threads.thread import Thread, ThreadState
+from repro.threads.tls import TlsBlock, TlsLayout, TsdKeys
+
+__all__ = [
+    "THREAD_BIND_LWP", "THREAD_NEW_LWP", "THREAD_STOP", "THREAD_WAIT",
+    "thread_continue", "thread_create", "thread_exit", "thread_get_id",
+    "thread_kill", "thread_priority", "thread_setconcurrency",
+    "current_thread", "threads_lib",
+    "P_THREAD", "P_THREAD_ALL", "thread_sigaltstack", "thread_waitid",
+    "thread_set_time_slicing",
+    "thread_sigsetmask", "thread_stop", "thread_wait", "thread_yield",
+    "tls_declare", "tls_get", "tls_set",
+    "tsd_get", "tsd_key_create", "tsd_set",
+    "ThreadsLibrary", "DEFAULT_STACK_SIZE", "Stack", "StackAllocator",
+    "Thread", "ThreadState", "TlsBlock", "TlsLayout", "TsdKeys",
+]

@@ -1,0 +1,97 @@
+"""Process startup glue for the threads library.
+
+"One lightweight process is created by the kernel when a program is
+started, and it starts executing the thread compiled as the main program."
+This module is that startup code: it builds the per-process
+:class:`~repro.threads.scheduler.ThreadsLibrary`, creates thread 1 running
+``main``, puts it on the initial LWP, and registers the library's
+``SIGWAITING`` handler so the pool can grow to avoid deadlock.
+
+Install it on a kernel with :func:`install`; the ``Simulator`` facade does
+this by default.
+"""
+
+from __future__ import annotations
+
+from repro.hw.context import Activity
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.kernel.signals import Sig, Sigset
+from repro.threads.api import _thread_body
+from repro.threads.scheduler import ThreadsLibrary
+from repro.threads.thread import Thread, ThreadState
+from repro.threads.tls import TlsBlock
+
+
+def install(kernel: Kernel) -> None:
+    """Make every new process image in ``kernel`` thread-capable."""
+    kernel.runtime_factory = bootstrap_process
+
+
+def bootstrap_process(kernel: Kernel, proc: Process, main, args: tuple,
+                      extra_lwps: int = 0) -> ThreadsLibrary:
+    """Build the threads runtime and initial thread for one process."""
+    lib = ThreadsLibrary(proc, kernel.costs, kernel.engine)
+    proc.threadlib = lib
+
+    # The library handles SIGWAITING by adding LWPs when threads starve.
+    proc.signals.set_action(Sig.SIGWAITING, _sigwaiting_trampoline,
+                            restart=True)
+
+    # "The size [of TLS] is computed by the run-time linker at program
+    # start time"; programs that need extra unshared variables declare
+    # them in their first few instructions, before creating threads.
+    # We leave the layout open until the first thread_create.
+
+    thread = Thread(
+        lib.new_thread_id(), _main_wrapper(main, args), None,
+        stack=lib.stack_alloc.allocate(),
+        tls_block=TlsBlock(lib.tls_layout),
+        priority=30,
+        sigmask=Sigset(),
+        waitable=False,
+        bound=False)
+    thread.activity = Activity(_thread_body(lib, thread),
+                               name=f"pid{proc.pid}-main")
+    lib.threads[thread.thread_id] = thread
+    lib.threads_created += 1
+
+    lwp = kernel.create_lwp(proc, thread.activity)
+    lib.register_pool_lwp(lwp)
+    lwp.current_thread = thread
+    thread.lwp = lwp
+    thread.state = ThreadState.RUNNING
+
+    for _ in range(extra_lwps):
+        extra = kernel.create_lwp(proc, lib.new_pool_lwp_activity())
+        # Registration happens in the idle boot when the LWP first runs.
+        del extra
+
+    return lib
+
+
+def _main_wrapper(main, args: tuple):
+    """Adapt main(*args) to the thread body convention func(arg)."""
+    def body(_arg):
+        result = yield from _as_gen(main, args)
+        return result
+    return body
+
+
+def _as_gen(main, args: tuple):
+    from repro.hw.context import as_generator
+    result = yield from as_generator(main, *args)
+    return result
+
+
+def _sigwaiting_trampoline(sig: int):
+    """Process-wide SIGWAITING handler: defer to the library instance.
+
+    Runs on whichever LWP the kernel picked; finds the library through the
+    execution context rather than a global.
+    """
+    from repro.hw.isa import GetContext
+    ctx = yield GetContext()
+    lib = ctx.process.threadlib
+    if lib is not None:
+        yield from lib.sigwaiting_handler(sig)

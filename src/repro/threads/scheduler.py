@@ -1,0 +1,494 @@
+"""The user-level threads library: multiplexing threads onto LWPs.
+
+This is the paper's core contribution.  The library lives entirely in the
+process's address space: thread creation, context switch, blocking on a
+synchronization variable, and wakeup of an unbound thread all happen
+without entering the kernel.  The kernel is entered only to:
+
+* create/destroy LWPs (bound threads, pool growth, setconcurrency);
+* park an LWP that has no thread to run, and unpark it when work arrives;
+* sleep on *process-shared* synchronization variables;
+* perform the thread's own system calls (during which "the thread needing
+  the system service remains bound to the LWP executing it").
+
+The library reacts to ``SIGWAITING`` — sent by the kernel when every LWP
+of the process blocks in an indefinite wait — by creating another LWP if
+runnable threads exist, which is how "the library automatically creates as
+many LWPs for use in scheduling unbound threads as required to avoid
+deadlock".
+
+Concurrency-safety idiom: the simulator executes the code between two
+``yield`` points atomically (one discrete event).  Costs are charged
+*before* state is published, and the publish + run-queue pick + context
+switch happen in a single yield-free block — the simulator analogue of the
+short spin-protected critical sections the real library uses.  The one
+unavoidable window (a bound thread publishing, then parking its LWP via a
+system call) is closed by the kernel's park *permit*, exactly as on real
+SunOS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.errors import Errno, SyscallError, ThreadError
+from repro.hw.context import Activity, as_generator
+from repro.hw.isa import Charge, GetContext, SwitchTo, Syscall
+from repro.kernel.signals import Disposition, Sig
+from repro.threads.stack import StackAllocator
+from repro.threads.thread import Thread, ThreadState
+from repro.threads.tls import TlsLayout, TsdKeys
+
+#: Safety valve on automatic pool growth (per process).
+MAX_AUTO_LWPS = 64
+
+#: Sentinel for make_runnable: keep the resume value already stored on the
+#: thread's activity (used by thread_continue, which must not clobber the
+#: value a sync wakeup delivered while the thread was stopped).
+KEEP_VALUE = object()
+
+#: Returned by block_current_on when the guard predicate vetoed the sleep.
+NO_SLEEP = object()
+
+
+class _ThreadRunQueue:
+    """Priority FIFO of runnable unbound threads (user-level dispatcher).
+
+    The paper promises programs "no way to predict how the instructions of
+    different threads are interleaved"; we keep FIFO per priority so
+    simulations are nevertheless deterministic.
+    """
+
+    def __init__(self):
+        self._queues: dict[int, deque[Thread]] = {}
+        self._count = 0
+
+    def insert(self, thread: Thread, front: bool = False) -> None:
+        q = self._queues.setdefault(thread.priority, deque())
+        if front:
+            q.appendleft(thread)
+        else:
+            q.append(thread)
+        self._count += 1
+
+    def pop_best(self) -> Optional[Thread]:
+        for prio in sorted(self._queues, reverse=True):
+            q = self._queues[prio]
+            if q:
+                self._count -= 1
+                return q.popleft()
+        return None
+
+    def remove(self, thread: Thread) -> bool:
+        for q in self._queues.values():
+            try:
+                q.remove(thread)
+                self._count -= 1
+                return True
+            except ValueError:
+                continue
+        return False
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, thread: Thread) -> bool:
+        return any(thread in q for q in self._queues.values())
+
+
+class ThreadsLibrary:
+    """Per-process user-level threads runtime (lives at proc.threadlib)."""
+
+    def __init__(self, process, costs, engine):
+        self.process = process
+        self.costs = costs
+        self.engine = engine  # instrumentation only (traces, time reads)
+
+        self.threads: dict[int, Thread] = {}
+        self._next_id = 1
+        self._free_ids: list[int] = []
+        self.runq = _ThreadRunQueue()
+
+        # LWP pool for unbound threads.
+        self.pool_lwps: dict[int, Any] = {}     # lwp_id -> Lwp
+        self.parked: list = []                  # Lwps parked or parking
+        self.concurrency_target = 0             # 0 = automatic
+        self._shrink_quota = 0                  # idle LWPs asked to exit
+
+        self.stack_alloc = StackAllocator()
+        self.tls_layout = TlsLayout()
+        self.tls_layout.declare("errno")
+        self.tsd = TsdKeys(self.tls_layout)
+
+        # thread_wait(None) blockers and their results.
+        self.any_waiters: list[Thread] = []
+        self.any_reaped: dict[int, int] = {}    # waiter tid -> reaped tid
+
+        # Optional preemptive time slicing of unbound threads (armed via
+        # per-LWP virtual timers + SIGVTALRM; 0 = cooperative only).
+        self.time_slice_ns = 0
+
+        # Statistics (read by experiments).
+        self.user_switches = 0
+        self.unparks_requested = 0
+        self.threads_created = 0
+        self.lwps_grown_by_sigwaiting = 0
+        self.preemptive_slices = 0
+
+    # ================================================== identity / lookup
+
+    def new_thread_id(self) -> int:
+        """Allocate an ID, preferring recycled ones (the paper allows
+        reuse as soon as a non-THREAD_WAIT thread exits)."""
+        if self._free_ids:
+            return self._free_ids.pop()
+        tid = self._next_id
+        self._next_id += 1
+        return tid
+
+    def retire_id(self, thread: Thread) -> None:
+        """Make the ID reusable and drop the bookkeeping entry."""
+        if self.threads.pop(thread.thread_id, None) is not None:
+            self._free_ids.append(thread.thread_id)
+
+    def get_thread(self, thread_id: int) -> Thread:
+        thread = self.threads.get(thread_id)
+        if thread is None:
+            raise ThreadError(f"no such thread: {thread_id}")
+        return thread
+
+    def all_threads(self) -> list[Thread]:
+        return [self.threads[i] for i in sorted(self.threads)]
+
+    def live_count(self) -> int:
+        return sum(1 for t in self.threads.values() if not t.exited)
+
+    # ================================================== LWP bookkeeping
+
+    def register_pool_lwp(self, lwp) -> None:
+        self.pool_lwps[lwp.lwp_id] = lwp
+
+    def unregister_pool_lwp(self, lwp) -> None:
+        self.pool_lwps.pop(lwp.lwp_id, None)
+        if lwp in self.parked:
+            self.parked.remove(lwp)
+
+    def adopt(self, lwp, thread: Thread) -> None:
+        """Put ``thread`` on ``lwp`` — "loading the registers and assuming
+        the identity of the thread" (paper, Figure 2b)."""
+        lwp.current_thread = thread
+        thread.lwp = lwp
+        thread.state = ThreadState.RUNNING
+        # The mask belongs to the thread; the library keeps the LWP's
+        # kernel-visible mask in sync without a system call (the cached
+        # user-level mask trick), so a switch stays pure user mode.
+        lwp.sigmask = thread.sigmask
+        self.user_switches += 1
+
+    def detach(self, lwp, thread: Thread) -> None:
+        """Take ``thread`` off ``lwp`` (Figure 2c: save state back)."""
+        if lwp.current_thread is thread:
+            lwp.current_thread = None
+        if thread.lwp is lwp:
+            thread.lwp = None
+
+    # ================================================== wakeup machinery
+
+    def make_runnable(self, thread: Thread,
+                      value: Any = None) -> list[int]:
+        """Transition a thread to RUNNABLE.
+
+        Returns the (possibly empty) list of LWP ids the caller must
+        ``lwp_unpark`` — a kernel call.  An empty list is the pure
+        user-mode wakeup at the heart of Figure 6's unbound row.
+        """
+        if value is not KEEP_VALUE:
+            thread.wake_value = value
+        if thread.stop_pending:
+            # A deferred thread_stop overtakes the wakeup.
+            thread.stop_pending = False
+            thread.state = ThreadState.STOPPED
+            return self._collect_stop_waiter_unparks(thread)
+        thread.state = ThreadState.RUNNABLE
+        if thread.bound:
+            # Its dedicated LWP is parked (or about to park): wake it.
+            self.unparks_requested += 1
+            return [thread.lwp.lwp_id]
+        self.runq.insert(thread)
+        if self.parked:
+            lwp = self.parked.pop(0)
+            self.unparks_requested += 1
+            return [lwp.lwp_id]
+        return []
+
+    def wake_thread(self, thread: Thread, value: Any = None):
+        """Generator: make runnable and issue any required unparks."""
+        for lwp_id in self.make_runnable(thread, value):
+            yield Syscall("lwp_unpark", lwp_id)
+
+    def wake_from_queue(self, queue: list, n: int = 1, value: Any = None):
+        """Generator: wake up to ``n`` threads off a user wait queue;
+        returns how many were woken."""
+        woken = 0
+        unparks: list[int] = []
+        while queue and woken < n:
+            thread = queue.pop(0)
+            thread.wait_queue = None
+            unparks.extend(self.make_runnable(thread, value))
+            woken += 1
+        for lwp_id in unparks:
+            yield Syscall("lwp_unpark", lwp_id)
+        return woken
+
+    # ================================================== blocking / switch
+
+    def block_current_on(self, queue: list, reason: str = "sync",
+                         guard: Optional[Callable[[], bool]] = None):
+        """Generator: sleep the current thread on a user-level wait queue.
+
+        Returns the value passed by the waker.  Cost is charged first;
+        then the guard check, enqueue, run-queue pick, and context switch
+        execute in one atomic (yield-free) block, so there is no
+        lost-wakeup window.
+
+        ``guard``, if given, is evaluated inside the atomic block: when it
+        returns False the thread does not sleep and :data:`NO_SLEEP` is
+        returned — the check-then-block primitive the sync package builds
+        semaphores and condition variables from.
+        """
+        ctx = yield GetContext()
+        thread = ctx.thread
+        if not thread.bound:
+            yield Charge(self.costs.thread_sched_pick)
+        # ---- atomic from here to the switch ----
+        if guard is not None and not guard():
+            return NO_SLEEP
+        thread.state = ThreadState.SLEEPING
+        thread.wait_queue = queue
+        queue.append(thread)
+        value = yield from self._switch_away(ctx.lwp, thread)
+        return value
+
+    def reschedule(self, publish: Optional[Callable[[], None]] = None):
+        """Generator: publish a state change and give up the LWP.
+
+        ``publish`` runs atomically with the switch (after costs are
+        charged).  Returns when the thread next runs.
+        """
+        ctx = yield GetContext()
+        thread = ctx.thread
+        if not thread.bound:
+            yield Charge(self.costs.thread_sched_pick)
+        if publish is not None:
+            publish()
+        yield from self._switch_away(ctx.lwp, thread)
+
+    def _switch_away(self, lwp, thread: Thread):
+        """Atomic tail: hand the LWP to the next thread or the idle loop.
+
+        Resumes (much later) when this thread is adopted again; returns
+        the waker's value.
+        """
+        if thread.bound:
+            # Publishing already happened; the park permit absorbs an
+            # unpark that lands before the park syscall blocks.
+            while thread.state not in (ThreadState.RUNNABLE,
+                                       ThreadState.RUNNING):
+                try:
+                    yield Syscall("lwp_park")
+                except SyscallError as err:
+                    if err.errno != Errno.EINTR:
+                        raise
+            thread.state = ThreadState.RUNNING
+        else:
+            nxt = self.runq.pop_best()
+            self.detach(lwp, thread)
+            if nxt is not None:
+                self.adopt(lwp, nxt)
+                yield SwitchTo(nxt.activity)
+            else:
+                yield SwitchTo(self.idle_activity(lwp))
+        thread.wait_queue = None
+        value = thread.wake_value
+        thread.wake_value = None
+        yield from self.at_resume_point()
+        return value
+
+    def at_resume_point(self):
+        """Generator: housekeeping when a thread gets the CPU back —
+        deferred stops, stop-waiter wakeups, user-routed signals."""
+        ctx = yield GetContext()
+        thread = ctx.thread
+        if thread is None:
+            return
+        if thread.stop_pending:
+            thread.stop_pending = False
+            # Wake thread_stop() callers *before* switching away: the
+            # stop is committed (this thread runs no more user code), and
+            # deferring their unparks would strand any LWP make_runnable
+            # popped from the parked list.
+            for lwp_id in self._collect_stop_waiter_unparks(thread):
+                yield Syscall("lwp_unpark", lwp_id)
+            yield from self.reschedule(
+                publish=lambda: self._enter_stopped(thread))
+            return
+        yield from self.deliver_pending_signals(ctx)
+
+    def _enter_stopped(self, thread: Thread) -> None:
+        thread.state = ThreadState.STOPPED
+
+    def _collect_stop_waiter_unparks(self, thread: Thread) -> list[int]:
+        """Wake thread_stop() callers blocked until this thread stopped."""
+        waiters = getattr(thread, "_stop_waiters", None)
+        if not waiters:
+            return []
+        unparks: list[int] = []
+        for waiter in list(waiters):
+            unparks.extend(self.make_runnable(waiter, value=None))
+        waiters.clear()
+        return unparks
+
+    # ================================================== the idle loop
+
+    def idle_activity(self, lwp) -> Activity:
+        """The per-LWP idle context: looks for work, parks when idle.
+
+        Created lazily; an idle activity only ever runs on its own LWP.
+        """
+        act = getattr(lwp, "_idle_activity", None)
+        if act is None:
+            act = Activity(self._idle_loop(lwp), name=f"{lwp.name}-idle")
+            lwp._idle_activity = act
+        return act
+
+    def _idle_loop(self, lwp):
+        while True:
+            if (self.time_slice_ns and lwp.vtimer_remaining_ns == 0):
+                # Library time slicing is on: (re)arm this LWP's virtual
+                # timer before handing it to a thread.
+                yield Syscall("setitimer", 1, self.time_slice_ns)
+            yield Charge(self.costs.thread_sched_pick)
+            nxt = self.runq.pop_best()
+            if nxt is not None:
+                self.adopt(lwp, nxt)
+                yield SwitchTo(nxt.activity)
+                continue
+            if self._shrink_quota > 0 and len(self.pool_lwps) > 1:
+                # setconcurrency asked for fewer LWPs; oblige by exiting.
+                self._shrink_quota -= 1
+                self.unregister_pool_lwp(lwp)
+                yield Syscall("lwp_exit")
+            self.parked.append(lwp)
+            try:
+                yield Syscall("lwp_park")
+            except SyscallError as err:
+                if err.errno != Errno.EINTR:
+                    raise
+            if lwp in self.parked:  # woken by a signal, not an unpark
+                self.parked.remove(lwp)
+
+    def idle_boot(self):
+        """Root generator for a brand-new pool LWP."""
+        ctx = yield GetContext()
+        lwp = ctx.lwp
+        self.register_pool_lwp(lwp)
+        lwp._idle_activity = lwp.current_activity
+        yield from self._idle_loop(lwp)
+
+    def new_pool_lwp_activity(self) -> Activity:
+        return Activity(self.idle_boot(), name="pool-idle-boot")
+
+    # ================================================== SIGWAITING growth
+
+    def sigwaiting_handler(self, sig: int):
+        """User handler for SIGWAITING: add an LWP if threads are starving.
+
+        "The threads package can use the receipt of SIGWAITING to cause
+        extra LWPs to be created as required to avoid deadlock."
+        """
+        if len(self.runq) == 0 or self.parked:
+            return
+        if len(self.pool_lwps) >= MAX_AUTO_LWPS:
+            return
+        self.lwps_grown_by_sigwaiting += 1
+        lwp_id = yield Syscall("lwp_create", self.new_pool_lwp_activity())
+        self.register_pool_lwp(self.process.lwps[lwp_id])
+
+    # ================================================== signal routing
+
+    def route_thread_signal(self, thread_id: int, sig: Sig):
+        """thread_kill/sigsend(P_THREAD) routing decision.
+
+        Marks the signal pending on the thread (trap semantics: only that
+        thread handles it) and returns the LWP to poke via the kernel when
+        the thread is currently riding one with the signal unmasked, else
+        None (delivery happens at the thread's next resume point).
+        """
+        thread = self.get_thread(thread_id)
+        if thread.exited:
+            raise ThreadError(f"thread {thread_id} has exited")
+        if thread.lwp is not None and sig not in thread.sigmask:
+            # Riding an LWP (running, or temporarily bound inside a system
+            # call) with the signal unmasked: the kernel can deliver it to
+            # that LWP directly, which *is* this thread's context.
+            return thread.lwp
+        thread.pending.add(sig)
+        return None
+
+    def deliver_pending_signals(self, ctx):
+        """Generator: run handlers for this thread's deliverable signals.
+
+        thread_kill signals behave like traps: handled by this thread
+        only, in signal-number order, respecting the thread's mask.
+        """
+        thread = ctx.thread
+        proc = self.process
+        for sig in thread.pending.signals():
+            if sig in thread.sigmask:
+                continue
+            thread.pending.discard(sig)
+            action = proc.signals.action(sig)
+            if action.is_ignore():
+                continue
+            if action.is_default():
+                disp = proc.signals.disposition(sig)
+                if disp in (Disposition.EXIT, Disposition.CORE):
+                    yield Syscall("exit", 128 + int(sig))
+                elif disp is Disposition.STOP:
+                    yield Syscall("kill", proc.pid, int(Sig.SIGSTOP))
+                continue
+            proc.signals.delivered_count[sig] += 1
+            yield Charge(self.costs.signal_deliver)
+            old_mask = thread.sigmask
+            during = old_mask.union(action.mask)
+            during.add(sig)
+            thread.sigmask = during
+            if thread.lwp is not None:
+                thread.lwp.sigmask = during
+            try:
+                yield from as_generator(action.handler, int(sig))
+            finally:
+                thread.sigmask = old_mask
+                if thread.lwp is not None:
+                    thread.lwp.sigmask = old_mask
+            yield Charge(self.costs.signal_return)
+
+    # ================================================== debug / reporting
+
+    def snapshot(self) -> dict:
+        """Library state summary (debugger/threads-library cooperation)."""
+        states: dict[str, int] = {}
+        for t in self.threads.values():
+            states[t.state.value] = states.get(t.state.value, 0) + 1
+        return {
+            "threads": len(self.threads),
+            "live": self.live_count(),
+            "states": states,
+            "runq": len(self.runq),
+            "pool_lwps": len(self.pool_lwps),
+            "parked": len(self.parked),
+            "user_switches": self.user_switches,
+            "unparks": self.unparks_requested,
+            "stack_cache": self.stack_alloc.cached_count,
+        }

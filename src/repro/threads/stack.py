@@ -1,0 +1,93 @@
+"""Thread stacks and the default-stack cache.
+
+The paper's creation benchmark "measures the time consumed to create a
+thread using a default stack that is cached by the threads package", and
+thread_create() lets the program supply its own stack so "a language
+run-time library [can] control thread storage without interference with
+its memory allocator" — one of the explicit design goals (no forced
+malloc()).
+
+Stacks are plain data in the process address space; the library tracks
+their bytes so experiments can report per-thread memory footprint (the
+M:N argument: thousands of threads must not need kernel memory).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: SunOS-era default thread stack (goal: thousands of threads per process).
+DEFAULT_STACK_SIZE = 8 * 1024
+
+
+class Stack:
+    """One thread stack: either library-allocated or caller-supplied."""
+
+    __slots__ = ("size", "caller_supplied", "addr", "tls_reserved")
+
+    def __init__(self, size: int, caller_supplied: bool = False,
+                 addr: Optional[int] = None, tls_reserved: int = 0):
+        self.size = size
+        self.caller_supplied = caller_supplied
+        self.addr = addr
+        # "any thread-local storage is also placed on the stack so as not
+        # to interfere with stack growth" (caller-supplied stacks).
+        self.tls_reserved = tls_reserved
+
+    def __repr__(self) -> str:
+        kind = "user" if self.caller_supplied else "lib"
+        return f"<Stack {self.size}B {kind}>"
+
+
+class StackAllocator:
+    """Allocates and caches default-size stacks for the threads library."""
+
+    def __init__(self, default_size: int = DEFAULT_STACK_SIZE,
+                 cache_limit: int = 64):
+        self.default_size = default_size
+        self.cache_limit = cache_limit
+        self._cache: list[Stack] = []
+        # Accounting for the footprint experiments.
+        self.allocated_bytes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def allocate(self, stack_addr: Optional[int] = None,
+                 stack_size: int = 0, tls_reserved: int = 0) -> Stack:
+        """thread_create()'s stack logic.
+
+        * ``stack_addr`` given: use the caller's memory (TLS placed on it).
+        * otherwise: "the stack is allocated from the heap", using the
+          cache when the requested size is the default.
+        """
+        if stack_addr is not None:
+            if stack_size <= 0:
+                raise ValueError("caller-supplied stack needs a size")
+            return Stack(stack_size, caller_supplied=True, addr=stack_addr,
+                         tls_reserved=tls_reserved)
+        size = stack_size if stack_size else self.default_size
+        if size == self.default_size and self._cache:
+            self.cache_hits += 1
+            return self._cache.pop()
+        self.cache_misses += 1
+        self.allocated_bytes += size
+        return Stack(size)
+
+    def release(self, stack: Stack) -> None:
+        """Return a stack at thread exit.
+
+        Caller-supplied stacks are never cached: "If a stack was supplied
+        by the programmer ... it may be reclaimed when thread_wait()
+        returns" — reclaiming is the program's business, not ours.
+        """
+        if stack.caller_supplied:
+            return
+        if (stack.size == self.default_size
+                and len(self._cache) < self.cache_limit):
+            self._cache.append(stack)
+        else:
+            self.allocated_bytes -= stack.size
+
+    @property
+    def cached_count(self) -> int:
+        return len(self._cache)

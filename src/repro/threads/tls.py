@@ -1,0 +1,150 @@
+"""Thread-local storage (the ``#pragma unshared`` mechanism).
+
+The paper's model:
+
+* Thread-local variables are declared to the compiler/linker
+  (``#pragma unshared errno``); we model the declaration step with
+  :meth:`TlsLayout.declare`.
+* "The size of thread-local storage is computed by the run-time linker at
+  program start time by summing the thread-local storage requirements of
+  the linked libraries. ... Once the size is computed it is not changed."
+  :meth:`TlsLayout.freeze` is that start-time computation; declaring after
+  the freeze raises, exactly like dynamic linking cannot grow TLS.
+* "The contents of thread-local storage are zeroed, initially; static
+  initialization is not allowed."
+* errno is the canonical occupant; the runtime declares it.
+
+"More dynamic mechanisms (such as POSIX thread-specific data) can be
+built using thread-local storage" — :class:`TsdKeys` demonstrates exactly
+that, built purely on one TLS slot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ThreadError
+
+#: Modeled per-slot size, only used for footprint accounting.
+SLOT_BYTES = 8
+
+
+class TlsLayout:
+    """Per-process registry of thread-local variables (link-time view)."""
+
+    def __init__(self):
+        self._slots: dict[str, int] = {}
+        self.frozen = False
+
+    def declare(self, name: str) -> int:
+        """Register a thread-local variable; returns its slot index."""
+        if self.frozen:
+            raise ThreadError(
+                f"TLS size is fixed at program start; cannot add {name!r} "
+                "(the paper forbids growing TLS by dynamic linking)")
+        if name in self._slots:
+            return self._slots[name]
+        index = len(self._slots)
+        self._slots[name] = index
+        return index
+
+    def freeze(self) -> int:
+        """Start-time size computation; returns the size in bytes."""
+        self.frozen = True
+        return self.size_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._slots) * SLOT_BYTES
+
+    def index_of(self, name: str) -> int:
+        if name not in self._slots:
+            raise ThreadError(f"no thread-local variable {name!r}")
+        return self._slots[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._slots, key=self._slots.get)
+
+
+class TlsBlock:
+    """One thread's copy of the thread-local variables (zero-initialized).
+
+    Allocated at thread startup ("thread-local storage requirements are
+    known at thread startup time and can be allocated as part of stack
+    storage").
+    """
+
+    __slots__ = ("_layout", "_values")
+
+    def __init__(self, layout: TlsLayout):
+        self._layout = layout
+        self._values: list[Any] = [0] * len(layout._slots)
+
+    def get(self, name: str) -> Any:
+        return self._values[self._layout.index_of(name)]
+
+    def set(self, name: str, value: Any) -> None:
+        self._values[self._layout.index_of(name)] = value
+
+    @property
+    def errno(self) -> int:
+        """The C library's canonical thread-local variable."""
+        return self.get("errno")
+
+    @errno.setter
+    def errno(self, value: int) -> None:
+        self.set("errno", value)
+
+
+class TsdKeys:
+    """POSIX-style thread-specific data built on a single TLS slot.
+
+    Demonstrates the paper's claim that dynamic mechanisms layer on top of
+    static TLS: the slot holds a per-thread dict, keys are created at any
+    time, and destructors run at thread exit.
+    """
+
+    SLOT = "__tsd__"
+
+    def __init__(self, layout: TlsLayout):
+        layout.declare(self.SLOT)
+        self._next_key = 1
+        self._destructors: dict[int, Optional[Any]] = {}
+
+    def key_create(self, destructor=None) -> int:
+        key = self._next_key
+        self._next_key += 1
+        self._destructors[key] = destructor
+        return key
+
+    def key_delete(self, key: int) -> None:
+        self._destructors.pop(key, None)
+
+    def _dict_of(self, tls: TlsBlock) -> dict:
+        d = tls.get(self.SLOT)
+        if d == 0:
+            d = {}
+            tls.set(self.SLOT, d)
+        return d
+
+    def set_specific(self, tls: TlsBlock, key: int, value: Any) -> None:
+        if key not in self._destructors:
+            raise ThreadError(f"no such TSD key {key}")
+        self._dict_of(tls)[key] = value
+
+    def get_specific(self, tls: TlsBlock, key: int) -> Any:
+        return self._dict_of(tls).get(key)
+
+    def run_destructors(self, tls: TlsBlock) -> list:
+        """Called by thread_exit; returns the (key, value) pairs handled."""
+        d = tls.get(self.SLOT)
+        if d == 0:
+            return []
+        handled = []
+        for key, value in sorted(d.items()):
+            dtor = self._destructors.get(key)
+            if dtor is not None and value is not None:
+                dtor(value)
+                handled.append((key, value))
+        d.clear()
+        return handled

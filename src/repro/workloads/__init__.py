@@ -1,0 +1,9 @@
+"""Reference workloads from the paper's motivation section.
+
+Each module exposes ``build(**params) -> (main, results)``: spawn ``main``
+in a :class:`repro.api.Simulator`, run, then read ``results``.
+"""
+
+from repro.workloads import array_compute, database, network_server, window_system
+
+__all__ = ["array_compute", "database", "network_server", "window_system"]

@@ -1,0 +1,93 @@
+"""The parallel array computation workload.
+
+The paper's argument for bound threads and thread/LWP ratio control: "A
+parallel array computation divides the rows of its arrays among different
+threads.  If there is one LWP per processor, but multiple threads per
+LWP, each processor would spend overhead switching between threads.  It
+would be better to know that there is one thread per LWP, divide the rows
+among a smaller number of threads, and reduce the number of thread
+switches."
+
+``build()`` divides ``rows`` of ``row_cost_usec`` work among ``n_threads``
+threads over ``n_lwps`` LWPs (via thread_setconcurrency, or bound threads
+when ``n_threads == n_lwps`` and ``bind`` is set), with a barrier-style
+join at the end.  ABL2 sweeps threads-per-LWP and shows the overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime import libc, unistd
+from repro.sync import CondVar, Mutex
+from repro.threads import api as threads
+
+
+def build(rows: int = 256, row_cost_usec: float = 200.0,
+          n_threads: int = 8, n_lwps: int = 4,
+          bind: bool = False,
+          yield_between_rows: bool = True) -> tuple[Callable, dict]:
+    """Build the array-computation program.
+
+    ``yield_between_rows`` models a computation whose inner loop
+    cooperatively yields (e.g. touches shared state) — this is what makes
+    excess threads-per-LWP cost switches.  With ``bind`` each thread is
+    permanently bound to its own LWP ("thread code that is really LWP
+    code"), the paper's recommended configuration at 1 thread/LWP.
+    """
+    results: dict = {}
+
+    def main():
+        if bind and n_threads != n_lwps:
+            raise ValueError("bind requires n_threads == n_lwps")
+        if not bind:
+            yield from threads.thread_setconcurrency(n_lwps)
+
+        per_thread = rows // n_threads
+        extra = rows % n_threads
+        done = {"count": 0}
+        # Start gate: creation (especially expensive bound creation) is
+        # excluded from the measured window; the paper's claim concerns
+        # steady-state switching overhead.
+        gate = {"open": False, "m": Mutex(), "cv": CondVar()}
+
+        def worker(nrows: int):
+            yield from gate["m"].enter()
+            while not gate["open"]:
+                yield from gate["cv"].wait(gate["m"])
+            yield from gate["m"].exit()
+            for _ in range(nrows):
+                yield from libc.compute(row_cost_usec)
+                if yield_between_rows:
+                    yield from threads.thread_yield()
+            done["count"] += 1
+
+        flags = threads.THREAD_WAIT | (threads.THREAD_BIND_LWP
+                                       if bind else 0)
+        tids = []
+        for i in range(n_threads):
+            nrows = per_thread + (1 if i < extra else 0)
+            tid = yield from threads.thread_create(worker, nrows,
+                                                   flags=flags)
+            tids.append(tid)
+
+        start = yield from unistd.gettimeofday()
+        yield from gate["m"].enter()
+        gate["open"] = True
+        yield from gate["cv"].broadcast()
+        yield from gate["m"].exit()
+        for tid in tids:
+            yield from threads.thread_wait(tid)
+        end = yield from unistd.gettimeofday()
+
+        from repro.hw.isa import GetContext
+        ctx = yield GetContext()
+        results["elapsed_usec"] = (end - start) / 1000.0
+        results["threads_done"] = done["count"]
+        results["user_switches"] = ctx.process.threadlib.user_switches
+        results["ideal_usec"] = (rows * row_cost_usec
+                                 / min(n_lwps, ctx.kernel.machine.ncpus))
+        results["overhead_ratio"] = (results["elapsed_usec"]
+                                     / results["ideal_usec"])
+
+    return main, results

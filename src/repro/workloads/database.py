@@ -1,0 +1,104 @@
+"""The database record-locking workload.
+
+Straight from the paper: "a file can be created that contains data base
+records.  Each record can contain a mutual exclusion lock variable that
+controls access to the associated record.  A process can map the file and
+a thread within it can obtain the lock associated with a particular
+record ... if any thread within any process mapping the file attempts to
+acquire the lock that thread will block until the lock is released."
+
+``build()`` creates the record file, forks ``n_processes`` worker
+processes each running ``n_threads`` threads, and has every thread
+perform read-modify-write transactions on seeded-random records under the
+record's *in-file* mutex.  The final consistency check (sum of all record
+counters equals the number of committed transactions) only passes if
+cross-process mutual exclusion actually works.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime import libc, mapped, unistd
+from repro.sync import Mutex, THREAD_SYNC_SHARED
+from repro.threads import api as threads
+
+RECORD_SIZE = 64
+_DB_PATH = "/db/records"
+
+
+def _record_mutex(region: mapped.MappedRegion, record: int) -> Mutex:
+    """The lock variable embedded in record ``record`` of the file."""
+    return Mutex(THREAD_SYNC_SHARED,
+                 cell=region.cell(record * RECORD_SIZE),
+                 name=f"rec{record}.m")
+
+
+def _counter_offset(record: int) -> int:
+    return record * RECORD_SIZE + 8
+
+
+def build(n_records: int = 16, n_processes: int = 2, n_threads: int = 3,
+          txns_per_thread: int = 20,
+          txn_compute_usec: float = 80.0,
+          seed: int = 0) -> tuple[Callable, dict]:
+    """Build the database program; results gain commit counts and the
+    cross-process consistency verdict."""
+    results: dict = {}
+    file_size = n_records * RECORD_SIZE
+
+    def worker_process(proc_index: int):
+        region = yield from mapped.map_shared_file(_DB_PATH, file_size)
+
+        def txn_thread(thread_index: int):
+            import random
+            rng = random.Random(f"{seed}/{proc_index}/{thread_index}")
+            for _ in range(txns_per_thread):
+                record = rng.randrange(n_records)
+                lock = _record_mutex(region, record)
+                yield from lock.enter()
+                # Read-modify-write of the record's counter cell.
+                counter = region.mobj.load_cell(_counter_offset(record))
+                yield from libc.compute(txn_compute_usec)
+                region.mobj.store_cell(_counter_offset(record),
+                                       counter + 1)
+                yield from lock.exit()
+
+        tids = []
+        for t in range(n_threads):
+            tid = yield from threads.thread_create(
+                txn_thread, t, flags=threads.THREAD_WAIT)
+            tids.append(tid)
+        for tid in tids:
+            yield from threads.thread_wait(tid)
+
+    def main():
+        yield from unistd.mkdir("/db")
+        region = yield from mapped.map_shared_file(_DB_PATH, file_size)
+
+        start = yield from unistd.gettimeofday()
+        pids = []
+        for p in range(n_processes):
+            pid = yield from unistd.fork1(worker_process, p)
+            pids.append(pid)
+        for pid in pids:
+            yield from unistd.waitpid(pid)
+        end = yield from unistd.gettimeofday()
+
+        committed = sum(
+            region.mobj.load_cell(_counter_offset(r))
+            for r in range(n_records))
+        expected = n_processes * n_threads * txns_per_thread
+        locks_held = sum(
+            1 for r in range(n_records)
+            if region.mobj.load_cell(r * RECORD_SIZE) != 0)
+        results["committed"] = committed
+        results["expected"] = expected
+        results["consistent"] = committed == expected
+        results["locks_left_held"] = locks_held
+        results["elapsed_usec"] = (end - start) / 1000.0
+        results["throughput_per_sec"] = (
+            committed / (results["elapsed_usec"] / 1e6)
+            if results["elapsed_usec"] else 0.0)
+
+    return main, results

@@ -1,0 +1,132 @@
+"""The network-server workload.
+
+"A network server may indirectly need its own service (and therefore
+another thread of control) to handle requests."  Clients in separate
+processes write requests into a FIFO; the server's acceptor thread reads
+them and hands each to a worker thread, which performs file I/O plus
+computation and appends a response to a results file.  Because workers
+block in the kernel (file reads), the LWP pool must grow via SIGWAITING
+for the server to stay responsive — the deadlock-avoidance machinery
+exercised end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.kernel.fs.file import O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
+from repro.runtime import libc, unistd
+from repro.sync import CondVar, Mutex
+from repro.threads import api as threads
+
+REQUEST_SIZE = 16
+
+
+def build(n_clients: int = 3, requests_per_client: int = 10,
+          n_workers: int = 4,
+          service_compute_usec: float = 300.0,
+          client_think_usec: float = 1_000.0) -> tuple[Callable, dict]:
+    """Build the server program (it forks its own client processes)."""
+    results: dict = {}
+    total_requests = n_clients * requests_per_client
+
+    def client(client_id: int):
+        fd = yield from unistd.open("/tmp/server.fifo", O_WRONLY)
+        for i in range(requests_per_client):
+            yield from unistd.sleep_usec(client_think_usec)
+            payload = f"c{client_id:03d}r{i:06d}".encode().ljust(
+                REQUEST_SIZE, b".")
+            yield from unistd.write(fd, payload)
+        yield from unistd.close(fd)
+
+    def main():
+        yield from unistd.mkfifo("/tmp/server.fifo")
+        datafd = yield from unistd.open("/tmp/server.data",
+                                        O_CREAT | O_RDWR)
+        yield from unistd.write(datafd, b"x" * 4096)
+
+        # Work queue feeding the worker pool.
+        queue: list = []
+        qmutex = Mutex(name="srv.qm")
+        qcv = CondVar(name="srv.qcv")
+        stats = {"served": 0, "latency_ns": 0}
+
+        def worker(_):
+            while True:
+                yield from qmutex.enter()
+                while not queue:
+                    yield from qcv.wait(qmutex)
+                item = queue.pop(0)
+                yield from qmutex.exit()
+                if item is None:
+                    return
+                request, enq_ns = item
+                # Service: read the "database", compute, log the result.
+                yield from unistd.lseek(datafd, 0)
+                yield from unistd.read(datafd, 512)
+                yield from libc.compute(service_compute_usec)
+                now = yield from unistd.gettimeofday()
+                stats["served"] += 1
+                stats["latency_ns"] += now - enq_ns
+
+        worker_tids = []
+        for _ in range(n_workers):
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            worker_tids.append(tid)
+
+        # Fork the clients.
+        pids = []
+        for c in range(n_clients):
+            pid = yield from unistd.fork1(client, c)
+            pids.append(pid)
+
+        # Acceptor loop (this thread): read fixed-size requests.
+        fiford = yield from unistd.open("/tmp/server.fifo", O_RDONLY)
+        start = yield from unistd.gettimeofday()
+        received = 0
+        buffered = b""
+        while received < total_requests:
+            data = yield from unistd.read(fiford, REQUEST_SIZE)
+            if not data:
+                break
+            buffered += data
+            while len(buffered) >= REQUEST_SIZE:
+                request, buffered = (buffered[:REQUEST_SIZE],
+                                     buffered[REQUEST_SIZE:])
+                received += 1
+                now = yield from unistd.gettimeofday()
+                yield from qmutex.enter()
+                queue.append((request, now))
+                yield from qcv.signal()
+                yield from qmutex.exit()
+
+        # Drain and stop the pool.
+        yield from qmutex.enter()
+        for _ in range(n_workers):
+            queue.append(None)
+        yield from qcv.broadcast()
+        yield from qmutex.exit()
+        for tid in worker_tids:
+            yield from threads.thread_wait(tid)
+        end = yield from unistd.gettimeofday()
+
+        for pid in pids:
+            yield from unistd.waitpid(pid)
+
+        from repro.hw.isa import GetContext
+        ctx = yield GetContext()
+        results["received"] = received
+        results["served"] = stats["served"]
+        results["elapsed_usec"] = (end - start) / 1000.0
+        results["avg_latency_usec"] = (
+            stats["latency_ns"] / stats["served"] / 1000.0
+            if stats["served"] else 0.0)
+        results["throughput_per_sec"] = (
+            stats["served"] / (results["elapsed_usec"] / 1e6)
+            if results["elapsed_usec"] else 0.0)
+        results["pool_lwps"] = len(ctx.process.threadlib.pool_lwps)
+        results["lwps_grown"] = (
+            ctx.process.threadlib.lwps_grown_by_sigwaiting)
+
+    return main, results

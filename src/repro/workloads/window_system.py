@@ -1,0 +1,121 @@
+"""The window-system workload.
+
+The paper's recurring motivation: "a window system can treat each widget
+as a separate entity ... a window system programmer must know that
+extremely lightweight threads are available, since a window system may
+use thousands".  Each widget gets an input-handler thread; nearly all of
+them are idle at any instant, so under M:N only a handful of LWPs are
+needed, while under 1:1 every widget costs kernel memory and kernel-weight
+synchronization.
+
+``build()`` returns ``(main, results)``: run ``main`` in a Simulator and
+read ``results`` afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hw.isa import GetContext
+from repro.models import kernel_only
+from repro.runtime import libc, unistd
+from repro.sync import CondVar, Mutex
+from repro.threads import api as threads
+
+
+class Widget:
+    """One widget: an event queue protected by a mutex + condvar."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.mutex = Mutex(name=f"w{index}.m")
+        self.cv = CondVar(name=f"w{index}.cv")
+        self.events: list = []
+        self.processed = 0
+
+
+def build(n_widgets: int = 100, n_events: int = 500,
+          event_cost_usec: float = 50.0,
+          bound_threads: bool = False,
+          event_spacing_usec: float = 100.0,
+          seed: int = 0) -> tuple[Callable, dict]:
+    """Build the window-system program.
+
+    Args:
+        n_widgets: number of widgets (one input-handler thread each).
+        n_events: total events delivered, round-robin with a seeded
+            shuffle so every widget sees some traffic.
+        event_cost_usec: compute per event.
+        bound_threads: True runs the 1:1 model (every handler bound to
+            its own LWP); False the M:N default.
+        event_spacing_usec: virtual time between event arrivals.
+
+    Returns:
+        (main, results): results gains ``elapsed_usec``, ``processed``,
+        ``footprint``, ``latency_avg_usec`` after the run.
+    """
+    results: dict = {}
+
+    def main():
+        import random
+        rng = random.Random(seed)
+        widgets = [Widget(i) for i in range(n_widgets)]
+        latencies: list[float] = []
+
+        def handler(widget: Widget):
+            while True:
+                yield from widget.mutex.enter()
+                while not widget.events:
+                    yield from widget.cv.wait(widget.mutex)
+                stamp = widget.events.pop(0)
+                yield from widget.mutex.exit()
+                if stamp is None:  # shutdown
+                    return
+                yield from libc.compute(event_cost_usec)
+                widget.processed += 1
+                now = yield from unistd.gettimeofday()
+                latencies.append((now - stamp) / 1000.0)
+
+        create = (kernel_only.thread_create if bound_threads
+                  else threads.thread_create)
+        tids = []
+        for w in widgets:
+            tid = yield from create(handler, w, flags=threads.THREAD_WAIT)
+            tids.append(tid)
+
+        ctx = yield GetContext()
+        start = yield from unistd.gettimeofday()
+
+        # Drive the events.
+        order = [i % n_widgets for i in range(n_events)]
+        rng.shuffle(order)
+        for target in order:
+            if event_spacing_usec:
+                yield from unistd.sleep_usec(event_spacing_usec)
+            w = widgets[target]
+            now = yield from unistd.gettimeofday()
+            yield from w.mutex.enter()
+            w.events.append(now)
+            yield from w.cv.signal()
+            yield from w.mutex.exit()
+
+        # Steady-state footprint: every widget thread still alive.
+        results["footprint"] = kernel_only.footprint(ctx.process)
+        results["lib"] = ctx.process.threadlib.snapshot()
+
+        # Shut every widget down and join.
+        for w in widgets:
+            yield from w.mutex.enter()
+            w.events.append(None)
+            yield from w.cv.signal()
+            yield from w.mutex.exit()
+        for tid in tids:
+            yield from threads.thread_wait(tid)
+
+        end = yield from unistd.gettimeofday()
+        results["elapsed_usec"] = (end - start) / 1000.0
+        results["processed"] = sum(w.processed for w in widgets)
+        results["latency_avg_usec"] = (sum(latencies) / len(latencies)
+                                       if latencies else 0.0)
+
+    return main, results

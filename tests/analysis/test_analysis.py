@@ -1,0 +1,124 @@
+"""Tests for the analysis layer: tables, metrics, experiment runners."""
+
+import pytest
+
+from repro.analysis.metrics import (mean, percentile, speedup, stdev,
+                                    summarize)
+from repro.analysis.report import Row, Table, format_dict
+
+
+class TestMetrics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([5, 5, 5]) == 0.0
+        assert stdev([1]) == 0.0
+        assert stdev([0, 10]) == pytest.approx(5.0)
+
+    def test_percentile(self):
+        xs = list(range(1, 101))
+        assert percentile(xs, 50) == 50
+        assert percentile(xs, 99) == 99
+        assert percentile(xs, 100) == 100
+        assert percentile([], 50) == 0.0
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["n"] == 4
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == 2.5
+
+    def test_speedup(self):
+        assert speedup(10, 2) == 5
+        assert speedup(1, 0) == float("inf")
+
+
+class TestRow:
+    def test_deviation(self):
+        assert Row("x", 100, 110).deviation == pytest.approx(0.10)
+        assert Row("x", None, 110).deviation is None
+        assert Row("x", 0, 1).deviation is None
+
+
+class TestTable:
+    def _table(self, measured):
+        return Table("T", [
+            Row("small", 50, measured[0]),
+            Row("large", 300, measured[1]),
+        ])
+
+    def test_render_contains_rows_and_ratios(self):
+        text = self._table([51, 310]).render()
+        assert "small" in text and "large" in text
+        assert "6.00" in text or "6.0" in text  # paper ratio 300/50
+
+    def test_max_deviation(self):
+        t = self._table([55, 300])
+        assert t.max_deviation() == pytest.approx(0.10)
+
+    def test_shape_holds_within_tolerance(self):
+        assert self._table([52, 310]).shape_holds(0.10)
+
+    def test_shape_fails_on_big_deviation(self):
+        assert not self._table([100, 300]).shape_holds(0.10)
+
+    def test_shape_fails_on_order_flip(self):
+        t = Table("T", [Row("a", 50, 300), Row("b", 300, 50)])
+        assert not t.shape_holds(10.0)
+
+    def test_rows_without_paper_values_ignored_by_shape(self):
+        t = Table("T", [Row("a", 50, 50), Row("extra", None, 999)])
+        assert t.shape_holds(0.01)
+
+    def test_format_dict(self):
+        text = format_dict("cfg", {"alpha": 1, "beta": 2.5})
+        assert "alpha" in text and "2.50" in text
+
+
+class TestExperimentRunnersSmoke:
+    """Small-n smoke runs of every experiment runner (full-size runs live
+    in benchmarks/)."""
+
+    def test_fig5_runner(self):
+        from repro.analysis.experiments import fig5_table, run_fig5
+        r = run_fig5(n=5)
+        assert r["ratio"] > 10
+        assert fig5_table(r).rows
+
+    def test_fig6_runner(self):
+        from repro.analysis.experiments import fig6_table, run_fig6
+        r = run_fig6(n=10)
+        assert r["unbound_sync"] < r["bound_sync"]
+        assert len(fig6_table(r).rows) == 4
+
+    def test_abl2_runner(self):
+        from repro.analysis.experiments import run_abl2
+        r = run_abl2(rows=16, n_lwps=2, ncpus=2, sweep=(1, 2))
+        assert set(r["sweep"]) == {1, 2}
+
+    def test_abl4_runner(self):
+        from repro.analysis.experiments import run_abl4
+        r = run_abl4(lwp_counts=(1, 2))
+        assert r["fork"][2] > r["fork1"][2]
+
+    def test_abl5_runner(self):
+        from repro.analysis.experiments import run_abl5
+        r = run_abl5(iters=10)
+        assert r["spin"]["usec"] <= r["default"]["usec"]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "abl5" in out
+
+    def test_single_experiment(self, capsys):
+        from repro.__main__ import main
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "PASS" in out

@@ -1,0 +1,54 @@
+"""Tests for the atomic memory primitives."""
+
+from repro.hw.atomic import atomic_add, atomic_clear, compare_and_swap
+from repro.hw.atomic import test_and_set as tas  # avoid pytest collection
+from repro.hw.memory import MemoryObject
+
+
+def fresh():
+    return MemoryObject(4096)
+
+
+class TestTestAndSet:
+    def test_first_wins(self):
+        obj = fresh()
+        assert tas(obj, 0) == 0  # won the lock
+        assert obj.load_cell(0) == 1
+
+    def test_second_loses(self):
+        obj = fresh()
+        tas(obj, 0)
+        assert tas(obj, 0) == 1  # already held
+
+    def test_clear_releases(self):
+        obj = fresh()
+        tas(obj, 0)
+        atomic_clear(obj, 0)
+        assert tas(obj, 0) == 0
+
+
+class TestAtomicAdd:
+    def test_add_returns_new_value(self):
+        obj = fresh()
+        assert atomic_add(obj, 8, 3) == 3
+        assert atomic_add(obj, 8, -1) == 2
+
+    def test_independent_offsets(self):
+        obj = fresh()
+        atomic_add(obj, 0, 5)
+        atomic_add(obj, 8, 7)
+        assert obj.load_cell(0) == 5
+        assert obj.load_cell(8) == 7
+
+
+class TestCompareAndSwap:
+    def test_succeeds_on_expected(self):
+        obj = fresh()
+        assert compare_and_swap(obj, 0, 0, "mine")
+        assert obj.load_cell(0) == "mine"
+
+    def test_fails_on_mismatch(self):
+        obj = fresh()
+        obj.store_cell(0, "theirs")
+        assert not compare_and_swap(obj, 0, 0, "mine")
+        assert obj.load_cell(0) == "theirs"

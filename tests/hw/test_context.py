@@ -1,0 +1,86 @@
+"""Tests for frames, activities, and generator normalization."""
+
+from repro.hw.context import Activity, Frame, Mode, as_generator
+
+
+class TestAsGenerator:
+    def test_plain_function_deferred(self):
+        calls = []
+
+        def plain():
+            calls.append(1)
+            return 42
+
+        gen = as_generator(plain)
+        assert calls == []  # not called at wrap time
+        try:
+            gen.send(None)
+        except StopIteration as stop:
+            assert stop.value == 42
+        assert calls == [1]
+
+    def test_generator_function_passthrough(self):
+        def genfn(x):
+            yield x
+            return x + 1
+
+        gen = as_generator(genfn, 1)
+        assert gen.send(None) == 1
+        try:
+            gen.send(None)
+        except StopIteration as stop:
+            assert stop.value == 2
+
+    def test_kwargs_forwarded(self):
+        def fn(a, b=0):
+            return a + b
+
+        gen = as_generator(fn, 1, b=2)
+        try:
+            gen.send(None)
+        except StopIteration as stop:
+            assert stop.value == 3
+
+
+class TestActivity:
+    def _gen(self):
+        yield "one"
+        yield "two"
+
+    def test_initial_state(self):
+        act = Activity(self._gen(), name="t")
+        assert act.mode is Mode.USER
+        assert not act.finished
+        assert not act.in_kernel
+        assert len(act.frames) == 1
+
+    def test_push_pop_changes_mode(self):
+        act = Activity(self._gen())
+
+        def kframe():
+            yield
+
+        act.push(kframe(), Mode.KERNEL, label="sys_read")
+        assert act.in_kernel
+        assert act.top.label == "sys_read"
+        act.pop()
+        assert not act.in_kernel
+
+    def test_resume_value_plumbing(self):
+        act = Activity(self._gen())
+        act.set_resume(7)
+        assert act.resume_value == 7
+        assert act.resume_exc is None
+
+    def test_resume_exc_clears_value(self):
+        act = Activity(self._gen())
+        act.set_resume(7)
+        exc = RuntimeError("x")
+        act.set_resume_exc(exc)
+        assert act.resume_exc is exc
+
+    def test_frame_saved_resume_slot(self):
+        frame = Frame(self._gen(), Mode.USER)
+        assert frame.saved_resume is None
+        frame.saved_resume = ("value", 3)
+        assert frame.saved_resume == ("value", 3)

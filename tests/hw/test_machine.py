@@ -1,0 +1,82 @@
+"""Tests for machine construction and the timer."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.hw.timer import PeriodicTick
+from repro.sim.costs import CostModel
+
+
+class TestMachine:
+    def test_default_configuration(self):
+        m = Machine()
+        assert m.ncpus == 1
+        assert m.memory.free_bytes > 0
+
+    def test_multiprocessor(self):
+        m = Machine(ncpus=4)
+        assert [c.index for c in m.cpus] == [0, 1, 2, 3]
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(ncpus=0)
+
+    def test_custom_cost_model(self):
+        costs = CostModel(setjmp=1)
+        m = Machine(costs=costs)
+        assert m.cpus[0].costs.setjmp == 1
+
+    def test_idle_cpu_lowest_index_first(self):
+        m = Machine(ncpus=3)
+        assert m.idle_cpu() is m.cpus[0]
+
+
+class TestHardwareTimer:
+    def test_one_shot_alarm(self):
+        m = Machine()
+        fired = []
+        m.timer.arm(5_000, lambda: fired.append(m.engine.now_ns))
+        m.engine.run()
+        assert fired == [5_000]
+
+    def test_cancel(self):
+        m = Machine()
+        fired = []
+        handle = m.timer.arm(5_000, lambda: fired.append(1))
+        m.timer.cancel(handle)
+        m.engine.run()
+        assert fired == []
+
+    def test_cancel_none_is_safe(self):
+        Machine().timer.cancel(None)
+
+    def test_read_usec_tracks_clock(self):
+        m = Machine()
+        m.timer.arm(2_000, lambda: None)
+        m.engine.run()
+        assert m.timer.read_usec() == 2.0
+
+
+class TestPeriodicTick:
+    def test_fires_repeatedly(self):
+        m = Machine()
+        hits = []
+        tick = PeriodicTick(m.engine, 1_000, lambda: hits.append(1))
+        tick.start()
+        m.engine.call_after(5_500, tick.stop)
+        m.engine.run()
+        assert len(hits) == 5
+
+    def test_stop_before_start_is_safe(self):
+        m = Machine()
+        PeriodicTick(m.engine, 1_000, lambda: None).stop()
+
+    def test_double_start_single_stream(self):
+        m = Machine()
+        hits = []
+        tick = PeriodicTick(m.engine, 1_000, lambda: hits.append(1))
+        tick.start()
+        tick.start()
+        m.engine.call_after(3_500, tick.stop)
+        m.engine.run()
+        assert len(hits) == 3

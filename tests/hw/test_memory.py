@@ -1,0 +1,116 @@
+"""Tests for memory objects and the physical memory pool."""
+
+import pytest
+
+from repro.hw.memory import (PAGE_SIZE, MemoryObject, PhysicalMemory,
+                             page_count, page_of)
+
+
+class TestPages:
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+    def test_page_count(self):
+        assert page_count(0) == 0
+        assert page_count(1) == 1
+        assert page_count(PAGE_SIZE) == 1
+        assert page_count(PAGE_SIZE + 1) == 2
+
+
+class TestCells:
+    def test_unwritten_cell_reads_zero(self):
+        """Zero-initialized sync variables must be usable immediately."""
+        obj = MemoryObject(4096)
+        assert obj.load_cell(0) == 0
+        assert obj.load_cell(128) == 0
+
+    def test_store_load_roundtrip(self):
+        obj = MemoryObject(4096)
+        obj.store_cell(8, {"count": 3})
+        assert obj.load_cell(8) == {"count": 3}
+
+    def test_cells_are_per_offset(self):
+        obj = MemoryObject(4096)
+        obj.store_cell(0, 1)
+        obj.store_cell(8, 2)
+        assert obj.load_cell(0) == 1
+        assert obj.load_cell(8) == 2
+
+    def test_out_of_bounds_raises(self):
+        obj = MemoryObject(16)
+        with pytest.raises(IndexError):
+            obj.load_cell(16)
+        with pytest.raises(IndexError):
+            obj.store_cell(-1, 0)
+
+    def test_same_object_aliases_same_cells(self):
+        """Two handles on the same object see the same state — the basis
+        of cross-process synchronization."""
+        obj = MemoryObject(4096)
+        alias = obj
+        obj.store_cell(64, "locked")
+        assert alias.load_cell(64) == "locked"
+
+
+class TestBytes:
+    def test_write_then_read(self):
+        obj = MemoryObject(16)
+        obj.write_bytes(0, b"hello")
+        assert obj.read_bytes(0, 5) == b"hello"
+
+    def test_write_grows_object(self):
+        obj = MemoryObject(4)
+        obj.write_bytes(2, b"abcdef")
+        assert obj.nbytes == 8
+        assert obj.read_bytes(2, 6) == b"abcdef"
+
+    def test_grow_zero_fills(self):
+        obj = MemoryObject(2)
+        obj.grow(10)
+        assert obj.read_bytes(2, 8) == b"\x00" * 8
+
+    def test_grow_never_shrinks(self):
+        obj = MemoryObject(100)
+        obj.grow(10)
+        assert obj.nbytes == 100
+
+
+class TestResidency:
+    def test_initially_nonresident(self):
+        obj = MemoryObject(PAGE_SIZE * 2)
+        assert not obj.is_resident(0)
+
+    def test_resident_flag(self):
+        obj = MemoryObject(PAGE_SIZE * 2, resident=True)
+        assert obj.is_resident(0) and obj.is_resident(1)
+
+    def test_make_resident_and_evict(self):
+        obj = MemoryObject(PAGE_SIZE)
+        obj.make_resident(0)
+        assert obj.is_resident(0)
+        obj.evict(0)
+        assert not obj.is_resident(0)
+
+
+class TestPhysicalMemory:
+    def test_allocation_accounting(self):
+        mem = PhysicalMemory(total_bytes=1_000_000)
+        obj = mem.allocate(4096)
+        assert mem.allocated_bytes == 4096
+        assert mem.free_bytes == 1_000_000 - 4096
+        mem.release(obj)
+        assert mem.allocated_bytes == 0
+
+    def test_release_unknown_is_noop(self):
+        mem = PhysicalMemory()
+        stray = MemoryObject(128)
+        mem.release(stray)
+        assert mem.allocated_bytes == 0
+
+    def test_names_unique_by_default(self):
+        mem = PhysicalMemory()
+        a = mem.allocate(1)
+        b = mem.allocate(1)
+        assert a.name != b.name

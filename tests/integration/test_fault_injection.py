@@ -1,0 +1,206 @@
+"""Fault-injection scenarios: processes dying at awkward moments, pages
+evicted under foot, signals hammering blocked threads."""
+
+import pytest
+
+from repro.api import Simulator
+from repro.errors import DeadlockError, Errno, SyscallError
+from repro.hw.isa import Charge, GetContext
+from repro.kernel.signals import Sig
+from repro.runtime import mapped, unistd
+from repro.sync import Mutex, Semaphore, THREAD_SYNC_SHARED
+from repro.sim.clock import usec
+from repro import threads
+from tests.conftest import run_program
+
+
+class TestDyingProcesses:
+    def test_killing_lock_holder_leaves_shared_lock_held(self):
+        """SIGKILL to a process holding an in-file lock: the lock stays
+        held in the file — the hazard the paper warns about, observable."""
+        got = {}
+
+        def holder():
+            region = yield from mapped.map_shared_file("/tmp/f", 4096)
+            m = Mutex(THREAD_SYNC_SHARED, cell=region.cell(0))
+            yield from m.enter()
+            yield from unistd.pause()  # hold forever
+
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/f", 4096)
+            m = Mutex(THREAD_SYNC_SHARED, cell=region.cell(0))
+            pid = yield from unistd.fork1(holder)
+            # Wait until the child demonstrably holds the in-file lock
+            # (its first touch of the page pays a long disk fault).
+            while not m.held:
+                yield from unistd.sleep_usec(5_000)
+            yield from unistd.kill(pid, int(Sig.SIGKILL))
+            yield from unistd.waitpid(pid)
+            got["held_after_kill"] = m.held
+            got["try"] = yield from m.tryenter()
+
+        run_program(main)
+        assert got["held_after_kill"] is True
+        assert got["try"] is False
+
+    def test_killed_process_releases_cpu_and_fds(self):
+        def spinner():
+            while True:
+                yield Charge(usec(1_000))
+
+        def main():
+            pid = yield from unistd.fork1(spinner)
+            yield from unistd.sleep_usec(5_000)
+            yield from unistd.kill(pid, int(Sig.SIGKILL))
+            got = yield from unistd.waitpid(pid)
+            assert got[1] == 128 + int(Sig.SIGKILL)
+
+        sim, proc = run_program(main)
+        # The machine is quiescent afterwards: nothing left running.
+        assert all(cpu.idle for cpu in sim.machine.cpus)
+
+    def test_waiters_on_dead_process_fifo_see_eof(self):
+        got = []
+
+        def writer():
+            fd = yield from unistd.open("/tmp/p", 0x1)  # O_WRONLY
+            yield from unistd.write(fd, b"partial")
+            yield from unistd.exit(0)  # dies without close
+
+        def main():
+            yield from unistd.mkfifo("/tmp/p")
+            pid = yield from unistd.fork1(writer)
+            fd = yield from unistd.open("/tmp/p", 0x0)  # O_RDONLY
+            got.append((yield from unistd.read(fd, 100)))
+            got.append((yield from unistd.read(fd, 100)))
+            yield from unistd.waitpid(pid)
+
+        run_program(main)
+        assert got == [b"partial", b""]  # exit closed the write end
+
+
+class TestPageEviction:
+    def test_evicted_page_refaults(self):
+        got = {}
+
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/big", 8192)
+            yield from region.read(0, 1)          # fault in
+            t0 = yield from unistd.gettimeofday()
+            yield from region.read(0, 1)          # warm
+            t1 = yield from unistd.gettimeofday()
+            region.mobj.evict(0)                  # the pager strikes
+            yield from region.read(0, 1)          # refault
+            t2 = yield from unistd.gettimeofday()
+            got["warm"] = t1 - t0
+            got["refault"] = t2 - t1
+
+        run_program(main)
+        assert got["refault"] > got["warm"] + usec(400)
+
+    def test_fault_blocks_only_faulting_lwp(self):
+        """The paper's second reason for LWPs: a page fault must not stop
+        other LWPs."""
+        progress = []
+
+        def toucher(region):
+            # Touch a fresh (disk-backed, slow) page.
+            yield from region.read(4096, 1)
+            progress.append("fault-done")
+
+        def spinner(_):
+            for _ in range(5):
+                yield Charge(usec(500))
+                progress.append("spin")
+
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/big", 8192)
+            a = yield from threads.thread_create(
+                toucher, region,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            b = yield from threads.thread_create(
+                spinner, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        run_program(main, ncpus=2)
+        # The spinner made progress before the slow fault finished.
+        assert progress.index("spin") < progress.index("fault-done")
+
+
+class TestSignalStorms:
+    def test_many_signals_to_blocked_thread(self):
+        """A hail of thread_kills while the target sleeps on a semaphore:
+        every deliverable signal runs, the thread survives, and the
+        semaphore handoff still works."""
+        hits = []
+
+        def handler(sig):
+            hits.append(sig)
+            yield Charge(usec(1))
+
+        def sleeper(sem):
+            yield from sem.p()
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR1), handler)
+            sem = Semaphore()
+            tid = yield from threads.thread_create(
+                sleeper, sem, flags=threads.THREAD_WAIT)
+            yield from threads.thread_yield()
+            for _ in range(5):
+                yield from threads.thread_kill(tid, int(Sig.SIGUSR1))
+            yield from sem.v()
+            yield from threads.thread_wait(tid)
+
+        sim, proc = run_program(main)
+        assert len(hits) >= 1
+        assert proc.exit_status == 0
+
+    def test_fatal_signal_wins_over_pending_handler(self):
+        def victim():
+            yield from unistd.pause()
+
+        def main():
+            pid = yield from unistd.fork1(victim)
+            yield from unistd.sleep_usec(1_000)
+            yield from unistd.kill(pid, int(Sig.SIGKILL))
+            got = yield from unistd.waitpid(pid)
+            assert got[1] == 128 + int(Sig.SIGKILL)
+
+        run_program(main)
+
+
+class TestDeadlockDetection:
+    def test_self_deadlock_reported(self):
+        def main():
+            s = Semaphore()
+            yield from s.p()  # nobody will ever V
+
+        with pytest.raises(DeadlockError):
+            run_program(main)
+
+    def test_cross_thread_deadlock_reported(self):
+        def main():
+            a, b = Mutex(name="a"), Mutex(name="b")
+
+            def t1(_):
+                yield from a.enter()
+                yield from threads.thread_yield()
+                yield from b.enter()
+
+            def t2(_):
+                yield from b.enter()
+                yield from threads.thread_yield()
+                yield from a.enter()
+
+            x = yield from threads.thread_create(
+                t1, None, flags=threads.THREAD_WAIT)
+            y = yield from threads.thread_create(
+                t2, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(x)
+            yield from threads.thread_wait(y)
+
+        with pytest.raises(DeadlockError):
+            run_program(main)

@@ -1,0 +1,196 @@
+"""Integration tests pinning the paper's Figure 5 and Figure 6 results.
+
+These run the *same measurement programs the paper describes* through the
+full stack and assert the reproduction criteria: totals within tolerance
+and ratio ordering preserved.  The benchmark harness re-runs them with
+reporting; these tests are the regression guard.
+"""
+
+import pytest
+
+from repro.api import Simulator
+from repro.hw.isa import Syscall
+from repro.runtime import libc, mapped, unistd
+from repro.sync import Semaphore, THREAD_SYNC_SHARED
+from repro import threads
+
+#: Paper values (microseconds).
+PAPER_UNBOUND_CREATE = 56
+PAPER_BOUND_CREATE = 2327
+PAPER_SETJMP = 59
+PAPER_UNBOUND_SYNC = 158
+PAPER_BOUND_SYNC = 348
+PAPER_CROSS_SYNC = 301
+
+TOL = 0.10  # 10 % tolerance on each row
+
+
+def measure_creation(bound: bool, n: int = 20) -> float:
+    """Per-creation cost in usec, amortized, timer overhead excluded."""
+    out = {}
+
+    def noop(_):
+        return
+        yield
+
+    def main():
+        flags = threads.THREAD_BIND_LWP if bound else 0
+        t0 = yield Syscall("gettimeofday")
+        for _ in range(n):
+            yield from threads.thread_create(noop, None, flags=flags)
+        t1 = yield Syscall("gettimeofday")
+        out["usec"] = (t1 - t0) / 1000 / n
+
+    sim = Simulator(ncpus=4)
+    sim.spawn(main)
+    sim.run(check_deadlock=False)
+    return out["usec"]
+
+
+def measure_sync(flags: int, n: int = 100) -> float:
+    """One-way synchronization time in usec (round trip / 2)."""
+    out = {}
+
+    def main():
+        s1, s2 = Semaphore(), Semaphore()
+
+        def echo(_):
+            for _ in range(n + 1):
+                yield from s2.p()
+                yield from s1.v()
+
+        def driver(_):
+            yield from s2.v()
+            yield from s1.p()
+            t0 = yield Syscall("gettimeofday")
+            for _ in range(n):
+                yield from s2.v()
+                yield from s1.p()
+            t1 = yield Syscall("gettimeofday")
+            out["usec"] = (t1 - t0) / 1000 / (2 * n)
+
+        a = yield from threads.thread_create(
+            echo, None, flags=threads.THREAD_WAIT | flags)
+        b = yield from threads.thread_create(
+            driver, None, flags=threads.THREAD_WAIT | flags)
+        yield from threads.thread_wait(a)
+        yield from threads.thread_wait(b)
+
+    sim = Simulator(ncpus=1)
+    sim.spawn(main)
+    sim.run()
+    return out["usec"]
+
+
+def measure_cross_process(n: int = 100) -> float:
+    out = {}
+
+    def peer():
+        region = yield from mapped.map_shared_file("/tmp/sync", 4096)
+        s1 = Semaphore(0, THREAD_SYNC_SHARED, cell=region.cell(0))
+        s2 = Semaphore(0, THREAD_SYNC_SHARED, cell=region.cell(8))
+        for _ in range(n + 1):
+            yield from s2.p()
+            yield from s1.v()
+
+    def main():
+        region = yield from mapped.map_shared_file("/tmp/sync", 4096)
+        s1 = Semaphore(0, THREAD_SYNC_SHARED, cell=region.cell(0))
+        s2 = Semaphore(0, THREAD_SYNC_SHARED, cell=region.cell(8))
+        pid = yield from unistd.fork1(peer)
+        yield from s2.v()
+        yield from s1.p()
+        t0 = yield Syscall("gettimeofday")
+        for _ in range(n):
+            yield from s2.v()
+            yield from s1.p()
+        t1 = yield Syscall("gettimeofday")
+        out["usec"] = (t1 - t0) / 1000 / (2 * n)
+        yield from unistd.waitpid(pid)
+
+    sim = Simulator(ncpus=1)
+    sim.spawn(main)
+    sim.run()
+    return out["usec"]
+
+
+def measure_setjmp(n: int = 50) -> float:
+    out = {}
+
+    def main():
+        t0 = yield Syscall("gettimeofday")
+        for _ in range(n):
+            yield from libc.setjmp_longjmp_pair()
+        t1 = yield Syscall("gettimeofday")
+        out["usec"] = (t1 - t0) / 1000 / n
+
+    sim = Simulator()
+    sim.spawn(main)
+    sim.run()
+    return out["usec"]
+
+
+class TestFigure5:
+    def test_unbound_creation_matches_paper(self):
+        measured = measure_creation(bound=False)
+        assert measured == pytest.approx(PAPER_UNBOUND_CREATE, rel=TOL)
+
+    def test_bound_creation_matches_paper(self):
+        measured = measure_creation(bound=True)
+        assert measured == pytest.approx(PAPER_BOUND_CREATE, rel=TOL)
+
+    def test_creation_ratio_shape(self):
+        """The paper's headline ratio: bound/unbound ≈ 42."""
+        ratio = measure_creation(True) / measure_creation(False)
+        assert 35 <= ratio <= 48
+
+
+class TestFigure6:
+    def test_setjmp_baseline(self):
+        assert measure_setjmp() == pytest.approx(PAPER_SETJMP, rel=TOL)
+
+    def test_unbound_sync(self):
+        assert measure_sync(0) == pytest.approx(PAPER_UNBOUND_SYNC,
+                                                rel=TOL)
+
+    def test_bound_sync(self):
+        assert measure_sync(threads.THREAD_BIND_LWP) == pytest.approx(
+            PAPER_BOUND_SYNC, rel=TOL)
+
+    def test_cross_process_sync(self):
+        assert measure_cross_process() == pytest.approx(PAPER_CROSS_SYNC,
+                                                        rel=TOL)
+
+    def test_row_ordering_matches_paper(self):
+        """The qualitative shape: setjmp < unbound < cross ≈< bound."""
+        sj = measure_setjmp()
+        unbound = measure_sync(0)
+        bound = measure_sync(threads.THREAD_BIND_LWP)
+        cross = measure_cross_process()
+        assert sj < unbound < cross
+        assert cross < bound  # the paper's .86 ratio row
+
+    def test_unbound_sync_needs_no_kernel(self):
+        """Beyond timing: the unbound measurement must literally never
+        park/unpark an LWP."""
+        def main():
+            s1, s2 = Semaphore(), Semaphore()
+
+            def echo(_):
+                for _ in range(11):
+                    yield from s2.p()
+                    yield from s1.v()
+
+            tid = yield from threads.thread_create(
+                echo, None, flags=threads.THREAD_WAIT)
+            for _ in range(11):
+                yield from s2.v()
+                yield from s1.p()
+            yield from threads.thread_wait(tid)
+
+        sim = Simulator(ncpus=1)
+        sim.spawn(main)
+        sim.run()
+        counts = sim.syscall_counts()
+        assert "lwp_park" not in counts
+        assert "lwp_unpark" not in counts

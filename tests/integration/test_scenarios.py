@@ -1,0 +1,277 @@
+"""Cross-cutting integration scenarios exercising many subsystems at
+once: fork1 pitfalls, uniform sync model, mixed bound/unbound processes,
+gang scheduling with threads, /proc debugger cooperation."""
+
+import pytest
+
+from repro.api import Simulator
+from repro.hw.isa import Charge, GetContext
+from repro.runtime import libc, mapped, unistd
+from repro.sync import (CondVar, Mutex, Semaphore, THREAD_SYNC_SHARED)
+from repro import threads
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+class TestFigure3Processes:
+    """The five process shapes of the paper's Figure 3 all coexist."""
+
+    def test_mixed_shapes_coexist(self):
+        results = {}
+
+        def traditional():
+            # proc 1: single thread on a single LWP.
+            yield Charge(usec(100))
+            results["p1"] = True
+
+        def coroutines():
+            # proc 2: several threads multiplexed on one LWP.
+            done = []
+
+            def t(tag):
+                done.append(tag)
+                yield from threads.thread_yield()
+
+            tids = []
+            for tag in range(3):
+                tid = yield from threads.thread_create(
+                    t, tag, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+            results["p2"] = sorted(done) == [0, 1, 2]
+
+        def multiplexed():
+            # proc 3: many threads on fewer LWPs.
+            yield from threads.thread_setconcurrency(2)
+            done = []
+
+            def t(tag):
+                yield Charge(usec(200))
+                done.append(tag)
+
+            tids = []
+            for tag in range(6):
+                tid = yield from threads.thread_create(
+                    t, tag, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+            results["p3"] = len(done) == 6
+
+        def bound():
+            # proc 4: threads permanently bound to LWPs.
+            def t(_):
+                yield Charge(usec(200))
+
+            tids = []
+            for _ in range(2):
+                tid = yield from threads.thread_create(
+                    t, None,
+                    flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+            results["p4"] = True
+
+        def mixture():
+            # proc 5: bound + unbound together, one LWP bound to a CPU.
+            from repro.kernel.syscalls.lwp_calls import PC_BIND_CPU
+            from repro.hw.isa import Syscall
+            yield Syscall("priocntl", PC_BIND_CPU, 0, 0)
+
+            def ub(_):
+                yield Charge(usec(100))
+
+            def b(_):
+                yield Charge(usec(100))
+
+            t1 = yield from threads.thread_create(
+                ub, None, flags=threads.THREAD_WAIT)
+            t2 = yield from threads.thread_create(
+                b, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from threads.thread_wait(t1)
+            yield from threads.thread_wait(t2)
+            results["p5"] = True
+
+        sim = Simulator(ncpus=2)
+        for prog in (traditional, coroutines, multiplexed, bound,
+                     mixture):
+            sim.spawn(prog)
+        sim.run()
+        assert results == {"p1": True, "p2": True, "p3": True,
+                           "p4": True, "p5": True}
+
+
+class TestUniformSyncModel:
+    def test_bound_and_unbound_synchronize_with_each_other(self):
+        """"the bound and unbound threads can still synchronize with each
+        other ... in the usual way"."""
+        order = []
+
+        def bound_side(s):
+            yield from s["go"].p()
+            order.append("bound ran")
+            yield from s["done"].v()
+
+        def main():
+            s = {"go": Semaphore(), "done": Semaphore()}
+            tid = yield from threads.thread_create(
+                bound_side, s,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            order.append("releasing")
+            yield from s["go"].v()
+            yield from s["done"].p()
+            order.append("joined")
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert order == ["releasing", "bound ran", "joined"]
+
+    def test_three_way_sync_within_and_between_processes(self):
+        """Threads in one process and a second process all contend on one
+        mutex hierarchy: in-process private lock + cross-process shared
+        lock."""
+        def peer():
+            region = yield from mapped.map_shared_file("/tmp/x", 4096)
+            shared = Mutex(THREAD_SYNC_SHARED, cell=region.cell(0))
+            for _ in range(5):
+                yield from shared.enter()
+                counter = region.mobj.load_cell(8)
+                region.mobj.store_cell(8, counter + 1)
+                yield from shared.exit()
+
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/x", 4096)
+            shared = Mutex(THREAD_SYNC_SHARED, cell=region.cell(0))
+            private = Mutex()
+            pid = yield from unistd.fork1(peer)
+
+            def worker(_):
+                for _ in range(5):
+                    yield from private.enter()
+                    yield from shared.enter()
+                    counter = region.mobj.load_cell(8)
+                    yield from libc.compute(10)
+                    region.mobj.store_cell(8, counter + 1)
+                    yield from shared.exit()
+                    yield from private.exit()
+
+            tids = []
+            for _ in range(2):
+                tid = yield from threads.thread_create(
+                    worker, None, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+            yield from unistd.waitpid(pid)
+            assert region.mobj.load_cell(8) == 15
+
+        run_program(main, ncpus=2)
+
+
+class TestFork1Pitfall:
+    def test_shared_lock_held_across_fork1_blocks_child(self):
+        """The paper's fork1 warning for MAP_SHARED locks: "locks that
+        are allocated in memory that is sharable ... can be held by a
+        thread in both processes"."""
+        got = {}
+
+        def child():
+            region = yield from mapped.map_shared_file("/tmp/x", 4096)
+            m = Mutex(THREAD_SYNC_SHARED, cell=region.cell(0))
+            t0 = yield from unistd.gettimeofday()
+            yield from m.enter()   # blocked until the parent releases
+            t1 = yield from unistd.gettimeofday()
+            got["child_waited_usec"] = (t1 - t0) / 1000
+            yield from m.exit()
+
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/x", 4096)
+            m = Mutex(THREAD_SYNC_SHARED, cell=region.cell(0))
+            yield from m.enter()          # hold across fork1
+            pid = yield from unistd.fork1(child)
+            yield from unistd.sleep_usec(30_000)
+            yield from m.exit()
+            yield from unistd.waitpid(pid)
+
+        run_program(main)
+        assert got["child_waited_usec"] >= 20_000
+
+    def test_private_lock_copied_held_is_unusable_in_child(self):
+        """A *private* lock held by a thread that does not exist in the
+        fork1 child stays locked forever there (the dangling-lock
+        hazard); tryenter shows it."""
+        got = {}
+
+        def child():
+            region_state = shared_box["private_mutex_state"]
+            # In the child's copied address space, the lock word (cell in
+            # private heap memory) still reads "locked" — our fork copies
+            # cells.  Model the check via the heap cell directly.
+            ctx = yield GetContext()
+            heap, off = ctx.process.aspace.resolve(region_state)
+            got["child_sees_locked"] = heap.load_cell(off) == 1
+
+        shared_box = {}
+
+        def holder(args):
+            base, gate = args
+            ctx = yield GetContext()
+            heap, off = ctx.process.aspace.resolve(base)
+            heap.store_cell(off, 1)  # "acquired" a heap lock word
+            yield from gate.p()      # hold until told
+
+        def main():
+            ctx = yield GetContext()
+            base = ctx.process.aspace.sbrk(64)
+            shared_box["private_mutex_state"] = base
+            gate = Semaphore()
+            tid = yield from threads.thread_create(
+                holder, (base, gate), flags=threads.THREAD_WAIT)
+            yield from threads.thread_yield()  # holder takes the "lock"
+            pid = yield from unistd.fork1(child)
+            yield from unistd.waitpid(pid)
+            yield from gate.v()
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got["child_sees_locked"]
+
+
+class TestDebuggerCooperation:
+    def test_proc_plus_library_view_consistent(self):
+        from repro.kernel.fs import procfs
+        got = {}
+
+        def idler(gate):
+            # Block at user level so the thread persists for the snapshot
+            # without tying up an LWP.
+            yield from gate.p()
+
+        def main():
+            ctx = yield GetContext()
+            gate = Semaphore()
+            yield from threads.thread_setconcurrency(2)
+            tids = []
+            for _ in range(4):
+                tid = yield from threads.thread_create(
+                    idler, gate, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            yield from threads.thread_yield()
+            view = procfs.debugger_view(ctx.process)
+            got["threads"] = len(view["threads"])
+            got["lwps"] = view["nlwp"]
+            got["mapped"] = sum(1 for t in view["threads"]
+                                if t["lwp"] is not None)
+            for _ in tids:
+                yield from gate.v()
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2, check_deadlock=False)
+        assert got["threads"] == 5
+        assert got["lwps"] >= 2
+        # No more threads on LWPs than LWPs exist.
+        assert got["mapped"] <= got["lwps"]

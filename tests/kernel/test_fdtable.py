@@ -1,0 +1,110 @@
+"""Tests for descriptor tables and open-file sharing semantics."""
+
+import pytest
+
+from repro.errors import Errno, SyscallError
+from repro.hw.memory import PhysicalMemory
+from repro.kernel.fs.file import FdTable, O_RDWR, OpenFile
+from repro.kernel.fs.vfs import RegularFile
+
+
+def open_file():
+    return OpenFile(RegularFile("f", PhysicalMemory()), O_RDWR)
+
+
+class TestAllocation:
+    def test_lowest_free_descriptor(self):
+        t = FdTable()
+        assert t.allocate(open_file()) == 0
+        assert t.allocate(open_file()) == 1
+
+    def test_reuses_closed_slot(self):
+        t = FdTable()
+        t.allocate(open_file())
+        t.allocate(open_file())
+        t.close(0)
+        assert t.allocate(open_file()) == 0
+
+    def test_get_bad_fd(self):
+        t = FdTable()
+        with pytest.raises(SyscallError) as exc:
+            t.get(3)
+        assert exc.value.errno == Errno.EBADF
+
+    def test_close_bad_fd(self):
+        with pytest.raises(SyscallError):
+            FdTable().close(0)
+
+
+class TestDup:
+    def test_dup_shares_offset(self):
+        """The paper's seek-position hazard: dup'ed descriptors share the
+        open-file object including its offset."""
+        t = FdTable()
+        fd = t.allocate(open_file())
+        fd2 = t.dup(fd)
+        t.get(fd).offset = 42
+        assert t.get(fd2).offset == 42
+
+    def test_dup2_targets_slot(self):
+        t = FdTable()
+        fd = t.allocate(open_file())
+        assert t.dup(fd, at=7) == 7
+        assert t.get(7) is t.get(fd)
+
+    def test_dup2_closes_existing_target(self):
+        t = FdTable()
+        a = t.allocate(open_file())
+        b = t.allocate(open_file())
+        old = t.get(b)
+        t.dup(a, at=b)
+        assert old.refcount == 0
+        assert t.get(b) is t.get(a)
+
+    def test_refcounts(self):
+        t = FdTable()
+        fd = t.allocate(open_file())
+        of = t.get(fd)
+        t.dup(fd)
+        assert of.refcount == 2
+        t.close(fd).unref()
+        assert of.refcount == 1
+
+
+class TestForkCopy:
+    def test_child_shares_open_files(self):
+        t = FdTable()
+        fd = t.allocate(open_file())
+        child = t.fork_copy()
+        assert child.get(fd) is t.get(fd)
+        assert t.get(fd).refcount == 2
+
+    def test_child_descriptor_set_matches(self):
+        t = FdTable()
+        t.allocate(open_file())
+        t.allocate(open_file())
+        t.close(0)
+        child = t.fork_copy()
+        assert child.descriptors() == t.descriptors() == [1]
+
+
+class TestDrain:
+    def test_drain_removes_all(self):
+        t = FdTable()
+        t.allocate(open_file())
+        t.allocate(open_file())
+        files = t.drain()
+        assert len(files) == 2
+        assert len(t) == 0
+
+
+class TestOpenFileFlags:
+    def test_readable_writable(self):
+        from repro.kernel.fs.file import O_RDONLY, O_WRONLY
+        node = RegularFile("f", PhysicalMemory())
+        assert OpenFile(node, O_RDONLY).readable
+        assert not OpenFile(node, O_RDONLY).writable
+        assert OpenFile(node, O_WRONLY).writable
+        assert not OpenFile(node, O_WRONLY).readable
+        both = OpenFile(node, O_RDWR)
+        assert both.readable and both.writable

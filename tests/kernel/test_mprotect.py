@@ -1,0 +1,95 @@
+"""Tests for mprotect and protection-violation traps."""
+
+import pytest
+
+from repro.errors import Errno, SyscallError
+from repro.kernel.signals import Sig
+from repro.kernel.vm import PROT_READ, PROT_WRITE
+from repro.runtime import mapped, unistd
+from repro import threads
+from tests.conftest import run_program
+
+
+class TestMprotect:
+    def test_write_to_readonly_mapping_faults(self):
+        caught = []
+
+        def main():
+            from repro.kernel.signals import SIG_IGN
+            # Keep the process alive to observe the error.
+            yield from unistd.sigaction(int(Sig.SIGSEGV), SIG_IGN)
+            region = yield from mapped.map_anon_shared(4096)
+            yield from region.mprotect(PROT_READ)
+            try:
+                yield from region.write(0, b"nope")
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EFAULT]
+
+    def test_default_disposition_kills_process(self):
+        def main():
+            region = yield from mapped.map_anon_shared(4096)
+            yield from region.mprotect(PROT_READ)
+            yield from region.write(0, b"boom")
+
+        sim, proc = run_program(main, check_deadlock=False)
+        assert proc.exit_status == 128 + int(Sig.SIGSEGV)
+
+    def test_segv_is_a_trap_to_the_causing_thread(self):
+        """Only the faulting thread handles the SIGSEGV."""
+        handled_by = []
+
+        def handler(sig):
+            me = yield from threads.thread_get_id()
+            handled_by.append(me)
+
+        def faulter(region):
+            try:
+                yield from region.write(0, b"x")
+            except SyscallError:
+                pass
+
+        def innocent(_):
+            for _ in range(3):
+                yield from threads.thread_yield()
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGSEGV), handler)
+            region = yield from mapped.map_anon_shared(4096)
+            yield from region.mprotect(PROT_READ)
+            a = yield from threads.thread_create(
+                faulter, region, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                innocent, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        run_program(main)
+        assert handled_by == [2]
+
+    def test_restore_write_access(self):
+        def main():
+            region = yield from mapped.map_anon_shared(4096)
+            yield from region.mprotect(PROT_READ)
+            yield from region.mprotect(PROT_READ | PROT_WRITE)
+            yield from region.write(0, b"fine now")
+            data = yield from region.read(0, 8)
+            assert data == b"fine now"
+
+        sim, proc = run_program(main)
+        assert proc.exit_status == 0
+
+    def test_mprotect_unmapped_rejected(self):
+        caught = []
+
+        def main():
+            try:
+                yield from unistd.syscall("mprotect", 0xDEAD0000,
+                                          PROT_READ)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EINVAL]

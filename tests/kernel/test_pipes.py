@@ -1,0 +1,101 @@
+"""Tests for anonymous pipes."""
+
+import pytest
+
+from repro.errors import Errno, SyscallError
+from repro.runtime import unistd
+from repro import threads
+from tests.conftest import run_program
+
+
+class TestPipe:
+    def test_roundtrip_between_threads(self):
+        got = []
+
+        def main():
+            rfd, wfd = yield from unistd.pipe()
+
+            def writer(_):
+                yield from unistd.write(wfd, b"hello")
+                yield from unistd.close(wfd)
+
+            tid = yield from threads.thread_create(
+                writer, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            got.append((yield from unistd.read(rfd, 100)))
+            got.append((yield from unistd.read(rfd, 100)))  # EOF
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert got == [b"hello", b""]
+
+    def test_pipe_across_fork(self):
+        got = []
+
+        def child():
+            # Inherited descriptors; write into the pipe.
+            yield from unistd.write(1, b"from child")
+            yield from unistd.close(1)
+
+        def main():
+            rfd, wfd = yield from unistd.pipe()
+            assert (rfd, wfd) == (0, 1)
+            pid = yield from unistd.fork1(child)
+            yield from unistd.close(wfd)  # parent's copy of write end
+            got.append((yield from unistd.read(rfd, 100)))
+            yield from unistd.waitpid(pid)
+
+        run_program(main)
+        assert got == [b"from child"]
+
+    def test_read_end_cannot_write(self):
+        caught = []
+
+        def main():
+            rfd, wfd = yield from unistd.pipe()
+            try:
+                yield from unistd.write(rfd, b"x")
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EBADF]
+
+    def test_pipe_not_seekable(self):
+        caught = []
+
+        def main():
+            rfd, wfd = yield from unistd.pipe()
+            try:
+                yield from unistd.lseek(rfd, 0)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.ESPIPE]
+
+    def test_bounded_buffer_backpressure(self):
+        """A writer stalls when the pipe fills; the reader drains it."""
+        from repro.kernel.fs.vfs import Fifo
+        got = {}
+
+        def main():
+            rfd, wfd = yield from unistd.pipe()
+            payload = b"x" * (Fifo.CAPACITY + 100)
+
+            def writer(_):
+                n = yield from unistd.write(wfd, payload)
+                got["written"] = n
+
+            tid = yield from threads.thread_create(
+                writer, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from unistd.sleep_usec(5_000)  # writer fills and blocks
+            received = b""
+            while len(received) < len(payload):
+                received += yield from unistd.read(rfd, 4096)
+            got["read"] = len(received)
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert got["written"] == got["read"] == 8192 + 100

@@ -1,0 +1,97 @@
+"""Tests for the /proc debugger interface."""
+
+from repro.hw.isa import Charge, Syscall
+from repro.kernel.fs import procfs
+from repro.runtime import unistd
+from repro import threads
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+class TestStatusDict:
+    def test_reports_lwps_only(self):
+        """"a kernel process model interface can provide access only to
+        kernel-supported threads of control, namely LWPs"."""
+        got = {}
+
+        def idler(_):
+            yield from unistd.sleep_usec(10_000)
+
+        def main():
+            # 5 unbound threads but only the pool LWP(s) underneath.
+            for _ in range(5):
+                yield from threads.thread_create(idler, None)
+            status = yield from unistd.proc_status()
+            got["status"] = status
+            yield from unistd.sleep_usec(20_000)
+
+        run_program(main, check_deadlock=False)
+        status = got["status"]
+        assert status["nlwp"] < 5
+        assert len(status["lwps"]) == status["nlwp"]
+
+    def test_cross_process_status(self):
+        got = {}
+
+        def sleeper():
+            yield from unistd.sleep_usec(50_000)
+
+        def main():
+            pid = yield from unistd.fork1(sleeper)
+            yield from unistd.sleep_usec(5_000)
+            got["status"] = yield from unistd.proc_status(pid)
+            yield from unistd.waitpid(pid)
+
+        run_program(main)
+        assert got["status"]["state"] == "active"
+        assert got["status"]["lwps"][0]["state"] == "sleeping"
+
+    def test_lwp_fields(self):
+        got = {}
+
+        def main():
+            yield Charge(usec(1_000))
+            got["status"] = yield from unistd.proc_status()
+
+        run_program(main)
+        lwp = got["status"]["lwps"][0]
+        assert lwp["sched_class"] == "TS"
+        assert lwp["user_usec"] >= 1_000
+        assert lwp["state"] == "running"
+
+
+class TestDebuggerView:
+    def test_view_joins_kernel_and_library(self):
+        """Debugger sees threads via library cooperation, LWPs via
+        /proc."""
+        got = {}
+
+        def idler(_):
+            yield from unistd.sleep_usec(10_000)
+
+        def main():
+            from repro.hw.isa import GetContext
+            for _ in range(3):
+                yield from threads.thread_create(idler, None)
+            ctx = yield GetContext()
+            got["view"] = procfs.debugger_view(ctx.process)
+            yield from unistd.sleep_usec(20_000)
+
+        run_program(main, check_deadlock=False)
+        view = got["view"]
+        assert len(view["threads"]) == 4  # main + 3
+        assert view["nlwp"] >= 1
+        main_thread = view["threads"][0]
+        assert main_thread["lwp"] is not None  # currently riding an LWP
+
+    def test_status_text_renders(self):
+        got = {}
+
+        def main():
+            from repro.hw.isa import GetContext
+            ctx = yield GetContext()
+            got["text"] = procfs.status_text(ctx.process)
+
+        run_program(main)
+        assert "nlwp:\t1" in got["text"]
+        assert "lwp 1:" in got["text"]

@@ -1,0 +1,146 @@
+"""Tests for signal sets, actions, and classification."""
+
+import pytest
+
+from repro.kernel.signals import (DEFAULT_DISPOSITION, SIG_BLOCK, SIG_DFL,
+                                  SIG_IGN, SIG_SETMASK, SIG_UNBLOCK,
+                                  TRAP_SIGNALS, Disposition, Sig, SigAction,
+                                  SignalState, Sigset, is_trap)
+
+
+class TestClassification:
+    def test_traps_are_synchronous_faults(self):
+        assert is_trap(Sig.SIGSEGV)
+        assert is_trap(Sig.SIGFPE)
+        assert is_trap(Sig.SIGILL)
+
+    def test_interrupts_are_asynchronous(self):
+        assert not is_trap(Sig.SIGINT)
+        assert not is_trap(Sig.SIGIO)
+        assert not is_trap(Sig.SIGWAITING)
+
+    def test_sigwaiting_default_ignored(self):
+        """Paper: "The default handling for SIGWAITING is to ignore it."""
+        assert DEFAULT_DISPOSITION[Sig.SIGWAITING] is Disposition.IGNORE
+
+    def test_every_signal_has_a_disposition(self):
+        for sig in Sig:
+            assert sig in DEFAULT_DISPOSITION
+
+
+class TestSigset:
+    def test_empty_contains_nothing(self):
+        ss = Sigset()
+        assert Sig.SIGINT not in ss
+        assert not ss
+
+    def test_add_discard(self):
+        ss = Sigset()
+        ss.add(Sig.SIGINT)
+        assert Sig.SIGINT in ss
+        ss.discard(Sig.SIGINT)
+        assert Sig.SIGINT not in ss
+
+    def test_construct_from_iterable(self):
+        ss = Sigset([Sig.SIGINT, Sig.SIGTERM])
+        assert Sig.SIGINT in ss and Sig.SIGTERM in ss
+
+    def test_copy_is_independent(self):
+        a = Sigset([Sig.SIGINT])
+        b = a.copy()
+        b.add(Sig.SIGTERM)
+        assert Sig.SIGTERM not in a
+
+    def test_union_difference(self):
+        a = Sigset([Sig.SIGINT])
+        b = Sigset([Sig.SIGTERM])
+        u = a.union(b)
+        assert Sig.SIGINT in u and Sig.SIGTERM in u
+        d = u.difference(a)
+        assert Sig.SIGINT not in d and Sig.SIGTERM in d
+
+    def test_full_excludes_unblockable(self):
+        full = Sigset.full()
+        assert Sig.SIGKILL not in full
+        assert Sig.SIGSTOP not in full
+        assert Sig.SIGINT in full
+
+    def test_apply_block(self):
+        base = Sigset([Sig.SIGINT])
+        new = base.apply(SIG_BLOCK, Sigset([Sig.SIGTERM]))
+        assert Sig.SIGINT in new and Sig.SIGTERM in new
+
+    def test_apply_unblock(self):
+        base = Sigset([Sig.SIGINT, Sig.SIGTERM])
+        new = base.apply(SIG_UNBLOCK, Sigset([Sig.SIGINT]))
+        assert Sig.SIGINT not in new and Sig.SIGTERM in new
+
+    def test_apply_setmask(self):
+        base = Sigset([Sig.SIGINT])
+        new = base.apply(SIG_SETMASK, Sigset([Sig.SIGTERM]))
+        assert Sig.SIGINT not in new and Sig.SIGTERM in new
+
+    def test_apply_never_blocks_kill(self):
+        new = Sigset().apply(SIG_BLOCK, Sigset([Sig.SIGKILL, Sig.SIGINT]))
+        assert Sig.SIGKILL not in new
+        assert Sig.SIGINT in new
+
+    def test_apply_bad_how(self):
+        with pytest.raises(ValueError):
+            Sigset().apply(99, Sigset())
+
+    def test_signals_sorted(self):
+        ss = Sigset([Sig.SIGTERM, Sig.SIGHUP])
+        assert ss.signals() == [Sig.SIGHUP, Sig.SIGTERM]
+
+    def test_equality(self):
+        assert Sigset([Sig.SIGINT]) == Sigset([Sig.SIGINT])
+        assert Sigset([Sig.SIGINT]) != Sigset()
+
+
+class TestSignalState:
+    def test_default_actions(self):
+        st = SignalState()
+        assert st.action(Sig.SIGINT).is_default()
+        assert st.disposition(Sig.SIGINT) is Disposition.EXIT
+        assert st.disposition(Sig.SIGSEGV) is Disposition.CORE
+
+    def test_install_handler(self):
+        st = SignalState()
+
+        def handler(sig):
+            yield
+
+        old = st.set_action(Sig.SIGINT, handler)
+        assert old.handler == SIG_DFL
+        assert st.action(Sig.SIGINT).is_caught()
+
+    def test_ignore_disposition(self):
+        st = SignalState()
+        st.set_action(Sig.SIGINT, SIG_IGN)
+        assert st.disposition(Sig.SIGINT) is Disposition.IGNORE
+
+    def test_sigkill_cannot_be_caught(self):
+        st = SignalState()
+        with pytest.raises(ValueError):
+            st.set_action(Sig.SIGKILL, SIG_IGN)
+
+    def test_fork_copy_keeps_handlers_drops_pending(self):
+        st = SignalState()
+        st.set_action(Sig.SIGUSR1, SIG_IGN)
+        st.pending.add(Sig.SIGTERM)
+        child = st.fork_copy()
+        assert child.action(Sig.SIGUSR1).is_ignore()
+        assert Sig.SIGTERM not in child.pending
+
+    def test_fork_copy_keeps_restart_flag(self):
+        st = SignalState()
+
+        def handler(sig):
+            yield
+
+        st.set_action(Sig.SIGUSR1, handler, restart=True)
+        assert st.fork_copy().action(Sig.SIGUSR1).restart
+
+    def test_restart_default_false(self):
+        assert not SigAction().restart

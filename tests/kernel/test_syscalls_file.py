@@ -1,0 +1,377 @@
+"""Tests for file system calls, including the paper's shared-state
+hazards (shared offsets, close-for-everyone, one cwd per process)."""
+
+import pytest
+
+from repro.errors import Errno, SyscallError
+from repro.hw.isa import Syscall
+from repro.kernel.fs.file import (O_APPEND, O_CREAT, O_NONBLOCK, O_RDONLY,
+                                  O_RDWR, O_TRUNC, O_WRONLY, SEEK_CUR,
+                                  SEEK_END)
+from repro.runtime import unistd
+from repro import threads
+from tests.conftest import run_program
+
+
+class TestOpenCloseReadWrite:
+    def test_create_write_read_roundtrip(self):
+        got = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            n = yield from unistd.write(fd, b"hello world")
+            got.append(n)
+            yield from unistd.lseek(fd, 0)
+            got.append((yield from unistd.read(fd, 100)))
+            yield from unistd.close(fd)
+
+        run_program(main)
+        assert got == [11, b"hello world"]
+
+    def test_read_only_fd_rejects_write(self):
+        caught = []
+
+        def main():
+            yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            fd = yield from unistd.open("/tmp/f", O_RDONLY)
+            try:
+                yield from unistd.write(fd, b"x")
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EBADF]
+
+    def test_o_trunc(self):
+        sizes = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"hello")
+            yield from unistd.close(fd)
+            fd = yield from unistd.open("/tmp/f",
+                                        O_RDWR | O_TRUNC)
+            st = yield from unistd.stat("/tmp/f")
+            sizes.append(st["size"])
+
+        run_program(main)
+        assert sizes == [0]
+
+    def test_o_append(self):
+        got = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"aaa")
+            fd2 = yield from unistd.open("/tmp/f", O_WRONLY | O_APPEND)
+            yield from unistd.write(fd2, b"bbb")
+            yield from unistd.lseek(fd, 0)
+            got.append((yield from unistd.read(fd, 10)))
+
+        run_program(main)
+        assert got == [b"aaabbb"]
+
+    def test_close_bad_fd(self):
+        caught = []
+
+        def main():
+            try:
+                yield from unistd.close(42)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EBADF]
+
+    def test_errno_set_in_tls_on_failure(self):
+        """The canonical TLS example: errno lands in thread-local
+        storage."""
+        errnos = []
+
+        def main():
+            from repro.runtime import libc
+            try:
+                yield from unistd.open("/missing", 0)
+            except SyscallError:
+                pass
+            errnos.append((yield from libc.errno()))
+
+        run_program(main)
+        assert errnos == [int(Errno.ENOENT)]
+
+
+class TestSeekSharing:
+    def test_shared_offset_between_threads(self):
+        """The paper's warning: another thread can move the seek pointer
+        between your seek and your read."""
+        got = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"0123456789")
+
+            def mover(_):
+                yield from unistd.lseek(fd, 5)
+
+            yield from unistd.lseek(fd, 0)
+            tid = yield from threads.thread_create(
+                mover, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+            got.append((yield from unistd.read(fd, 3)))
+
+        run_program(main)
+        assert got == [b"567"]  # not b"012": the mover won
+
+    def test_seek_cur_and_end(self):
+        offs = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"abcdef")
+            offs.append((yield from unistd.lseek(fd, -2, SEEK_END)))
+            offs.append((yield from unistd.lseek(fd, 1, SEEK_CUR)))
+
+        run_program(main)
+        assert offs == [4, 5]
+
+    def test_negative_seek_rejected(self):
+        caught = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            try:
+                yield from unistd.lseek(fd, -1)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EINVAL]
+
+    def test_close_closes_for_all_threads(self):
+        """"if one thread closes a file, it is closed for all threads"."""
+        caught = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+
+            def closer(_):
+                yield from unistd.close(fd)
+
+            tid = yield from threads.thread_create(
+                closer, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+            try:
+                yield from unistd.read(fd, 1)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EBADF]
+
+
+class TestCwd:
+    def test_chdir_affects_whole_process(self):
+        """"There is only one working directory for each process."""
+        got = []
+
+        def main():
+            yield from unistd.mkdir("/work")
+            yield from unistd.open("/work/data", O_CREAT)
+
+            def chdirer(_):
+                yield from unistd.chdir("/work")
+
+            tid = yield from threads.thread_create(
+                chdirer, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+            st = yield from unistd.stat("data")  # relative: resolves now
+            got.append(st["kind"])
+
+        run_program(main)
+        assert got == ["file"]
+
+    def test_chdir_to_file_rejected(self):
+        caught = []
+
+        def main():
+            yield from unistd.open("/tmp/f", O_CREAT)
+            try:
+                yield from unistd.chdir("/tmp/f")
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.ENOTDIR]
+
+
+class TestTty:
+    def test_read_blocks_until_input(self):
+        got = []
+
+        def main():
+            fd = yield from unistd.open("/dev/tty", O_RDONLY)
+            got.append((yield from unistd.read(fd, 10)))
+
+        from repro.api import Simulator
+        sim = Simulator()
+        sim.spawn(main)
+        sim.type_input(b"keys", at_usec=5_000)
+        sim.run()
+        assert got == [b"keys"]
+        assert sim.now_usec >= 5_000
+
+    def test_nonblock_read_eagain(self):
+        caught = []
+
+        def main():
+            fd = yield from unistd.open("/dev/tty",
+                                        O_RDONLY | O_NONBLOCK)
+            try:
+                yield from unistd.read(fd, 10)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EAGAIN]
+
+    def test_tty_write_collects_output(self):
+        def main():
+            fd = yield from unistd.open("/dev/tty", O_WRONLY)
+            yield from unistd.write(fd, b"display me")
+
+        sim, _ = run_program(main)
+        assert bytes(sim.tty().output) == b"display me"
+
+
+class TestFifo:
+    def test_fifo_roundtrip_between_processes(self):
+        got = []
+
+        def writer():
+            fd = yield from unistd.open("/tmp/p", O_WRONLY)
+            yield from unistd.write(fd, b"ping")
+            yield from unistd.close(fd)
+
+        def main():
+            yield from unistd.mkfifo("/tmp/p")
+            pid = yield from unistd.fork1(writer)
+            fd = yield from unistd.open("/tmp/p", O_RDONLY)
+            got.append((yield from unistd.read(fd, 10)))
+            got.append((yield from unistd.read(fd, 10)))  # EOF after close
+            yield from unistd.waitpid(pid)
+
+        run_program(main)
+        assert got == [b"ping", b""]
+
+    def test_fifo_open_blocks_for_peer(self):
+        """Classic FIFO semantics: open(O_WRONLY) waits for a reader."""
+        order = []
+
+        def writer():
+            fd = yield from unistd.open("/tmp/p", O_WRONLY)
+            order.append("writer-open")
+            yield from unistd.write(fd, b"x")
+
+        def main():
+            yield from unistd.mkfifo("/tmp/p")
+            pid = yield from unistd.fork1(writer)
+            yield from unistd.sleep_usec(20_000)
+            order.append("reader-opening")
+            fd = yield from unistd.open("/tmp/p", O_RDONLY)
+            yield from unistd.read(fd, 1)
+            yield from unistd.waitpid(pid)
+
+        run_program(main)
+        assert order == ["reader-opening", "writer-open"]
+
+    def test_write_to_readerless_fifo_epipe(self):
+        caught = []
+
+        def main():
+            from repro.kernel.signals import SIG_IGN, Sig
+            # Default SIGPIPE action would kill the process; ignore it to
+            # observe the EPIPE error, like every real daemon does.
+            yield from unistd.sigaction(int(Sig.SIGPIPE), SIG_IGN)
+            yield from unistd.mkfifo("/tmp/p")
+            fd = yield from unistd.open("/tmp/p", O_RDWR)
+            # Simulate the read side vanishing: drop it to 0 readers.
+            # (open O_RDWR counted one reader; close removes it.)
+            fd2 = yield from unistd.open("/tmp/p",
+                                         O_WRONLY | O_NONBLOCK)
+            yield from unistd.close(fd)
+            try:
+                yield from unistd.write(fd2, b"x")
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EPIPE]
+
+    def test_write_to_readerless_fifo_fatal_by_default(self):
+        """Without a handler, SIGPIPE's default action kills the whole
+        process — all threads, per the paper's default-action rule."""
+        def main():
+            yield from unistd.mkfifo("/tmp/p")
+            fd = yield from unistd.open("/tmp/p", O_RDWR)
+            fd2 = yield from unistd.open("/tmp/p",
+                                         O_WRONLY | O_NONBLOCK)
+            yield from unistd.close(fd)
+            yield from unistd.write(fd2, b"x")
+
+        from repro.kernel.signals import Sig
+        sim, proc = run_program(main, check_deadlock=False)
+        assert proc.exit_status == 128 + int(Sig.SIGPIPE)
+
+
+class TestMisc:
+    def test_dup_shares_offset_via_syscalls(self):
+        got = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"abcdef")
+            fd2 = yield from unistd.dup(fd)
+            yield from unistd.lseek(fd, 2)
+            got.append((yield from unistd.read(fd2, 2)))
+
+        run_program(main)
+        assert got == [b"cd"]
+
+    def test_unlink_then_stat_fails(self):
+        caught = []
+
+        def main():
+            yield from unistd.open("/tmp/f", O_CREAT)
+            yield from unistd.unlink("/tmp/f")
+            try:
+                yield from unistd.stat("/tmp/f")
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.ENOENT]
+
+    def test_ftruncate_and_fsync(self):
+        sizes = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"abcdef")
+            yield from unistd.ftruncate(fd, 2)
+            yield from unistd.fsync(fd)
+            st = yield from unistd.stat("/tmp/f")
+            sizes.append(st["size"])
+
+        run_program(main)
+        assert sizes == [2]
+
+    def test_dev_null(self):
+        got = []
+
+        def main():
+            fd = yield from unistd.open("/dev/null", O_RDWR)
+            got.append((yield from unistd.write(fd, b"void")))
+            got.append((yield from unistd.read(fd, 10)))
+
+        run_program(main)
+        assert got == [4, b""]

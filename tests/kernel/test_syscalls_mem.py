@@ -1,0 +1,171 @@
+"""Tests for mmap/munmap/brk/sbrk/msync through the syscall interface."""
+
+import pytest
+
+from repro.errors import Errno, SyscallError
+from repro.hw.isa import GetContext
+from repro.kernel.fs.file import O_CREAT, O_RDWR
+from repro.kernel.vm import MAP_PRIVATE, MAP_SHARED
+from repro.runtime import unistd
+from tests.conftest import run_program
+
+
+class TestMmap:
+    def test_anonymous_mapping(self):
+        got = []
+
+        def main():
+            vaddr = yield from unistd.mmap(8192)
+            got.append(vaddr)
+            ctx = yield GetContext()
+            mobj, off = ctx.process.aspace.resolve(vaddr + 100)
+            assert off == 100
+
+        run_program(main)
+        assert got[0] > 0
+
+    def test_shared_file_mapping_aliases_content(self):
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"0123456789")
+            vaddr = yield from unistd.mmap(10, MAP_SHARED, fd=fd)
+            ctx = yield GetContext()
+            mobj, off = ctx.process.aspace.resolve(vaddr)
+            assert mobj.read_bytes(off, 10) == b"0123456789"
+            # Writes through the mapping reach the file.
+            mobj.write_bytes(off, b"X")
+            yield from unistd.lseek(fd, 0)
+            assert (yield from unistd.read(fd, 1)) == b"X"
+
+        run_program(main)
+
+    def test_private_file_mapping_is_snapshot(self):
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"original")
+            vaddr = yield from unistd.mmap(8, MAP_PRIVATE, fd=fd)
+            ctx = yield GetContext()
+            mobj, off = ctx.process.aspace.resolve(vaddr)
+            mobj.write_bytes(off, b"MUTATED!")
+            yield from unistd.lseek(fd, 0)
+            # The file is untouched.
+            assert (yield from unistd.read(fd, 8)) == b"original"
+
+        run_program(main)
+
+    def test_mmap_grows_small_file(self):
+        got = []
+
+        def main():
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"ab")
+            yield from unistd.mmap(4096, MAP_SHARED, fd=fd)
+            st = yield from unistd.stat("/tmp/f")
+            got.append(st["size"])
+
+        run_program(main)
+        assert got[0] >= 4096
+
+    def test_mmap_of_fifo_rejected(self):
+        caught = []
+
+        def main():
+            yield from unistd.mkfifo("/tmp/p")
+            fd = yield from unistd.open("/tmp/p", O_RDWR)
+            try:
+                yield from unistd.mmap(4096, MAP_SHARED, fd=fd)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EINVAL]
+
+    def test_munmap_then_access_faults(self):
+        caught = []
+
+        def main():
+            vaddr = yield from unistd.mmap(4096)
+            yield from unistd.munmap(vaddr)
+            ctx = yield GetContext()
+            try:
+                ctx.process.aspace.resolve(vaddr)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EFAULT]
+
+    def test_munmap_unmapped_rejected(self):
+        caught = []
+
+        def main():
+            try:
+                yield from unistd.munmap(0x7777_0000)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EINVAL]
+
+
+class TestBrk:
+    def test_sbrk_returns_old_break(self):
+        got = []
+
+        def main():
+            old = yield from unistd.sbrk(4096)
+            got.append(old)
+            newer = yield from unistd.sbrk(0)
+            got.append(newer)
+
+        run_program(main)
+        assert got[1] == got[0] + 4096
+
+    def test_brk_sets_absolute(self):
+        def main():
+            base = yield from unistd.sbrk(0)
+            result = yield from unistd.brk(base + 10_000)
+            assert result == base + 10_000
+
+        run_program(main)
+
+    def test_heap_memory_usable_for_cells(self):
+        """Heap cells model ordinary (private) data — the home of
+        non-shared synchronization variables."""
+        def main():
+            base = yield from unistd.sbrk(64)
+            ctx = yield GetContext()
+            heap, off = ctx.process.aspace.resolve(base)
+            assert heap.load_cell(off) == 0  # zero-initialized
+            heap.store_cell(off, "mutex-state")
+            assert heap.load_cell(off) == "mutex-state"
+
+        run_program(main)
+
+
+class TestMsync:
+    def test_msync_costs_a_disk_trip(self):
+        got = []
+
+        def main():
+            from repro.runtime import mapped
+            region = yield from mapped.map_shared_file("/tmp/f", 4096)
+            t0 = yield from unistd.gettimeofday()
+            yield from unistd.msync(region.vaddr)
+            t1 = yield from unistd.gettimeofday()
+            got.append(t1 - t0)
+
+        run_program(main)
+        assert got[0] >= 16_000_000  # the modeled disk latency
+
+    def test_msync_unmapped_rejected(self):
+        caught = []
+
+        def main():
+            try:
+                yield from unistd.msync(0x7777_0000)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EINVAL]

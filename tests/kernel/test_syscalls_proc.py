@@ -1,0 +1,324 @@
+"""Tests for process lifecycle syscalls: fork, fork1, exec, exit, wait,
+and the single-uid-per-process rule."""
+
+import pytest
+
+from repro.errors import Errno, SyscallError
+from repro.hw.isa import Charge, Syscall
+from repro.kernel.process import ProcState
+from repro.runtime import unistd
+from repro import threads
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+class TestIdentity:
+    def test_getpid_getppid(self):
+        got = {}
+
+        def child():
+            got["child_pid"] = yield from unistd.getpid()
+            got["child_ppid"] = yield from unistd.getppid()
+
+        def main():
+            got["pid"] = yield from unistd.getpid()
+            cpid = yield from unistd.fork1(child)
+            got["fork_ret"] = cpid
+            yield from unistd.waitpid(cpid)
+
+        run_program(main)
+        assert got["fork_ret"] == got["child_pid"]
+        assert got["child_ppid"] == got["pid"]
+
+    def test_setuid_affects_whole_process(self):
+        """"There is only one set of user and group IDs for each
+        process."""
+        got = []
+
+        def main():
+            yield from unistd.syscall("setuid", 7)
+
+            def peeker(_):
+                got.append((yield from unistd.syscall("getuid")))
+
+            tid = yield from threads.thread_create(
+                peeker, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got == [7]
+
+    def test_unprivileged_setuid_rejected(self):
+        caught = []
+
+        def main():
+            yield from unistd.syscall("setuid", 7)
+            try:
+                yield from unistd.syscall("setuid", 0)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EPERM]
+
+
+class TestForkSemantics:
+    def test_fork1_creates_single_lwp_child(self):
+        got = {}
+
+        def child():
+            ctx = yield from _ctx()
+            got["child_lwps"] = len(ctx.process.live_lwps())
+
+        def main():
+            # Grow this process to 3 LWPs first.
+            yield from threads.thread_setconcurrency(3)
+            pid = yield from unistd.fork1(child)
+            yield from unistd.waitpid(pid)
+
+        run_program(main)
+        assert got["child_lwps"] == 1
+
+    def test_fork_duplicates_lwp_count(self):
+        """"fork() ... creates the same LWPs in the same states"
+        (our substitution: same count, available in the child's pool)."""
+        got = {}
+
+        def child():
+            ctx = yield from _ctx()
+            got["child_lwps"] = len(ctx.process.live_lwps())
+
+        def main():
+            yield from threads.thread_setconcurrency(3)
+            pid = yield from unistd.fork(child)
+            yield from unistd.waitpid(pid)
+
+        run_program(main, ncpus=2)
+        assert got["child_lwps"] == 3
+
+    def test_fork_costs_more_than_fork1(self):
+        """The reason fork1 exists: full fork pays per-LWP duplication."""
+        times = {}
+
+        def child():
+            return
+            yield
+
+        def make(key, call):
+            def main():
+                yield from threads.thread_setconcurrency(6)
+                t0 = yield from unistd.gettimeofday()
+                pid = yield from call(child)
+                t1 = yield from unistd.gettimeofday()
+                times[key] = t1 - t0
+                yield from unistd.waitpid(pid)
+            return main
+
+        run_program(make("fork", unistd.fork))
+        run_program(make("fork1", unistd.fork1))
+        assert times["fork"] > times["fork1"]
+
+    def test_child_address_space_is_snapshot(self):
+        got = {}
+        shared_box = {"value": "parent"}
+
+        def child():
+            # Python-level state is shared between simulated processes in
+            # our model only through explicit shared memory; closures act
+            # as the *copied* address space here, so mutate via sbrk heap.
+            ctx = yield from _ctx()
+            heap, off = ctx.process.aspace.resolve(
+                ctx.process.aspace.HEAP_BASE)
+            got["child_sees"] = heap.load_cell(off)
+            heap.store_cell(off, "child-wrote")
+
+        def main():
+            ctx = yield from _ctx()
+            base = ctx.process.aspace.sbrk(64)
+            heap, off = ctx.process.aspace.resolve(base)
+            heap.store_cell(off, "parent-wrote")
+            pid = yield from unistd.fork1(child)
+            yield from unistd.waitpid(pid)
+            got["parent_sees"] = heap.load_cell(off)
+
+        run_program(main)
+        assert got["child_sees"] == "parent-wrote"
+        assert got["parent_sees"] == "parent-wrote"  # isolated from child
+
+    def test_fork_interrupts_other_lwps_syscalls(self):
+        """"Calling fork() may cause interruptible system calls to return
+        EINTR when the calls are made by any LWP (thread) other than the
+        one calling fork()."""
+        caught = []
+
+        def sleeper(_):
+            try:
+                yield from unistd.nanosleep(usec(1_000_000))
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        def child():
+            return
+            yield
+
+        def main():
+            tid = yield from threads.thread_create(
+                sleeper, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from unistd.sleep_usec(1_000)
+            pid = yield from unistd.fork(child)
+            yield from unistd.waitpid(pid)
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert caught == [Errno.EINTR]
+
+    def test_fd_shared_offset_across_fork(self):
+        got = []
+
+        def child():
+            # Inherited descriptor: same open-file object, same offset.
+            data = yield from unistd.read(0, 3)
+            got.append(("child", data))
+
+        def main():
+            from repro.kernel.fs.file import O_CREAT, O_RDWR
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            assert fd == 0
+            yield from unistd.write(fd, b"abcdef")
+            yield from unistd.lseek(fd, 0)
+            pid = yield from unistd.fork1(child)
+            yield from unistd.waitpid(pid)
+            got.append(("parent", (yield from unistd.read(fd, 3))))
+
+        run_program(main)
+        assert got == [("child", b"abc"), ("parent", b"def")]
+
+
+class TestExit:
+    def test_exit_status_propagates(self):
+        got = []
+
+        def child():
+            yield from unistd.exit(42)
+
+        def main():
+            pid = yield from unistd.fork1(child)
+            got.append((yield from unistd.waitpid(pid)))
+
+        run_program(main)
+        assert got[0][1] == 42
+
+    def test_exit_destroys_all_lwps(self):
+        def spinner(_):
+            while True:
+                yield Charge(usec(100))
+                yield from threads.thread_yield()
+
+        def main():
+            yield from threads.thread_create(
+                spinner, None, flags=threads.THREAD_BIND_LWP)
+            yield from unistd.sleep_usec(500)
+            yield from unistd.exit(0)
+
+        sim, proc = run_program(main)
+        assert proc.state in (ProcState.ZOMBIE, ProcState.REAPED)
+        assert not proc.live_lwps()
+
+    def test_waitpid_wnohang(self):
+        got = []
+
+        def kid():
+            yield from unistd.sleep_usec(20_000)
+            yield from unistd.exit(5)
+
+        def main():
+            pid = yield from unistd.fork1(kid)
+            # Child still running: WNOHANG returns (0, 0) immediately.
+            got.append((yield from unistd.waitpid(pid, nohang=True)))
+            yield from unistd.sleep_usec(50_000)
+            got.append((yield from unistd.waitpid(pid, nohang=True)))
+
+        run_program(main)
+        assert got[0] == (0, 0)
+        assert got[1][1] == 5
+
+    def test_waitpid_no_children_echild(self):
+        caught = []
+
+        def main():
+            try:
+                yield from unistd.waitpid(-1)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.ECHILD]
+
+    def test_waitpid_specific_child(self):
+        got = []
+
+        def kid(tag):
+            yield from unistd.exit(tag)
+
+        def main():
+            pid1 = yield from unistd.fork1(kid, 1)
+            pid2 = yield from unistd.fork1(kid, 2)
+            got.append((yield from unistd.waitpid(pid2)))
+            got.append((yield from unistd.waitpid(pid1)))
+
+        run_program(main)
+        assert got[0] == (got[0][0], 2)
+        assert got[1] == (got[1][0], 1)
+
+    def test_child_rusage_rolled_into_parent(self):
+        got = {}
+
+        def kid():
+            yield Charge(usec(5_000))
+
+        def main():
+            pid = yield from unistd.fork1(kid)
+            yield from unistd.waitpid(pid)
+            got["children"] = yield from unistd.getrusage(-1)
+
+        run_program(main)
+        assert got["children"]["user_ns"] >= usec(5_000)
+
+
+class TestExec:
+    def test_exec_replaces_image_with_single_lwp(self):
+        got = {}
+
+        def new_image():
+            ctx = yield from _ctx()
+            got["lwps_after_exec"] = len(ctx.process.live_lwps())
+            got["threads_after"] = len(
+                ctx.process.threadlib.all_threads())
+
+        def main():
+            yield from threads.thread_setconcurrency(4)
+            yield from unistd.exec_image(new_image)
+
+        run_program(main)
+        assert got["lwps_after_exec"] == 1
+        assert got["threads_after"] == 1
+
+    def test_exec_keeps_pid(self):
+        got = {}
+
+        def new_image():
+            got["after"] = yield from unistd.getpid()
+
+        def main():
+            got["before"] = yield from unistd.getpid()
+            yield from unistd.exec_image(new_image)
+
+        run_program(main)
+        assert got["before"] == got["after"]
+
+
+def _ctx():
+    from repro.hw.isa import GetContext
+    ctx = yield GetContext()
+    return ctx

@@ -1,0 +1,141 @@
+"""Tests for address spaces, mappings, brk, and fork duplication."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.kernel.vm import AddressSpace, MAP_SHARED
+
+
+def fresh_aspace(name="t"):
+    return AddressSpace(PhysicalMemory(), name=name)
+
+
+class TestBrk:
+    def test_initial_brk_at_heap_base(self):
+        a = fresh_aspace()
+        assert a.brk_addr == AddressSpace.HEAP_BASE
+
+    def test_sbrk_returns_old_break(self):
+        a = fresh_aspace()
+        old = a.sbrk(4096)
+        assert old == AddressSpace.HEAP_BASE
+        assert a.brk_addr == old + 4096
+
+    def test_heap_addresses_resolve_after_growth(self):
+        a = fresh_aspace()
+        base = a.sbrk(8192)
+        mobj, off = a.resolve(base + 100)
+        assert off == 100
+
+    def test_brk_below_base_rejected(self):
+        a = fresh_aspace()
+        with pytest.raises(SyscallError):
+            a.set_brk(AddressSpace.HEAP_BASE - 1)
+
+    def test_heap_pages_resident(self):
+        a = fresh_aspace()
+        a.sbrk(PAGE_SIZE * 2)
+        mobj, _ = a.resolve(AddressSpace.HEAP_BASE)
+        assert mobj.is_resident(0) and mobj.is_resident(1)
+
+
+class TestMappings:
+    def test_map_object_and_resolve(self):
+        a = fresh_aspace()
+        mobj = a.memory.allocate(PAGE_SIZE)
+        m = a.map_object(mobj, PAGE_SIZE, shared=True)
+        got, off = a.resolve(m.vaddr + 12)
+        assert got is mobj and off == 12
+
+    def test_unmapped_address_faults(self):
+        a = fresh_aspace()
+        with pytest.raises(SyscallError):
+            a.resolve(0xDEAD0000)
+
+    def test_regions_rounded_to_pages(self):
+        a = fresh_aspace()
+        mobj = a.memory.allocate(100)
+        m = a.map_object(mobj, 100, shared=False)
+        assert m.length == PAGE_SIZE
+
+    def test_distinct_regions_do_not_overlap(self):
+        a = fresh_aspace()
+        m1 = a.map_object(a.memory.allocate(PAGE_SIZE), PAGE_SIZE, True)
+        m2 = a.map_object(a.memory.allocate(PAGE_SIZE), PAGE_SIZE, True)
+        assert m1.end <= m2.vaddr or m2.end <= m1.vaddr
+
+    def test_unmap(self):
+        a = fresh_aspace()
+        m = a.map_object(a.memory.allocate(PAGE_SIZE), PAGE_SIZE, True)
+        a.unmap(m.vaddr)
+        with pytest.raises(SyscallError):
+            a.resolve(m.vaddr)
+
+    def test_cannot_unmap_heap(self):
+        a = fresh_aspace()
+        with pytest.raises(SyscallError):
+            a.unmap(AddressSpace.HEAP_BASE)
+
+    def test_unaligned_file_offset_rejected(self):
+        a = fresh_aspace()
+        mobj = a.memory.allocate(PAGE_SIZE * 2)
+        with pytest.raises(SyscallError):
+            a.map_object(mobj, PAGE_SIZE, shared=True, obj_offset=100)
+
+
+class TestForkCopy:
+    def test_heap_contents_copied(self):
+        a = fresh_aspace()
+        base = a.sbrk(4096)
+        heap, off = a.resolve(base)
+        heap.store_cell(off, "parent-data")
+        child = a.fork_copy(name="child")
+        cheap, coff = child.resolve(base)
+        assert cheap.load_cell(coff) == "parent-data"
+        # And they are now independent.
+        cheap.store_cell(coff, "child-data")
+        assert heap.load_cell(off) == "parent-data"
+
+    def test_shared_mapping_aliases_same_object(self):
+        a = fresh_aspace()
+        mobj = a.memory.allocate(PAGE_SIZE)
+        m = a.map_object(mobj, PAGE_SIZE, shared=True)
+        child = a.fork_copy()
+        got, _ = child.resolve(m.vaddr)
+        assert got is mobj
+
+    def test_private_mapping_copied(self):
+        a = fresh_aspace()
+        mobj = a.memory.allocate(PAGE_SIZE, resident=True)
+        mobj.store_cell(0, 1)
+        m = a.map_object(mobj, PAGE_SIZE, shared=False)
+        child = a.fork_copy()
+        got, _ = child.resolve(m.vaddr)
+        assert got is not mobj
+        assert got.load_cell(0) == 1
+
+    def test_brk_preserved(self):
+        a = fresh_aspace()
+        a.sbrk(12345)
+        child = a.fork_copy()
+        assert child.brk_addr == a.brk_addr
+
+    def test_fork1_lock_hazard_reproduced(self):
+        """The paper's fork1 pitfall: a held (private-memory) lock is
+        copied in the held state, with no owner in the child."""
+        a = fresh_aspace()
+        base = a.sbrk(64)
+        heap, off = a.resolve(base)
+        heap.store_cell(off, 1)  # "locked" flag set by some thread
+        child = a.fork_copy()
+        cheap, coff = child.resolve(base)
+        assert cheap.load_cell(coff) == 1  # locked, ownerless
+
+
+class TestStats:
+    def test_resident_pages_and_mapped_bytes(self):
+        a = fresh_aspace()
+        a.sbrk(PAGE_SIZE)
+        assert a.resident_pages >= 1
+        assert a.mapped_bytes >= PAGE_SIZE

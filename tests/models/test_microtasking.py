@@ -1,0 +1,126 @@
+"""Tests for the micro-tasking (raw-LWP, gang-scheduled) runtime."""
+
+import pytest
+
+from repro.api import Simulator
+from repro.hw.isa import Charge, GetContext
+from repro.models import microtasking
+from repro.runtime import unistd
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+class TestParallelFor:
+    def test_all_iterations_execute_once(self):
+        hits = []
+
+        def main():
+            def body(i):
+                hits.append(i)
+
+            yield from microtasking.parallel_for(10, body, n_lwps=3)
+
+        run_program(main, ncpus=2)
+        assert sorted(hits) == list(range(10))
+
+    def test_workers_are_raw_lwps_not_threads(self):
+        got = {}
+
+        def main():
+            ctx = yield GetContext()
+            before_threads = len(ctx.process.threadlib.all_threads())
+
+            def body(i):
+                yield Charge(usec(100))
+
+            yield from microtasking.parallel_for(4, body, n_lwps=2)
+            got["threads_delta"] = (len(ctx.process.threadlib
+                                        .all_threads()) - before_threads)
+
+        sim, _ = run_program(main, ncpus=2)
+        assert got["threads_delta"] == 0  # no library threads created
+        assert sim.syscall_counts()["lwp_create"] == 2
+
+    def test_parallelism_speeds_up_compute(self):
+        def build(n_lwps):
+            def main():
+                def body(i):
+                    # Big enough that compute dominates the (expensive)
+                    # LWP creations.
+                    yield Charge(usec(10_000))
+
+                yield from microtasking.parallel_for(8, body,
+                                                     n_lwps=n_lwps,
+                                                     gang=False)
+            return main
+
+        sim1, _ = run_program(build(1), ncpus=4)
+        sim4, _ = run_program(build(4), ncpus=4)
+        assert sim4.now_usec < sim1.now_usec * 0.5
+
+    def test_gang_membership_during_run(self):
+        """Workers join the caller's gang, so the dispatcher co-schedules
+        them."""
+        got = {}
+
+        def main():
+            ctx = yield GetContext()
+
+            def body(i):
+                if i == 0:
+                    proc = ctx.process
+                    got["gang_sizes"] = [
+                        len(l.gang.members) for l in proc.live_lwps()
+                        if l.gang is not None]
+                yield Charge(usec(500))
+
+            yield from microtasking.parallel_for(4, body, n_lwps=2)
+
+        run_program(main, ncpus=2)
+        assert got["gang_sizes"] and max(got["gang_sizes"]) >= 2
+
+    def test_more_lwps_than_iters_clamped(self):
+        hits = []
+
+        def main():
+            def body(i):
+                hits.append(i)
+
+            yield from microtasking.parallel_for(2, body, n_lwps=8)
+
+        sim, _ = run_program(main, ncpus=2)
+        assert sorted(hits) == [0, 1]
+        assert sim.syscall_counts()["lwp_create"] == 2
+
+    def test_zero_lwps_defaults_to_ncpus(self):
+        def main():
+            def body(i):
+                yield Charge(usec(10))
+
+            used = yield from microtasking.parallel_for(8, body)
+            assert used == 3
+
+        run_program(main, ncpus=3)
+
+
+class TestParallelSum:
+    def test_sum_correct(self):
+        got = []
+
+        def main():
+            total = yield from microtasking.parallel_sum(
+                list(range(20)), n_lwps=4)
+            got.append(total)
+
+        run_program(main, ncpus=4)
+        assert got == [sum(range(20))]
+
+    def test_empty_values(self):
+        got = []
+
+        def main():
+            total = yield from microtasking.parallel_sum([], n_lwps=2)
+            got.append(total)
+
+        run_program(main)
+        assert got == [0]

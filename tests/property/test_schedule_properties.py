@@ -1,0 +1,204 @@
+"""Property tests over randomized schedules: condition variables,
+bounded queues, barriers, and thread lifecycles never lose events."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+SIM_SETTINGS = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestCondvarNoLostWakeups:
+    @SIM_SETTINGS
+    @given(producers=st.integers(1, 3), items=st.integers(1, 10),
+           ncpus=st.integers(1, 3), seed=st.integers(0, 999))
+    def test_every_item_consumed(self, producers, items, ncpus, seed):
+        from repro.api import Simulator
+        from repro.sync import CondVar, Mutex
+        from repro import threads
+
+        total = producers * items
+        consumed = []
+
+        def producer(shared):
+            import random
+            rng = random.Random(seed)
+            for i in range(items):
+                yield from shared["m"].enter()
+                shared["q"].append(i)
+                yield from shared["cv"].signal()
+                yield from shared["m"].exit()
+                if rng.random() < 0.5:
+                    yield from threads.thread_yield()
+
+        def consumer(shared):
+            while len(consumed) < total:
+                yield from shared["m"].enter()
+                while not shared["q"] and len(consumed) < total:
+                    yield from shared["cv"].wait(shared["m"])
+                if shared["q"]:
+                    consumed.append(shared["q"].pop(0))
+                    if len(consumed) == total:
+                        yield from shared["cv"].broadcast()
+                yield from shared["m"].exit()
+
+        def main():
+            shared = {"m": Mutex(), "cv": CondVar(), "q": []}
+            tids = []
+            for _ in range(2):
+                tid = yield from threads.thread_create(
+                    consumer, shared, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for _ in range(producers):
+                tid = yield from threads.thread_create(
+                    producer, shared, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        sim = Simulator(ncpus=ncpus, seed=seed)
+        sim.spawn(main)
+        sim.run()
+        assert len(consumed) == total
+
+
+class TestBoundedQueueConservation:
+    @SIM_SETTINGS
+    @given(capacity=st.integers(1, 4), items=st.integers(1, 12),
+           consumers=st.integers(1, 3), ncpus=st.integers(1, 2))
+    def test_items_conserved(self, capacity, items, consumers, ncpus):
+        from repro.api import Simulator
+        from repro.sync import BoundedQueue
+        from repro import threads
+
+        out = []
+
+        def consumer(q):
+            while True:
+                item = yield from q.get()
+                if item is None:
+                    return
+                out.append(item)
+
+        def main():
+            q = BoundedQueue(capacity)
+            tids = []
+            for _ in range(consumers):
+                tid = yield from threads.thread_create(
+                    consumer, q, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for i in range(items):
+                yield from q.put(i)
+            yield from q.close()
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        sim = Simulator(ncpus=ncpus)
+        sim.spawn(main)
+        sim.run()
+        assert sorted(out) == list(range(items))
+
+
+class TestBarrierRounds:
+    @SIM_SETTINGS
+    @given(parties=st.integers(2, 5), rounds=st.integers(1, 4),
+           ncpus=st.integers(1, 3))
+    def test_rounds_complete_in_lockstep(self, parties, rounds, ncpus):
+        from repro.api import Simulator
+        from repro.sync import Barrier
+        from repro import threads
+
+        progress = {i: 0 for i in range(parties)}
+        violations = []
+
+        def worker(args):
+            barrier, me = args
+            for r in range(rounds):
+                progress[me] = r
+                spread = max(progress.values()) - min(progress.values())
+                if spread > 1:
+                    violations.append((me, r, dict(progress)))
+                yield from barrier.wait()
+
+        def main():
+            barrier = Barrier(parties)
+            tids = []
+            for i in range(parties):
+                tid = yield from threads.thread_create(
+                    worker, (barrier, i), flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        sim = Simulator(ncpus=ncpus)
+        sim.spawn(main)
+        sim.run()
+        assert not violations
+        assert all(p == rounds - 1 for p in progress.values())
+
+
+class TestThreadLifecycleProperty:
+    @SIM_SETTINGS
+    @given(n=st.integers(1, 12), ncpus=st.integers(1, 4),
+           lwps=st.integers(1, 4))
+    def test_all_created_threads_joinable(self, n, ncpus, lwps):
+        from repro.api import Simulator
+        from repro.hw.isa import Charge
+        from repro.sim.clock import usec
+        from repro import threads
+
+        done = []
+
+        def worker(i):
+            yield Charge(usec(50 * (i % 3 + 1)))
+            done.append(i)
+
+        def main():
+            yield from threads.thread_setconcurrency(lwps)
+            tids = []
+            for i in range(n):
+                tid = yield from threads.thread_create(
+                    worker, i, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for tid in tids:
+                got = yield from threads.thread_wait(tid)
+                assert got == tid
+
+        sim = Simulator(ncpus=ncpus)
+        sim.spawn(main)
+        sim.run()
+        assert sorted(done) == list(range(n))
+
+    @SIM_SETTINGS
+    @given(n=st.integers(1, 8), seed=st.integers(0, 99))
+    def test_mixed_bound_unbound_all_complete(self, n, seed):
+        from repro.api import Simulator
+        from repro.hw.isa import Charge
+        from repro.sim.clock import usec
+        from repro import threads
+
+        done = []
+
+        def worker(i):
+            yield Charge(usec(100))
+            done.append(i)
+
+        def main():
+            import random
+            rng = random.Random(seed)
+            tids = []
+            for i in range(n):
+                flags = threads.THREAD_WAIT
+                if rng.random() < 0.4:
+                    flags |= threads.THREAD_BIND_LWP
+                tid = yield from threads.thread_create(worker, i,
+                                                       flags=flags)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        sim = Simulator(ncpus=2, seed=seed)
+        sim.spawn(main)
+        sim.run()
+        assert sorted(done) == list(range(n))

@@ -1,0 +1,169 @@
+"""Tests for the user-level runtime: libc helpers, mapped regions,
+errno plumbing, setjmp/longjmp rules."""
+
+import pytest
+
+from repro.errors import Errno, SyscallError, ThreadError
+from repro.runtime import libc, mapped, unistd
+from repro import threads
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+class TestLibc:
+    def test_compute_burns_time(self):
+        def main():
+            t0 = yield from unistd.gettimeofday()
+            yield from libc.compute(123)
+            t1 = yield from unistd.gettimeofday()
+            assert t1 - t0 >= usec(123)
+
+        run_program(main)
+
+    def test_setjmp_longjmp_within_thread(self):
+        def main():
+            buf = yield from libc.setjmp()
+            yield from libc.longjmp(buf)
+
+        sim, proc = run_program(main)
+        assert proc.exit_status == 0
+
+    def test_longjmp_into_another_thread_rejected(self):
+        """"it is an error for a thread to longjmp() into another
+        thread"."""
+        bufbox = {}
+
+        def saver(_):
+            bufbox["buf"] = yield from libc.setjmp()
+
+        def main():
+            tid = yield from threads.thread_create(
+                saver, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+            with pytest.raises(ThreadError):
+                yield from libc.longjmp(bufbox["buf"])
+
+        run_program(main)
+
+    def test_errno_get_set(self):
+        got = []
+
+        def main():
+            yield from libc.set_errno(42)
+            got.append((yield from libc.errno()))
+
+        run_program(main)
+        assert got == [42]
+
+    def test_errno_is_thread_local(self):
+        got = {}
+
+        def worker(tag):
+            yield from libc.set_errno(tag)
+            yield from threads.thread_yield()
+            got[tag] = yield from libc.errno()
+
+        def main():
+            a = yield from threads.thread_create(
+                worker, 7, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                worker, 9, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        run_program(main)
+        assert got == {7: 7, 9: 9}
+
+
+class TestMappedRegions:
+    def test_map_shared_file_sizes_the_file(self):
+        got = []
+
+        def main():
+            yield from mapped.map_shared_file("/tmp/region", 8192)
+            st = yield from unistd.stat("/tmp/region")
+            got.append(st["size"])
+
+        run_program(main)
+        assert got[0] >= 8192
+
+    def test_cells_at_offsets(self):
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/r", 4096)
+            c = region.cell(64)
+            c.store("hello")
+            assert region.cell(64).load() == "hello"
+
+        run_program(main)
+
+    def test_cell_out_of_range(self):
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/r", 4096)
+            with pytest.raises(ValueError):
+                region.cell(9999)
+
+        run_program(main)
+
+    def test_read_write_bytes(self):
+        got = []
+
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/r", 4096)
+            yield from region.write(100, b"mapped data")
+            got.append((yield from region.read(100, 11)))
+
+        run_program(main)
+        assert got == [b"mapped data"]
+
+    def test_anon_shared_region(self):
+        def main():
+            region = yield from mapped.map_anon_shared(4096)
+            region.cell(0).store(5)
+            assert region.cell(0).load() == 5
+            yield from region.unmap()
+
+        sim, proc = run_program(main)
+        assert proc.exit_status == 0
+
+    def test_file_region_page_fault_costs_time(self):
+        """First touch of a file-backed page takes a (modeled) major
+        fault."""
+        got = {}
+
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/r", 8192)
+            t0 = yield from unistd.gettimeofday()
+            yield from region.read(0, 1)   # page fault
+            t1 = yield from unistd.gettimeofday()
+            yield from region.read(1, 1)   # now resident
+            t2 = yield from unistd.gettimeofday()
+            got["first"] = t1 - t0
+            got["second"] = t2 - t1
+
+        run_program(main)
+        assert got["first"] > got["second"]
+        assert got["first"] >= usec(450)
+
+
+class TestSyscallWrapper:
+    def test_wrapper_propagates_and_sets_errno(self):
+        got = []
+
+        def main():
+            try:
+                yield from unistd.open("/nope", 0)
+            except SyscallError as err:
+                got.append(err.errno)
+            got.append((yield from libc.errno()))
+
+        run_program(main)
+        assert got == [Errno.ENOENT, int(Errno.ENOENT)]
+
+    def test_creat_shorthand(self):
+        def main():
+            fd = yield from unistd.creat("/tmp/new")
+            yield from unistd.write(fd, b"x")
+            st = yield from unistd.stat("/tmp/new")
+            assert st["size"] == 1
+
+        run_program(main)

@@ -1,0 +1,49 @@
+"""Tests for virtual time conversion and the clock."""
+
+import pytest
+
+from repro.sim.clock import (NS_PER_US, VirtualClock, msec, sec, to_usec,
+                             usec)
+
+
+class TestConversions:
+    def test_usec_is_exact_integer_ns(self):
+        assert usec(1) == 1_000
+        assert usec(56) == 56_000
+
+    def test_usec_fractional(self):
+        assert usec(0.5) == 500
+        assert usec(58.5) == 58_500
+
+    def test_msec_and_sec(self):
+        assert msec(1) == 1_000_000
+        assert sec(1) == 1_000_000_000
+
+    def test_roundtrip(self):
+        assert to_usec(usec(348)) == 348.0
+
+    def test_ns_per_us_constant(self):
+        assert NS_PER_US == 1_000
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(5_000)
+        assert clock.now_ns == 5_000
+        assert clock.now_usec == 5.0
+
+    def test_advance_to_same_time_allowed(self):
+        clock = VirtualClock()
+        clock.advance_to(100)
+        clock.advance_to(100)
+        assert clock.now_ns == 100
+
+    def test_time_never_goes_backward(self):
+        clock = VirtualClock()
+        clock.advance_to(10)
+        with pytest.raises(ValueError):
+            clock.advance_to(9)

@@ -1,0 +1,68 @@
+"""Tests for the calibrated cost model."""
+
+import dataclasses
+
+from repro.sim.clock import usec
+from repro.sim.costs import SPARCSTATION_1PLUS, CostModel, default_cost_model
+
+
+class TestCalibration:
+    """The constants must keep producing the paper's primitive numbers;
+    these tests pin the calibration targets (the figure-level checks live
+    in the benchmarks and integration tests)."""
+
+    def test_unbound_create_is_56us(self):
+        assert SPARCSTATION_1PLUS.thread_create_user == usec(56)
+
+    def test_bound_create_path_sums_to_2327us(self):
+        c = SPARCSTATION_1PLUS
+        total = (c.thread_create_user + c.syscall_entry
+                 + c.lwp_create_service + c.syscall_exit)
+        assert total == usec(2327)
+
+    def test_setjmp_longjmp_pair_is_59us(self):
+        assert SPARCSTATION_1PLUS.setjmp_longjmp_pair == usec(59)
+
+    def test_thread_switch_equals_setjmp_longjmp(self):
+        c = SPARCSTATION_1PLUS
+        assert c.thread_switch_user == c.setjmp + c.longjmp
+
+    def test_creation_ratio_near_42(self):
+        c = SPARCSTATION_1PLUS
+        bound = (c.thread_create_user + c.syscall_entry
+                 + c.lwp_create_service + c.syscall_exit)
+        ratio = bound / c.thread_create_user
+        assert 40 <= ratio <= 43
+
+
+class TestModelMechanics:
+    def test_frozen(self):
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SPARCSTATION_1PLUS.setjmp = 1
+
+    def test_replace_derives_variant(self):
+        faster = dataclasses.replace(SPARCSTATION_1PLUS,
+                                     lwp_create_service=usec(100))
+        assert faster.lwp_create_service == usec(100)
+        assert faster.setjmp == SPARCSTATION_1PLUS.setjmp
+
+    def test_scaled_multiplies_everything(self):
+        half = SPARCSTATION_1PLUS.scaled(0.5)
+        assert half.setjmp == SPARCSTATION_1PLUS.setjmp // 2
+        assert half.timeslice == SPARCSTATION_1PLUS.timeslice // 2
+
+    def test_default_model_is_sparcstation(self):
+        assert default_cost_model() is SPARCSTATION_1PLUS
+
+    def test_all_costs_nonnegative(self):
+        for f in dataclasses.fields(CostModel):
+            assert getattr(SPARCSTATION_1PLUS, f.name) >= 0, f.name
+
+    def test_kernel_ops_cost_more_than_user_ops(self):
+        """The paper's core premise: kernel-supported parallelism is
+        relatively expensive compared to user threads."""
+        c = SPARCSTATION_1PLUS
+        assert c.lwp_create_service > 10 * c.thread_create_user
+        assert (c.syscall_entry + c.lwp_park_service + c.syscall_exit
+                > c.thread_switch_user)

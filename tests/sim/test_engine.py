@@ -1,0 +1,152 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_call_after_advances_clock(self):
+        eng = Engine()
+        seen = []
+        eng.call_after(1_000, lambda: seen.append(eng.now_ns))
+        eng.run()
+        assert seen == [1_000]
+
+    def test_call_at_absolute(self):
+        eng = Engine()
+        seen = []
+        eng.call_at(500, lambda: seen.append(True))
+        eng.run()
+        assert seen and eng.now_ns == 500
+
+    def test_cannot_schedule_in_past(self):
+        eng = Engine()
+        eng.call_after(100, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.call_at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.call_after(-1, lambda: None)
+
+    def test_events_fired_counter(self):
+        eng = Engine()
+        for i in range(5):
+            eng.call_after(i, lambda: None)
+        assert eng.run() == 5
+        assert eng.events_fired == 5
+
+    def test_cascading_events(self):
+        eng = Engine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            eng.call_after(10, lambda: seen.append("second"))
+
+        eng.call_after(5, first)
+        eng.run()
+        assert seen == ["first", "second"]
+        assert eng.now_ns == 15
+
+
+class TestRunLimits:
+    def test_until_stops_before_later_events(self):
+        eng = Engine()
+        seen = []
+        eng.call_after(10, lambda: seen.append("early"))
+        eng.call_after(1_000, lambda: seen.append("late"))
+        eng.run(until_ns=100)
+        assert seen == ["early"]
+        assert eng.now_ns == 100
+        eng.run()
+        assert seen == ["early", "late"]
+
+    def test_run_for_relative_window(self):
+        eng = Engine()
+        seen = []
+        eng.call_after(50, lambda: seen.append(1))
+        eng.run_for(60)
+        assert seen == [1]
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def rearm():
+            eng.call_after(1, rearm)
+
+        eng.call_after(1, rearm)
+        with pytest.raises(SimulationError, match="max_events"):
+            eng.run(max_events=100)
+
+    def test_engine_not_reentrant(self):
+        eng = Engine()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                eng.run()
+
+        eng.call_after(1, nested)
+        eng.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        seen = []
+        ev = eng.call_after(10, lambda: seen.append(1))
+        eng.cancel(ev)
+        eng.run()
+        assert seen == []
+
+    def test_double_cancel_safe(self):
+        eng = Engine()
+        ev = eng.call_after(10, lambda: None)
+        eng.cancel(ev)
+        eng.cancel(ev)
+        eng.run()
+
+
+class TestDeadlockProbe:
+    def test_idle_check_raises_on_complaint(self):
+        eng = Engine()
+        eng.idle_check = lambda: "stuck entities"
+        with pytest.raises(DeadlockError, match="stuck"):
+            eng.run()
+
+    def test_idle_check_quiet_when_none(self):
+        eng = Engine()
+        eng.idle_check = lambda: None
+        eng.run()  # no raise
+
+    def test_check_deadlock_false_skips_probe(self):
+        eng = Engine()
+        eng.idle_check = lambda: "stuck"
+        eng.run(check_deadlock=False)  # no raise
+
+
+class TestDeterminism:
+    def test_same_seed_same_order(self):
+        def trace_run():
+            eng = Engine(seed=7)
+            seen = []
+            for i in range(20):
+                eng.call_after(eng.rng.randint("t", 0, 5),
+                               lambda i=i: seen.append(i))
+            eng.run()
+            return seen
+
+        assert trace_run() == trace_run()
+
+    def test_rng_streams_independent(self):
+        eng = Engine(seed=1)
+        a1 = [eng.rng.stream("a").random() for _ in range(3)]
+        eng2 = Engine(seed=1)
+        # Drawing from "b" first must not perturb "a".
+        eng2.rng.stream("b").random()
+        a2 = [eng2.rng.stream("a").random() for _ in range(3)]
+        assert a1 == a2

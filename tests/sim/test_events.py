@@ -1,0 +1,85 @@
+"""Tests for the event queue: ordering, cancellation, FIFO ties."""
+
+from repro.sim.events import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(30, lambda: fired.append("c"))
+        q.push(10, lambda: fired.append("a"))
+        q.push(20, lambda: fired.append("b"))
+        while True:
+            ev = q.pop()
+            if ev is None:
+                break
+            ev.fn()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        order = []
+        for i in range(10):
+            q.push(100, lambda i=i: order.append(i))
+        while (ev := q.pop()) is not None:
+            ev.fn()
+        assert order == list(range(10))
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(5, lambda: None)
+        assert q.peek_time() == 5
+        assert q.peek_time() == 5
+        assert q.pop() is not None
+        assert q.pop() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_never_pops(self):
+        q = EventQueue()
+        ev = q.push(1, lambda: None)
+        ev.cancel()
+        assert q.pop() is None
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = q.push(1, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled_head(self):
+        q = EventQueue()
+        first = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        first.cancel()
+        assert q.peek_time() == 2
+
+    def test_cancel_middle_preserves_others(self):
+        q = EventQueue()
+        keep1 = q.push(1, lambda: None)
+        victim = q.push(2, lambda: None)
+        keep2 = q.push(3, lambda: None)
+        victim.cancel()
+        assert q.pop() is keep1
+        assert q.pop() is keep2
+        assert q.pop() is None
+
+
+class TestLen:
+    def test_len_counts_live(self):
+        q = EventQueue()
+        q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        ev = q.push(1, lambda: None)
+        assert q
+        ev.cancel()
+        assert not q

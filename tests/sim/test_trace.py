@@ -1,0 +1,63 @@
+"""Tests for the structured tracer."""
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestEmission:
+    def test_disabled_by_default(self):
+        t = Tracer()
+        t.emit(0, "sched", "dispatch", "lwp-1")
+        assert len(t) == 0
+
+    def test_enabled_collects(self):
+        t = Tracer(enabled=True)
+        t.emit(10, "sched", "dispatch", "lwp-1", cpu="cpu-0")
+        assert len(t) == 1
+        rec = t.records[0]
+        assert rec.time_ns == 10
+        assert rec.detail["cpu"] == "cpu-0"
+
+    def test_category_filter(self):
+        t = Tracer(enabled=True, categories=["syscall"])
+        t.emit(0, "sched", "dispatch", "x")
+        t.emit(0, "syscall", "enter", "x")
+        assert len(t) == 1
+        assert t.records[0].category == "syscall"
+
+    def test_sink_callback(self):
+        seen = []
+        t = Tracer(enabled=True, sink=seen.append)
+        t.emit(0, "a", "b", "c")
+        assert len(seen) == 1
+
+
+class TestQueries:
+    def _tracer(self):
+        t = Tracer(enabled=True)
+        t.emit(0, "sched", "dispatch", "lwp-1")
+        t.emit(5, "sched", "block", "lwp-1")
+        t.emit(9, "syscall", "enter", "lwp-2")
+        return t
+
+    def test_find_by_category(self):
+        assert len(self._tracer().find(category="sched")) == 2
+
+    def test_find_by_event_and_subject(self):
+        t = self._tracer()
+        assert len(t.find(event="block", subject="lwp-1")) == 1
+        assert t.count(event="block") == 1
+
+    def test_between(self):
+        t = self._tracer()
+        assert [r.event for r in t.between(1, 9)] == ["block"]
+
+    def test_clear(self):
+        t = self._tracer()
+        t.clear()
+        assert len(t) == 0
+
+    def test_str_rendering(self):
+        rec = TraceRecord(1_500, "sched", "dispatch", "lwp-1",
+                          {"cpu": "cpu-0"})
+        text = str(rec)
+        assert "sched/dispatch" in text and "cpu=cpu-0" in text

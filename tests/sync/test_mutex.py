@@ -1,0 +1,211 @@
+"""Tests for mutex locks: mutual exclusion, bracketing, handoff,
+tryenter, and the no-kernel-entry property for uncontended use."""
+
+import pytest
+
+from repro.errors import SyncError
+from repro.hw.isa import Charge
+from repro.runtime import unistd
+from repro.sync import Mutex
+from repro import threads
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+class TestBasics:
+    def test_enter_exit(self):
+        def main():
+            m = Mutex()
+            yield from m.enter()
+            assert m.held
+            yield from m.exit()
+            assert not m.held
+
+        run_program(main)
+
+    def test_exit_without_enter_raises(self):
+        """"it is an error for a thread to release a lock not held by the
+        thread" — strictly bracketing."""
+        def main():
+            m = Mutex()
+            with pytest.raises(SyncError):
+                yield from m.exit()
+
+        run_program(main)
+
+    def test_exit_by_non_owner_raises(self):
+        def main():
+            m = Mutex()
+            yield from m.enter()
+
+            def thief(_):
+                with pytest.raises(SyncError):
+                    yield from m.exit()
+
+            tid = yield from threads.thread_create(
+                thief, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+            yield from m.exit()
+
+        run_program(main)
+
+    def test_tryenter(self):
+        got = []
+
+        def main():
+            m = Mutex()
+            got.append((yield from m.tryenter()))
+            got.append((yield from m.tryenter()))  # already held by us
+            yield from m.exit()
+
+        run_program(main)
+        assert got == [True, False]
+
+    def test_zero_init_default_usable(self):
+        """"Any synchronization variable that is statically or dynamically
+        allocated as zero may be used immediately."""
+        def main():
+            m = Mutex()  # no explicit init parameters at all
+            yield from m.enter()
+            yield from m.exit()
+
+        sim, proc = run_program(main)
+        assert proc.exit_status == 0
+
+
+class TestContention:
+    def test_mutual_exclusion(self):
+        """The invariant: never two threads in the critical section."""
+        state = {"inside": 0, "max_inside": 0, "entries": 0}
+
+        def worker(m):
+            for _ in range(5):
+                yield from m.enter()
+                state["inside"] += 1
+                state["max_inside"] = max(state["max_inside"],
+                                          state["inside"])
+                state["entries"] += 1
+                yield Charge(usec(50))
+                yield from threads.thread_yield()
+                state["inside"] -= 1
+                yield from m.exit()
+
+        def main():
+            m = Mutex()
+            tids = []
+            for _ in range(4):
+                tid = yield from threads.thread_create(
+                    worker, m, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert state["max_inside"] == 1
+        assert state["entries"] == 20
+
+    def test_fifo_handoff(self):
+        """Waiters receive the lock in arrival order (no barging)."""
+        order = []
+
+        def worker(args):
+            m, tag = args
+            yield from m.enter()
+            order.append(tag)
+            yield from m.exit()
+
+        def main():
+            m = Mutex()
+            yield from m.enter()
+            tids = []
+            for tag in ("a", "b", "c"):
+                tid = yield from threads.thread_create(
+                    worker, (m, tag), flags=threads.THREAD_WAIT)
+                tids.append(tid)
+                yield from threads.thread_yield()  # let it block in order
+            yield from m.exit()
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert order == ["a", "b", "c"]
+
+    def test_contended_tryenter_fails_without_blocking(self):
+        got = []
+
+        def main():
+            m = Mutex()
+            yield from m.enter()
+
+            def prober(_):
+                t0 = yield from unistd.gettimeofday()
+                ok = yield from m.tryenter()
+                t1 = yield from unistd.gettimeofday()
+                got.append((ok, (t1 - t0) / 1000))
+
+            tid = yield from threads.thread_create(
+                prober, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+            yield from m.exit()
+
+        run_program(main)
+        ok, elapsed = got[0]
+        assert not ok
+        assert elapsed < 100  # did not wait for the lock
+
+    def test_statistics(self):
+        def main():
+            m = Mutex()
+            yield from m.enter()
+
+            def contender(_):
+                yield from m.enter()
+                yield from m.exit()
+
+            tid = yield from threads.thread_create(
+                contender, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_yield()
+            yield from m.exit()
+            yield from threads.thread_wait(tid)
+            assert m.acquisitions == 2
+            assert m.contended >= 1
+
+        run_program(main)
+
+
+class TestKernelAvoidance:
+    def test_uncontended_mutex_never_enters_kernel(self):
+        """The heart of the paper: same-process synchronization without
+        crossing the protection boundary."""
+        def main():
+            m = Mutex()
+            for _ in range(100):
+                yield from m.enter()
+                yield from m.exit()
+
+        sim, _ = run_program(main)
+        counts = sim.syscall_counts()
+        assert set(counts) <= {"exit"}  # only the final process exit
+
+    def test_contended_unbound_threads_stay_in_user_mode(self):
+        """Even contended hand-off between unbound threads on one LWP
+        needs no kernel call."""
+        def worker(m):
+            for _ in range(10):
+                yield from m.enter()
+                yield from threads.thread_yield()
+                yield from m.exit()
+
+        def main():
+            m = Mutex()
+            a = yield from threads.thread_create(
+                worker, m, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                worker, m, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        sim, _ = run_program(main)
+        counts = sim.syscall_counts()
+        assert "lwp_park" not in counts
+        assert "lwp_unpark" not in counts

@@ -1,0 +1,172 @@
+"""Tests for counting semaphores."""
+
+import pytest
+
+from repro.errors import SyncError
+from repro.sync import Semaphore
+from repro import threads
+from tests.conftest import run_program
+
+
+class TestCounting:
+    def test_initial_count_consumed_without_blocking(self):
+        def main():
+            s = Semaphore(2)
+            yield from s.p()
+            yield from s.p()
+            assert s.value == 0
+
+        run_program(main)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SyncError):
+            Semaphore(-1)
+
+    def test_v_then_p(self):
+        def main():
+            s = Semaphore()
+            yield from s.v()
+            yield from s.v()
+            assert s.value == 2
+            yield from s.p()
+            assert s.value == 1
+
+        run_program(main)
+
+    def test_tryp(self):
+        got = []
+
+        def main():
+            s = Semaphore(1)
+            got.append((yield from s.tryp()))
+            got.append((yield from s.tryp()))
+
+        run_program(main)
+        assert got == [True, False]
+
+    def test_p_blocks_until_v(self):
+        order = []
+
+        def waiter(s):
+            order.append("waiting")
+            yield from s.p()
+            order.append("resumed")
+
+        def main():
+            s = Semaphore()
+            tid = yield from threads.thread_create(
+                waiter, s, flags=threads.THREAD_WAIT)
+            yield from threads.thread_yield()
+            order.append("posting")
+            yield from s.v()
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert order == ["waiting", "posting", "resumed"]
+
+    def test_handoff_does_not_inflate_count(self):
+        """V with a waiter hands the unit over directly; the count stays
+        zero."""
+        def waiter(s):
+            yield from s.p()
+
+        def main():
+            s = Semaphore()
+            tid = yield from threads.thread_create(
+                waiter, s, flags=threads.THREAD_WAIT)
+            yield from threads.thread_yield()
+            yield from s.v()
+            yield from threads.thread_wait(tid)
+            assert s.value == 0
+
+        run_program(main)
+
+
+class TestAsyncUse:
+    def test_usable_from_signal_handler(self):
+        """"they may be used for asynchronous event notification (e.g. in
+        signal handlers)" — a handler can sema_v without bracketing."""
+        from repro.kernel.signals import Sig
+        from repro.runtime import unistd
+        got = []
+
+        def main():
+            s = Semaphore()
+
+            def handler(sig):
+                yield from s.v()
+
+            def waiter(_):
+                yield from s.p()
+                got.append("event received")
+
+            yield from unistd.sigaction(int(Sig.SIGUSR1), handler)
+            tid = yield from threads.thread_create(
+                waiter, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_yield()
+            me = yield from unistd.getpid()
+            yield from unistd.kill(me, int(Sig.SIGUSR1))
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got == ["event received"]
+
+    def test_pingpong_conserves_tokens(self):
+        """The Figure 6 structure, checked for correctness rather than
+        time: every v is matched by exactly one completed p."""
+        state = {"rounds": 0}
+
+        def peer(pair):
+            s1, s2 = pair
+            for _ in range(25):
+                yield from s2.p()
+                yield from s1.v()
+
+        def main():
+            s1, s2 = Semaphore(), Semaphore()
+            tid = yield from threads.thread_create(
+                peer, (s1, s2), flags=threads.THREAD_WAIT)
+            for _ in range(25):
+                yield from s2.v()
+                yield from s1.p()
+                state["rounds"] += 1
+            yield from threads.thread_wait(tid)
+            assert s1.value == 0 and s2.value == 0
+
+        run_program(main)
+        assert state["rounds"] == 25
+
+    def test_many_waiters_fifo(self):
+        order = []
+
+        def waiter(args):
+            s, tag = args
+            yield from s.p()
+            order.append(tag)
+
+        def main():
+            s = Semaphore()
+            tids = []
+            for tag in range(4):
+                tid = yield from threads.thread_create(
+                    waiter, (s, tag), flags=threads.THREAD_WAIT)
+                tids.append(tid)
+                yield from threads.thread_yield()
+            for _ in range(4):
+                yield from s.v()
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert order == [0, 1, 2, 3]
+
+    def test_stats(self):
+        def main():
+            s = Semaphore(1)
+            yield from s.p()
+            yield from s.v()
+            assert s.p_ops == 1
+            assert s.v_ops == 1
+            assert s.blocks == 0
+
+        run_program(main)

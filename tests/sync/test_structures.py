@@ -1,0 +1,219 @@
+"""Tests for the layered coordination structures."""
+
+import pytest
+
+from repro.errors import SyncError
+from repro.runtime import unistd
+from repro.sync.structures import Barrier, BoundedQueue, Latch
+from repro import threads
+from tests.conftest import run_program
+
+
+class TestBarrier:
+    def test_all_parties_released_together(self):
+        phases = []
+
+        def worker(args):
+            barrier, tag = args
+            phases.append(("before", tag))
+            yield from barrier.wait()
+            phases.append(("after", tag))
+
+        def main():
+            barrier = Barrier(3)
+            tids = []
+            for tag in range(3):
+                tid = yield from threads.thread_create(
+                    worker, (barrier, tag), flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        run_program(main)
+        kinds = [k for k, _ in phases]
+        # All befores strictly precede all afters.
+        assert kinds.index("after") == 3
+
+    def test_exactly_one_serial_thread(self):
+        serial = []
+
+        def worker(barrier):
+            was_serial = yield from barrier.wait()
+            if was_serial:
+                serial.append(1)
+
+        def main():
+            barrier = Barrier(4)
+            tids = []
+            for _ in range(4):
+                tid = yield from threads.thread_create(
+                    worker, barrier, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert serial == [1]
+
+    def test_cyclic_reuse(self):
+        def worker(barrier):
+            for _ in range(3):
+                yield from barrier.wait()
+
+        def main():
+            barrier = Barrier(2)
+            a = yield from threads.thread_create(
+                worker, barrier, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                worker, barrier, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+            assert barrier.cycles_completed == 3
+
+        run_program(main)
+
+    def test_invalid_parties(self):
+        with pytest.raises(SyncError):
+            Barrier(0)
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        got = []
+
+        def main():
+            q = BoundedQueue(4)
+            for i in range(3):
+                yield from q.put(i)
+            for _ in range(3):
+                got.append((yield from q.get()))
+
+        run_program(main)
+        assert got == [0, 1, 2]
+
+    def test_put_blocks_when_full(self):
+        order = []
+
+        def producer(q):
+            for i in range(4):
+                yield from q.put(i)
+                order.append(("put", i))
+
+        def main():
+            q = BoundedQueue(2)
+            tid = yield from threads.thread_create(
+                producer, q, flags=threads.THREAD_WAIT)
+            yield from threads.thread_yield()
+            # Producer is stuck after 2 puts.
+            assert [o for o in order if o[0] == "put"] == [
+                ("put", 0), ("put", 1)]
+            order.append(("get", (yield from q.get())))
+            yield from threads.thread_yield()
+            order.append(("get", (yield from q.get())))
+            yield from threads.thread_yield()
+            yield from q.get()
+            yield from q.get()
+            yield from threads.thread_wait(tid)
+            assert q.put_blocks >= 1
+
+        run_program(main)
+
+    def test_close_drains_then_sentinel(self):
+        got = []
+
+        def consumer(q):
+            while True:
+                item = yield from q.get()
+                if item is q.sentinel:
+                    return
+                got.append(item)
+
+        def main():
+            q = BoundedQueue(8, sentinel="EOF")
+            tid = yield from threads.thread_create(
+                consumer, q, flags=threads.THREAD_WAIT)
+            for i in range(3):
+                yield from q.put(i)
+            yield from q.close()
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got == [0, 1, 2]
+
+    def test_put_on_closed_raises(self):
+        def main():
+            q = BoundedQueue(2)
+            yield from q.close()
+            with pytest.raises(SyncError):
+                yield from q.put(1)
+
+        run_program(main)
+
+    def test_pipeline_throughput(self):
+        """3-stage pipeline across bounded queues: items conserved."""
+        out = []
+
+        def stage(args):
+            src, dst = args
+            while True:
+                item = yield from src.get()
+                if item is None:
+                    if dst is not None:
+                        yield from dst.close()
+                    return
+                result = item * 2
+                if dst is not None:
+                    yield from dst.put(result)
+                else:
+                    out.append(result)
+
+        def main():
+            q1, q2 = BoundedQueue(2), BoundedQueue(2)
+            t1 = yield from threads.thread_create(
+                stage, (q1, q2), flags=threads.THREAD_WAIT)
+            t2 = yield from threads.thread_create(
+                stage, (q2, None), flags=threads.THREAD_WAIT)
+            for i in range(10):
+                yield from q1.put(i)
+            yield from q1.close()
+            yield from threads.thread_wait(t1)
+            yield from threads.thread_wait(t2)
+
+        run_program(main, ncpus=2)
+        assert sorted(out) == [i * 4 for i in range(10)]
+
+
+class TestLatch:
+    def test_await_until_zero(self):
+        order = []
+
+        def worker(latch):
+            order.append("work")
+            yield from latch.count_down()
+
+        def main():
+            latch = Latch(3)
+            for _ in range(3):
+                yield from threads.thread_create(worker, latch)
+            yield from latch.await_zero()
+            order.append("released")
+
+        run_program(main)
+        assert order == ["work", "work", "work", "released"]
+
+    def test_zero_latch_passes_immediately(self):
+        def main():
+            latch = Latch(0)
+            yield from latch.await_zero()
+
+        sim, proc = run_program(main)
+        assert proc.exit_status == 0
+
+    def test_extra_count_down_harmless(self):
+        def main():
+            latch = Latch(1)
+            yield from latch.count_down()
+            yield from latch.count_down()
+            yield from latch.await_zero()
+
+        run_program(main)

@@ -1,0 +1,158 @@
+"""Tests for cv_timedwait (private and process-shared)."""
+
+import pytest
+
+from repro.runtime import mapped, unistd
+from repro.sync import CondVar, Mutex, THREAD_SYNC_SHARED
+from repro import threads
+from tests.conftest import run_program
+
+
+class TestPrivateTimedwait:
+    def test_timeout_returns_false(self):
+        got = []
+
+        def main():
+            m, cv = Mutex(), CondVar()
+            yield from m.enter()
+            t0 = yield from unistd.gettimeofday()
+            ok = yield from cv.timedwait(m, 5_000)
+            t1 = yield from unistd.gettimeofday()
+            got.append((ok, (t1 - t0) / 1000))
+            assert m.owner is not None  # mutex re-held
+            yield from m.exit()
+
+        run_program(main)
+        ok, elapsed = got[0]
+        assert ok is False
+        assert elapsed >= 5_000
+
+    def test_signal_before_timeout_returns_true(self):
+        got = []
+
+        def waiter(shared):
+            m, cv = shared["m"], shared["cv"]
+            yield from m.enter()
+            ok = yield from cv.timedwait(m, 1_000_000)
+            got.append(ok)
+            yield from m.exit()
+
+        def main():
+            shared = {"m": Mutex(), "cv": CondVar()}
+            tid = yield from threads.thread_create(
+                waiter, shared, flags=threads.THREAD_WAIT)
+            yield from threads.thread_yield()
+            yield from shared["m"].enter()
+            yield from shared["cv"].signal()
+            yield from shared["m"].exit()
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got == [True]
+
+    def test_late_signal_not_lost_for_others(self):
+        """A timeout consumes nothing: a signal after one waiter's
+        timeout still wakes the next waiter."""
+        order = []
+
+        def quick_timeout(shared):
+            m, cv = shared["m"], shared["cv"]
+            yield from m.enter()
+            ok = yield from cv.timedwait(m, 2_000)
+            order.append(("timeout", ok))
+            yield from m.exit()
+
+        def patient(shared):
+            m, cv = shared["m"], shared["cv"]
+            yield from m.enter()
+            while not shared["go"]:
+                yield from cv.wait(m)
+            order.append(("patient", True))
+            yield from m.exit()
+
+        def main():
+            shared = {"m": Mutex(), "cv": CondVar(), "go": False}
+            a = yield from threads.thread_create(
+                quick_timeout, shared, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                patient, shared, flags=threads.THREAD_WAIT)
+            yield from unistd.sleep_usec(10_000)  # a has timed out
+            yield from shared["m"].enter()
+            shared["go"] = True
+            yield from shared["cv"].signal()
+            yield from shared["m"].exit()
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        run_program(main, ncpus=2)
+        assert ("timeout", False) in order
+        assert ("patient", True) in order
+
+    def test_bound_thread_timedwait(self):
+        got = []
+
+        def waiter(shared):
+            m, cv = shared["m"], shared["cv"]
+            yield from m.enter()
+            ok = yield from cv.timedwait(m, 3_000)
+            got.append(ok)
+            yield from m.exit()
+
+        def main():
+            shared = {"m": Mutex(), "cv": CondVar()}
+            tid = yield from threads.thread_create(
+                waiter, shared,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert got == [False]
+
+
+class TestSharedTimedwait:
+    def test_cross_process_timeout(self):
+        got = []
+
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/s", 4096)
+            mx = Mutex(THREAD_SYNC_SHARED, cell=region.cell(0))
+            cv = CondVar(THREAD_SYNC_SHARED, cell=region.cell(8))
+            yield from mx.enter()
+            t0 = yield from unistd.gettimeofday()
+            ok = yield from cv.timedwait(mx, 4_000)
+            t1 = yield from unistd.gettimeofday()
+            got.append((ok, (t1 - t0) / 1000))
+            yield from mx.exit()
+
+        run_program(main)
+        ok, elapsed = got[0]
+        assert ok is False
+        assert elapsed >= 4_000
+
+    def test_cross_process_signal_beats_timeout(self):
+        got = []
+
+        def peer():
+            region = yield from mapped.map_shared_file("/tmp/s", 4096)
+            mx = Mutex(THREAD_SYNC_SHARED, cell=region.cell(0))
+            cv = CondVar(THREAD_SYNC_SHARED, cell=region.cell(8))
+            yield from unistd.sleep_usec(5_000)
+            yield from mx.enter()
+            region.cell(16).store(1)
+            yield from cv.broadcast()
+            yield from mx.exit()
+
+        def main():
+            region = yield from mapped.map_shared_file("/tmp/s", 4096)
+            mx = Mutex(THREAD_SYNC_SHARED, cell=region.cell(0))
+            cv = CondVar(THREAD_SYNC_SHARED, cell=region.cell(8))
+            pid = yield from unistd.fork1(peer)
+            yield from mx.enter()
+            while region.cell(16).load() == 0:
+                ok = yield from cv.timedwait(mx, 1_000_000)
+                got.append(ok)
+            yield from mx.exit()
+            yield from unistd.waitpid(pid)
+
+        run_program(main)
+        assert got and got[0] is True

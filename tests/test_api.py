@@ -1,0 +1,200 @@
+"""Tests for the Simulator facade and whole-machine behaviours."""
+
+import pytest
+
+from repro.api import Simulator
+from repro.errors import SimulationError
+from repro.hw.isa import Charge, Syscall
+from repro.kernel.fs.file import O_RDONLY
+from repro.runtime import unistd
+from repro.sim.clock import usec
+from repro import threads
+
+
+class TestSimulatorBasics:
+    def test_spawn_returns_process(self):
+        sim = Simulator()
+
+        def main():
+            yield Charge(usec(10))
+
+        proc = sim.spawn(main, name="myproc")
+        assert proc.name == "myproc"
+        sim.run()
+        assert proc.exit_status == 0
+
+    def test_spawn_with_args(self):
+        got = []
+
+        def main(a, b):
+            got.append(a + b)
+            yield Charge(usec(1))
+
+        sim = Simulator()
+        sim.spawn(main, 2, 3)
+        sim.run()
+        assert got == [5]
+
+    def test_multiple_processes_isolated_pids(self):
+        sim = Simulator(ncpus=2)
+
+        def main():
+            yield Charge(usec(100))
+
+        p1 = sim.spawn(main)
+        p2 = sim.spawn(main)
+        assert p1.pid != p2.pid
+        sim.run()
+
+    def test_run_until_usec(self):
+        sim = Simulator()
+
+        def main():
+            yield from unistd.sleep_usec(100_000)
+
+        sim.spawn(main)
+        sim.run(until_usec=10_000)
+        assert sim.now_usec == 10_000
+        sim.run()  # finish
+        assert sim.now_usec >= 100_000
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def main():
+            while True:
+                yield Charge(usec(1))
+
+        sim.spawn(main)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1_000)
+
+    def test_costs_property(self):
+        from repro.sim.costs import CostModel
+        custom = CostModel(setjmp=1, longjmp=1)
+        sim = Simulator(costs=custom)
+        assert sim.costs.setjmp == 1
+
+    def test_type_input_immediate(self):
+        got = []
+
+        def main():
+            fd = yield from unistd.open("/dev/tty", O_RDONLY)
+            got.append((yield from unistd.read(fd, 10)))
+
+        sim = Simulator()
+        sim.spawn(main)
+        sim.type_input(b"now")  # before run: buffered
+        sim.run()
+        assert got == [b"now"]
+
+    def test_utilization_and_syscall_counts(self):
+        sim = Simulator(ncpus=2)
+
+        def main():
+            yield Charge(usec(1_000))
+            yield from unistd.getpid()
+
+        sim.spawn(main)
+        sim.run()
+        util = sim.utilization()
+        assert util["dispatches"] >= 1
+        assert sim.syscall_counts()["getpid"] == 1
+
+    def test_trace_categories_plumbed(self):
+        sim = Simulator(trace=True, trace_categories=["syscall"])
+
+        def main():
+            yield from unistd.getpid()
+
+        sim.spawn(main)
+        sim.run()
+        cats = {r.category for r in sim.tracer.records}
+        assert cats == {"syscall"}
+
+
+class TestExecSemantics:
+    def test_exec_keeps_descriptors(self):
+        got = []
+
+        def new_image():
+            # fd 0 must still be open in the new image.
+            data = yield from unistd.read(0, 100)
+            got.append(data)
+
+        def main():
+            from repro.kernel.fs.file import O_CREAT, O_RDWR
+            fd = yield from unistd.open("/tmp/f", O_CREAT | O_RDWR)
+            yield from unistd.write(fd, b"kept across exec")
+            yield from unistd.lseek(fd, 0)
+            yield from unistd.exec_image(new_image)
+
+        sim = Simulator()
+        sim.spawn(main)
+        sim.run()
+        assert got == [b"kept across exec"]
+
+    def test_exec_resets_caught_handlers(self):
+        from repro.kernel.signals import Sig
+        got = []
+
+        def handler(sig):
+            yield Charge(usec(1))
+
+        def new_image():
+            from repro.hw.isa import GetContext
+            ctx = yield GetContext()
+            action = ctx.process.signals.action(Sig.SIGUSR1)
+            got.append(action.is_default())
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR1), handler)
+            yield from unistd.exec_image(new_image)
+
+        sim = Simulator()
+        sim.spawn(main)
+        sim.run()
+        assert got == [True]
+
+    def test_exec_keeps_ignored_disposition(self):
+        from repro.kernel.signals import SIG_IGN, Sig
+        got = []
+
+        def new_image():
+            from repro.hw.isa import GetContext
+            ctx = yield GetContext()
+            got.append(ctx.process.signals.action(Sig.SIGUSR2).is_ignore())
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR2), SIG_IGN)
+            yield from unistd.exec_image(new_image)
+
+        sim = Simulator()
+        sim.spawn(main)
+        sim.run()
+        assert got == [True]
+
+
+class TestDeterminismAcrossFacade:
+    def test_identical_runs_identical_timing(self):
+        def build():
+            sim = Simulator(ncpus=2, seed=11)
+
+            def worker(_):
+                yield Charge(usec(100))
+                yield from threads.thread_yield()
+
+            def main():
+                tids = []
+                for _ in range(5):
+                    tid = yield from threads.thread_create(
+                        worker, None, flags=threads.THREAD_WAIT)
+                    tids.append(tid)
+                for tid in tids:
+                    yield from threads.thread_wait(tid)
+
+            sim.spawn(main)
+            sim.run()
+            return sim.now_usec, sim.engine.events_fired
+
+        assert build() == build()

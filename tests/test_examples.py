@@ -1,0 +1,68 @@
+"""Smoke tests for every example script: they must run to completion and
+print their headline results."""
+
+import importlib
+import io
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = "examples"
+sys.path.insert(0, EXAMPLES_DIR)
+
+
+def run_example(module_name: str) -> str:
+    module = importlib.import_module(module_name)
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        module.main()
+    return buf.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart")
+        assert "processed" in out
+        assert "exit status: 0" in out
+
+    def test_window_system(self):
+        out = run_example("window_system")
+        assert "kernel memory ratio" in out
+        assert "M:N" in out
+
+    def test_database_locking(self):
+        out = run_example("database_locking")
+        assert "PASS" in out
+
+    def test_network_server(self):
+        out = run_example("network_server")
+        assert "requests served" in out
+
+    def test_reproduce_figures(self):
+        out = run_example("reproduce_figures")
+        assert "PASS" in out
+        assert "Figure 5" in out and "Figure 6" in out
+
+    def test_posix_pthreads(self):
+        out = run_example("posix_pthreads")
+        assert "one-time init ran: ['initialized']" in out
+
+    def test_dining_philosophers(self):
+        out = run_example("dining_philosophers")
+        assert "deadlocked" in out
+        assert "completed" in out
+
+    def test_microtasking(self):
+        out = run_example("microtasking")
+        assert "sum=2016" in out
+
+    def test_debugger_view(self):
+        out = run_example("debugger_view")
+        assert "kernel view" in out
+        assert "threads visible to the debugger" in out
+
+    def test_trace_timeline(self):
+        out = run_example("trace_timeline")
+        assert "Gantt" in out
+        assert "syscall latencies" in out

@@ -1,0 +1,126 @@
+"""Tests for alternate signal stacks and the waitid thread interface."""
+
+import pytest
+
+from repro.errors import Errno, SyscallError, ThreadError
+from repro.hw.isa import Syscall
+from repro.runtime import unistd
+from repro import threads
+from tests.conftest import run_program
+
+
+class TestAltStack:
+    def test_bound_thread_may_install(self):
+        got = {}
+
+        def bound(_):
+            old = yield from threads.thread_sigaltstack(
+                {"base": 0x8000_0000, "size": 8192})
+            got["old"] = old
+            me = yield from threads.current_thread()
+            got["enabled"] = me.lwp.altstack_enabled
+
+        def main():
+            tid = yield from threads.thread_create(
+                bound, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert got["old"] is None
+        assert got["enabled"]
+
+    def test_unbound_thread_rejected(self):
+        """"Threads that are not bound to LWPs may not use alternate
+        signal stacks."""
+        def main():
+            with pytest.raises(ThreadError, match="bound"):
+                yield from threads.thread_sigaltstack({"size": 8192})
+
+        run_program(main)
+
+    def test_disable(self):
+        def bound(_):
+            yield from threads.thread_sigaltstack({"size": 8192})
+            yield from threads.thread_sigaltstack(disable=True)
+            me = yield from threads.current_thread()
+            assert not me.lwp.altstack_enabled
+
+        def main():
+            tid = yield from threads.thread_create(
+                bound, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+
+
+class TestWaitid:
+    def test_p_thread_waits_specific(self):
+        got = []
+
+        def worker(_):
+            return
+            yield
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            result = yield from threads.thread_waitid(threads.P_THREAD,
+                                                      tid)
+            got.append(result == tid)
+
+        run_program(main)
+        assert got == [True]
+
+    def test_p_thread_all_waits_any(self):
+        got = []
+
+        def worker(_):
+            return
+            yield
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            result = yield from threads.thread_waitid(
+                threads.P_THREAD_ALL)
+            got.append(result == tid)
+
+        run_program(main)
+        assert got == [True]
+
+    def test_bad_id_type_rejected(self):
+        def main():
+            with pytest.raises(ThreadError):
+                yield from threads.thread_waitid(999, 1)
+
+        run_program(main)
+
+    def test_kernel_rejects_thread_id_types(self):
+        """The kernel half: waitid(P_THREAD) is a library service, and
+        the kernel says so."""
+        caught = []
+
+        def main():
+            try:
+                yield Syscall("waitid", 100, 1)
+            except SyscallError as err:
+                caught.append(err.errno)
+
+        run_program(main)
+        assert caught == [Errno.EINVAL]
+
+    def test_kernel_waitid_p_pid_still_works(self):
+        got = []
+
+        def kid():
+            yield from unistd.exit(7)
+
+        def main():
+            pid = yield from unistd.fork1(kid)
+            result = yield Syscall("waitid", 0, pid)  # P_PID
+            got.append(result)
+
+        run_program(main)
+        assert got[0][1] == 7

@@ -1,0 +1,199 @@
+"""Tests for thread_setconcurrency and SIGWAITING-driven pool growth —
+the paper's deadlock-avoidance machinery."""
+
+import pytest
+
+from repro.hw.isa import Charge, GetContext
+from repro.kernel.fs.file import O_RDONLY
+from repro.runtime import unistd
+from repro import threads
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+def _lib():
+    ctx = yield GetContext()
+    return ctx.process.threadlib
+
+
+class TestSetConcurrency:
+    def test_grows_pool(self):
+        got = {}
+
+        def main():
+            lib = yield from _lib()
+            got["before"] = len(lib.pool_lwps)
+            yield from threads.thread_setconcurrency(4)
+            yield from unistd.sleep_usec(1_000)
+            got["after"] = len(lib.pool_lwps)
+
+        run_program(main, ncpus=2, check_deadlock=False)
+        assert got["before"] == 1
+        assert got["after"] == 4
+
+    def test_shrinks_pool(self):
+        got = {}
+
+        def main():
+            lib = yield from _lib()
+            yield from threads.thread_setconcurrency(4)
+            yield from unistd.sleep_usec(5_000)  # extras park
+            yield from threads.thread_setconcurrency(2)
+            yield from unistd.sleep_usec(10_000)
+            got["after"] = len(lib.pool_lwps)
+
+        run_program(main, ncpus=2, check_deadlock=False)
+        assert got["after"] == 2
+
+    def test_zero_means_automatic(self):
+        def main():
+            yield from threads.thread_setconcurrency(0)
+
+        sim, proc = run_program(main)
+        assert proc.exit_status == 0
+
+    def test_negative_rejected(self):
+        from repro.errors import ThreadError
+
+        def main():
+            with pytest.raises(ThreadError):
+                yield from threads.thread_setconcurrency(-1)
+
+        run_program(main)
+
+    def test_bound_lwps_not_counted(self):
+        """"The number of LWPs permanently bound to threads is not
+        included in n."""
+        got = {}
+
+        def bound_idler(_):
+            yield from unistd.sleep_usec(20_000)
+
+        def main():
+            lib = yield from _lib()
+            yield from threads.thread_create(
+                bound_idler, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from threads.thread_setconcurrency(2)
+            yield from unistd.sleep_usec(1_000)
+            got["pool"] = len(lib.pool_lwps)
+
+        run_program(main, ncpus=2, check_deadlock=False)
+        assert got["pool"] == 2  # the bound LWP is extra
+
+    def test_concurrency_enables_real_parallelism(self):
+        """With concurrency == ncpus, compute-bound threads overlap."""
+        def burner(_):
+            yield Charge(usec(20_000))
+
+        def make_main(nlwps):
+            def main():
+                yield from threads.thread_setconcurrency(nlwps)
+                tids = []
+                for _ in range(2):
+                    tid = yield from threads.thread_create(
+                        burner, None, flags=threads.THREAD_WAIT)
+                    tids.append(tid)
+                for tid in tids:
+                    yield from threads.thread_wait(tid)
+            return main
+
+        sim1, _ = run_program(make_main(1), ncpus=2)
+        sim2, _ = run_program(make_main(2), ncpus=2)
+        assert sim2.now_usec < sim1.now_usec * 0.7
+
+
+class TestSigwaitingGrowth:
+    def test_pool_grows_when_threads_starve(self):
+        """All LWPs block indefinitely in the kernel while runnable
+        threads wait: SIGWAITING must add an LWP so they can run."""
+        got = {}
+
+        def blocked_reader(_):
+            fd = yield from unistd.open("/dev/tty", O_RDONLY)
+            yield from unistd.read(fd, 10)
+
+        def compute(_):
+            yield Charge(usec(3_000))
+            got["computed"] = True
+
+        def main():
+            lib = yield from _lib()
+            yield from threads.thread_create(blocked_reader, None)
+            yield from threads.thread_yield()  # reader takes the LWP
+            # We only get here once some LWP runs us again...
+            yield from threads.thread_create(compute, None)
+            yield from unistd.sleep_usec(100_000)
+            got["pool"] = len(lib.pool_lwps)
+            got["grown"] = lib.lwps_grown_by_sigwaiting
+
+        from repro.api import Simulator
+        sim = Simulator(ncpus=2)
+        sim.spawn(main)
+        sim.type_input(b"x", at_usec=200_000)  # eventually release reader
+        sim.run(check_deadlock=False)
+        assert got.get("computed")
+        assert got["grown"] >= 1
+
+    def test_no_growth_when_no_runnable_threads(self):
+        """SIGWAITING with an empty run queue must not create LWPs."""
+        got = {}
+
+        def main():
+            lib = yield from _lib()
+            fd = yield from unistd.open("/dev/tty", O_RDONLY)
+            yield from unistd.read(fd, 1)
+            got["pool"] = len(lib.pool_lwps)
+            got["grown"] = lib.lwps_grown_by_sigwaiting
+
+        from repro.api import Simulator
+        sim = Simulator()
+        sim.spawn(main)
+        sim.type_input(b"x", at_usec=100_000)  # well past the throttle
+        sim.run()
+        assert got["pool"] == 1
+        assert got["grown"] == 0
+
+    def test_deadlock_without_growth_mitigated(self):
+        """The full ABL3 story in miniature: without SIGWAITING (liblwp
+        model) the compute thread starves until input arrives; with it,
+        compute finishes long before."""
+        from repro.models import liblwp
+
+        def build(record):
+            def blocked_reader(_):
+                fd = yield from unistd.open("/dev/tty", O_RDONLY)
+                yield from unistd.read(fd, 10)
+
+            def compute(_):
+                yield Charge(usec(1_000))
+                t = yield from unistd.gettimeofday()
+                record["compute_done_usec"] = t / 1000
+
+            def main():
+                yield from threads.thread_create(blocked_reader, None)
+                tid = yield from threads.thread_create(
+                    compute, None, flags=threads.THREAD_WAIT)
+                # Block at user level (thread_wait), so the only LWP is
+                # free to run the reader, which then blocks it in the
+                # kernel indefinitely — the exact SIGWAITING condition.
+                yield from threads.thread_wait(tid)
+            return main
+
+        from repro.api import Simulator
+
+        mn = {}
+        sim = Simulator(ncpus=2)
+        sim.spawn(build(mn))
+        sim.type_input(b"x", at_usec=400_000)
+        sim.run(check_deadlock=False)
+
+        ll = {}
+        sim = Simulator(ncpus=2)
+        sim.kernel.runtime_factory = liblwp.bootstrap_process
+        sim.spawn(build(ll))
+        sim.type_input(b"x", at_usec=400_000)
+        sim.run(check_deadlock=False)
+
+        assert mn["compute_done_usec"] < 100_000   # freed by SIGWAITING
+        assert ll["compute_done_usec"] >= 400_000  # starved until input

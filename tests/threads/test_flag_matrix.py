@@ -1,0 +1,80 @@
+"""Parametrized matrix over all thread_create flag combinations.
+
+Every or-able combination of the paper's four flags must produce a thread
+that (after any needed thread_continue) runs to completion, with the
+right boundness, waitability, and start behaviour.
+"""
+
+import itertools
+
+import pytest
+
+from repro.errors import ThreadError
+from repro.runtime import unistd
+from repro import threads
+from tests.conftest import run_program
+
+FLAG_NAMES = {
+    threads.THREAD_STOP: "STOP",
+    threads.THREAD_NEW_LWP: "NEW_LWP",
+    threads.THREAD_BIND_LWP: "BIND_LWP",
+    threads.THREAD_WAIT: "WAIT",
+}
+
+ALL_COMBOS = [
+    sum(combo)
+    for r in range(5)
+    for combo in itertools.combinations(FLAG_NAMES, r)
+]
+
+
+def combo_id(flags):
+    names = [name for bit, name in FLAG_NAMES.items() if flags & bit]
+    return "+".join(names) if names else "none"
+
+
+@pytest.mark.parametrize("flags", ALL_COMBOS, ids=combo_id)
+def test_flag_combination(flags):
+    ran = []
+
+    def worker(_):
+        me = yield from threads.current_thread()
+        ran.append({
+            "bound": me.bound,
+            "waitable": me.waitable,
+        })
+
+    def main():
+        from repro.hw.isa import GetContext
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        pool_before = len(lib.pool_lwps)
+
+        tid = yield from threads.thread_create(worker, None, flags=flags)
+
+        if flags & threads.THREAD_STOP:
+            # Must not have run yet.
+            yield from unistd.sleep_usec(3_000)
+            assert ran == []
+            yield from threads.thread_continue(tid)
+
+        if flags & threads.THREAD_WAIT:
+            got = yield from threads.thread_wait(tid)
+            assert got == tid
+        else:
+            # Give it time to finish; non-waitable ids recycle silently.
+            for _ in range(10):
+                if ran:
+                    break
+                yield from threads.thread_yield()
+                yield from unistd.sleep_usec(2_000)
+
+        assert len(ran) == 1
+        assert ran[0]["bound"] == bool(flags & threads.THREAD_BIND_LWP)
+        assert ran[0]["waitable"] == bool(flags & threads.THREAD_WAIT)
+
+        if flags & threads.THREAD_NEW_LWP:
+            # The pool gained an LWP (it may be parked by now).
+            assert len(lib.pool_lwps) == pool_before + 1
+
+    run_program(main, ncpus=2, check_deadlock=False)

@@ -1,0 +1,285 @@
+"""Tests for thread_create and its flags."""
+
+import pytest
+
+from repro.errors import ThreadError
+from repro.hw.isa import Charge, Syscall
+from repro.runtime import unistd
+from repro import threads
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+class TestBasics:
+    def test_body_receives_arg(self):
+        got = []
+
+        def worker(arg):
+            got.append(arg)
+            return
+            yield
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, {"payload": 9}, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got == [{"payload": 9}]
+
+    def test_ids_unique_among_live(self):
+        def worker(_):
+            yield from unistd.sleep_usec(5_000)
+
+        seen = []
+
+        def main():
+            for _ in range(5):
+                tid = yield from threads.thread_create(worker, None)
+                seen.append(tid)
+            yield from unistd.sleep_usec(20_000)
+
+        run_program(main, check_deadlock=False)
+        assert len(set(seen)) == 5
+
+    def test_main_thread_is_id_1(self):
+        got = []
+
+        def main():
+            got.append((yield from threads.thread_get_id()))
+
+        run_program(main)
+        assert got == [1]
+
+    def test_returning_body_exits_thread(self):
+        """"If func returns, the thread exits (calls thread_exit())."""
+        def worker(_):
+            return "done"
+            yield
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            got = yield from threads.thread_wait(tid)
+            assert got == tid
+
+        sim, proc = run_program(main)
+        assert proc.exit_status == 0
+
+    def test_priority_inherited_from_creator(self):
+        got = []
+
+        def worker(_):
+            ctx = yield from threads.current_thread()
+            got.append(ctx.priority)
+
+        def main():
+            yield from threads.thread_priority(None, 44)
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got == [44]
+
+    def test_sigmask_inherited_from_creator(self):
+        from repro.kernel.signals import SIG_BLOCK, Sig, Sigset
+        got = []
+
+        def worker(_):
+            me = yield from threads.current_thread()
+            got.append(Sig.SIGUSR1 in me.sigmask)
+
+        def main():
+            yield from threads.thread_sigsetmask(
+                SIG_BLOCK, Sigset([Sig.SIGUSR1]))
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got == [True]
+
+
+class TestCreationCosts:
+    def test_unbound_creation_needs_no_kernel(self):
+        """The headline property: thread creation without kernel entry."""
+        def worker(_):
+            return
+            yield
+
+        def main():
+            for _ in range(10):
+                yield from threads.thread_create(worker, None)
+            yield from unistd.sleep_usec(2_000)
+
+        sim, _ = run_program(main, check_deadlock=False)
+        counts = sim.syscall_counts()
+        assert "lwp_create" not in counts
+
+    def test_bound_creation_calls_lwp_create(self):
+        def worker(_):
+            return
+            yield
+
+        def main():
+            yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_BIND_LWP)
+            yield from unistd.sleep_usec(5_000)
+
+        sim, _ = run_program(main, ncpus=2, check_deadlock=False)
+        assert sim.syscall_counts()["lwp_create"] == 1
+
+    def test_creation_cost_ratio_matches_figure5(self):
+        """Bound/unbound creation ratio ≈ 42x (paper's Figure 5)."""
+        times = {}
+
+        def worker(_):
+            return
+            yield
+
+        def main():
+            t0 = yield Syscall("gettimeofday")
+            for _ in range(20):
+                yield from threads.thread_create(worker, None)
+            t1 = yield Syscall("gettimeofday")
+            for _ in range(20):
+                yield from threads.thread_create(
+                    worker, None, flags=threads.THREAD_BIND_LWP)
+            t2 = yield Syscall("gettimeofday")
+            times["unbound"] = (t1 - t0) / 20
+            times["bound"] = (t2 - t1) / 20
+
+        run_program(main, ncpus=4, check_deadlock=False)
+        ratio = times["bound"] / times["unbound"]
+        assert 30 <= ratio <= 50
+
+
+class TestFlags:
+    def test_thread_stop_creates_suspended(self):
+        got = []
+
+        def worker(_):
+            got.append("ran")
+            return
+            yield
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, None,
+                flags=threads.THREAD_STOP | threads.THREAD_WAIT)
+            yield from unistd.sleep_usec(5_000)
+            assert got == []  # has not run
+            yield from threads.thread_continue(tid)
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got == ["ran"]
+
+    def test_thread_new_lwp_grows_pool(self):
+        got = {}
+
+        def worker(_):
+            return
+            yield
+
+        def main():
+            from repro.hw.isa import GetContext
+            ctx = yield GetContext()
+            before = len(ctx.process.threadlib.pool_lwps)
+            yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_NEW_LWP)
+            yield from unistd.sleep_usec(5_000)
+            got["before"] = before
+            got["after"] = len(ctx.process.threadlib.pool_lwps)
+
+        run_program(main, ncpus=2, check_deadlock=False)
+        assert got["after"] == got["before"] + 1
+
+    def test_bound_stop_combo(self):
+        got = []
+
+        def worker(_):
+            got.append("bound ran")
+            return
+            yield
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, None,
+                flags=(threads.THREAD_STOP | threads.THREAD_BIND_LWP
+                       | threads.THREAD_WAIT))
+            yield from unistd.sleep_usec(5_000)
+            assert got == []
+            yield from threads.thread_continue(tid)
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert got == ["bound ran"]
+
+    def test_bound_thread_rides_dedicated_lwp(self):
+        got = {}
+
+        def worker(_):
+            me = yield from threads.current_thread()
+            got["lwp"] = me.lwp
+            got["bound_back"] = me.lwp.bound_thread is me
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert got["bound_back"]
+
+
+class TestStacks:
+    def test_caller_supplied_stack(self):
+        got = {}
+
+        def worker(_):
+            me = yield from threads.current_thread()
+            got["stack"] = me.stack
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT,
+                stack_addr=0x9000_0000, stack_size=16 * 1024)
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got["stack"].caller_supplied
+        assert got["stack"].size == 16 * 1024
+        # TLS placed on the caller's stack, per the paper.
+        assert got["stack"].tls_reserved > 0
+
+    def test_caller_stack_needs_size(self):
+        def main():
+            with pytest.raises(ValueError):
+                yield from threads.thread_create(
+                    lambda _: None, None, stack_addr=0x9000_0000)
+
+        run_program(main)
+
+    def test_default_stacks_recycled_through_cache(self):
+        got = {}
+
+        def worker(_):
+            return
+            yield
+
+        def main():
+            from repro.hw.isa import GetContext
+            ctx = yield GetContext()
+            alloc = ctx.process.threadlib.stack_alloc
+            for _ in range(3):
+                tid = yield from threads.thread_create(
+                    worker, None, flags=threads.THREAD_WAIT)
+                yield from threads.thread_wait(tid)
+            got["hits"] = alloc.cache_hits
+            got["misses"] = alloc.cache_misses
+
+        run_program(main)
+        assert got["hits"] >= 2  # second and third creations hit the cache

@@ -1,0 +1,297 @@
+"""Tests for thread-level signal semantics: thread_kill as a trap,
+per-thread masks, interrupt distribution, sigsend extensions."""
+
+import pytest
+
+from repro.errors import ThreadError
+from repro.hw.isa import Charge, Syscall
+from repro.kernel.signals import SIG_BLOCK, SIG_UNBLOCK, Sig, Sigset
+from repro.kernel.syscalls.signal_calls import P_THREAD, P_THREAD_ALL
+from repro.runtime import unistd
+from repro import threads
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+class TestThreadKill:
+    def test_only_target_thread_handles(self):
+        """"the signal behaves like a trap and can be handled only by the
+        specified thread"."""
+        handled_by = []
+
+        def handler(sig):
+            me = yield from threads.thread_get_id()
+            handled_by.append(me)
+
+        def victim(_):
+            for _ in range(20):
+                yield from threads.thread_yield()
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR1), handler)
+            tid = yield from threads.thread_create(
+                victim, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_kill(tid, int(Sig.SIGUSR1))
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert handled_by and all(h != 1 for h in handled_by)
+
+    def test_kill_self_delivers_inline(self):
+        order = []
+
+        def handler(sig):
+            order.append("handler")
+            yield Charge(usec(1))
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR1), handler)
+            me = yield from threads.thread_get_id()
+            order.append("before")
+            yield from threads.thread_kill(me, int(Sig.SIGUSR1))
+            order.append("after")
+
+        run_program(main)
+        assert order == ["before", "handler", "after"]
+
+    def test_kill_blocked_in_kernel_thread(self):
+        """A thread blocked in a system call is temporarily bound to its
+        LWP; thread_kill reaches it there (EINTR path)."""
+        got = []
+
+        def handler(sig):
+            got.append("handled")
+            yield Charge(usec(1))
+
+        def sleeper(_):
+            from repro.errors import SyscallError, Errno
+            try:
+                yield from unistd.nanosleep(usec(1_000_000))
+            except SyscallError as err:
+                got.append(err.errno == Errno.EINTR)
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR1), handler)
+            yield from threads.thread_setconcurrency(2)
+            tid = yield from threads.thread_create(
+                sleeper, None, flags=threads.THREAD_WAIT)
+            yield from unistd.sleep_usec(2_000)
+            yield from threads.thread_kill(tid, int(Sig.SIGUSR1))
+            yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=2)
+        assert "handled" in got and True in got
+
+    def test_kill_masked_thread_pends_on_thread(self):
+        order = []
+
+        def handler(sig):
+            order.append("handled")
+            yield Charge(usec(1))
+
+        def victim(_):
+            yield from threads.thread_sigsetmask(
+                SIG_BLOCK, Sigset([Sig.SIGUSR1]))
+            yield from threads.thread_yield()
+            order.append("unmasking")
+            yield from threads.thread_sigsetmask(
+                SIG_UNBLOCK, Sigset([Sig.SIGUSR1]))
+            order.append("after-unmask")
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR1), handler)
+            tid = yield from threads.thread_create(
+                victim, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_yield()  # victim masks and yields
+            yield from threads.thread_kill(tid, int(Sig.SIGUSR1))
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert order == ["unmasking", "handled", "after-unmask"]
+
+    def test_kill_dead_thread_rejected(self):
+        def worker(_):
+            return
+            yield
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+            with pytest.raises(ThreadError):
+                yield from threads.thread_kill(tid, int(Sig.SIGUSR1))
+
+        run_program(main)
+
+
+class TestSigsendExtensions:
+    def test_p_thread_all_reaches_every_thread(self):
+        handled_by = set()
+
+        def handler(sig):
+            me = yield from threads.thread_get_id()
+            handled_by.add(me)
+
+        def worker(_):
+            for _ in range(10):
+                yield from threads.thread_yield()
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR2), handler)
+            tids = []
+            for _ in range(2):
+                tid = yield from threads.thread_create(
+                    worker, None, flags=threads.THREAD_WAIT)
+                tids.append(tid)
+            yield Syscall("sigsend", P_THREAD_ALL, None, int(Sig.SIGUSR2))
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert {2, 3}.issubset(handled_by) or len(handled_by) >= 2
+
+    def test_p_thread_single_target(self):
+        handled_by = []
+
+        def handler(sig):
+            me = yield from threads.thread_get_id()
+            handled_by.append(me)
+
+        def worker(_):
+            for _ in range(10):
+                yield from threads.thread_yield()
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR2), handler)
+            t1 = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            t2 = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            yield Syscall("sigsend", P_THREAD, t2, int(Sig.SIGUSR2))
+            yield from threads.thread_wait(t1)
+            yield from threads.thread_wait(t2)
+
+        run_program(main)
+        assert handled_by == [3]
+
+
+class TestInterruptDistribution:
+    def test_interrupt_taken_by_unmasked_thread(self):
+        """"An interrupt may be handled by any thread that has it enabled
+        in its signal mask" — here exactly one thread leaves it open."""
+        handled_by = []
+
+        def handler(sig):
+            me = yield from threads.thread_get_id()
+            handled_by.append(me)
+
+        def open_thread(_):
+            # Masks are inherited from the creator (which blocked
+            # SIGUSR1), so enable it explicitly before sleeping.
+            yield from threads.thread_sigsetmask(
+                SIG_UNBLOCK, Sigset([Sig.SIGUSR1]))
+            from repro.errors import SyscallError
+            try:
+                yield from unistd.sleep_usec(50_000)
+            except SyscallError:
+                pass
+
+        def masked_thread(_):
+            yield from threads.thread_sigsetmask(
+                SIG_BLOCK, Sigset([Sig.SIGUSR1]))
+            from repro.errors import SyscallError
+            try:
+                yield from unistd.sleep_usec(50_000)
+            except SyscallError:
+                pass
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR1), handler)
+            yield from threads.thread_setconcurrency(3)
+            # Main also masks it, so only open_thread is eligible.
+            yield from threads.thread_sigsetmask(
+                SIG_BLOCK, Sigset([Sig.SIGUSR1]))
+            t1 = yield from threads.thread_create(
+                masked_thread, None, flags=threads.THREAD_WAIT)
+            t2 = yield from threads.thread_create(
+                open_thread, None, flags=threads.THREAD_WAIT)
+            yield from unistd.sleep_usec(5_000)
+            me = yield from unistd.getpid()
+            yield from unistd.kill(me, int(Sig.SIGUSR1))
+            yield from threads.thread_wait(t1)
+            yield from threads.thread_wait(t2)
+
+        run_program(main, ncpus=2)
+        assert handled_by == [3]  # the open thread's id
+
+    def test_all_masked_signal_pends_on_process(self):
+        """"If all threads mask a signal, it will pend on the process
+        until a thread unmasks that signal."""
+        order = []
+
+        def handler(sig):
+            order.append("handled")
+            yield Charge(usec(1))
+
+        def main():
+            yield from unistd.sigaction(int(Sig.SIGUSR1), handler)
+            yield from threads.thread_sigsetmask(
+                SIG_BLOCK, Sigset([Sig.SIGUSR1]))
+            me = yield from unistd.getpid()
+            yield from unistd.kill(me, int(Sig.SIGUSR1))
+            yield from unistd.sleep_usec(1_000)
+            order.append("still-masked")
+            yield from threads.thread_sigsetmask(
+                SIG_UNBLOCK, Sigset([Sig.SIGUSR1]))
+            yield from unistd.sleep_usec(100)
+
+        run_program(main)
+        assert order == ["still-masked", "handled"]
+
+    def test_mask_change_returns_old_mask(self):
+        got = []
+
+        def main():
+            old = yield from threads.thread_sigsetmask(
+                SIG_BLOCK, Sigset([Sig.SIGUSR1]))
+            got.append(Sig.SIGUSR1 in old)
+            old = yield from threads.thread_sigsetmask(SIG_BLOCK, None)
+            got.append(Sig.SIGUSR1 in old)
+
+        run_program(main)
+        assert got == [False, True]
+
+
+class TestTrapsFollowThreads:
+    def test_mask_travels_with_thread_across_switches(self):
+        """The LWP's kernel-visible mask must always reflect the riding
+        thread's mask."""
+        observations = []
+
+        def masked(_):
+            yield from threads.thread_sigsetmask(
+                SIG_BLOCK, Sigset([Sig.SIGUSR1]))
+            for _ in range(3):
+                me = yield from threads.current_thread()
+                observations.append(
+                    ("masked", Sig.SIGUSR1 in me.lwp.sigmask))
+                yield from threads.thread_yield()
+
+        def unmasked(_):
+            for _ in range(3):
+                me = yield from threads.current_thread()
+                observations.append(
+                    ("unmasked", Sig.SIGUSR1 in me.lwp.sigmask))
+                yield from threads.thread_yield()
+
+        def main():
+            a = yield from threads.thread_create(
+                masked, None, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                unmasked, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        run_program(main)
+        for tag, lwp_masked in observations:
+            assert lwp_masked == (tag == "masked")

@@ -1,0 +1,125 @@
+"""Tests for library-level preemptive time slicing (SIGVTALRM-driven)."""
+
+import pytest
+
+from repro.hw.isa import Charge
+from repro.runtime import unistd
+from repro import threads
+from repro.sim.clock import usec
+from tests.conftest import run_program
+
+
+def _burner(progress, tag, chunks=15, chunk_usec=1_000):
+    def body(_):
+        for _ in range(chunks):
+            yield Charge(usec(chunk_usec))  # never yields voluntarily
+            t = yield from unistd.gettimeofday()
+            progress.append((tag, t))
+    return body
+
+
+class TestTimeSlicing:
+    def test_compute_threads_interleave_on_one_lwp(self):
+        progress = []
+
+        def main():
+            yield from threads.thread_set_time_slicing(2_000)
+            a = yield from threads.thread_create(
+                _burner(progress, "a"), None, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                _burner(progress, "b"), None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        sim, proc = run_program(main, ncpus=1)
+        tags = [tag for tag, _ in progress]
+        # Interleaved: the tag sequence switches many times (not aaa..bbb).
+        switches = sum(1 for x, y in zip(tags, tags[1:]) if x != y)
+        assert switches >= 5
+        assert proc.threadlib.preemptive_slices >= 5
+
+    def test_without_slicing_threads_run_to_completion(self):
+        progress = []
+
+        def main():
+            a = yield from threads.thread_create(
+                _burner(progress, "a"), None, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                _burner(progress, "b"), None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        run_program(main, ncpus=1)
+        tags = [tag for tag, _ in progress]
+        switches = sum(1 for x, y in zip(tags, tags[1:]) if x != y)
+        assert switches == 1  # a finishes entirely, then b
+
+    def test_disable_restores_cooperative(self):
+        progress = []
+
+        def main():
+            yield from threads.thread_set_time_slicing(2_000)
+            yield from threads.thread_set_time_slicing(0)
+            a = yield from threads.thread_create(
+                _burner(progress, "a"), None, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                _burner(progress, "b"), None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        sim, proc = run_program(main, ncpus=1)
+        tags = [tag for tag, _ in progress]
+        switches = sum(1 for x, y in zip(tags, tags[1:]) if x != y)
+        assert switches == 1
+        assert proc.threadlib.preemptive_slices == 0
+
+    def test_sliced_syscalls_do_not_see_eintr(self):
+        """The handler is SA_RESTART: a sliced thread's sleep completes."""
+        got = {}
+
+        def sleeper(_):
+            t0 = yield from unistd.gettimeofday()
+            yield from unistd.nanosleep(usec(30_000))
+            t1 = yield from unistd.gettimeofday()
+            got["slept"] = (t1 - t0) / 1000
+
+        def spinner(_):
+            for _ in range(40):
+                yield Charge(usec(1_000))
+
+        def main():
+            yield from threads.thread_set_time_slicing(1_000)
+            yield from threads.thread_setconcurrency(2)
+            a = yield from threads.thread_create(
+                sleeper, None, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                spinner, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        run_program(main, ncpus=1)
+        assert got["slept"] >= 30_000
+
+    def test_bound_threads_not_sliced(self):
+        """Bound threads own their LWP; the library does not preempt
+        them (the kernel's dispatcher handles LWP-level sharing)."""
+        progress = []
+
+        def main():
+            yield from threads.thread_set_time_slicing(2_000)
+            a = yield from threads.thread_create(
+                _burner(progress, "a"), None,
+                flags=threads.THREAD_WAIT | threads.THREAD_BIND_LWP)
+            yield from threads.thread_wait(a)
+
+        sim, proc = run_program(main, ncpus=2)
+        assert proc.threadlib.preemptive_slices == 0
+
+    def test_negative_quantum_rejected(self):
+        from repro.errors import ThreadError
+
+        def main():
+            with pytest.raises(ThreadError):
+                yield from threads.thread_set_time_slicing(-1)
+
+        run_program(main)

@@ -1,0 +1,165 @@
+"""Tests for thread-local storage and thread-specific data."""
+
+import pytest
+
+from repro.errors import ThreadError
+from repro.threads.tls import TlsBlock, TlsLayout, TsdKeys
+from repro import threads
+from tests.conftest import run_program
+
+
+class TestTlsLayoutUnit:
+    def test_declare_assigns_slots(self):
+        layout = TlsLayout()
+        assert layout.declare("errno") == 0
+        assert layout.declare("h_errno") == 1
+
+    def test_duplicate_declare_same_slot(self):
+        layout = TlsLayout()
+        a = layout.declare("errno")
+        assert layout.declare("errno") == a
+
+    def test_freeze_fixes_size(self):
+        """"Once the size is computed it is not changed" — no TLS growth
+        after start (the dynamic-linking restriction)."""
+        layout = TlsLayout()
+        layout.declare("errno")
+        size = layout.freeze()
+        assert size == layout.size_bytes
+        with pytest.raises(ThreadError):
+            layout.declare("late_variable")
+
+    def test_block_zero_initialized(self):
+        """"The contents of thread-local storage are zeroed, initially."""
+        layout = TlsLayout()
+        layout.declare("errno")
+        block = TlsBlock(layout)
+        assert block.get("errno") == 0
+
+    def test_blocks_are_private_copies(self):
+        layout = TlsLayout()
+        layout.declare("errno")
+        a, b = TlsBlock(layout), TlsBlock(layout)
+        a.set("errno", 13)
+        assert b.get("errno") == 0
+
+    def test_unknown_variable_rejected(self):
+        layout = TlsLayout()
+        block = TlsBlock(layout)
+        with pytest.raises(ThreadError):
+            block.get("ghost")
+
+
+class TestTlsInPrograms:
+    def test_errno_is_per_thread(self):
+        """The canonical example: each thread references errno directly
+        without fear of corrupting it in other threads."""
+        got = {}
+
+        def worker(tag):
+            yield from threads.tls_set("errno", tag)
+            yield from threads.thread_yield()
+            got[tag] = yield from threads.tls_get("errno")
+
+        def main():
+            a = yield from threads.thread_create(
+                worker, 111, flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                worker, 222, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        run_program(main)
+        assert got == {111: 111, 222: 222}
+
+    def test_declare_before_first_thread(self):
+        got = []
+
+        def worker(_):
+            got.append((yield from threads.tls_get("my_state")))
+
+        def main():
+            yield from threads.tls_declare("my_state")
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert got == [0]  # zeroed
+
+    def test_declare_after_first_thread_rejected(self):
+        def worker(_):
+            return
+            yield
+
+        def main():
+            yield from threads.thread_create(worker, None)
+            with pytest.raises(ThreadError):
+                yield from threads.tls_declare("too_late")
+            yield from threads.thread_yield()
+
+        run_program(main, check_deadlock=False)
+
+
+class TestTsd:
+    def test_tsd_roundtrip(self):
+        got = {}
+
+        def worker(tag):
+            key = keybox["key"]
+            yield from threads.tsd_set(key, f"value-{tag}")
+            yield from threads.thread_yield()
+            got[tag] = yield from threads.tsd_get(key)
+
+        keybox = {}
+
+        def main():
+            keybox["key"] = yield from threads.tsd_key_create()
+            a = yield from threads.thread_create(
+                worker, "a", flags=threads.THREAD_WAIT)
+            b = yield from threads.thread_create(
+                worker, "b", flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(a)
+            yield from threads.thread_wait(b)
+
+        run_program(main)
+        assert got == {"a": "value-a", "b": "value-b"}
+
+    def test_destructor_runs_at_thread_exit(self):
+        destroyed = []
+
+        def worker(_):
+            key = keybox["key"]
+            yield from threads.tsd_set(key, "resource")
+
+        keybox = {}
+
+        def main():
+            keybox["key"] = yield from threads.tsd_key_create(
+                destructor=destroyed.append)
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+
+        run_program(main)
+        assert destroyed == ["resource"]
+
+    def test_unset_key_reads_none(self):
+        got = []
+
+        def main():
+            key = yield from threads.tsd_key_create()
+            got.append((yield from threads.tsd_get(key)))
+
+        run_program(main)
+        assert got == [None]
+
+    def test_set_on_deleted_key_rejected(self):
+        keys = TsdKeys(TlsLayout())
+        layout = TlsLayout()
+        keys2 = TsdKeys(layout)
+        key = keys2.key_create()
+        keys2.key_delete(key)
+        block = TlsBlock(layout)
+        with pytest.raises(ThreadError):
+            keys2.set_specific(block, key, 1)

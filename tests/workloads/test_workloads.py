@@ -1,0 +1,126 @@
+"""Tests for the reference workloads: they must run to completion and
+produce internally consistent results."""
+
+import pytest
+
+from repro.api import Simulator
+from repro.workloads import (array_compute, database, network_server,
+                             window_system)
+
+
+def run(main, ncpus=2, seed=0):
+    sim = Simulator(ncpus=ncpus, seed=seed)
+    sim.spawn(main)
+    sim.run()
+    return sim
+
+
+class TestWindowSystem:
+    def test_all_events_processed(self):
+        main, res = window_system.build(n_widgets=20, n_events=60,
+                                        event_spacing_usec=50)
+        run(main)
+        assert res["processed"] == 60
+
+    def test_mn_uses_fewer_lwps_than_widgets(self):
+        main, res = window_system.build(n_widgets=50, n_events=50,
+                                        event_spacing_usec=50)
+        run(main)
+        assert res["footprint"]["lwps"] < 50
+
+    def test_bound_mode_uses_lwp_per_widget(self):
+        main, res = window_system.build(n_widgets=10, n_events=20,
+                                        bound_threads=True,
+                                        event_spacing_usec=50)
+        run(main)
+        assert res["footprint"]["lwps"] >= 10
+
+    def test_bound_mode_costs_more_kernel_memory(self):
+        main_mn, res_mn = window_system.build(n_widgets=30, n_events=30,
+                                              event_spacing_usec=50)
+        run(main_mn)
+        main_b, res_b = window_system.build(n_widgets=30, n_events=30,
+                                            bound_threads=True,
+                                            event_spacing_usec=50)
+        run(main_b)
+        assert (res_b["footprint"]["kernel_bytes"]
+                > res_mn["footprint"]["kernel_bytes"] * 3)
+
+
+class TestArrayCompute:
+    def test_all_rows_computed(self):
+        main, res = array_compute.build(rows=64, n_threads=4, n_lwps=2)
+        run(main)
+        assert res["threads_done"] == 4
+
+    def test_one_thread_per_lwp_beats_many(self):
+        """The paper's claim: threads-per-LWP > 1 wastes switch time."""
+        main1, res1 = array_compute.build(rows=64, n_threads=2, n_lwps=2,
+                                          bind=True)
+        run(main1)
+        main8, res8 = array_compute.build(rows=64, n_threads=16,
+                                          n_lwps=2)
+        run(main8)
+        assert res1["elapsed_usec"] < res8["elapsed_usec"]
+        assert res1["user_switches"] < res8["user_switches"]
+
+    def test_more_lwps_exploit_more_cpus(self):
+        main1, res1 = array_compute.build(rows=64, n_threads=4, n_lwps=1,
+                                          yield_between_rows=False)
+        sim1 = run(main1, ncpus=4)
+        main4, res4 = array_compute.build(rows=64, n_threads=4, n_lwps=4,
+                                          yield_between_rows=False)
+        sim4 = run(main4, ncpus=4)
+        assert res4["elapsed_usec"] < res1["elapsed_usec"] / 2
+
+    def test_bind_requires_matching_counts(self):
+        main, res = array_compute.build(rows=8, n_threads=4, n_lwps=2,
+                                        bind=True)
+        from repro.errors import SimulationError
+        with pytest.raises(Exception):
+            run(main)
+
+
+class TestNetworkServer:
+    def test_all_requests_served(self):
+        main, res = network_server.build(n_clients=3,
+                                         requests_per_client=5,
+                                         n_workers=2)
+        run(main)
+        assert res["received"] == 15
+        assert res["served"] == 15
+        assert res["throughput_per_sec"] > 0
+
+    def test_latency_measured(self):
+        main, res = network_server.build(n_clients=2,
+                                         requests_per_client=3,
+                                         n_workers=2)
+        run(main)
+        assert res["avg_latency_usec"] > 0
+
+
+class TestDatabase:
+    def test_cross_process_consistency(self):
+        main, res = database.build(n_records=8, n_processes=3,
+                                   n_threads=2, txns_per_thread=6)
+        run(main)
+        assert res["consistent"], res
+        assert res["committed"] == 3 * 2 * 6
+        assert res["locks_left_held"] == 0
+
+    def test_single_process_degenerate(self):
+        main, res = database.build(n_records=4, n_processes=1,
+                                   n_threads=3, txns_per_thread=4)
+        run(main)
+        assert res["consistent"]
+
+    def test_deterministic_given_seed(self):
+        main1, res1 = database.build(n_records=4, n_processes=2,
+                                     n_threads=2, txns_per_thread=4,
+                                     seed=5)
+        run(main1, seed=5)
+        main2, res2 = database.build(n_records=4, n_processes=2,
+                                     n_threads=2, txns_per_thread=4,
+                                     seed=5)
+        run(main2, seed=5)
+        assert res1["elapsed_usec"] == res2["elapsed_usec"]
