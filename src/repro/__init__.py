@@ -24,14 +24,19 @@ Entry point: :class:`repro.api.Simulator`.
 """
 
 from repro.api import Simulator
-from repro.errors import (DeadlockError, Errno, ReproError, SimulationError,
-                          SyncError, SyscallError, ThreadError)
+from repro.errors import (DeadlockError, Errno, LwpExhausted, ReproError,
+                          SimulationError, SyncError, SyscallError,
+                          ThreadError)
+from repro.sim.faults import (FaultPlan, LwpCrash, PageFaultStorm,
+                              SyscallFault, TimerJitter)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Simulator",
-    "DeadlockError", "Errno", "ReproError", "SimulationError",
-    "SyncError", "SyscallError", "ThreadError",
+    "DeadlockError", "Errno", "LwpExhausted", "ReproError",
+    "SimulationError", "SyncError", "SyscallError", "ThreadError",
+    "FaultPlan", "SyscallFault", "PageFaultStorm", "TimerJitter",
+    "LwpCrash",
     "__version__",
 ]

@@ -39,7 +39,8 @@ class Simulator:
                  costs: Optional[CostModel] = None,
                  trace: bool = False,
                  trace_categories: Optional[Iterable[str]] = None,
-                 threads_runtime_factory=None):
+                 threads_runtime_factory=None,
+                 faults=None):
         self.tracer = Tracer(enabled=trace, categories=trace_categories)
         self.machine = Machine(ncpus=ncpus, costs=costs, seed=seed,
                                tracer=self.tracer)
@@ -48,6 +49,11 @@ class Simulator:
             threads_runtime.install(self.kernel)
         else:
             self.kernel.runtime_factory = threads_runtime_factory
+        self.faults = faults
+        if faults is not None:
+            # A FaultPlan (repro.sim.faults): deterministic error
+            # injection, page-fault storms, timer jitter, LWP crashes.
+            faults.attach(self.kernel)
 
     # ------------------------------------------------------------- spawn
 

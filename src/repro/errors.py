@@ -97,3 +97,20 @@ class ThreadError(ReproError):
 
 class SyncError(ThreadError):
     """Misuse of a synchronization variable (e.g. unlock not held)."""
+
+
+class LwpExhausted(ThreadError):
+    """``lwp_create`` kept failing with EAGAIN after bounded backoff.
+
+    Raised by the threads library when the kernel refuses to create more
+    LWPs (per-process ``max_lwps`` rlimit, or an injected fault) and the
+    retry budget is spent.  Callers either degrade (bound creation falls
+    back to an unbound thread, pool growth is skipped) or surface this,
+    depending on the library's ``lwp_exhaust_policy``.
+    """
+
+    def __init__(self, attempts: int, message: str = ""):
+        self.attempts = attempts
+        super().__init__(
+            message or f"lwp_create failed with EAGAIN after "
+                       f"{attempts} attempt(s)")

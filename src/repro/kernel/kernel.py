@@ -47,6 +47,10 @@ class Kernel:
         # Channels for kernel-level sleeps on process-shared sync
         # variables, keyed by the shared variable's identity.
         self._shared_channels: dict[int, WaitChannel] = {}
+        # Active fault-injection plan (repro.sim.faults.FaultPlan); set
+        # by FaultPlan.attach().  Consulted once per trapped syscall.
+        self.faults = None
+        self.faults_injected: dict[str, int] = defaultdict(int)
         # Statistics.
         self.syscall_counts: dict[str, int] = defaultdict(int)
         self.signals_posted: dict[Sig, int] = defaultdict(int)
@@ -64,6 +68,7 @@ class Kernel:
         """Attach to the machine and install the deadlock probe."""
         self.machine.install_kernel(self)
         self.engine.idle_check = self._idle_complaint
+        self.engine.hang_reporter = self.describe_hang
         self.vfs.mount_proc(lambda: self)
 
     def _idle_complaint(self) -> Optional[str]:
@@ -89,6 +94,17 @@ class Kernel:
         if complaint:
             return complaint
         return None
+
+    def describe_hang(self) -> str:
+        """Wait-for-graph report: who waits on what, held by whom.
+
+        The walker lives in :mod:`repro.analysis.waitgraph` because it
+        reads *both* kernel structures and per-process threads-library
+        structures — the debugger-cooperation path (like /proc), not a
+        kernel behavior dependency.
+        """
+        from repro.analysis.waitgraph import render_hang_report
+        return render_hang_report(self)
 
     # ------------------------------------------------- process/LWP factory
 
@@ -154,10 +170,25 @@ class Kernel:
     def syscall_handler(self, ctx: ExecContext, name: str,
                         args: tuple, kwargs: dict):
         """Build the handler generator for a trapped system call."""
+        if self.faults is not None:
+            errno = self.faults.syscall_errno(name)
+            if errno is not None:
+                return self._injected_failure(name, errno)
         handler = self._syscalls.get(name)
         if handler is None:
             return self._enosys(name)
         return as_generator(handler, ctx, *args, **kwargs)
+
+    def _injected_failure(self, name: str, errno: Errno):
+        """Handler generator for a fault-plan-injected syscall failure."""
+        self.faults_injected[name] += 1
+        self.faults.note(self, "inject", name, errno=errno.name)
+
+        def handler():
+            from repro.hw.isa import Charge
+            yield Charge(self.costs.syscall_service_trivial)
+            raise SyscallError(errno, name, f"injected {errno.name}")
+        return handler()
 
     @staticmethod
     def _enosys(name: str):
@@ -185,6 +216,7 @@ class Kernel:
         lwp.wait_channels = channels
         lwp.sleep_interruptible = interruptible
         lwp.sleep_indefinite = indefinite
+        lwp.sleep_since_ns = self.engine.now_ns
         for chan in channels:
             chan.add(lwp)
         if indefinite:

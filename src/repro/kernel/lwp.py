@@ -94,6 +94,8 @@ class Lwp:
         self.wait_channels: Optional[list] = None
         self.sleep_interruptible = False
         self.sleep_indefinite = False
+        # Virtual time the current sleep began (hang diagnostics).
+        self.sleep_since_ns: Optional[int] = None
 
         # Accounting (paper: "User time and system CPU usage" per LWP).
         self.user_ns = 0

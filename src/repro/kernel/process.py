@@ -40,6 +40,10 @@ class ResourceLimits:
         self.cpu_ns: Optional[int] = None      # RLIMIT_CPU -> SIGXCPU
         self.fsize_bytes: Optional[int] = None  # RLIMIT_FSIZE -> SIGXFSZ
         self.nofile: int = FdTable.MAX_FDS
+        # RLIMIT_NLWPS: cap on live LWPs; lwp_create -> EAGAIN at the
+        # cap (the process-wide resource-exhaustion failure mode the
+        # threads library must degrade under).  None = unlimited.
+        self.max_lwps: Optional[int] = None
 
 
 class Process:

@@ -25,6 +25,12 @@ def sys_lwp_create(ctx, activity, sched_class: SchedClass = None,
     ~42x unbound creation (Figure 5): kernel stack, LWP structure,
     dispatcher entry.
     """
+    limit = ctx.process.rlimits.max_lwps
+    if limit is not None and len(ctx.process.live_lwps()) >= limit:
+        # Refused before the expensive allocation work is charged.
+        yield Charge(ctx.costs.syscall_service_trivial)
+        raise SyscallError(Errno.EAGAIN, "lwp_create",
+                           f"process LWP limit ({limit}) reached")
     yield Charge(ctx.costs.lwp_create_service)
     lwp = ctx.kernel.create_lwp(
         ctx.process, activity,

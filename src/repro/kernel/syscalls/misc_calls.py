@@ -15,6 +15,7 @@ RUSAGE_LWP = 1
 RLIMIT_CPU = 0
 RLIMIT_FSIZE = 1
 RLIMIT_NOFILE = 5
+RLIMIT_NLWPS = 6
 
 
 @syscall("getrusage")
@@ -43,6 +44,8 @@ def sys_setrlimit(ctx, resource: int, limit):
         rl.fsize_bytes = limit
     elif resource == RLIMIT_NOFILE:
         rl.nofile = int(limit)
+    elif resource == RLIMIT_NLWPS:
+        rl.max_lwps = None if limit is None else int(limit)
     else:
         raise SyscallError(Errno.EINVAL, "setrlimit",
                            f"resource {resource}")
@@ -59,6 +62,8 @@ def sys_getrlimit(ctx, resource: int):
         return rl.fsize_bytes
     if resource == RLIMIT_NOFILE:
         return rl.nofile
+    if resource == RLIMIT_NLWPS:
+        return rl.max_lwps
     raise SyscallError(Errno.EINVAL, "getrlimit", f"resource {resource}")
 
 

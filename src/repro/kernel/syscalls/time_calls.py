@@ -39,6 +39,10 @@ def sys_nanosleep(ctx, duration_ns: int):
     yield Charge(ctx.costs.syscall_service_trivial)
     kernel = ctx.kernel
     lwp = ctx.lwp
+    if kernel.faults is not None:
+        # Injected timer jitter: the wakeup arrives late, as on a busy
+        # machine.  Deterministic (seeded stream).
+        duration_ns += kernel.faults.timer_jitter_ns()
     chan = WaitChannel(f"{lwp.name}:nanosleep")
     deadline = kernel.engine.now_ns + duration_ns
     while kernel.engine.now_ns < deadline:

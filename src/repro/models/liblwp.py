@@ -20,7 +20,7 @@ The mitigating non-blocking I/O library is provided too
 
 from __future__ import annotations
 
-from repro.errors import Errno, SyscallError, ThreadError
+from repro.errors import ThreadError
 from repro.hw.context import Activity
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
@@ -28,6 +28,7 @@ from repro.kernel.signals import Sigset
 from repro.runtime import unistd
 from repro.threads import api as thread_api
 from repro.threads.api import _thread_body
+from repro.threads.backoff import retry_on_eagain
 from repro.threads.scheduler import ThreadsLibrary
 from repro.threads.thread import (THREAD_BIND_LWP, THREAD_NEW_LWP, Thread,
                                   ThreadState)
@@ -104,13 +105,20 @@ def nbio_read(fd: int, length: int, poll_interval_usec: float = 500.0):
     O_NONBLOCK semantics and yielding between attempts, instead of
     blocking the process's only LWP.  (Page faults still block everyone;
     there is no mitigation for those, as the paper notes.)
+
+    Built on the shared EAGAIN backoff helper in poll-loop mode: retry
+    forever at a flat ``poll_interval_usec`` cadence, yielding the LWP to
+    other liblwp threads before each sleep.
     """
-    while True:
-        try:
-            data = yield from unistd.read(fd, length)
-            return data
-        except SyscallError as err:
-            if err.errno != Errno.EAGAIN:
-                raise
+
+    def attempt():
+        data = yield from unistd.read(fd, length)
+        return data
+
+    def between(_tries):
         yield from thread_api.thread_yield()
-        yield from unistd.sleep_usec(poll_interval_usec)
+
+    data = yield from retry_on_eagain(
+        attempt, attempts=None, base_usec=poll_interval_usec,
+        factor=1.0, on_retry=between)
+    return data

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.errors import LwpExhausted
 from repro.hw.context import Activity, as_generator
 from repro.hw.isa import Charge, GetContext, Syscall
 from repro.kernel.syscalls.lwp_calls import PC_JOIN_GANG, PC_LEAVE_GANG
+from repro.threads.backoff import lwp_create_backoff
 
 
 def parallel_for(n_iters: int, body: Callable, n_lwps: int = 0,
@@ -69,11 +71,23 @@ def parallel_for(n_iters: int, body: Callable, n_lwps: int = 0,
         return run()
 
     lwp_ids = []
+    inline = []
     for lo, hi in slices:
         activity = Activity(worker_body(lo, hi),
                             name=f"microtask-{lo}:{hi}")
-        lwp_id = yield Syscall("lwp_create", activity)
+        # LWP exhaustion degrades to a narrower gang: slices that could
+        # not get a worker run serially on the master below.
+        try:
+            lwp_id = yield from lwp_create_backoff(activity, attempts=4)
+        except LwpExhausted:
+            inline.append((lo, hi))
+            continue
         lwp_ids.append(lwp_id)
+
+    for lo, hi in inline:
+        for i in range(lo, hi):
+            result = yield from as_generator(body, i)
+            del result
 
     for lwp_id in lwp_ids:
         yield Syscall("lwp_wait", lwp_id)

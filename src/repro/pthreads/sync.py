@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import SyncError
+from repro.errors import Errno, SyncError
+from repro.hw.isa import GetContext
 from repro.pthreads.api import (PTHREAD_PROCESS_PRIVATE,
                                 PTHREAD_PROCESS_SHARED)
 from repro.sync import (CondVar, Mutex, SYNC_DEBUG, THREAD_SYNC_SHARED,
@@ -53,8 +54,17 @@ class PthreadMutex:
         self.attr = attr
 
     def lock(self):
+        if (self.attr.kind == PTHREAD_MUTEX_ERRORCHECK
+                and not self._impl.is_shared):
+            # POSIX errorcheck semantics: a relock by the owner returns
+            # EDEADLK instead of deadlocking (the paper's SYNC_DEBUG
+            # variant raises; pthreads report the errno).  Shared mutexes
+            # keep no cross-process owner identity, so no check there.
+            ctx = yield GetContext()
+            if self._impl.owner is not None and self._impl.owner is ctx.thread:
+                return Errno.EDEADLK
         result = yield from self._impl.enter()
-        return result
+        return 0 if result is None else result
 
     def trylock(self):
         result = yield from self._impl.tryenter()
@@ -108,7 +118,8 @@ class PthreadCond:
 # --------------------------------------------------------------------
 
 def pthread_mutex_lock(mutex: PthreadMutex):
-    yield from mutex.lock()
+    result = yield from mutex.lock()
+    return result
 
 
 def pthread_mutex_trylock(mutex: PthreadMutex):

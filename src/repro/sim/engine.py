@@ -39,6 +39,11 @@ class Engine:
         # Hook returning a human-readable description of blocked entities,
         # or None when being idle is legitimate.  Installed by the machine.
         self.idle_check: Optional[Callable[[], Optional[str]]] = None
+        # Hook rendering a full wait-for-graph report of a hang (who
+        # waits on what, held by whom).  Installed by the kernel.
+        self.hang_reporter: Optional[Callable[[], str]] = None
+        # Active fault-injection plan (repro.sim.faults.FaultPlan).
+        self.faults = None
 
     # ----------------------------------------------------------------- time
 
@@ -104,6 +109,9 @@ class Engine:
                     if check_deadlock and self.idle_check is not None:
                         complaint = self.idle_check()
                         if complaint:
+                            report = self.diagnose_hang()
+                            if report:
+                                complaint = f"{complaint}\n{report}"
                             raise DeadlockError(complaint)
                     break
                 if until_ns is not None and next_time > until_ns:
@@ -122,6 +130,18 @@ class Engine:
         finally:
             self._running = False
         return fired
+
+    def diagnose_hang(self) -> str:
+        """Render the wait-for graph of everything currently blocked.
+
+        Delegates to the ``hang_reporter`` hook (installed by the kernel);
+        callable at any time, not just at deadlock — useful from a
+        debugger while a simulation seems wedged.  Returns "" when no
+        reporter is installed.
+        """
+        if self.hang_reporter is None:
+            return ""
+        return self.hang_reporter()
 
     def run_for(self, delay_ns: int, **kw) -> int:
         """Run for ``delay_ns`` of virtual time from now."""

@@ -1,0 +1,335 @@
+"""Deterministic fault injection.
+
+A :class:`FaultPlan` is a declarative list of fault rules attached to a
+booted kernel.  All randomness is drawn from the engine's named seeded
+streams (:mod:`repro.sim.rng`), so a fault schedule is a pure function of
+``(seed, plan, program)``: a failing run replays bit-for-bit from the same
+seed — something real fault-injection harnesses can only approximate.
+
+Rule kinds:
+
+* :class:`SyscallFault` — fail a named system call with an errno, by
+  probability, every-Nth, or up to a count (e.g. every 3rd ``lwp_create``
+  returns EAGAIN, ``brk`` returns ENOMEM at 10%).
+* :class:`PageFaultStorm` — at a virtual time, evict the resident pages
+  of every memory object matching a glob, forcing the fault path.
+* :class:`TimerJitter` — stretch ``nanosleep`` durations by a random
+  amount, perturbing timing-sensitive code deterministically.
+* :class:`LwpCrash` — at a virtual time, terminate one LWP mid-run, as
+  if the kernel reclaimed it.
+
+Plans serialize to plain dicts (:meth:`FaultPlan.to_dict` /
+:meth:`FaultPlan.from_dict`) so a schedule can be stored alongside a bug
+report and replayed exactly.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Optional
+
+from repro.errors import Errno, SimulationError
+from repro.sim.clock import usec
+
+
+def _errno_of(value) -> Errno:
+    try:
+        if isinstance(value, str):
+            return Errno[value]
+        return Errno(value)
+    except (KeyError, ValueError):
+        raise SimulationError(f"unknown errno: {value!r}") from None
+
+
+class FaultRule:
+    """Base class: serialization plumbing shared by all rule kinds."""
+
+    KIND = ""
+
+    def arm(self, plan: "FaultPlan", kernel) -> None:
+        """Bind runtime state when the plan attaches to a kernel."""
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultRule":
+        kind = data.get("kind")
+        cls = _RULE_KINDS.get(kind)
+        if cls is None:
+            raise SimulationError(f"unknown fault rule kind: {kind!r}")
+        return cls._from_dict(data)
+
+
+class SyscallFault(FaultRule):
+    """Fail a named system call with an injected errno.
+
+    Exactly one selection mode applies: ``every`` (deterministic, every
+    Nth call fails) when given, else ``probability`` (each call fails
+    independently, drawn from the plan's seeded stream).  ``max_count``
+    caps total injections; ``skip`` exempts the first N calls (letting a
+    process boot before the storm starts).
+    """
+
+    KIND = "syscall"
+
+    def __init__(self, call: str, errno, probability: float = 1.0,
+                 every: Optional[int] = None,
+                 max_count: Optional[int] = None, skip: int = 0):
+        if every is not None and every < 1:
+            raise SimulationError(f"every must be >= 1, got {every}")
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(f"bad probability {probability}")
+        self.call = call
+        self.errno = _errno_of(errno)
+        self.probability = probability
+        self.every = every
+        self.max_count = max_count
+        self.skip = skip
+        # Runtime counters (reset when the plan attaches).
+        self.seen = 0
+        self.injected = 0
+
+    def arm(self, plan: "FaultPlan", kernel) -> None:
+        self.seen = 0
+        self.injected = 0
+
+    def decide(self, rng) -> bool:
+        """One call of ``self.call`` happened; inject this time?"""
+        self.seen += 1
+        if self.seen <= self.skip:
+            return False
+        if self.max_count is not None and self.injected >= self.max_count:
+            return False
+        if self.every is not None:
+            hit = (self.seen - self.skip) % self.every == 0
+        else:
+            hit = rng.random() < self.probability
+        if hit:
+            self.injected += 1
+        return hit
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "call": self.call,
+                "errno": self.errno.name, "probability": self.probability,
+                "every": self.every, "max_count": self.max_count,
+                "skip": self.skip}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "SyscallFault":
+        return cls(d["call"], d["errno"],
+                   probability=d.get("probability", 1.0),
+                   every=d.get("every"), max_count=d.get("max_count"),
+                   skip=d.get("skip", 0))
+
+
+class PageFaultStorm(FaultRule):
+    """At ``at_usec``, evict resident pages of matching memory objects.
+
+    ``pattern`` is an fnmatch glob over memory-object names (e.g.
+    ``"file:*"``).  Every subsequent touch of an evicted page takes the
+    full page-fault path — the storm a thrashing machine produces, on
+    demand and replayable.
+    """
+
+    KIND = "storm"
+
+    def __init__(self, at_usec: float, pattern: str = "*"):
+        self.at_usec = at_usec
+        self.pattern = pattern
+        self.evicted = 0
+
+    def arm(self, plan: "FaultPlan", kernel) -> None:
+        self.evicted = 0
+
+        def fire():
+            n = 0
+            for mobj in kernel.machine.memory.objects:
+                if not fnmatch.fnmatch(mobj.name, self.pattern):
+                    continue
+                for pageno in sorted(mobj.resident):
+                    mobj.evict(pageno)
+                    n += 1
+            self.evicted += n
+            plan.note(kernel, "storm", self.pattern, evicted=n)
+
+        kernel.engine.call_at(usec(self.at_usec), fire, tag="fault-storm")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "at_usec": self.at_usec,
+                "pattern": self.pattern}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "PageFaultStorm":
+        return cls(d["at_usec"], d.get("pattern", "*"))
+
+
+class TimerJitter(FaultRule):
+    """Stretch nanosleep durations by up to ``max_usec`` (seeded).
+
+    Models a busy machine delivering timer wakeups late.  Only ever adds
+    delay; virtual time stays monotonic.
+    """
+
+    KIND = "jitter"
+
+    def __init__(self, max_usec: float, probability: float = 1.0):
+        if max_usec < 0:
+            raise SimulationError(f"negative jitter {max_usec}")
+        self.max_usec = max_usec
+        self.probability = probability
+
+    def jitter_ns(self, rng) -> int:
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return 0
+        return rng.randint(0, usec(self.max_usec))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "max_usec": self.max_usec,
+                "probability": self.probability}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "TimerJitter":
+        return cls(d["max_usec"], probability=d.get("probability", 1.0))
+
+
+class LwpCrash(FaultRule):
+    """At ``at_usec``, terminate one LWP as if the kernel reclaimed it.
+
+    The victim is ``(pid, lwp_id)`` when given; otherwise one live LWP is
+    chosen from the plan's seeded stream.  ``lwp_wait``-ers are woken so
+    joiners observe the death instead of hanging.
+    """
+
+    KIND = "crash"
+
+    def __init__(self, at_usec: float, pid: Optional[int] = None,
+                 lwp_id: Optional[int] = None):
+        self.at_usec = at_usec
+        self.pid = pid
+        self.lwp_id = lwp_id
+        self.victim_name: Optional[str] = None
+
+    def arm(self, plan: "FaultPlan", kernel) -> None:
+        self.victim_name = None
+
+        def fire():
+            victim = self._pick(plan, kernel)
+            if victim is None:
+                return
+            self.victim_name = victim.name
+            proc = victim.process
+            kernel.terminate_lwp(victim)
+            kernel.wakeup_all(proc.lwp_wait, value=victim.lwp_id)
+            plan.note(kernel, "lwp-crash", victim.name)
+
+        kernel.engine.call_at(usec(self.at_usec), fire, tag="fault-crash")
+
+    def _pick(self, plan: "FaultPlan", kernel):
+        from repro.kernel.process import ProcState
+        candidates = []
+        for pid in sorted(kernel.processes):
+            proc = kernel.processes[pid]
+            if proc.state is not ProcState.ACTIVE:
+                continue
+            if self.pid is not None and pid != self.pid:
+                continue
+            for lwp in proc.live_lwps():
+                if self.lwp_id is not None and lwp.lwp_id != self.lwp_id:
+                    continue
+                candidates.append(lwp)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        return plan.rng("crash").choice(candidates)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "at_usec": self.at_usec,
+                "pid": self.pid, "lwp_id": self.lwp_id}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "LwpCrash":
+        return cls(d["at_usec"], pid=d.get("pid"), lwp_id=d.get("lwp_id"))
+
+
+_RULE_KINDS = {cls.KIND: cls for cls in
+               (SyscallFault, PageFaultStorm, TimerJitter, LwpCrash)}
+
+
+class FaultPlan:
+    """A declarative, replayable set of fault rules.
+
+    Build one, then either pass it to ``Simulator(faults=plan)`` or call
+    :meth:`attach` on a booted kernel::
+
+        plan = FaultPlan([SyscallFault("lwp_create", "EAGAIN",
+                                       probability=0.5)])
+        sim = Simulator(ncpus=2, seed=7, faults=plan)
+
+    A plan may be attached to exactly one kernel (runtime rule state is
+    per-attachment); serialize and rebuild to reuse a schedule.
+    """
+
+    def __init__(self, rules=()):
+        self.rules: list[FaultRule] = list(rules)
+        self.kernel = None
+        self.injections = 0
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        """Append a rule; chainable.  Must be called before attach."""
+        if self.kernel is not None:
+            raise SimulationError("cannot add rules to an attached plan")
+        self.rules.append(rule)
+        return self
+
+    # --------------------------------------------------------- attachment
+
+    def attach(self, kernel) -> None:
+        """Bind this plan to a kernel: rules arm, timed rules schedule."""
+        if self.kernel is not None:
+            raise SimulationError("fault plan is already attached")
+        self.kernel = kernel
+        kernel.faults = self
+        kernel.engine.faults = self
+        self.injections = 0
+        for rule in self.rules:
+            rule.arm(self, kernel)
+
+    def rng(self, name: str):
+        """The plan's seeded sub-stream for ``name``."""
+        return self.kernel.engine.rng.stream(f"faults/{name}")
+
+    def note(self, kernel, event: str, subject: str, **detail) -> None:
+        """Trace one injection (category ``"fault"``)."""
+        self.injections += 1
+        kernel.tracer.emit(kernel.engine.now_ns, "fault", event,
+                           subject, **detail)
+
+    # ------------------------------------------------------ consultations
+
+    def syscall_errno(self, name: str) -> Optional[Errno]:
+        """Called by the kernel once per trapped syscall: errno to
+        inject, or None to let the call proceed."""
+        for rule in self.rules:
+            if isinstance(rule, SyscallFault) and rule.call == name:
+                if rule.decide(self.rng(f"syscall/{name}")):
+                    return rule.errno
+        return None
+
+    def timer_jitter_ns(self) -> int:
+        """Called by nanosleep: extra delay to add to this sleep."""
+        total = 0
+        for rule in self.rules:
+            if isinstance(rule, TimerJitter):
+                total += rule.jitter_ns(self.rng("jitter"))
+        return total
+
+    # ------------------------------------------------------ serialization
+
+    def to_dict(self) -> dict:
+        return {"rules": [r.to_dict() for r in self.rules]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(FaultRule.from_dict(d) for d in data.get("rules", ()))

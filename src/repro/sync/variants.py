@@ -21,6 +21,7 @@ Variants provided (or'able where sensible):
 
 from __future__ import annotations
 
+import weakref
 from typing import Optional
 
 from repro.errors import Errno, SyncError, SyscallError
@@ -60,6 +61,19 @@ class SharedCell:
         return f"<SharedCell {self.mobj.name}+{self.offset}>"
 
 
+#: Weak registry of every live synchronization variable.  Read only by
+#: the hang diagnostics (repro.analysis.waitgraph) to name the primitive
+#: a sleeping thread's wait queue belongs to; weak references keep the
+#: registry from pinning discarded variables.
+_ALL_SYNC_VARIABLES: "weakref.WeakSet[SyncVariable]" = weakref.WeakSet()
+
+
+def all_sync_variables() -> list:
+    """Snapshot of live sync variables (diagnostics; deterministic order
+    is the caller's problem — match by identity, not position)."""
+    return list(_ALL_SYNC_VARIABLES)
+
+
 class SyncVariable:
     """Common base: variant decoding and shared-cell plumbing."""
 
@@ -70,6 +84,7 @@ class SyncVariable:
         self.vtype = vtype
         self.name = name or f"{self.KIND}@{id(self):x}"
         self.cell = cell
+        _ALL_SYNC_VARIABLES.add(self)
         # Check the raw flag, not the is_shared property: subclasses that
         # compose shared primitives (RwLock) override the property.
         flag_shared = bool(vtype & THREAD_SYNC_SHARED)

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.errors import ThreadError
+from repro.errors import LwpExhausted, ThreadError
 from repro.hw.context import Activity, as_generator
 from repro.hw.isa import Charge, GetContext, SwitchTo, Syscall
 from repro.kernel.signals import Sig, Sigset
+from repro.threads.backoff import lwp_create_backoff
 from repro.threads.thread import (THREAD_BIND_LWP, THREAD_NEW_LWP,
                                   THREAD_STOP, THREAD_WAIT, Thread,
                                   ThreadState)
@@ -111,15 +112,38 @@ def thread_create(func, arg: Any = None, flags: int = 0,
     if bound:
         # THREAD_BIND_LWP: "A new LWP is created and the new thread is
         # permanently bound to it."  The LWP's root context *is* the
-        # thread's context.
-        lwp_id = yield Syscall("lwp_create", thread.activity,
-                               runnable=not stopped)
-        lwp = ctx.process.lwps[lwp_id]
-        lwp.bound_thread = thread
-        lwp.current_thread = thread
-        thread.lwp = lwp
-        thread.state = (ThreadState.STOPPED if stopped
-                        else ThreadState.RUNNABLE)
+        # thread's context.  lwp_create may fail with EAGAIN (LWP rlimit,
+        # transient kernel shortage): retry with backoff, then apply the
+        # library's exhaustion policy.
+        try:
+            lwp_id = yield from lwp_create_backoff(
+                thread.activity, runnable=not stopped,
+                on_retry=lib.note_lwp_retry)
+        except LwpExhausted:
+            if lib.lwp_exhaust_policy == "raise":
+                # Undo the creation before surfacing the error.
+                lib.stack_alloc.release(thread.stack)
+                lib.retire_id(thread)
+                lib.threads_created -= 1
+                raise
+            # Degrade: the thread runs unbound on the existing pool.  It
+            # loses the bound-only guarantees (dedicated LWP, alternate
+            # signal stack, real-time scheduling) but still runs.
+            lib.bound_fallbacks += 1
+            bound = False
+            thread.bound = False
+            if stopped:
+                thread.state = ThreadState.STOPPED
+            else:
+                for lwp_id in lib.make_runnable(thread):
+                    yield Syscall("lwp_unpark", lwp_id)
+        else:
+            lwp = ctx.process.lwps[lwp_id]
+            lwp.bound_thread = thread
+            lwp.current_thread = thread
+            thread.lwp = lwp
+            thread.state = (ThreadState.STOPPED if stopped
+                            else ThreadState.RUNNABLE)
     elif stopped:
         thread.state = ThreadState.STOPPED
     else:
@@ -128,9 +152,16 @@ def thread_create(func, arg: Any = None, flags: int = 0,
 
     if flags & THREAD_NEW_LWP:
         # "A new LWP is created along with the thread [and] added to the
-        # pool of LWPs used to execute threads."
-        lwp_id = yield Syscall("lwp_create", lib.new_pool_lwp_activity())
-        lib.register_pool_lwp(ctx.process.lwps[lwp_id])
+        # pool of LWPs used to execute threads."  Pool growth is an
+        # optimization: if LWPs are exhausted the thread still runs on the
+        # existing pool, so swallow the failure (but count it).
+        try:
+            lwp_id = yield from lwp_create_backoff(
+                lib.new_pool_lwp_activity(), on_retry=lib.note_lwp_retry)
+        except LwpExhausted:
+            lib.pool_grow_failures += 1
+        else:
+            lib.register_pool_lwp(ctx.process.lwps[lwp_id])
 
     return tid
 
@@ -310,8 +341,15 @@ def thread_setconcurrency(n: int):
     current = len(lib.pool_lwps)
     if n > current:
         for _ in range(n - current):
-            lwp_id = yield Syscall("lwp_create",
-                                   lib.new_pool_lwp_activity())
+            # "at least this concurrency" is best-effort: stop growing if
+            # LWPs are exhausted and leave the rest to SIGWAITING.
+            try:
+                lwp_id = yield from lwp_create_backoff(
+                    lib.new_pool_lwp_activity(),
+                    on_retry=lib.note_lwp_retry)
+            except LwpExhausted:
+                lib.pool_grow_failures += 1
+                break
             lib.register_pool_lwp(ctx.process.lwps[lwp_id])
     elif n < current:
         lib._shrink_quota += current - n

@@ -1,0 +1,99 @@
+"""Bounded exponential backoff in virtual time.
+
+Shared by every ``lwp_create`` site in the threads library and models
+(bound creation, pool growth, SIGWAITING handler, micro-tasking gangs)
+and by the liblwp non-blocking I/O poll loop, so transient-EAGAIN
+behavior is uniform: retry with growing ``nanosleep`` delays, then give
+up with a typed error the caller can degrade on.
+
+All delays are *virtual* time — deterministic and replayable like
+everything else in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import Errno, LwpExhausted, SyscallError
+from repro.hw.context import as_generator
+from repro.hw.isa import Syscall
+from repro.sim.clock import usec
+
+#: Default retry budget for lwp_create sites.
+DEFAULT_ATTEMPTS = 6
+#: First retry delay; doubles per retry up to the cap.
+DEFAULT_BASE_USEC = 200.0
+DEFAULT_FACTOR = 2.0
+DEFAULT_MAX_DELAY_USEC = 20_000.0
+
+
+def _sleep(delay_usec: float):
+    """nanosleep that absorbs EINTR (a cut-short backoff is still a
+    backoff; the retry loop re-checks anyway)."""
+    try:
+        yield Syscall("nanosleep", usec(delay_usec))
+    except SyscallError as err:
+        if err.errno != Errno.EINTR:
+            raise
+
+
+def retry_on_eagain(attempt: Callable, attempts: Optional[int] = DEFAULT_ATTEMPTS,
+                    base_usec: float = DEFAULT_BASE_USEC,
+                    factor: float = DEFAULT_FACTOR,
+                    max_delay_usec: float = DEFAULT_MAX_DELAY_USEC,
+                    on_retry: Optional[Callable] = None):
+    """Generator: run ``attempt()`` (a generator factory), retrying on
+    EAGAIN with exponential backoff.
+
+    Args:
+        attempt: zero-argument factory of the operation generator.
+        attempts: total tries before the final EAGAIN propagates;
+            None retries forever (poll-loop mode).
+        base_usec / factor / max_delay_usec: backoff schedule.
+        on_retry: optional hook called (as a generator frame, so it may
+            yield effects) with the 1-based retry number before each
+            sleep — used for stats and for yielding to other threads.
+
+    Returns the attempt's value; non-EAGAIN errors propagate untouched.
+    """
+    tries = 0
+    delay = base_usec
+    while True:
+        try:
+            result = yield from attempt()
+            return result
+        except SyscallError as err:
+            if err.errno != Errno.EAGAIN:
+                raise
+            tries += 1
+            if attempts is not None and tries >= attempts:
+                raise
+        if on_retry is not None:
+            yield from as_generator(on_retry, tries)
+        yield from _sleep(delay)
+        delay = min(delay * factor, max_delay_usec)
+
+
+def lwp_create_backoff(*args, attempts: Optional[int] = DEFAULT_ATTEMPTS,
+                       base_usec: float = DEFAULT_BASE_USEC,
+                       factor: float = DEFAULT_FACTOR,
+                       max_delay_usec: float = DEFAULT_MAX_DELAY_USEC,
+                       on_retry: Optional[Callable] = None, **kwargs):
+    """Generator: ``Syscall("lwp_create", *args, **kwargs)`` under
+    :func:`retry_on_eagain`; raises :class:`LwpExhausted` when the
+    budget is spent.  Returns the new LWP's id."""
+
+    def attempt():
+        lwp_id = yield Syscall("lwp_create", *args, **kwargs)
+        return lwp_id
+
+    try:
+        lwp_id = yield from retry_on_eagain(
+            attempt, attempts=attempts, base_usec=base_usec,
+            factor=factor, max_delay_usec=max_delay_usec,
+            on_retry=on_retry)
+    except SyscallError as err:
+        if err.errno != Errno.EAGAIN:
+            raise
+        raise LwpExhausted(attempts or 0) from err
+    return lwp_id

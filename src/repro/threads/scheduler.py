@@ -32,10 +32,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Optional
 
-from repro.errors import Errno, SyscallError, ThreadError
+from repro.errors import Errno, LwpExhausted, SyscallError, ThreadError
 from repro.hw.context import Activity, as_generator
 from repro.hw.isa import Charge, GetContext, SwitchTo, Syscall
 from repro.kernel.signals import Disposition, Sig
+from repro.threads.backoff import lwp_create_backoff
 from repro.threads.stack import StackAllocator
 from repro.threads.thread import Thread, ThreadState
 from repro.threads.tls import TlsLayout, TsdKeys
@@ -129,12 +130,23 @@ class ThreadsLibrary:
         # per-LWP virtual timers + SIGVTALRM; 0 = cooperative only).
         self.time_slice_ns = 0
 
+        # What thread_create(THREAD_BIND_LWP) does when lwp_create keeps
+        # failing with EAGAIN after backoff: "fallback" demotes the new
+        # thread to unbound (it still runs, degraded); "raise" surfaces
+        # LwpExhausted to the creator.
+        self.lwp_exhaust_policy = "fallback"
+
         # Statistics (read by experiments).
         self.user_switches = 0
         self.unparks_requested = 0
         self.threads_created = 0
         self.lwps_grown_by_sigwaiting = 0
         self.preemptive_slices = 0
+        # Degradation statistics.
+        self.lwp_create_retries = 0     # backed-off lwp_create attempts
+        self.bound_fallbacks = 0        # bound creations demoted to unbound
+        self.pool_grow_failures = 0     # THREAD_NEW_LWP/setconcurrency skips
+        self.sigwaiting_failures = 0    # growth handler gave up (re-armed)
 
     # ================================================== identity / lookup
 
@@ -266,6 +278,7 @@ class ThreadsLibrary:
             return NO_SLEEP
         thread.state = ThreadState.SLEEPING
         thread.wait_queue = queue
+        thread.sleep_since_ns = self.engine.now_ns
         queue.append(thread)
         value = yield from self._switch_away(ctx.lwp, thread)
         return value
@@ -310,6 +323,7 @@ class ThreadsLibrary:
             else:
                 yield SwitchTo(self.idle_activity(lwp))
         thread.wait_queue = None
+        thread.sleep_since_ns = None
         value = thread.wake_value
         thread.wake_value = None
         yield from self.at_resume_point()
@@ -399,20 +413,42 @@ class ThreadsLibrary:
     def new_pool_lwp_activity(self) -> Activity:
         return Activity(self.idle_boot(), name="pool-idle-boot")
 
+    def note_lwp_retry(self, attempt: int) -> None:
+        """Backoff hook: count a retried lwp_create (any site)."""
+        self.lwp_create_retries += 1
+
     # ================================================== SIGWAITING growth
+
+    #: Retry budget inside the SIGWAITING handler.  Small: the handler
+    #: must not camp on the signal frame; on exhaustion it re-arms and
+    #: lets the kernel post SIGWAITING again if starvation persists.
+    SIGWAITING_GROW_ATTEMPTS = 3
 
     def sigwaiting_handler(self, sig: int):
         """User handler for SIGWAITING: add an LWP if threads are starving.
 
         "The threads package can use the receipt of SIGWAITING to cause
         extra LWPs to be created as required to avoid deadlock."
+
+        Under EAGAIN (LWP rlimit, injected fault) the handler retries
+        with a short backoff, then *re-arms* — clearing
+        ``sigwaiting_posted`` so the kernel may post SIGWAITING again —
+        instead of letting the error crash the process.
         """
         if len(self.runq) == 0 or self.parked:
             return
         if len(self.pool_lwps) >= MAX_AUTO_LWPS:
             return
+        try:
+            lwp_id = yield from lwp_create_backoff(
+                self.new_pool_lwp_activity(),
+                attempts=self.SIGWAITING_GROW_ATTEMPTS,
+                on_retry=self.note_lwp_retry)
+        except LwpExhausted:
+            self.sigwaiting_failures += 1
+            self.process.sigwaiting_posted = False
+            return
         self.lwps_grown_by_sigwaiting += 1
-        lwp_id = yield Syscall("lwp_create", self.new_pool_lwp_activity())
         self.register_pool_lwp(self.process.lwps[lwp_id])
 
     # ================================================== signal routing
@@ -491,4 +527,8 @@ class ThreadsLibrary:
             "user_switches": self.user_switches,
             "unparks": self.unparks_requested,
             "stack_cache": self.stack_alloc.cached_count,
+            "lwp_create_retries": self.lwp_create_retries,
+            "bound_fallbacks": self.bound_fallbacks,
+            "pool_grow_failures": self.pool_grow_failures,
+            "sigwaiting_failures": self.sigwaiting_failures,
         }

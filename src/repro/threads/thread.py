@@ -70,6 +70,8 @@ class Thread:
         self.stop_pending = False
         #: Sync-variable wait bookkeeping (which queue we are on).
         self.wait_queue: Optional[list] = None
+        #: Virtual time the current sleep began (hang diagnostics).
+        self.sleep_since_ns: Optional[int] = None
         #: Value handed over by the waker (e.g. a semaphore handoff token).
         #: Kept off the activity's resume slot because a *bound* thread
         #: sleeps inside an lwp_park system call whose return value owns

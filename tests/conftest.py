@@ -15,14 +15,16 @@ from repro.api import Simulator
 def run_program(main, *args, ncpus: int = 1, seed: int = 0, costs=None,
                 trace: bool = False, trace_categories=None,
                 until_usec=None, check_deadlock: bool = True,
-                runtime_factory=None, max_events: int = 2_000_000):
+                runtime_factory=None, max_events: int = 2_000_000,
+                faults=None):
     """Spawn ``main`` in a fresh Simulator and run to completion.
 
     Returns ``(sim, process)``.
     """
     sim = Simulator(ncpus=ncpus, seed=seed, costs=costs, trace=trace,
                     trace_categories=trace_categories,
-                    threads_runtime_factory=runtime_factory)
+                    threads_runtime_factory=runtime_factory,
+                    faults=faults)
     proc = sim.spawn(main, *args)
     sim.run(until_usec=until_usec, check_deadlock=check_deadlock,
             max_events=max_events)

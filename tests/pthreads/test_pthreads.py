@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SyncError, ThreadError
+from repro.errors import Errno, SyncError, ThreadError
 from repro import pthreads
 from repro.pthreads.api import (PTHREAD_CREATE_DETACHED,
                                 PTHREAD_SCOPE_SYSTEM, PthreadAttr,
@@ -159,9 +159,11 @@ class TestMutexCond:
         def main():
             m = PthreadMutex(PthreadMutexAttr(
                 kind=PTHREAD_MUTEX_ERRORCHECK))
-            yield from m.lock()
-            with pytest.raises(SyncError):
-                yield from m.lock()
+            assert (yield from m.lock()) == 0
+            # POSIX errorcheck: a relock by the owner reports EDEADLK
+            # instead of deadlocking or raising.
+            assert (yield from m.lock()) == Errno.EDEADLK
+            assert (yield from pthread_mutex_lock(m)) == Errno.EDEADLK
             yield from m.unlock()
 
         run_program(main)

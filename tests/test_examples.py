@@ -66,3 +66,9 @@ class TestExamples:
         out = run_example("trace_timeline")
         assert "Gantt" in out
         assert "syscall latencies" in out
+
+    def test_fault_injection(self):
+        out = run_example("fault_injection")
+        assert "events processed  : 64" in out
+        assert "replay identical  : True" in out
+        assert "deadlock cycle detected:" in out
