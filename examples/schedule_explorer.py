@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Schedule exploration: hunt a data race, replay it, shrink it.
+
+The explorer runs one program under K seeded schedules — a baseline run
+plus random-preemption and PCT-style priority perturbations at every
+instrumented yield point — with dynamic detectors (Eraser-style lockset,
+lock-order graph, lost-wakeup, exit-time invariants) watching each run.
+
+Three acts:
+
+1. Hunt the corpus ``racy_counter`` program until the lockset detector
+   flags the unprotected increments.
+2. Serialize the failing run to a repro bundle and replay it: same seed
+   + same schedule plan = bit-identical trace (digests must match).
+3. Delta-debug the preemption points down to a minimal forced schedule
+   that still triggers the same failure.
+
+Run:  python examples/schedule_explorer.py
+"""
+
+from repro.explore import (Explorer, ReproBundle, corpus,
+                           minimize_schedule)
+
+SEED = 7
+
+
+def main():
+    factory, expected = corpus.BUGGY["racy_counter"]
+
+    # Act 1: explore K=12 perturbed schedules.
+    report = Explorer(factory, program="racy_counter", runs=12,
+                      seed=SEED).explore()
+    print(report.summary())
+    failure = report.first_failure()
+    assert failure is not None, "expected the lockset detector to fire"
+    for f in failure.findings:
+        print(f"  - [{f.kind}] {f.message}")
+
+    # Act 2: bundle + bit-for-bit replay.
+    bundle = failure.bundle()
+    print("\nschedule plan:", bundle.schedule)
+    replayed = bundle.replay(factory)
+    print("replay digest match:", replayed.digest == bundle.digest)
+    assert replayed.digest == bundle.digest
+
+    # Act 3: shrink to a minimal forced schedule.
+    mres = minimize_schedule(factory, failure)
+    print(mres.summary())
+
+
+if __name__ == "__main__":
+    main()

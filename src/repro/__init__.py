@@ -29,6 +29,8 @@ from repro.errors import (DeadlockError, Errno, LwpExhausted, ReproError,
                           ThreadError)
 from repro.sim.faults import (FaultPlan, LwpCrash, PageFaultStorm,
                               SyscallFault, TimerJitter)
+from repro.sim.schedule import (ForcedPreempt, PctPriorities, RandomPick,
+                                RandomPreempt, SchedulePlan)
 
 __version__ = "1.0.0"
 
@@ -38,5 +40,7 @@ __all__ = [
     "SimulationError", "SyncError", "SyscallError", "ThreadError",
     "FaultPlan", "SyscallFault", "PageFaultStorm", "TimerJitter",
     "LwpCrash",
+    "SchedulePlan", "RandomPreempt", "RandomPick", "PctPriorities",
+    "ForcedPreempt",
     "__version__",
 ]

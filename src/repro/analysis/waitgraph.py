@@ -70,9 +70,17 @@ def _resolve_queue(queue: list, lib) -> tuple[str, str, list]:
         if isinstance(sv, CondVar) and sv.waiters is queue:
             return ("condvar", sv.name, [])
         if isinstance(sv, Semaphore) and sv.waiters is queue:
-            return ("semaphore", sv.name, [])
+            # Semaphores have no owner, but the best-effort holder list
+            # (threads that completed P without a matching V) lets the
+            # cycle finder see through semaphores used as locks.
+            return ("semaphore", sv.name, list(sv.holders))
         if isinstance(sv, RwLock):
-            holders = [sv.writer] if sv.writer is not None else []
+            if sv.writer is not None:
+                holders = [sv.writer]
+            else:
+                # Reader-held: name the readers, so a writer (or
+                # would-be upgrader) wait shows who blocks it.
+                holders = list(sv.reader_holders)
             if sv.reader_waiters is queue:
                 return ("rwlock(read)", sv.name, holders)
             if sv.writer_waiters is queue:

@@ -40,7 +40,7 @@ class Simulator:
                  trace: bool = False,
                  trace_categories: Optional[Iterable[str]] = None,
                  threads_runtime_factory=None,
-                 faults=None):
+                 faults=None, schedule=None):
         self.tracer = Tracer(enabled=trace, categories=trace_categories)
         self.machine = Machine(ncpus=ncpus, costs=costs, seed=seed,
                                tracer=self.tracer)
@@ -54,6 +54,12 @@ class Simulator:
             # A FaultPlan (repro.sim.faults): deterministic error
             # injection, page-fault storms, timer jitter, LWP crashes.
             faults.attach(self.kernel)
+        self.schedule = schedule
+        if schedule is not None:
+            # A SchedulePlan (repro.sim.schedule): deterministic
+            # preemption injection at yield points and perturbed
+            # run-queue picks.  Composes with a fault plan.
+            schedule.attach(self.machine.engine)
 
     # ------------------------------------------------------------- spawn
 

@@ -1,0 +1,37 @@
+"""Schedule-exploration torture harness.
+
+Run a program under K seeded, perturbed schedules with dynamic
+concurrency-bug detectors attached; every failing run yields a
+serializable repro bundle that replays bit-for-bit and delta-debugs
+down to a minimal forced schedule.
+
+    from repro.explore import Explorer
+
+    report = Explorer(lambda: my_main, program="mine", runs=25).explore()
+    print(report.summary())
+    failure = report.first_failure()
+    if failure:
+        failure.bundle().dump("repro.json")
+
+See ARCHITECTURE.md ("Schedule exploration") for yield-point and
+detector semantics, and ``python -m repro.explore --help`` for the CLI
+the CI stress job drives.
+"""
+
+from repro.explore.detectors import (Detector, ExitInvariantDetector,
+                                     Finding, LockOrderDetector,
+                                     LocksetDetector, LostWakeupDetector,
+                                     default_detectors)
+from repro.explore.explorer import (ExploreReport, Explorer, ReproBundle,
+                                    RunResult, default_plan_dicts,
+                                    run_one, trace_digest)
+from repro.explore.minimize import (MinimizeResult, failure_signature,
+                                    minimize_schedule)
+
+__all__ = [
+    "Detector", "Finding", "LocksetDetector", "LockOrderDetector",
+    "LostWakeupDetector", "ExitInvariantDetector", "default_detectors",
+    "Explorer", "ExploreReport", "RunResult", "ReproBundle", "run_one",
+    "trace_digest", "default_plan_dicts",
+    "MinimizeResult", "failure_signature", "minimize_schedule",
+]

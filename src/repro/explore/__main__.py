@@ -1,0 +1,183 @@
+"""CLI for the schedule-exploration harness (what the CI stress job runs).
+
+Examples::
+
+    # Hunt the seeded-bug corpus: exit 1 unless EVERY bug is found.
+    python -m repro.explore --corpus --runs 25 --out bundles/
+
+    # False-positive gate: clean corpus + seed workloads, exit 1 on ANY
+    # finding.
+    python -m repro.explore --clean --workloads --runs 25
+
+    # Replay a repro bundle produced by a failing run.
+    python -m repro.explore --replay bundles/racy_counter.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.explore import corpus
+from repro.explore.explorer import Explorer, ReproBundle
+from repro.explore.minimize import minimize_schedule
+
+
+def _workload_factories() -> dict:
+    """Seed workloads as explorer factories (small parameter sets —
+    the stress job runs each K times)."""
+    from repro.workloads import (array_compute, database, network_server,
+                                 window_system)
+    return {
+        "wl_array_compute": lambda: array_compute.build()[0],
+        "wl_database": lambda: database.build()[0],
+        "wl_network_server": lambda: network_server.build()[0],
+        "wl_window_system": lambda: window_system.build()[0],
+    }
+
+
+def _example_factories() -> dict:
+    """Clean example programs (repo's examples/ dir, when present)."""
+    import importlib
+    if not os.path.isdir("examples"):
+        return {}
+    sys.path.insert(0, "examples")
+    try:
+        dp = importlib.import_module("dining_philosophers")
+    except ImportError:
+        return {}
+    # The tryenter (never hold-and-wait) variant: must stay clean — its
+    # reverse-order tryenter backs off, which the lock-order detector
+    # must not count as a cycle edge.
+    return {"ex_dining_philosophers": lambda: dp.build(naive=False)[0]}
+
+
+def _explore(name: str, factory, args) -> "ExploreReport":
+    explorer = Explorer(factory, program=name, runs=args.runs,
+                        seed=args.seed, ncpus=args.ncpus,
+                        max_events=args.max_events)
+    return explorer.explore()
+
+
+def _dump_bundle(result, out_dir: str) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir,
+                        f"{result.program}-run{result.run_index}.json")
+    result.bundle().dump(path)
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="schedule-exploration torture harness")
+    parser.add_argument("--corpus", action="store_true",
+                        help="hunt the seeded-bug corpus (fail unless "
+                             "every expected bug is found)")
+    parser.add_argument("--clean", action="store_true",
+                        help="run the clean corpus (fail on any finding)")
+    parser.add_argument("--workloads", action="store_true",
+                        help="include the seed workloads in the clean "
+                             "gate")
+    parser.add_argument("--examples", action="store_true",
+                        help="include example programs in the clean gate "
+                             "(needs the repo's examples/ dir as cwd)")
+    parser.add_argument("--programs", nargs="*", default=None,
+                        help="restrict to these program names")
+    parser.add_argument("--runs", "-k", type=int, default=25,
+                        help="schedules per program (default 25)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ncpus", type=int, default=2)
+    parser.add_argument("--max-events", type=int, default=400_000)
+    parser.add_argument("--out", default=None,
+                        help="directory for failing-run repro bundles")
+    parser.add_argument("--minimize", action="store_true",
+                        help="delta-debug each first failure to a "
+                             "minimal forced schedule")
+    parser.add_argument("--replay", metavar="BUNDLE",
+                        help="replay a saved repro bundle against its "
+                             "corpus program")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        return _replay(args)
+    if not (args.corpus or args.clean or args.workloads or args.examples):
+        parser.error("pick at least one of --corpus / --clean / "
+                     "--workloads / --examples (or --replay)")
+
+    failures = 0
+
+    if args.corpus:
+        for name, (factory, expected) in corpus.BUGGY.items():
+            if args.programs and name not in args.programs:
+                continue
+            report = _explore(name, factory, args)
+            found = report.finding_kinds & expected
+            print(report.summary())
+            first = report.first_failure()
+            if not found:
+                failures += 1
+                print(f"  MISSED: expected one of {sorted(expected)}, "
+                      f"saw {sorted(report.finding_kinds) or 'nothing'}")
+            elif first is not None:
+                if args.out:
+                    path = _dump_bundle(first, args.out)
+                    print(f"  bundle: {path}")
+                if args.minimize and first.fired:
+                    mres = minimize_schedule(
+                        factory, first, ncpus=args.ncpus,
+                        max_events=args.max_events)
+                    print("  " + mres.summary())
+
+    if args.clean or args.workloads or args.examples:
+        gate = {}
+        if args.clean:
+            gate.update(corpus.CLEAN)
+        if args.workloads:
+            gate.update(_workload_factories())
+        if args.examples:
+            gate.update(_example_factories())
+        for name, factory in gate.items():
+            if args.programs and name not in args.programs:
+                continue
+            report = _explore(name, factory, args)
+            print(report.summary())
+            if report.failures:
+                failures += 1
+                if args.out:
+                    for res in report.failures:
+                        print(f"  bundle: {_dump_bundle(res, args.out)}")
+
+    if failures:
+        print(f"\n{failures} program(s) FAILED the gate")
+        return 1
+    print("\nall gates passed")
+    return 0
+
+
+def _replay(args) -> int:
+    bundle = ReproBundle.load(args.replay)
+    entry = corpus.BUGGY.get(bundle.program)
+    factory = entry[0] if entry else corpus.CLEAN.get(bundle.program)
+    if factory is None:
+        print(f"unknown program {bundle.program!r}; replay only knows "
+              "the built-in corpus", file=sys.stderr)
+        return 2
+    result = bundle.replay(factory, ncpus=args.ncpus,
+                           max_events=args.max_events)
+    print(result.summary())
+    for f in result.findings:
+        print(f"  - [{f.kind}] {f.message}")
+    if bundle.digest and result.digest != bundle.digest:
+        print("trace digest MISMATCH: replay diverged from the "
+              "recorded run", file=sys.stderr)
+        return 1
+    if not result.failed:
+        print("replay did not reproduce the failure", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

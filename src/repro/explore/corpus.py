@@ -1,0 +1,295 @@
+"""Seeded-bug corpus: programs the torture harness must catch (and
+clean twins it must not flag).
+
+Each entry is a zero-argument *factory* returning a fresh ``main``
+generator function (the shape :func:`repro.explore.explorer.run_one`
+wants).  ``BUGGY`` maps program name → (factory, expected finding
+kinds); the explorer must surface at least one expected kind (or a
+hang, where noted) within its run budget.  ``CLEAN`` programs must
+produce zero findings under every schedule — they are the
+false-positive gate for the detector suite.
+
+The four seeded bug classes match the acceptance list:
+
+* ``racy_counter`` — unlocked read-modify-write of a shared cell
+  (lockset data race; under an adversarial schedule the increments
+  actually get lost, too);
+* ``ab_ba_locks`` — two threads locking two mutexes in opposite orders
+  (lock-order cycle; rarely an actual deadlock);
+* ``lost_wakeup`` — ``if`` instead of ``while`` around a wait, and a
+  signal sent without the predicate mutex (wasted-signal lost wakeup);
+* ``sema_underflow`` — a double ``sema_v`` on one code path pushes a
+  resource pool above its initial count;
+* ``exit_holding_lock`` — a thread returns without releasing its mutex.
+"""
+
+from __future__ import annotations
+
+from repro import threads
+from repro.runtime import libc, mapped
+from repro.sync import CondVar, Mutex, Semaphore
+
+
+# =====================================================================
+# Buggy programs
+# =====================================================================
+
+def racy_counter():
+    """Three threads increment a shared mapped cell with no lock."""
+    def main():
+        region = yield from mapped.map_anon_shared(4096)
+        yield from region.cell_store(0, 0)
+
+        def worker(_i):
+            for _ in range(6):
+                value = yield from region.cell_load(0)   # racy read
+                yield from libc.compute(5)
+                yield from region.cell_store(0, value + 1)
+
+        tids = []
+        for i in range(3):
+            tid = yield from threads.thread_create(
+                worker, i, flags=threads.THREAD_WAIT)
+            tids.append(tid)
+        for tid in tids:
+            yield from threads.thread_wait(tid)
+    return main
+
+
+def ab_ba_locks():
+    """Opposite lock orders: A→B in one thread, B→A in the other."""
+    def main():
+        a = Mutex(name="lockA")
+        b = Mutex(name="lockB")
+
+        def forward(_):
+            for _ in range(4):
+                yield from a.enter()
+                yield from libc.compute(10)         # the fatal window
+                yield from b.enter()
+                yield from libc.compute(10)
+                yield from b.exit()
+                yield from a.exit()
+
+        def backward(_):
+            for _ in range(4):
+                yield from b.enter()
+                yield from libc.compute(10)
+                yield from a.enter()
+                yield from libc.compute(10)
+                yield from a.exit()
+                yield from b.exit()
+
+        t1 = yield from threads.thread_create(
+            forward, 0, flags=threads.THREAD_WAIT)
+        t2 = yield from threads.thread_create(
+            backward, 0, flags=threads.THREAD_WAIT)
+        yield from threads.thread_wait(t1)
+        yield from threads.thread_wait(t2)
+    return main
+
+
+def lost_wakeup():
+    """``if`` instead of ``while``, and a signal without the mutex.
+
+    The poker sets the predicate and signals *without holding the
+    mutex*; when the waiter is preempted between its predicate check
+    and its sleep, the signal wakes nobody.  The timed wait bounds
+    every run (the classic "we added a timeout to paper over a lost
+    wakeup" band-aid), so the bug shows up as a wasted-signal finding
+    rather than a hang.
+    """
+    def main():
+        m = Mutex(name="lw-mutex")
+        cv = CondVar(name="lw-cv")
+        state = {"ready": 0}
+        ROUNDS = 6
+
+        def waiter(_):
+            for r in range(ROUNDS):
+                yield from m.enter()
+                if state["ready"] <= r:                  # BUG: if, not while
+                    yield from cv.timedwait(m, 2000.0)
+                yield from m.exit()
+                yield from libc.compute(5)
+
+        def poker(_):
+            for r in range(ROUNDS):
+                yield from libc.compute(15)
+                state["ready"] = r + 1                   # BUG: no m held
+                yield from cv.signal()
+
+        t1 = yield from threads.thread_create(
+            waiter, 0, flags=threads.THREAD_WAIT)
+        t2 = yield from threads.thread_create(
+            poker, 0, flags=threads.THREAD_WAIT)
+        yield from threads.thread_wait(t1)
+        yield from threads.thread_wait(t2)
+    return main
+
+
+def sema_underflow():
+    """A pool semaphore released twice on one path."""
+    def main():
+        pool = Semaphore(2, name="pool")
+
+        def worker(i):
+            yield from pool.p()
+            yield from libc.compute(30)
+            yield from pool.v()
+            if i == 1:
+                yield from pool.v()                      # BUG: double V
+
+        tids = []
+        for i in range(2):
+            tid = yield from threads.thread_create(
+                worker, i, flags=threads.THREAD_WAIT)
+            tids.append(tid)
+        for tid in tids:
+            yield from threads.thread_wait(tid)
+    return main
+
+
+def exit_holding_lock():
+    """A thread returns while still holding its mutex."""
+    def main():
+        m = Mutex(name="orphaned")
+
+        def worker(_):
+            yield from m.enter()
+            yield from libc.compute(20)
+            return                                       # BUG: no m.exit()
+
+        tid = yield from threads.thread_create(
+            worker, 0, flags=threads.THREAD_WAIT)
+        yield from threads.thread_wait(tid)
+    return main
+
+
+# =====================================================================
+# Clean twins — must stay finding-free under every schedule
+# =====================================================================
+
+def clean_counter():
+    """racy_counter with the increments under a mutex."""
+    def main():
+        region = yield from mapped.map_anon_shared(4096)
+        yield from region.cell_store(0, 0)
+        m = Mutex(name="counter-lock")
+
+        def worker(_i):
+            for _ in range(6):
+                yield from m.enter()
+                value = yield from region.cell_load(0)
+                yield from libc.compute(5)
+                yield from region.cell_store(0, value + 1)
+                yield from m.exit()
+
+        tids = []
+        for i in range(3):
+            tid = yield from threads.thread_create(
+                worker, i, flags=threads.THREAD_WAIT)
+            tids.append(tid)
+        for tid in tids:
+            yield from threads.thread_wait(tid)
+        total = yield from region.cell_load(0)   # post-join: not a race
+        assert total == 18, total
+    return main
+
+
+def clean_ordered_locks():
+    """Both threads honor the A-before-B hierarchy; the second also
+    shows the paper-sanctioned tryenter escape for the reverse path."""
+    def main():
+        a = Mutex(name="ordA")
+        b = Mutex(name="ordB")
+
+        def hierarchical(_):
+            for _ in range(4):
+                yield from a.enter()
+                yield from b.enter()
+                yield from libc.compute(10)
+                yield from b.exit()
+                yield from a.exit()
+
+        def try_reverse(_):
+            for _ in range(4):
+                yield from b.enter()
+                got = yield from a.tryenter()    # no edge: backs off
+                if got:
+                    yield from libc.compute(10)
+                    yield from a.exit()
+                yield from b.exit()
+                yield from threads.thread_yield()
+
+        t1 = yield from threads.thread_create(
+            hierarchical, 0, flags=threads.THREAD_WAIT)
+        t2 = yield from threads.thread_create(
+            try_reverse, 0, flags=threads.THREAD_WAIT)
+        yield from threads.thread_wait(t1)
+        yield from threads.thread_wait(t2)
+    return main
+
+
+def clean_queue():
+    """Producer/consumer with the paper's canonical while-loop waits,
+    signals under the mutex, and a notify semaphore (initial 0) whose
+    V-before-P ping-pong must not trip the underflow invariant."""
+    def main():
+        m = Mutex(name="q-lock")
+        not_empty = CondVar(name="q-not-empty")
+        not_full = CondVar(name="q-not-full")
+        done = Semaphore(0, name="q-done")        # pure notification
+        queue: list = []
+        DEPTH, ITEMS = 2, 8
+
+        def producer(_):
+            for i in range(ITEMS):
+                yield from m.enter()
+                while len(queue) >= DEPTH:
+                    yield from not_full.wait(m)
+                queue.append(i)
+                yield from not_empty.signal()     # under the mutex
+                yield from m.exit()
+            yield from done.v()                   # V before the main P
+
+        def consumer(_):
+            got = 0
+            while got < ITEMS:
+                yield from m.enter()
+                while not queue:
+                    yield from not_empty.wait(m)
+                queue.pop(0)
+                got += 1
+                yield from not_full.signal()
+                yield from m.exit()
+                yield from libc.compute(5)
+
+        t1 = yield from threads.thread_create(
+            producer, 0, flags=threads.THREAD_WAIT)
+        t2 = yield from threads.thread_create(
+            consumer, 0, flags=threads.THREAD_WAIT)
+        yield from done.p()
+        yield from threads.thread_wait(t1)
+        yield from threads.thread_wait(t2)
+        assert not queue
+    return main
+
+
+#: name -> (factory, expected finding kinds).  "hang" marks programs
+#: that may legitimately wedge instead of (or in addition to) producing
+#: a detector finding.
+BUGGY = {
+    "racy_counter": (racy_counter, {"data-race"}),
+    "ab_ba_locks": (ab_ba_locks, {"lock-order", "hang"}),
+    "lost_wakeup": (lost_wakeup, {"lost-wakeup"}),
+    "sema_underflow": (sema_underflow, {"sema-underflow"}),
+    "exit_holding_lock": (exit_holding_lock, {"exit-holding-lock"}),
+}
+
+#: name -> factory; must produce zero findings under every schedule.
+CLEAN = {
+    "clean_counter": clean_counter,
+    "clean_ordered_locks": clean_ordered_locks,
+    "clean_queue": clean_queue,
+}

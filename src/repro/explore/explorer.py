@@ -1,0 +1,314 @@
+"""Schedule exploration: run a program under K perturbed schedules.
+
+One :func:`run_one` call = one hermetic simulation: fresh machine, a
+:class:`~repro.sim.schedule.SchedulePlan` (and optionally a
+:class:`~repro.sim.faults.FaultPlan`) attached, the full detector suite
+installed (:func:`repro.explore.detectors.default_detectors`), and the
+outcome — detector findings, a hang, or a clean pass — folded into a
+:class:`RunResult` carrying everything needed to reproduce it.
+
+The :class:`Explorer` drives K such runs over one program: run 0 is
+always the unperturbed baseline (the program under the stock scheduler —
+lockset findings here mean the bug manifests without help), then a
+rotation of random-walk preemption at different probabilities and
+operation filters, perturbed run-queue picks, and PCT-style priority
+schedules, each under its own derived seed.  Any run with findings or a
+hang yields a :class:`ReproBundle`: ``(seed, schedule dict, fault
+dict)`` — a pure value that replays the failure bit-for-bit on any
+machine (see :meth:`ReproBundle.replay`), and the input to
+:mod:`repro.explore.minimize`.
+
+Determinism contract: same program factory + same bundle → identical
+trace digest and identical findings, every time.  The property test in
+``tests/explore`` enforces this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Optional
+
+from repro.api import Simulator
+from repro.errors import DeadlockError, SimulationError
+from repro.explore.detectors import default_detectors
+from repro.sim.faults import FaultPlan
+from repro.sim.schedule import (PctPriorities, RandomPick, RandomPreempt,
+                                SchedulePlan)
+
+#: Default per-run event budget.  Generous for every program in the
+#: corpus and the seed workloads; exhaustion is reported as a livelock.
+DEFAULT_MAX_EVENTS = 400_000
+
+
+class RunResult:
+    """Outcome of one simulated run of one program."""
+
+    def __init__(self, program: str, run_index: int, seed: int,
+                 schedule_dict: dict, faults_dict: Optional[dict]):
+        self.program = program
+        self.run_index = run_index
+        self.seed = seed
+        self.schedule_dict = schedule_dict
+        self.faults_dict = faults_dict
+        self.findings: list = []
+        self.hang: Optional[str] = None      # hang / livelock diagnosis
+        self.error: Optional[str] = None     # program raised
+        self.digest: Optional[str] = None    # trace digest (replay check)
+        self.events = 0
+        self.points_seen = 0
+        self.preemptions = 0
+        self.fired: list[int] = []
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.findings) or self.hang is not None \
+            or self.error is not None
+
+    def bundle(self) -> "ReproBundle":
+        return ReproBundle(program=self.program, seed=self.seed,
+                           schedule=self.schedule_dict,
+                           faults=self.faults_dict,
+                           findings=[f.to_dict() for f in self.findings],
+                           hang=self.hang, error=self.error,
+                           digest=self.digest)
+
+    def summary(self) -> str:
+        if self.hang is not None:
+            what = "HANG"
+        elif self.error is not None:
+            what = f"ERROR ({self.error.splitlines()[0]})"
+        elif self.findings:
+            kinds = ", ".join(sorted({f.kind for f in self.findings}))
+            what = f"FINDINGS ({kinds})"
+        else:
+            what = "clean"
+        return (f"run {self.run_index} seed={self.seed} "
+                f"points={self.points_seen} preempts={self.preemptions}: "
+                f"{what}")
+
+
+class ReproBundle:
+    """Everything needed to replay one failing run, as a pure value.
+
+    ``(seed, schedule, faults)`` fully determine the interleaving;
+    ``findings``/``hang``/``digest`` record what the original run saw so
+    a replay can assert it reproduced.  Serializes to JSON for CI
+    artifacts.
+    """
+
+    def __init__(self, program: str, seed: int, schedule: dict,
+                 faults: Optional[dict] = None, findings=(),
+                 hang: Optional[str] = None, error: Optional[str] = None,
+                 digest: Optional[str] = None):
+        self.program = program
+        self.seed = seed
+        self.schedule = schedule
+        self.faults = faults
+        self.findings = list(findings)
+        self.hang = hang
+        self.error = error
+        self.digest = digest
+
+    def to_dict(self) -> dict:
+        return {"program": self.program, "seed": self.seed,
+                "schedule": self.schedule, "faults": self.faults,
+                "findings": self.findings, "hang": self.hang,
+                "error": self.error, "digest": self.digest}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReproBundle":
+        return cls(program=data["program"], seed=data["seed"],
+                   schedule=data.get("schedule") or {"rules": []},
+                   faults=data.get("faults"),
+                   findings=data.get("findings", ()),
+                   hang=data.get("hang"), error=data.get("error"),
+                   digest=data.get("digest"))
+
+    def dump(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path) -> "ReproBundle":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def replay(self, factory, **run_kwargs) -> RunResult:
+        """Re-run ``factory``'s program under this bundle's exact
+        schedule+faults+seed; returns the fresh :class:`RunResult`."""
+        return run_one(factory, program=self.program, seed=self.seed,
+                       schedule_dict=self.schedule,
+                       faults_dict=self.faults, **run_kwargs)
+
+
+def trace_digest(tracer) -> str:
+    """Stable digest of a run's trace: (time, category, event, subject)
+    per record — ``detail`` is skipped because it may hold object reprs
+    whose addresses vary between interpreter runs."""
+    h = hashlib.sha256()
+    for rec in tracer.records:
+        h.update(f"{rec.time_ns}|{rec.category}|{rec.event}|"
+                 f"{rec.subject}\n".encode())
+    return h.hexdigest()
+
+
+def run_one(factory: Callable, *, program: str = "program",
+            run_index: int = 0, seed: int = 0, ncpus: int = 2,
+            schedule_dict: Optional[dict] = None,
+            faults_dict: Optional[dict] = None,
+            max_events: int = DEFAULT_MAX_EVENTS,
+            with_digest: bool = True) -> RunResult:
+    """One hermetic run: fresh simulator, plan attached, detectors on.
+
+    ``factory`` is a zero-argument callable returning the program's main
+    generator function (a fresh one per call — program state must not
+    leak between runs).  Plans are passed as dicts (the serialized form)
+    because a SchedulePlan/FaultPlan instance attaches exactly once.
+    """
+    schedule_dict = schedule_dict or {"rules": []}
+    plan = SchedulePlan.from_dict(schedule_dict)
+    faults = (FaultPlan.from_dict(faults_dict)
+              if faults_dict else None)
+    result = RunResult(program, run_index, seed, schedule_dict,
+                       faults_dict)
+
+    sim = Simulator(ncpus=ncpus, seed=seed, trace=with_digest,
+                    faults=faults, schedule=plan)
+    detectors = default_detectors(sim)
+    main = factory()
+    sim.spawn(main, name=program)
+    try:
+        result.events = sim.run(max_events=max_events)
+    except DeadlockError as err:
+        result.hang = str(err)
+    except SimulationError as err:
+        # max_events exhausted: runaway — report as a livelock, with
+        # whatever the wait graph can still say.
+        diag = sim.engine.diagnose_hang()
+        result.hang = f"{err}\n{diag}" if diag else str(err)
+    except Exception as err:  # program bug surfaced as an exception
+        result.error = f"{type(err).__name__}: {err}"
+    for det in detectors:
+        det.finalize(sim)
+        result.findings.extend(det.findings)
+    result.points_seen = plan.points_seen
+    result.preemptions = plan.preemptions
+    result.fired = list(plan.fired)
+    if with_digest:
+        result.digest = trace_digest(sim.tracer)
+    return result
+
+
+def default_plan_dicts(runs: int) -> list[dict]:
+    """The schedule rotation for K runs.  Index 0 is the unperturbed
+    baseline; the rest cycle through random-walk preemption at rising
+    aggressiveness (whole-program and sync-op-focused), perturbed picks,
+    and PCT schedules.  Pure data — the per-run seed supplies all the
+    randomness."""
+    rotation = [
+        {"rules": [RandomPreempt(probability=0.05).to_dict()]},
+        {"rules": [RandomPreempt(probability=0.15).to_dict(),
+                   RandomPick(probability=0.3).to_dict()]},
+        {"rules": [RandomPreempt(probability=0.3,
+                                 ops=["acquire", "release",
+                                      "cell-*"]).to_dict()]},
+        {"rules": [PctPriorities(change_every=7).to_dict(),
+                   RandomPreempt(probability=0.1).to_dict()]},
+        {"rules": [RandomPreempt(probability=0.5,
+                                 ops=["cell-*", "sema-*",
+                                      "cv-*"]).to_dict()]},
+        {"rules": [RandomPick(probability=0.8).to_dict(),
+                   RandomPreempt(probability=0.2).to_dict()]},
+    ]
+    plans = [{"rules": []}]  # baseline first
+    while len(plans) < runs:
+        plans.append(rotation[(len(plans) - 1) % len(rotation)])
+    return plans[:runs]
+
+
+class ExploreReport:
+    """Aggregate of one Explorer campaign over one program."""
+
+    def __init__(self, program: str):
+        self.program = program
+        self.results: list[RunResult] = []
+
+    @property
+    def failures(self) -> list[RunResult]:
+        return [r for r in self.results if r.failed]
+
+    @property
+    def finding_kinds(self) -> set:
+        kinds = {f.kind for r in self.results for f in r.findings}
+        if any(r.hang is not None for r in self.results):
+            kinds.add("hang")
+        if any(r.error is not None for r in self.results):
+            kinds.add("error")
+        return kinds
+
+    def first_failure(self) -> Optional[RunResult]:
+        for r in self.results:
+            if r.failed:
+                return r
+        return None
+
+    def summary(self) -> str:
+        lines = [f"=== {self.program}: {len(self.results)} run(s), "
+                 f"{len(self.failures)} failing ==="]
+        for r in self.results:
+            if r.failed:
+                lines.append("  " + r.summary())
+                for f in r.findings:
+                    lines.append(f"    - [{f.kind}] {f.message}")
+        if not self.failures:
+            lines.append("  all runs clean")
+        return "\n".join(lines)
+
+
+class Explorer:
+    """Run one program under K perturbed schedules and collect failures.
+
+    ::
+
+        from repro.explore import Explorer
+        report = Explorer(lambda: my_main, program="mine",
+                          runs=25, seed=42).explore()
+        for result in report.failures:
+            result.bundle().dump(f"bundle-{result.run_index}.json")
+
+    ``stop_on_first`` ends the campaign at the first failing run (the
+    CI stress job wants the full sweep; interactive debugging usually
+    wants the first repro).  ``faults_dict`` applies one fault plan to
+    every run, composing fault × schedule stress.
+    """
+
+    def __init__(self, factory: Callable, *, program: str = "program",
+                 runs: int = 25, seed: int = 0, ncpus: int = 2,
+                 faults_dict: Optional[dict] = None,
+                 plan_dicts: Optional[list] = None,
+                 max_events: int = DEFAULT_MAX_EVENTS,
+                 stop_on_first: bool = False):
+        self.factory = factory
+        self.program = program
+        self.runs = runs
+        self.seed = seed
+        self.ncpus = ncpus
+        self.faults_dict = faults_dict
+        self.plan_dicts = plan_dicts
+        self.max_events = max_events
+        self.stop_on_first = stop_on_first
+
+    def explore(self) -> ExploreReport:
+        report = ExploreReport(self.program)
+        plans = self.plan_dicts or default_plan_dicts(self.runs)
+        for k in range(min(self.runs, len(plans))):
+            result = run_one(
+                self.factory, program=self.program, run_index=k,
+                seed=self.seed + k, ncpus=self.ncpus,
+                schedule_dict=plans[k], faults_dict=self.faults_dict,
+                max_events=self.max_events)
+            report.results.append(result)
+            if result.failed and self.stop_on_first:
+                break
+        return report

@@ -1,0 +1,142 @@
+"""Delta-debugging schedules: shrink a failing run to minimal preemptions.
+
+A failing exploration run records the global yield-point indices where a
+preemption actually fired (``SchedulePlan.fired``).  Replacing the
+random preemption rules with :class:`~repro.sim.schedule.ForcedPreempt`
+over exactly those indices replays the same interleaving — and because
+every rule draws from its own named seeded stream, swapping the
+preemption rule out does not disturb the pick/PCT rules kept from the
+original plan.  From there, classic ddmin (Zeller & Hildebrandt) shrinks
+the point set: repeatedly try dropping chunks of points, keep any subset
+that still reproduces the failure, until the set is 1-minimal (removing
+any single remaining point makes the failure vanish).
+
+"Reproduces" means the candidate run's failure signature — the set of
+``(kind, subject)`` finding keys, plus hang/error markers — overlaps the
+original's.  A bug that reproduces with an *empty* forced set is
+schedule-independent (the lockset detector frequently proves races
+without any perturbation); minimization reports that immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.explore.explorer import ReproBundle, RunResult, run_one
+
+#: Rule kinds that inject preemptions (replaced by ForcedPreempt during
+#: minimization); other kinds (pick/pct) are preserved verbatim.
+_PREEMPT_KINDS = ("random", "forced")
+
+
+def failure_signature(result: RunResult) -> frozenset:
+    """What failed: finding keys plus hang/error markers."""
+    sig = {("finding", f.kind, f.subject) for f in result.findings}
+    if result.hang is not None:
+        sig.add(("hang",))
+    if result.error is not None:
+        sig.add(("error",))
+    return frozenset(sig)
+
+
+class MinimizeResult:
+    """Outcome of one minimization.
+
+    ``reproduced`` is False when even the full forced replay missed the
+    original signature (then ``points`` is the untouched fired list and
+    the bundle keeps the original random plan — still a valid repro,
+    just not a shrunk one).
+    """
+
+    def __init__(self, result: RunResult, points: list[int],
+                 reproduced: bool, tests_run: int,
+                 minimal: Optional[RunResult]):
+        self.original = result
+        self.points = points
+        self.reproduced = reproduced
+        self.tests_run = tests_run
+        self.minimal_result = minimal
+
+    def bundle(self) -> ReproBundle:
+        if self.minimal_result is not None:
+            return self.minimal_result.bundle()
+        return self.original.bundle()
+
+    def summary(self) -> str:
+        if not self.reproduced:
+            return (f"forced replay missed the original failure after "
+                    f"{self.tests_run} test(s); keeping the random plan")
+        return (f"minimized {len(self.original.fired)} preemption "
+                f"point(s) -> {len(self.points)} in "
+                f"{self.tests_run} test run(s): {sorted(self.points)}")
+
+
+def _forced_plan(result: RunResult, points: list[int]) -> dict:
+    """The original plan with preemption rules replaced by a forced set."""
+    kept = [r for r in result.schedule_dict.get("rules", ())
+            if r.get("kind") not in _PREEMPT_KINDS]
+    return {"rules": kept + [{"kind": "forced",
+                              "points": sorted(points)}]}
+
+
+def minimize_schedule(factory: Callable, result: RunResult, *,
+                      max_tests: int = 200,
+                      **run_kwargs) -> MinimizeResult:
+    """ddmin the failing ``result``'s fired preemption points.
+
+    ``factory``/``run_kwargs`` must match the original run (same
+    program, ncpus, fault plan...) — :meth:`ReproBundle.replay` passes
+    them the same way.  ``max_tests`` bounds the replay budget; on
+    exhaustion the best subset found so far is returned.
+    """
+    target = failure_signature(result)
+    tests = {"n": 0}
+    best: dict = {"points": list(result.fired), "result": None}
+
+    def attempt(points: list[int]) -> Optional[RunResult]:
+        tests["n"] += 1
+        run = run_one(factory, program=result.program,
+                      seed=result.seed,
+                      schedule_dict=_forced_plan(result, points),
+                      faults_dict=result.faults_dict, **run_kwargs)
+        if failure_signature(run) & target:
+            return run
+        return None
+
+    full = attempt(list(result.fired))
+    if full is None:
+        return MinimizeResult(result, list(result.fired),
+                              reproduced=False, tests_run=tests["n"],
+                              minimal=None)
+    best["points"], best["result"] = list(result.fired), full
+
+    empty = attempt([])
+    if empty is not None:
+        # Schedule-independent failure: no preemption needed at all.
+        return MinimizeResult(result, [], reproduced=True,
+                              tests_run=tests["n"], minimal=empty)
+
+    points = list(result.fired)
+    n = 2
+    while len(points) >= 2 and tests["n"] < max_tests:
+        chunk = max(1, len(points) // n)
+        shrunk = False
+        for start in range(0, len(points), chunk):
+            if tests["n"] >= max_tests:
+                break
+            complement = points[:start] + points[start + chunk:]
+            if not complement:
+                continue
+            run = attempt(complement)
+            if run is not None:
+                points = complement
+                best["points"], best["result"] = complement, run
+                n = max(2, n - 1)
+                shrunk = True
+                break
+        if not shrunk:
+            if chunk <= 1:
+                break  # 1-minimal
+            n = min(len(points), n * 2)
+    return MinimizeResult(result, best["points"], reproduced=True,
+                          tests_run=tests["n"], minimal=best["result"])

@@ -55,6 +55,16 @@ class MemoryObject:
         self.resident: set[int] = (
             set(range(page_count(nbytes))) if resident else set()
         )
+        # Offsets holding synchronization-variable state (registered by
+        # repro.sync when a primitive is laid over a cell).  Dynamic
+        # detectors skip these: sync protocol words are accessed racily
+        # by design (futex-style), unlike program data.
+        self.sync_offsets: set[int] = set()
+        # Owning PhysicalMemory pool, when allocated through one.  The
+        # pool may carry an access observer (schedule-exploration
+        # instrumentation); hand-built objects have no pool and thus no
+        # observation overhead.
+        self.pool = None
 
     # ------------------------------------------------------------- cells
 
@@ -66,11 +76,17 @@ class MemoryObject:
         zero is usable immediately with default semantics.
         """
         self._check(offset)
+        pool = self.pool
+        if pool is not None and pool.observer is not None:
+            pool.observer(self, offset, False)
         return self.cells.get(offset, 0)
 
     def store_cell(self, offset: int, value: Any) -> None:
         """Write the word cell at ``offset``."""
         self._check(offset)
+        pool = self.pool
+        if pool is not None and pool.observer is not None:
+            pool.observer(self, offset, True)
         self.cells[offset] = value
 
     # -------------------------------------------------------------- bytes
@@ -126,11 +142,22 @@ class PhysicalMemory:
         self.total_bytes = total_bytes
         self.allocated_bytes = 0
         self.objects: list[MemoryObject] = []
+        # Anonymous objects are named per pool, not per Python process,
+        # so two simulators built back to back name their objects
+        # identically — replay bundles depend on stable names.
+        self._anon_counter = 0
+        # Cell-access observer: callable (mobj, offset, is_write) or
+        # None.  Installed by repro.explore detectors; pure observation.
+        self.observer = None
 
     def allocate(self, nbytes: int, name: str = "",
                  resident: bool = False) -> MemoryObject:
         """Create a new memory object, accounting for its size."""
+        if not name:
+            self._anon_counter += 1
+            name = f"anon#{self._anon_counter}"
         obj = MemoryObject(nbytes, name=name, resident=resident)
+        obj.pool = self
         self.allocated_bytes += nbytes
         self.objects.append(obj)
         return obj

@@ -140,6 +140,8 @@ class Kernel:
         lwp.priority = priority
         lwp.kernel = self
         process.add_lwp(lwp)
+        # Growing the pool is exactly the progress SIGWAITING asks for.
+        process.sigwaiting_streak = 0
         self.tracer.emit(self.engine.now_ns, "lwp", "create", lwp.name)
         if runnable:
             self.dispatcher.make_runnable(lwp)
@@ -235,6 +237,12 @@ class Kernel:
     #: could possibly react just perturbs every blocking operation.
     SIGWAITING_THROTTLE_NS = 20_000_000  # 20 ms
 
+    #: Consecutive SIGWAITINGs that produced neither an LWP (the library
+    #: declined to grow) nor a real wakeup before the kernel concludes the
+    #: process is wedged on something no amount of LWPs will fix and stops
+    #: posting.  A genuine wakeup or lwp_create resets the count.
+    SIGWAITING_STREAK_LIMIT = 8
+
     def _maybe_sigwaiting(self, proc: Process) -> None:
         """Post SIGWAITING when every LWP waits on an indefinite event."""
         if proc.sigwaiting_posted or proc.dying:
@@ -244,11 +252,34 @@ class Kernel:
         action = proc.signals.action(Sig.SIGWAITING)
         if not action.is_caught():
             return  # default is to ignore; don't bother
+        if proc.sigwaiting_streak >= self.SIGWAITING_STREAK_LIMIT:
+            # Every recent post was fruitless (handler bailed, nothing
+            # woke): stop pelting the process so the event queue can
+            # drain and deadlock detection can see the wedge.
+            return
         now = self.engine.now_ns
         if now - proc.last_sigwaiting_ns < self.SIGWAITING_THROTTLE_NS:
+            # Inside the throttle window the signal must be *deferred*,
+            # not dropped: if the last LWP blocked just after a post,
+            # nothing else will ever re-evaluate the condition and the
+            # process starves permanently (a runnable thread with every
+            # LWP asleep).  Re-check when the window closes.
+            if not proc.sigwaiting_recheck_armed:
+                proc.sigwaiting_recheck_armed = True
+                wait = (proc.last_sigwaiting_ns
+                        + self.SIGWAITING_THROTTLE_NS - now)
+
+                def recheck():
+                    proc.sigwaiting_recheck_armed = False
+                    if proc.state is ProcState.ACTIVE:
+                        self._maybe_sigwaiting(proc)
+
+                self.engine.call_after(wait, recheck,
+                                       tag="sigwaiting-recheck")
             return
         proc.last_sigwaiting_ns = now
         proc.sigwaiting_posted = True
+        proc.sigwaiting_streak += 1
         self.sigwaiting_sent += 1
         self.tracer.emit(self.engine.now_ns, "signal", "sigwaiting",
                          f"pid-{proc.pid}")
@@ -281,6 +312,7 @@ class Kernel:
         self._purge_channels(lwp)
         lwp.sleep_indefinite = False
         lwp.process.sigwaiting_posted = False
+        lwp.process.sigwaiting_streak = 0
         self.tracer.emit(self.engine.now_ns, "sched", "wakeup", lwp.name)
         if lwp.current_activity is not None:
             lwp.current_activity.set_resume(value)

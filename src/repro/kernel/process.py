@@ -95,6 +95,13 @@ class Process:
         # a ping-pong through shared memory) is not pelted with signals.
         self.sigwaiting_posted = False
         self.last_sigwaiting_ns = -(10 ** 18)
+        # A throttled SIGWAITING is deferred (re-checked when the rate
+        # window closes), never dropped; this flag keeps one re-check
+        # outstanding at a time.  The streak counts consecutive posts
+        # with no sign of progress (no wakeup, no LWP growth); past a
+        # limit the kernel gives up so true deadlocks stay detectable.
+        self.sigwaiting_recheck_armed = False
+        self.sigwaiting_streak = 0
 
         # Exit/exec coordination: both "block until all the LWPs ... are
         # destroyed".

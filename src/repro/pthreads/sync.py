@@ -70,6 +70,17 @@ class PthreadMutex:
         result = yield from self._impl.tryenter()
         return result
 
+    def timedlock(self, timeout_usec: float):
+        """pthread_mutex_timedlock: 0 on acquire, ETIMEDOUT on timeout."""
+        if (self.attr.kind == PTHREAD_MUTEX_ERRORCHECK
+                and not self._impl.is_shared):
+            ctx = yield GetContext()
+            if (self._impl.owner is not None
+                    and self._impl.owner is ctx.thread):
+                return Errno.EDEADLK
+        acquired = yield from self._impl.timedenter(timeout_usec)
+        return 0 if acquired else Errno.ETIMEDOUT
+
     def unlock(self):
         yield from self._impl.exit()
 
@@ -124,6 +135,11 @@ def pthread_mutex_lock(mutex: PthreadMutex):
 
 def pthread_mutex_trylock(mutex: PthreadMutex):
     result = yield from mutex.trylock()
+    return result
+
+
+def pthread_mutex_timedlock(mutex: PthreadMutex, timeout_usec: float):
+    result = yield from mutex.timedlock(timeout_usec)
     return result
 
 

@@ -71,6 +71,34 @@ class MappedRegion:
             raise ValueError(f"offset {offset} outside region")
         return SharedCell(self.mobj, self.obj_offset + offset)
 
+    def cell_load(self, offset: int):
+        """Generator: read the shared word at ``offset`` (a yield point).
+
+        Unlike ``cell(offset).load()`` — which is a plain synchronous
+        read — this touches the page and passes through a
+        schedule-exploration yield point, so the Explorer can wedge a
+        preemption between a load and the store of a read-modify-write.
+        Racy programs (the ones the harness exists to catch) must use
+        these accessors; correct programs guard the cells with a lock
+        anyway.
+        """
+        from repro.sync.events import maybe_sync_point
+        cell = self.cell(offset)
+        yield Touch(self.mobj, cell.offset)
+        value = cell.load()
+        yield from maybe_sync_point("cell-load", None,
+                                    mobj=self.mobj, offset=cell.offset)
+        return value
+
+    def cell_store(self, offset: int, value):
+        """Generator: write the shared word at ``offset`` (a yield point)."""
+        from repro.sync.events import maybe_sync_point
+        cell = self.cell(offset)
+        yield Touch(self.mobj, cell.offset, write=True)
+        cell.store(value)
+        yield from maybe_sync_point("cell-store", None,
+                                    mobj=self.mobj, offset=cell.offset)
+
     def read(self, offset: int, length: int):
         """Generator: read raw bytes (touching pages first)."""
         yield from self._check_access(write=False)

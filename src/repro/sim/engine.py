@@ -44,6 +44,13 @@ class Engine:
         self.hang_reporter: Optional[Callable[[], str]] = None
         # Active fault-injection plan (repro.sim.faults.FaultPlan).
         self.faults = None
+        # Active schedule-perturbation plan (repro.sim.schedule.
+        # SchedulePlan): consulted at instrumented yield points.
+        self.schedule = None
+        # Passive observers of synchronization events (acquire/release,
+        # cv wait/signal, thread exit).  Appended to by the dynamic
+        # detectors in repro.explore; empty in normal runs.
+        self.sync_listeners: list = []
 
     # ----------------------------------------------------------------- time
 

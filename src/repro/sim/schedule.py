@@ -1,0 +1,339 @@
+"""Deterministic schedule perturbation.
+
+A :class:`SchedulePlan` is the scheduling twin of
+:class:`repro.sim.faults.FaultPlan`: a declarative, serializable list of
+rules that perturb *when threads run* rather than *whether calls fail*.
+All randomness comes from the engine's named seeded streams, so a
+perturbed schedule is a pure function of ``(seed, plan, program)`` and a
+failing interleaving replays bit-for-bit.
+
+The simulator executes code between two ``yield`` points atomically, so
+the only legal places to wedge a context switch in are the points where
+the program already interacts with the concurrency machinery.  Those are
+instrumented as *yield points* (see :mod:`repro.sync.events`):
+
+* every synchronization operation (mutex/rwlock acquire and release,
+  condition-variable wait/signal, semaphore P/V);
+* every shared-memory cell access made through the mapped runtime
+  (``cell-load`` / ``cell-store``);
+* every run-queue pick in :class:`repro.threads.scheduler.ThreadsLibrary`
+  (via :meth:`SchedulePlan.pick_runnable`).
+
+Rule kinds:
+
+* :class:`RandomPreempt` — at each yield point, preempt the current
+  unbound thread with probability ``p`` (optionally filtered to a set of
+  operation names).  The random-walk scheduler.
+* :class:`ForcedPreempt` — preempt at an explicit list of global
+  yield-point indices.  This is what delta-debugging minimizes: a
+  recorded random walk is replayed as forced points, then shrunk.
+* :class:`RandomPick` — with probability ``p``, a run-queue pick takes a
+  uniformly random runnable thread instead of the best-priority FIFO
+  head.
+* :class:`PctPriorities` — PCT-style: every thread gets a random
+  priority on first sight and picks follow those priorities strictly;
+  optionally a random thread's priority is re-drawn every
+  ``change_every`` picks (priority change points).
+
+Plans compose with fault plans — ``Simulator(faults=..., schedule=...)``
+— for fault × schedule stress, and serialize to plain dicts for repro
+bundles (:meth:`SchedulePlan.to_dict` / :meth:`SchedulePlan.from_dict`).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+class ScheduleRule:
+    """Base class: serialization plumbing shared by all rule kinds."""
+
+    KIND = ""
+
+    def arm(self, plan: "SchedulePlan", engine) -> None:
+        """Reset runtime state when the plan attaches to an engine."""
+
+    def preempt_here(self, plan: "SchedulePlan", index: int, op: str,
+                     name: Optional[str]) -> bool:
+        """Consulted once per yield point; True forces a preemption."""
+        return False
+
+    def pick(self, plan: "SchedulePlan", snapshot: list):
+        """Consulted once per run-queue pick; a thread from ``snapshot``
+        overrides the default FIFO pick, None declines."""
+        return None
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(data: dict) -> "ScheduleRule":
+        kind = data.get("kind")
+        cls = _RULE_KINDS.get(kind)
+        if cls is None:
+            raise SimulationError(f"unknown schedule rule kind: {kind!r}")
+        return cls._from_dict(data)
+
+
+class RandomPreempt(ScheduleRule):
+    """Preempt at each yield point with probability ``probability``.
+
+    ``ops`` optionally restricts the rule to yield points whose
+    operation name matches one of the globs (e.g. ``["acquire",
+    "cell-*"]``); None means every point.  ``max_count`` caps total
+    preemptions; ``skip`` exempts the first N matching points (letting a
+    program set up before the storm).
+    """
+
+    KIND = "random"
+
+    def __init__(self, probability: float = 0.1,
+                 ops: Optional[list] = None,
+                 max_count: Optional[int] = None, skip: int = 0):
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(f"bad probability {probability}")
+        self.probability = probability
+        self.ops = list(ops) if ops is not None else None
+        self.max_count = max_count
+        self.skip = skip
+        self.seen = 0
+        self.injected = 0
+
+    def arm(self, plan: "SchedulePlan", engine) -> None:
+        self.seen = 0
+        self.injected = 0
+
+    def _matches(self, op: str) -> bool:
+        if self.ops is None:
+            return True
+        return any(fnmatch.fnmatch(op, pat) for pat in self.ops)
+
+    def preempt_here(self, plan, index, op, name) -> bool:
+        if not self._matches(op):
+            return False
+        self.seen += 1
+        if self.seen <= self.skip:
+            return False
+        if self.max_count is not None and self.injected >= self.max_count:
+            return False
+        if plan.rng("preempt").random() >= self.probability:
+            return False
+        self.injected += 1
+        return True
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "probability": self.probability,
+                "ops": self.ops, "max_count": self.max_count,
+                "skip": self.skip}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "RandomPreempt":
+        return cls(probability=d.get("probability", 0.1),
+                   ops=d.get("ops"), max_count=d.get("max_count"),
+                   skip=d.get("skip", 0))
+
+
+class ForcedPreempt(ScheduleRule):
+    """Preempt at an explicit set of global yield-point indices.
+
+    Indices count every yield point the plan sees (the ``index``
+    argument of :meth:`SchedulePlan.consult`), so a recorded run's
+    ``fired`` list replays the same preemptions — and delta debugging
+    can bisect it down to the minimal failing subset.
+    """
+
+    KIND = "forced"
+
+    def __init__(self, points):
+        self.points = sorted(set(int(p) for p in points))
+        self._set = set(self.points)
+
+    def preempt_here(self, plan, index, op, name) -> bool:
+        return index in self._set
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "points": list(self.points)}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "ForcedPreempt":
+        return cls(d.get("points", ()))
+
+
+class RandomPick(ScheduleRule):
+    """Replace the FIFO run-queue pick with a uniform random runnable.
+
+    With probability ``probability`` per pick; priority order is ignored
+    for the perturbed picks (legal: the paper leaves unbound scheduling
+    order unspecified).
+    """
+
+    KIND = "pick"
+
+    def __init__(self, probability: float = 0.5):
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(f"bad probability {probability}")
+        self.probability = probability
+        self.perturbed = 0
+
+    def arm(self, plan: "SchedulePlan", engine) -> None:
+        self.perturbed = 0
+
+    def pick(self, plan, snapshot):
+        if len(snapshot) < 2:
+            return None
+        rng = plan.rng("pick")
+        if rng.random() >= self.probability:
+            return None
+        self.perturbed += 1
+        return rng.choice(snapshot)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "probability": self.probability}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "RandomPick":
+        return cls(probability=d.get("probability", 0.5))
+
+
+class PctPriorities(ScheduleRule):
+    """PCT-style scheduling: strict random priorities over threads.
+
+    Each thread gets a random priority the first time it appears in a
+    pick snapshot, and picks always take the highest-priority runnable.
+    With ``change_every`` > 0, one random thread's priority is re-drawn
+    every that many picks (the "priority change points" that let PCT
+    hit bugs of depth > 1).
+    """
+
+    KIND = "pct"
+
+    def __init__(self, change_every: int = 0):
+        if change_every < 0:
+            raise SimulationError(f"bad change_every {change_every}")
+        self.change_every = change_every
+        self._prio: dict[int, float] = {}
+        self._picks = 0
+
+    def arm(self, plan: "SchedulePlan", engine) -> None:
+        self._prio.clear()
+        self._picks = 0
+
+    def pick(self, plan, snapshot):
+        if not snapshot:
+            return None
+        rng = plan.rng("pct")
+        for t in snapshot:
+            if id(t) not in self._prio:
+                self._prio[id(t)] = rng.random()
+        self._picks += 1
+        if self.change_every and self._picks % self.change_every == 0:
+            victim = rng.choice(snapshot)
+            self._prio[id(victim)] = rng.random()
+        return max(snapshot, key=lambda t: self._prio[id(t)])
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "change_every": self.change_every}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "PctPriorities":
+        return cls(change_every=d.get("change_every", 0))
+
+
+_RULE_KINDS = {cls.KIND: cls for cls in
+               (RandomPreempt, ForcedPreempt, RandomPick, PctPriorities)}
+
+
+class SchedulePlan:
+    """A declarative, replayable schedule perturbation.
+
+    Build one, then pass it to ``Simulator(schedule=plan)`` or call
+    :meth:`attach` on an engine::
+
+        plan = SchedulePlan([RandomPreempt(probability=0.2)])
+        sim = Simulator(ncpus=2, seed=7, schedule=plan)
+
+    Like a fault plan, a schedule plan attaches to exactly one engine
+    (rule state and the fired-point record are per-attachment);
+    serialize and rebuild to reuse one.
+
+    After a run, :attr:`fired` holds the global yield-point indices
+    where a preemption actually happened — feed them to
+    ``ForcedPreempt`` to replay exactly that interleaving, or to
+    :func:`repro.explore.minimize.minimize_schedule` to shrink it.
+    """
+
+    def __init__(self, rules=()):
+        self.rules: list[ScheduleRule] = list(rules)
+        self.engine = None
+        # Runtime record (reset on attach).
+        self.points_seen = 0        # yield points consulted
+        self.preemptions = 0        # preemptions requested
+        self.fired: list[int] = []  # indices where preemption fired
+
+    def add(self, rule: ScheduleRule) -> "SchedulePlan":
+        """Append a rule; chainable.  Must be called before attach."""
+        if self.engine is not None:
+            raise SimulationError("cannot add rules to an attached plan")
+        self.rules.append(rule)
+        return self
+
+    # --------------------------------------------------------- attachment
+
+    def attach(self, engine) -> None:
+        """Bind this plan to an engine: yield points start consulting it."""
+        if self.engine is not None:
+            raise SimulationError("schedule plan is already attached")
+        self.engine = engine
+        engine.schedule = self
+        self.points_seen = 0
+        self.preemptions = 0
+        self.fired = []
+        for rule in self.rules:
+            rule.arm(self, engine)
+
+    def rng(self, name: str):
+        """The plan's seeded sub-stream for ``name``."""
+        return self.engine.rng.stream(f"schedule/{name}")
+
+    # ------------------------------------------------------ consultations
+
+    def consult(self, op: str, name: Optional[str]) -> bool:
+        """One yield point reached; preempt the current thread here?
+
+        Called from :func:`repro.sync.events.sync_point`.  Every call
+        advances the global yield-point index, whether or not any rule
+        fires, so indices are stable across replays of the same program.
+        """
+        index = self.points_seen
+        self.points_seen += 1
+        hit = False
+        for rule in self.rules:
+            # Consult every rule (each must see the point to keep its
+            # seeded stream position stable), then OR the verdicts.
+            if rule.preempt_here(self, index, op, name):
+                hit = True
+        if hit:
+            self.preemptions += 1
+            self.fired.append(index)
+        return hit
+
+    def pick_runnable(self, snapshot: list):
+        """Override one run-queue pick, or None for default FIFO."""
+        for rule in self.rules:
+            choice = rule.pick(self, snapshot)
+            if choice is not None:
+                return choice
+        return None
+
+    # ------------------------------------------------------ serialization
+
+    def to_dict(self) -> dict:
+        return {"rules": [r.to_dict() for r in self.rules]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchedulePlan":
+        return cls(ScheduleRule.from_dict(d)
+                   for d in data.get("rules", ()))

@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.errors import Errno, SyncError, SyscallError
 from repro.hw.isa import Charge, GetContext, Syscall, Touch
+from repro.sync import events
 from repro.sync.mutex import Mutex
 from repro.sync.variants import (SharedCell, SyncVariable,
                                  usync_block_retry)
@@ -74,6 +75,7 @@ class CondVar(SyncVariable):
             raise SyncError(
                 f"{self.name}: cv_wait with {mutex.name} not held")
         yield Charge(ctx.costs.sync_user_op)
+        events.sync_event(ctx, "cv-wait", self, mutex=mutex)
 
         target_gen = self._gen()
         yield from mutex.exit()
@@ -111,6 +113,7 @@ class CondVar(SyncVariable):
             raise SyncError(
                 f"{self.name}: cv_timedwait with {mutex.name} not held")
         yield Charge(ctx.costs.sync_user_op)
+        events.sync_event(ctx, "cv-wait", self, mutex=mutex)
         timeout_ns = _usec(timeout_usec)
 
         target_gen = self._gen()
@@ -174,8 +177,12 @@ class CondVar(SyncVariable):
             cell = self.cell
             yield Syscall("usync_wake", cell.mobj, cell.offset, 1,
                           label=f"cv:{self.name}")
+            yield from events.sync_point(ctx, "cv-signal", self,
+                                         woken=None)
         else:
-            yield from lib.wake_from_queue(self.waiters, n=1)
+            woken = yield from lib.wake_from_queue(self.waiters, n=1)
+            yield from events.sync_point(ctx, "cv-signal", self,
+                                         woken=woken)
 
     def broadcast(self):
         """Generator: wake all waiters.
@@ -192,6 +199,10 @@ class CondVar(SyncVariable):
             cell = self.cell
             yield Syscall("usync_wake_all", cell.mobj, cell.offset,
                           label=f"cv:{self.name}")
+            yield from events.sync_point(ctx, "cv-broadcast", self,
+                                         woken=None)
         else:
-            yield from lib.wake_from_queue(self.waiters,
-                                           n=len(self.waiters))
+            woken = yield from lib.wake_from_queue(self.waiters,
+                                                   n=len(self.waiters))
+            yield from events.sync_point(ctx, "cv-broadcast", self,
+                                         woken=woken)

@@ -1,0 +1,103 @@
+"""Synchronization event emission and schedule-perturbation yield points.
+
+Two thin hooks connect the synchronization package to the
+schedule-exploration harness (:mod:`repro.explore`):
+
+* :func:`sync_event` — notify passive listeners (dynamic detectors) that
+  an acquire/release/wait/signal/exit transition happened.  Free when no
+  listener is registered.
+* :func:`sync_point` — an *instrumentable yield point*: emit the event,
+  then consult the engine's active :class:`repro.sim.schedule.
+  SchedulePlan` and, when it says so, preempt the current thread (a
+  user-level reschedule, exactly a ``thread_yield``).  This is how the
+  Explorer drives a program through many legal interleavings: the paper
+  gives programs "no way to predict how the instructions of different
+  threads are interleaved", so correct code must survive a preemption at
+  every one of these points.
+
+Neither hook imports anything above the sync layer; the threads library
+is reached only through the execution context, keeping the layering
+rules intact.
+"""
+
+from __future__ import annotations
+
+from repro.hw.isa import GetContext
+
+#: Event names emitted by the sync package (for reference; detectors
+#: match on these strings):
+#:
+#: ``acquire`` / ``release``   mutex and rwlock ownership transitions
+#:                             (detail: ``mode`` = "mutex"|"reader"|
+#:                             "writer", ``blocking`` bool, ``shared``
+#:                             bool, ``cell`` key or None)
+#: ``cv-wait`` / ``cv-signal`` / ``cv-broadcast``
+#:                             condition-variable traffic (detail:
+#:                             ``mutex``, ``mutex_held``, ``waiters``)
+#: ``sema-p`` / ``sema-v`` / ``sema-block``
+#:                             semaphore traffic (detail: ``value``,
+#:                             ``initial``)
+#: ``thread-exit``             a user thread died (detail: ``thread``)
+
+
+def _fresh_ctx(ctx):
+    """Re-resolve the execution context at delivery time.
+
+    ``ctx`` was captured by a GetContext that may predate a block; when
+    the thread resumed on a *different* LWP, ``ctx.thread`` would read
+    the stale LWP's current thread and misattribute the event.  The CPU
+    that is mid-step right now is the real emitter.
+    """
+    from repro.hw.cpu import ExecContext
+    for cpu in ctx.kernel.machine.cpus:
+        if cpu._stepping_activity is not None and cpu.lwp is not None:
+            if cpu is ctx.cpu and cpu.lwp is ctx.lwp:
+                return ctx
+            return ExecContext(cpu, cpu.lwp)
+    return ctx
+
+
+def sync_event(ctx, op: str, sv, **detail) -> None:
+    """Notify every registered listener of one sync transition.
+
+    ``ctx`` is the current ExecContext (so listeners see the acting
+    thread/LWP/process); ``sv`` is the primitive, or None for events
+    that have no primitive (thread exit).
+    """
+    listeners = ctx.engine.sync_listeners
+    if not listeners:
+        return
+    ctx = _fresh_ctx(ctx)
+    for listener in listeners:
+        listener.on_sync(ctx, op, sv, detail)
+
+
+def sync_point(ctx, op: str, sv, **detail):
+    """Generator: emit the event, then maybe preempt (a yield point).
+
+    Preemption is a plain user-level reschedule of the current unbound
+    thread — the same state transition ``thread_yield`` makes — so it is
+    always legal, merely adversarial.  Bound threads and pure-LWP code
+    are never preempted here (they own their LWP).
+    """
+    sync_event(ctx, op, sv, **detail)
+    plan = ctx.engine.schedule
+    if plan is None:
+        return
+    if not plan.consult(op, getattr(sv, "name", None)):
+        return
+    lib = ctx.process.threadlib
+    if lib is None:
+        return
+    yield from lib.preempt_current()
+
+
+def maybe_sync_point(op: str, sv, **detail):
+    """Generator: :func:`sync_point` that fetches its own context.
+
+    For call sites that have not already paid for a GetContext.  When
+    neither listeners nor a plan are active this costs a single free
+    GetContext effect.
+    """
+    ctx = yield GetContext()
+    yield from sync_point(ctx, op, sv, **detail)

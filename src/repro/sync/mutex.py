@@ -14,12 +14,16 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import SyncError
+from repro.errors import Errno, SyncError, SyscallError
 from repro.hw.isa import Charge, GetContext, Syscall, Touch
 from repro.sim.clock import usec
+from repro.sync import events
 from repro.sync.variants import (SPIN_POLL_US, SharedCell, SyncVariable,
                                  usync_block_retry)
 from repro.threads.scheduler import NO_SLEEP
+
+#: Wake value marking a timeout-driven resume of a timedenter.
+_TIMEDOUT = "mutex-timedout"
 
 
 class Mutex(SyncVariable):
@@ -57,12 +61,24 @@ class Mutex(SyncVariable):
         yield Charge(ctx.costs.mutex_fast_path)
         if self.is_debug and self.owner is me:
             raise SyncError(f"{self.name}: recursive mutex_enter")
+        attempted = False
         while True:
             if self.owner is None:
                 self.owner = me
                 self.acquisitions += 1
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="mutex", blocking=True,
+                                             cell=self.cell)
                 return
             self.contended += 1
+            if not attempted:
+                # Contended: announce the *attempt* so the lock-order
+                # detector sees the edge even when this acquire never
+                # completes (the deadlocked run is exactly the one
+                # whose cycle must still be reported).
+                attempted = True
+                events.sync_event(ctx, "acquire-attempt", self,
+                                  mode="mutex", cell=self.cell)
             if self.is_spin or (self.is_adaptive and self._owner_running()):
                 self.spins += 1
                 yield Charge(usec(SPIN_POLL_US))
@@ -75,6 +91,9 @@ class Mutex(SyncVariable):
                 # Direct handoff: the releaser made us the owner.
                 assert self.owner is me
                 self.acquisitions += 1
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="mutex", blocking=True,
+                                             cell=self.cell)
                 return
 
     def _owner_running(self) -> bool:
@@ -82,6 +101,112 @@ class Mutex(SyncVariable):
         owner = self.owner
         return (owner is not None and owner.lwp is not None
                 and owner.lwp.cpu is not None)
+
+    def timedenter(self, timeout_usec: float):
+        """Generator: mutex_enter bounded by a timeout.
+
+        Returns True once the lock is acquired, False when
+        ``timeout_usec`` of virtual time passes first.  The timeout is
+        driven by the same kernel timer machinery as
+        :meth:`repro.sync.condvar.CondVar.timedwait`, so every blocking
+        primitive can be bounded (timed-wait parity).
+        """
+        if self.is_shared:
+            result = yield from self._timedenter_shared(timeout_usec)
+            return result
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        kernel = ctx.kernel
+        me = ctx.thread
+        yield Charge(ctx.costs.mutex_fast_path)
+        if self.is_debug and self.owner is me:
+            raise SyncError(f"{self.name}: recursive mutex_enter")
+        deadline = kernel.engine.now_ns + usec(timeout_usec)
+        while True:
+            if self.owner is None:
+                self.owner = me
+                self.acquisitions += 1
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="mutex", blocking=True,
+                                             cell=self.cell)
+                return True
+            self.contended += 1
+            if kernel.engine.now_ns >= deadline:
+                return False
+            if self.is_spin or (self.is_adaptive and self._owner_running()):
+                self.spins += 1
+                yield Charge(usec(SPIN_POLL_US))
+                continue
+            yield Charge(ctx.costs.sync_user_op)
+            timed_out_box = {"value": False}
+
+            def on_timeout():
+                if me in self.waiters:
+                    self.waiters.remove(me)
+                    me.wait_queue = None
+                    timed_out_box["value"] = True
+                    for lwp_id in lib.make_runnable(me, value=_TIMEDOUT):
+                        lwp = ctx.process.lwps.get(lwp_id)
+                        if lwp is not None:
+                            kernel.unpark_lwp(lwp)
+
+            timer = kernel.engine.call_after(
+                deadline - kernel.engine.now_ns, on_timeout,
+                tag="mutex-timeout")
+            outcome = yield from lib.block_current_on(
+                self.waiters, reason=self.name,
+                guard=lambda: self.owner is not None)
+            kernel.engine.cancel(timer)
+            if timed_out_box["value"] or outcome is _TIMEDOUT:
+                return False
+            if outcome is not NO_SLEEP:
+                # Direct handoff: the releaser made us the owner.
+                assert self.owner is me
+                self.acquisitions += 1
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="mutex", blocking=True,
+                                             cell=self.cell)
+                return True
+
+    def _timedenter_shared(self, timeout_usec: float):
+        ctx = yield GetContext()
+        kernel = ctx.kernel
+        cell = self.cell
+        yield Touch(cell.mobj, cell.offset, write=True)
+        yield Charge(ctx.costs.mutex_fast_path)
+        deadline = kernel.engine.now_ns + usec(timeout_usec)
+        slept = False
+        while True:
+            state = cell.load()
+            if state == 0:
+                # See _enter_shared: a waiter that slept must re-acquire
+                # contended, or a second sleeper's mark is erased.
+                cell.store(2 if slept else 1)
+                self.acquisitions += 1
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="mutex", blocking=True,
+                                             cell=cell)
+                return True
+            self.contended += 1
+            remaining = deadline - kernel.engine.now_ns
+            if remaining <= 0:
+                return False
+            if self.is_spin:
+                self.spins += 1
+                yield Charge(usec(SPIN_POLL_US))
+                continue
+            cell.store(2)  # mark contended before sleeping
+            try:
+                result = yield Syscall(
+                    "usync_block", cell.mobj, cell.offset, 2,
+                    f"mutex:{self.name}", remaining)
+            except SyscallError as err:
+                if err.errno != Errno.EINTR:
+                    raise
+                continue
+            slept = True
+            if result == 2:  # kernel timer expired before a wake
+                return False
 
     def tryenter(self):
         """Generator: acquire without blocking; returns True on success.
@@ -97,6 +222,9 @@ class Mutex(SyncVariable):
         if self.owner is None:
             self.owner = ctx.thread
             self.acquisitions += 1
+            yield from events.sync_point(ctx, "acquire", self,
+                                         mode="mutex", blocking=False,
+                                         cell=self.cell)
             return True
         return False
 
@@ -126,6 +254,8 @@ class Mutex(SyncVariable):
             yield from lib.wake_from_queue(self.waiters, n=1)
         else:
             self.owner = None
+        yield from events.sync_point(ctx, "release", self, mode="mutex",
+                                     cell=self.cell)
 
     @property
     def held(self) -> bool:
@@ -137,26 +267,44 @@ class Mutex(SyncVariable):
     #
     # Futex protocol over the shared cell: 0 free, 1 locked, 2 locked with
     # (possible) sleepers.  The kernel re-checks the cell before sleeping,
-    # so a wake cannot be lost.
+    # so a wake cannot be lost; and a waiter that has slept re-acquires
+    # in state 2 (it cannot know whether other sleepers remain), so a
+    # single wake cannot strand a second sleeper.
 
     def _enter_shared(self):
         ctx = yield GetContext()
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
         yield Charge(ctx.costs.mutex_fast_path)
+        attempted = False
+        slept = False
         while True:
             state = cell.load()
             if state == 0:
-                cell.store(1)
+                # A waiter that has slept cannot know whether other
+                # sleepers remain on the cell (exit's single wake erased
+                # the contended mark), so it must re-acquire in the
+                # contended state to force the next exit to wake again.
+                # Acquiring with 1 here strands any second sleeper
+                # forever.
+                cell.store(2 if slept else 1)
                 self.acquisitions += 1
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="mutex", blocking=True,
+                                             cell=cell)
                 return
             self.contended += 1
+            if not attempted:
+                attempted = True
+                events.sync_event(ctx, "acquire-attempt", self,
+                                  mode="mutex", cell=cell)
             if self.is_spin:
                 self.spins += 1
                 yield Charge(usec(SPIN_POLL_US))
                 continue
             cell.store(2)  # mark contended before sleeping
             yield from usync_block_retry(cell, 2, f"mutex:{self.name}")
+            slept = True
 
     def _tryenter_shared(self):
         ctx = yield GetContext()
@@ -166,6 +314,9 @@ class Mutex(SyncVariable):
         if cell.load() == 0:
             cell.store(1)
             self.acquisitions += 1
+            yield from events.sync_point(ctx, "acquire", self,
+                                         mode="mutex", blocking=False,
+                                         cell=cell)
             return True
         return False
 
@@ -182,3 +333,5 @@ class Mutex(SyncVariable):
         if state == 2:
             yield Syscall("usync_wake", cell.mobj, cell.offset, 1,
                           label=f"mutex:{self.name}")
+        yield from events.sync_point(ctx, "release", self, mode="mutex",
+                                     cell=cell)

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.errors import SyncError
 from repro.hw.isa import Charge, GetContext
+from repro.sync import events
 from repro.sync.condvar import CondVar
 from repro.sync.mutex import Mutex
 from repro.sync.variants import (THREAD_SYNC_SHARED, SharedCell,
@@ -63,6 +64,10 @@ class RwLock(SyncVariable):
         self.upgrading = False
         self.reader_waiters: list = []
         self.writer_waiters: list = []
+        # Threads currently holding the lock as readers (private variant
+        # only) — read by the hang diagnostics so writer waits can name
+        # the readers blocking them, not just a count.
+        self.reader_holders: list = []
         # Statistics.
         self.read_acquires = 0
         self.write_acquires = 0
@@ -82,6 +87,8 @@ class RwLock(SyncVariable):
             self._wcv = CondVar(THREAD_SYNC_SHARED, cell=wcell,
                                 name=f"{self.name}.wcv")
             self._state = scell  # dict cell: counts shared across procs
+            # Protocol word, like a SyncVariable cell: detectors skip it.
+            scell.mobj.sync_offsets.add(scell.offset)
 
     @property
     def is_shared(self) -> bool:  # override: flag stripped in __init__
@@ -98,12 +105,25 @@ class RwLock(SyncVariable):
         lib = ctx.process.threadlib
         me = ctx.thread
         yield Charge(ctx.costs.sync_user_op)
+        attempted = False
         if rw_type is RW_READER:
             while True:
                 if self.writer is None and not self.writer_waiters:
                     self.readers += 1
                     self.read_acquires += 1
+                    if me is not None:
+                        self.reader_holders.append(me)
+                    yield from events.sync_point(ctx, "acquire", self,
+                                                 mode="reader",
+                                                 blocking=True)
                     return
+                if not attempted:
+                    # Announce the contended attempt so lock-order edges
+                    # exist even when this acquire deadlocks (see
+                    # Mutex.enter).
+                    attempted = True
+                    events.sync_event(ctx, "acquire-attempt", self,
+                                      mode="reader")
                 yield from lib.block_current_on(
                     self.reader_waiters, reason=f"{self.name}.r",
                     guard=lambda: (self.writer is not None
@@ -113,7 +133,14 @@ class RwLock(SyncVariable):
                 if self.writer is None and self.readers == 0:
                     self.writer = me
                     self.write_acquires += 1
+                    yield from events.sync_point(ctx, "acquire", self,
+                                                 mode="writer",
+                                                 blocking=True)
                     return
+                if not attempted:
+                    attempted = True
+                    events.sync_event(ctx, "acquire-attempt", self,
+                                      mode="writer")
                 yield from lib.block_current_on(
                     self.writer_waiters, reason=f"{self.name}.w",
                     guard=lambda: (self.writer is not None
@@ -132,11 +159,17 @@ class RwLock(SyncVariable):
             if self.writer is None and not self.writer_waiters:
                 self.readers += 1
                 self.read_acquires += 1
+                if ctx.thread is not None:
+                    self.reader_holders.append(ctx.thread)
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="reader", blocking=False)
                 return True
             return False
         if self.writer is None and self.readers == 0:
             self.writer = ctx.thread
             self.write_acquires += 1
+            yield from events.sync_point(ctx, "acquire", self,
+                                         mode="writer", blocking=False)
             return True
         return False
 
@@ -152,12 +185,17 @@ class RwLock(SyncVariable):
         if self.writer is me:
             self.writer = None
             yield from self._wake_next(lib)
+            yield from events.sync_point(ctx, "release", self,
+                                         mode="writer")
             return
         if self.readers <= 0:
             raise SyncError(f"{self.name}: rw_exit with lock not held")
         self.readers -= 1
+        if me in self.reader_holders:
+            self.reader_holders.remove(me)
         if self.readers == 0:
             yield from self._wake_next(lib)
+        yield from events.sync_point(ctx, "release", self, mode="reader")
 
     def _wake_next(self, lib):
         """Writer preference: wake one waiting writer, else all readers."""
@@ -181,11 +219,16 @@ class RwLock(SyncVariable):
         self.writer = None
         self.readers = 1
         self.downgrades += 1
+        if ctx.thread is not None:
+            self.reader_holders.append(ctx.thread)
+        events.sync_event(ctx, "release", self, mode="writer")
         # "Any waiting writers remain waiting.  If there are no waiting
         # writers it wakes up any pending readers."
         if not self.writer_waiters and self.reader_waiters:
             yield from lib.wake_from_queue(self.reader_waiters,
                                            n=len(self.reader_waiters))
+        yield from events.sync_point(ctx, "acquire", self, mode="reader",
+                                     blocking=False)
 
     def tryupgrade(self):
         """Generator: attempt reader -> writer; no blocking.
@@ -206,6 +249,11 @@ class RwLock(SyncVariable):
             self.readers = 0
             self.writer = ctx.thread
             self.upgrades += 1
+            if ctx.thread in self.reader_holders:
+                self.reader_holders.remove(ctx.thread)
+            events.sync_event(ctx, "release", self, mode="reader")
+            yield from events.sync_point(ctx, "acquire", self,
+                                         mode="writer", blocking=False)
             return True
         # Other readers present: an upgrade would have to wait; the paper
         # keeps tryupgrade non-blocking, so report failure (and no
@@ -233,6 +281,7 @@ class RwLock(SyncVariable):
         return state
 
     def _enter_shared(self, rw_type: RwType):
+        ctx = yield GetContext()
         yield from self._m.enter()
         st = self._load_state()
         if rw_type is RW_READER:
@@ -241,6 +290,8 @@ class RwLock(SyncVariable):
                 st = self._load_state()
             st["readers"] += 1
             self.read_acquires += 1
+            events.sync_event(ctx, "acquire", self, mode="reader",
+                              blocking=True, cell=self._state)
         else:
             st["wwaiting"] += 1
             while st["writer"] or st["readers"]:
@@ -249,9 +300,12 @@ class RwLock(SyncVariable):
             st["wwaiting"] -= 1
             st["writer"] = 1
             self.write_acquires += 1
+            events.sync_event(ctx, "acquire", self, mode="writer",
+                              blocking=True, cell=self._state)
         yield from self._m.exit()
 
     def _tryenter_shared(self, rw_type: RwType):
+        ctx = yield GetContext()
         yield from self._m.enter()
         st = self._load_state()
         ok = False
@@ -265,16 +319,26 @@ class RwLock(SyncVariable):
                 st["writer"] = 1
                 self.write_acquires += 1
                 ok = True
+        if ok:
+            events.sync_event(
+                ctx, "acquire", self,
+                mode="reader" if rw_type is RW_READER else "writer",
+                blocking=False, cell=self._state)
         yield from self._m.exit()
         return ok
 
     def _exit_shared(self):
+        ctx = yield GetContext()
         yield from self._m.enter()
         st = self._load_state()
         if st["writer"]:
             st["writer"] = 0
+            events.sync_event(ctx, "release", self, mode="writer",
+                              cell=self._state)
         elif st["readers"] > 0:
             st["readers"] -= 1
+            events.sync_event(ctx, "release", self, mode="reader",
+                              cell=self._state)
         else:
             yield from self._m.exit()
             raise SyncError(f"{self.name}: rw_exit with lock not held")
@@ -286,6 +350,7 @@ class RwLock(SyncVariable):
         yield from self._m.exit()
 
     def _downgrade_shared(self):
+        ctx = yield GetContext()
         yield from self._m.enter()
         st = self._load_state()
         if not st["writer"]:
@@ -294,11 +359,16 @@ class RwLock(SyncVariable):
         st["writer"] = 0
         st["readers"] = 1
         self.downgrades += 1
+        events.sync_event(ctx, "release", self, mode="writer",
+                          cell=self._state)
+        events.sync_event(ctx, "acquire", self, mode="reader",
+                          blocking=False, cell=self._state)
         if not st["wwaiting"]:
             yield from self._rcv.broadcast()
         yield from self._m.exit()
 
     def _tryupgrade_shared(self):
+        ctx = yield GetContext()
         yield from self._m.enter()
         st = self._load_state()
         ok = False
@@ -307,5 +377,9 @@ class RwLock(SyncVariable):
             st["writer"] = 1
             self.upgrades += 1
             ok = True
+            events.sync_event(ctx, "release", self, mode="reader",
+                              cell=self._state)
+            events.sync_event(ctx, "acquire", self, mode="writer",
+                              blocking=False, cell=self._state)
         yield from self._m.exit()
         return ok

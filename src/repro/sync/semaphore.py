@@ -15,14 +15,19 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import SyncError
+from repro.errors import Errno, SyncError, SyscallError
 from repro.hw.isa import Charge, GetContext, Syscall, Touch
+from repro.sim.clock import usec
+from repro.sync import events
 from repro.sync.variants import (SharedCell, SyncVariable,
                                  usync_block_retry)
 from repro.threads.scheduler import NO_SLEEP
 
 #: Wake-token handed from sema_v to the thread it resumes.
 _TOKEN = "sema-token"
+
+#: Wake value marking a timeout-driven resume of a timedp.
+_TIMEDOUT = "sema-timedout"
 
 
 class Semaphore(SyncVariable):
@@ -35,12 +40,20 @@ class Semaphore(SyncVariable):
         super().__init__(vtype, cell, name)
         if count < 0:
             raise SyncError("semaphore count must be >= 0")
+        # Initial count, kept for the exit-invariant detector: a V that
+        # pushes the value past ``initial`` released a unit nobody ever
+        # acquired (the in-use count underflowed).
+        self.initial = count
         if self.is_shared:
             if cell.load() == 0 and count:
                 cell.store(count)
         else:
             self.count = count
         self.waiters: list = []
+        # Threads currently holding a unit (completed P, no V yet) —
+        # best-effort, private variant only; read by the hang
+        # diagnostics so semaphore waits name their likely holders.
+        self.holders: list = []
         # Statistics.
         self.p_ops = 0
         self.v_ops = 0
@@ -56,10 +69,14 @@ class Semaphore(SyncVariable):
             return
         ctx = yield GetContext()
         lib = ctx.process.threadlib
+        me = ctx.thread
         yield Charge(ctx.costs.sync_user_op)
         while True:
             if self.count > 0:
                 self.count -= 1
+                self._note_hold(me)
+                yield from events.sync_point(ctx, "sema-p", self,
+                                             value=self.count)
                 return
             self.blocks += 1
             outcome = yield from lib.block_current_on(
@@ -68,7 +85,108 @@ class Semaphore(SyncVariable):
             if outcome is NO_SLEEP:
                 continue  # a V slipped in before we slept; retry
             if outcome == _TOKEN:
-                return    # direct handoff from sema_v: count stays consumed
+                # Direct handoff from sema_v: count stays consumed.
+                self._note_hold(me)
+                yield from events.sync_point(ctx, "sema-p", self,
+                                             value=self.count)
+                return
+
+    def _note_hold(self, thread) -> None:
+        if thread is not None:
+            self.holders.append(thread)
+
+    def _note_release(self, thread) -> None:
+        if thread is not None and thread in self.holders:
+            self.holders.remove(thread)
+        elif self.holders:
+            # Asynchronous V from a non-holder (legal: semaphores "need
+            # not be bracketed"): assume the oldest unit was released.
+            self.holders.pop(0)
+
+    def timedp(self, timeout_usec: float):
+        """Generator: sema_p bounded by a timeout.
+
+        Returns True once a unit is acquired, False when
+        ``timeout_usec`` of virtual time passes first (timed-wait
+        parity; same kernel timer machinery as CondVar.timedwait).
+        """
+        self.p_ops += 1
+        if self.is_shared:
+            result = yield from self._timedp_shared(timeout_usec)
+            return result
+        ctx = yield GetContext()
+        lib = ctx.process.threadlib
+        kernel = ctx.kernel
+        me = ctx.thread
+        yield Charge(ctx.costs.sync_user_op)
+        deadline = kernel.engine.now_ns + usec(timeout_usec)
+        while True:
+            if self.count > 0:
+                self.count -= 1
+                self._note_hold(me)
+                yield from events.sync_point(ctx, "sema-p", self,
+                                             value=self.count)
+                return True
+            if kernel.engine.now_ns >= deadline:
+                return False
+            self.blocks += 1
+            timed_out_box = {"value": False}
+
+            def on_timeout():
+                if me in self.waiters:
+                    self.waiters.remove(me)
+                    me.wait_queue = None
+                    timed_out_box["value"] = True
+                    for lwp_id in lib.make_runnable(me, value=_TIMEDOUT):
+                        lwp = ctx.process.lwps.get(lwp_id)
+                        if lwp is not None:
+                            kernel.unpark_lwp(lwp)
+
+            timer = kernel.engine.call_after(
+                deadline - kernel.engine.now_ns, on_timeout,
+                tag="sema-timeout")
+            outcome = yield from lib.block_current_on(
+                self.waiters, reason=self.name,
+                guard=lambda: self.count == 0)
+            kernel.engine.cancel(timer)
+            if timed_out_box["value"] or outcome is _TIMEDOUT:
+                return False
+            if outcome is NO_SLEEP:
+                continue  # a V slipped in before we slept; retry
+            if outcome == _TOKEN:
+                self._note_hold(me)
+                yield from events.sync_point(ctx, "sema-p", self,
+                                             value=self.count)
+                return True
+
+    def _timedp_shared(self, timeout_usec: float):
+        ctx = yield GetContext()
+        kernel = ctx.kernel
+        cell = self.cell
+        yield Touch(cell.mobj, cell.offset, write=True)
+        yield Charge(ctx.costs.sync_user_op)
+        deadline = kernel.engine.now_ns + usec(timeout_usec)
+        while True:
+            count = cell.load()
+            if count > 0:
+                cell.store(count - 1)
+                yield from events.sync_point(ctx, "sema-p", self,
+                                             value=count - 1)
+                return True
+            remaining = deadline - kernel.engine.now_ns
+            if remaining <= 0:
+                return False
+            self.blocks += 1
+            try:
+                result = yield Syscall(
+                    "usync_block", cell.mobj, cell.offset, 0,
+                    f"sema:{self.name}", remaining)
+            except SyscallError as err:
+                if err.errno != Errno.EINTR:
+                    raise
+                continue
+            if result == 2:  # kernel timer expired before a wake
+                return False
 
     def tryp(self):
         """Generator: decrement only if no blocking is required."""
@@ -80,6 +198,9 @@ class Semaphore(SyncVariable):
         yield Charge(ctx.costs.sync_user_op)
         if self.count > 0:
             self.count -= 1
+            self._note_hold(ctx.thread)
+            yield from events.sync_point(ctx, "sema-p", self,
+                                         value=self.count)
             return True
         return False
 
@@ -94,11 +215,16 @@ class Semaphore(SyncVariable):
         ctx = yield GetContext()
         lib = ctx.process.threadlib
         yield Charge(ctx.costs.sync_user_op)
+        self._note_release(ctx.thread)
         if self.waiters:
             # Hand the unit straight to the longest waiter.
             yield from lib.wake_from_queue(self.waiters, n=1, value=_TOKEN)
+            yield from events.sync_point(ctx, "sema-v", self,
+                                         value=self.count, handoff=True)
         else:
             self.count += 1
+            yield from events.sync_point(ctx, "sema-v", self,
+                                         value=self.count, handoff=False)
 
     @property
     def value(self) -> int:
@@ -120,6 +246,8 @@ class Semaphore(SyncVariable):
             count = cell.load()
             if count > 0:
                 cell.store(count - 1)
+                yield from events.sync_point(ctx, "sema-p", self,
+                                             value=count - 1)
                 return
             self.blocks += 1
             yield from usync_block_retry(cell, 0, f"sema:{self.name}")
@@ -132,6 +260,8 @@ class Semaphore(SyncVariable):
         count = cell.load()
         if count > 0:
             cell.store(count - 1)
+            yield from events.sync_point(ctx, "sema-p", self,
+                                         value=count - 1)
             return True
         return False
 
@@ -140,6 +270,9 @@ class Semaphore(SyncVariable):
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
         yield Charge(ctx.costs.sync_user_op)
-        cell.store(cell.load() + 1)
+        value = cell.load() + 1
+        cell.store(value)
         yield Syscall("usync_wake", cell.mobj, cell.offset, 1,
                       label=f"sema:{self.name}")
+        yield from events.sync_point(ctx, "sema-v", self, value=value,
+                                     handoff=False)

@@ -84,6 +84,11 @@ class SyncVariable:
         self.vtype = vtype
         self.name = name or f"{self.KIND}@{id(self):x}"
         self.cell = cell
+        if cell is not None:
+            # Mark the protocol word so dynamic detectors (repro.explore)
+            # skip it: futex-style state words are accessed racily by
+            # design, unlike the program data the variable protects.
+            cell.mobj.sync_offsets.add(cell.offset)
         _ALL_SYNC_VARIABLES.add(self)
         # Check the raw flag, not the is_shared property: subclasses that
         # compose shared primitives (RwLock) override the property.

@@ -193,6 +193,9 @@ def _exit_impl(lib, thread: Thread):
     # POSIX-style thread-specific data destructors (built on TLS).
     lib.tsd.run_destructors(thread.tls)
 
+    from repro.sync.events import sync_event
+    sync_event(ctx, "thread-exit", None, thread=thread)
+
     thread.exited = True
     thread.exit_status = 0  # "The exit status of a thread is always zero."
     thread.state = ThreadState.ZOMBIE
@@ -221,7 +224,7 @@ def _exit_impl(lib, thread: Thread):
     # vanish.  The switch never resumes this activity.
     yield Charge(costs.thread_sched_pick)
     lwp = ctx.lwp
-    nxt = lib.runq.pop_best()
+    nxt = lib.pick_next()
     lib.detach(lwp, thread)
     if nxt is not None:
         lib.adopt(lwp, nxt)

@@ -91,6 +91,14 @@ class _ThreadRunQueue:
                 continue
         return False
 
+    def snapshot(self) -> list[Thread]:
+        """All runnable threads, best-first (read-only; for the
+        schedule-perturbation pick hook)."""
+        out: list[Thread] = []
+        for prio in sorted(self._queues, reverse=True):
+            out.extend(self._queues[prio])
+        return out
+
     def __len__(self) -> int:
         return self._count
 
@@ -142,6 +150,7 @@ class ThreadsLibrary:
         self.threads_created = 0
         self.lwps_grown_by_sigwaiting = 0
         self.preemptive_slices = 0
+        self.preemptions_injected = 0   # schedule-exploration preempts
         # Degradation statistics.
         self.lwp_create_retries = 0     # backed-off lwp_create attempts
         self.bound_fallbacks = 0        # bound creations demoted to unbound
@@ -283,6 +292,53 @@ class ThreadsLibrary:
         value = yield from self._switch_away(ctx.lwp, thread)
         return value
 
+    def pick_next(self) -> Optional[Thread]:
+        """Take the next thread off the run queue.
+
+        The default policy is strict priority FIFO (deterministic).  An
+        attached :class:`repro.sim.schedule.SchedulePlan` may override
+        single reschedule decisions — picking a different runnable
+        thread is always legal (the paper promises no interleaving
+        order), merely adversarial.
+        """
+        plan = getattr(self.engine, "schedule", None)
+        if plan is not None and len(self.runq) > 1:
+            choice = plan.pick_runnable(self.runq.snapshot())
+            if choice is not None and self.runq.remove(choice):
+                return choice
+        return self.runq.pop_best()
+
+    def preempt_current(self):
+        """Generator: involuntarily reschedule the current thread.
+
+        The schedule-exploration analogue of an ill-timed time-slice
+        end: the running unbound thread goes to the back of its priority
+        queue and the LWP picks someone else.  A no-op for bound
+        threads, pure-LWP code, and when nobody else is runnable.
+        """
+        ctx = yield GetContext()
+        me = ctx.thread
+        if me is None or me.bound or len(self.runq) == 0:
+            return
+        self.preemptions_injected += 1
+        # This LWP is about to take a runnable sibling and leave ``me``
+        # on the run queue, so a parked LWP must be told about the extra
+        # work — the unpark happens while the queue is already non-empty,
+        # the ordering the park permit is built for.  Skipping it can
+        # strand a preempted holder of a process-shared lock: every
+        # sibling LWP ends up kernel-blocked on that lock while the
+        # holder sits runnable, waiting for an LWP that never comes.
+        if self.parked:
+            idle = self.parked.pop(0)
+            self.unparks_requested += 1
+            yield Syscall("lwp_unpark", idle.lwp_id)
+
+        def publish():
+            me.state = ThreadState.RUNNABLE
+            self.runq.insert(me)
+
+        yield from self.reschedule(publish=publish)
+
     def reschedule(self, publish: Optional[Callable[[], None]] = None):
         """Generator: publish a state change and give up the LWP.
 
@@ -315,7 +371,7 @@ class ThreadsLibrary:
                         raise
             thread.state = ThreadState.RUNNING
         else:
-            nxt = self.runq.pop_best()
+            nxt = self.pick_next()
             self.detach(lwp, thread)
             if nxt is not None:
                 self.adopt(lwp, nxt)
@@ -383,7 +439,7 @@ class ThreadsLibrary:
                 # timer before handing it to a thread.
                 yield Syscall("setitimer", 1, self.time_slice_ns)
             yield Charge(self.costs.thread_sched_pick)
-            nxt = self.runq.pop_best()
+            nxt = self.pick_next()
             if nxt is not None:
                 self.adopt(lwp, nxt)
                 yield SwitchTo(nxt.activity)

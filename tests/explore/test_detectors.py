@@ -1,0 +1,74 @@
+"""The torture harness's acceptance gates, as unit tests.
+
+Every seeded-bug program in the corpus must be caught within a bounded
+schedule budget, and every clean twin (plus the paper workloads) must
+stay finding-free — the detectors are only useful if both directions
+hold.
+"""
+
+import pytest
+
+from repro.explore.corpus import BUGGY, CLEAN
+from repro.explore.explorer import Explorer, run_one, default_plan_dicts
+
+#: Budget for the hunting tests.  The corpus bugs are designed to fall
+#: within a handful of schedules; CI uses a larger K for margin.
+HUNT_RUNS = 12
+CLEAN_RUNS = 6
+
+
+class TestCorpusCaught:
+    @pytest.mark.parametrize("name", sorted(BUGGY))
+    def test_bug_found_within_budget(self, name):
+        factory, expected = BUGGY[name]
+        report = Explorer(factory, program=name, runs=HUNT_RUNS,
+                          seed=1).explore()
+        assert report.finding_kinds & expected, (
+            f"{name}: expected one of {sorted(expected)} within "
+            f"{HUNT_RUNS} runs, saw {sorted(report.finding_kinds)}")
+
+    def test_racy_counter_names_the_cell(self):
+        factory, _ = BUGGY["racy_counter"]
+        report = Explorer(factory, program="racy_counter", runs=HUNT_RUNS,
+                          seed=1).explore()
+        races = [f for r in report.results for f in r.findings
+                 if f.kind == "data-race"]
+        assert races
+        assert any(f.subject.endswith("+0") for f in races)
+
+    def test_lock_order_cycle_names_both_locks(self):
+        factory, _ = BUGGY["ab_ba_locks"]
+        report = Explorer(factory, program="ab_ba_locks", runs=HUNT_RUNS,
+                          seed=1).explore()
+        cycles = [f for r in report.results for f in r.findings
+                  if f.kind == "lock-order"]
+        assert cycles
+        assert any("lockA" in f.message and "lockB" in f.message
+                   for f in cycles)
+
+
+class TestCleanGate:
+    @pytest.mark.parametrize("name", sorted(CLEAN))
+    def test_clean_program_stays_clean(self, name):
+        factory = CLEAN[name]
+        report = Explorer(factory, program=name, runs=CLEAN_RUNS,
+                          seed=1).explore()
+        assert not report.failures, report.summary()
+
+
+class TestWorkloadsClean:
+    """The paper's own workloads are the highest-value false-positive
+    gate: they use every primitive (shared mutexes across processes,
+    CVs, semaphores, multi-LWP concurrency)."""
+
+    @pytest.mark.parametrize("module_name", [
+        "array_compute", "database", "network_server", "window_system"])
+    def test_workload_clean_under_mild_preemption(self, module_name):
+        import importlib
+        mod = importlib.import_module(f"repro.workloads.{module_name}")
+        plans = default_plan_dicts(4)
+        for k, plan in enumerate(plans):
+            result = run_one(lambda: mod.build()[0],
+                             program=module_name, run_index=k,
+                             seed=1 + k, schedule_dict=plan)
+            assert not result.failed, result.summary()

@@ -1,0 +1,55 @@
+"""Adaptive-mutex spin policy versus a crashed owner LWP.
+
+The adaptive policy spins only while the owner is on a CPU.  When a
+fault plan reclaims the owner's LWP mid-hold (``LwpCrash``), the kernel
+clears ``lwp.cpu`` on termination, so ``Mutex._owner_running()`` must go
+False and contenders must fall through to blocking — a contender that
+kept spinning against a dead owner would burn virtual time forever.
+"""
+
+from repro import FaultPlan, LwpCrash, threads
+from repro.runtime import libc, unistd
+from repro.sync import Mutex, SYNC_ADAPTIVE
+from tests.conftest import run_program
+
+
+class TestAdaptiveSpinAfterOwnerCrash:
+    def _run(self):
+        observed = {}
+        m = Mutex(SYNC_ADAPTIVE, name="adaptive")
+
+        def holder(_):
+            yield from m.enter()
+            # Hold across the crash point; this thread's LWP dies at
+            # t=10ms and never releases.
+            yield from libc.compute(500_000)
+            yield from m.exit()
+
+        def main():
+            yield from threads.thread_create(
+                holder, None, flags=threads.THREAD_BIND_LWP)
+            yield from libc.compute(20_000)   # crash already happened
+            spins_before = m.spins
+            ok = yield from m.timedenter(10_000)
+            observed["ok"] = ok
+            observed["spins"] = m.spins - spins_before
+            observed["owner_running"] = m._owner_running()
+            # The orphaned holder can never exit; end the process
+            # explicitly rather than wait on a dead thread.
+            yield from unistd.exit(0)
+
+        plan = FaultPlan([LwpCrash(10_000.0, pid=1, lwp_id=2)])
+        run_program(main, ncpus=2, faults=plan)
+        return observed
+
+    def test_contender_blocks_instead_of_spinning(self):
+        observed = self._run()
+        # The lock is orphaned: the timed acquire must give up...
+        assert observed["ok"] is False
+        # ...by sleeping until the deadline, not by polling it.  A
+        # 10ms adaptive spin would cost thousands of poll iterations.
+        assert observed["spins"] < 100, observed
+
+    def test_owner_not_considered_running_after_crash(self):
+        observed = self._run()
+        assert observed["owner_running"] is False

@@ -1,0 +1,76 @@
+"""Shared-mutex futex protocol: a slept waiter re-acquires contended.
+
+The cell protocol is 0 free / 1 locked / 2 locked-with-sleepers.  Exit
+stores 0 and wakes ONE sleeper; that sleeper cannot know whether others
+remain asleep on the cell, so it must take the lock back in state 2 —
+re-acquiring with 1 erases the contended mark and the next exit wakes
+nobody, stranding any second sleeper forever.  (Found by the schedule
+explorer as a rare cross-process hang in the database workload.)
+"""
+
+from repro import threads
+from repro.runtime import libc, mapped
+from repro.sync import Mutex, THREAD_SYNC_SHARED
+from tests.conftest import run_program
+
+
+class TestSleptWaiterReacquiresContended:
+    def test_cell_reads_2_after_wake(self):
+        got = []
+
+        def main():
+            region = yield from mapped.map_anon_shared(4096)
+            cell = region.cell(0)
+
+            def holder(_):
+                m = Mutex(THREAD_SYNC_SHARED, cell=cell, name="sm")
+                yield from m.enter()
+                yield from libc.compute(5_000)
+                yield from m.exit()
+
+            def waiter(_):
+                m = Mutex(THREAD_SYNC_SHARED, cell=cell, name="sm")
+                yield from libc.compute(1_000)
+                yield from m.enter()          # sleeps, then is woken
+                got.append(cell.load())
+                yield from m.exit()
+
+            flags = threads.THREAD_WAIT | threads.THREAD_BIND_LWP
+            t1 = yield from threads.thread_create(holder, None, flags=flags)
+            t2 = yield from threads.thread_create(waiter, None, flags=flags)
+            yield from threads.thread_wait(t1)
+            yield from threads.thread_wait(t2)
+            got.append(cell.load())
+
+        run_program(main, ncpus=3)
+        # Pessimistic re-acquire: 2 while the woken waiter holds, 0 once
+        # everyone is done (the final exit's extra wake finds nobody).
+        assert got == [2, 0]
+
+    def test_three_contenders_all_complete(self):
+        done = []
+
+        def main():
+            region = yield from mapped.map_anon_shared(4096)
+            cell = region.cell(0)
+
+            def worker(args):
+                delay, hold = args
+                m = Mutex(THREAD_SYNC_SHARED, cell=cell, name="sm")
+                yield from libc.compute(delay)
+                yield from m.enter()
+                yield from libc.compute(hold)
+                yield from m.exit()
+                done.append(delay)
+
+            flags = threads.THREAD_WAIT | threads.THREAD_BIND_LWP
+            tids = []
+            for spec in ((0, 100), (10, 10), (20, 10)):
+                tid = yield from threads.thread_create(
+                    worker, spec, flags=flags)
+                tids.append(tid)
+            for tid in tids:
+                yield from threads.thread_wait(tid)
+
+        run_program(main, ncpus=4)
+        assert sorted(done) == [0, 10, 20]
