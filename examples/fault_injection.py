@@ -57,15 +57,16 @@ def main():
     # And when something *does* wedge, the report names the cycle.
     a, b = Mutex(name="A"), Mutex(name="B")
 
-    def t1(_):
+    # This pair exists to deadlock: it demonstrates the diagnostics.
+    def t1(_):  # lint: allow=L301
         yield from a.enter()
         yield from threads.thread_yield()
-        yield from b.enter()
+        yield from b.enter()  # lint: allow=L201
 
-    def t2(_):
+    def t2(_):  # lint: allow=L301
         yield from b.enter()
         yield from threads.thread_yield()
-        yield from a.enter()
+        yield from a.enter()  # lint: allow=L201
 
     def wedge():
         for fn in (t1, t2):

@@ -287,6 +287,18 @@ BUGGY = {
     "exit_holding_lock": (exit_holding_lock, {"exit-holding-lock"}),
 }
 
+#: name -> rule ids `python -m repro.lint --corpus` must report for the
+#: entry (the statically-visible face of the seeded bug).  Entries
+#: absent here are dynamic-only.  The clean corpus must stay
+#: finding-free statically too.
+STATIC_EXPECT = {
+    "racy_counter": {"L601"},
+    "ab_ba_locks": {"L201"},
+    "lost_wakeup": {"L402", "L403"},
+    "sema_underflow": {"L304"},
+    "exit_holding_lock": {"L301"},
+}
+
 #: name -> factory; must produce zero findings under every schedule.
 CLEAN = {
     "clean_counter": clean_counter,

@@ -1,0 +1,102 @@
+"""``repro.lint`` — static concurrency analyzer for guest programs.
+
+Usage::
+
+    from repro.lint import lint_paths
+    report = lint_paths(["examples/", "tests/workloads/"])
+    print(report.to_text())
+
+The analyzer is purely AST-based: it never imports or executes the code
+it checks.  See :mod:`repro.lint.loader` for the symbol model,
+:mod:`repro.lint.absint` for the path-sensitive interpreter, and
+:mod:`repro.lint.rules` for the rule catalogue (L101–L601).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.lint import callgraph
+from repro.lint.absint import Interp, Sink
+from repro.lint.loader import ModuleInfo, load_module
+from repro.lint.report import (KIND_BY_RULE, RULE_CATALOGUE,
+                               SEVERITY_BY_RULE, LintFinding,
+                               LintReport)
+from repro.lint.rules import (condvar, fork_hygiene, lock_balance,
+                              lock_order, lockset, yield_discipline)
+
+__all__ = ["lint_paths", "lint_files", "collect_files", "LintReport",
+           "LintFinding", "KIND_BY_RULE", "SEVERITY_BY_RULE",
+           "RULE_CATALOGUE"]
+
+
+def collect_files(paths) -> list:
+    """Expand files/directories into a sorted list of .py files."""
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs
+                           if d not in ("__pycache__", ".git")]
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    return sorted(dict.fromkeys(_normalize(f) for f in files))
+
+
+def _normalize(path: str) -> str:
+    rel = os.path.relpath(path)
+    return rel.replace(os.sep, "/") if not rel.startswith("..") \
+        else path.replace(os.sep, "/")
+
+
+def lint_files(files) -> LintReport:
+    """Analyze the given .py files together (one shared evidence sink,
+    so cross-function facts like cv/mutex associations work)."""
+    report = LintReport()
+    sink = Sink()
+    modules = []
+    spawns = []
+    for path in files:
+        try:
+            module = load_module(path)
+        except SyntaxError as err:
+            raise SystemExit(f"repro.lint: cannot parse {path}: {err}")
+        modules.append(module)
+        report.files.append(path)
+        _called, msp, _edges = callgraph.analyze(module)
+        spawns.extend(msp)
+        for fi in callgraph.entry_points(module):
+            Interp(module, sink).run_entry(fi)
+    findings = []
+    findings += yield_discipline.run(modules)
+    findings += lock_order.run(sink)
+    findings += lock_balance.run(sink)
+    findings += condvar.run(sink)
+    findings += fork_hygiene.run(sink)
+    findings += lockset.run(sink, spawns)
+
+    by_path = {m.path: m for m in modules}
+    seen = set()
+    for f in findings:
+        dedup = (f.rule, f.file, f.line, f.col, f.subject)
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        module = by_path.get(f.file)
+        if module is not None and module.allowed(f.line, f.rule):
+            report.suppressed.append(f)
+        else:
+            report.add(f)
+    return report.finish()
+
+
+def lint_paths(paths, baseline=None) -> LintReport:
+    report = lint_files(collect_files(paths))
+    if baseline:
+        report.apply_baseline(baseline)
+        report.finish()
+    return report

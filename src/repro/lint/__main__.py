@@ -1,0 +1,130 @@
+"""CLI for the static analyzer (what the CI lint job runs).
+
+Examples::
+
+    # Lint guest code: exit 1 on any unsuppressed finding.
+    python -m repro.lint examples/ tests/workloads/
+
+    # JSON report (deterministic: same input, byte-identical output).
+    python -m repro.lint --json examples/
+
+    # Cross-check against the seeded-bug corpus: every static_expect
+    # tag must be flagged, the clean corpus must stay finding-free.
+    python -m repro.lint --corpus
+
+    # Baseline known findings instead of fixing them.
+    python -m repro.lint --baseline lint-baseline.txt src/
+
+Exit codes: 0 clean, 1 findings (or a missed corpus expectation),
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+
+from repro.lint import (RULE_CATALOGUE, collect_files, lint_files,
+                        lint_paths)
+
+
+def _load_baseline(path):
+    fingerprints = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                fingerprints.append(line)
+    return fingerprints
+
+
+def _corpus_check(args) -> int:
+    """Lint explore/corpus.py; compare against its static_expect tags."""
+    from repro.explore import corpus
+
+    path = corpus.__file__
+    report = lint_files(collect_files([path]))
+    findings = report.findings
+    # Attribute findings to corpus entries by top-level function span.
+    spans = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            spans[node.name] = (node.lineno, node.end_lineno)
+
+    def rules_in(name):
+        lo, hi = spans.get(name, (0, -1))
+        return {f.rule for f in findings if lo <= f.line <= hi}
+
+    failures = 0
+    for name in corpus.BUGGY:
+        expected = corpus.STATIC_EXPECT.get(name, set())
+        got = rules_in(name)
+        missing = expected - got
+        status = "ok" if not missing else "MISSED"
+        print(f"{name}: expect {sorted(expected) or '(dynamic-only)'} "
+              f"got {sorted(got)} -> {status}")
+        if missing:
+            failures += 1
+    for name in corpus.CLEAN:
+        got = rules_in(name)
+        status = "ok" if not got else "FALSE POSITIVE"
+        print(f"{name}: clean, got {sorted(got)} -> {status}")
+        if got:
+            failures += 1
+    if failures:
+        print(f"\n{failures} corpus entr(y/ies) FAILED the static "
+              "cross-check")
+        return 1
+    print("\nstatic corpus cross-check passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="static concurrency analyzer for guest programs")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the JSON report instead of text")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="file of finding fingerprints to ignore "
+                             "(one per line)")
+    parser.add_argument("--corpus", action="store_true",
+                        help="cross-check the seeded-bug corpus's "
+                             "static_expect tags")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULE_CATALOGUE):
+            print(f"{rule}: {RULE_CATALOGUE[rule]}")
+        return 0
+    if args.corpus:
+        rc = _corpus_check(args)
+        if args.paths:
+            rc2 = _lint(args)
+            rc = rc or rc2
+        return rc
+    if not args.paths:
+        parser.error("give at least one path to lint (or --corpus / "
+                     "--list-rules)")
+    return _lint(args)
+
+
+def _lint(args) -> int:
+    baseline = _load_baseline(args.baseline) if args.baseline else None
+    report = lint_paths(args.paths, baseline=baseline)
+    if args.json:
+        sys.stdout.write(report.to_json())
+    else:
+        print(report.to_text())
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,614 @@
+"""Path-sensitive abstract interpretation of guest generator functions.
+
+The interpreter walks a function's (structured) AST carrying a *list* of
+:class:`PathState`s simultaneously — one per feasible combination of
+branch outcomes seen so far.  A state is just the ordered held-lock list
+plus per-semaphore P/V balances.  ``tryenter``-style operations fork
+every state into a success and a failure copy; ``if`` merges the states
+of both arms; loops compare the held set at the back edge against the
+loop entry (a difference is itself a finding, L305) instead of
+iterating to a fixpoint.
+
+Calls to *local* generator functions via ``yield from`` are inlined
+(depth-capped, recursion-guarded) with parameters bound to the caller's
+resolved values, so a lock passed into a helper keeps its identity.
+Functions never inline-called are analyzed standalone as entry points;
+balance rules go lenient on parameter-keyed locks there (the caller's
+context is unknown).
+
+The interpreter itself emits no findings.  It records *evidence* into a
+:class:`Sink` — per-site visit/violation aggregates (so rules can apply
+definite all-paths semantics even when loops revisit a node), lock-order
+edges, cv wait/signal observations, fork sites, spawn sites, and shared
+cell accesses — which the ``rules/`` modules turn into findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.loader import FuncInfo, ModuleInfo, Op, classify_call
+
+MAX_STATES = 48
+MAX_INLINE_DEPTH = 8
+MAX_HELD_SNAPSHOTS = 16
+
+#: key prefixes whose context is unknown in standalone analysis.
+_LENIENT_PREFIXES = ("param", "param-attr", "expr")
+
+
+class LockEntry:
+    __slots__ = ("key", "display", "kind", "line", "blocking")
+
+    def __init__(self, key, display, kind, line, blocking=True):
+        self.key = key
+        self.display = display
+        self.kind = kind
+        self.line = line
+        self.blocking = blocking
+
+
+class PathState:
+    """One feasible execution path's abstract state."""
+
+    __slots__ = ("held", "units")
+
+    def __init__(self, held=(), units=()):
+        self.held = held      # tuple of LockEntry, acquisition order
+        self.units = units    # sorted tuple of (sema key, net P-V)
+
+    @property
+    def dedupe_key(self):
+        return (tuple((e.key, e.kind) for e in self.held), self.units)
+
+    def held_keys(self):
+        return [e.key for e in self.held]
+
+    def with_lock(self, entry):
+        return PathState(self.held + (entry,), self.units)
+
+    def without_lock(self, key):
+        """Drop the most recent entry with ``key`` (no-op if absent)."""
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i].key == key:
+                return PathState(self.held[:i] + self.held[i + 1:],
+                                 self.units)
+        return self
+
+    def sema_net(self, key) -> int:
+        for k, n in self.units:
+            if k == key:
+                return n
+        return 0
+
+    def with_sema(self, key, delta):
+        units = dict(self.units)
+        units[key] = units.get(key, 0) + delta
+        return PathState(self.held, tuple(sorted(units.items())))
+
+    def witness(self) -> str:
+        return ", ".join(f"{e.display}@{e.line}" for e in self.held)
+
+
+def _dedupe(states):
+    seen = set()
+    out = []
+    for st in states:
+        k = st.dedupe_key
+        if k not in seen:
+            seen.add(k)
+            out.append(st)
+        if len(out) >= MAX_STATES:
+            break
+    return out
+
+
+# ---------------------------------------------------------------------
+# Evidence sink
+# ---------------------------------------------------------------------
+
+class Site:
+    """Aggregated visits of one (rule, source location, subject)."""
+
+    __slots__ = ("module", "function", "line", "col", "subject",
+                 "visits", "viols", "sample_held", "snapshots")
+
+    def __init__(self, module, function, line, col, subject):
+        self.module = module
+        self.function = function
+        self.line = line
+        self.col = col
+        self.subject = subject
+        self.visits = 0
+        self.viols = 0
+        self.sample_held = None     # witness of one violating state
+        self.snapshots = []         # held key-sets (signal/fork sites)
+
+
+class Edge:
+    __slots__ = ("src", "dst", "src_disp", "dst_disp", "module",
+                 "function", "line")
+
+    def __init__(self, src, dst, src_disp, dst_disp, module, function,
+                 line):
+        self.src = src
+        self.dst = dst
+        self.src_disp = src_disp
+        self.dst_disp = dst_disp
+        self.module = module
+        self.function = function
+        self.line = line
+
+
+class CellAccess:
+    __slots__ = ("region", "region_disp", "offset", "write", "module",
+                 "function", "root", "line", "common_held", "visits")
+
+    def __init__(self, region, region_disp, offset, write, module,
+                 function, root, line):
+        self.region = region
+        self.region_disp = region_disp
+        self.offset = offset
+        self.write = write
+        self.module = module
+        self.function = function
+        self.root = root            # entry function this path belongs to
+        self.line = line
+        self.common_held = None     # ∩ of held key-sets over visits
+        self.visits = 0
+
+
+class Sink:
+    """Evidence shared by every module analyzed in one lint run."""
+
+    def __init__(self):
+        self.sites: dict = {}           # (rule,path,line,col,subj)->Site
+        self.edges: list = []
+        self.wait_sites: list = []      # (module, fi, Op) for L402
+        self.cv_mutexes: dict = {}      # cv key -> set of mutex keys
+        self.cells: dict = {}           # (path,line,region,off)->access
+        self.signal_cv: dict = {}       # (path,line,col) -> cv key
+
+    def site(self, rule, module, function, node, subject) -> Site:
+        key = (rule, module.path, node.lineno, node.col_offset, subject)
+        st = self.sites.get(key)
+        if st is None:
+            st = self.sites[key] = Site(module, function, node.lineno,
+                                        node.col_offset, subject)
+        return st
+
+    def record(self, rule, module, function, node, subject, violating,
+               witness=""):
+        st = self.site(rule, module, function, node, subject)
+        st.visits += 1
+        if violating:
+            st.viols += 1
+            if st.sample_held is None:
+                st.sample_held = witness
+
+    def snapshot(self, rule, module, function, node, subject, held_keys):
+        st = self.site(rule, module, function, node, subject)
+        st.visits += 1
+        if len(st.snapshots) < MAX_HELD_SNAPSHOTS:
+            st.snapshots.append(frozenset(held_keys))
+
+
+# ---------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------
+
+class _Frame:
+    """Loop or inline-call context for break/continue/return routing."""
+
+    def __init__(self, kind):
+        self.kind = kind            # "loop" | "inline"
+        self.breaks = []
+        self.continues = []
+        self.returns = []
+
+
+class Interp:
+    def __init__(self, module: ModuleInfo, sink: Sink):
+        self.module = module
+        self.sink = sink
+
+    # ------------------------------------------------------ entry point
+
+    def run_entry(self, fi: FuncInfo):
+        states = [PathState()]
+        states = self._walk_body(fi.node.body, fi, states,
+                                 activation=[], stack=[fi],
+                                 loop=None, inline=None)
+        self._func_exit(fi.node, fi, states, how="fall-off")
+
+    # --------------------------------------------------------- plumbing
+
+    def _lenient(self, lock, activation) -> bool:
+        """Balance rules stand down for parameter-keyed locks when the
+        function is being analyzed without a calling context."""
+        return (lock.key is None
+                or (lock.key[0] in _LENIENT_PREFIXES and not activation))
+
+    def _driven(self, call: ast.Call) -> str:
+        """How the generator produced by ``call`` is consumed:
+        'yield-from' | 'yield' | 'discard' | 'stored'."""
+        parent = self.module.parents.get(id(call))
+        if isinstance(parent, ast.YieldFrom):
+            return "yield-from"
+        if isinstance(parent, ast.Yield):
+            return "yield"
+        if isinstance(parent, ast.Expr):
+            return "discard"
+        return "stored"
+
+    def _calls_in(self, node):
+        """Call nodes in evaluation order (args before the call itself),
+        not descending into nested function definitions."""
+        out = []
+
+        def visit(n):
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda, ast.ClassDef)):
+                return
+            for child in ast.iter_child_nodes(n):
+                visit(child)
+            if isinstance(n, ast.Call):
+                out.append(n)
+        visit(node)
+        return out
+
+    # ------------------------------------------------------- statements
+
+    def _walk_body(self, stmts, fi, states, activation, stack, loop,
+                   inline):
+        for stmt in stmts:
+            if not states:
+                return states
+            states = self._walk_stmt(stmt, fi, states, activation,
+                                     stack, loop, inline)
+        return states
+
+    def _walk_stmt(self, stmt, fi, states, activation, stack, loop,
+                   inline):
+        ctx = (fi, activation, stack, loop, inline)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return states
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                states = self._eval(stmt.value, states, *ctx)
+            if inline is not None:
+                inline.returns.extend(states)
+            else:
+                self._func_exit(stmt, fi, states, how="return")
+            return []
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                states = self._eval(stmt.exc, states, *ctx)
+            self._func_exit(stmt, fi, states, how="raise")
+            return []
+        if isinstance(stmt, ast.Break):
+            if loop is not None:
+                loop.breaks.extend(states)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if loop is not None:
+                loop.continues.extend(states)
+            return []
+        if isinstance(stmt, ast.If):
+            states = self._eval(stmt.test, states, *ctx)
+            then = self._walk_body(stmt.body, fi, list(states),
+                                   activation, stack, loop, inline)
+            other = self._walk_body(stmt.orelse, fi, list(states),
+                                    activation, stack, loop, inline)
+            return _dedupe(then + other)
+        if isinstance(stmt, (ast.While, ast.For)):
+            return self._walk_loop(stmt, fi, states, activation, stack,
+                                   inline)
+        if isinstance(stmt, ast.Try):
+            entry = list(states)
+            body = self._walk_body(stmt.body, fi, states, activation,
+                                   stack, loop, inline)
+            outs = list(body)
+            for handler in stmt.handlers:
+                outs += self._walk_body(handler.body, fi, list(entry),
+                                        activation, stack, loop, inline)
+            outs += self._walk_body(stmt.orelse, fi, list(body),
+                                    activation, stack, loop, inline)
+            outs = _dedupe(outs)
+            if stmt.finalbody:
+                outs = self._walk_body(stmt.finalbody, fi, outs,
+                                       activation, stack, loop, inline)
+            return outs
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                states = self._eval(item.context_expr, states, *ctx)
+            return self._walk_body(stmt.body, fi, states, activation,
+                                   stack, loop, inline)
+        # Expr / Assign / AugAssign / AnnAssign / Assert / plain stmts.
+        for field in ("value", "test", "target", "msg"):
+            sub = getattr(stmt, field, None)
+            if isinstance(sub, ast.AST):
+                states = self._eval(sub, states, *ctx)
+        return states
+
+    def _walk_loop(self, stmt, fi, states, activation, stack, inline):
+        ctx = (fi, activation, stack, None, inline)
+        if isinstance(stmt, ast.While):
+            states = self._eval(stmt.test, states, *ctx)
+            infinite = (isinstance(stmt.test, ast.Constant)
+                        and bool(stmt.test.value))
+        else:
+            states = self._eval(stmt.iter, states, *ctx)
+            infinite = False
+        entry = _dedupe(list(states))
+        frame = _Frame("loop")
+        body_out = self._walk_body(stmt.body, fi, list(entry),
+                                   activation, stack, frame, inline)
+        loopback = _dedupe(body_out + frame.continues)
+        self._check_loop_balance(stmt, fi, entry, loopback)
+        if infinite:
+            exits = frame.breaks
+        else:
+            exits = entry + loopback + frame.breaks
+        exits = _dedupe(exits)
+        if stmt.orelse:
+            exits = self._walk_body(stmt.orelse, fi, exits, activation,
+                                    stack, None, inline)
+        return exits
+
+    def _check_loop_balance(self, stmt, fi, entry, loopback):
+        if not loopback:
+            return
+        entry_sets = {tuple(sorted(map(str, st.held_keys())))
+                      for st in entry}
+        back_sets = {tuple(sorted(map(str, st.held_keys())))
+                     for st in loopback}
+        if entry_sets and back_sets and not (back_sets & entry_sets):
+            sample = loopback[0]
+            gained = [e.display for e in sample.held]
+            self.sink.record(
+                "L305", self.module, fi.name, stmt,
+                subject=",".join(sorted(set(gained))) or "held-set",
+                violating=True, witness=sample.witness())
+
+    # ------------------------------------------------------ expressions
+
+    def _eval(self, expr, states, fi, activation, stack, loop, inline):
+        for call in self._calls_in(expr):
+            if not states:
+                return states
+            op = classify_call(self.module, fi, call, activation)
+            if op is None:
+                continue
+            states = self._apply(op, call, states, fi, activation,
+                                 stack, loop, inline)
+        return states
+
+    # ------------------------------------------------------------- ops
+
+    def _apply(self, op: Op, call, states, fi, activation, stack, loop,
+               inline):
+        driven = self._driven(call)
+        if op.is_genapi and driven in ("discard", "yield"):
+            return states       # never runs: L101/L102 (syntactic pass)
+        k = op.opkind
+        if k == "inline":
+            return self._inline(op, call, states, fi, activation, stack)
+        if k in ("call", "genapi"):
+            return states
+        if k in ("acquire", "timed", "try"):
+            return self._acquire(op, call, states, fi, activation,
+                                 kind="mutex")
+        if k in ("rwacquire", "rwtry"):
+            return self._acquire(op, call, states, fi, activation,
+                                 kind="rwlock")
+        if k in ("release", "rwrelease"):
+            return self._release(op, call, states, fi, activation)
+        if k == "wait":
+            return self._wait(op, call, states, fi, activation)
+        if k == "signal":
+            return self._signal(op, call, states, fi)
+        if k in ("semp", "semtryp", "semv"):
+            return self._sema(op, call, states, fi, activation)
+        if k in ("load", "store"):
+            return self._cell(op, call, states, fi, stack)
+        if k in ("fork", "fork1"):
+            return self._fork(op, call, states, fi)
+        if k == "procexit":
+            return []
+        if k == "threadexit":
+            self._func_exit(call, fi, states, how="thread_exit")
+            return []
+        if k == "spawn":
+            return states       # spawn topology handled by callgraph
+        return states
+
+    def _inline(self, op, call, states, fi, activation, stack):
+        target = op.target.func
+        if target in stack or len(stack) >= MAX_INLINE_DEPTH:
+            return states
+        frame_bindings = {}
+        args = list(call.args)
+        params = list(target.params)
+        for name, arg in zip(params, args):
+            val = self.module.resolve_value(arg, fi, activation)
+            if val is not None:
+                frame_bindings[name] = val
+        for kw in call.keywords:
+            if kw.arg in params:
+                val = self.module.resolve_value(kw.value, fi,
+                                                activation)
+                if val is not None:
+                    frame_bindings[kw.arg] = val
+        frame = _Frame("inline")
+        activation2 = activation + [(target, frame_bindings)]
+        out = self._walk_body(target.node.body, target, states,
+                              activation2, stack + [target], None,
+                              frame)
+        return _dedupe(out + frame.returns)
+
+    def _acquire(self, op, call, states, fi, activation, kind):
+        lock = op.lock
+        if lock is None or lock.key is None:
+            return states
+        blocking = op.opkind in ("acquire", "timed", "rwacquire")
+        forks = op.opkind in ("try", "timed", "rwtry")
+        lenient = self._lenient(lock, activation)
+        edge_ok = blocking and (kind == "mutex" or op.rw_writer)
+        out = []
+        for st in states:
+            already = lock.key in st.held_keys()
+            if kind == "mutex" and op.opkind == "acquire" \
+                    and not lock.star and not lenient:
+                self.sink.record("L303", self.module, fi.name, call,
+                                 subject=lock.display,
+                                 violating=already,
+                                 witness=st.witness())
+            if edge_ok and not already:
+                self._edges_to(st, lock, fi, call)
+            entry = LockEntry(lock.key, lock.display, kind,
+                              call.lineno, blocking)
+            out.append(st.with_lock(entry))
+            if forks:
+                out.append(st)
+        return _dedupe(out)
+
+    def _edges_to(self, st, lock, fi, call):
+        for held in st.held:
+            if held.key == lock.key:
+                continue
+            if lock.star or "*" in held.key:
+                # Same-collection star pairs carry no usable order
+                # (forks[i] vs forks[(i+1)%N]): no edge.
+                if held.key[:3] == (lock.key or ())[:3]:
+                    continue
+            self.sink.edges.append(Edge(
+                held.key, lock.key, held.display, lock.display,
+                self.module, fi.name, call.lineno))
+
+    def _release(self, op, call, states, fi, activation):
+        lock = op.lock
+        if lock is None or lock.key is None:
+            return states
+        lenient = self._lenient(lock, activation)
+        out = []
+        for st in states:
+            held = lock.key in st.held_keys()
+            if not lock.star and not lenient:
+                self.sink.record("L302", self.module, fi.name, call,
+                                 subject=lock.display,
+                                 violating=not held,
+                                 witness=st.witness())
+            out.append(st.without_lock(lock.key))
+        return _dedupe(out)
+
+    def _wait(self, op, call, states, fi, activation):
+        cv, mutex = op.lock, op.mutex
+        if cv is not None and cv.key is not None and mutex is not None \
+                and mutex.key is not None:
+            self.sink.cv_mutexes.setdefault(cv.key, set()).add(
+                mutex.key)
+        self.sink.wait_sites.append((self.module, fi, op))
+        if mutex is None or mutex.key is None:
+            return states
+        lenient = self._lenient(mutex, activation)
+        out = []
+        for st in states:
+            held = mutex.key in st.held_keys()
+            if not lenient:
+                self.sink.record("L401", self.module, fi.name, call,
+                                 subject=mutex.display,
+                                 violating=not held,
+                                 witness=st.witness())
+            if held:
+                # The wait releases the mutex, sleeps, and re-acquires:
+                # a blocking acquire of ``mutex`` while every *other*
+                # held lock stays held — exactly the dynamic detector's
+                # edge (other -> mutex).
+                released = st.without_lock(mutex.key)
+                self._edges_to(released, mutex, fi, call)
+            out.append(st)
+        return out
+
+    def _signal(self, op, call, states, fi):
+        cv = op.lock
+        if cv is None or cv.key is None:
+            return states
+        for st in states:
+            self.sink.snapshot("L403", self.module, fi.name, call,
+                               subject=cv.display,
+                               held_keys=st.held_keys())
+        self.sink.signal_cv[(self.module.path, call.lineno,
+                             call.col_offset)] = cv.key
+        return states
+
+    def _sema(self, op, call, states, fi, activation):
+        sema = op.lock
+        if sema is None or sema.key is None:
+            return states
+        if sema.initial is None or sema.initial == 0:
+            return states       # notification semaphore / unknown pool
+        out = []
+        for st in states:
+            if op.opkind == "semv":
+                self.sink.record("L304", self.module, fi.name, call,
+                                 subject=sema.display,
+                                 violating=st.sema_net(sema.key) <= 0,
+                                 witness=f"net={st.sema_net(sema.key)}")
+                out.append(st.with_sema(sema.key, -1))
+            else:
+                out.append(st.with_sema(sema.key, +1))
+                if op.opkind == "semtryp":
+                    out.append(st)
+        return _dedupe(out)
+
+    def _cell(self, op, call, states, fi, stack):
+        region = op.lock
+        if region is None or region.key is None:
+            return states
+        offset = "*"
+        if call.args and isinstance(call.args[0], ast.Constant):
+            offset = repr(call.args[0].value)
+        key = (self.module.path, call.lineno, region.key, offset)
+        acc = self.sink.cells.get(key)
+        if acc is None:
+            acc = self.sink.cells[key] = CellAccess(
+                region.key, region.display, offset,
+                op.opkind == "store", self.module, fi.name,
+                stack[0].qualname, call.lineno)
+        for st in states:
+            held = frozenset(map(str, st.held_keys()))
+            acc.visits += 1
+            acc.common_held = (held if acc.common_held is None
+                               else acc.common_held & held)
+        return states
+
+    def _fork(self, op, call, states, fi):
+        if op.opkind == "fork1":
+            return states
+        for st in states:
+            self.sink.record("L501", self.module, fi.name, call,
+                             subject="fork",
+                             violating=bool(st.held),
+                             witness=st.witness())
+        return states
+
+    def _func_exit(self, node, fi, states, how):
+        for st in states:
+            seen = set()
+            for entry in st.held:
+                if entry.key in seen:
+                    continue
+                seen.add(entry.key)
+                if entry.key[0] in _LENIENT_PREFIXES:
+                    continue
+                self.sink.record(
+                    "L301", self.module, fi.name, node,
+                    subject=entry.display, violating=True,
+                    witness=f"{how}; held: {st.witness()}")
+            # Visits with nothing held keep the all-paths denominator
+            # honest for every lock flagged at this exit.
+            self.sink.record("L301", self.module, fi.name, node,
+                             subject="<exit>", violating=False)

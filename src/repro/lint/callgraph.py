@@ -1,0 +1,99 @@
+"""Call graph over a module's guest functions.
+
+Two syntactic facts drive the analysis layout:
+
+* which local generator functions are *inline-called* (``yield from
+  helper(...)``) — those are analyzed inline with bound parameters, not
+  as standalone entry points;
+* which functions are *spawned as threads* (``thread_create(worker,
+  ...)``, ``pthread_create``, ``parallel_for`` bodies) — those are
+  always entry points, and the lockset rule treats their shared-memory
+  accesses as concurrent (multi-instance when spawned in a loop or from
+  two or more sites).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.loader import FuncInfo, ModuleInfo, classify_call
+
+
+class Spawn:
+    __slots__ = ("target", "in_loop", "module", "line")
+
+    def __init__(self, target, in_loop, module, line):
+        self.target = target        # qualname of the spawned function
+        self.in_loop = in_loop
+        self.module = module
+        self.line = line
+
+
+def _own_calls(fi: FuncInfo):
+    """Call nodes lexically inside ``fi`` (not in nested functions)."""
+    out = []
+
+    def visit(n):
+        for child in ast.iter_child_nodes(n):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            visit(child)
+            if isinstance(child, ast.Call):
+                out.append(child)
+    visit(fi.node)
+    return out
+
+
+def _in_loop(module: ModuleInfo, call: ast.Call) -> bool:
+    node = call
+    while True:
+        parent = module.parents.get(id(node))
+        if parent is None or isinstance(parent, ast.FunctionDef):
+            return False
+        if isinstance(parent, (ast.For, ast.While)):
+            return True
+        node = parent
+
+
+def analyze(module: ModuleInfo):
+    """Returns ``(inline_called, spawns, edges)``:
+
+    * ``inline_called`` — qualnames called as local generators;
+    * ``spawns`` — list of :class:`Spawn`;
+    * ``edges`` — caller qualname -> set of callee qualnames.
+    """
+    inline_called = set()
+    spawns = []
+    edges = {}
+    for fi in module.functions.values():
+        for call in _own_calls(fi):
+            op = classify_call(module, fi, call)
+            if op is None:
+                continue
+            if op.opkind == "inline" and op.target is not None:
+                qual = op.target.func.qualname
+                inline_called.add(qual)
+                edges.setdefault(fi.qualname, set()).add(qual)
+            elif op.opkind == "spawn" and op.target is not None \
+                    and op.target.func is not None:
+                dotted = module.resolve_callable(call.func, fi) or ""
+                in_loop = (_in_loop(module, call)
+                           or dotted.endswith("parallel_for"))
+                spawns.append(Spawn(op.target.func.qualname, in_loop,
+                                    module, call.lineno))
+    return inline_called, spawns, edges
+
+
+def entry_points(module: ModuleInfo):
+    """Generator functions analyzed standalone: never inline-called, or
+    explicitly spawned as a thread body."""
+    inline_called, spawns, _edges = analyze(module)
+    spawned = {s.target for s in spawns}
+    entries = []
+    for qual, fi in module.functions.items():
+        if not fi.is_generator:
+            continue
+        if qual in spawned or qual not in inline_called:
+            entries.append(fi)
+    return entries

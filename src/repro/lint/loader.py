@@ -1,0 +1,708 @@
+"""Source loading and symbol resolution for the static analyzer.
+
+The analyzer reasons about *guest programs*: plain Python generator
+functions that drive the simulated thread/sync APIs with ``yield from``.
+This module turns one source file into a :class:`ModuleInfo`:
+
+* the AST with a parent map (``node -> enclosing node``);
+* the import alias table (``threads`` -> ``repro.threads``);
+* a :class:`FuncInfo` tree of every (nested) function with lexical
+  scopes, so a lock created in ``main`` and used inside a nested
+  ``worker`` resolves to the *same* static identity;
+* per-scope bindings of statically recognizable values (:class:`Val`):
+  sync variables, lists/dicts of them, class sync attributes, mapped
+  regions, local functions;
+* inline suppression comments (``# lint: allow=L201,L301`` on the
+  offending line, ``# lint: allow-file=L402`` anywhere for the file).
+
+It also owns *op classification*: mapping a ``Call`` node to the
+abstract operation the interpreter executes (acquire/release/wait/
+signal/P/V/fork/spawn/cell access/plain generator API).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+# ---------------------------------------------------------------------
+# API surface tables
+# ---------------------------------------------------------------------
+
+#: constructor (suffix of resolved dotted name) -> value kind.
+CONSTRUCTORS = {
+    "repro.sync.Mutex": "mutex", "repro.sync.CondVar": "cv",
+    "repro.sync.Semaphore": "sema", "repro.sync.RwLock": "rwlock",
+    "repro.sync.mutex_init": "mutex", "repro.sync.cv_init": "cv",
+    "repro.sync.sema_init": "sema", "repro.sync.rw_init": "rwlock",
+    "repro.pthreads.PthreadMutex": "mutex",
+    "repro.pthreads.PthreadCond": "cv",
+    "repro.sync.Barrier": "structure", "repro.sync.BoundedQueue":
+    "structure", "repro.sync.Latch": "structure",
+}
+
+# Defining-submodule spellings (from repro.sync.mutex import Mutex, ...).
+for _sub in ("mutex.Mutex", "condvar.CondVar", "semaphore.Semaphore",
+             "rwlock.RwLock", "structures.Barrier",
+             "structures.BoundedQueue", "structures.Latch"):
+    CONSTRUCTORS[f"repro.sync.{_sub}"] = CONSTRUCTORS[
+        f"repro.sync.{_sub.rpartition('.')[2]}"]
+for _sub in ("sync.PthreadMutex", "sync.PthreadCond"):
+    CONSTRUCTORS[f"repro.pthreads.{_sub}"] = CONSTRUCTORS[
+        f"repro.pthreads.{_sub.rpartition('.')[2]}"]
+
+_GEN_API_BY_MODULE = {
+    "repro.runtime.libc": ["setjmp", "longjmp", "setjmp_longjmp_pair",
+                           "compute", "errno", "set_errno"],
+    "repro.runtime.unistd": [
+        "syscall", "getpid", "getppid", "fork", "fork1", "exec_image",
+        "exit", "waitpid", "open", "close", "read", "write", "lseek",
+        "dup", "dup2", "unlink", "mkdir", "mkfifo", "chdir", "stat",
+        "ftruncate", "fsync", "pipe", "mmap", "munmap", "brk", "sbrk",
+        "msync", "kill", "sigaction", "sigprocmask", "sigsuspend",
+        "pause", "gettimeofday", "nanosleep", "sleep_usec", "setitimer",
+        "getitimer", "alarm", "getrusage", "setrlimit", "getrlimit",
+        "poll", "select", "sched_yield", "uname", "proc_status",
+        "profil", "creat"],
+    "repro.runtime.mapped": ["map_shared_file", "map_anon_shared"],
+    "repro.threads": [
+        "threads_lib", "current_thread", "thread_create", "thread_exit",
+        "thread_wait", "thread_get_id", "thread_priority",
+        "thread_setconcurrency", "thread_yield", "thread_stop",
+        "thread_continue", "thread_sigsetmask", "thread_kill",
+        "thread_set_time_slicing", "thread_sigaltstack", "thread_waitid",
+        "tls_declare", "tls_get", "tls_set", "tsd_key_create",
+        "tsd_get", "tsd_set"],
+    "repro.pthreads": [
+        "pthread_create", "pthread_join", "pthread_detach",
+        "pthread_exit", "pthread_self", "pthread_yield", "pthread_once",
+        "pthread_key_create", "pthread_key_delete",
+        "pthread_getspecific", "pthread_setspecific",
+        "pthread_mutex_lock", "pthread_mutex_trylock",
+        "pthread_mutex_timedlock", "pthread_mutex_unlock",
+        "pthread_cond_wait", "pthread_cond_signal",
+        "pthread_cond_broadcast"],
+    "repro.sync": [
+        "mutex_enter", "mutex_exit", "mutex_tryenter",
+        "cv_wait", "cv_timedwait", "cv_signal", "cv_broadcast",
+        "sema_p", "sema_v", "sema_tryp",
+        "rw_enter", "rw_exit", "rw_tryenter", "rw_downgrade",
+        "rw_tryupgrade"],
+    "repro.models.kernel_only": ["thread_create"],
+    "repro.models.microtasking": ["parallel_for", "parallel_sum"],
+}
+
+#: every dotted name (with submodule spellings) that is a generator API.
+GEN_API: set = set()
+for _mod, _names in _GEN_API_BY_MODULE.items():
+    _spellings = [_mod]
+    if _mod == "repro.threads":
+        _spellings.append("repro.threads.api")
+    elif _mod == "repro.pthreads":
+        _spellings += ["repro.pthreads.api", "repro.pthreads.sync"]
+    for _sp in _spellings:
+        for _n in _names:
+            GEN_API.add(f"{_sp}.{_n}")
+
+
+def _suffix(dotted: str) -> str:
+    return dotted.rpartition(".")[2]
+
+
+#: function-form ops: suffix name -> (opkind, lock-arg index).  opkind is
+#: one of acquire / try / timed / release / wait / signal / semp /
+#: semtryp / semv / rwacquire / rwtry / rwrelease / fork / fork1 /
+#: procexit / threadexit / spawn.
+FUNC_OPS = {
+    "mutex_enter": ("acquire", 0), "mutex_tryenter": ("try", 0),
+    "mutex_exit": ("release", 0),
+    "pthread_mutex_lock": ("acquire", 0),
+    "pthread_mutex_trylock": ("try", 0),
+    "pthread_mutex_timedlock": ("timed", 0),
+    "pthread_mutex_unlock": ("release", 0),
+    "cv_wait": ("wait", 0), "cv_timedwait": ("wait", 0),
+    "cv_signal": ("signal", 0), "cv_broadcast": ("signal", 0),
+    "pthread_cond_wait": ("wait", 0), "pthread_cond_signal":
+    ("signal", 0), "pthread_cond_broadcast": ("signal", 0),
+    "sema_p": ("semp", 0), "sema_tryp": ("semtryp", 0),
+    "sema_v": ("semv", 0),
+    "rw_enter": ("rwacquire", 0), "rw_tryenter": ("rwtry", 0),
+    "rw_exit": ("rwrelease", 0),
+    "fork": ("fork", None), "fork1": ("fork1", None),
+    "exit": ("procexit", None),
+    "thread_exit": ("threadexit", None),
+    "pthread_exit": ("threadexit", None),
+    "thread_create": ("spawn", 0), "pthread_create": ("spawn", 0),
+    "parallel_for": ("spawn", 1), "parallel_sum": ("spawn", None),
+}
+
+#: method ops by receiver kind: method -> opkind.
+METHOD_OPS = {
+    "mutex": {"enter": "acquire", "timedenter": "timed",
+              "tryenter": "try", "exit": "release",
+              "lock": "acquire", "timedlock": "timed",
+              "trylock": "try", "unlock": "release"},
+    "cv": {"wait": "wait", "timedwait": "wait",
+           "signal": "signal", "broadcast": "signal"},
+    "sema": {"p": "semp", "timedp": "semtryp", "tryp": "semtryp",
+             "v": "semv"},
+    "rwlock": {"enter": "rwacquire", "tryenter": "rwtry",
+               "exit": "rwrelease", "downgrade": "genapi",
+               "tryupgrade": "genapi"},
+    "region": {"cell_load": "load", "cell_store": "store",
+               "load_cell": "load", "store_cell": "store"},
+    "structure": {"wait": "genapi", "put": "genapi", "get": "genapi",
+                  "close": "genapi", "count_down": "genapi",
+                  "await_zero": "genapi"},
+}
+
+#: method-name inference for receivers we cannot resolve (e.g. a lock
+#: received as a function parameter): method -> (kind, opkind).
+INFER_METHODS = {
+    "enter": ("mutex", "acquire"), "timedenter": ("mutex", "timed"),
+    "tryenter": ("mutex", "try"), "exit": ("mutex", "release"),
+    "lock": ("mutex", "acquire"), "timedlock": ("mutex", "timed"),
+    "trylock": ("mutex", "try"), "unlock": ("mutex", "release"),
+    "wait": ("cv", "wait"), "timedwait": ("cv", "wait"),
+    "signal": ("cv", "signal"), "broadcast": ("cv", "signal"),
+    "p": ("sema", "semp"), "timedp": ("sema", "semtryp"),
+    "tryp": ("sema", "semtryp"), "v": ("sema", "semv"),
+    "cell_load": ("region", "load"), "cell_store": ("region", "store"),
+    "load_cell": ("region", "load"), "store_cell": ("region", "store"),
+}
+
+#: methods that are NOT generators even on sync-ish receivers.
+_DIRECT_METHODS = {"load_cell", "store_cell", "size"}
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow(-file)?\s*=\s*"
+                          r"([A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)")
+
+
+# ---------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------
+
+class Val:
+    """A statically recognized value.
+
+    ``kind``: mutex / cv / sema / rwlock / structure / region /
+    synclist / syncdict / instance / func / param / unknown.
+    ``key`` is the canonical identity tuple used by the held-set and the
+    lock-order graph; two uses with equal keys are the same lock.  A
+    ``"*"`` element marks an unresolvable collection index — star keys
+    never contribute order edges or double-enter findings.
+    """
+
+    __slots__ = ("kind", "key", "display", "members", "member_kind",
+                 "initial", "func", "cls")
+
+    def __init__(self, kind, key=None, display="", members=None,
+                 member_kind=None, initial=None, func=None, cls=None):
+        self.kind = kind
+        self.key = key
+        self.display = display
+        self.members = members        # syncdict: literal key -> Val
+        self.member_kind = member_kind  # synclist element kind
+        self.initial = initial        # sema initial count (literal)
+        self.func = func              # FuncInfo for kind "func"
+        self.cls = cls                # ClassInfo for kind "instance"
+
+    def __repr__(self):
+        return f"<Val {self.kind} {self.key}>"
+
+    @property
+    def star(self) -> bool:
+        return bool(self.key) and "*" in self.key
+
+    @property
+    def collection(self):
+        """Identity of the owning collection (for star-pair pruning)."""
+        if self.key and len(self.key) >= 4 and self.key[0] == "var":
+            return self.key[:3]
+        return None
+
+
+class FuncInfo:
+    """One function (possibly nested), with its lexical scope."""
+
+    def __init__(self, node: ast.FunctionDef, module: "ModuleInfo",
+                 parent: Optional["FuncInfo"], qualname: str):
+        self.node = node
+        self.module = module
+        self.parent = parent
+        self.qualname = qualname
+        self.name = node.name
+        self.bindings: dict = {}          # name -> Val
+        self.params = [a.arg for a in node.args.args]
+        self.is_generator = any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in ast.walk(node)
+            if _owner_function(n, module) is node)
+        self.cls: Optional["ClassInfo"] = None   # method of this class
+
+    def __repr__(self):
+        return f"<FuncInfo {self.qualname}>"
+
+
+class ClassInfo:
+    def __init__(self, node: ast.ClassDef, qualname: str):
+        self.node = node
+        self.qualname = qualname
+        self.attrs: dict = {}             # attr name -> Val (template)
+
+
+def _owner_function(node, module):
+    """The innermost FunctionDef containing ``node`` (None = module)."""
+    cur = module.parents.get(id(node))
+    while cur is not None:
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return cur
+        cur = module.parents.get(id(cur))
+    return None
+
+
+# ---------------------------------------------------------------------
+# Module loading
+# ---------------------------------------------------------------------
+
+class ModuleInfo:
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.parents: dict = {}           # id(node) -> parent node
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[id(child)] = parent
+        self.aliases: dict = {}           # local name -> dotted path
+        self.functions: dict = {}         # qualname -> FuncInfo
+        self.func_by_node: dict = {}      # id(FunctionDef) -> FuncInfo
+        self.classes: dict = {}           # qualname -> ClassInfo
+        self.module_bindings: dict = {}   # module-level name -> Val
+        self.line_allow: dict = {}        # lineno -> set of rule ids
+        self.file_allow: set = set()
+        self._collect_imports()
+        self._collect_suppressions()
+        self._collect_functions()
+        self._collect_bindings()
+
+    # -------------------------------------------------------- collection
+
+    def _collect_imports(self):
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    self.aliases[a.asname or a.name.partition(".")[0]] = (
+                        a.name if a.asname else a.name.partition(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for a in node.names:
+                    self.aliases[a.asname or a.name] = (
+                        f"{node.module}.{a.name}")
+
+    def _collect_suppressions(self):
+        for lineno, line in enumerate(self.source.splitlines(), 1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(2).split(",")}
+            if m.group(1):
+                self.file_allow |= rules
+            else:
+                self.line_allow.setdefault(lineno, set()).update(rules)
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        return (rule in self.file_allow
+                or rule in self.line_allow.get(lineno, ()))
+
+    def _collect_functions(self):
+        def visit(node, parent_fi, prefix, cls):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.FunctionDef):
+                    qual = f"{prefix}{child.name}"
+                    fi = FuncInfo(child, self, parent_fi, qual)
+                    fi.cls = cls
+                    self.functions[qual] = fi
+                    self.func_by_node[id(child)] = fi
+                    scope = (parent_fi.bindings if parent_fi
+                             else self.module_bindings)
+                    if cls is None:
+                        scope[child.name] = Val("func", func=fi)
+                    visit(child, fi, qual + ".", None)
+                elif isinstance(child, ast.ClassDef):
+                    cqual = f"{prefix}{child.name}"
+                    ci = ClassInfo(child, cqual)
+                    self.classes[cqual] = ci
+                    scope = (parent_fi.bindings if parent_fi
+                             else self.module_bindings)
+                    scope[child.name] = Val("class", cls=ci)
+                    visit(child, parent_fi, cqual + ".", ci)
+                else:
+                    visit(child, parent_fi, prefix, cls)
+        visit(self.tree, None, "", None)
+
+    def _collect_bindings(self):
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            fn = _owner_function(node, self)
+            fi = self.func_by_node.get(id(fn)) if fn else None
+            scope = fi.bindings if fi else self.module_bindings
+            qual = fi.qualname if fi else "<module>"
+            value = node.value
+            if isinstance(value, ast.YieldFrom):
+                value = value.value
+            if isinstance(target, ast.Name):
+                val = self._value_of(value, qual, target.id, fi)
+                if val is not None and target.id not in scope:
+                    scope[target.id] = val
+            elif (isinstance(target, ast.Tuple)
+                  and isinstance(value, ast.Tuple)
+                  and len(target.elts) == len(value.elts)):
+                for t, v in zip(target.elts, value.elts):
+                    if not isinstance(t, ast.Name):
+                        continue
+                    val = self._value_of(v, qual, t.id, fi)
+                    if val is not None and t.id not in scope:
+                        scope[t.id] = val
+            elif (isinstance(target, ast.Attribute)
+                  and isinstance(target.value, ast.Name)
+                  and fi is not None and fi.cls is not None
+                  and fi.params and target.value.id == fi.params[0]):
+                # self.<attr> = <sync ctor> inside a method
+                val = self._value_of(value, fi.cls.qualname,
+                                     target.attr, fi)
+                if val is not None and target.attr not in fi.cls.attrs:
+                    fi.cls.attrs[target.attr] = val
+
+    def _q(self, qual: str) -> str:
+        """Module-qualify a scope name for use in identity keys.
+
+        Local variables in two different files can never alias, so
+        their keys must not compare equal in a shared multi-file run.
+        """
+        return f"{self.path}::{qual}"
+
+    def _value_of(self, value, qual, varname, fi) -> Optional[Val]:
+        """Recognize the static value of an assignment RHS."""
+        if isinstance(value, ast.Call):
+            dotted = self.resolve_callable(value.func, fi)
+            if dotted:
+                kind = CONSTRUCTORS.get(dotted)
+                if kind is None and _suffix(dotted) in (
+                        "map_anon_shared", "map_shared_file", "mmap"):
+                    return Val("region",
+                               key=("var", self._q(qual), varname),
+                               display=varname)
+                if kind:
+                    return self._ctor_val(value, kind, qual, varname)
+                cal = self.resolve_value(value.func, fi)
+                if cal is not None and cal.kind == "class":
+                    return Val("instance", display=varname, cls=cal.cls)
+                if cal is not None and cal.kind == "func":
+                    rk = _helper_returns(cal.func, self)
+                    if rk:
+                        return self._ctor_val(value, rk, qual, varname,
+                                              helper=True)
+        elif isinstance(value, (ast.List, ast.Tuple)):
+            kinds = set()
+            for elt in value.elts:
+                if isinstance(elt, ast.Call):
+                    d = self.resolve_callable(elt.func, fi)
+                    kinds.add(CONSTRUCTORS.get(d) if d else None)
+                else:
+                    kinds.add(None)
+            if len(kinds) == 1 and None not in kinds:
+                return Val("synclist",
+                           key=("var", self._q(qual), varname),
+                           display=varname, member_kind=kinds.pop())
+        elif isinstance(value, ast.ListComp):
+            elt = value.elt
+            if isinstance(elt, ast.Call):
+                d = self.resolve_callable(elt.func, fi)
+                kind = CONSTRUCTORS.get(d) if d else None
+                if kind:
+                    return Val("synclist",
+                               key=("var", self._q(qual), varname),
+                               display=varname, member_kind=kind)
+        elif isinstance(value, ast.Dict):
+            members = {}
+            for k, v in zip(value.keys, value.values):
+                if (isinstance(k, ast.Constant)
+                        and isinstance(v, ast.Call)):
+                    d = self.resolve_callable(v.func, fi)
+                    kind = CONSTRUCTORS.get(d) if d else None
+                    if kind:
+                        members[k.value] = self._ctor_val(
+                            v, kind, qual, varname, sub=str(k.value))
+            if members:
+                return Val("syncdict",
+                           key=("var", self._q(qual), varname),
+                           display=varname, members=members)
+        return None
+
+    def _ctor_val(self, call, kind, qual, varname, sub=None,
+                  helper=False):
+        display = varname if sub is None else f"{varname}[{sub}]"
+        for kw in call.keywords:
+            if kw.arg == "name" and isinstance(kw.value, ast.Constant):
+                display = str(kw.value.value)
+        initial = None
+        if kind == "sema":
+            initial = 0
+            args = list(call.args)
+            if helper:
+                initial = None
+            elif args and isinstance(args[0], ast.Constant) \
+                    and isinstance(args[0].value, int):
+                initial = args[0].value
+            else:
+                for kw in call.keywords:
+                    if kw.arg == "count" and isinstance(
+                            kw.value, ast.Constant):
+                        initial = kw.value.value
+        key = ("var", self._q(qual), varname) if sub is None else \
+            ("var", self._q(qual), varname, sub)
+        return Val(kind, key=key, display=display, initial=initial)
+
+    # -------------------------------------------------------- resolution
+
+    def resolve_callable(self, func, fi) -> Optional[str]:
+        """Dotted path of a call target, via the import alias table.
+
+        ``threads.thread_create`` -> ``repro.threads.thread_create``;
+        returns None when the base is a local value, not an import.
+        """
+        parts = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        if self._lexical_lookup(node.id, fi) is not None:
+            return None                  # shadowed by a local value
+        base = self.aliases.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base] + list(reversed(parts)))
+
+    def _lexical_lookup(self, name, fi) -> Optional[Val]:
+        cur = fi
+        while cur is not None:
+            if name in cur.bindings:
+                return cur.bindings[name]
+            if name in cur.params:
+                if cur.bindings.get(name) is None:
+                    return Val("param",
+                               key=("param", self._q(cur.qualname),
+                                    name),
+                               display=name)
+            cur = cur.parent
+        return self.module_bindings.get(name)
+
+    def resolve_value(self, expr, fi, activation=None) -> Optional[Val]:
+        """Resolve an expression to a Val (lexical scopes + optional
+        inline-call activation frames mapping param name -> Val)."""
+        if isinstance(expr, ast.Name):
+            if activation:
+                for frame_fi, frame in reversed(activation):
+                    if frame_fi is fi and expr.id in frame:
+                        return frame[expr.id]
+            val = self._lexical_lookup(expr.id, fi)
+            if val is not None and val.kind == "param" and activation:
+                # A closure variable that is a *param* of an enclosing
+                # function being inlined: look it up in outer frames.
+                for frame_fi, frame in reversed(activation):
+                    if val.key[1] == self._q(frame_fi.qualname) \
+                            and val.key[2] in frame:
+                        return frame[val.key[2]]
+            return val
+        if isinstance(expr, ast.Attribute):
+            base = self.resolve_value(expr.value, fi, activation)
+            if base is not None and base.kind == "instance" and base.cls:
+                tmpl = base.cls.attrs.get(expr.attr)
+                if tmpl is not None:
+                    basetxt = ast.unparse(expr.value)
+                    return Val(tmpl.kind,
+                               key=("attr", self._q(base.cls.qualname),
+                                    expr.attr, basetxt),
+                               display=f"{basetxt}.{expr.attr}",
+                               initial=tmpl.initial)
+            if base is not None and base.kind == "param" and \
+                    expr.attr in ("mutex", "cv", "lock", "m"):
+                basetxt = ast.unparse(expr.value)
+                return Val("unknown-sync",
+                           key=("param-attr", base.key[1], base.key[2],
+                                expr.attr),
+                           display=f"{basetxt}.{expr.attr}")
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.resolve_value(expr.value, fi, activation)
+            if base is None:
+                return None
+            idx = expr.slice
+            sub = (repr(idx.value) if isinstance(idx, ast.Constant)
+                   else "*")
+            if base.kind == "syncdict":
+                if isinstance(idx, ast.Constant) and base.members and \
+                        idx.value in base.members:
+                    return base.members[idx.value]
+                if base.members:
+                    any_kind = next(iter(base.members.values())).kind
+                    return Val(any_kind, key=base.key + ("*",),
+                               display=f"{base.display}[*]")
+                return None
+            if base.kind == "synclist":
+                return Val(base.member_kind, key=base.key + (sub,),
+                           display=f"{base.display}[{sub}]")
+            return None
+        return None
+
+
+def _helper_returns(fi: FuncInfo, module: ModuleInfo) -> Optional[str]:
+    """Kind a non-generator helper returns, if it is a sync ctor."""
+    if fi.is_generator:
+        return None
+    kinds = set()
+    for node in ast.walk(fi.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if isinstance(node.value, ast.Call):
+                d = module.resolve_callable(node.value.func, fi)
+                kinds.add(CONSTRUCTORS.get(d) if d else None)
+            else:
+                kinds.add(None)
+    if len(kinds) == 1 and None not in kinds:
+        return kinds.pop()
+    return None
+
+
+# ---------------------------------------------------------------------
+# Op classification
+# ---------------------------------------------------------------------
+
+class Op:
+    """The abstract operation a Call performs.
+
+    ``opkind``: acquire / try / timed / release / wait / signal / semp /
+    semtryp / semv / rwacquire / rwtry / rwrelease / load / store /
+    fork / fork1 / procexit / threadexit / spawn / genapi / inline.
+    """
+
+    __slots__ = ("opkind", "lock", "mutex", "node", "is_genapi",
+                 "target", "rw_writer")
+
+    def __init__(self, opkind, node, lock=None, mutex=None,
+                 is_genapi=True, target=None, rw_writer=False):
+        self.opkind = opkind
+        self.node = node
+        self.lock = lock          # Val: the sync variable operated on
+        self.mutex = mutex        # Val: associated mutex (cv wait)
+        self.is_genapi = is_genapi
+        self.target = target      # Val("func"): spawn/inline target
+        self.rw_writer = rw_writer
+
+
+def classify_call(module: ModuleInfo, fi: FuncInfo, call: ast.Call,
+                  activation=None) -> Optional[Op]:
+    """Classify one Call node, or None if it is not an API we model."""
+    func = call.func
+
+    # Local generator function called directly: inline candidate.
+    target = module.resolve_value(func, fi, activation)
+    if target is not None and target.kind == "func":
+        return Op("inline" if target.func.is_generator else "call",
+                  call, target=target,
+                  is_genapi=target.func.is_generator)
+
+    # Function-form APIs via import aliases.
+    dotted = module.resolve_callable(func, fi)
+    if dotted is not None:
+        if dotted not in GEN_API:
+            return None
+        entry = FUNC_OPS.get(_suffix(dotted))
+        if entry is None:
+            return Op("genapi", call)
+        opkind, argidx = entry
+        lock = mutex = tgt = None
+        if argidx is not None and len(call.args) > argidx:
+            argval = module.resolve_value(call.args[argidx], fi,
+                                          activation)
+            if opkind == "spawn":
+                tgt = argval if argval is not None and \
+                    argval.kind == "func" else None
+            else:
+                lock = argval
+        if opkind == "wait" and len(call.args) > 1:
+            mutex = module.resolve_value(call.args[1], fi, activation)
+        writer = _rw_writer_arg(module, fi, call, 1)
+        return Op(opkind, call, lock=lock, mutex=mutex, target=tgt,
+                  rw_writer=writer)
+
+    # Method calls.
+    if not isinstance(func, ast.Attribute):
+        return None
+    recv = module.resolve_value(func.value, fi, activation)
+    method = func.attr
+    if recv is not None and recv.kind in METHOD_OPS:
+        opkind = METHOD_OPS[recv.kind].get(method)
+        if opkind is None:
+            return None
+        mutex = None
+        if opkind == "wait" and call.args:
+            mutex = module.resolve_value(call.args[0], fi, activation)
+        writer = _rw_writer_arg(module, fi, call, 0)
+        return Op(opkind, call, lock=recv, mutex=mutex,
+                  is_genapi=method not in _DIRECT_METHODS,
+                  rw_writer=writer)
+    if recv is not None and recv.kind == "region":
+        return None
+    # Receiver is a param or unresolvable: infer from the method name.
+    if method in INFER_METHODS and not _is_module_base(module, fi,
+                                                       func.value):
+        kind, opkind = INFER_METHODS[method]
+        if opkind == "wait" and not call.args:
+            # cv.wait/timedwait always takes the mutex; a no-arg .wait()
+            # is some other primitive (Barrier, a thread handle, ...).
+            return Op("genapi", call)
+        if recv is not None and recv.kind in ("param", "unknown-sync"):
+            lock = Val(kind, key=recv.key, display=recv.display)
+        else:
+            txt = ast.unparse(func.value)
+            lock = Val(kind, key=("expr", module.path, txt),
+                       display=txt)
+        mutex = None
+        if opkind == "wait" and call.args:
+            mutex = module.resolve_value(call.args[0], fi, activation)
+        return Op(opkind, call, lock=lock, mutex=mutex,
+                  is_genapi=method not in _DIRECT_METHODS)
+    return None
+
+
+def _is_module_base(module, fi, expr) -> bool:
+    """True when ``expr`` is (an attribute path rooted at) an imported
+    module — its methods are not sync methods."""
+    node = expr
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return (isinstance(node, ast.Name)
+            and module._lexical_lookup(node.id, fi) is None
+            and node.id in module.aliases)
+
+
+def _rw_writer_arg(module, fi, call, idx) -> bool:
+    if len(call.args) <= idx:
+        return False
+    arg = call.args[idx]
+    if isinstance(arg, ast.Name) or isinstance(arg, ast.Attribute):
+        dotted = module.resolve_callable(arg, fi) or ""
+        name = _suffix(dotted) or (arg.id if isinstance(arg, ast.Name)
+                                   else arg.attr)
+        return "WRITER" in name.upper()
+    return False
+
+
+def load_module(path: str) -> ModuleInfo:
+    with open(path, "r", encoding="utf-8") as fh:
+        return ModuleInfo(path, fh.read())

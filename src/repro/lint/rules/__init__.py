@@ -1,0 +1,22 @@
+"""Rule families for the static analyzer.
+
+Each module exposes ``run(...)`` returning a list of
+:class:`repro.lint.report.LintFinding`:
+
+* :mod:`.yield_discipline` — L101/L102, syntactic (discarded or
+  mis-yielded generator-API calls);
+* :mod:`.lock_order` — L201, cycles in the global static lock-order
+  graph built from interpreter edges;
+* :mod:`.lock_balance` — L301/L302/L303/L304/L305, definite (all
+  visiting paths) balance violations;
+* :mod:`.condvar` — L401/L402/L403, wait/signal discipline;
+* :mod:`.fork_hygiene` — L501, fork while a lock may be held;
+* :mod:`.lockset` — L601, Eraser-style static lockset over shared
+  mapped cells accessed by spawned threads.
+"""
+
+from repro.lint.rules import (condvar, fork_hygiene, lock_balance,
+                              lock_order, lockset, yield_discipline)
+
+__all__ = ["condvar", "fork_hygiene", "lock_balance", "lock_order",
+           "lockset", "yield_discipline"]

@@ -1,0 +1,95 @@
+"""L401/L402/L403: condition-variable discipline.
+
+* L401 — ``cv.wait(m)`` on a path where ``m`` is definitely not held
+  (the runtime raises SyncError for this; the linter sees it without
+  running).
+* L402 — a wait whose re-test structure is wrong: the paper's monitor
+  idiom re-checks the predicate in a ``while`` loop after every wakeup.
+  A wait with no enclosing ``while`` (bare, or guarded only by ``if`` /
+  a ``for`` whose induction variable advances regardless) acts on a
+  one-shot predicate check and loses wakeups under adversarial
+  schedules.  Purely syntactic: any enclosing ``while`` within the
+  function makes the site clean.
+* L403 — signal/broadcast of a cv whose observed waiters pair it with
+  mutex M, on paths where no such M is held: the signaller can fire
+  between a waiter's predicate check and its sleep (wasted signal).
+  Needs the global wait-association map, so it runs after the whole
+  tree is interpreted; cvs with no observed waits are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.report import LintFinding
+
+
+def _has_while_ancestor(module, node) -> bool:
+    cur = module.parents.get(id(node))
+    while cur is not None and not isinstance(cur, ast.FunctionDef):
+        if isinstance(cur, ast.While):
+            return True
+        cur = module.parents.get(id(cur))
+    return False
+
+
+def run(sink) -> list:
+    findings = []
+
+    # L401: definite wait-without-mutex sites.
+    for key, site in sorted(sink.sites.items(), key=lambda kv: (
+            str(kv[0][0]), kv[0][1], kv[0][2], kv[0][3],
+            str(kv[0][4]))):
+        if key[0] != "L401" or site.visits == 0 \
+                or site.viols < site.visits:
+            continue
+        findings.append(LintFinding(
+            "L401", key[1], site.line, site.function,
+            subject=site.subject, col=site.col,
+            message=(f"cv wait without holding its mutex "
+                     f"`{site.subject}` (the runtime raises SyncError "
+                     "here)"),
+            detail={"held": site.sample_held or "<empty>"}))
+
+    # L402: wait sites with no enclosing while loop.
+    seen = set()
+    for module, fi, op in sink.wait_sites:
+        node = op.node
+        dedup = (module.path, node.lineno, node.col_offset)
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        if _has_while_ancestor(module, node):
+            continue
+        cv_name = op.lock.display if op.lock is not None else "cv"
+        findings.append(LintFinding(
+            "L402", module.path, node.lineno, fi.name,
+            subject=cv_name, col=node.col_offset,
+            message=(f"wait on `{cv_name}` is not re-checked in a "
+                     "`while` loop — an `if`-guarded (or unguarded) "
+                     "wait loses wakeups when the predicate is re-won "
+                     "before this thread runs; use `while "
+                     "not predicate: wait(...)`")))
+
+    # L403: signals whose paths never hold an associated mutex.
+    for key, site in sorted(sink.sites.items(), key=lambda kv: (
+            str(kv[0][0]), kv[0][1], kv[0][2], kv[0][3],
+            str(kv[0][4]))):
+        if key[0] != "L403" or not site.snapshots:
+            continue
+        cv_key = sink.signal_cv.get((key[1], key[2], key[3]))
+        assoc = sink.cv_mutexes.get(cv_key)
+        if not assoc:
+            continue            # no observed waiters: nothing to pair
+        if any(snap & assoc for snap in site.snapshots):
+            continue
+        mnames = ", ".join(sorted(str(k[-1]) for k in assoc))
+        findings.append(LintFinding(
+            "L403", key[1], site.line, site.function,
+            subject=site.subject, col=site.col,
+            message=(f"signal of `{site.subject}` without holding the "
+                     f"mutex its waiters pair it with ({mnames}): the "
+                     "wakeup can fire between a waiter's predicate "
+                     "check and its sleep and be lost"),
+            detail={"held": "<empty>"}))
+    return findings

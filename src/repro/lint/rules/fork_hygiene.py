@@ -1,0 +1,35 @@
+"""L501: fork() reachable while a lock is statically held.
+
+The paper's UNIX-semantics section: ``fork()`` duplicates the whole
+process, so a lock held by any *other* thread at fork time is cloned
+into the child permanently locked — the child deadlocks the first time
+it touches it.  Guest code should either fork with no locks held, or
+use ``fork1()`` (duplicate only the forking LWP) plus the tryenter
+protocol around the fork.  ``fork1`` sites are never flagged.
+
+Any-path semantics: one abstract path holding a lock at the fork is
+enough to warn (severity "warning" — the schedule explorer can then
+hunt the interleaving for real).
+"""
+
+from __future__ import annotations
+
+from repro.lint.report import LintFinding
+
+
+def run(sink) -> list:
+    findings = []
+    for key, site in sorted(sink.sites.items(), key=lambda kv: (
+            str(kv[0][0]), kv[0][1], kv[0][2], kv[0][3],
+            str(kv[0][4]))):
+        if key[0] != "L501" or site.viols == 0:
+            continue
+        findings.append(LintFinding(
+            "L501", key[1], site.line, site.function,
+            subject=site.subject, col=site.col,
+            message=("fork() while a lock may be held: the child "
+                     "inherits the lock permanently locked; fork with "
+                     "no locks held, or use fork1() with the tryenter "
+                     "protocol"),
+            detail={"held": site.sample_held or ""}))
+    return findings

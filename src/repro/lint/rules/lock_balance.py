@@ -1,0 +1,77 @@
+"""L301–L305: path-sensitive lock/semaphore balance.
+
+All of these use *definite* (all visiting paths) semantics from the
+interpreter's per-site aggregates: a site is flagged only when every
+abstract path that reaches it exhibits the violation.  This keeps
+``got = yield from m.tryenter(); if got: ... m.exit()`` clean — the
+exit site is visited by both the success state (holding) and the
+decorrelated failure state, so "release while unheld" is not definite.
+
+* L301 exit-holding-lock compares, per function-exit node, the number
+  of visiting states holding each lock against the total number of
+  states reaching that exit (tracked by the ``<exit>`` pseudo-site).
+* L304 only tracks pool semaphores (literal initial count > 0) —
+  initial-0 notification semaphores legitimately V before P, exactly
+  like the dynamic sema-underflow invariant.
+* L305 fires when the held set at a loop's back edge cannot match any
+  held set at loop entry: each iteration leaks (or over-releases) a
+  lock, which is a budding L301/L303 even when the first iteration
+  looks fine.
+"""
+
+from __future__ import annotations
+
+from repro.lint.report import LintFinding
+
+_MESSAGES = {
+    "L302": "`{subj}` released on a path where it is not held "
+            "(exit without matching enter)",
+    "L303": "blocking re-enter of `{subj}` while already holding it "
+            "(non-recursive mutex: self-deadlock)",
+    "L304": "V of pool semaphore `{subj}` without a matching P on "
+            "this path (in-use count underflows)",
+    "L305": "held-lock set changes across one loop iteration "
+            "({subj} leaks per iteration)",
+}
+
+
+def run(sink) -> list:
+    findings = []
+    exit_totals = {}
+    for key, site in sink.sites.items():
+        rule = key[0]
+        if rule == "L301" and site.subject == "<exit>":
+            exit_totals[(key[1], key[2], key[3])] = site.visits
+    for key, site in sorted(sink.sites.items(), key=lambda kv: (
+            str(kv[0][0]), kv[0][1], kv[0][2], kv[0][3],
+            str(kv[0][4]))):
+        rule = key[0]
+        if rule not in ("L301", "L302", "L303", "L304", "L305"):
+            continue
+        if rule == "L301":
+            if site.subject == "<exit>":
+                continue
+            total = exit_totals.get((key[1], key[2], key[3]), 0)
+            if total == 0 or site.viols < total:
+                continue
+            findings.append(LintFinding(
+                "L301", key[1], site.line, site.function,
+                subject=site.subject, col=site.col,
+                message=(f"function exits while still holding "
+                         f"`{site.subject}` on every path reaching "
+                         "this exit (early return, fall-off, raise, "
+                         "or thread_exit without the matching "
+                         "mutex_exit)"),
+                detail={"held": site.sample_held or ""}))
+            continue
+        if rule == "L305":
+            if site.viols == 0:
+                continue
+        elif site.visits == 0 or site.viols < site.visits:
+            continue
+        findings.append(LintFinding(
+            rule, key[1], site.line, site.function,
+            subject=site.subject, col=site.col,
+            message=_MESSAGES[rule].format(subj=site.subject),
+            detail={"held": site.sample_held or ""}))
+    return findings

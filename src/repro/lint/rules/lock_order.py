@@ -1,0 +1,106 @@
+"""L201: cycles in the static lock-order graph.
+
+The interpreter emits an edge ``A -> B`` whenever a *blocking* acquire
+of ``B`` happens while ``A`` is held (``tryenter`` adds no edge — the
+paper sanctions it exactly for violating the hierarchy safely — and
+neither do reader-side rwlock acquires or same-collection accesses with
+unresolved indices).  A cv ``wait(m)`` re-acquires ``m`` while the
+path's other locks stay held, mirroring the dynamic
+:class:`repro.explore.detectors.LockOrderDetector`.
+
+Cycles are strongly connected components of the edge graph; the finding
+subject uses the dynamic detector's format
+(``" -> ".join(sorted(set(names)))``) so static and dynamic findings
+for the same bug diff clean.
+"""
+
+from __future__ import annotations
+
+
+def _sccs(graph):
+    """Tarjan, iterative, deterministic (nodes processed in sorted
+    order).  Returns SCCs with more than one node."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    counter = [0]
+    out = []
+
+    def strongconnect(root):
+        work = [(root, iter(sorted(graph.get(root, ()), key=str)))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append(
+                        (succ, iter(sorted(graph.get(succ, ()),
+                                           key=str))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    out.append(set(scc))
+
+    for node in sorted(graph, key=str):
+        if node not in index:
+            strongconnect(node)
+    return out
+
+
+def run(sink) -> list:
+    from repro.lint.report import LintFinding
+    graph = {}
+    for e in sink.edges:
+        graph.setdefault(e.src, set()).add(e.dst)
+        graph.setdefault(e.dst, set())
+    findings = []
+    for scc in _sccs(graph):
+        member_edges = [e for e in sink.edges
+                        if e.src in scc and e.dst in scc]
+        if not member_edges:
+            continue
+        names = set()
+        for e in member_edges:
+            names.add(e.src_disp)
+            names.add(e.dst_disp)
+        subject = " -> ".join(sorted(names))
+        anchor = min(member_edges,
+                     key=lambda e: (e.module.path, e.line))
+        witness = "; ".join(sorted(
+            {f"{e.src_disp}->{e.dst_disp} at "
+             f"{e.module.path}:{e.line} ({e.function})"
+             for e in member_edges}))
+        findings.append(LintFinding(
+            "L201", anchor.module.path, anchor.line, anchor.function,
+            subject=subject,
+            message=(f"cyclic lock order {subject}: a blocking acquire "
+                     "closes a cycle in the static lock hierarchy "
+                     "(potential deadlock); take the locks in one "
+                     "global order, or back off with mutex_tryenter()"),
+            detail={"edges": witness}))
+    return findings

@@ -1,0 +1,69 @@
+"""L601: static lockset (Eraser) over shared mapped cells.
+
+The dynamic :class:`repro.explore.detectors.LocksetDetector` tracks the
+intersection of held locks across accesses to each shared cell at run
+time.  The static version: the interpreter records, per access site,
+the *common* held-lock set over every abstract path visiting it; this
+rule intersects those across sites touching the same (region, offset)
+from different concurrently-running threads.
+
+"Concurrent" is derived from the spawn topology: only accesses made by
+functions spawned as thread bodies count (the main generator's
+pre-spawn initialization and post-join reads are sequential by
+construction), and a single spawned function only conflicts with
+*itself* when it is multi-instance (spawned in a loop, from two or
+more sites, or as a ``parallel_for`` body).  Offsets compare equal when
+literally equal or when either side is unresolved (``*``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.report import LintFinding
+
+
+def _off_overlap(a: str, b: str) -> bool:
+    return a == b or a == "*" or b == "*"
+
+
+def run(sink, spawns) -> list:
+    counts = {}
+    for sp in spawns:
+        counts[sp.target] = counts.get(sp.target, 0) + \
+            (2 if sp.in_loop else 1)
+    spawned = set(counts)
+    accesses = [a for a in sink.cells.values() if a.root in spawned]
+    findings = []
+    reported = set()
+    ordered = sorted(accesses, key=lambda a: (a.module.path, a.line,
+                                              str(a.region), a.offset))
+    for a in ordered:
+        if not a.write:
+            continue
+        for b in ordered:
+            if a.root == b.root and counts.get(a.root, 0) < 2:
+                continue    # single-instance thread vs itself: serial
+            if b.region != a.region \
+                    or not _off_overlap(a.offset, b.offset):
+                continue
+            common = (a.common_held or frozenset()) & \
+                (b.common_held or frozenset())
+            if common:
+                continue
+            key = (a.module.path, a.line, str(a.region), a.offset)
+            if key in reported:
+                continue
+            reported.add(key)
+            findings.append(LintFinding(
+                "L601", a.module.path, a.line, a.function,
+                subject=f"{a.region_disp}[{a.offset}]",
+                message=(f"write to shared cell "
+                         f"{a.region_disp}[{a.offset}] by concurrent "
+                         "threads with an empty common lockset — no "
+                         "single lock protects every access (static "
+                         "data race)"),
+                detail={"held": ", ".join(sorted(
+                    a.common_held or ())) or "<empty>",
+                    "other": f"{b.module.path}:{b.line}",
+                    "threads": ",".join(sorted({a.root, b.root}))}))
+            break
+    return findings

@@ -1,0 +1,71 @@
+"""L101/L102: generator-API calls that never run.
+
+Every simulated API in this repo is a generator function: calling
+``m.enter()`` builds a generator object and does *nothing* until it is
+driven.  The repo's deadliest footgun is therefore the silent no-op
+
+    m.enter()              # L101: lock never acquired
+    yield m.enter()        # L102: yields the generator object itself
+
+versus the correct ``yield from m.enter()``.  This pass is purely
+syntactic: classify every call, then look at how its parent node
+consumes the result.  Storing the generator counts as consumed (it may
+be driven later); ``yield``-ing an ISA instruction like ``GetContext()``
+is the engine protocol and is never flagged (those constructors are not
+generator APIs).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.loader import ModuleInfo, classify_call
+from repro.lint.report import LintFinding
+
+
+def _api_name(call: ast.Call) -> str:
+    try:
+        return ast.unparse(call.func)
+    except Exception:
+        return "<call>"
+
+
+def run(modules) -> list:
+    findings = []
+    for module in modules:
+        for fi in module.functions.values():
+            for node in ast.walk(fi.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _owner(module, node) is not fi.node:
+                    continue
+                op = classify_call(module, fi, node)
+                if op is None or not op.is_genapi:
+                    continue
+                parent = module.parents.get(id(node))
+                name = _api_name(node)
+                if isinstance(parent, ast.Expr):
+                    findings.append(LintFinding(
+                        "L101", module.path, node.lineno, fi.name,
+                        subject=name, col=node.col_offset,
+                        message=(f"result of generator API "
+                                 f"`{name}(...)` is discarded — the "
+                                 "call never runs; drive it with "
+                                 "`yield from`")))
+                elif isinstance(parent, ast.Yield):
+                    findings.append(LintFinding(
+                        "L102", module.path, node.lineno, fi.name,
+                        subject=name, col=node.col_offset,
+                        message=(f"`yield {name}(...)` yields the "
+                                 "generator object instead of running "
+                                 "it; use `yield from`")))
+    return findings
+
+
+def _owner(module: ModuleInfo, node):
+    cur = module.parents.get(id(node))
+    while cur is not None and not isinstance(cur, (ast.FunctionDef,
+                                                   ast.AsyncFunctionDef,
+                                                   ast.Lambda)):
+        cur = module.parents.get(id(cur))
+    return cur

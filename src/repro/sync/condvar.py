@@ -23,6 +23,7 @@ from typing import Optional
 from repro.errors import Errno, SyncError, SyscallError
 from repro.hw.isa import Charge, GetContext, Syscall, Touch
 from repro.sync import events
+from repro.sync.guards import guarded
 from repro.sync.mutex import Mutex
 from repro.sync.variants import (SharedCell, SyncVariable,
                                  usync_block_retry)
@@ -62,6 +63,7 @@ class CondVar(SyncVariable):
 
     # --------------------------------------------------------------- wait
 
+    @guarded
     def wait(self, mutex: Mutex):
         """Generator: release ``mutex``, sleep, re-acquire, return.
 
@@ -95,6 +97,7 @@ class CondVar(SyncVariable):
         yield from mutex.enter()
 
 
+    @guarded
     def timedwait(self, mutex: Mutex, timeout_usec: float):
         """Generator: wait, but give up after ``timeout_usec``.
 
@@ -165,6 +168,7 @@ class CondVar(SyncVariable):
 
     # ------------------------------------------------------------- signal
 
+    @guarded
     def signal(self):
         """Generator: wake one waiter ("no guaranteed order" beyond FIFO
         fairness in this implementation)."""
@@ -184,6 +188,7 @@ class CondVar(SyncVariable):
             yield from events.sync_point(ctx, "cv-signal", self,
                                          woken=woken)
 
+    @guarded
     def broadcast(self):
         """Generator: wake all waiters.
 

@@ -1,0 +1,125 @@
+"""Runtime backstop for the lint rule L101: undriven sync generators.
+
+Every sync API here is a generator — ``m.enter()`` *builds* a generator
+and acquires nothing until it is driven with ``yield from``.  The static
+analyzer (:mod:`repro.lint`) catches the forgotten ``yield from``
+without running the code; this module is the runtime escalation for
+paths the linter cannot see (dynamically constructed calls, REPL use).
+
+Behind a debug flag (off by default — zero wrapping in production
+runs), every generator-returning sync method hands back a
+:class:`_GuardedGenerator`.  If such a generator is garbage-collected
+without ever having been started, the guard records a violation and
+emits a :class:`RuntimeWarning` naming the primitive and the call site;
+:func:`check` then raises :class:`~repro.errors.SyncError` so tests can
+fail loudly.  Explicitly ``close()``-ing a fresh generator counts as an
+acknowledged discard, not a violation.
+
+Enable with :func:`enable` (pair with :func:`disable`/:func:`reset` in
+test teardown) or by setting ``REPRO_SYNC_GUARD=1`` in the environment.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import warnings
+
+from repro.errors import SyncError
+
+_enabled = os.environ.get("REPRO_SYNC_GUARD", "") not in ("", "0")
+_violations: list = []
+
+
+def enable() -> None:
+    """Turn the undriven-generator guard on (debug aid)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Forget recorded violations (call between tests)."""
+    del _violations[:]
+
+
+def violations() -> list:
+    return list(_violations)
+
+
+def check() -> None:
+    """Raise SyncError if any guarded generator was never driven."""
+    if _violations:
+        listing = "; ".join(_violations)
+        raise SyncError(
+            f"{len(_violations)} sync generator(s) created but never "
+            f"driven (missing `yield from`?): {listing}")
+
+
+class _GuardedGenerator:
+    """Delegating wrapper that notices it was never started."""
+
+    __slots__ = ("_gen", "_label", "_started")
+
+    def __init__(self, gen, label: str):
+        self._gen = gen
+        self._label = label
+        self._started = False
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        self._started = True
+        return next(self._gen)
+
+    def send(self, value):
+        self._started = True
+        return self._gen.send(value)
+
+    def throw(self, *exc):
+        self._started = True
+        return self._gen.throw(*exc)
+
+    def close(self):
+        # An explicit close of a fresh generator is a deliberate
+        # discard; only silent GC of an unstarted one is a violation.
+        self._started = True
+        return self._gen.close()
+
+    def __del__(self):
+        if self._started:
+            return
+        message = (f"{self._label}: sync generator created but never "
+                   "driven — the operation silently did not happen "
+                   "(missing `yield from`?)")
+        _violations.append(message)
+        try:
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+        except Exception:
+            pass                     # interpreter shutdown
+
+
+def guarded(fn):
+    """Decorate a generator-returning sync method.
+
+    With the guard disabled the original generator is returned
+    untouched; the only overhead is one flag test per call.
+    """
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        gen = fn(self, *args, **kwargs)
+        if not _enabled:
+            return gen
+        name = getattr(self, "name", "") or hex(id(self))
+        label = f"{type(self).__name__}({name}).{fn.__name__}"
+        return _GuardedGenerator(gen, label)
+    return wrapper

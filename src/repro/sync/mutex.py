@@ -18,6 +18,7 @@ from repro.errors import Errno, SyncError, SyscallError
 from repro.hw.isa import Charge, GetContext, Syscall, Touch
 from repro.sim.clock import usec
 from repro.sync import events
+from repro.sync.guards import guarded
 from repro.sync.variants import (SPIN_POLL_US, SharedCell, SyncVariable,
                                  usync_block_retry)
 from repro.threads.scheduler import NO_SLEEP
@@ -50,6 +51,7 @@ class Mutex(SyncVariable):
 
     # ------------------------------------------------------------ enter
 
+    @guarded
     def enter(self):
         """Generator: acquire the lock (mutex_enter)."""
         if self.is_shared:
@@ -102,6 +104,7 @@ class Mutex(SyncVariable):
         return (owner is not None and owner.lwp is not None
                 and owner.lwp.cpu is not None)
 
+    @guarded
     def timedenter(self, timeout_usec: float):
         """Generator: mutex_enter bounded by a timeout.
 
@@ -208,6 +211,7 @@ class Mutex(SyncVariable):
             if result == 2:  # kernel timer expired before a wake
                 return False
 
+    @guarded
     def tryenter(self):
         """Generator: acquire without blocking; returns True on success.
 
@@ -230,6 +234,7 @@ class Mutex(SyncVariable):
 
     # ------------------------------------------------------------- exit
 
+    @guarded
     def exit(self):
         """Generator: release the lock (mutex_exit).
 

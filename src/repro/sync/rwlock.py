@@ -30,6 +30,7 @@ from typing import Optional
 from repro.errors import SyncError
 from repro.hw.isa import Charge, GetContext
 from repro.sync import events
+from repro.sync.guards import guarded
 from repro.sync.condvar import CondVar
 from repro.sync.mutex import Mutex
 from repro.sync.variants import (THREAD_SYNC_SHARED, SharedCell,
@@ -96,6 +97,7 @@ class RwLock(SyncVariable):
 
     # =================================================== private variant
 
+    @guarded
     def enter(self, rw_type: RwType):
         """Generator: acquire for reading or writing (rw_enter)."""
         if self._shared:
@@ -148,6 +150,7 @@ class RwLock(SyncVariable):
         else:
             raise SyncError(f"bad rw_enter type: {rw_type!r}")
 
+    @guarded
     def tryenter(self, rw_type: RwType):
         """Generator: acquire "if doing so would not require blocking"."""
         if self._shared:
@@ -173,6 +176,7 @@ class RwLock(SyncVariable):
             return True
         return False
 
+    @guarded
     def exit(self):
         """Generator: release a readers or writer lock (rw_exit)."""
         if self._shared:
@@ -205,6 +209,7 @@ class RwLock(SyncVariable):
             yield from lib.wake_from_queue(self.reader_waiters,
                                            n=len(self.reader_waiters))
 
+    @guarded
     def downgrade(self):
         """Generator: atomically convert a held writer lock to a reader
         lock (rw_downgrade)."""
@@ -230,6 +235,7 @@ class RwLock(SyncVariable):
         yield from events.sync_point(ctx, "acquire", self, mode="reader",
                                      blocking=False)
 
+    @guarded
     def tryupgrade(self):
         """Generator: attempt reader -> writer; no blocking.
 

@@ -19,6 +19,7 @@ from repro.errors import Errno, SyncError, SyscallError
 from repro.hw.isa import Charge, GetContext, Syscall, Touch
 from repro.sim.clock import usec
 from repro.sync import events
+from repro.sync.guards import guarded
 from repro.sync.variants import (SharedCell, SyncVariable,
                                  usync_block_retry)
 from repro.threads.scheduler import NO_SLEEP
@@ -61,6 +62,7 @@ class Semaphore(SyncVariable):
 
     # ---------------------------------------------------------------- P
 
+    @guarded
     def p(self):
         """Generator: decrement, blocking while the count is zero."""
         self.p_ops += 1
@@ -103,6 +105,7 @@ class Semaphore(SyncVariable):
             # not be bracketed"): assume the oldest unit was released.
             self.holders.pop(0)
 
+    @guarded
     def timedp(self, timeout_usec: float):
         """Generator: sema_p bounded by a timeout.
 
@@ -188,6 +191,7 @@ class Semaphore(SyncVariable):
             if result == 2:  # kernel timer expired before a wake
                 return False
 
+    @guarded
     def tryp(self):
         """Generator: decrement only if no blocking is required."""
         self.p_ops += 1
@@ -206,6 +210,7 @@ class Semaphore(SyncVariable):
 
     # ---------------------------------------------------------------- V
 
+    @guarded
     def v(self):
         """Generator: increment, waking one blocked thread if any."""
         self.v_ops += 1

@@ -1,0 +1,35 @@
+"""Negative fixture: balanced bracketing, including the decorrelated
+tryenter success test the definite (all-paths) semantics must not
+flag, and a helper that intentionally returns holding the lock (its
+caller releases — resolved through inlining)."""
+from repro.runtime import libc
+from repro.sync import Mutex
+
+
+def try_protocol():
+    m = Mutex(name="try")
+    got = yield from m.tryenter()
+    if got:
+        yield from libc.compute(5)
+        yield from m.exit()         # only on the success path: clean
+    yield from libc.compute(1)
+
+
+def lock_helper(m):
+    yield from m.enter()            # caller releases: clean via inline
+    yield from libc.compute(1)
+
+
+def balanced():
+    m = Mutex(name="bal")
+    yield from lock_helper(m)
+    yield from libc.compute(5)
+    yield from m.exit()
+
+
+def loop_balanced():
+    m = Mutex(name="loop")
+    for _ in range(4):
+        yield from m.enter()
+        yield from libc.compute(1)
+        yield from m.exit()

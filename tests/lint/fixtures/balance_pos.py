@@ -1,0 +1,36 @@
+"""Positive fixture: L301 (early-return leak), L302 (release unheld),
+L303 (double enter), L305 (loop leaks a lock per iteration)."""
+from repro.runtime import libc
+from repro.sync import Mutex
+
+
+def leaky_return(flag):
+    m = Mutex(name="leak")
+    yield from m.enter()
+    if flag:
+        return                      # L301: early return holding `leak`
+    yield from libc.compute(5)
+    if flag:
+        return                      # L301 here too
+    yield from m.exit()
+
+
+def release_unheld():
+    m = Mutex(name="bare")
+    yield from libc.compute(1)
+    yield from m.exit()             # L302: never entered
+
+
+def double_enter():
+    m = Mutex(name="twice")
+    yield from m.enter()
+    yield from m.enter()            # L303: self-deadlock
+    yield from m.exit()
+    yield from m.exit()
+
+
+def loop_leak():
+    m = Mutex(name="drip")
+    for _ in range(4):
+        yield from m.enter()        # L305: held set grows per iteration
+        yield from libc.compute(1)

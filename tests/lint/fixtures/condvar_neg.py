@@ -1,0 +1,27 @@
+"""Negative fixture: the paper's canonical monitor — while-loop
+re-test around the wait, signal delivered under the mutex."""
+from repro import threads
+from repro.sync import CondVar, Mutex
+
+
+def main():
+    m = Mutex(name="mon-m")
+    cv = CondVar(name="mon-cv")
+    state = {"ready": False}
+
+    def waiter(_):
+        yield from m.enter()
+        while not state["ready"]:
+            yield from cv.wait(m)
+        yield from m.exit()
+
+    def poker(_):
+        yield from m.enter()
+        state["ready"] = True
+        yield from cv.signal()
+        yield from m.exit()
+
+    t1 = yield from threads.thread_create(waiter, 0)
+    t2 = yield from threads.thread_create(poker, 0)
+    yield from threads.thread_wait(t1)
+    yield from threads.thread_wait(t2)

@@ -1,0 +1,31 @@
+"""Positive fixture: L401 (wait without mutex), L402 (if-guarded
+wait), L403 (signal without the waiters' mutex)."""
+from repro import threads
+from repro.runtime import libc
+from repro.sync import CondVar, Mutex
+
+
+def main():
+    m = Mutex(name="cv-m")
+    cv = CondVar(name="cv")
+    state = {"ready": False}
+
+    def waiter(_):
+        yield from m.enter()
+        if not state["ready"]:          # L402: if, not while
+            yield from cv.wait(m)
+        yield from m.exit()
+
+    def bare_waiter(_):
+        yield from cv.wait(m)           # L401: mutex not held (+L402)
+
+    def poker(_):
+        state["ready"] = True
+        yield from cv.signal()          # L403: mutex not held
+
+    t1 = yield from threads.thread_create(waiter, 0)
+    t2 = yield from threads.thread_create(bare_waiter, 0)
+    t3 = yield from threads.thread_create(poker, 0)
+    for tid in (t1, t2, t3):
+        yield from threads.thread_wait(tid)
+    yield from libc.compute(1)

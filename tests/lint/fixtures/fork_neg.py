@@ -1,0 +1,20 @@
+"""Negative fixture: fork with no locks held, and fork1() (duplicate
+only the forking LWP) which is exempt by design."""
+from repro.runtime import unistd
+from repro.sync import Mutex
+
+
+def main():
+    m = Mutex(name="parent-lock")
+    yield from m.enter()
+    yield from m.exit()
+    pid = yield from unistd.fork()      # nothing held: clean
+    if pid == 0:
+        yield from unistd.exit(0)
+    yield from unistd.waitpid(pid)
+    yield from m.enter()
+    pid2 = yield from unistd.fork1()    # fork1 is always exempt
+    if pid2 == 0:
+        yield from unistd.exit(0)
+    yield from m.exit()
+    yield from unistd.waitpid(pid2)

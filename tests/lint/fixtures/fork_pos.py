@@ -1,0 +1,13 @@
+"""Positive fixture: L501 — fork() while a lock is held."""
+from repro.runtime import unistd
+from repro.sync import Mutex
+
+
+def main():
+    m = Mutex(name="parent-lock")
+    yield from m.enter()
+    pid = yield from unistd.fork()  # L501: child inherits locked lock
+    if pid == 0:
+        yield from unistd.exit(0)
+    yield from m.exit()
+    yield from unistd.waitpid(pid)

@@ -1,0 +1,29 @@
+"""Negative fixture: same shape, but every access holds the counter
+mutex — and the main thread's post-join read is sequential, not a
+race."""
+from repro import threads
+from repro.runtime import libc, mapped
+from repro.sync import Mutex
+
+
+def main():
+    region = yield from mapped.map_anon_shared(4096)
+    yield from region.cell_store(0, 0)
+    m = Mutex(name="counter")
+
+    def worker(_i):
+        yield from m.enter()
+        value = yield from region.cell_load(0)
+        yield from libc.compute(5)
+        yield from region.cell_store(0, value + 1)
+        yield from m.exit()
+
+    tids = []
+    for i in range(3):
+        tid = yield from threads.thread_create(
+            worker, i, flags=threads.THREAD_WAIT)
+        tids.append(tid)
+    for tid in tids:
+        yield from threads.thread_wait(tid)
+    total = yield from region.cell_load(0)   # post-join: sequential
+    assert total == 3, total

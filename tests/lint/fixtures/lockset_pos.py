@@ -1,0 +1,22 @@
+"""Positive fixture: L601 — unlocked read-modify-write of a shared
+mapped cell from threads spawned in a loop."""
+from repro import threads
+from repro.runtime import libc, mapped
+
+
+def main():
+    region = yield from mapped.map_anon_shared(4096)
+    yield from region.cell_store(0, 0)
+
+    def worker(_i):
+        value = yield from region.cell_load(0)
+        yield from libc.compute(5)
+        yield from region.cell_store(0, value + 1)   # L601
+
+    tids = []
+    for i in range(3):
+        tid = yield from threads.thread_create(
+            worker, i, flags=threads.THREAD_WAIT)
+        tids.append(tid)
+    for tid in tids:
+        yield from threads.thread_wait(tid)

@@ -1,0 +1,25 @@
+"""Positive fixture: L201 — AB/BA blocking acquires form a cycle."""
+from repro import threads
+from repro.sync import Mutex
+
+
+def main():
+    a = Mutex(name="fixA")
+    b = Mutex(name="fixB")
+
+    def forward(_):
+        yield from a.enter()
+        yield from b.enter()
+        yield from b.exit()
+        yield from a.exit()
+
+    def backward(_):
+        yield from b.enter()
+        yield from a.enter()
+        yield from a.exit()
+        yield from b.exit()
+
+    t1 = yield from threads.thread_create(forward, 0)
+    t2 = yield from threads.thread_create(backward, 0)
+    yield from threads.thread_wait(t1)
+    yield from threads.thread_wait(t2)

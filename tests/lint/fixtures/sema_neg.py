@@ -1,0 +1,17 @@
+"""Negative fixture: balanced pool P/V, and an initial-0 notification
+semaphore whose V-before-P must not be called an underflow."""
+from repro.runtime import libc
+from repro.sync import Semaphore
+
+
+def pool_user():
+    pool = Semaphore(3, name="ok-pool")
+    yield from pool.p()
+    yield from libc.compute(5)
+    yield from pool.v()
+
+
+def notifier():
+    done = Semaphore(0, name="notify")
+    yield from done.v()             # initial-0: pure notification
+    yield from done.p()

@@ -1,0 +1,11 @@
+"""Positive fixture: L304 — pool semaphore V'd twice for one P."""
+from repro.runtime import libc
+from repro.sync import Semaphore
+
+
+def main():
+    pool = Semaphore(3, name="fix-pool")
+    yield from pool.p()
+    yield from libc.compute(5)
+    yield from pool.v()
+    yield from pool.v()             # L304: in-use count underflows

@@ -1,0 +1,13 @@
+"""Negative fixture: every generator API properly driven or stored."""
+from repro import threads
+from repro.runtime import libc
+from repro.sync import Mutex
+
+
+def main():
+    m = Mutex(name="m")
+    yield from m.enter()
+    yield from libc.compute(10)
+    yield from m.exit()
+    pending = threads.thread_yield()   # stored: may be driven later
+    yield from pending

@@ -1,0 +1,12 @@
+"""Positive fixture: L101 (discarded generator) and L102 (yield)."""
+from repro import threads
+from repro.runtime import libc
+from repro.sync import Mutex
+
+
+def main():
+    m = Mutex(name="m")
+    m.enter()                      # L101: never driven, lock not taken
+    yield m.exit()                 # L102: yields the generator object
+    libc.compute(10)               # L101: function form, also discarded
+    yield from threads.thread_yield()

@@ -1,0 +1,86 @@
+"""Static/dynamic cross-check (the ``--corpus`` contract).
+
+The same seeded-bug corpus that calibrates the dynamic detectors also
+calibrates the linter: every ``STATIC_EXPECT`` tag must be flagged with
+the expected rule, the clean corpus must stay finding-free, and the
+static lock-order cycles must be subset-consistent with what the
+dynamic ``LockOrderDetector`` observes on real interleavings.
+"""
+
+import ast
+
+from repro.explore import corpus
+from repro.explore.explorer import Explorer
+from repro.lint import lint_files
+from repro.lint.__main__ import _corpus_check
+
+
+def _corpus_findings():
+    return lint_files([corpus.__file__]).findings
+
+
+def _spans():
+    with open(corpus.__file__, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read())
+    return {node.name: (node.lineno, node.end_lineno)
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)}
+
+
+def _rules_in(findings, spans, name):
+    lo, hi = spans[name]
+    return {f.rule for f in findings if lo <= f.line <= hi}
+
+
+class TestStaticExpect:
+    def test_every_tag_is_flagged(self):
+        findings = _corpus_findings()
+        spans = _spans()
+        for name, expected in corpus.STATIC_EXPECT.items():
+            got = _rules_in(findings, spans, name)
+            assert expected <= got, (name, expected, got)
+
+    def test_clean_corpus_is_finding_free(self):
+        findings = _corpus_findings()
+        spans = _spans()
+        for name in corpus.CLEAN:
+            got = _rules_in(findings, spans, name)
+            assert not got, (name, got)
+
+    def test_cli_corpus_mode_passes(self):
+        assert _corpus_check(None) == 0
+
+
+class TestStaticVsDynamic:
+    def test_lock_order_cycles_subset_consistent(self):
+        # Static analysis over-approximates: every cycle the dynamic
+        # LockOrderDetector witnesses on an actual interleaving must
+        # already be in the static report (same subject format:
+        # " -> ".join(sorted(names))).
+        factory, _expected = corpus.BUGGY["ab_ba_locks"]
+        report = Explorer(factory, program="ab_ba_locks", runs=16,
+                          seed=3, stop_on_first=False).explore()
+        dynamic = {f.subject
+                   for result in report.results
+                   for f in result.findings
+                   if f.kind == "lock-order"}
+        assert dynamic, "explorer should witness the AB/BA cycle"
+
+        spans = _spans()
+        static = {f.subject for f in _corpus_findings()
+                  if f.rule == "L201"
+                  and spans["ab_ba_locks"][0] <= f.line
+                  <= spans["ab_ba_locks"][1]}
+        assert dynamic <= static, (dynamic, static)
+
+    def test_static_race_matches_dynamic_kind(self):
+        # racy_counter: the static L601 finding reports the same kind
+        # string the dynamic lockset detector uses, so downstream
+        # consumers can join the two reports.
+        findings = _corpus_findings()
+        spans = _spans()
+        lo, hi = spans["racy_counter"]
+        races = [f for f in findings
+                 if f.rule == "L601" and lo <= f.line <= hi]
+        assert races
+        assert all(f.kind == "data-race" for f in races)

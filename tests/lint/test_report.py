@@ -1,0 +1,143 @@
+"""Report plumbing: deterministic JSON, schema keys shared with the
+dynamic findings, suppression comments, baselines, CLI exit codes."""
+
+import io
+import json
+import os
+from contextlib import redirect_stdout
+
+from repro.lint import lint_files, lint_paths
+from repro.lint.__main__ import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+class TestDeterminism:
+    def test_json_is_byte_identical_across_runs(self):
+        a = lint_paths([FIXTURES]).to_json()
+        b = lint_paths([FIXTURES]).to_json()
+        assert a == b
+        assert isinstance(a, str) and a.endswith("\n")
+
+    def test_text_is_identical_across_runs(self):
+        a = lint_paths([FIXTURES]).to_text()
+        b = lint_paths([FIXTURES]).to_text()
+        assert a == b
+
+    def test_findings_sorted_by_location(self):
+        report = lint_paths([FIXTURES])
+        keys = [f.sort_key for f in report.findings]
+        assert keys == sorted(keys)
+
+
+class TestSchema:
+    def test_shares_keys_with_dynamic_findings(self):
+        # The JSON schema reuses the explore.ReproBundle finding keys so
+        # one tool can consume both static and dynamic reports.
+        data = json.loads(lint_paths([FIXTURES]).to_json())
+        assert data["findings"], "fixtures should produce findings"
+        for entry in data["findings"]:
+            for key in ("kind", "subject", "message", "detail",
+                        "rule", "severity", "file", "line",
+                        "function"):
+                assert key in entry, entry
+
+    def test_json_parses_and_counts_match(self):
+        report = lint_paths([FIXTURES])
+        data = json.loads(report.to_json())
+        assert len(data["findings"]) == len(report.findings)
+
+
+class TestSuppression:
+    def _lint_source(self, tmp_path, source):
+        path = tmp_path / "prog.py"
+        path.write_text(source, encoding="utf-8")
+        return lint_files([str(path)])
+
+    def test_line_suppression(self, tmp_path):
+        report = self._lint_source(tmp_path, (
+            "from repro.sync import Mutex\n"
+            "def main():\n"
+            "    m = Mutex(name='m')\n"
+            "    m.enter()  # lint: allow=L101\n"
+            "    yield from m.exit()\n"))
+        assert not [f for f in report.findings if f.rule == "L101"]
+        assert [f for f in report.suppressed if f.rule == "L101"]
+
+    def test_file_suppression(self, tmp_path):
+        report = self._lint_source(tmp_path, (
+            "# lint: allow-file=L101,L302\n"
+            "from repro.sync import Mutex\n"
+            "def main():\n"
+            "    m = Mutex(name='m')\n"
+            "    m.enter()\n"
+            "    yield from m.exit()\n"))
+        assert not report.findings
+        assert {f.rule for f in report.suppressed} == {"L101", "L302"}
+
+    def test_unrelated_rule_not_suppressed(self, tmp_path):
+        report = self._lint_source(tmp_path, (
+            "from repro.sync import Mutex\n"
+            "def main():\n"
+            "    m = Mutex(name='m')\n"
+            "    m.enter()  # lint: allow=L999\n"
+            "    yield from m.exit()\n"))
+        assert [f for f in report.findings if f.rule == "L101"]
+
+
+class TestBaseline:
+    def test_baseline_moves_findings_aside(self):
+        first = lint_paths([os.path.join(FIXTURES, "yield_pos.py")])
+        fingerprints = [f.fingerprint for f in first.findings]
+        assert fingerprints
+        again = lint_paths([os.path.join(FIXTURES, "yield_pos.py")],
+                           baseline=fingerprints)
+        assert not again.findings
+        assert len(again.baselined) == len(fingerprints)
+
+    def test_partial_baseline(self):
+        path = os.path.join(FIXTURES, "yield_pos.py")
+        first = lint_paths([path])
+        keep = first.findings[0].fingerprint
+        again = lint_paths([path], baseline=[keep])
+        assert len(again.findings) == len(first.findings) - 1
+
+
+class TestCli:
+    def _run(self, argv):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            rc = main(argv)
+        return rc, out.getvalue()
+
+    def test_exit_1_on_findings(self):
+        rc, out = self._run([os.path.join(FIXTURES, "yield_pos.py")])
+        assert rc == 1
+        assert "L101" in out
+
+    def test_exit_0_on_clean(self):
+        rc, _ = self._run([os.path.join(FIXTURES, "yield_neg.py")])
+        assert rc == 0
+
+    def test_json_flag(self):
+        rc, out = self._run(
+            ["--json", os.path.join(FIXTURES, "yield_pos.py")])
+        assert rc == 1
+        assert json.loads(out)["findings"]
+
+    def test_list_rules(self):
+        rc, out = self._run(["--list-rules"])
+        assert rc == 0
+        for rule in ("L101", "L201", "L301", "L401", "L501", "L601"):
+            assert rule in out
+
+    def test_baseline_flag(self, tmp_path):
+        path = os.path.join(FIXTURES, "yield_pos.py")
+        report = lint_paths([path])
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            "# known findings\n" +
+            "".join(f.fingerprint + "\n" for f in report.findings),
+            encoding="utf-8")
+        rc, _ = self._run(["--baseline", str(baseline), path])
+        assert rc == 0

@@ -1,0 +1,113 @@
+"""Runtime backstop for undriven sync generators (lint rule L101).
+
+With the guard enabled, building ``m.enter()`` and dropping it without
+``yield from`` must be noticed at GC time; with it disabled the sync
+APIs hand back plain generators with zero wrapping.
+"""
+
+import gc
+import types
+import warnings
+
+import pytest
+
+from repro.errors import SyncError
+from repro.sync import CondVar, Mutex, RwLock, Semaphore
+from repro.sync import guards
+
+
+@pytest.fixture
+def guard():
+    guards.enable()
+    guards.reset()
+    yield guards
+    guards.disable()
+    guards.reset()
+
+
+def _collect():
+    gc.collect()
+
+
+class TestDisabled:
+    def test_returns_plain_generator(self):
+        assert not guards.enabled()
+        gen = Mutex(name="m").enter()
+        assert isinstance(gen, types.GeneratorType)
+        gen.close()
+
+    def test_no_violations_recorded(self):
+        gen = Mutex(name="m").enter()
+        del gen
+        _collect()
+        assert guards.violations() == []
+        guards.check()
+
+
+class TestEnabled:
+    def test_undriven_generator_is_a_violation(self, guard):
+        with pytest.warns(RuntimeWarning, match="never[ \n]+driven"):
+            gen = Mutex(name="forgotten").enter()
+            del gen
+            _collect()
+        violations = guard.violations()
+        assert len(violations) == 1
+        assert "Mutex(forgotten).enter" in violations[0]
+        with pytest.raises(SyncError, match="yield from"):
+            guard.check()
+
+    def test_every_primitive_is_guarded(self, guard):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for build in (Mutex(name="m").enter,
+                          Mutex(name="m").exit,
+                          CondVar(name="cv").signal,
+                          Semaphore(1, name="s").p,
+                          RwLock(name="rw").exit):
+                gen = build()
+                del gen
+                _collect()
+        labels = "".join(guard.violations())
+        for fragment in ("Mutex(m).enter", "Mutex(m).exit",
+                         "CondVar(cv).signal", "Semaphore(s).p",
+                         "RwLock(rw).exit"):
+            assert fragment in labels, labels
+
+    def test_started_generator_is_clean(self, guard):
+        m = Mutex(name="ok")
+        gen = m.enter()
+        # Drive it like the kernel would; enter() yields at least once.
+        next(gen)
+        gen.close()
+        del gen
+        _collect()
+        assert guard.violations() == []
+        guard.check()
+
+    def test_explicit_close_is_acknowledged_discard(self, guard):
+        gen = Mutex(name="meant-it").enter()
+        gen.close()
+        del gen
+        _collect()
+        assert guard.violations() == []
+
+    def test_check_message_lists_labels(self, guard):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            gen = CondVar(name="cv").broadcast()
+            del gen
+            _collect()
+        with pytest.raises(SyncError) as exc:
+            guard.check()
+        assert "CondVar(cv).broadcast" in str(exc.value)
+
+    def test_reset_clears(self, guard):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            gen = Mutex(name="m").enter()
+            del gen
+            _collect()
+        assert guard.violations()
+        guard.reset()
+        assert guard.violations() == []
+        guard.check()
