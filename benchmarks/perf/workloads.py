@@ -1,0 +1,109 @@
+"""Wall-clock (host-time) perf workloads.
+
+These measure the *simulator's* speed — how fast the host executes
+simulated work — not the virtual-time results, which are covered by the
+figure benchmarks in ``benchmarks/``.  Four workloads bracket the hot
+paths of ARCHITECTURE §10:
+
+* ``engine_events``   — raw event-loop throughput (events/sec): a single
+  self-rescheduling timer, nothing else.  Exercises EventQueue push/pop
+  and the engine run loop, no CPU stepping.
+* ``thread_creations`` — unbound thread create/wait cycles per second:
+  the paper's Table 4 microbenchmark shape, run for host throughput.
+  Exercises the full stack: trampolines, scheduler, syscalls, effects.
+* ``window_system``   — the paper's motivating workload end-to-end
+  (Figure: one mouse-event pipeline per widget).  Mutex/condvar heavy.
+* ``explore_corpus``  — one schedule-exploration sweep of the seeded-bug
+  and clean corpora end-to-end (detectors + schedule plans + digests):
+  the CI stress job's inner loop.
+
+Every workload performs a fixed amount of simulated work, so host
+seconds are comparable across commits; each returns ``(elapsed_s,
+units)`` where ``units`` is the work count for rate metrics.
+
+Imports of ``repro`` happen inside the functions so the harness can
+point ``sys.path`` at a different checkout (``run.py --src``) to measure
+an older tree with the same workload definitions.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def engine_events() -> tuple:
+    from repro.sim.engine import Engine
+
+    n = 200_000
+    eng = Engine()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n:
+            eng.call_after(10, tick)
+
+    eng.call_after(0, tick)
+    t0 = time.perf_counter()
+    eng.run(check_deadlock=False)
+    elapsed = time.perf_counter() - t0
+    assert count[0] == n
+    return elapsed, n
+
+
+def thread_creations() -> tuple:
+    from repro.api import Simulator
+    from repro.threads import api
+
+    n = 2_000
+
+    def main():
+        for _ in range(n):
+            tid = yield from api.thread_create(lambda a: None, None,
+                                               flags=api.THREAD_WAIT)
+            yield from api.thread_wait(tid)
+
+    sim = Simulator(ncpus=1)
+    sim.spawn(main, name="creator")
+    t0 = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - t0, n
+
+
+def window_system() -> tuple:
+    from repro.api import Simulator
+    from repro.workloads import window_system as ws
+
+    main, _results = ws.build(n_widgets=200, n_events=2000)
+    sim = Simulator(ncpus=2)
+    sim.spawn(main, name="winsys")
+    t0 = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - t0, 2000
+
+
+def explore_corpus() -> tuple:
+    from repro.explore.corpus import BUGGY, CLEAN
+    from repro.explore.explorer import default_plan_dicts, run_one
+
+    plans = default_plan_dicts(8)
+    runs = 0
+    t0 = time.perf_counter()
+    for corpus in (BUGGY, CLEAN):
+        for name, entry in corpus.items():
+            factory = entry[0] if isinstance(entry, tuple) else entry
+            for k, plan in enumerate(plans):
+                run_one(factory, program=name, run_index=k, seed=k,
+                        schedule_dict=plan)
+                runs += 1
+    return time.perf_counter() - t0, runs
+
+
+#: name -> (callable, metric kind).  "rate" reports units/elapsed
+#: (higher is better); "time" reports elapsed seconds (lower is better).
+WORKLOADS = {
+    "engine_events": (engine_events, "rate"),
+    "thread_creations": (thread_creations, "rate"),
+    "window_system": (window_system, "time"),
+    "explore_corpus": (explore_corpus, "time"),
+}

@@ -39,9 +39,14 @@ class Simulator:
                  costs: Optional[CostModel] = None,
                  trace: bool = False,
                  trace_categories: Optional[Iterable[str]] = None,
+                 trace_sink=None, trace_store: bool = True,
                  threads_runtime_factory=None,
                  faults=None, schedule=None):
-        self.tracer = Tracer(enabled=trace, categories=trace_categories)
+        # trace_sink: extra sink (see repro.sim.trace) receiving every
+        # kept record; trace_store=False drops in-memory retention —
+        # together they give digest-only tracing with O(1) memory.
+        self.tracer = Tracer(enabled=trace, categories=trace_categories,
+                             sink=trace_sink, store=trace_store)
         self.machine = Machine(ncpus=ncpus, costs=costs, seed=seed,
                                tracer=self.tracer)
         self.kernel: Kernel = build_kernel(self.machine)

@@ -19,44 +19,37 @@ import argparse
 import os
 import sys
 
-from repro.explore import corpus
+from repro.explore import corpus, registry
 from repro.explore.explorer import Explorer, ReproBundle
 from repro.explore.minimize import minimize_schedule
 
 
 def _workload_factories() -> dict:
-    """Seed workloads as explorer factories (small parameter sets —
-    the stress job runs each K times)."""
-    from repro.workloads import (array_compute, database, network_server,
-                                 window_system)
-    return {
-        "wl_array_compute": lambda: array_compute.build()[0],
-        "wl_database": lambda: database.build()[0],
-        "wl_network_server": lambda: network_server.build()[0],
-        "wl_window_system": lambda: window_system.build()[0],
-    }
+    """Seed workloads as (factory, registry ref) pairs (small parameter
+    sets — the stress job runs each K times)."""
+    return {name: (registry.workload_factory(name), f"workload:{name}")
+            for name in registry.WORKLOAD_MODULES}
 
 
 def _example_factories() -> dict:
-    """Clean example programs (repo's examples/ dir, when present)."""
-    import importlib
-    if not os.path.isdir("examples"):
+    """Clean example programs (repo's examples/ dir, when present).
+
+    The tryenter (never hold-and-wait) variant: must stay clean — its
+    reverse-order tryenter backs off, which the lock-order detector
+    must not count as a cycle edge.
+    """
+    name = "ex_dining_philosophers"
+    factory = registry.example_factory(name)
+    if factory is None:
         return {}
-    sys.path.insert(0, "examples")
-    try:
-        dp = importlib.import_module("dining_philosophers")
-    except ImportError:
-        return {}
-    # The tryenter (never hold-and-wait) variant: must stay clean — its
-    # reverse-order tryenter backs off, which the lock-order detector
-    # must not count as a cycle edge.
-    return {"ex_dining_philosophers": lambda: dp.build(naive=False)[0]}
+    return {name: (factory, f"example:{name}")}
 
 
-def _explore(name: str, factory, args) -> "ExploreReport":
+def _explore(name: str, factory, args, ref: str = None) -> "ExploreReport":
     explorer = Explorer(factory, program=name, runs=args.runs,
                         seed=args.seed, ncpus=args.ncpus,
-                        max_events=args.max_events)
+                        max_events=args.max_events,
+                        jobs=args.jobs, factory_ref=ref)
     return explorer.explore()
 
 
@@ -90,6 +83,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--ncpus", type=int, default=2)
     parser.add_argument("--max-events", type=int, default=400_000)
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="fan each program's K runs across N host "
+                             "processes; results (output, bundles, "
+                             "digests) are identical to a serial run")
     parser.add_argument("--out", default=None,
                         help="directory for failing-run repro bundles")
     parser.add_argument("--minimize", action="store_true",
@@ -112,7 +109,7 @@ def main(argv=None) -> int:
         for name, (factory, expected) in corpus.BUGGY.items():
             if args.programs and name not in args.programs:
                 continue
-            report = _explore(name, factory, args)
+            report = _explore(name, factory, args, ref=f"buggy:{name}")
             found = report.finding_kinds & expected
             print(report.summary())
             first = report.first_failure()
@@ -133,15 +130,16 @@ def main(argv=None) -> int:
     if args.clean or args.workloads or args.examples:
         gate = {}
         if args.clean:
-            gate.update(corpus.CLEAN)
+            gate.update({name: (factory, f"clean:{name}")
+                         for name, factory in corpus.CLEAN.items()})
         if args.workloads:
             gate.update(_workload_factories())
         if args.examples:
             gate.update(_example_factories())
-        for name, factory in gate.items():
+        for name, (factory, ref) in gate.items():
             if args.programs and name not in args.programs:
                 continue
-            report = _explore(name, factory, args)
+            report = _explore(name, factory, args, ref=ref)
             print(report.summary())
             if report.failures:
                 failures += 1

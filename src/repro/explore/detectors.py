@@ -217,10 +217,10 @@ class LocksetDetector(Detector):
 
     name = "lockset"
 
-    def __init__(self, machine):
+    def __init__(self, machine, held=None):
         super().__init__()
         self.machine = machine
-        self.held = _HeldLocks()
+        self.held = held if held is not None else _HeldLocks()
         self.cells: dict[tuple, _CellRecord] = {}
         self.accesses_checked = 0
 
@@ -237,9 +237,10 @@ class LocksetDetector(Detector):
         """Resolve the acting (thread-or-lwp, process, in_kernel) from
         the CPU that is mid-step right now; (None, None, True) when the
         access happens outside any simulated instruction."""
-        for cpu in self.machine.cpus:
+        cpu = self.machine.engine.stepping_cpu
+        if cpu is not None and cpu.lwp is not None:
             act = cpu._stepping_activity
-            if act is not None and cpu.lwp is not None:
+            if act is not None:
                 lwp = cpu.lwp
                 thread = lwp.current_thread
                 return (thread if thread is not None else lwp,
@@ -431,16 +432,20 @@ class LostWakeupDetector(Detector):
 
     name = "lost-wakeup"
 
-    def __init__(self):
+    def __init__(self, held=None):
         super().__init__()
-        self.held = _HeldLocks()
+        # shared=True: another listener earlier in the chain maintains
+        # ``held`` (see default_detectors); don't double-apply events.
+        self._shared_held = held is not None
+        self.held = held if held is not None else _HeldLocks()
         self.cv_mutex: dict[int, set] = {}     # id(cv) -> set of lock keys
         self.cv_waited: set = set()            # id(cv) ever had a waiter
         self.cv_names: dict[int, str] = {}
         self.wasted: dict[int, list] = {}      # id(cv) -> [description]
 
     def on_sync(self, ctx, op, sv, detail) -> None:
-        self.held.update(ctx, op, sv, detail)
+        if not self._shared_held:
+            self.held.update(ctx, op, sv, detail)
         if op == "cv-wait":
             mutex = detail.get("mutex")
             self.cv_waited.add(id(sv))
@@ -503,12 +508,14 @@ class ExitInvariantDetector(Detector):
 
     name = "exit-invariant"
 
-    def __init__(self):
+    def __init__(self, held=None):
         super().__init__()
-        self.held = _HeldLocks()
+        self._shared_held = held is not None
+        self.held = held if held is not None else _HeldLocks()
 
     def on_sync(self, ctx, op, sv, detail) -> None:
-        self.held.update(ctx, op, sv, detail)
+        if not self._shared_held:
+            self.held.update(ctx, op, sv, detail)
         if op == "thread-exit":
             thread = detail.get("thread")
             holding = self.held.held_of(thread) if thread is not None else []
@@ -532,9 +539,20 @@ class ExitInvariantDetector(Detector):
 
 
 def default_detectors(sim) -> list:
-    """The standard detector suite for one run, installed."""
-    detectors = [LocksetDetector(sim.machine), LockOrderDetector(),
-                 LostWakeupDetector(), ExitInvariantDetector()]
+    """The standard detector suite for one run, installed.
+
+    Lockset, lost-wakeup, and exit-invariant share one held-locks
+    tracker: the lockset detector (first in listener order, so the
+    state is current before anyone reads it) applies each event once
+    instead of three identical applications.  The lock-order detector
+    keeps its own — it excludes composite shared-rwlock internals,
+    a different tracking config.
+    """
+    held = _HeldLocks()
+    detectors = [LocksetDetector(sim.machine, held=held),
+                 LockOrderDetector(),
+                 LostWakeupDetector(held=held),
+                 ExitInvariantDetector(held=held)]
     for det in detectors:
         det.install(sim)
     return detectors

@@ -25,7 +25,6 @@ trace digest and identical findings, every time.  The property test in
 
 from __future__ import annotations
 
-import hashlib
 import json
 from typing import Callable, Optional
 
@@ -35,6 +34,7 @@ from repro.explore.detectors import default_detectors
 from repro.sim.faults import FaultPlan
 from repro.sim.schedule import (PctPriorities, RandomPick, RandomPreempt,
                                 SchedulePlan)
+from repro.sim.trace import DigestSink, trace_digest  # noqa: F401  (re-export)
 
 #: Default per-run event budget.  Generous for every program in the
 #: corpus and the seed workloads; exhaustion is reported as a livelock.
@@ -142,15 +142,14 @@ class ReproBundle:
                        faults_dict=self.faults, **run_kwargs)
 
 
-def trace_digest(tracer) -> str:
-    """Stable digest of a run's trace: (time, category, event, subject)
-    per record — ``detail`` is skipped because it may hold object reprs
-    whose addresses vary between interpreter runs."""
-    h = hashlib.sha256()
-    for rec in tracer.records:
-        h.update(f"{rec.time_ns}|{rec.category}|{rec.event}|"
-                 f"{rec.subject}\n".encode())
-    return h.hexdigest()
+def _run_by_ref(factory_or_ref, kwargs: dict) -> "RunResult":
+    """Worker entry for parallel exploration (module-level: picklable)."""
+    if isinstance(factory_or_ref, str):
+        from repro.explore.registry import resolve
+        factory = resolve(factory_or_ref)
+    else:
+        factory = factory_or_ref
+    return run_one(factory, **kwargs)
 
 
 def run_one(factory: Callable, *, program: str = "program",
@@ -173,7 +172,12 @@ def run_one(factory: Callable, *, program: str = "program",
     result = RunResult(program, run_index, seed, schedule_dict,
                        faults_dict)
 
+    # Digest-only tracing: records fold into the SHA-256 as they are
+    # emitted and are never retained (DigestSink is byte-compatible
+    # with trace_digest over a stored list).
+    digest_sink = DigestSink() if with_digest else None
     sim = Simulator(ncpus=ncpus, seed=seed, trace=with_digest,
+                    trace_sink=digest_sink, trace_store=False,
                     faults=faults, schedule=plan)
     detectors = default_detectors(sim)
     main = factory()
@@ -196,7 +200,7 @@ def run_one(factory: Callable, *, program: str = "program",
     result.preemptions = plan.preemptions
     result.fired = list(plan.fired)
     if with_digest:
-        result.digest = trace_digest(sim.tracer)
+        result.digest = digest_sink.hexdigest()
     return result
 
 
@@ -281,6 +285,14 @@ class Explorer:
     CI stress job wants the full sweep; interactive debugging usually
     wants the first repro).  ``faults_dict`` applies one fault plan to
     every run, composing fault × schedule stress.
+
+    ``jobs`` fans the K runs across host processes.  Every run is
+    hermetic (fresh simulator, plan passed as a dict, seed derived from
+    the run index), so parallel results are *identical* to serial ones —
+    the report keeps run-index order regardless of completion order.
+    Workers receive ``factory_ref`` (a :mod:`repro.explore.registry`
+    reference) when given, else the factory itself, which must then be
+    picklable (corpus factories are; ad-hoc lambdas are not).
     """
 
     def __init__(self, factory: Callable, *, program: str = "program",
@@ -288,7 +300,9 @@ class Explorer:
                  faults_dict: Optional[dict] = None,
                  plan_dicts: Optional[list] = None,
                  max_events: int = DEFAULT_MAX_EVENTS,
-                 stop_on_first: bool = False):
+                 stop_on_first: bool = False,
+                 jobs: int = 1,
+                 factory_ref: Optional[str] = None):
         self.factory = factory
         self.program = program
         self.runs = runs
@@ -298,16 +312,35 @@ class Explorer:
         self.plan_dicts = plan_dicts
         self.max_events = max_events
         self.stop_on_first = stop_on_first
+        self.jobs = jobs
+        self.factory_ref = factory_ref
+
+    def _run_kwargs(self, k: int, plan: dict) -> dict:
+        return dict(program=self.program, run_index=k,
+                    seed=self.seed + k, ncpus=self.ncpus,
+                    schedule_dict=plan, faults_dict=self.faults_dict,
+                    max_events=self.max_events)
 
     def explore(self) -> ExploreReport:
         report = ExploreReport(self.program)
         plans = self.plan_dicts or default_plan_dicts(self.runs)
-        for k in range(min(self.runs, len(plans))):
-            result = run_one(
-                self.factory, program=self.program, run_index=k,
-                seed=self.seed + k, ncpus=self.ncpus,
-                schedule_dict=plans[k], faults_dict=self.faults_dict,
-                max_events=self.max_events)
+        n = min(self.runs, len(plans))
+        # stop_on_first is inherently sequential: which run counts as
+        # "first" is defined by serial order.
+        if self.jobs > 1 and n > 1 and not self.stop_on_first:
+            from concurrent.futures import ProcessPoolExecutor
+            ref = self.factory_ref if self.factory_ref is not None \
+                else self.factory
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, n)) as pool:
+                futures = [pool.submit(_run_by_ref, ref,
+                                       self._run_kwargs(k, plans[k]))
+                           for k in range(n)]
+                # Collect in submission (= run-index = serial) order.
+                report.results.extend(f.result() for f in futures)
+            return report
+        for k in range(n):
+            result = run_one(self.factory, **self._run_kwargs(k, plans[k]))
             report.results.append(result)
             if result.failed and self.stop_on_first:
                 break

@@ -1,0 +1,74 @@
+"""Program-factory registry: resolve a name to a factory in any process.
+
+Parallel exploration (``Explorer(jobs=N)`` / ``python -m repro.explore
+--jobs N``) ships *references*, not callables, to worker processes: a
+corpus factory defined at module level pickles fine, but the CLI's
+workload and example factories are closures, and pickling them would tie
+the wire format to implementation details.  A reference is a plain
+string resolved freshly on the worker — hermetic by construction, since
+every resolution returns a factory that builds new program state.
+
+Reference syntax: ``kind:name`` with kind one of ``buggy``, ``clean``,
+``workload``, ``example``; a bare ``name`` searches all kinds in that
+order.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from typing import Callable, Optional
+
+#: Seed-workload programs exposed to the explorer.  Values are module
+#: paths; each module's ``build()`` returns ``(main, results)``.
+WORKLOAD_MODULES = {
+    "wl_array_compute": "repro.workloads.array_compute",
+    "wl_database": "repro.workloads.database",
+    "wl_network_server": "repro.workloads.network_server",
+    "wl_window_system": "repro.workloads.window_system",
+}
+
+
+def workload_factory(name: str) -> Optional[Callable]:
+    """Factory for a seed workload, or None if ``name`` is not one."""
+    modpath = WORKLOAD_MODULES.get(name)
+    if modpath is None:
+        return None
+    mod = importlib.import_module(modpath)
+    return lambda: mod.build()[0]
+
+
+def example_factory(name: str) -> Optional[Callable]:
+    """Factory for a clean example program (repo ``examples/`` as cwd)."""
+    if name != "ex_dining_philosophers" or not os.path.isdir("examples"):
+        return None
+    if "examples" not in sys.path:
+        sys.path.insert(0, "examples")
+    try:
+        dp = importlib.import_module("dining_philosophers")
+    except ImportError:
+        return None
+    return lambda: dp.build(naive=False)[0]
+
+
+def resolve(ref: str) -> Callable:
+    """Resolve a factory reference; raises KeyError when unknown."""
+    from repro.explore import corpus
+
+    kind, sep, name = ref.partition(":")
+    if not sep:
+        kind, name = "", ref
+    if kind in ("", "buggy") and name in corpus.BUGGY:
+        return corpus.BUGGY[name][0]
+    if kind in ("", "clean") and name in corpus.CLEAN:
+        return corpus.CLEAN[name]
+    if kind in ("", "workload"):
+        factory = workload_factory(name)
+        if factory is not None:
+            return factory
+    if kind in ("", "example"):
+        factory = example_factory(name)
+        if factory is not None:
+            return factory
+    raise KeyError(f"unknown program reference {ref!r}")

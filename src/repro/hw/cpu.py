@@ -19,16 +19,32 @@ This mirrors the paper's structure: the hardware runs whatever context the
 kernel dispatched; the kernel sees only LWPs; user-level thread switches
 (the :class:`~repro.hw.isa.SwitchTo` effect) happen "without the kernel
 knowing it".
+
+Host performance
+----------------
+
+``_step`` and the effect interpreters are the simulator's innermost loop;
+they obey the hot-path rules of ARCHITECTURE §10:
+
+* Effects dispatch through a *type-keyed table* (``_DISPATCH``), one dict
+  lookup on ``type(effect)`` instead of an isinstance chain.  Effect
+  subclasses resolve through the MRO once and are cached.
+* Trace emission is gated on the tracer's per-category flags before any
+  argument is built, so a disabled tracer costs one attribute check.
+* Per-step allocations are limited to the unavoidable event-queue entry;
+  step tags are precomputed, not formatted per step.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Optional
 
 from repro.errors import (Errno, InterruptedSleep, SimulationError,
                           SyscallError)
 from repro.hw import isa
 from repro.hw.context import Activity, Mode
+from repro.sim.events import Event
 
 
 class ExecContext:
@@ -78,9 +94,17 @@ class CPU:
         self.index = index
         self.engine = engine
         self.costs = costs
+        self.tracer = engine.tracer
         self.kernel = None  # installed by the machine
         self.lwp = None  # currently running LWP
         self._step_event = None
+        self._step_tag = f"cpu-{index}.step"
+        # Hot-path caches: the step event is (re)scheduled once per
+        # effect, so the queue, clock, and the bound _step are resolved
+        # here rather than per call.
+        self._queue = engine.queue
+        self._clock = engine.clock
+        self._step_fn = self._step
         self._charge_end_ns: Optional[int] = None
         # The activity whose generator is live on the Python stack right
         # now (frame injection must defer while set).
@@ -111,8 +135,9 @@ class CPU:
         lwp.cpu = self
         self.dispatch_count += 1
         self._preempt_pending = False
-        self.engine.tracer.emit(self.engine.now_ns, "sched", "dispatch",
-                                lwp.name, cpu=self.name)
+        if self.tracer.want_sched:
+            self.tracer.emit(self.engine.now_ns, "sched", "dispatch",
+                             lwp.name, cpu=self.name)
         # Dispatch latency: run-queue removal, context load, cache warmup.
         self._account(self.costs.kernel_dispatch, kernel=True)
         self._schedule_step(self.costs.kernel_dispatch)
@@ -156,9 +181,22 @@ class CPU:
     # ------------------------------------------------------------ stepping
 
     def _schedule_step(self, delay_ns: int) -> None:
-        self._cancel_step()
-        self._step_event = self.engine.call_after(
-            delay_ns, self._step, tag=f"{self.name}.step")
+        # Inlined EventQueue.push: this runs once per simulated effect,
+        # and the call layer itself was measurable.  delay_ns comes from
+        # the cost model (validated non-negative at Charge construction).
+        ev = self._step_event
+        q = self._queue
+        if ev is not None and not ev.cancelled:
+            ev.cancelled = True
+            if q._live > 0:
+                q._live -= 1
+        t = self._clock.now_ns + delay_ns
+        seq = q._seq
+        q._seq = seq + 1
+        q._live += 1
+        ev = Event(t, seq, self._step_fn, self._step_tag)
+        heappush(q._heap, (t, seq, ev))
+        self._step_event = ev
 
     def _cancel_step(self) -> None:
         if self._step_event is not None:
@@ -205,6 +243,8 @@ class CPU:
         # push frames onto this activity (kernel signal delivery checks
         # this flag and defers instead).
         self._stepping_activity = activity
+        engine = self.engine
+        engine.stepping_cpu = self
         try:
             if activity.resume_exc is not None:
                 exc = activity.resume_exc
@@ -222,37 +262,34 @@ class CPU:
             return
         finally:
             self._stepping_activity = None
+            engine.stepping_cpu = None
 
         self._interpret(lwp, activity, effect)
 
     # ----------------------------------------------------- effect handling
 
     def _interpret(self, lwp, activity: Activity, effect) -> None:
-        if isinstance(effect, isa.Charge):
-            self._charge(effect.ns, activity.in_kernel)
-        elif isinstance(effect, isa.Syscall):
-            self._enter_kernel(lwp, activity, effect)
-        elif isinstance(effect, isa.SwitchTo):
-            self._switch_thread(lwp, activity, effect)
-        elif isinstance(effect, isa.GetContext):
-            activity.set_resume(ExecContext(self, lwp))
-            self._schedule_step(0)
-        elif isinstance(effect, isa.Setjmp):
-            activity.set_resume(object())  # opaque jump-buffer token
-            self._charge_then_step(self.costs.setjmp, activity.in_kernel)
-        elif isinstance(effect, isa.Longjmp):
-            activity.set_resume(None)
-            self._charge_then_step(self.costs.longjmp, activity.in_kernel)
-        elif isinstance(effect, isa.Touch):
-            self._touch(lwp, activity, effect)
-        elif isinstance(effect, isa.Block):
-            if not activity.in_kernel:
-                raise SimulationError(
-                    "Block effect yielded from user mode; user code must "
-                    "block via the threads library or a system call")
-            self._block(lwp, activity, effect)
-        else:
-            raise SimulationError(f"unknown effect: {effect!r}")
+        """Type-keyed effect dispatch (the table lives at class scope)."""
+        handler = _DISPATCH.get(effect.__class__)
+        if handler is None:
+            handler = _resolve_effect_handler(effect)
+        handler(self, lwp, activity, effect)
+
+    def _do_charge(self, lwp, activity: Activity,
+                   effect: "isa.Charge") -> None:
+        self._charge(effect.ns, activity.in_kernel)
+
+    def _do_get_context(self, lwp, activity: Activity, effect) -> None:
+        activity.set_resume(ExecContext(self, lwp))
+        self._schedule_step(0)
+
+    def _do_setjmp(self, lwp, activity: Activity, effect) -> None:
+        activity.set_resume(object())  # opaque jump-buffer token
+        self._charge_then_step(self.costs.setjmp, activity.in_kernel)
+
+    def _do_longjmp(self, lwp, activity: Activity, effect) -> None:
+        activity.set_resume(None)
+        self._charge_then_step(self.costs.longjmp, activity.in_kernel)
 
     def _charge(self, ns: int, kernel: bool) -> None:
         """Consume CPU time, then step again.
@@ -270,10 +307,11 @@ class CPU:
         self._schedule_step(ns)
 
     def _enter_kernel(self, lwp, activity: Activity,
-                      effect: isa.Syscall) -> None:
+                      effect: "isa.Syscall") -> None:
         """Trap: charge entry cost and push the handler frame."""
-        self.engine.tracer.emit(self.engine.now_ns, "syscall", "enter",
-                                lwp.name, call=effect.name)
+        if self.tracer.want_syscall:
+            self.tracer.emit(self.engine.now_ns, "syscall", "enter",
+                             lwp.name, call=effect.name)
         self.kernel.note_syscall(lwp, effect.name)
         handler = self.kernel.syscall_handler(
             ExecContext(self, lwp), effect.name, effect.args, effect.kwargs)
@@ -283,19 +321,20 @@ class CPU:
         self._schedule_step(self.costs.syscall_entry)
 
     def _switch_thread(self, lwp, activity: Activity,
-                       effect: isa.SwitchTo) -> None:
+                       effect: "isa.SwitchTo") -> None:
         """User-level context switch: no kernel involvement."""
         target = effect.target
         if target.finished:
             raise SimulationError(
                 f"switch to finished activity {target.name}")
-        self.engine.tracer.emit(self.engine.now_ns, "thread", "switch",
-                                lwp.name, frm=activity.name, to=target.name)
+        if self.tracer.want_thread:
+            self.tracer.emit(self.engine.now_ns, "thread", "switch",
+                             lwp.name, frm=activity.name, to=target.name)
         lwp.current_activity = target
         self._account(self.costs.thread_switch_user, kernel=False)
         self._schedule_step(self.costs.thread_switch_user)
 
-    def _touch(self, lwp, activity: Activity, effect: isa.Touch) -> None:
+    def _touch(self, lwp, activity: Activity, effect: "isa.Touch") -> None:
         from repro.hw.memory import page_of
         pageno = page_of(effect.offset)
         if effect.mobj.is_resident(pageno):
@@ -303,8 +342,9 @@ class CPU:
             self._schedule_step(0)
             return
         # Page fault: synchronous kernel entry on this LWP only.
-        self.engine.tracer.emit(self.engine.now_ns, "vm", "fault",
-                                lwp.name, obj=effect.mobj.name, page=pageno)
+        if self.tracer.want_vm:
+            self.tracer.emit(self.engine.now_ns, "vm", "fault",
+                             lwp.name, obj=effect.mobj.name, page=pageno)
         handler = self.kernel.page_fault_handler(
             ExecContext(self, lwp), effect.mobj, pageno, effect.write)
         activity.push(handler, Mode.KERNEL, label="pagefault")
@@ -312,16 +352,20 @@ class CPU:
         self._account(self.costs.trap_entry, kernel=True)
         self._schedule_step(self.costs.trap_entry)
 
-    def _block(self, lwp, activity: Activity, effect: isa.Block) -> None:
+    def _block(self, lwp, activity: Activity, effect: "isa.Block") -> None:
         """Sleep the LWP on a kernel wait channel and free this CPU."""
+        if not activity.in_kernel:
+            raise SimulationError(
+                "Block effect yielded from user mode; user code must "
+                "block via the threads library or a system call")
         if self.lwp is not lwp:
             raise SimulationError(
                 f"{self.name} blocking {lwp!r} but running {self.lwp!r}")
-        chan = effect.channel
-        chan_name = (",".join(c.name for c in chan)
-                     if isinstance(chan, (list, tuple)) else chan.name)
-        self.engine.tracer.emit(self.engine.now_ns, "sched", "block",
-                                lwp.name, chan=chan_name)
+        if self.tracer.want_sched:
+            # Uniform channel-name protocol: WaitChannel and ChannelSet
+            # both carry .name.
+            self.tracer.emit(self.engine.now_ns, "sched", "block",
+                             lwp.name, chan=isa.channel_name(effect.channel))
         self._account(self.costs.kernel_block, kernel=True)
         self.release()
         self.kernel.block_lwp(lwp, effect.channel,
@@ -349,9 +393,10 @@ class CPU:
             if frame.mode is Mode.KERNEL and below.mode is Mode.USER:
                 # Returning from a system call (or fault): charge the exit
                 # path and let the kernel deliver any pending signals.
-                self.engine.tracer.emit(
-                    self.engine.now_ns, "syscall", "exit", lwp.name,
-                    call=frame.label, ret=_brief(value))
+                if self.tracer.want_syscall:
+                    self.tracer.emit(
+                        self.engine.now_ns, "syscall", "exit", lwp.name,
+                        call=frame.label, ret=_brief(value))
                 activity.set_resume(value)
                 self._account(self.costs.syscall_exit, kernel=True)
                 self.kernel.kernel_exit_check(ExecContext(self, lwp))
@@ -389,9 +434,10 @@ class CPU:
                 pass
             below = activity.top
             if frame.mode is Mode.KERNEL and below.mode is Mode.USER:
-                self.engine.tracer.emit(
-                    self.engine.now_ns, "syscall", "error", lwp.name,
-                    call=frame.label, err=str(exc))
+                if self.tracer.want_syscall:
+                    self.tracer.emit(
+                        self.engine.now_ns, "syscall", "error", lwp.name,
+                        call=frame.label, err=str(exc))
                 activity.set_resume_exc(exc)
                 self._account(self.costs.syscall_exit, kernel=True)
                 self.kernel.kernel_exit_check(ExecContext(self, lwp))
@@ -434,6 +480,31 @@ class CPU:
     def __repr__(self) -> str:
         running = self.lwp.name if self.lwp else "idle"
         return f"<CPU {self.index}: {running}>"
+
+
+#: The type-keyed effect dispatch table: effect class -> unbound CPU
+#: method.  Shared by all CPUs; exact-type hits are one dict lookup.
+_DISPATCH = {
+    isa.Charge: CPU._do_charge,
+    isa.Syscall: CPU._enter_kernel,
+    isa.SwitchTo: CPU._switch_thread,
+    isa.GetContext: CPU._do_get_context,
+    isa.Setjmp: CPU._do_setjmp,
+    isa.Longjmp: CPU._do_longjmp,
+    isa.Touch: CPU._touch,
+    isa.Block: CPU._block,
+}
+
+
+def _resolve_effect_handler(effect):
+    """Slow path: resolve an effect subclass through its MRO and cache
+    the result so subsequent yields of that type are table hits."""
+    for klass in type(effect).__mro__[1:]:
+        handler = _DISPATCH.get(klass)
+        if handler is not None:
+            _DISPATCH[type(effect)] = handler
+            return handler
+    raise SimulationError(f"unknown effect: {effect!r}")
 
 
 def _brief(value: Any) -> str:

@@ -34,7 +34,7 @@ The executor in :mod:`repro.hw.cpu` interprets these.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 
 class Effect:
@@ -55,6 +55,25 @@ class Charge(Effect):
 
     def __repr__(self) -> str:
         return f"Charge({self.ns}ns)"
+
+
+#: Interned Charge effects, keyed by duration.  Charges are immutable once
+#: yielded (the executor only reads ``.ns``), so the same cost-model
+#: constant can reuse one object instead of allocating per operation.
+#: Capped so a pathological workload of distinct durations cannot grow it
+#: without bound; misses simply allocate.
+_CHARGE_CACHE: dict = {}
+_CHARGE_CACHE_MAX = 512
+
+
+def charge(ns: int) -> Charge:
+    """An interned :class:`Charge` for ``ns`` (hot-path allocation saver)."""
+    eff = _CHARGE_CACHE.get(ns)
+    if eff is None:
+        eff = Charge(ns)
+        if len(_CHARGE_CACHE) < _CHARGE_CACHE_MAX:
+            _CHARGE_CACHE[ns] = eff
+    return eff
 
 
 class Syscall(Effect):
@@ -90,9 +109,21 @@ class SwitchTo(Effect):
 
 
 class GetContext(Effect):
-    """Yielded to obtain the current :class:`repro.hw.cpu.ExecContext`."""
+    """Yielded to obtain the current :class:`repro.hw.cpu.ExecContext`.
+
+    Argless and stateless, so construction returns a process-wide interned
+    instance (also exported as :data:`GET_CONTEXT`): the hottest effect in
+    the simulator allocates nothing.
+    """
 
     __slots__ = ()
+    _instance: Optional["GetContext"] = None
+
+    def __new__(cls) -> "GetContext":
+        inst = cls._instance
+        if inst is None:
+            inst = cls._instance = super().__new__(cls)
+        return inst
 
     def __repr__(self) -> str:
         return "GetContext()"
@@ -102,13 +133,27 @@ class Setjmp(Effect):
     """Save the current user context; cost-model charge only.
 
     Returns a jump-buffer token.  Used by the Figure 6 baseline and by the
-    runtime's :func:`repro.runtime.libc.setjmp`.
+    runtime's :func:`repro.runtime.libc.setjmp`.  Argless: interned like
+    :class:`GetContext` (exported as :data:`SETJMP`).
     """
 
     __slots__ = ()
+    _instance: Optional["Setjmp"] = None
+
+    def __new__(cls) -> "Setjmp":
+        inst = cls._instance
+        if inst is None:
+            inst = cls._instance = super().__new__(cls)
+        return inst
 
     def __repr__(self) -> str:
         return "Setjmp()"
+
+
+#: The interned argless-effect singletons.  ``yield GET_CONTEXT`` skips
+#: even the ``__new__`` call on the fast path.
+GET_CONTEXT = GetContext()
+SETJMP = Setjmp()
 
 
 class Longjmp(Effect):
@@ -161,14 +206,53 @@ class Block(Effect):
 
     __slots__ = ("channel", "interruptible", "indefinite")
 
-    def __init__(self, channel: "WaitChannel", interruptible: bool = True,
+    def __init__(self, channel, interruptible: bool = True,
                  indefinite: bool = False):
+        if isinstance(channel, (list, tuple)):
+            channel = ChannelSet(channel)
         self.channel = channel
         self.interruptible = interruptible
         self.indefinite = indefinite
 
     def __repr__(self) -> str:
         return f"Block({self.channel!r})"
+
+
+class ChannelSet:
+    """A select-style group of wait channels blocked on together.
+
+    Blocking on a ChannelSet sleeps the LWP on *every* member; the first
+    wakeup on any of them resumes the LWP and the kernel purges it from
+    the rest.  Shares the wait-channel ``name`` protocol — ``.name`` is
+    the comma-joined member names — so the CPU's block trace, the
+    wait-for-graph renderer, and hang diagnostics render single channels
+    and groups uniformly, without ad-hoc isinstance checks.
+    """
+
+    __slots__ = ("channels", "name")
+
+    def __init__(self, channels: Iterable["WaitChannel"]):
+        self.channels = tuple(channels)
+        self.name = ",".join(c.name for c in self.channels)
+
+    def __iter__(self):
+        return iter(self.channels)
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def __repr__(self) -> str:
+        return f"<ChannelSet {self.name}>"
+
+
+def channel_name(channel) -> str:
+    """Uniform display name of a wait channel, ChannelSet, or raw
+    list/tuple of channels (the pre-ChannelSet representation, still
+    accepted at kernel entry points)."""
+    name = getattr(channel, "name", None)
+    if name is not None:
+        return name
+    return ",".join(c.name for c in channel)
 
 
 class WaitChannel:

@@ -20,6 +20,7 @@ from repro.errors import (Errno, InterruptedSleep, SimulationError,
                           SyscallError)
 from repro.hw.context import Activity, as_generator
 from repro.hw.cpu import ExecContext
+from repro.hw import isa
 from repro.hw.isa import WaitChannel
 from repro.hw.machine import Machine
 from repro.kernel.fs.vfs import Vfs
@@ -179,7 +180,10 @@ class Kernel:
         handler = self._syscalls.get(name)
         if handler is None:
             return self._enosys(name)
-        return as_generator(handler, ctx, *args, **kwargs)
+        # Handlers are generator functions by registry contract, so the
+        # call builds a suspended generator directly — nothing executes
+        # until the entry charge elapses, same as the old trampoline.
+        return handler(ctx, *args, **kwargs)
 
     def _injected_failure(self, name: str, errno: Errno):
         """Handler generator for a fault-plan-injected syscall failure."""
@@ -211,7 +215,8 @@ class Kernel:
         if channel is self.grave or lwp.exited:
             self._bury(lwp)
             return
-        channels = (list(channel) if isinstance(channel, (list, tuple))
+        channels = (list(channel)
+                    if isinstance(channel, (list, tuple, isa.ChannelSet))
                     else [channel])
         lwp.state = LwpState.SLEEPING
         lwp.channel = channels[0]
@@ -281,8 +286,9 @@ class Kernel:
         proc.sigwaiting_posted = True
         proc.sigwaiting_streak += 1
         self.sigwaiting_sent += 1
-        self.tracer.emit(self.engine.now_ns, "signal", "sigwaiting",
-                         f"pid-{proc.pid}")
+        if self.tracer.want_signal:
+            self.tracer.emit(self.engine.now_ns, "signal", "sigwaiting",
+                             f"pid-{proc.pid}")
         self.post_signal(proc, Sig.SIGWAITING)
 
     def wakeup_one(self, channel: WaitChannel,
@@ -313,7 +319,9 @@ class Kernel:
         lwp.sleep_indefinite = False
         lwp.process.sigwaiting_posted = False
         lwp.process.sigwaiting_streak = 0
-        self.tracer.emit(self.engine.now_ns, "sched", "wakeup", lwp.name)
+        if self.tracer.want_sched:
+            self.tracer.emit(self.engine.now_ns, "sched", "wakeup",
+                             lwp.name)
         if lwp.current_activity is not None:
             lwp.current_activity.set_resume(value)
         if lwp.stop_pending:
@@ -348,8 +356,9 @@ class Kernel:
         lwp.sleep_indefinite = False
         if lwp.current_activity is not None:
             lwp.current_activity.set_resume_exc(InterruptedSleep())
-        self.tracer.emit(self.engine.now_ns, "signal", "interrupt-sleep",
-                         lwp.name)
+        if self.tracer.want_signal:
+            self.tracer.emit(self.engine.now_ns, "signal",
+                             "interrupt-sleep", lwp.name)
         self.dispatcher.make_runnable(lwp)
         return True
 
@@ -380,9 +389,11 @@ class Kernel:
             return
         self.signals_posted[sig] += 1
         proc.signals.sent_count[sig] += 1
-        self.tracer.emit(self.engine.now_ns, "signal", "post",
-                         f"pid-{proc.pid}", sig=sig.name,
-                         target=target_lwp.name if target_lwp else "process")
+        if self.tracer.want_signal:
+            self.tracer.emit(
+                self.engine.now_ns, "signal", "post", f"pid-{proc.pid}",
+                sig=sig.name,
+                target=target_lwp.name if target_lwp else "process")
 
         action = proc.signals.action(sig)
 
@@ -508,6 +519,10 @@ class Kernel:
         boundary (the classic delivery point)."""
         lwp = ctx.lwp
         proc = lwp.process
+        # Fast bail: no pending signals anywhere (the common case — this
+        # runs at every syscall exit).
+        if not lwp.pending and not proc.signals.pending:
+            return
         if proc.state is not ProcState.ACTIVE or lwp.exited:
             return
         sig = self._dequeue_deliverable(proc, lwp)
@@ -517,14 +532,14 @@ class Kernel:
 
     def _dequeue_deliverable(self, proc: Process,
                              lwp: Lwp) -> Optional[Sig]:
-        for sig in lwp.pending.signals():
-            if sig not in lwp.sigmask:
-                lwp.pending.discard(sig)
-                return sig
-        for sig in proc.signals.pending.signals():
-            if sig not in lwp.sigmask:
-                proc.signals.pending.discard(sig)
-                return sig
+        sig = lwp.pending.difference(lwp.sigmask).first()
+        if sig is not None:
+            lwp.pending.discard(sig)
+            return sig
+        sig = proc.signals.pending.difference(lwp.sigmask).first()
+        if sig is not None:
+            proc.signals.pending.discard(sig)
+            return sig
         return None
 
     def _deliver_to_lwp(self, ctx: ExecContext, lwp: Lwp, sig: Sig) -> None:
@@ -693,8 +708,9 @@ class Kernel:
         if proc.real_timer_event is not None:
             self.engine.cancel(proc.real_timer_event)
             proc.real_timer_event = None
-        self.tracer.emit(self.engine.now_ns, "proc", "exit",
-                         f"pid-{proc.pid}", status=proc.exit_status)
+        if self.tracer.want_proc:
+            self.tracer.emit(self.engine.now_ns, "proc", "exit",
+                             f"pid-{proc.pid}", status=proc.exit_status)
         # Reparent children to nobody; auto-reap their zombies.
         for child in proc.children:
             child.parent = None

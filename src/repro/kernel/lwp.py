@@ -66,6 +66,11 @@ class Lwp:
     def __init__(self, lwp_id: int, process, activity: Activity):
         self.lwp_id = lwp_id
         self.process = process
+        # The display name is read on every traced transition and every
+        # wait-channel diagnostic; both inputs are fixed at creation, so
+        # build it once.
+        pid = process.pid if process else "?"
+        self.name = f"lwp-{pid}.{self.lwp_id}"
         self.state = LwpState.RUNNABLE
         self.current_activity: Optional[Activity] = activity
         # The user-level thread currently riding this LWP; maintained by the
@@ -124,13 +129,6 @@ class Lwp:
         # notifications out of the accounting hot path).
         self.kernel = None
 
-    # ------------------------------------------------------------ naming
-
-    @property
-    def name(self) -> str:
-        pid = self.process.pid if self.process else "?"
-        return f"lwp-{pid}.{self.lwp_id}"
-
     # --------------------------------------------------------- accounting
 
     def account(self, ns: int, kernel: bool = False) -> None:
@@ -155,7 +153,8 @@ class Lwp:
                 self.kernel.on_lwp_timer_expired(self, virtual=False)
         if self.profiling is not None and not kernel:
             self.profiling.accumulate(self, ns)
-        if self.kernel is not None and ns > 0:
+        if (self.kernel is not None and ns > 0
+                and self.process.rlimits.cpu_ns is not None):
             self.kernel.check_cpu_rlimit(self)
 
     @property

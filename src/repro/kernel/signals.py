@@ -197,8 +197,27 @@ class Sigset:
         return new
 
     def signals(self) -> list[Sig]:
-        """The members, ascending by signal number (deterministic)."""
-        return [s for s in Sig if s in self]
+        """The members, ascending by signal number (deterministic).
+
+        Extracts set bits lowest-first instead of probing all 32 signal
+        numbers: pending sets are almost always empty or near-empty, and
+        this runs on every syscall exit (``kernel_exit_check``).
+        """
+        bits = self._bits
+        out = []
+        while bits:
+            low = bits & -bits
+            out.append(Sig(low.bit_length() - 1))
+            bits ^= low
+        return out
+
+    def first(self) -> Optional[Sig]:
+        """The lowest-numbered member, or None if empty (hot-path helper:
+        no list is built)."""
+        bits = self._bits
+        if not bits:
+            return None
+        return Sig((bits & -bits).bit_length() - 1)
 
     def __bool__(self) -> bool:
         return self._bits != 0
@@ -239,23 +258,34 @@ class SigAction:
         return not (self.is_default() or self.is_ignore())
 
 
+#: Template for the per-signal counters; copied (C-level) per process
+#: instead of re-iterating the enum for every SignalState.
+_ZERO_COUNTS = {s: 0 for s in Sig}
+
+
 class SignalState:
     """Per-process signal state: handler table + process pending set."""
 
     def __init__(self):
-        self.actions: dict[Sig, SigAction] = {
-            s: SigAction() for s in Sig
-        }
+        # Materialized lazily: a signal that was never set_action()'d is
+        # indistinguishable from an explicit default entry (exec's reset
+        # loop and fork_copy only ever see non-default state), and most
+        # processes touch one or two signals, not the whole table.
+        self.actions: dict[Sig, SigAction] = {}
         # Interrupts that no LWP could take yet "pend on the process until
         # a thread unmasks that signal".
         self.pending = Sigset()
         # Count of signals posted/delivered, for the paper's invariant that
         # delivered <= sent.
-        self.sent_count: dict[Sig, int] = {s: 0 for s in Sig}
-        self.delivered_count: dict[Sig, int] = {s: 0 for s in Sig}
+        self.sent_count: dict[Sig, int] = dict(_ZERO_COUNTS)
+        self.delivered_count: dict[Sig, int] = dict(_ZERO_COUNTS)
 
     def action(self, sig: Sig) -> SigAction:
-        return self.actions[Sig(sig)]
+        sig = Sig(sig)
+        act = self.actions.get(sig)
+        if act is None:
+            act = self.actions[sig] = SigAction()
+        return act
 
     def set_action(self, sig: Sig, handler, mask: Optional[Sigset] = None,
                    restart: bool = False) -> SigAction:
@@ -263,7 +293,9 @@ class SignalState:
         sig = Sig(sig)
         if sig in UNBLOCKABLE and handler not in (SIG_DFL,):
             raise ValueError(f"{sig.name} cannot be caught or ignored")
-        old = self.actions[sig]
+        old = self.actions.get(sig)
+        if old is None:
+            old = SigAction()
         self.actions[sig] = SigAction(handler=handler,
                                       mask=mask.copy() if mask else Sigset(),
                                       restart=restart)
@@ -271,8 +303,8 @@ class SignalState:
 
     def disposition(self, sig: Sig) -> Disposition:
         """Effective default action if the signal is not caught."""
-        act = self.actions[Sig(sig)]
-        if act.is_ignore():
+        act = self.actions.get(Sig(sig))
+        if act is not None and act.is_ignore():
             return Disposition.IGNORE
         return DEFAULT_DISPOSITION[Sig(sig)]
 

@@ -14,16 +14,25 @@ synchronization.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 SYSCALLS: dict[str, Callable] = {}
 
 
 def syscall(name: str):
-    """Register a handler under ``name``."""
+    """Register a handler under ``name``.
+
+    The handler must be a generator function — enforced here so the
+    kernel's trap path can instantiate it directly (no ``as_generator``
+    trampoline frame on every syscall step).
+    """
     def register(fn: Callable) -> Callable:
         if name in SYSCALLS:
             raise ValueError(f"duplicate syscall {name}")
+        if not inspect.isgeneratorfunction(fn):
+            raise TypeError(f"syscall {name}: handler must be a "
+                            "generator function")
         SYSCALLS[name] = fn
         return fn
     return register

@@ -51,6 +51,11 @@ class Engine:
         # cv wait/signal, thread exit).  Appended to by the dynamic
         # detectors in repro.explore; empty in normal runs.
         self.sync_listeners: list = []
+        # The CPU whose activity is mid-step right now (set/cleared by
+        # CPU._step around the generator resume).  Lets observers
+        # attribute an in-flight access to its executor without scanning
+        # every CPU.
+        self.stepping_cpu = None
 
     # ----------------------------------------------------------------- time
 
@@ -109,10 +114,18 @@ class Engine:
             raise SimulationError("engine is not reentrant")
         self._running = True
         fired = 0
+        # Hot loop: hoist bound methods so each iteration is local loads
+        # only (the loop body runs once per simulated effect).
+        pop_next = self.queue.pop_next
+        advance_to = self.clock.advance_to
         try:
             while True:
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                next_time, ev = pop_next(until_ns)
+                if ev is None:
+                    if next_time is not None:
+                        # Next live event lies beyond until_ns.
+                        advance_to(until_ns)
+                        break
                     if check_deadlock and self.idle_check is not None:
                         complaint = self.idle_check()
                         if complaint:
@@ -121,21 +134,18 @@ class Engine:
                                 complaint = f"{complaint}\n{report}"
                             raise DeadlockError(complaint)
                     break
-                if until_ns is not None and next_time > until_ns:
-                    self.clock.advance_to(until_ns)
-                    break
-                ev = self.queue.pop()
-                assert ev is not None
-                self.clock.advance_to(ev.time_ns)
+                advance_to(next_time)
                 ev.fn()
                 fired += 1
-                self._events_fired += 1
                 if max_events is not None and fired >= max_events:
+                    self._events_fired += fired
+                    fired = 0
                     raise SimulationError(
                         f"max_events={max_events} exhausted at "
                         f"t={self.now_usec:.1f}us; runaway simulation?")
         finally:
             self._running = False
+            self._events_fired += fired
         return fired
 
     def diagnose_hang(self) -> str:

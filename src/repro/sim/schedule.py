@@ -43,6 +43,7 @@ bundles (:meth:`SchedulePlan.to_dict` / :meth:`SchedulePlan.from_dict`).
 from __future__ import annotations
 
 import fnmatch
+import re
 from typing import Optional
 
 from repro.errors import SimulationError
@@ -97,6 +98,15 @@ class RandomPreempt(ScheduleRule):
             raise SimulationError(f"bad probability {probability}")
         self.probability = probability
         self.ops = list(ops) if ops is not None else None
+        # fnmatch.fnmatch re-resolves its pattern cache per call; on the
+        # hot consult path we precompile the union once instead.
+        if self.ops is None:
+            self._ops_re = None
+        else:
+            # "(?!)" never matches: an explicit empty ops list means
+            # "no op qualifies", same as the fnmatch-any over [].
+            self._ops_re = re.compile("|".join(
+                fnmatch.translate(p) for p in self.ops) or r"(?!)").match
         self.max_count = max_count
         self.skip = skip
         self.seen = 0
@@ -105,11 +115,13 @@ class RandomPreempt(ScheduleRule):
     def arm(self, plan: "SchedulePlan", engine) -> None:
         self.seen = 0
         self.injected = 0
+        # Bind the sub-stream once: consult runs at every yield point.
+        self._random = plan.rng("preempt").random
 
     def _matches(self, op: str) -> bool:
-        if self.ops is None:
+        if self._ops_re is None:
             return True
-        return any(fnmatch.fnmatch(op, pat) for pat in self.ops)
+        return self._ops_re(op) is not None
 
     def preempt_here(self, plan, index, op, name) -> bool:
         if not self._matches(op):
@@ -119,7 +131,7 @@ class RandomPreempt(ScheduleRule):
             return False
         if self.max_count is not None and self.injected >= self.max_count:
             return False
-        if plan.rng("preempt").random() >= self.probability:
+        if self._random() >= self.probability:
             return False
         self.injected += 1
         return True
@@ -180,11 +192,12 @@ class RandomPick(ScheduleRule):
 
     def arm(self, plan: "SchedulePlan", engine) -> None:
         self.perturbed = 0
+        self._rng = plan.rng("pick")
 
     def pick(self, plan, snapshot):
         if len(snapshot) < 2:
             return None
-        rng = plan.rng("pick")
+        rng = self._rng
         if rng.random() >= self.probability:
             return None
         self.perturbed += 1
@@ -220,11 +233,12 @@ class PctPriorities(ScheduleRule):
     def arm(self, plan: "SchedulePlan", engine) -> None:
         self._prio.clear()
         self._picks = 0
+        self._rng = plan.rng("pct")
 
     def pick(self, plan, snapshot):
         if not snapshot:
             return None
-        rng = plan.rng("pct")
+        rng = self._rng
         for t in snapshot:
             if id(t) not in self._prio:
                 self._prio[id(t)] = rng.random()

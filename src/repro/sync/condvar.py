@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import Errno, SyncError, SyscallError
-from repro.hw.isa import Charge, GetContext, Syscall, Touch
+from repro.hw.isa import GET_CONTEXT, Syscall, Touch, charge
 from repro.sync import events
 from repro.sync.guards import guarded
 from repro.sync.mutex import Mutex
@@ -70,13 +70,13 @@ class CondVar(SyncVariable):
         The mutex must be held by the caller (checked for private
         mutexes; a shared mutex carries no owner identity to check).
         """
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         self.waits += 1
         if not mutex.is_shared and mutex.owner is not ctx.thread:
             raise SyncError(
                 f"{self.name}: cv_wait with {mutex.name} not held")
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         events.sync_event(ctx, "cv-wait", self, mutex=mutex)
 
         target_gen = self._gen()
@@ -108,14 +108,14 @@ class CondVar(SyncVariable):
         for the per-LWP interval timers a real library would arm).
         """
         from repro.sim.clock import usec as _usec
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         kernel = ctx.kernel
         self.waits += 1
         if not mutex.is_shared and mutex.owner is not ctx.thread:
             raise SyncError(
                 f"{self.name}: cv_timedwait with {mutex.name} not held")
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         events.sync_event(ctx, "cv-wait", self, mutex=mutex)
         timeout_ns = _usec(timeout_usec)
 
@@ -172,21 +172,23 @@ class CondVar(SyncVariable):
     def signal(self):
         """Generator: wake one waiter ("no guaranteed order" beyond FIFO
         fairness in this implementation)."""
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         self.signals += 1
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         self._bump()
         if self.is_shared:
             cell = self.cell
             yield Syscall("usync_wake", cell.mobj, cell.offset, 1,
                           label=f"cv:{self.name}")
-            yield from events.sync_point(ctx, "cv-signal", self,
-                                         woken=None)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "cv-signal", self,
+                                             woken=None)
         else:
             woken = yield from lib.wake_from_queue(self.waiters, n=1)
-            yield from events.sync_point(ctx, "cv-signal", self,
-                                         woken=woken)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "cv-signal", self,
+                                             woken=woken)
 
     @guarded
     def broadcast(self):
@@ -195,19 +197,21 @@ class CondVar(SyncVariable):
         "Since cv_broadcast() causes all threads blocking on the condition
         to re-contend for the mutex, it should be used with care."
         """
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         self.broadcasts += 1
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         self._bump()
         if self.is_shared:
             cell = self.cell
             yield Syscall("usync_wake_all", cell.mobj, cell.offset,
                           label=f"cv:{self.name}")
-            yield from events.sync_point(ctx, "cv-broadcast", self,
-                                         woken=None)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "cv-broadcast", self,
+                                             woken=None)
         else:
             woken = yield from lib.wake_from_queue(self.waiters,
                                                    n=len(self.waiters))
-            yield from events.sync_point(ctx, "cv-broadcast", self,
-                                         woken=woken)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "cv-broadcast", self,
+                                             woken=woken)

@@ -40,6 +40,19 @@ from repro.hw.isa import GetContext
 #: ``thread-exit``             a user thread died (detail: ``thread``)
 
 
+def sync_active(ctx) -> bool:
+    """True when a sync_point would do anything at all.
+
+    Uncontended fast paths test this before ``yield from sync_point``:
+    when no detector is listening and no schedule plan is attached (every
+    normal run), the whole instrumentation generator is skipped — not
+    even allocated.  This is behavior-identical because an inactive
+    sync_point yields nothing.
+    """
+    engine = ctx.engine
+    return bool(engine.sync_listeners) or engine.schedule is not None
+
+
 def _fresh_ctx(ctx):
     """Re-resolve the execution context at delivery time.
 
@@ -49,11 +62,11 @@ def _fresh_ctx(ctx):
     that is mid-step right now is the real emitter.
     """
     from repro.hw.cpu import ExecContext
-    for cpu in ctx.kernel.machine.cpus:
-        if cpu._stepping_activity is not None and cpu.lwp is not None:
-            if cpu is ctx.cpu and cpu.lwp is ctx.lwp:
-                return ctx
-            return ExecContext(cpu, cpu.lwp)
+    cpu = ctx.engine.stepping_cpu
+    if cpu is not None and cpu.lwp is not None:
+        if cpu is ctx.cpu and cpu.lwp is ctx.lwp:
+            return ctx
+        return ExecContext(cpu, cpu.lwp)
     return ctx
 
 
@@ -73,23 +86,29 @@ def sync_event(ctx, op: str, sv, **detail) -> None:
 
 
 def sync_point(ctx, op: str, sv, **detail):
-    """Generator: emit the event, then maybe preempt (a yield point).
+    """Emit the event, then maybe preempt (a yield point).
 
     Preemption is a plain user-level reschedule of the current unbound
     thread — the same state transition ``thread_yield`` makes — so it is
     always legal, merely adversarial.  Bound threads and pure-LWP code
     are never preempted here (they own their LWP).
+
+    A plain function, not a generator: the overwhelmingly common verdict
+    is "no preemption here", and returning ``()`` lets call sites'
+    ``yield from`` consume an empty tuple — no generator object, no
+    frame — while a positive verdict returns the preemption generator to
+    be driven as before.  Call sites are oblivious either way.
     """
     sync_event(ctx, op, sv, **detail)
     plan = ctx.engine.schedule
     if plan is None:
-        return
+        return ()
     if not plan.consult(op, getattr(sv, "name", None)):
-        return
+        return ()
     lib = ctx.process.threadlib
     if lib is None:
-        return
-    yield from lib.preempt_current()
+        return ()
+    return lib.preempt_current()
 
 
 def maybe_sync_point(op: str, sv, **detail):

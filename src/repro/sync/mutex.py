@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import Errno, SyncError, SyscallError
-from repro.hw.isa import Charge, GetContext, Syscall, Touch
+from repro.hw.isa import GET_CONTEXT, Syscall, Touch, charge
 from repro.sim.clock import usec
 from repro.sync import events
 from repro.sync.guards import guarded
@@ -57,10 +57,10 @@ class Mutex(SyncVariable):
         if self.is_shared:
             result = yield from self._enter_shared()
             return result
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         me = ctx.thread
-        yield Charge(ctx.costs.mutex_fast_path)
+        yield charge(ctx.costs.mutex_fast_path)
         if self.is_debug and self.owner is me:
             raise SyncError(f"{self.name}: recursive mutex_enter")
         attempted = False
@@ -68,9 +68,10 @@ class Mutex(SyncVariable):
             if self.owner is None:
                 self.owner = me
                 self.acquisitions += 1
-                yield from events.sync_point(ctx, "acquire", self,
-                                             mode="mutex", blocking=True,
-                                             cell=self.cell)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "acquire", self,
+                                                 mode="mutex", blocking=True,
+                                                 cell=self.cell)
                 return
             self.contended += 1
             if not attempted:
@@ -83,9 +84,9 @@ class Mutex(SyncVariable):
                                   mode="mutex", cell=self.cell)
             if self.is_spin or (self.is_adaptive and self._owner_running()):
                 self.spins += 1
-                yield Charge(usec(SPIN_POLL_US))
+                yield charge(usec(SPIN_POLL_US))
                 continue
-            yield Charge(ctx.costs.sync_user_op)
+            yield charge(ctx.costs.sync_user_op)
             outcome = yield from lib.block_current_on(
                 self.waiters, reason=self.name,
                 guard=lambda: self.owner is not None)
@@ -93,9 +94,10 @@ class Mutex(SyncVariable):
                 # Direct handoff: the releaser made us the owner.
                 assert self.owner is me
                 self.acquisitions += 1
-                yield from events.sync_point(ctx, "acquire", self,
-                                             mode="mutex", blocking=True,
-                                             cell=self.cell)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "acquire", self,
+                                                 mode="mutex", blocking=True,
+                                                 cell=self.cell)
                 return
 
     def _owner_running(self) -> bool:
@@ -117,11 +119,11 @@ class Mutex(SyncVariable):
         if self.is_shared:
             result = yield from self._timedenter_shared(timeout_usec)
             return result
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         kernel = ctx.kernel
         me = ctx.thread
-        yield Charge(ctx.costs.mutex_fast_path)
+        yield charge(ctx.costs.mutex_fast_path)
         if self.is_debug and self.owner is me:
             raise SyncError(f"{self.name}: recursive mutex_enter")
         deadline = kernel.engine.now_ns + usec(timeout_usec)
@@ -129,18 +131,19 @@ class Mutex(SyncVariable):
             if self.owner is None:
                 self.owner = me
                 self.acquisitions += 1
-                yield from events.sync_point(ctx, "acquire", self,
-                                             mode="mutex", blocking=True,
-                                             cell=self.cell)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "acquire", self,
+                                                 mode="mutex", blocking=True,
+                                                 cell=self.cell)
                 return True
             self.contended += 1
             if kernel.engine.now_ns >= deadline:
                 return False
             if self.is_spin or (self.is_adaptive and self._owner_running()):
                 self.spins += 1
-                yield Charge(usec(SPIN_POLL_US))
+                yield charge(usec(SPIN_POLL_US))
                 continue
-            yield Charge(ctx.costs.sync_user_op)
+            yield charge(ctx.costs.sync_user_op)
             timed_out_box = {"value": False}
 
             def on_timeout():
@@ -166,17 +169,18 @@ class Mutex(SyncVariable):
                 # Direct handoff: the releaser made us the owner.
                 assert self.owner is me
                 self.acquisitions += 1
-                yield from events.sync_point(ctx, "acquire", self,
-                                             mode="mutex", blocking=True,
-                                             cell=self.cell)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "acquire", self,
+                                                 mode="mutex", blocking=True,
+                                                 cell=self.cell)
                 return True
 
     def _timedenter_shared(self, timeout_usec: float):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         kernel = ctx.kernel
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
-        yield Charge(ctx.costs.mutex_fast_path)
+        yield charge(ctx.costs.mutex_fast_path)
         deadline = kernel.engine.now_ns + usec(timeout_usec)
         slept = False
         while True:
@@ -186,9 +190,10 @@ class Mutex(SyncVariable):
                 # contended, or a second sleeper's mark is erased.
                 cell.store(2 if slept else 1)
                 self.acquisitions += 1
-                yield from events.sync_point(ctx, "acquire", self,
-                                             mode="mutex", blocking=True,
-                                             cell=cell)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "acquire", self,
+                                                 mode="mutex", blocking=True,
+                                                 cell=cell)
                 return True
             self.contended += 1
             remaining = deadline - kernel.engine.now_ns
@@ -196,7 +201,7 @@ class Mutex(SyncVariable):
                 return False
             if self.is_spin:
                 self.spins += 1
-                yield Charge(usec(SPIN_POLL_US))
+                yield charge(usec(SPIN_POLL_US))
                 continue
             cell.store(2)  # mark contended before sleeping
             try:
@@ -221,14 +226,15 @@ class Mutex(SyncVariable):
         if self.is_shared:
             result = yield from self._tryenter_shared()
             return result
-        ctx = yield GetContext()
-        yield Charge(ctx.costs.mutex_fast_path)
+        ctx = yield GET_CONTEXT
+        yield charge(ctx.costs.mutex_fast_path)
         if self.owner is None:
             self.owner = ctx.thread
             self.acquisitions += 1
-            yield from events.sync_point(ctx, "acquire", self,
-                                         mode="mutex", blocking=False,
-                                         cell=self.cell)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="mutex", blocking=False,
+                                             cell=self.cell)
             return True
         return False
 
@@ -243,24 +249,25 @@ class Mutex(SyncVariable):
         if self.is_shared:
             yield from self._exit_shared()
             return
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         me = ctx.thread
-        yield Charge(ctx.costs.mutex_fast_path)
+        yield charge(ctx.costs.mutex_fast_path)
         if self.owner is not me:
             raise SyncError(
                 f"{self.name}: mutex_exit by non-owner "
                 f"(owner={self.owner!r}, caller={me!r})")
         if self.waiters:
             # Hand off directly to the longest waiter (no barging).
-            yield Charge(ctx.costs.sync_user_op)
+            yield charge(ctx.costs.sync_user_op)
             nxt = self.waiters[0]
             self.owner = nxt
             yield from lib.wake_from_queue(self.waiters, n=1)
         else:
             self.owner = None
-        yield from events.sync_point(ctx, "release", self, mode="mutex",
-                                     cell=self.cell)
+        if events.sync_active(ctx):
+            yield from events.sync_point(ctx, "release", self, mode="mutex",
+                                         cell=self.cell)
 
     @property
     def held(self) -> bool:
@@ -277,10 +284,10 @@ class Mutex(SyncVariable):
     # single wake cannot strand a second sleeper.
 
     def _enter_shared(self):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
-        yield Charge(ctx.costs.mutex_fast_path)
+        yield charge(ctx.costs.mutex_fast_path)
         attempted = False
         slept = False
         while True:
@@ -294,9 +301,10 @@ class Mutex(SyncVariable):
                 # forever.
                 cell.store(2 if slept else 1)
                 self.acquisitions += 1
-                yield from events.sync_point(ctx, "acquire", self,
-                                             mode="mutex", blocking=True,
-                                             cell=cell)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "acquire", self,
+                                                 mode="mutex", blocking=True,
+                                                 cell=cell)
                 return
             self.contended += 1
             if not attempted:
@@ -305,31 +313,32 @@ class Mutex(SyncVariable):
                                   mode="mutex", cell=cell)
             if self.is_spin:
                 self.spins += 1
-                yield Charge(usec(SPIN_POLL_US))
+                yield charge(usec(SPIN_POLL_US))
                 continue
             cell.store(2)  # mark contended before sleeping
             yield from usync_block_retry(cell, 2, f"mutex:{self.name}")
             slept = True
 
     def _tryenter_shared(self):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
-        yield Charge(ctx.costs.mutex_fast_path)
+        yield charge(ctx.costs.mutex_fast_path)
         if cell.load() == 0:
             cell.store(1)
             self.acquisitions += 1
-            yield from events.sync_point(ctx, "acquire", self,
-                                         mode="mutex", blocking=False,
-                                         cell=cell)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="mutex", blocking=False,
+                                             cell=cell)
             return True
         return False
 
     def _exit_shared(self):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
-        yield Charge(ctx.costs.mutex_fast_path)
+        yield charge(ctx.costs.mutex_fast_path)
         state = cell.load()
         if state == 0:
             raise SyncError(f"{self.name}: mutex_exit of unheld shared "
@@ -338,5 +347,6 @@ class Mutex(SyncVariable):
         if state == 2:
             yield Syscall("usync_wake", cell.mobj, cell.offset, 1,
                           label=f"mutex:{self.name}")
-        yield from events.sync_point(ctx, "release", self, mode="mutex",
-                                     cell=cell)
+        if events.sync_active(ctx):
+            yield from events.sync_point(ctx, "release", self, mode="mutex",
+                                         cell=cell)

@@ -28,7 +28,7 @@ import enum
 from typing import Optional
 
 from repro.errors import SyncError
-from repro.hw.isa import Charge, GetContext
+from repro.hw.isa import GET_CONTEXT, charge
 from repro.sync import events
 from repro.sync.guards import guarded
 from repro.sync.condvar import CondVar
@@ -103,10 +103,10 @@ class RwLock(SyncVariable):
         if self._shared:
             yield from self._enter_shared(rw_type)
             return
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         me = ctx.thread
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         attempted = False
         if rw_type is RW_READER:
             while True:
@@ -115,9 +115,10 @@ class RwLock(SyncVariable):
                     self.read_acquires += 1
                     if me is not None:
                         self.reader_holders.append(me)
-                    yield from events.sync_point(ctx, "acquire", self,
-                                                 mode="reader",
-                                                 blocking=True)
+                    if events.sync_active(ctx):
+                        yield from events.sync_point(ctx, "acquire", self,
+                                                     mode="reader",
+                                                     blocking=True)
                     return
                 if not attempted:
                     # Announce the contended attempt so lock-order edges
@@ -135,9 +136,10 @@ class RwLock(SyncVariable):
                 if self.writer is None and self.readers == 0:
                     self.writer = me
                     self.write_acquires += 1
-                    yield from events.sync_point(ctx, "acquire", self,
-                                                 mode="writer",
-                                                 blocking=True)
+                    if events.sync_active(ctx):
+                        yield from events.sync_point(ctx, "acquire", self,
+                                                     mode="writer",
+                                                     blocking=True)
                     return
                 if not attempted:
                     attempted = True
@@ -156,23 +158,25 @@ class RwLock(SyncVariable):
         if self._shared:
             result = yield from self._tryenter_shared(rw_type)
             return result
-        ctx = yield GetContext()
-        yield Charge(ctx.costs.sync_user_op)
+        ctx = yield GET_CONTEXT
+        yield charge(ctx.costs.sync_user_op)
         if rw_type is RW_READER:
             if self.writer is None and not self.writer_waiters:
                 self.readers += 1
                 self.read_acquires += 1
                 if ctx.thread is not None:
                     self.reader_holders.append(ctx.thread)
-                yield from events.sync_point(ctx, "acquire", self,
-                                             mode="reader", blocking=False)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "acquire", self,
+                                                 mode="reader", blocking=False)
                 return True
             return False
         if self.writer is None and self.readers == 0:
             self.writer = ctx.thread
             self.write_acquires += 1
-            yield from events.sync_point(ctx, "acquire", self,
-                                         mode="writer", blocking=False)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="writer", blocking=False)
             return True
         return False
 
@@ -182,15 +186,16 @@ class RwLock(SyncVariable):
         if self._shared:
             yield from self._exit_shared()
             return
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         me = ctx.thread
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         if self.writer is me:
             self.writer = None
             yield from self._wake_next(lib)
-            yield from events.sync_point(ctx, "release", self,
-                                         mode="writer")
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "release", self,
+                                             mode="writer")
             return
         if self.readers <= 0:
             raise SyncError(f"{self.name}: rw_exit with lock not held")
@@ -199,7 +204,8 @@ class RwLock(SyncVariable):
             self.reader_holders.remove(me)
         if self.readers == 0:
             yield from self._wake_next(lib)
-        yield from events.sync_point(ctx, "release", self, mode="reader")
+        if events.sync_active(ctx):
+            yield from events.sync_point(ctx, "release", self, mode="reader")
 
     def _wake_next(self, lib):
         """Writer preference: wake one waiting writer, else all readers."""
@@ -216,9 +222,9 @@ class RwLock(SyncVariable):
         if self._shared:
             yield from self._downgrade_shared()
             return
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         if self.writer is not ctx.thread:
             raise SyncError(f"{self.name}: rw_downgrade by non-writer")
         self.writer = None
@@ -232,8 +238,9 @@ class RwLock(SyncVariable):
         if not self.writer_waiters and self.reader_waiters:
             yield from lib.wake_from_queue(self.reader_waiters,
                                            n=len(self.reader_waiters))
-        yield from events.sync_point(ctx, "acquire", self, mode="reader",
-                                     blocking=False)
+        if events.sync_active(ctx):
+            yield from events.sync_point(ctx, "acquire", self, mode="reader",
+                                         blocking=False)
 
     @guarded
     def tryupgrade(self):
@@ -245,8 +252,8 @@ class RwLock(SyncVariable):
         if self._shared:
             result = yield from self._tryupgrade_shared()
             return result
-        ctx = yield GetContext()
-        yield Charge(ctx.costs.sync_user_op)
+        ctx = yield GET_CONTEXT
+        yield charge(ctx.costs.sync_user_op)
         if self.readers <= 0:
             raise SyncError(f"{self.name}: rw_tryupgrade without read lock")
         if self.upgrading or self.writer_waiters:
@@ -258,8 +265,9 @@ class RwLock(SyncVariable):
             if ctx.thread in self.reader_holders:
                 self.reader_holders.remove(ctx.thread)
             events.sync_event(ctx, "release", self, mode="reader")
-            yield from events.sync_point(ctx, "acquire", self,
-                                         mode="writer", blocking=False)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "acquire", self,
+                                             mode="writer", blocking=False)
             return True
         # Other readers present: an upgrade would have to wait; the paper
         # keeps tryupgrade non-blocking, so report failure (and no
@@ -287,7 +295,7 @@ class RwLock(SyncVariable):
         return state
 
     def _enter_shared(self, rw_type: RwType):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         yield from self._m.enter()
         st = self._load_state()
         if rw_type is RW_READER:
@@ -311,7 +319,7 @@ class RwLock(SyncVariable):
         yield from self._m.exit()
 
     def _tryenter_shared(self, rw_type: RwType):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         yield from self._m.enter()
         st = self._load_state()
         ok = False
@@ -334,7 +342,7 @@ class RwLock(SyncVariable):
         return ok
 
     def _exit_shared(self):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         yield from self._m.enter()
         st = self._load_state()
         if st["writer"]:
@@ -356,7 +364,7 @@ class RwLock(SyncVariable):
         yield from self._m.exit()
 
     def _downgrade_shared(self):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         yield from self._m.enter()
         st = self._load_state()
         if not st["writer"]:
@@ -374,7 +382,7 @@ class RwLock(SyncVariable):
         yield from self._m.exit()
 
     def _tryupgrade_shared(self):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         yield from self._m.enter()
         st = self._load_state()
         ok = False

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import Errno, SyncError, SyscallError
-from repro.hw.isa import Charge, GetContext, Syscall, Touch
+from repro.hw.isa import GET_CONTEXT, Syscall, Touch, charge
 from repro.sim.clock import usec
 from repro.sync import events
 from repro.sync.guards import guarded
@@ -69,16 +69,17 @@ class Semaphore(SyncVariable):
         if self.is_shared:
             yield from self._p_shared()
             return
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         me = ctx.thread
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         while True:
             if self.count > 0:
                 self.count -= 1
                 self._note_hold(me)
-                yield from events.sync_point(ctx, "sema-p", self,
-                                             value=self.count)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "sema-p", self,
+                                                 value=self.count)
                 return
             self.blocks += 1
             outcome = yield from lib.block_current_on(
@@ -89,8 +90,9 @@ class Semaphore(SyncVariable):
             if outcome == _TOKEN:
                 # Direct handoff from sema_v: count stays consumed.
                 self._note_hold(me)
-                yield from events.sync_point(ctx, "sema-p", self,
-                                             value=self.count)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "sema-p", self,
+                                                 value=self.count)
                 return
 
     def _note_hold(self, thread) -> None:
@@ -117,18 +119,19 @@ class Semaphore(SyncVariable):
         if self.is_shared:
             result = yield from self._timedp_shared(timeout_usec)
             return result
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         kernel = ctx.kernel
         me = ctx.thread
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         deadline = kernel.engine.now_ns + usec(timeout_usec)
         while True:
             if self.count > 0:
                 self.count -= 1
                 self._note_hold(me)
-                yield from events.sync_point(ctx, "sema-p", self,
-                                             value=self.count)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "sema-p", self,
+                                                 value=self.count)
                 return True
             if kernel.engine.now_ns >= deadline:
                 return False
@@ -158,23 +161,25 @@ class Semaphore(SyncVariable):
                 continue  # a V slipped in before we slept; retry
             if outcome == _TOKEN:
                 self._note_hold(me)
-                yield from events.sync_point(ctx, "sema-p", self,
-                                             value=self.count)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "sema-p", self,
+                                                 value=self.count)
                 return True
 
     def _timedp_shared(self, timeout_usec: float):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         kernel = ctx.kernel
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         deadline = kernel.engine.now_ns + usec(timeout_usec)
         while True:
             count = cell.load()
             if count > 0:
                 cell.store(count - 1)
-                yield from events.sync_point(ctx, "sema-p", self,
-                                             value=count - 1)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "sema-p", self,
+                                                 value=count - 1)
                 return True
             remaining = deadline - kernel.engine.now_ns
             if remaining <= 0:
@@ -198,13 +203,14 @@ class Semaphore(SyncVariable):
         if self.is_shared:
             result = yield from self._tryp_shared()
             return result
-        ctx = yield GetContext()
-        yield Charge(ctx.costs.sync_user_op)
+        ctx = yield GET_CONTEXT
+        yield charge(ctx.costs.sync_user_op)
         if self.count > 0:
             self.count -= 1
             self._note_hold(ctx.thread)
-            yield from events.sync_point(ctx, "sema-p", self,
-                                         value=self.count)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "sema-p", self,
+                                             value=self.count)
             return True
         return False
 
@@ -217,19 +223,21 @@ class Semaphore(SyncVariable):
         if self.is_shared:
             yield from self._v_shared()
             return
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         self._note_release(ctx.thread)
         if self.waiters:
             # Hand the unit straight to the longest waiter.
             yield from lib.wake_from_queue(self.waiters, n=1, value=_TOKEN)
-            yield from events.sync_point(ctx, "sema-v", self,
-                                         value=self.count, handoff=True)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "sema-v", self,
+                                             value=self.count, handoff=True)
         else:
             self.count += 1
-            yield from events.sync_point(ctx, "sema-v", self,
-                                         value=self.count, handoff=False)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "sema-v", self,
+                                             value=self.count, handoff=False)
 
     @property
     def value(self) -> int:
@@ -243,41 +251,44 @@ class Semaphore(SyncVariable):
     # the decide-to-sleep window.
 
     def _p_shared(self):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         while True:
             count = cell.load()
             if count > 0:
                 cell.store(count - 1)
-                yield from events.sync_point(ctx, "sema-p", self,
-                                             value=count - 1)
+                if events.sync_active(ctx):
+                    yield from events.sync_point(ctx, "sema-p", self,
+                                                 value=count - 1)
                 return
             self.blocks += 1
             yield from usync_block_retry(cell, 0, f"sema:{self.name}")
 
     def _tryp_shared(self):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         count = cell.load()
         if count > 0:
             cell.store(count - 1)
-            yield from events.sync_point(ctx, "sema-p", self,
-                                         value=count - 1)
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "sema-p", self,
+                                             value=count - 1)
             return True
         return False
 
     def _v_shared(self):
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
-        yield Charge(ctx.costs.sync_user_op)
+        yield charge(ctx.costs.sync_user_op)
         value = cell.load() + 1
         cell.store(value)
         yield Syscall("usync_wake", cell.mobj, cell.offset, 1,
                       label=f"sema:{self.name}")
-        yield from events.sync_point(ctx, "sema-v", self, value=value,
-                                     handoff=False)
+        if events.sync_active(ctx):
+            yield from events.sync_point(ctx, "sema-v", self, value=value,
+                                         handoff=False)

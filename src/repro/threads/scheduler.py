@@ -34,7 +34,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import Errno, LwpExhausted, SyscallError, ThreadError
 from repro.hw.context import Activity, as_generator
-from repro.hw.isa import Charge, GetContext, SwitchTo, Syscall
+from repro.hw.isa import GET_CONTEXT, Charge, SwitchTo, Syscall, charge
 from repro.kernel.signals import Disposition, Sig
 from repro.threads.backoff import lwp_create_backoff
 from repro.threads.stack import StackAllocator
@@ -64,9 +64,15 @@ class _ThreadRunQueue:
     def __init__(self):
         self._queues: dict[int, deque[Thread]] = {}
         self._count = 0
+        # Priorities, descending.  Maintained on insert (priorities are
+        # few and stable) so pop_best never sorts.
+        self._prios: list[int] = []
 
     def insert(self, thread: Thread, front: bool = False) -> None:
-        q = self._queues.setdefault(thread.priority, deque())
+        q = self._queues.get(thread.priority)
+        if q is None:
+            q = self._queues[thread.priority] = deque()
+            self._prios = sorted(self._queues, reverse=True)
         if front:
             q.appendleft(thread)
         else:
@@ -74,7 +80,9 @@ class _ThreadRunQueue:
         self._count += 1
 
     def pop_best(self) -> Optional[Thread]:
-        for prio in sorted(self._queues, reverse=True):
+        if not self._count:
+            return None
+        for prio in self._prios:
             q = self._queues[prio]
             if q:
                 self._count -= 1
@@ -95,7 +103,7 @@ class _ThreadRunQueue:
         """All runnable threads, best-first (read-only; for the
         schedule-perturbation pick hook)."""
         out: list[Thread] = []
-        for prio in sorted(self._queues, reverse=True):
+        for prio in self._prios:
             out.extend(self._queues[prio])
         return out
 
@@ -278,10 +286,10 @@ class ThreadsLibrary:
         returned — the check-then-block primitive the sync package builds
         semaphores and condition variables from.
         """
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         thread = ctx.thread
         if not thread.bound:
-            yield Charge(self.costs.thread_sched_pick)
+            yield charge(self.costs.thread_sched_pick)
         # ---- atomic from here to the switch ----
         if guard is not None and not guard():
             return NO_SLEEP
@@ -316,7 +324,7 @@ class ThreadsLibrary:
         queue and the LWP picks someone else.  A no-op for bound
         threads, pure-LWP code, and when nobody else is runnable.
         """
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         me = ctx.thread
         if me is None or me.bound or len(self.runq) == 0:
             return
@@ -345,10 +353,10 @@ class ThreadsLibrary:
         ``publish`` runs atomically with the switch (after costs are
         charged).  Returns when the thread next runs.
         """
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         thread = ctx.thread
         if not thread.bound:
-            yield Charge(self.costs.thread_sched_pick)
+            yield charge(self.costs.thread_sched_pick)
         if publish is not None:
             publish()
         yield from self._switch_away(ctx.lwp, thread)
@@ -388,7 +396,7 @@ class ThreadsLibrary:
     def at_resume_point(self):
         """Generator: housekeeping when a thread gets the CPU back —
         deferred stops, stop-waiter wakeups, user-routed signals."""
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         thread = ctx.thread
         if thread is None:
             return
@@ -403,7 +411,10 @@ class ThreadsLibrary:
             yield from self.reschedule(
                 publish=lambda: self._enter_stopped(thread))
             return
-        yield from self.deliver_pending_signals(ctx)
+        # Empty pending set (the common case): skip the delivery
+        # generator — with nothing pending it yields nothing.
+        if thread.pending:
+            yield from self.deliver_pending_signals(ctx)
 
     def _enter_stopped(self, thread: Thread) -> None:
         thread.state = ThreadState.STOPPED
@@ -438,7 +449,7 @@ class ThreadsLibrary:
                 # Library time slicing is on: (re)arm this LWP's virtual
                 # timer before handing it to a thread.
                 yield Syscall("setitimer", 1, self.time_slice_ns)
-            yield Charge(self.costs.thread_sched_pick)
+            yield charge(self.costs.thread_sched_pick)
             nxt = self.pick_next()
             if nxt is not None:
                 self.adopt(lwp, nxt)
@@ -460,7 +471,7 @@ class ThreadsLibrary:
 
     def idle_boot(self):
         """Root generator for a brand-new pool LWP."""
-        ctx = yield GetContext()
+        ctx = yield GET_CONTEXT
         lwp = ctx.lwp
         self.register_pool_lwp(lwp)
         lwp._idle_activity = lwp.current_activity

@@ -43,6 +43,8 @@ class Thread:
                  tls_block, priority: int, sigmask: Sigset,
                  waitable: bool, bound: bool):
         self.thread_id = thread_id
+        # Read by traces and wait diagnostics; fixed at creation.
+        self.name = f"thread-{thread_id}"
         self.func = func
         self.arg = arg
         self.state = ThreadState.RUNNABLE
@@ -81,10 +83,6 @@ class Thread:
     @property
     def effective_priority(self) -> int:
         return self.priority
-
-    @property
-    def name(self) -> str:
-        return f"thread-{self.thread_id}"
 
     def __repr__(self) -> str:
         kind = "bound" if self.bound else "unbound"

@@ -141,3 +141,36 @@ class TestRuntimeRegressions:
                              program="wl_database", run_index=k,
                              seed=1 + k, schedule_dict=plans[k])
             assert not result.failed, result.summary()
+
+
+class TestParallelExploration:
+    """Satellite: ``--jobs N`` must change wall-clock only, never
+    results — every run is hermetic, so a process-pool fan-out and the
+    serial loop produce identical reports."""
+
+    def test_jobs_report_identical_to_serial(self):
+        from repro.explore.registry import resolve
+        ref = "buggy:racy_counter"
+        kwargs = dict(program="racy_counter", runs=4, seed=3)
+        serial = Explorer(resolve(ref), **kwargs).explore()
+        parallel = Explorer(resolve(ref), jobs=2, factory_ref=ref,
+                            **kwargs).explore()
+        assert [r.bundle().to_dict() for r in serial.results] == \
+            [r.bundle().to_dict() for r in parallel.results]
+        assert [(r.events, r.points_seen, r.preemptions, r.fired)
+                for r in serial.results] == \
+            [(r.events, r.points_seen, r.preemptions, r.fired)
+                for r in parallel.results]
+
+    def test_registry_resolves_all_corpus_refs(self):
+        from repro.explore.corpus import BUGGY, CLEAN
+        from repro.explore.registry import resolve
+        for kind, corpus in (("buggy", BUGGY), ("clean", CLEAN)):
+            for name in corpus:
+                assert callable(resolve(f"{kind}:{name}"))
+
+    def test_registry_rejects_unknown(self):
+        from repro.explore.registry import resolve
+        import pytest
+        with pytest.raises(KeyError):
+            resolve("buggy:no_such_program")

@@ -1,0 +1,49 @@
+"""Golden trace digests: the execution core's determinism contract.
+
+The digests in ``golden_digests.json`` were recorded *before* the
+hot-path refactor (typed dispatch, digest-only sinks, fused queue pops,
+inlined step scheduling).  Every entry must still match byte-for-byte:
+the refactor is licensed to change host-side cost only, never the
+virtual-time event stream.  If an intentional semantic change ever
+requires regenerating this file, that is a majorly breaking change to
+every recorded ReproBundle — say so loudly in the commit.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.explore.corpus import BUGGY, CLEAN
+from repro.explore.explorer import default_plan_dicts, run_one
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_digests.json")
+
+with open(GOLDEN) as fh:
+    _DIGESTS = json.load(fh)
+
+_PLANS = default_plan_dicts(3)
+
+
+def _cases():
+    for corpus in (BUGGY, CLEAN):
+        for name, entry in corpus.items():
+            for k in range(len(_PLANS)):
+                yield name, entry, k
+
+
+@pytest.mark.parametrize(
+    "name,entry,k",
+    [pytest.param(n, e, k, id=f"{n}/run{k}") for n, e, k in _cases()])
+def test_digest_matches_golden(name, entry, k):
+    factory = entry[0] if isinstance(entry, tuple) else entry
+    result = run_one(factory, program=name, run_index=k, seed=k,
+                     schedule_dict=_PLANS[k])
+    assert result.digest == _DIGESTS[f"{name}/run{k}"], (
+        f"trace digest for {name}/run{k} diverged from the "
+        f"pre-refactor golden value — the event stream changed")
+
+
+def test_golden_file_covers_all_cases():
+    expected = {f"{n}/run{k}" for n, _, k in _cases()}
+    assert set(_DIGESTS) == expected

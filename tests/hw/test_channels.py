@@ -1,0 +1,49 @@
+"""Wait-channel naming: the uniform ``name`` protocol for Block traces.
+
+Single channels, select-style groups, and the legacy raw-list form must
+all render through :func:`repro.hw.isa.channel_name` without isinstance
+dispatch at trace sites.
+"""
+
+from repro.hw.isa import Block, ChannelSet, WaitChannel, channel_name
+
+
+class TestChannelName:
+    def test_single_channel(self):
+        assert channel_name(WaitChannel("mutex-1")) == "mutex-1"
+
+    def test_channel_set_joins_members(self):
+        cs = ChannelSet([WaitChannel("a"), WaitChannel("b")])
+        assert cs.name == "a,b"
+        assert channel_name(cs) == "a,b"
+
+    def test_raw_list_fallback(self):
+        chans = [WaitChannel("x"), WaitChannel("y")]
+        assert channel_name(chans) == "x,y"
+        assert channel_name(tuple(chans)) == "x,y"
+
+    def test_empty_set(self):
+        assert channel_name(ChannelSet([])) == ""
+
+
+class TestChannelSet:
+    def test_iterates_members_in_order(self):
+        a, b = WaitChannel("a"), WaitChannel("b")
+        cs = ChannelSet([a, b])
+        assert list(cs) == [a, b]
+        assert len(cs) == 2
+
+    def test_repr_uses_name(self):
+        assert "a,b" in repr(ChannelSet([WaitChannel("a"),
+                                         WaitChannel("b")]))
+
+
+class TestBlockNormalization:
+    def test_list_becomes_channel_set(self):
+        blk = Block([WaitChannel("p"), WaitChannel("q")])
+        assert isinstance(blk.channel, ChannelSet)
+        assert blk.channel.name == "p,q"
+
+    def test_single_channel_stays_bare(self):
+        ch = WaitChannel("solo")
+        assert Block(ch).channel is ch

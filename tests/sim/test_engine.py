@@ -110,6 +110,42 @@ class TestCancellation:
         eng.cancel(ev)
         eng.run()
 
+    def test_cancel_from_within_running_event(self):
+        eng = Engine()
+        seen = []
+        victim = eng.call_after(20, lambda: seen.append("victim"))
+        eng.call_after(10, lambda: eng.cancel(victim))
+        assert eng.run() == 1
+        assert seen == []
+
+    def test_cancel_all_pending_drains_clean(self):
+        # A queue holding only cancelled events must fire nothing and
+        # must not advance the clock: it drains exactly like an empty
+        # queue (until_ns moves the clock only when a live event lies
+        # beyond it).
+        eng = Engine()
+        for t in (10, 20):
+            eng.cancel(eng.call_after(t, lambda: None))
+        eng.idle_check = lambda: None
+        assert eng.run(until_ns=50) == 0
+        assert eng.now_ns == 0
+
+    def test_until_exact_event_time_fires(self):
+        eng = Engine()
+        seen = []
+        eng.call_after(100, lambda: seen.append(1))
+        eng.run(until_ns=100)
+        assert seen == [1]
+
+    def test_zero_delay_event_fires_now(self):
+        eng = Engine()
+        eng.call_after(5, lambda: None)
+        eng.run()
+        seen = []
+        eng.call_after(0, lambda: seen.append(eng.now_ns))
+        eng.run()
+        assert seen == [5]
+
 
 class TestDeadlockProbe:
     def test_idle_check_raises_on_complaint(self):

@@ -67,6 +67,67 @@ class TestCancellation:
         assert q.pop() is None
 
 
+class TestPopNext:
+    """The fused pop used by the engine run loop."""
+
+    def test_pops_in_order(self):
+        q = EventQueue()
+        a = q.push(10, lambda: None)
+        b = q.push(20, lambda: None)
+        assert q.pop_next() == (10, a)
+        assert q.pop_next() == (20, b)
+        assert q.pop_next() == (None, None)
+
+    def test_empty_queue(self):
+        assert EventQueue().pop_next() == (None, None)
+        assert EventQueue().pop_next(until_ns=100) == (None, None)
+
+    def test_skips_cancelled_head(self):
+        q = EventQueue()
+        first = q.push(1, lambda: None)
+        second = q.push(2, lambda: None)
+        first.cancel()
+        assert q.pop_next() == (2, second)
+        assert q.pop_next() == (None, None)
+
+    def test_all_cancelled_drains_to_empty(self):
+        q = EventQueue()
+        for t in (1, 2, 3):
+            q.push(t, lambda: None).cancel()
+        assert q.pop_next() == (None, None)
+        assert len(q._heap) == 0  # cancelled entries were purged
+
+    def test_until_boundary_is_inclusive(self):
+        q = EventQueue()
+        ev = q.push(100, lambda: None)
+        assert q.pop_next(until_ns=100) == (100, ev)
+
+    def test_beyond_until_reports_time_without_popping(self):
+        q = EventQueue()
+        ev = q.push(100, lambda: None)
+        assert q.pop_next(until_ns=99) == (100, None)
+        # The event is still in the queue and pops later.
+        assert q.pop_next() == (100, ev)
+
+    def test_beyond_until_skips_cancelled_first(self):
+        # A cancelled event *before* the horizon must not mask a live
+        # event beyond it.
+        q = EventQueue()
+        early = q.push(50, lambda: None)
+        q.push(200, lambda: None)
+        early.cancel()
+        assert q.pop_next(until_ns=100) == (200, None)
+
+    def test_live_count_tracks_pop_next(self):
+        q = EventQueue()
+        q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        q.pop_next()
+        assert len(q) == 1
+        q.pop_next()
+        assert len(q) == 0
+
+
 class TestLen:
     def test_len_counts_live(self):
         q = EventQueue()
