@@ -45,7 +45,7 @@ def run_fig5(n: int = 50, costs=None) -> dict:
         yield
 
     def measure(bound: bool) -> float:
-        out = {}
+        label = "bound" if bound else "unbound"
 
         def main():
             flags = threads.THREAD_BIND_LWP if bound else 0
@@ -58,12 +58,14 @@ def run_fig5(n: int = 50, costs=None) -> dict:
             for _ in range(n):
                 yield from threads.thread_create(noop, None, flags=flags)
             t1 = yield Syscall("gettimeofday")
-            out["usec"] = (t1 - t0) / 1000 / n
+            sim.metrics.observe(
+                f"bench.fig5.create_window_ns.{label}", t1 - t0)
 
-        sim = Simulator(ncpus=4, costs=costs)
+        sim = Simulator(ncpus=4, costs=costs, metrics=True)
         sim.spawn(main)
         sim.run(check_deadlock=False)
-        return out["usec"]
+        h = sim.metrics.histograms[f"bench.fig5.create_window_ns.{label}"]
+        return h.total / 1000 / n
 
     results["unbound_create"] = measure(False)
     results["bound_create"] = measure(True)
@@ -108,24 +110,24 @@ def fig6_table(results: dict) -> Table:
 
 
 def _measure_setjmp(n: int, costs) -> float:
-    out = {}
-
     def main():
         t0 = yield Syscall("gettimeofday")
         for _ in range(n):
             yield from libc.setjmp_longjmp_pair()
         t1 = yield Syscall("gettimeofday")
-        out["usec"] = (t1 - t0) / 1000 / n
+        sim.metrics.observe("bench.fig6.setjmp_window_ns", t1 - t0)
 
-    sim = Simulator(costs=costs)
+    sim = Simulator(costs=costs, metrics=True)
     sim.spawn(main)
     sim.run()
-    return out["usec"]
+    return sim.metrics.histograms["bench.fig6.setjmp_window_ns"].total \
+        / 1000 / n
 
 
 def _measure_sync(flags: int, n: int, costs) -> float:
     """The paper's two-semaphore ping-pong, divided by two."""
-    out = {}
+    label = "bound" if flags & threads.THREAD_BIND_LWP else "unbound"
+    key = f"bench.fig6.sync_window_ns.{label}"
 
     def main():
         s1, s2 = Semaphore(), Semaphore()
@@ -143,7 +145,7 @@ def _measure_sync(flags: int, n: int, costs) -> float:
                 yield from s2.v()
                 yield from s1.p()
             t1 = yield Syscall("gettimeofday")
-            out["usec"] = (t1 - t0) / 1000 / (2 * n)
+            sim.metrics.observe(key, t1 - t0)
 
         a = yield from threads.thread_create(
             echo, None, flags=threads.THREAD_WAIT | flags)
@@ -152,16 +154,14 @@ def _measure_sync(flags: int, n: int, costs) -> float:
         yield from threads.thread_wait(a)
         yield from threads.thread_wait(b)
 
-    sim = Simulator(ncpus=1, costs=costs)
+    sim = Simulator(ncpus=1, costs=costs, metrics=True)
     sim.spawn(main)
     sim.run()
-    return out["usec"]
+    return sim.metrics.histograms[key].total / 1000 / (2 * n)
 
 
 def _measure_cross(n: int, costs) -> float:
     """Two processes synchronizing "through a file in shared memory"."""
-    out = {}
-
     def peer():
         region = yield from mapped.map_shared_file("/tmp/sync", 4096)
         s1 = Semaphore(0, THREAD_SYNC_SHARED, cell=region.cell(0))
@@ -182,13 +182,14 @@ def _measure_cross(n: int, costs) -> float:
             yield from s2.v()
             yield from s1.p()
         t1 = yield Syscall("gettimeofday")
-        out["usec"] = (t1 - t0) / 1000 / (2 * n)
+        sim.metrics.observe("bench.fig6.cross_window_ns", t1 - t0)
         yield from unistd.waitpid(pid)
 
-    sim = Simulator(ncpus=1, costs=costs)
+    sim = Simulator(ncpus=1, costs=costs, metrics=True)
     sim.spawn(main)
     sim.run()
-    return out["usec"]
+    return sim.metrics.histograms["bench.fig6.cross_window_ns"].total \
+        / 1000 / (2 * n)
 
 
 # ====================================================================

@@ -1,4 +1,9 @@
-"""Small statistics helpers for experiment outputs."""
+"""Small statistics helpers for experiment outputs.
+
+Also the single home of percentile math: :mod:`repro.obs` histograms
+summarize through :func:`percentile_weighted` rather than duplicating
+nearest-rank logic.
+"""
 
 from __future__ import annotations
 
@@ -20,13 +25,47 @@ def stdev(xs: Sequence[float]) -> float:
 
 
 def percentile(xs: Sequence[float], p: float) -> float:
-    """Nearest-rank percentile (p in [0, 100])."""
+    """Nearest-rank percentile (p clamped to [0, 100]).
+
+    ``p <= 0`` returns the minimum, ``p >= 100`` the maximum, empty input
+    0.0.  The rank is ``ceil(p * n / 100)`` computed multiply-first:
+    ``ceil(p / 100 * n)`` suffers float error (99/100*100 ceils to 100,
+    silently promoting p99 of 100 samples to the maximum).
+    """
     if not xs:
         return 0.0
     ordered = sorted(xs)
-    rank = max(0, min(len(ordered) - 1,
-                      int(math.ceil(p / 100.0 * len(ordered))) - 1))
-    return ordered[rank]
+    if p <= 0:
+        return ordered[0]
+    if p >= 100:
+        return ordered[-1]
+    rank = int(math.ceil(p * len(ordered) / 100.0))
+    return ordered[max(0, min(len(ordered) - 1, rank - 1))]
+
+
+def percentile_weighted(pairs: Sequence[tuple], p: float) -> float:
+    """Nearest-rank percentile over ``(value, count)`` pairs.
+
+    Equivalent to :func:`percentile` over the expanded multiset, without
+    materializing it — :class:`repro.obs.registry.Histogram` summaries
+    call this with one pair per occupied bucket.  Pairs need not be
+    sorted; counts <= 0 are ignored; empty input returns 0.0.
+    """
+    items = sorted((v, c) for v, c in pairs if c > 0)
+    if not items:
+        return 0.0
+    total = sum(c for _, c in items)
+    if p <= 0:
+        return items[0][0]
+    if p >= 100:
+        return items[-1][0]
+    rank = max(1, int(math.ceil(p * total / 100.0)))
+    seen = 0
+    for value, count in items:
+        seen += count
+        if seen >= rank:
+            return value
+    return items[-1][0]
 
 
 def summarize(xs: Sequence[float]) -> dict:

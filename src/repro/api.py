@@ -41,7 +41,7 @@ class Simulator:
                  trace_categories: Optional[Iterable[str]] = None,
                  trace_sink=None, trace_store: bool = True,
                  threads_runtime_factory=None,
-                 faults=None, schedule=None):
+                 faults=None, schedule=None, metrics=None):
         # trace_sink: extra sink (see repro.sim.trace) receiving every
         # kept record; trace_store=False drops in-memory retention —
         # together they give digest-only tracing with O(1) memory.
@@ -65,6 +65,15 @@ class Simulator:
             # preemption injection at yield points and perturbed
             # run-queue picks.  Composes with a fault plan.
             schedule.attach(self.machine.engine)
+        if metrics:
+            # True -> a fresh MetricsRegistry; or pass an existing one
+            # (e.g. to aggregate several runs).  Attaching sets
+            # engine.metrics, the gate every instrumentation site tests.
+            if metrics is True:
+                from repro.obs.registry import MetricsRegistry
+                metrics = MetricsRegistry()
+            metrics.attach(self.machine.engine)
+        self.metrics = metrics or None
 
     # ------------------------------------------------------------- spawn
 

@@ -59,6 +59,10 @@ class RunResult:
         self.points_seen = 0
         self.preemptions = 0
         self.fired: list[int] = []
+        # Serialized registry snapshot when run with with_metrics=True;
+        # a JSON string (not the registry) so results stay picklable
+        # across the --jobs N process pool.
+        self.metrics_json: Optional[str] = None
 
     @property
     def failed(self) -> bool:
@@ -157,7 +161,8 @@ def run_one(factory: Callable, *, program: str = "program",
             schedule_dict: Optional[dict] = None,
             faults_dict: Optional[dict] = None,
             max_events: int = DEFAULT_MAX_EVENTS,
-            with_digest: bool = True) -> RunResult:
+            with_digest: bool = True,
+            with_metrics: bool = False) -> RunResult:
     """One hermetic run: fresh simulator, plan attached, detectors on.
 
     ``factory`` is a zero-argument callable returning the program's main
@@ -178,7 +183,8 @@ def run_one(factory: Callable, *, program: str = "program",
     digest_sink = DigestSink() if with_digest else None
     sim = Simulator(ncpus=ncpus, seed=seed, trace=with_digest,
                     trace_sink=digest_sink, trace_store=False,
-                    faults=faults, schedule=plan)
+                    faults=faults, schedule=plan,
+                    metrics=with_metrics or None)
     detectors = default_detectors(sim)
     main = factory()
     sim.spawn(main, name=program)
@@ -201,6 +207,8 @@ def run_one(factory: Callable, *, program: str = "program",
     result.fired = list(plan.fired)
     if with_digest:
         result.digest = digest_sink.hexdigest()
+    if with_metrics:
+        result.metrics_json = sim.metrics.to_json()
     return result
 
 
@@ -293,6 +301,12 @@ class Explorer:
     Workers receive ``factory_ref`` (a :mod:`repro.explore.registry`
     reference) when given, else the factory itself, which must then be
     picklable (corpus factories are; ad-hoc lambdas are not).
+
+    ``metrics=True`` attaches a :class:`~repro.obs.MetricsRegistry` to
+    every run and stores its JSON snapshot on ``result.metrics_json``.
+    Metrics are passive, so digests and findings are unchanged, and the
+    snapshot string is what crosses the process-pool boundary — serial
+    and ``jobs=N`` campaigns produce byte-identical metrics.
     """
 
     def __init__(self, factory: Callable, *, program: str = "program",
@@ -302,7 +316,8 @@ class Explorer:
                  max_events: int = DEFAULT_MAX_EVENTS,
                  stop_on_first: bool = False,
                  jobs: int = 1,
-                 factory_ref: Optional[str] = None):
+                 factory_ref: Optional[str] = None,
+                 metrics: bool = False):
         self.factory = factory
         self.program = program
         self.runs = runs
@@ -314,12 +329,14 @@ class Explorer:
         self.stop_on_first = stop_on_first
         self.jobs = jobs
         self.factory_ref = factory_ref
+        self.metrics = metrics
 
     def _run_kwargs(self, k: int, plan: dict) -> dict:
         return dict(program=self.program, run_index=k,
                     seed=self.seed + k, ncpus=self.ncpus,
                     schedule_dict=plan, faults_dict=self.faults_dict,
-                    max_events=self.max_events)
+                    max_events=self.max_events,
+                    with_metrics=self.metrics)
 
     def explore(self) -> ExploreReport:
         report = ExploreReport(self.program)

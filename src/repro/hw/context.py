@@ -39,13 +39,16 @@ class Frame:
     signal.
     """
 
-    __slots__ = ("gen", "mode", "label", "saved_resume")
+    __slots__ = ("gen", "mode", "label", "saved_resume", "enter_ns")
 
     def __init__(self, gen: Generator, mode: Mode, label: str = ""):
         self.gen = gen
         self.mode = mode
         self.label = label
         self.saved_resume = None  # None | ("value", v) | ("exc", e)
+        # Virtual time a kernel frame was pushed; set only when metrics
+        # are attached (syscall/fault latency histograms).
+        self.enter_ns: Optional[int] = None
 
     def __repr__(self) -> str:
         return f"<Frame {self.mode.value} {self.label}>"

@@ -106,6 +106,9 @@ class CPU:
         self._clock = engine.clock
         self._step_fn = self._step
         self._charge_end_ns: Optional[int] = None
+        # Virtual time the current LWP was assigned; metrics-only
+        # (per-class / per-LWP on-CPU accounting in release()).
+        self._oncpu_since: Optional[int] = None
         # The activity whose generator is live on the Python stack right
         # now (frame injection must defer while set).
         self._stepping_activity = None
@@ -135,6 +138,8 @@ class CPU:
         lwp.cpu = self
         self.dispatch_count += 1
         self._preempt_pending = False
+        if self.engine.metrics is not None:
+            self._oncpu_since = self.engine.now_ns
         if self.tracer.want_sched:
             self.tracer.emit(self.engine.now_ns, "sched", "dispatch",
                              lwp.name, cpu=self.name)
@@ -147,6 +152,12 @@ class CPU:
         lwp = self.lwp
         if lwp is not None:
             lwp.cpu = None
+            m = self.engine.metrics
+            if m is not None and self._oncpu_since is not None:
+                span = self.engine.now_ns - self._oncpu_since
+                m.observe(f"sched.oncpu_ns.{lwp.sched_class.value}", span)
+                m.count(f"sched.oncpu_ns_by_lwp.{lwp.name}", span)
+        self._oncpu_since = None
         self.lwp = None
         self._cancel_step()
 
@@ -316,6 +327,8 @@ class CPU:
         handler = self.kernel.syscall_handler(
             ExecContext(self, lwp), effect.name, effect.args, effect.kwargs)
         activity.push(handler, Mode.KERNEL, label=f"sys_{effect.name}")
+        if self.engine.metrics is not None:
+            activity.top.enter_ns = self.engine.now_ns
         activity.set_resume(None)
         self._account(self.costs.syscall_entry, kernel=True)
         self._schedule_step(self.costs.syscall_entry)
@@ -348,6 +361,8 @@ class CPU:
         handler = self.kernel.page_fault_handler(
             ExecContext(self, lwp), effect.mobj, pageno, effect.write)
         activity.push(handler, Mode.KERNEL, label="pagefault")
+        if self.engine.metrics is not None:
+            activity.top.enter_ns = self.engine.now_ns
         activity.set_resume(None)
         self._account(self.costs.trap_entry, kernel=True)
         self._schedule_step(self.costs.trap_entry)
@@ -397,6 +412,10 @@ class CPU:
                     self.tracer.emit(
                         self.engine.now_ns, "syscall", "exit", lwp.name,
                         call=frame.label, ret=_brief(value))
+                m = self.engine.metrics
+                if m is not None and frame.enter_ns is not None:
+                    m.observe(_latency_key(frame.label),
+                              self.engine.now_ns - frame.enter_ns)
                 activity.set_resume(value)
                 self._account(self.costs.syscall_exit, kernel=True)
                 self.kernel.kernel_exit_check(ExecContext(self, lwp))
@@ -438,6 +457,15 @@ class CPU:
                     self.tracer.emit(
                         self.engine.now_ns, "syscall", "error", lwp.name,
                         call=frame.label, err=str(exc))
+                m = self.engine.metrics
+                if m is not None:
+                    if frame.enter_ns is not None:
+                        m.observe(_latency_key(frame.label),
+                                  self.engine.now_ns - frame.enter_ns)
+                    if isinstance(exc, SyscallError):
+                        call = frame.label[4:] if frame.label.startswith(
+                            "sys_") else frame.label
+                        m.count(f"syscall.errno.{call}.{exc.errno.name}")
                 activity.set_resume_exc(exc)
                 self._account(self.costs.syscall_exit, kernel=True)
                 self.kernel.kernel_exit_check(ExecContext(self, lwp))
@@ -511,3 +539,12 @@ def _brief(value: Any) -> str:
     """Compact rendering of a syscall return value for traces."""
     text = repr(value)
     return text if len(text) <= 40 else text[:37] + "..."
+
+
+def _latency_key(frame_label: str) -> str:
+    """Metric name for a kernel frame's entry-to-return latency."""
+    if frame_label.startswith("sys_"):
+        return f"syscall.latency_ns.{frame_label[4:]}"
+    if frame_label == "pagefault":
+        return "vm.pagefault_latency_ns"
+    return f"kernel.latency_ns.{frame_label}"

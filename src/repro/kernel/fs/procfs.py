@@ -64,6 +64,34 @@ def status_text(proc: Process) -> str:
     return head + "\n".join(lines) + ("\n" if lines else "")
 
 
+def stat_text(proc: Process) -> str:
+    """A /proc/<pid>/stat-style single line: whitespace-separated fields.
+
+    Field order (stable; consumers may split on whitespace):
+    pid name state nlwp utime_us stime_us threads_created user_switches
+    sigwaiting_grown.  Library fields render 0 when no threads runtime is
+    installed.
+    """
+    utime = sum(lwp.user_ns for lwp in proc.live_lwps())
+    stime = sum(lwp.system_ns for lwp in proc.live_lwps())
+    lib = proc.threadlib
+    created = lib.threads_created if lib is not None else 0
+    switches = lib.user_switches if lib is not None else 0
+    grown = lib.lwps_grown_by_sigwaiting if lib is not None else 0
+    return (f"{proc.pid} ({proc.name}) {proc.state.value} "
+            f"{len(proc.live_lwps())} {to_usec(utime):.0f} "
+            f"{to_usec(stime):.0f} {created} {switches} {grown}\n")
+
+
+def metrics_text(kernel) -> str:
+    """The /proc/metrics rendering: the attached registry's text export,
+    or a one-line notice when no registry is attached."""
+    reg = kernel.engine.metrics
+    if reg is None:
+        return "# metrics disabled (no registry attached)\n"
+    return reg.render_text()
+
+
 def debugger_view(proc: Process) -> dict:
     """What a debugger sees after joining /proc with the threads library.
 

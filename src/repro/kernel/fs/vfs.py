@@ -304,6 +304,14 @@ class ProcDirectory(Directory):
         kernel = self._kernel_ref()
         if kernel is None:
             return None
+        from repro.kernel.fs import procfs
+
+        if name == "metrics":
+            # Machine-wide metrics registry snapshot (text export);
+            # renders a one-line notice when metrics are disabled.
+            return ProcNode(
+                "metrics",
+                lambda: procfs.metrics_text(kernel).encode())
         try:
             pid = int(name)
         except ValueError:
@@ -311,12 +319,14 @@ class ProcDirectory(Directory):
         proc = kernel.processes.get(pid)
         if proc is None:
             return None
-        from repro.kernel.fs import procfs
 
         pid_dir = Directory(name)
         pid_dir.add("status", ProcNode(
             "status",
             lambda: procfs.status_text(proc).encode()))
+        pid_dir.add("stat", ProcNode(
+            "stat",
+            lambda: procfs.stat_text(proc).encode()))
         pid_dir.add("lwps", ProcNode(
             "lwps",
             lambda: "\n".join(

@@ -189,6 +189,9 @@ class Kernel:
         """Handler generator for a fault-plan-injected syscall failure."""
         self.faults_injected[name] += 1
         self.faults.note(self, "inject", name, errno=errno.name)
+        m = self.engine.metrics
+        if m is not None:
+            m.count(f"faults.injected.{name}.{errno.name}")
 
         def handler():
             from repro.hw.isa import Charge
@@ -203,6 +206,9 @@ class Kernel:
 
     def note_syscall(self, lwp: Lwp, name: str) -> None:
         self.syscall_counts[name] += 1
+        m = self.engine.metrics
+        if m is not None:
+            m.count(f"syscall.count.{name}")
 
     # ------------------------------------------------------ block / wakeup
 
@@ -286,6 +292,9 @@ class Kernel:
         proc.sigwaiting_posted = True
         proc.sigwaiting_streak += 1
         self.sigwaiting_sent += 1
+        m = self.engine.metrics
+        if m is not None:
+            m.count("kernel.sigwaiting_sent")
         if self.tracer.want_signal:
             self.tracer.emit(self.engine.now_ns, "signal", "sigwaiting",
                              f"pid-{proc.pid}")

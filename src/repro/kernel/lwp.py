@@ -101,6 +101,9 @@ class Lwp:
         self.sleep_indefinite = False
         # Virtual time the current sleep began (hang diagnostics).
         self.sleep_since_ns: Optional[int] = None
+        # Virtual time this LWP last entered the run queue; set only
+        # when metrics are attached (dispatch-latency histogram).
+        self.ready_since_ns: Optional[int] = None
 
         # Accounting (paper: "User time and system CPU usage" per LWP).
         self.user_ns = 0

@@ -37,6 +37,10 @@ class Dispatcher:
             return
         lwp.state = LwpState.RUNNABLE
         self.runqueue.insert(lwp, front=front)
+        m = self.engine.metrics
+        if m is not None:
+            lwp.ready_since_ns = self.engine.now_ns
+            m.observe("sched.runq_depth", len(self.runqueue))
         self._place(lwp)
 
     def cpu_idle(self, cpu) -> None:
@@ -108,6 +112,14 @@ class Dispatcher:
 
     def _dispatch(self, cpu, lwp: Lwp) -> None:
         lwp.state = LwpState.RUNNING
+        m = self.engine.metrics
+        if m is not None:
+            m.count(f"sched.dispatches.{lwp.sched_class.value}")
+            ready = lwp.ready_since_ns
+            if ready is not None:
+                m.observe("sched.dispatch_latency_ns",
+                          self.engine.now_ns - ready)
+                lwp.ready_since_ns = None
         cpu.assign(lwp)
         self._arm_quantum(cpu, lwp)
         if lwp.gang is not None:

@@ -1,0 +1,19 @@
+"""repro.obs — deterministic virtual-time observability.
+
+* :mod:`repro.obs.registry` — MetricsRegistry (counters, gauges,
+  log2-bucket histograms), attached to the engine and fed by
+  zero-cost-when-disabled hooks in the kernel dispatcher, syscall
+  layer, threads library, and sync objects.
+* :mod:`repro.obs.export` — the contention/latency report.
+* :mod:`repro.obs.chrometrace` — Chrome trace_event sink for Perfetto.
+* ``python -m repro.obs`` — run a registered workload, print the report.
+
+See docs/OBSERVABILITY.md for the full guide.
+"""
+
+from repro.obs.chrometrace import ChromeTraceSink
+from repro.obs.export import contention_report
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram",
+           "ChromeTraceSink", "contention_report"]

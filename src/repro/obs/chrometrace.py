@@ -1,0 +1,104 @@
+"""Chrome ``trace_event`` export: open any run in Perfetto.
+
+:class:`ChromeTraceSink` is an ordinary trace sink (``on_record``), so it
+attaches exactly like the sinks in :mod:`repro.sim.trace`::
+
+    sink = ChromeTraceSink()
+    sim = Simulator(trace=True, trace_sink=sink)
+    ...
+    sink.dump("run.trace.json")
+
+then load the file at https://ui.perfetto.dev (or chrome://tracing).
+
+Mapping
+-------
+
+* Each trace ``subject`` ("lwp-1.2", "thread-7", "cpu-0") becomes a
+  Chrome *thread*; tids are assigned in first-seen order, so the mapping
+  — like the event stream itself — is deterministic.  A ``thread_name``
+  metadata event labels each tid.
+* ``syscall/enter`` opens a duration slice (``ph: "B"``) closed by the
+  matching ``syscall/exit`` or ``syscall/error`` (``ph: "E"``) on the
+  same subject — kernel time nests visually under each LWP.
+* Every other record is a thread-scoped instant (``ph: "i"``).
+* Timestamps are virtual nanoseconds divided by 1000 (the format wants
+  microseconds); integer ns keep this exact to the 3rd decimal.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.trace import TraceRecord
+
+PID = 1  # one simulated machine per trace file
+
+
+class ChromeTraceSink:
+    """Collect TraceRecords as Chrome trace_event JSON."""
+
+    __slots__ = ("events", "_tids", "_open_slices")
+
+    def __init__(self):
+        self.events: list[dict] = []
+        self._tids: dict[str, int] = {}
+        self._open_slices: dict[int, list] = {}
+
+    def _tid(self, subject: str) -> int:
+        tid = self._tids.get(subject)
+        if tid is None:
+            tid = self._tids[subject] = len(self._tids) + 1
+            self.events.append({
+                "ph": "M", "pid": PID, "tid": tid,
+                "name": "thread_name", "args": {"name": subject},
+            })
+        return tid
+
+    def on_record(self, rec: TraceRecord) -> None:
+        tid = self._tid(rec.subject)
+        ts = rec.time_ns / 1000.0
+        args = {k: str(v) for k, v in rec.detail.items()}
+        if rec.category == "syscall" and rec.event == "enter":
+            name = args.get("call", "syscall")
+            self.events.append({
+                "ph": "B", "pid": PID, "tid": tid, "ts": ts,
+                "name": f"sys_{name}", "cat": "syscall", "args": args,
+            })
+            self._open_slices.setdefault(tid, []).append(name)
+        elif rec.category == "syscall" and rec.event in ("exit", "error"):
+            stack = self._open_slices.get(tid)
+            if stack:
+                stack.pop()
+                self.events.append({
+                    "ph": "E", "pid": PID, "tid": tid, "ts": ts,
+                    "cat": "syscall", "args": args,
+                })
+            else:
+                # Exit without a recorded enter (e.g. sink attached
+                # mid-run): degrade to an instant rather than corrupt
+                # the B/E nesting.
+                self.events.append({
+                    "ph": "i", "pid": PID, "tid": tid, "ts": ts,
+                    "name": f"syscall/{rec.event}", "cat": "syscall",
+                    "s": "t", "args": args,
+                })
+        else:
+            self.events.append({
+                "ph": "i", "pid": PID, "tid": tid, "ts": ts,
+                "name": f"{rec.category}/{rec.event}",
+                "cat": rec.category, "s": "t", "args": args,
+            })
+
+    # ----------------------------------------------------------- exports
+
+    def to_dict(self) -> dict:
+        return {"traceEvents": self.events, "displayTimeUnit": "ns"}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def dump(self, path: str) -> int:
+        """Write the trace file; returns the number of events."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+        return len(self.events)

@@ -1,0 +1,144 @@
+"""Render registry snapshots for humans: the contention/latency report.
+
+The registry's own ``to_json()`` / ``render_text()`` are the machine
+formats; this module groups the well-known namespaces (syscall.*,
+sched.*, threads.*, sync.*) into the tables ``python -m repro.obs``
+prints.  Everything here reads a snapshot — no live engine access — so
+the report is as deterministic as the snapshot itself.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+
+def _fmt_us(ns: float) -> str:
+    return f"{ns / 1000.0:10.1f}"
+
+
+def _hist_row(h) -> str:
+    return (f"n={h.count:<7d} mean={_fmt_us(h.mean)}us "
+            f"p50={_fmt_us(h.percentile(50))}us "
+            f"p99={_fmt_us(h.percentile(99))}us "
+            f"max={_fmt_us(h.max)}us")
+
+
+def syscall_report(reg: MetricsRegistry) -> str:
+    """Per-syscall count + latency table, plus errno tallies."""
+    lines = ["-- syscalls " + "-" * 56]
+    names = sorted(k.rsplit(".", 1)[1] for k in reg.counters
+                   if k.startswith("syscall.count."))
+    for name in names:
+        count = reg.counters[f"syscall.count.{name}"].value
+        lat = reg.histograms.get(f"syscall.latency_ns.{name}")
+        row = f"  {name:<22s} calls={count:<7d}"
+        if lat is not None and lat.count:
+            row += f" {_hist_row(lat)}"
+        lines.append(row)
+    errnos = sorted(k for k in reg.counters if k.startswith("syscall.errno."))
+    if errnos:
+        lines.append("  errors:")
+        for key in errnos:
+            _, _, call, errno = key.split(".", 3)
+            lines.append(f"    {call:<20s} {errno:<12s} "
+                         f"{reg.counters[key].value}")
+    return "\n".join(lines)
+
+
+def sched_report(reg: MetricsRegistry) -> str:
+    """Dispatcher view: dispatches per class, latency, run-queue depth."""
+    lines = ["-- scheduler " + "-" * 55]
+    for key in sorted(k for k in reg.counters
+                      if k.startswith("sched.dispatches.")):
+        cls = key.rsplit(".", 1)[1]
+        lines.append(f"  dispatches[{cls}]        "
+                     f"{reg.counters[key].value}")
+    lat = reg.histograms.get("sched.dispatch_latency_ns")
+    if lat is not None and lat.count:
+        lines.append(f"  dispatch latency        {_hist_row(lat)}")
+    depth = reg.histograms.get("sched.runq_depth")
+    if depth is not None and depth.count:
+        lines.append(f"  runq depth at enqueue   n={depth.count} "
+                     f"mean={depth.mean:.2f} max={depth.max}")
+    for key in sorted(k for k in reg.histograms
+                      if k.startswith("sched.oncpu_ns.")):
+        cls = key.rsplit(".", 1)[1]
+        lines.append(f"  on-cpu[{cls}]            "
+                     f"{_hist_row(reg.histograms[key])}")
+    return "\n".join(lines)
+
+
+def threads_report(reg: MetricsRegistry) -> str:
+    """Threads-library view: create/exit, ready wait, pool growth."""
+    lines = ["-- threads library " + "-" * 49]
+    for key in sorted(k for k in reg.counters if k.startswith("threads.")
+                      and not k.startswith("threads.oncpu")):
+        lines.append(f"  {key[len('threads.'):]:<22s} "
+                     f"{reg.counters[key].value}")
+    for key in sorted(k for k in reg.histograms
+                      if k.startswith("threads.") and k.endswith("_ns")):
+        h = reg.histograms[key]
+        if h.count:
+            lines.append(f"  {key[len('threads.'):]:<22s} {_hist_row(h)}")
+    return "\n".join(lines)
+
+
+def sync_report(reg: MetricsRegistry, top: int = 20) -> str:
+    """Per-sync-object contention table, hottest (most contended) first.
+
+    Ties break on name, so the ordering — like every number — is
+    deterministic.  Unnamed variables all fold into the ``<anon>`` label.
+    """
+    lines = ["-- sync objects (top contended) " + "-" * 36]
+    objs: dict[tuple, dict] = {}
+    for key, c in reg.counters.items():
+        if not key.startswith("sync."):
+            continue
+        parts = key.split(".", 3)
+        if len(parts) < 4:
+            continue
+        _, kind, stat, label = parts
+        d = objs.setdefault((kind, label), {})
+        d[stat] = d.get(stat, 0) + c.value
+    for key, h in reg.histograms.items():
+        if not key.startswith("sync."):
+            continue
+        parts = key.split(".", 3)
+        if len(parts) < 4:
+            continue
+        _, kind, stat, label = parts
+        objs.setdefault((kind, label), {})[stat] = h
+
+    def contended(d: dict) -> int:
+        return sum(v for k, v in d.items()
+                   if isinstance(v, int) and "contended" in k
+                   and "uncontended" not in k)
+
+    def total_ops(d: dict) -> int:
+        return sum(v for v in d.values() if isinstance(v, int))
+
+    ranked = sorted(objs.items(),
+                    key=lambda kv: (-contended(kv[1]),
+                                    -total_ops(kv[1]), kv[0]))
+    for (kind, label), d in ranked[:top]:
+        cont = contended(d)
+        uncont = sum(v for k, v in d.items()
+                     if isinstance(v, int) and "uncontended" in k)
+        other = sum(v for k, v in d.items()
+                    if isinstance(v, int) and "contended" not in k)
+        lines.append(f"  {kind:<7s} {label:<24s} contended={cont:<6d} "
+                     f"uncontended={uncont:<6d} other_ops={other}")
+        for stat in ("wait_ns", "hold_ns"):
+            h = d.get(stat)
+            if h is not None and not isinstance(h, int) and h.count:
+                lines.append(f"          {stat:<24s} {_hist_row(h)}")
+    if len(ranked) > top:
+        lines.append(f"  ... {len(ranked) - top} more sync objects "
+                     f"(see JSON export)")
+    return "\n".join(lines)
+
+
+def contention_report(reg: MetricsRegistry) -> str:
+    """The full report ``python -m repro.obs`` prints."""
+    return "\n".join([syscall_report(reg), sched_report(reg),
+                      threads_report(reg), sync_report(reg)])

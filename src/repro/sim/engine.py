@@ -47,6 +47,12 @@ class Engine:
         # Active schedule-perturbation plan (repro.sim.schedule.
         # SchedulePlan): consulted at instrumented yield points.
         self.schedule = None
+        # Attached MetricsRegistry (repro.obs.registry), or None.
+        # Instrumentation sites gate on `engine.metrics is not None` —
+        # the same one-attribute-check price as the tracer gates — and
+        # hooks are passive (clock reads + dict updates only), so
+        # enabling metrics never perturbs virtual time or trace digests.
+        self.metrics = None
         # Passive observers of synchronization events (acquire/release,
         # cv wait/signal, thread exit).  Appended to by the dynamic
         # detectors in repro.explore; empty in normal runs.

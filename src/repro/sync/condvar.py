@@ -73,6 +73,8 @@ class CondVar(SyncVariable):
         ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         self.waits += 1
+        self._m_count(ctx, "waits")
+        t0 = ctx.engine.now_ns
         if not mutex.is_shared and mutex.owner is not ctx.thread:
             raise SyncError(
                 f"{self.name}: cv_wait with {mutex.name} not held")
@@ -95,6 +97,12 @@ class CondVar(SyncVariable):
             # NO_SLEEP means a signal landed in the window: treat it as
             # our wakeup (the paper's retest loop absorbs spurious ones).
         yield from mutex.enter()
+        m = ctx.engine.metrics
+        if m is not None:
+            # Wall-to-wall wait including the mutex re-acquire — the
+            # latency the paper's monitor pattern actually experiences.
+            m.observe(f"sync.cv.wait_ns.{self.metric_label}",
+                      ctx.engine.now_ns - t0)
 
 
     @guarded
@@ -112,6 +120,7 @@ class CondVar(SyncVariable):
         lib = ctx.process.threadlib
         kernel = ctx.kernel
         self.waits += 1
+        self._m_count(ctx, "waits")
         if not mutex.is_shared and mutex.owner is not ctx.thread:
             raise SyncError(
                 f"{self.name}: cv_timedwait with {mutex.name} not held")
@@ -175,6 +184,7 @@ class CondVar(SyncVariable):
         ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         self.signals += 1
+        self._m_count(ctx, "signals")
         yield charge(ctx.costs.sync_user_op)
         self._bump()
         if self.is_shared:
@@ -200,6 +210,7 @@ class CondVar(SyncVariable):
         ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         self.broadcasts += 1
+        self._m_count(ctx, "broadcasts")
         yield charge(ctx.costs.sync_user_op)
         self._bump()
         if self.is_shared:

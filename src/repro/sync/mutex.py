@@ -60,6 +60,7 @@ class Mutex(SyncVariable):
         ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         me = ctx.thread
+        t0 = ctx.engine.now_ns
         yield charge(ctx.costs.mutex_fast_path)
         if self.is_debug and self.owner is me:
             raise SyncError(f"{self.name}: recursive mutex_enter")
@@ -68,6 +69,7 @@ class Mutex(SyncVariable):
             if self.owner is None:
                 self.owner = me
                 self.acquisitions += 1
+                self._m_acquired(ctx, attempted, t0)
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
@@ -94,6 +96,7 @@ class Mutex(SyncVariable):
                 # Direct handoff: the releaser made us the owner.
                 assert self.owner is me
                 self.acquisitions += 1
+                self._m_acquired(ctx, True, t0)
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
@@ -123,20 +126,24 @@ class Mutex(SyncVariable):
         lib = ctx.process.threadlib
         kernel = ctx.kernel
         me = ctx.thread
+        t0 = ctx.engine.now_ns
         yield charge(ctx.costs.mutex_fast_path)
         if self.is_debug and self.owner is me:
             raise SyncError(f"{self.name}: recursive mutex_enter")
         deadline = kernel.engine.now_ns + usec(timeout_usec)
+        was_contended = False
         while True:
             if self.owner is None:
                 self.owner = me
                 self.acquisitions += 1
+                self._m_acquired(ctx, was_contended, t0)
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
                                                  cell=self.cell)
                 return True
             self.contended += 1
+            was_contended = True
             if kernel.engine.now_ns >= deadline:
                 return False
             if self.is_spin or (self.is_adaptive and self._owner_running()):
@@ -169,6 +176,7 @@ class Mutex(SyncVariable):
                 # Direct handoff: the releaser made us the owner.
                 assert self.owner is me
                 self.acquisitions += 1
+                self._m_acquired(ctx, True, t0)
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
@@ -179,10 +187,12 @@ class Mutex(SyncVariable):
         ctx = yield GET_CONTEXT
         kernel = ctx.kernel
         cell = self.cell
+        t0 = ctx.engine.now_ns
         yield Touch(cell.mobj, cell.offset, write=True)
         yield charge(ctx.costs.mutex_fast_path)
         deadline = kernel.engine.now_ns + usec(timeout_usec)
         slept = False
+        was_contended = False
         while True:
             state = cell.load()
             if state == 0:
@@ -190,12 +200,14 @@ class Mutex(SyncVariable):
                 # contended, or a second sleeper's mark is erased.
                 cell.store(2 if slept else 1)
                 self.acquisitions += 1
+                self._m_acquired(ctx, was_contended, t0)
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
                                                  cell=cell)
                 return True
             self.contended += 1
+            was_contended = True
             remaining = deadline - kernel.engine.now_ns
             if remaining <= 0:
                 return False
@@ -231,6 +243,7 @@ class Mutex(SyncVariable):
         if self.owner is None:
             self.owner = ctx.thread
             self.acquisitions += 1
+            self._m_acquired(ctx, False, 0)
             if events.sync_active(ctx):
                 yield from events.sync_point(ctx, "acquire", self,
                                              mode="mutex", blocking=False,
@@ -257,6 +270,7 @@ class Mutex(SyncVariable):
             raise SyncError(
                 f"{self.name}: mutex_exit by non-owner "
                 f"(owner={self.owner!r}, caller={me!r})")
+        self._m_released(ctx)
         if self.waiters:
             # Hand off directly to the longest waiter (no barging).
             yield charge(ctx.costs.sync_user_op)
@@ -288,6 +302,7 @@ class Mutex(SyncVariable):
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
         yield charge(ctx.costs.mutex_fast_path)
+        t0 = ctx.engine.now_ns
         attempted = False
         slept = False
         while True:
@@ -301,6 +316,7 @@ class Mutex(SyncVariable):
                 # forever.
                 cell.store(2 if slept else 1)
                 self.acquisitions += 1
+                self._m_acquired(ctx, attempted, t0)
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
@@ -327,6 +343,7 @@ class Mutex(SyncVariable):
         if cell.load() == 0:
             cell.store(1)
             self.acquisitions += 1
+            self._m_acquired(ctx, False, 0)
             if events.sync_active(ctx):
                 yield from events.sync_point(ctx, "acquire", self,
                                              mode="mutex", blocking=False,
@@ -343,6 +360,7 @@ class Mutex(SyncVariable):
         if state == 0:
             raise SyncError(f"{self.name}: mutex_exit of unheld shared "
                             "mutex")
+        self._m_released(ctx)
         cell.store(0)
         if state == 2:
             yield Syscall("usync_wake", cell.mobj, cell.offset, 1,

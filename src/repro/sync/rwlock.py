@@ -106,6 +106,7 @@ class RwLock(SyncVariable):
         ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         me = ctx.thread
+        t0 = ctx.engine.now_ns
         yield charge(ctx.costs.sync_user_op)
         attempted = False
         if rw_type is RW_READER:
@@ -113,6 +114,7 @@ class RwLock(SyncVariable):
                 if self.writer is None and not self.writer_waiters:
                     self.readers += 1
                     self.read_acquires += 1
+                    self._m_acquired(ctx, attempted, t0, op="read")
                     if me is not None:
                         self.reader_holders.append(me)
                     if events.sync_active(ctx):
@@ -136,6 +138,7 @@ class RwLock(SyncVariable):
                 if self.writer is None and self.readers == 0:
                     self.writer = me
                     self.write_acquires += 1
+                    self._m_acquired(ctx, attempted, t0, op="write")
                     if events.sync_active(ctx):
                         yield from events.sync_point(ctx, "acquire", self,
                                                      mode="writer",
@@ -164,6 +167,7 @@ class RwLock(SyncVariable):
             if self.writer is None and not self.writer_waiters:
                 self.readers += 1
                 self.read_acquires += 1
+                self._m_acquired(ctx, False, 0, op="read")
                 if ctx.thread is not None:
                     self.reader_holders.append(ctx.thread)
                 if events.sync_active(ctx):
@@ -174,6 +178,7 @@ class RwLock(SyncVariable):
         if self.writer is None and self.readers == 0:
             self.writer = ctx.thread
             self.write_acquires += 1
+            self._m_acquired(ctx, False, 0, op="write")
             if events.sync_active(ctx):
                 yield from events.sync_point(ctx, "acquire", self,
                                              mode="writer", blocking=False)
@@ -192,6 +197,7 @@ class RwLock(SyncVariable):
         yield charge(ctx.costs.sync_user_op)
         if self.writer is me:
             self.writer = None
+            self._m_released(ctx)
             yield from self._wake_next(lib)
             if events.sync_active(ctx):
                 yield from events.sync_point(ctx, "release", self,
@@ -296,24 +302,30 @@ class RwLock(SyncVariable):
 
     def _enter_shared(self, rw_type: RwType):
         ctx = yield GET_CONTEXT
+        t0 = ctx.engine.now_ns
+        waited = False
         yield from self._m.enter()
         st = self._load_state()
         if rw_type is RW_READER:
             while st["writer"] or st["wwaiting"]:
+                waited = True
                 yield from self._rcv.wait(self._m)
                 st = self._load_state()
             st["readers"] += 1
             self.read_acquires += 1
+            self._m_acquired(ctx, waited, t0, op="read")
             events.sync_event(ctx, "acquire", self, mode="reader",
                               blocking=True, cell=self._state)
         else:
             st["wwaiting"] += 1
             while st["writer"] or st["readers"]:
+                waited = True
                 yield from self._wcv.wait(self._m)
                 st = self._load_state()
             st["wwaiting"] -= 1
             st["writer"] = 1
             self.write_acquires += 1
+            self._m_acquired(ctx, waited, t0, op="write")
             events.sync_event(ctx, "acquire", self, mode="writer",
                               blocking=True, cell=self._state)
         yield from self._m.exit()
@@ -347,6 +359,7 @@ class RwLock(SyncVariable):
         st = self._load_state()
         if st["writer"]:
             st["writer"] = 0
+            self._m_released(ctx)
             events.sync_event(ctx, "release", self, mode="writer",
                               cell=self._state)
         elif st["readers"] > 0:

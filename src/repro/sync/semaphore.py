@@ -72,16 +72,20 @@ class Semaphore(SyncVariable):
         ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         me = ctx.thread
+        t0 = ctx.engine.now_ns
+        was_contended = False
         yield charge(ctx.costs.sync_user_op)
         while True:
             if self.count > 0:
                 self.count -= 1
                 self._note_hold(me)
+                self._m_acquired(ctx, was_contended, t0, op="p")
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "sema-p", self,
                                                  value=self.count)
                 return
             self.blocks += 1
+            was_contended = True
             outcome = yield from lib.block_current_on(
                 self.waiters, reason=self.name,
                 guard=lambda: self.count == 0)
@@ -90,6 +94,7 @@ class Semaphore(SyncVariable):
             if outcome == _TOKEN:
                 # Direct handoff from sema_v: count stays consumed.
                 self._note_hold(me)
+                self._m_acquired(ctx, True, t0, op="p")
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "sema-p", self,
                                                  value=self.count)
@@ -123,12 +128,15 @@ class Semaphore(SyncVariable):
         lib = ctx.process.threadlib
         kernel = ctx.kernel
         me = ctx.thread
+        t0 = ctx.engine.now_ns
+        was_contended = False
         yield charge(ctx.costs.sync_user_op)
         deadline = kernel.engine.now_ns + usec(timeout_usec)
         while True:
             if self.count > 0:
                 self.count -= 1
                 self._note_hold(me)
+                self._m_acquired(ctx, was_contended, t0, op="p")
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "sema-p", self,
                                                  value=self.count)
@@ -136,6 +144,7 @@ class Semaphore(SyncVariable):
             if kernel.engine.now_ns >= deadline:
                 return False
             self.blocks += 1
+            was_contended = True
             timed_out_box = {"value": False}
 
             def on_timeout():
@@ -161,6 +170,7 @@ class Semaphore(SyncVariable):
                 continue  # a V slipped in before we slept; retry
             if outcome == _TOKEN:
                 self._note_hold(me)
+                self._m_acquired(ctx, True, t0, op="p")
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "sema-p", self,
                                                  value=self.count)
@@ -171,12 +181,15 @@ class Semaphore(SyncVariable):
         kernel = ctx.kernel
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
+        t0 = ctx.engine.now_ns
+        was_contended = False
         yield charge(ctx.costs.sync_user_op)
         deadline = kernel.engine.now_ns + usec(timeout_usec)
         while True:
             count = cell.load()
             if count > 0:
                 cell.store(count - 1)
+                self._m_acquired(ctx, was_contended, t0, op="p")
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "sema-p", self,
                                                  value=count - 1)
@@ -185,6 +198,7 @@ class Semaphore(SyncVariable):
             if remaining <= 0:
                 return False
             self.blocks += 1
+            was_contended = True
             try:
                 result = yield Syscall(
                     "usync_block", cell.mobj, cell.offset, 0,
@@ -208,6 +222,7 @@ class Semaphore(SyncVariable):
         if self.count > 0:
             self.count -= 1
             self._note_hold(ctx.thread)
+            self._m_acquired(ctx, False, 0, op="p")
             if events.sync_active(ctx):
                 yield from events.sync_point(ctx, "sema-p", self,
                                              value=self.count)
@@ -226,6 +241,7 @@ class Semaphore(SyncVariable):
         ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
         yield charge(ctx.costs.sync_user_op)
+        self._m_count(ctx, "v")
         self._note_release(ctx.thread)
         if self.waiters:
             # Hand the unit straight to the longest waiter.
@@ -253,17 +269,21 @@ class Semaphore(SyncVariable):
     def _p_shared(self):
         ctx = yield GET_CONTEXT
         cell = self.cell
+        t0 = ctx.engine.now_ns
+        was_contended = False
         yield Touch(cell.mobj, cell.offset, write=True)
         yield charge(ctx.costs.sync_user_op)
         while True:
             count = cell.load()
             if count > 0:
                 cell.store(count - 1)
+                self._m_acquired(ctx, was_contended, t0, op="p")
                 if events.sync_active(ctx):
                     yield from events.sync_point(ctx, "sema-p", self,
                                                  value=count - 1)
                 return
             self.blocks += 1
+            was_contended = True
             yield from usync_block_retry(cell, 0, f"sema:{self.name}")
 
     def _tryp_shared(self):
@@ -274,6 +294,7 @@ class Semaphore(SyncVariable):
         count = cell.load()
         if count > 0:
             cell.store(count - 1)
+            self._m_acquired(ctx, False, 0, op="p")
             if events.sync_active(ctx):
                 yield from events.sync_point(ctx, "sema-p", self,
                                              value=count - 1)
@@ -285,6 +306,7 @@ class Semaphore(SyncVariable):
         cell = self.cell
         yield Touch(cell.mobj, cell.offset, write=True)
         yield charge(ctx.costs.sync_user_op)
+        self._m_count(ctx, "v")
         value = cell.load() + 1
         cell.store(value)
         yield Syscall("usync_wake", cell.mobj, cell.offset, 1,

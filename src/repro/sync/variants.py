@@ -107,6 +107,57 @@ class SyncVariable:
         return bool(self.vtype & THREAD_SYNC_SHARED)
 
     @property
+    def metric_label(self) -> str:
+        """Stable label for per-object metrics.
+
+        The default name embeds ``id(self)`` — fine for diagnostics,
+        fatal for determinism (addresses vary between interpreter runs).
+        Unnamed variables therefore all fold into ``<anon>``; name your
+        variables to see them individually in the contention report.
+        """
+        if self.name.startswith(f"{self.KIND}@"):
+            return "<anon>"
+        return self.name
+
+    # ------------------------------------------------------------ metrics
+    #
+    # Shared helpers for the concrete primitives' instrumentation sites.
+    # All are no-ops unless a MetricsRegistry is attached to the engine;
+    # callers pass the ExecContext they already hold, so the cost when
+    # disabled is one call + one attribute load + an is-None test.
+
+    def _m_acquired(self, ctx, contended: bool, t0: int,
+                    op: str = "acquires") -> None:
+        """Count an acquisition; record wait time when it contended."""
+        m = ctx.engine.metrics
+        if m is None:
+            return
+        label = self.metric_label
+        kind = "contended" if contended else "uncontended"
+        m.count(f"sync.{self.KIND}.{op}_{kind}.{label}")
+        if contended:
+            m.observe(f"sync.{self.KIND}.wait_ns.{label}",
+                      ctx.engine.now_ns - t0)
+        self._held_since = ctx.engine.now_ns
+
+    def _m_released(self, ctx) -> None:
+        """Record hold time since the matching :meth:`_m_acquired`."""
+        m = ctx.engine.metrics
+        if m is None:
+            return
+        held = getattr(self, "_held_since", None)
+        if held is not None:
+            m.observe(f"sync.{self.KIND}.hold_ns.{self.metric_label}",
+                      ctx.engine.now_ns - held)
+            self._held_since = None
+
+    def _m_count(self, ctx, op: str) -> None:
+        """Count a bare operation (v, signal, broadcast, ...)."""
+        m = ctx.engine.metrics
+        if m is not None:
+            m.count(f"sync.{self.KIND}.{op}.{self.metric_label}")
+
+    @property
     def is_spin(self) -> bool:
         return bool(self.vtype & SYNC_SPIN)
 

@@ -80,6 +80,8 @@ def thread_create(func, arg: Any = None, flags: int = 0,
     lib = ctx.process.threadlib
     creator = ctx.thread
     costs = ctx.costs
+    metrics = ctx.engine.metrics
+    t_start = ctx.engine.now_ns if metrics is not None else 0
 
     if not lib.tls_layout.frozen:
         lib.tls_layout.freeze()
@@ -163,6 +165,14 @@ def thread_create(func, arg: Any = None, flags: int = 0,
         else:
             lib.register_pool_lwp(ctx.process.lwps[lwp_id])
 
+    if metrics is not None:
+        # Label by the *requested* boundness so the split is stable even
+        # when LWP exhaustion downgrades a bound create (that fallback
+        # has its own counter, threads.bound_fallbacks mirror).
+        kind = "bound" if flags & THREAD_BIND_LWP else "unbound"
+        metrics.count(f"threads.created.{kind}")
+        metrics.observe(f"threads.create_ns.{kind}",
+                        ctx.engine.now_ns - t_start)
     return tid
 
 
@@ -205,6 +215,9 @@ def _exit_impl(lib, thread: Thread):
     thread.exited = True
     thread.exit_status = 0  # "The exit status of a thread is always zero."
     thread.state = ThreadState.ZOMBIE
+    m = ctx.engine.metrics
+    if m is not None:
+        m.count("threads.exited")
     lib.stack_alloc.release(thread.stack)
 
     # Hand ourselves to a waiter, if any.

@@ -209,6 +209,11 @@ class ThreadsLibrary:
         lwp.current_thread = thread
         thread.lwp = lwp
         thread.state = ThreadState.RUNNING
+        m = self.engine.metrics
+        if m is not None and thread.ready_since_ns is not None:
+            m.observe("threads.ready_wait_ns",
+                      self.engine.now_ns - thread.ready_since_ns)
+            thread.ready_since_ns = None
         # The mask belongs to the thread; the library keeps the LWP's
         # kernel-visible mask in sync without a system call (the cached
         # user-level mask trick), so a switch stays pure user mode.
@@ -240,6 +245,8 @@ class ThreadsLibrary:
             thread.state = ThreadState.STOPPED
             return self._collect_stop_waiter_unparks(thread)
         thread.state = ThreadState.RUNNABLE
+        if self.engine.metrics is not None:
+            thread.ready_since_ns = self.engine.now_ns
         if thread.bound:
             # Its dedicated LWP is parked (or about to park): wake it.
             self.unparks_requested += 1
@@ -483,6 +490,9 @@ class ThreadsLibrary:
     def note_lwp_retry(self, attempt: int) -> None:
         """Backoff hook: count a retried lwp_create (any site)."""
         self.lwp_create_retries += 1
+        m = self.engine.metrics
+        if m is not None:
+            m.count("threads.lwp_create_retries")
 
     # ================================================== SIGWAITING growth
 
@@ -513,9 +523,15 @@ class ThreadsLibrary:
                 on_retry=self.note_lwp_retry)
         except LwpExhausted:
             self.sigwaiting_failures += 1
+            m = self.engine.metrics
+            if m is not None:
+                m.count("threads.sigwaiting_failures")
             self.process.sigwaiting_posted = False
             return
         self.lwps_grown_by_sigwaiting += 1
+        m = self.engine.metrics
+        if m is not None:
+            m.count("threads.sigwaiting_grown")
         self.register_pool_lwp(self.process.lwps[lwp_id])
 
     # ================================================== signal routing

@@ -74,6 +74,9 @@ class Thread:
         self.wait_queue: Optional[list] = None
         #: Virtual time the current sleep began (hang diagnostics).
         self.sleep_since_ns: Optional[int] = None
+        #: Virtual time this thread last became RUNNABLE; set only when
+        #: metrics are attached (ready-queue wait histogram).
+        self.ready_since_ns: Optional[int] = None
         #: Value handed over by the waker (e.g. a semaphore handoff token).
         #: Kept off the activity's resume slot because a *bound* thread
         #: sleeps inside an lwp_park system call whose return value owns

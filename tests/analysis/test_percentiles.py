@@ -1,0 +1,71 @@
+"""Percentile edge cases (the float-rounding bug class, pinned).
+
+``int(math.ceil(p / 100.0 * n)) - 1`` computes 99/100.0 * 100 as
+99.00000000000001, ceils to 100, and indexes the 100th element where the
+99th belongs — an off-by-one that only appears for specific (p, n)
+pairs.  The fixed implementation multiplies before dividing; these tests
+pin the exact ranks so a regression is loud.
+"""
+
+import pytest
+
+from repro.analysis.metrics import percentile, percentile_weighted
+
+
+class TestPercentile:
+    def test_p99_of_100_is_the_99th_sample(self):
+        xs = list(range(1, 101))  # 1..100
+        assert percentile(xs, 99) == 99
+
+    def test_known_float_hazard_pairs(self):
+        # Every (p, n) pair where p/100.0*n overshoots the integer it
+        # mathematically equals; multiply-first arithmetic is immune.
+        for p, n in ((29, 100), (57, 100), (58, 100), (7, 1000)):
+            xs = list(range(1, n + 1))
+            assert percentile(xs, p) == p * n // 100
+
+    def test_p0_returns_minimum(self):
+        assert percentile([5.0, 1.0, 9.0], 0) == 1.0
+        assert percentile([5.0, 1.0, 9.0], -10) == 1.0
+
+    def test_p100_returns_maximum(self):
+        assert percentile([5.0, 1.0, 9.0], 100) == 9.0
+        assert percentile([5.0, 1.0, 9.0], 250) == 9.0
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_sample_any_p(self):
+        for p in (0, 1, 50, 99, 100):
+            assert percentile([7.0], p) == 7.0
+
+    def test_median_of_two(self):
+        assert percentile([1.0, 2.0], 50) == 1.0
+        assert percentile([1.0, 2.0], 51) == 2.0
+
+    def test_input_not_mutated(self):
+        xs = [3.0, 1.0, 2.0]
+        percentile(xs, 50)
+        assert xs == [3.0, 1.0, 2.0]
+
+
+class TestPercentileWeighted:
+    def test_matches_expanded_samples(self):
+        pairs = [(10, 3), (20, 5), (30, 2)]
+        expanded = [10.0] * 3 + [20.0] * 5 + [30.0] * 2
+        for p in (0, 10, 50, 90, 99, 100):
+            assert percentile_weighted(pairs, p) == percentile(expanded, p)
+
+    def test_unsorted_pairs_accepted(self):
+        assert percentile_weighted([(30, 1), (10, 1), (20, 1)], 0) == 10
+
+    def test_zero_count_pairs_ignored(self):
+        assert percentile_weighted([(5, 0), (9, 2)], 50) == 9
+
+    def test_empty_returns_zero(self):
+        assert percentile_weighted([], 50) == 0.0
+        assert percentile_weighted([(5, 0)], 50) == 0.0
+
+    def test_p99_of_100_weighted(self):
+        pairs = [(v, 1) for v in range(1, 101)]
+        assert percentile_weighted(pairs, 99) == 99

@@ -1,0 +1,81 @@
+"""Chrome trace_event export: schema and determinism."""
+
+import json
+
+from repro.api import Simulator
+from repro.obs import ChromeTraceSink
+from repro.workloads import window_system
+
+VALID_PHASES = {"B", "E", "i", "s", "M"}
+
+
+def _traced_run(seed: int = 2):
+    main, _ = window_system.build(n_widgets=6, n_events=30, seed=seed)
+    sink = ChromeTraceSink()
+    sim = Simulator(ncpus=2, seed=seed, trace=True, trace_sink=sink,
+                    trace_store=False)
+    sim.spawn(main)
+    sim.run()
+    return sink
+
+
+class TestSchema:
+    def test_top_level_shape(self):
+        doc = _traced_run().to_dict()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["traceEvents"], "a run must produce events"
+
+    def test_every_event_well_formed(self):
+        for ev in _traced_run().to_dict()["traceEvents"]:
+            assert ev["ph"] in VALID_PHASES
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            if ev["ph"] == "M":
+                assert ev["name"] == "thread_name"
+                assert ev["args"]["name"]
+            else:
+                assert isinstance(ev["ts"], float)
+                assert ev["ts"] >= 0.0
+
+    def test_slices_balanced_per_tid(self):
+        # Ends never outnumber begins on a tid (stack order, what
+        # chrome://tracing requires); the only slices legitimately left
+        # open at end-of-run are exit calls, which never return.
+        stacks = {}
+        for ev in _traced_run().to_dict()["traceEvents"]:
+            if ev["ph"] == "B":
+                stacks.setdefault(ev["tid"], []).append(ev["name"])
+            elif ev["ph"] == "E":
+                assert stacks.get(ev["tid"]), "E without a matching B"
+                stacks[ev["tid"]].pop()
+        leftovers = [n for s in stacks.values() for n in s]
+        assert all(n == "sys_exit" for n in leftovers)
+
+    def test_syscall_slices_named(self):
+        names = {ev["name"]
+                 for ev in _traced_run().to_dict()["traceEvents"]
+                 if ev["ph"] == "B"}
+        assert any(n.startswith("sys_") for n in names)
+
+    def test_thread_names_assigned_once(self):
+        meta = [ev for ev in _traced_run().to_dict()["traceEvents"]
+                if ev["ph"] == "M"]
+        tids = [ev["tid"] for ev in meta]
+        assert len(tids) == len(set(tids))
+
+    def test_timestamps_monotonic_nondecreasing(self):
+        ts = [ev["ts"] for ev in _traced_run().to_dict()["traceEvents"]
+              if ev["ph"] != "M"]
+        assert ts == sorted(ts)
+
+
+class TestDeterminism:
+    def test_json_byte_identical_across_runs(self):
+        assert _traced_run().to_json() == _traced_run().to_json()
+
+    def test_dump_writes_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = _traced_run().dump(str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n > 0

@@ -1,0 +1,95 @@
+"""The observability determinism contract.
+
+Three guarantees, each pinned here:
+
+1. **Reproducible**: the same seeded run produces byte-identical metrics
+   JSON every time, serial or across a ``--jobs N`` process pool.
+2. **Passive**: enabling metrics does not change the virtual-time event
+   stream — trace digests are identical with metrics on and off.
+3. **Zero-cost when disabled**: a default Simulator carries no registry,
+   and the golden digests (recorded before metrics existed) still match.
+"""
+
+import json
+import os
+
+from repro.api import Simulator
+from repro.explore.explorer import Explorer, default_plan_dicts, run_one
+from repro.explore.registry import resolve
+from repro.workloads import window_system
+
+GOLDEN = os.path.join(os.path.dirname(__file__), os.pardir, "explore",
+                      "golden_digests.json")
+
+
+def _window_run(seed: int = 3):
+    main, _ = window_system.build(n_widgets=10, n_events=60, seed=seed)
+    sim = Simulator(ncpus=2, seed=seed, metrics=True)
+    sim.spawn(main)
+    sim.run()
+    return sim
+
+
+class TestReproducible:
+    def test_repeated_runs_byte_identical_json(self):
+        a = _window_run().metrics.to_json()
+        b = _window_run().metrics.to_json()
+        assert a == b
+        assert len(a) > 1000  # a real snapshot, not an empty registry
+
+    def test_repeated_runs_identical_text(self):
+        assert (_window_run().metrics.render_text()
+                == _window_run().metrics.render_text())
+
+    def test_serial_vs_jobs_parity(self):
+        ref = "workload:wl_window_system"
+        factory = resolve(ref)
+        serial = Explorer(factory, program="w", runs=3,
+                          metrics=True).explore()
+        par = Explorer(factory, program="w", runs=3, metrics=True,
+                       jobs=2, factory_ref=ref).explore()
+        for s, p in zip(serial.results, par.results):
+            assert s.metrics_json == p.metrics_json
+            assert s.digest == p.digest
+            assert json.loads(s.metrics_json)["counters"]
+
+
+class TestPassive:
+    def test_metrics_do_not_change_trace_digest(self):
+        plan = default_plan_dicts(2)[1]  # a perturbed schedule
+        factory = resolve("workload:wl_network_server")
+        off = run_one(factory, seed=5, schedule_dict=plan)
+        on = run_one(factory, seed=5, schedule_dict=plan,
+                     with_metrics=True)
+        assert off.digest == on.digest
+        assert on.metrics_json is not None and off.metrics_json is None
+
+    def test_metrics_do_not_change_golden_digest(self):
+        # Spot-check one pre-metrics golden entry with metrics ENABLED:
+        # instrumentation must not perturb the recorded event stream.
+        with open(GOLDEN) as fh:
+            digests = json.load(fh)
+        from repro.explore.corpus import CLEAN
+        name = sorted(CLEAN)[0]
+        plan = default_plan_dicts(1)[0]
+        result = run_one(CLEAN[name], program=name, seed=0,
+                         schedule_dict=plan, with_metrics=True)
+        assert result.digest == digests[f"{name}/run0"]
+
+
+class TestDisabled:
+    def test_default_simulator_has_no_registry(self):
+        sim = Simulator(ncpus=2)
+        assert sim.metrics is None
+        assert sim.engine.metrics is None
+
+    def test_virtual_time_identical_with_and_without(self):
+        main, _ = window_system.build(n_widgets=8, n_events=40, seed=1)
+        off = Simulator(ncpus=2, seed=1)
+        off.spawn(main)
+        off.run()
+        main2, _ = window_system.build(n_widgets=8, n_events=40, seed=1)
+        on = Simulator(ncpus=2, seed=1, metrics=True)
+        on.spawn(main2)
+        on.run()
+        assert off.engine.now_ns == on.engine.now_ns

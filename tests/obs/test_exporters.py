@@ -1,0 +1,111 @@
+"""Report rendering, the repro.obs CLI, and the procfs exporters."""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+from repro.api import Simulator
+from repro.kernel.fs.file import O_RDONLY
+from repro.obs import contention_report
+from repro.obs.__main__ import main as obs_main
+from repro.runtime import unistd
+from repro.workloads import window_system
+from repro import threads
+
+
+def _run(seed=4):
+    main, _ = window_system.build(n_widgets=8, n_events=40, seed=seed)
+    sim = Simulator(ncpus=2, seed=seed, metrics=True)
+    sim.spawn(main)
+    sim.run()
+    return sim
+
+
+class TestContentionReport:
+    def test_all_sections_present(self):
+        report = contention_report(_run().metrics)
+        for header in ("-- syscalls", "-- scheduler",
+                       "-- threads library", "-- sync objects"):
+            assert header in report
+
+    def test_reports_real_activity(self):
+        report = contention_report(_run().metrics)
+        assert "gettimeofday" in report
+        assert "dispatches[TS]" in report
+        assert "created.unbound" in report
+        assert "mutex" in report
+
+    def test_report_deterministic(self):
+        assert (contention_report(_run().metrics)
+                == contention_report(_run().metrics))
+
+
+class TestObsCli:
+    def _cli(self, argv):
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            obs_main(argv)
+        return buf.getvalue()
+
+    def test_prints_header_and_report(self):
+        out = self._cli(["--workload", "window_system"])
+        assert "workload=window_system" in out
+        assert "virtual_time=" in out
+        assert "-- sync objects" in out
+
+    def test_writes_json_and_trace(self, tmp_path):
+        jpath = tmp_path / "m.json"
+        tpath = tmp_path / "t.json"
+        self._cli(["--workload", "array_compute",
+                   "--json", str(jpath), "--trace", str(tpath)])
+        snap = json.loads(jpath.read_text())
+        assert snap["counters"]
+        trace = json.loads(tpath.read_text())
+        assert trace["traceEvents"]
+
+    def test_cli_deterministic(self, tmp_path):
+        a = self._cli(["--workload", "database", "--seed", "9"])
+        b = self._cli(["--workload", "database", "--seed", "9"])
+        assert a == b
+
+
+class TestProcfs:
+    def _read_proc(self, metrics):
+        out = {}
+
+        def worker(_):
+            yield from unistd.sleep_usec(10)
+
+        def main():
+            tid = yield from threads.thread_create(
+                worker, None, flags=threads.THREAD_WAIT)
+            yield from threads.thread_wait(tid)
+            fd = yield from unistd.open("/proc/metrics", O_RDONLY)
+            out["metrics"] = (yield from unistd.read(fd, 1 << 20))
+            yield from unistd.close(fd)
+            fd = yield from unistd.open("/proc/1/stat", O_RDONLY)
+            out["stat"] = (yield from unistd.read(fd, 4096))
+            yield from unistd.close(fd)
+
+        sim = Simulator(ncpus=2, metrics=metrics)
+        sim.spawn(main)
+        sim.run()
+        return out
+
+    def test_proc_metrics_renders_registry(self):
+        text = self._read_proc(True)["metrics"].decode()
+        assert "counter syscall.count.open 1" in text
+        assert "counter threads.created.unbound 1" in text
+        assert "histogram sched.dispatch_latency_ns" in text
+
+    def test_proc_metrics_disabled_notice(self):
+        text = self._read_proc(False)["metrics"].decode()
+        assert text == "# metrics disabled (no registry attached)\n"
+
+    def test_proc_pid_stat_fields(self):
+        fields = self._read_proc(True)["stat"].decode().split()
+        assert fields[0] == "1"
+        assert fields[1] == "(main)"
+        # pid name state nlwp utime stime created switches grown
+        assert len(fields) == 9
+        assert fields[6] == "2"  # main thread + the worker

@@ -72,3 +72,15 @@ class TestExamples:
         assert "events processed  : 64" in out
         assert "replay identical  : True" in out
         assert "deadlock cycle detected:" in out
+
+    def test_metrics_dashboard(self, tmp_path):
+        module = importlib.import_module("metrics_dashboard")
+        trace_path = tmp_path / "trace.json"
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            module.main(trace_path=str(trace_path))
+        out = buf.getvalue()
+        assert "events processed: 200" in out
+        assert "-- sync objects" in out
+        assert "Chrome trace events" in out
+        assert trace_path.exists()
