@@ -10,6 +10,8 @@ thread-specific data, a process-shared mutex — on exactly that layering.
 Run:  python examples/posix_pthreads.py
 """
 
+from collections import deque
+
 from repro.api import Simulator
 from repro import pthreads
 from repro.pthreads.api import pthread_once, pthread_once_init
@@ -22,7 +24,7 @@ from repro.runtime import libc
 def main_program():
     m = PthreadMutex(name="pool.m")
     cv = PthreadCond(name="pool.cv")
-    queue, results = [], []
+    queue, results = deque(), []
     once = pthread_once_init()
     init_runs = []
 
@@ -40,7 +42,7 @@ def main_program():
             yield from pthread_mutex_lock(m)
             while not queue:
                 yield from pthread_cond_wait(cv, m)
-            item = queue.pop(0)
+            item = queue.popleft()
             yield from pthread_mutex_unlock(m)
             if item is None:
                 scratch = yield from pthreads.pthread_getspecific(

@@ -9,6 +9,8 @@ thread/LWP distinction.
 Run:  python examples/quickstart.py
 """
 
+from collections import deque
+
 from repro.api import Simulator
 from repro.runtime import libc, unistd
 from repro.sync import CondVar, Mutex
@@ -17,7 +19,7 @@ from repro import threads
 
 def main_program():
     """The simulated program (a generator; yields drive the machine)."""
-    queue = []
+    queue = deque()
     m = Mutex(name="queue.m")
     cv = CondVar(name="queue.cv")
     processed = []
@@ -28,7 +30,7 @@ def main_program():
             yield from m.enter()
             while not queue:
                 yield from cv.wait(m)
-            item = queue.pop(0)
+            item = queue.popleft()
             yield from m.exit()
             if item is None:
                 return

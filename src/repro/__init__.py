@@ -27,7 +27,8 @@ from repro.api import Simulator
 from repro.errors import (DeadlockError, Errno, LwpExhausted, ReproError,
                           SimulationError, SyncError, SyscallError,
                           ThreadError)
-from repro.sim.faults import (FaultPlan, LwpCrash, PageFaultStorm,
+from repro.sim.faults import (AcceptStall, ConnDrop, FaultPlan, LwpCrash,
+                              PacketDelay, PageFaultStorm, PeerReset,
                               SyscallFault, TimerJitter)
 from repro.sim.schedule import (ForcedPreempt, PctPriorities, RandomPick,
                                 RandomPreempt, SchedulePlan)
@@ -39,7 +40,7 @@ __all__ = [
     "DeadlockError", "Errno", "LwpExhausted", "ReproError",
     "SimulationError", "SyncError", "SyscallError", "ThreadError",
     "FaultPlan", "SyscallFault", "PageFaultStorm", "TimerJitter",
-    "LwpCrash",
+    "LwpCrash", "ConnDrop", "AcceptStall", "PacketDelay", "PeerReset",
     "SchedulePlan", "RandomPreempt", "RandomPick", "PctPriorities",
     "ForcedPreempt",
     "__version__",

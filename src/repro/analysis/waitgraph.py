@@ -15,7 +15,10 @@ still never *acts* on thread state.
 Process-shared (usync) sleeps appear in the LWP section: the kernel
 channel a shared-variable sleep uses is labeled with the owning
 primitive's name (e.g. ``mutex:lock:…``), so cross-process waits are
-named even though no user-level queue exists for them.
+named even though no user-level queue exists for them.  Socket waits
+(accept/recv/connect) additionally carry the network-side story from
+``kernel.net.annotate_channel`` — which port, connection state, peer
+process, and bytes buffered — so "blocked in recv" names its culprit.
 """
 
 from __future__ import annotations
@@ -114,6 +117,13 @@ def build_wait_graph(kernel) -> tuple[list[WaitEdge], list[tuple]]:
                 # falsy but still names the wait.
                 chan = (lwp.channel.name if lwp.channel is not None
                         else "?")
+                if lwp.channel is not None:
+                    # Socket waits get their network-side story: which
+                    # port/connection, who the peer is, what state it is
+                    # in — "blocked in recv" alone names no culprit.
+                    note = kernel.net.annotate_channel(lwp.channel)
+                    if note:
+                        chan = f"{chan} [{note}]"
                 lwp_waits.append((lwp, chan, lwp.sleep_since_ns))
         lib = proc.threadlib
         if lib is None:

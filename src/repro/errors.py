@@ -38,7 +38,12 @@ class Errno(enum.IntEnum):
     EPIPE = 32
     EDEADLK = 45
     ENOSYS = 78
+    EADDRINUSE = 125
+    ECONNABORTED = 130
+    ECONNRESET = 131
+    ENOTCONN = 134
     ETIMEDOUT = 145
+    ECONNREFUSED = 146
 
 
 class ReproError(Exception):

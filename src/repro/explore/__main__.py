@@ -9,6 +9,11 @@ Examples::
     # finding.
     python -m repro.explore --clean --workloads --runs 25
 
+    # Overload gate: network server at several times capacity, under a
+    # composed net-fault plan and perturbed schedules; exit 1 if the
+    # request ledger ever fails to balance (or anything hangs).
+    python -m repro.explore --overload --runs 8 --out bundles/
+
     # Replay a repro bundle produced by a failing run.
     python -m repro.explore --replay bundles/racy_counter.json
 """
@@ -45,12 +50,30 @@ def _example_factories() -> dict:
     return {name: (factory, f"example:{name}")}
 
 
-def _explore(name: str, factory, args, ref: str = None) -> "ExploreReport":
+def _explore(name: str, factory, args, ref: str = None,
+             faults_dict: dict = None) -> "ExploreReport":
     explorer = Explorer(factory, program=name, runs=args.runs,
                         seed=args.seed, ncpus=args.ncpus,
                         max_events=args.max_events,
-                        jobs=args.jobs, factory_ref=ref)
+                        jobs=args.jobs, factory_ref=ref,
+                        faults_dict=faults_dict)
     return explorer.explore()
+
+
+def _overload_fault_dict() -> dict:
+    """The net-fault mix the overload gate composes with every
+    schedule: refused connects, stalled accepts (backlog pressure),
+    congested transfers, and the occasional mid-stream reset.  All
+    probabilities are modest — the point is that *no* combination may
+    lose an admitted request, not that the server survives a massacre."""
+    from repro.sim.faults import (AcceptStall, ConnDrop, FaultPlan,
+                                  PacketDelay, PeerReset)
+    return FaultPlan([
+        ConnDrop(mode="refuse", probability=0.05),
+        AcceptStall(stall_usec=2_000.0, probability=0.1),
+        PacketDelay(op="*", max_usec=500.0, probability=0.2),
+        PeerReset(op="send", probability=0.02),
+    ]).to_dict()
 
 
 def _dump_bundle(result, out_dir: str) -> str:
@@ -76,6 +99,10 @@ def main(argv=None) -> int:
     parser.add_argument("--examples", action="store_true",
                         help="include example programs in the clean gate "
                              "(needs the repo's examples/ dir as cwd)")
+    parser.add_argument("--overload", action="store_true",
+                        help="overload gate: the network server at "
+                             "several times capacity under net faults; "
+                             "fail on any lost request, hang, or error")
     parser.add_argument("--programs", nargs="*", default=None,
                         help="restrict to these program names")
     parser.add_argument("--runs", "-k", type=int, default=25,
@@ -99,9 +126,11 @@ def main(argv=None) -> int:
 
     if args.replay:
         return _replay(args)
-    if not (args.corpus or args.clean or args.workloads or args.examples):
+    if not (args.corpus or args.clean or args.workloads or args.examples
+            or args.overload):
         parser.error("pick at least one of --corpus / --clean / "
-                     "--workloads / --examples (or --replay)")
+                     "--workloads / --examples / --overload "
+                     "(or --replay)")
 
     failures = 0
 
@@ -147,6 +176,21 @@ def main(argv=None) -> int:
                     for res in report.failures:
                         print(f"  bundle: {_dump_bundle(res, args.out)}")
 
+    if args.overload:
+        faults_dict = _overload_fault_dict()
+        for name in registry.OVERLOAD_SCENARIOS:
+            if args.programs and name not in args.programs:
+                continue
+            factory = registry.overload_factory(name)
+            report = _explore(name, factory, args, ref=f"overload:{name}",
+                              faults_dict=faults_dict)
+            print(report.summary())
+            if report.failures:
+                failures += 1
+                if args.out:
+                    for res in report.failures:
+                        print(f"  bundle: {_dump_bundle(res, args.out)}")
+
     if failures:
         print(f"\n{failures} program(s) FAILED the gate")
         return 1
@@ -156,11 +200,12 @@ def main(argv=None) -> int:
 
 def _replay(args) -> int:
     bundle = ReproBundle.load(args.replay)
-    entry = corpus.BUGGY.get(bundle.program)
-    factory = entry[0] if entry else corpus.CLEAN.get(bundle.program)
-    if factory is None:
+    try:
+        factory = registry.resolve(bundle.program)
+    except KeyError:
         print(f"unknown program {bundle.program!r}; replay only knows "
-              "the built-in corpus", file=sys.stderr)
+              "the built-in corpus, workloads, and overload scenarios",
+              file=sys.stderr)
         return 2
     result = bundle.replay(factory, ncpus=args.ncpus,
                            max_events=args.max_events)

@@ -26,8 +26,18 @@ The four seeded bug classes match the acceptance list:
 from __future__ import annotations
 
 from repro import threads
-from repro.runtime import libc, mapped
+from repro.errors import Errno, SyscallError
+from repro.hw.isa import GetContext
+from repro.runtime import libc, mapped, unistd
 from repro.sync import CondVar, Mutex, Semaphore
+from repro.sync.events import sync_event
+from repro.threads import retry
+
+
+def _ledger(op, rid, **detail):
+    """Generator: one request-ledger event (net-admit/serve/shed)."""
+    ctx = yield GetContext()
+    sync_event(ctx, op, None, id=rid, **detail)
 
 
 # =====================================================================
@@ -166,9 +176,103 @@ def exit_holding_lock():
     return main
 
 
+def _socket_server(lossy: bool):
+    """One-connection-per-request echo server plus its client.
+
+    The server reads each request, *admits* it on the ledger, then —
+    every other request — hits its (simulated) overload path.  The
+    lossy variant just closes the connection: no response, no ledger
+    disposition, and the client burns its receive deadline waiting for
+    a byte that never comes.  The clean variant rejects explicitly
+    (``BUSY`` + ``net-shed``), which is the whole difference between a
+    lost request and load shedding.
+    """
+    PORT = 9100 if lossy else 9101
+    TOTAL = 4
+
+    def main():
+        from repro.kernel.signals import SIG_IGN, Sig
+        yield from unistd.sigaction(int(Sig.SIGPIPE), SIG_IGN)
+        yield from threads.thread_setconcurrency(2)
+
+        def server(_):
+            lfd = yield from unistd.socket()
+            yield from unistd.bind(lfd, PORT)
+            yield from unistd.listen(lfd, 4)
+            for i in range(TOTAL):
+                conn = yield from unistd.accept(lfd)
+                try:
+                    req = yield from retry.recv_with_deadline(
+                        conn, 16, 20_000.0)
+                except SyscallError:
+                    yield from unistd.close(conn)
+                    continue
+                rid = req.decode()
+                yield from _ledger("net-admit", rid)
+                if i % 2:
+                    # Overload path.  Lossy: hang up, say nothing —
+                    # the ledger never hears of the request again.
+                    if not lossy:
+                        try:
+                            yield from unistd.send(conn, b"BUSY")
+                        except SyscallError:
+                            pass
+                        yield from _ledger("net-shed", rid,
+                                           reason="overload")
+                    yield from unistd.close(conn)
+                    continue
+                ok = True
+                try:
+                    yield from unistd.send(conn, b"OK:" + req)
+                except SyscallError:
+                    ok = False
+                yield from unistd.close(conn)
+                yield from _ledger("net-serve", rid, ok=ok)
+            yield from unistd.close(lfd)
+
+        def client(_):
+            policy = retry.RetryPolicy(
+                attempts=6, base_usec=100.0,
+                retry_on={Errno.ECONNREFUSED, Errno.EINTR})
+            for r in range(TOTAL):
+                fd = yield from unistd.socket()
+
+                def attempt():
+                    yield from unistd.connect(fd, PORT)
+
+                yield from retry.call_with_retry(
+                    attempt, policy, name=f"corpus-connect/{PORT}")
+                yield from unistd.send(
+                    fd, f"r{r:04d}".encode().ljust(16, b"."))
+                try:
+                    yield from retry.recv_with_deadline(fd, 64, 5_000.0)
+                except SyscallError as err:
+                    if err.errno != Errno.ETIMEDOUT:
+                        raise
+                yield from unistd.close(fd)
+
+        t1 = yield from threads.thread_create(
+            server, 0, flags=threads.THREAD_WAIT)
+        t2 = yield from threads.thread_create(
+            client, 0, flags=threads.THREAD_WAIT)
+        yield from threads.thread_wait(t1)
+        yield from threads.thread_wait(t2)
+    return main
+
+
+def lossy_server():
+    """Admits requests, then drops the overloaded ones on the floor."""
+    return _socket_server(lossy=True)
+
+
 # =====================================================================
 # Clean twins — must stay finding-free under every schedule
 # =====================================================================
+
+
+def clean_socket_server():
+    """lossy_server's twin: overload is an explicit BUSY + net-shed."""
+    return _socket_server(lossy=False)
 
 def clean_counter():
     """racy_counter with the increments under a mutex."""
@@ -285,6 +389,7 @@ BUGGY = {
     "lost_wakeup": (lost_wakeup, {"lost-wakeup"}),
     "sema_underflow": (sema_underflow, {"sema-underflow"}),
     "exit_holding_lock": (exit_holding_lock, {"exit-holding-lock"}),
+    "lossy_server": (lossy_server, {"lost-request"}),
 }
 
 #: name -> rule ids `python -m repro.lint --corpus` must report for the
@@ -304,4 +409,5 @@ CLEAN = {
     "clean_counter": clean_counter,
     "clean_ordered_locks": clean_ordered_locks,
     "clean_queue": clean_queue,
+    "clean_socket_server": clean_socket_server,
 }

@@ -14,7 +14,7 @@ exactly the same transitions as one without (they draw no randomness and
 inject nothing), which is what lets a repro bundle replay findings
 bit-for-bit.
 
-The four detectors:
+The five detectors:
 
 :class:`LocksetDetector`
     Eraser-style lockset discipline checking over shared memory cells.
@@ -35,6 +35,11 @@ The four detectors:
     while holding a mutex/rwlock, and a V that pushes a resource
     semaphore above its initial count (the in-use count underflowed —
     somebody released a unit they never acquired).
+:class:`RequestLedgerDetector`
+    The lost-request invariant for network servers: every request the
+    server *admits* (ledger op ``net-admit``) must be served exactly
+    once (``net-serve``) or explicitly rejected (``net-shed``) — never
+    silently dropped, double-served, or answered without admission.
 
 Known bounds (see ARCHITECTURE.md for the full discussion): the lockset
 detector approximates join ordering by dropping exited threads (false
@@ -538,6 +543,81 @@ class ExitInvariantDetector(Detector):
                     "never acquired (in-use count underflow)")
 
 
+# =====================================================================
+# Request ledger (the lost-request invariant)
+# =====================================================================
+
+class RequestLedgerDetector(Detector):
+    """Audits the server-side request ledger for exactly-once handling.
+
+    Network servers declare their intent through three ledger events
+    (:func:`repro.sync.events.sync_event` with a request ``id``):
+    ``net-admit`` (the request is accepted for processing),
+    ``net-serve`` (a response went out), ``net-shed`` (an explicit
+    rejection went out).  The overload invariant: **every admitted
+    request is served exactly once or explicitly shed** — under
+    backlog overflow, load shedding, injected faults, and adversarial
+    schedules alike.  A request that is admitted and then silently
+    dropped is the bug this detector exists for: the client sees only a
+    timeout, and the loss is invisible to every counter that only
+    measures successes.
+
+    Also flagged: double admission of one id, double disposition
+    (served twice, or served *and* shed), and a response for a request
+    that was never admitted (work the ledger never accounted).  A
+    ``net-shed`` without a prior admit is legal — that is a rejection
+    at the door (backlog RST, admission-control refusal).
+    """
+
+    name = "request-ledger"
+
+    def __init__(self):
+        super().__init__()
+        self.admitted: dict[str, str] = {}   # id -> admitting actor
+        self.disposed: dict[str, str] = {}   # id -> terminal op
+        self.counts = {"net-admit": 0, "net-serve": 0, "net-shed": 0}
+
+    def on_sync(self, ctx, op, sv, detail) -> None:
+        if op not in self.counts:
+            return
+        rid = detail.get("id")
+        if rid is None:
+            return
+        self.counts[op] += 1
+        who = getattr(_actor(ctx), "name", "?")
+        if op == "net-admit":
+            if rid in self.admitted:
+                self.report(
+                    "lost-request", rid,
+                    f"request {rid} admitted twice (first by "
+                    f"{self.admitted[rid]}, again by {who}) — duplicate "
+                    "processing ahead")
+            self.admitted[rid] = who
+            return
+        prev = self.disposed.get(rid)
+        if prev is not None:
+            self.report(
+                "lost-request", rid,
+                f"request {rid} disposed twice ({prev}, then {op} by "
+                f"{who}) — exactly-once violated")
+            return
+        self.disposed[rid] = op
+        if op == "net-serve" and rid not in self.admitted:
+            self.report(
+                "lost-request", rid,
+                f"request {rid} served by {who} but never admitted — "
+                "work the ledger never accounted for")
+
+    def finalize(self, sim) -> None:
+        for rid, who in self.admitted.items():
+            if rid not in self.disposed:
+                self.report(
+                    "lost-request", rid,
+                    f"request {rid} admitted (by {who}) but neither "
+                    "served nor shed — dropped on the floor; the client "
+                    "saw only a timeout")
+
+
 def default_detectors(sim) -> list:
     """The standard detector suite for one run, installed.
 
@@ -552,7 +632,8 @@ def default_detectors(sim) -> list:
     detectors = [LocksetDetector(sim.machine, held=held),
                  LockOrderDetector(),
                  LostWakeupDetector(held=held),
-                 ExitInvariantDetector(held=held)]
+                 ExitInvariantDetector(held=held),
+                 RequestLedgerDetector()]
     for det in detectors:
         det.install(sim)
     return detectors

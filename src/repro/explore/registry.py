@@ -9,8 +9,8 @@ string resolved freshly on the worker — hermetic by construction, since
 every resolution returns a factory that builds new program state.
 
 Reference syntax: ``kind:name`` with kind one of ``buggy``, ``clean``,
-``workload``, ``example``; a bare ``name`` searches all kinds in that
-order.
+``workload``, ``overload``, ``example``; a bare ``name`` searches all
+kinds in that order.
 """
 
 from __future__ import annotations
@@ -39,6 +39,38 @@ def workload_factory(name: str) -> Optional[Callable]:
     return lambda: mod.build()[0]
 
 
+#: Overload scenarios: the network server pushed far past capacity.
+#: Two workers at 2 ms of compute per request serve ~1000 req/s; twelve
+#: clients on a 200 us think time offer several times that, so the
+#: admission queue (limit 4) is saturated for the whole run — every
+#: schedule exercises the shed path, and the request ledger must still
+#: balance.  One scenario per shedding policy plus the
+#: thread-per-connection architecture under its handler cap.
+OVERLOAD_SCENARIOS = {
+    "ov_pool_reject_newest": dict(
+        n_clients=12, requests_per_client=8, n_workers=2,
+        service_compute_usec=2_000.0, client_think_usec=200.0,
+        admission_limit=4, shed="reject-newest"),
+    "ov_pool_shed_oldest": dict(
+        n_clients=12, requests_per_client=8, n_workers=2,
+        service_compute_usec=2_000.0, client_think_usec=200.0,
+        admission_limit=4, shed="oldest"),
+    "ov_thread_per_conn": dict(
+        n_clients=12, requests_per_client=8, n_workers=2,
+        service_compute_usec=2_000.0, client_think_usec=200.0,
+        admission_limit=4, mode="thread-per-conn"),
+}
+
+
+def overload_factory(name: str) -> Optional[Callable]:
+    """Factory for an overload scenario, or None if ``name`` is not one."""
+    params = OVERLOAD_SCENARIOS.get(name)
+    if params is None:
+        return None
+    from repro.workloads import network_server
+    return lambda: network_server.build(**params)[0]
+
+
 def example_factory(name: str) -> Optional[Callable]:
     """Factory for a clean example program (repo ``examples/`` as cwd)."""
     if name != "ex_dining_philosophers" or not os.path.isdir("examples"):
@@ -65,6 +97,10 @@ def resolve(ref: str) -> Callable:
         return corpus.CLEAN[name]
     if kind in ("", "workload"):
         factory = workload_factory(name)
+        if factory is not None:
+            return factory
+    if kind in ("", "overload"):
+        factory = overload_factory(name)
         if factory is not None:
             return factory
     if kind in ("", "example"):

@@ -48,6 +48,10 @@ class Kernel:
         # Channels for kernel-level sleeps on process-shared sync
         # variables, keyed by the shared variable's identity.
         self._shared_channels: dict[int, WaitChannel] = {}
+        # The machine's network layer: port namespace, listen queues,
+        # connection pairing (repro.kernel.net).
+        from repro.kernel.net import Network
+        self.net = Network(self)
         # Active fault-injection plan (repro.sim.faults.FaultPlan); set
         # by FaultPlan.attach().  Consulted once per trapped syscall.
         self.faults = None
@@ -742,9 +746,13 @@ class Kernel:
         blocked peers must learn about it.
         """
         from repro.kernel.fs.vfs import Fifo
+        from repro.kernel.net import Socket
         if of.unref() > 0:
             return
         inode = of.inode
+        if isinstance(inode, Socket):
+            self.net.close_socket(inode)
+            return
         if isinstance(inode, Fifo):
             if of.readable:
                 inode.readers -= 1

@@ -40,7 +40,7 @@ def syscall(name: str):
 
 # Importing the modules populates the registry.
 from repro.kernel.syscalls import (file_calls, lwp_calls, mem_calls,  # noqa: E402,F401
-                                   misc_calls, proc_calls, signal_calls,
-                                   time_calls)
+                                   misc_calls, net_calls, proc_calls,
+                                   signal_calls, time_calls)
 
 __all__ = ["SYSCALLS", "syscall"]

@@ -90,6 +90,7 @@ def sys_profil(ctx, buffer: ProfilingBuffer = None, enable: bool = True):
 def sys_poll(ctx, fd: int):
     """Wait for input on a descriptor — the paper's example of an
     "indefinite, external event" (SIGWAITING territory)."""
+    from repro.kernel.net import Socket
     of = ctx.process.fdtable.get(fd)
     inode = of.inode
     yield Charge(ctx.costs.syscall_service_trivial)
@@ -98,6 +99,15 @@ def sys_poll(ctx, fd: int):
             yield Block(inode.read_channel, interruptible=True,
                         indefinite=True)
         return 1
+    if isinstance(inode, Socket):
+        # Readable = data / EOF / error for connections, a pending
+        # connection for listeners.
+        while not inode.recv_ready():
+            chan = inode.recv_wait_channel()
+            if chan is None:
+                return 1
+            yield Block(chan, interruptible=True, indefinite=True)
+        return 1
     # Everything else in our VFS is always ready.
     return 1
 
@@ -105,10 +115,13 @@ def sys_poll(ctx, fd: int):
 def _readable_now(inode) -> bool:
     """Readiness predicate for select/poll."""
     from repro.kernel.fs.vfs import Fifo, NullDevice, ProcNode, RegularFile
+    from repro.kernel.net import Socket
     if isinstance(inode, TtyDevice):
         return bool(inode.input_buffer)
     if isinstance(inode, Fifo):
         return bool(inode.buffer) or inode.writers == 0
+    if isinstance(inode, Socket):
+        return inode.recv_ready()
     if isinstance(inode, (RegularFile, NullDevice, ProcNode)):
         return True
     return True
@@ -116,10 +129,13 @@ def _readable_now(inode) -> bool:
 
 def _read_channel_of(inode):
     from repro.kernel.fs.vfs import Fifo
+    from repro.kernel.net import Socket
     if isinstance(inode, TtyDevice):
         return inode.read_channel
     if isinstance(inode, Fifo):
         return inode.read_channel
+    if isinstance(inode, Socket):
+        return inode.recv_wait_channel()
     return None
 
 

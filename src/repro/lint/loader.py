@@ -64,8 +64,11 @@ _GEN_API_BY_MODULE = {
         "pause", "gettimeofday", "nanosleep", "sleep_usec", "setitimer",
         "getitimer", "alarm", "getrusage", "setrlimit", "getrlimit",
         "poll", "select", "sched_yield", "uname", "proc_status",
-        "profil", "creat"],
+        "profil", "creat", "socket", "bind", "listen", "accept",
+        "connect", "send", "recv", "shutdown"],
     "repro.runtime.mapped": ["map_shared_file", "map_anon_shared"],
+    "repro.threads.retry": ["call_with_retry", "with_breaker",
+                            "recv_with_deadline"],
     "repro.threads": [
         "threads_lib", "current_thread", "thread_create", "thread_exit",
         "thread_wait", "thread_get_id", "thread_priority",

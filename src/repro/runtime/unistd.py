@@ -22,6 +22,8 @@ __all__ = [
     "sleep_usec", "setitimer", "getitimer", "alarm", "getrusage",
     "setrlimit", "getrlimit", "poll", "select", "sched_yield", "uname",
     "proc_status", "profil", "creat",
+    "socket", "bind", "listen", "accept", "connect", "send", "recv",
+    "shutdown",
 ]
 
 
@@ -93,6 +95,14 @@ sched_yield = _wrap("yield")
 uname = _wrap("uname")
 proc_status = _wrap("proc_status")
 profil = _wrap("profil")
+socket = _wrap("socket")
+bind = _wrap("bind")
+listen = _wrap("listen")
+accept = _wrap("accept")
+connect = _wrap("connect")
+send = _wrap("send")
+recv = _wrap("recv")
+shutdown = _wrap("shutdown")
 
 
 def creat(path: str):

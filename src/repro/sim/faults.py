@@ -18,6 +18,20 @@ Rule kinds:
 * :class:`LwpCrash` — at a virtual time, terminate one LWP mid-run, as
   if the kernel reclaimed it.
 
+Network rules (consulted by :mod:`repro.kernel.syscalls.net_calls` at
+the natural failure points of the simulated socket layer):
+
+* :class:`ConnDrop` — a connect against a matching port is refused
+  (``ECONNREFUSED``) or its SYN silently vanishes (the client waits out
+  a handshake timer, then ``ETIMEDOUT``).
+* :class:`AcceptStall` — an accept on a matching port is delayed before
+  it checks the backlog, modeling a server-side interrupt storm.
+* :class:`PacketDelay` — extra per-transfer latency on ``send``/``recv``
+  (seeded, bounded), modeling a congested path.
+* :class:`PeerReset` — a matching connection is destroyed mid-stream
+  (both endpoints see ``ECONNRESET``), modeling a peer crash or a
+  middlebox RST.
+
 Plans serialize to plain dicts (:meth:`FaultPlan.to_dict` /
 :meth:`FaultPlan.from_dict`) so a schedule can be stored alongside a bug
 report and replayed exactly.
@@ -61,27 +75,24 @@ class FaultRule:
         return cls._from_dict(data)
 
 
-class SyscallFault(FaultRule):
-    """Fail a named system call with an injected errno.
+class SelectedRule(FaultRule):
+    """Shared selection plumbing: which occurrences of an event fault.
 
     Exactly one selection mode applies: ``every`` (deterministic, every
-    Nth call fails) when given, else ``probability`` (each call fails
-    independently, drawn from the plan's seeded stream).  ``max_count``
-    caps total injections; ``skip`` exempts the first N calls (letting a
-    process boot before the storm starts).
+    Nth matching occurrence fails) when given, else ``probability``
+    (each occurrence fails independently, drawn from the plan's seeded
+    stream).  ``max_count`` caps total injections; ``skip`` exempts the
+    first N occurrences (letting a process boot before the storm
+    starts).
     """
 
-    KIND = "syscall"
-
-    def __init__(self, call: str, errno, probability: float = 1.0,
+    def __init__(self, probability: float = 1.0,
                  every: Optional[int] = None,
                  max_count: Optional[int] = None, skip: int = 0):
         if every is not None and every < 1:
             raise SimulationError(f"every must be >= 1, got {every}")
         if not 0.0 <= probability <= 1.0:
             raise SimulationError(f"bad probability {probability}")
-        self.call = call
-        self.errno = _errno_of(errno)
         self.probability = probability
         self.every = every
         self.max_count = max_count
@@ -95,7 +106,7 @@ class SyscallFault(FaultRule):
         self.injected = 0
 
     def decide(self, rng) -> bool:
-        """One call of ``self.call`` happened; inject this time?"""
+        """One matching occurrence happened; inject this time?"""
         self.seen += 1
         if self.seen <= self.skip:
             return False
@@ -109,18 +120,41 @@ class SyscallFault(FaultRule):
             self.injected += 1
         return hit
 
+    def _selection_dict(self) -> dict:
+        return {"probability": self.probability, "every": self.every,
+                "max_count": self.max_count, "skip": self.skip}
+
+    @staticmethod
+    def _selection_kwargs(d: dict) -> dict:
+        return dict(probability=d.get("probability", 1.0),
+                    every=d.get("every"), max_count=d.get("max_count"),
+                    skip=d.get("skip", 0))
+
+
+class SyscallFault(SelectedRule):
+    """Fail a named system call with an injected errno.
+
+    Selection modes are inherited from :class:`SelectedRule` (every-Nth,
+    probability, max_count, skip).
+    """
+
+    KIND = "syscall"
+
+    def __init__(self, call: str, errno, probability: float = 1.0,
+                 every: Optional[int] = None,
+                 max_count: Optional[int] = None, skip: int = 0):
+        super().__init__(probability=probability, every=every,
+                         max_count=max_count, skip=skip)
+        self.call = call
+        self.errno = _errno_of(errno)
+
     def to_dict(self) -> dict:
         return {"kind": self.KIND, "call": self.call,
-                "errno": self.errno.name, "probability": self.probability,
-                "every": self.every, "max_count": self.max_count,
-                "skip": self.skip}
+                "errno": self.errno.name, **self._selection_dict()}
 
     @classmethod
     def _from_dict(cls, d: dict) -> "SyscallFault":
-        return cls(d["call"], d["errno"],
-                   probability=d.get("probability", 1.0),
-                   every=d.get("every"), max_count=d.get("max_count"),
-                   skip=d.get("skip", 0))
+        return cls(d["call"], d["errno"], **cls._selection_kwargs(d))
 
 
 class PageFaultStorm(FaultRule):
@@ -253,8 +287,161 @@ class LwpCrash(FaultRule):
         return cls(d["at_usec"], pid=d.get("pid"), lwp_id=d.get("lwp_id"))
 
 
+# =====================================================================
+# Network rules (the simulated socket layer, repro.kernel.net)
+# =====================================================================
+
+class ConnDrop(SelectedRule):
+    """Drop or refuse connects against a matching port.
+
+    ``mode="refuse"`` is the immediate RST (``ECONNREFUSED``) a dead
+    server answers with; ``mode="timeout"`` is the silently vanished SYN
+    — the client waits out ``timeout_usec`` of handshake timer and gets
+    ``ETIMEDOUT``.  ``port=None`` matches every port.
+    """
+
+    KIND = "conn-drop"
+    MODES = ("refuse", "timeout")
+
+    def __init__(self, port: Optional[int] = None, mode: str = "refuse",
+                 timeout_usec: float = 3_000.0, probability: float = 1.0,
+                 every: Optional[int] = None,
+                 max_count: Optional[int] = None, skip: int = 0):
+        super().__init__(probability=probability, every=every,
+                         max_count=max_count, skip=skip)
+        if mode not in self.MODES:
+            raise SimulationError(f"bad ConnDrop mode {mode!r}")
+        if timeout_usec < 0:
+            raise SimulationError(f"negative timeout {timeout_usec}")
+        self.port = port
+        self.mode = mode
+        self.timeout_usec = timeout_usec
+
+    def matches(self, port: int) -> bool:
+        return self.port is None or self.port == port
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "port": self.port, "mode": self.mode,
+                "timeout_usec": self.timeout_usec,
+                **self._selection_dict()}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "ConnDrop":
+        return cls(port=d.get("port"), mode=d.get("mode", "refuse"),
+                   timeout_usec=d.get("timeout_usec", 3_000.0),
+                   **cls._selection_kwargs(d))
+
+
+class AcceptStall(SelectedRule):
+    """Stall an accept on a matching port for ``stall_usec`` before it
+    looks at the backlog — a server-side interrupt storm or overloaded
+    acceptor.  The connections keep queueing meanwhile, so a stall under
+    offered load converts directly into backlog pressure."""
+
+    KIND = "accept-stall"
+
+    def __init__(self, port: Optional[int] = None,
+                 stall_usec: float = 2_000.0, probability: float = 1.0,
+                 every: Optional[int] = None,
+                 max_count: Optional[int] = None, skip: int = 0):
+        super().__init__(probability=probability, every=every,
+                         max_count=max_count, skip=skip)
+        if stall_usec < 0:
+            raise SimulationError(f"negative stall {stall_usec}")
+        self.port = port
+        self.stall_usec = stall_usec
+
+    def matches(self, port: int) -> bool:
+        return self.port is None or self.port == port
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "port": self.port,
+                "stall_usec": self.stall_usec, **self._selection_dict()}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "AcceptStall":
+        return cls(port=d.get("port"),
+                   stall_usec=d.get("stall_usec", 2_000.0),
+                   **cls._selection_kwargs(d))
+
+
+class PacketDelay(SelectedRule):
+    """Extra per-transfer latency on matching socket I/O.
+
+    ``op`` is ``"send"``, ``"recv"``, or ``"*"``; each selected transfer
+    is charged a seeded uniform delay in ``[0, max_usec]``.  Models a
+    congested or lossy path (the retransmissions, not the loss itself —
+    loss that kills the connection is :class:`PeerReset`).
+    """
+
+    KIND = "packet-delay"
+    OPS = ("send", "recv", "*")
+
+    def __init__(self, op: str = "*", max_usec: float = 1_000.0,
+                 probability: float = 1.0, every: Optional[int] = None,
+                 max_count: Optional[int] = None, skip: int = 0):
+        super().__init__(probability=probability, every=every,
+                         max_count=max_count, skip=skip)
+        if op not in self.OPS:
+            raise SimulationError(f"bad PacketDelay op {op!r}")
+        if max_usec < 0:
+            raise SimulationError(f"negative delay {max_usec}")
+        self.op = op
+        self.max_usec = max_usec
+
+    def matches(self, op: str) -> bool:
+        return self.op == "*" or self.op == op
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "op": self.op,
+                "max_usec": self.max_usec, **self._selection_dict()}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "PacketDelay":
+        return cls(op=d.get("op", "*"), max_usec=d.get("max_usec", 1_000.0),
+                   **cls._selection_kwargs(d))
+
+
+class PeerReset(SelectedRule):
+    """Destroy a matching connection mid-stream (RST both endpoints).
+
+    ``op`` selects which transfer direction triggers the reset
+    (``"send"``, ``"recv"``, or ``"*"``); ``pattern`` is an fnmatch glob
+    over the acting socket's name (``sock:<pid>.<n>`` client side,
+    ``sock:<port>#c<n>`` server side), so a plan can target one half of
+    the conversation.
+    """
+
+    KIND = "peer-reset"
+    OPS = ("send", "recv", "*")
+
+    def __init__(self, op: str = "*", pattern: str = "*",
+                 probability: float = 1.0, every: Optional[int] = None,
+                 max_count: Optional[int] = None, skip: int = 0):
+        super().__init__(probability=probability, every=every,
+                         max_count=max_count, skip=skip)
+        if op not in self.OPS:
+            raise SimulationError(f"bad PeerReset op {op!r}")
+        self.op = op
+        self.pattern = pattern
+
+    def matches(self, op: str, sock_name: str) -> bool:
+        return ((self.op == "*" or self.op == op)
+                and fnmatch.fnmatch(sock_name, self.pattern))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "op": self.op, "pattern": self.pattern,
+                **self._selection_dict()}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "PeerReset":
+        return cls(op=d.get("op", "*"), pattern=d.get("pattern", "*"),
+                   **cls._selection_kwargs(d))
+
+
 _RULE_KINDS = {cls.KIND: cls for cls in
-               (SyscallFault, PageFaultStorm, TimerJitter, LwpCrash)}
+               (SyscallFault, PageFaultStorm, TimerJitter, LwpCrash,
+                ConnDrop, AcceptStall, PacketDelay, PeerReset)}
 
 
 class FaultPlan:
@@ -324,6 +511,54 @@ class FaultPlan:
             if isinstance(rule, TimerJitter):
                 total += rule.jitter_ns(self.rng("jitter"))
         return total
+
+    # -------------------------------------------- network consultations
+
+    def net_connect_fault(self, port: int) -> Optional[ConnDrop]:
+        """Called by connect(2): the ConnDrop rule firing on this call,
+        or None.  The caller turns it into ECONNREFUSED or a handshake
+        timeout per ``rule.mode``."""
+        for rule in self.rules:
+            if isinstance(rule, ConnDrop) and rule.matches(port):
+                if rule.decide(self.rng("net/conn-drop")):
+                    self.note(self.kernel, "conn-drop", f"port:{port}",
+                              mode=rule.mode)
+                    return rule
+        return None
+
+    def net_accept_stall_ns(self, port: int) -> int:
+        """Called by accept(2): total injected stall before the backlog
+        check (0 when no rule fires)."""
+        total = 0
+        for rule in self.rules:
+            if isinstance(rule, AcceptStall) and rule.matches(port):
+                if rule.decide(self.rng("net/accept-stall")):
+                    total += usec(rule.stall_usec)
+        if total:
+            self.note(self.kernel, "accept-stall", f"port:{port}",
+                      stall_ns=total)
+        return total
+
+    def net_io_delay_ns(self, op: str) -> int:
+        """Called per send/recv transfer: extra latency to charge."""
+        total = 0
+        for rule in self.rules:
+            if isinstance(rule, PacketDelay) and rule.matches(op):
+                if rule.decide(self.rng("net/packet-delay")):
+                    total += self.rng("net/packet-delay").randint(
+                        0, usec(rule.max_usec))
+        if total:
+            self.note(self.kernel, "packet-delay", op, delay_ns=total)
+        return total
+
+    def net_peer_reset(self, op: str, sock_name: str) -> bool:
+        """Called per send/recv: destroy this connection now?"""
+        for rule in self.rules:
+            if isinstance(rule, PeerReset) and rule.matches(op, sock_name):
+                if rule.decide(self.rng("net/peer-reset")):
+                    self.note(self.kernel, "peer-reset", sock_name, op=op)
+                    return True
+        return False
 
     # ------------------------------------------------------ serialization
 

@@ -10,6 +10,7 @@ a downstream user reaches for first.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Optional
 
 from repro.errors import SyncError
@@ -69,7 +70,7 @@ class BoundedQueue:
         self.capacity = capacity
         self.name = name
         self.sentinel = sentinel
-        self._items: list = []
+        self._items: deque = deque()
         self._m = Mutex(name=f"{name}.m")
         self._not_full = CondVar(name=f"{name}.nf")
         self._not_empty = CondVar(name=f"{name}.ne")
@@ -104,7 +105,7 @@ class BoundedQueue:
             self.get_blocks += 1
             yield from self._not_empty.wait(self._m)
         if self._items:
-            item = self._items.pop(0)
+            item = self._items.popleft()
             self.gets += 1
             yield from self._not_full.signal()
             yield from self._m.exit()

@@ -1,123 +1,326 @@
-"""The network-server workload.
+"""The network-server workload, on real (simulated) sockets.
 
 "A network server may indirectly need its own service (and therefore
 another thread of control) to handle requests."  Clients in separate
-processes write requests into a FIFO; the server's acceptor thread reads
-them and hands each to a worker thread, which performs file I/O plus
-computation and appends a response to a results file.  Because workers
-block in the kernel (file reads), the LWP pool must grow via SIGWAITING
-for the server to stay responsive — the deadlock-avoidance machinery
-exercised end to end.
+processes connect to the server's listening socket (one connection per
+request attempt), send a fixed-size request, and wait — with deadlines
+and seeded-jitter backoff from :mod:`repro.threads.retry` — for the
+response.  The server offers two architectures:
+
+* ``mode="pool"`` (default): a bound-LWP worker pool behind a bounded
+  admission queue.  The acceptor reads each request and either admits
+  it, sheds the *oldest* queued request to make room (``shed="oldest"``)
+  or refuses the newcomer with a ``BUSY`` response
+  (``shed="reject-newest"``) — the degradation ladder's last rung, and
+  always an *explicit* rejection the client can act on.
+* ``mode="thread-per-conn"``: the paper's flagship — an unbound thread
+  per connection, LWP pool growing via SIGWAITING as handlers block in
+  the kernel, with admission as a cap on concurrent handlers.
+
+Every admitted request is accounted for on a ledger
+(:func:`repro.sync.events.sync_event` ops ``net-admit`` /
+``net-serve`` / ``net-shed``), which the explorer's lost-request
+detector audits: admitted exactly once implies served exactly once or
+explicitly shed — under overload, faults, and adversarial schedules.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
-from repro.kernel.fs.file import O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
+from repro.errors import Errno, SyscallError
+from repro.hw.isa import GetContext
+from repro.kernel.fs.file import O_CREAT, O_RDWR
 from repro.runtime import libc, unistd
 from repro.sync import CondVar, Mutex
+from repro.sync.events import sync_event
 from repro.threads import api as threads
+from repro.threads import retry
 
 REQUEST_SIZE = 16
+PORT = 7000
+BUSY = b"BUSY"
+
+
+def _payload(cid: int, req: int, attempt: int) -> bytes:
+    """One request id: unique per (client, request, attempt) so the
+    ledger can hold every attempt to exactly-once accounting."""
+    return f"c{cid:02d}r{req:04d}a{attempt:02d}".encode().ljust(
+        REQUEST_SIZE, b".")
+
+
+def _note(op: str, rid: str, **detail):
+    """Generator: emit one ledger event (free when nobody listens)."""
+    ctx = yield GetContext()
+    sync_event(ctx, op, None, id=rid, **detail)
 
 
 def build(n_clients: int = 3, requests_per_client: int = 10,
           n_workers: int = 4,
           service_compute_usec: float = 300.0,
-          client_think_usec: float = 1_000.0) -> tuple[Callable, dict]:
+          client_think_usec: float = 1_000.0,
+          mode: str = "pool",
+          backlog: int = 8,
+          admission_limit: int = 32,
+          shed: str = "reject-newest",
+          client_attempts: int = 8,
+          reply_deadline_usec: float = 200_000.0,
+          port: int = PORT) -> tuple[Callable, dict]:
     """Build the server program (it forks its own client processes)."""
+    if mode not in ("pool", "thread-per-conn"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if shed not in ("reject-newest", "oldest"):
+        raise ValueError(f"unknown shed policy {shed!r}")
     results: dict = {}
-    total_requests = n_clients * requests_per_client
+    stats = {"admitted": 0, "served": 0, "shed": 0, "latency_ns": 0,
+             "client_ok": 0, "client_giveups": 0, "client_retries": 0}
+
+    # ------------------------------------------------------------ client
 
     def client(client_id: int):
-        fd = yield from unistd.open("/tmp/server.fifo", O_WRONLY)
-        for i in range(requests_per_client):
+        policy = retry.RetryPolicy(
+            attempts=client_attempts, base_usec=300.0, factor=2.0,
+            max_delay_usec=10_000.0,
+            retry_on={Errno.ECONNREFUSED, Errno.ETIMEDOUT,
+                      Errno.ECONNRESET, Errno.EAGAIN, Errno.EINTR})
+        from repro.kernel.signals import SIG_IGN, Sig
+        yield from unistd.sigaction(int(Sig.SIGPIPE), SIG_IGN)
+        ctx = yield GetContext()
+        rng = ctx.engine.rng.stream(f"netclient/{client_id}")
+        for req in range(requests_per_client):
             yield from unistd.sleep_usec(client_think_usec)
-            payload = f"c{client_id:03d}r{i:06d}".encode().ljust(
-                REQUEST_SIZE, b".")
-            yield from unistd.write(fd, payload)
-        yield from unistd.close(fd)
+            for attempt in range(client_attempts):
+                if attempt:
+                    stats["client_retries"] += 1
+                    yield from unistd.sleep_usec(
+                        policy.delay_usec(attempt, rng))
+                fd = yield from unistd.socket()
+                resp = None
+                try:
+                    yield from unistd.connect(fd, port)
+                    yield from unistd.send(
+                        fd, _payload(client_id, req, attempt))
+                    resp = yield from retry.recv_with_deadline(
+                        fd, 64, reply_deadline_usec)
+                except SyscallError as err:
+                    if err.errno not in policy.retry_on and \
+                            err.errno != Errno.EPIPE:
+                        raise
+                finally:
+                    yield from unistd.close(fd)
+                if resp and resp.startswith(b"OK:"):
+                    stats["client_ok"] += 1
+                    break
+                # BUSY, EOF, reset, refused, or timed out: try again.
+            else:
+                stats["client_giveups"] += 1
+
+    # ------------------------------------------------- server: the pool
+
+    def reject(conn: int, rid: str, reason: str):
+        """Explicitly shed one request: tell the client, close, ledger."""
+        stats["shed"] += 1
+        try:
+            yield from unistd.send(conn, BUSY)
+        except SyscallError:
+            pass  # client already gone; the shed is still explicit
+        yield from unistd.close(conn)
+        yield from _note("net-shed", rid, reason=reason)
+        ctx = yield GetContext()
+        m = ctx.engine.metrics
+        if m is not None:
+            m.count("server.shed")
+
+    def read_request(conn: int):
+        """Read one fixed-size request; None on EOF/reset/timeout."""
+        data = b""
+        while len(data) < REQUEST_SIZE:
+            try:
+                chunk = yield from retry.recv_with_deadline(
+                    conn, REQUEST_SIZE - len(data), 50_000.0)
+            except SyscallError:
+                return None
+            if not chunk:
+                return None
+            data += chunk
+        return data
+
+    def serve(conn: int, rid: str, enq_ns: int, datafd: int):
+        """The service: read the "database", compute, respond."""
+        yield from unistd.lseek(datafd, 0)
+        yield from unistd.read(datafd, 512)
+        yield from libc.compute(service_compute_usec)
+        ok = True
+        try:
+            yield from unistd.send(conn, b"OK:" + rid.encode())
+        except SyscallError:
+            ok = False  # client gave up first; served all the same
+        yield from unistd.close(conn)
+        now = yield from unistd.gettimeofday()
+        stats["served"] += 1
+        stats["latency_ns"] += now - enq_ns
+        yield from _note("net-serve", rid, ok=ok)
+        ctx = yield GetContext()
+        m = ctx.engine.metrics
+        if m is not None:
+            m.count("server.served")
+            m.sample("server.latency_usec", (now - enq_ns) // 1000)
 
     def main():
-        yield from unistd.mkfifo("/tmp/server.fifo")
+        # A server that writes to clients that may hang up must not die
+        # on the first disappointment.
+        from repro.kernel.signals import SIG_IGN, Sig
+        yield from unistd.sigaction(int(Sig.SIGPIPE), SIG_IGN)
         datafd = yield from unistd.open("/tmp/server.data",
                                         O_CREAT | O_RDWR)
         yield from unistd.write(datafd, b"x" * 4096)
 
-        # Work queue feeding the worker pool.
-        queue: list = []
+        lfd = yield from unistd.socket()
+        yield from unistd.bind(lfd, port)
+        yield from unistd.listen(lfd, backlog)
+
+        # Admission queue feeding the worker pool (pool mode).
+        queue: deque = deque()
         qmutex = Mutex(name="srv.qm")
         qcv = CondVar(name="srv.qcv")
-        stats = {"served": 0, "latency_ns": 0}
+        # Concurrent-handler cap (thread-per-conn mode).
+        active = {"handlers": 0}
 
         def worker(_):
             while True:
                 yield from qmutex.enter()
                 while not queue:
                     yield from qcv.wait(qmutex)
-                item = queue.pop(0)
+                item = queue.popleft()
                 yield from qmutex.exit()
                 if item is None:
                     return
-                request, enq_ns = item
-                # Service: read the "database", compute, log the result.
-                yield from unistd.lseek(datafd, 0)
-                yield from unistd.read(datafd, 512)
-                yield from libc.compute(service_compute_usec)
+                conn, rid, enq_ns = item
+                yield from serve(conn, rid, enq_ns, datafd)
+
+        def handler(conn):
+            rid_raw = yield from read_request(conn)
+            if rid_raw is None:
+                yield from unistd.close(conn)
+                return
+            rid = rid_raw.decode()
+            yield from qmutex.enter()
+            over = active["handlers"] >= admission_limit
+            if not over:
+                active["handlers"] += 1
+            yield from qmutex.exit()
+            if over:
+                yield from reject(conn, rid, "handler-cap")
+                return
+            now = yield from unistd.gettimeofday()
+            stats["admitted"] += 1
+            yield from _note("net-admit", rid, mode=mode)
+            yield from serve(conn, rid, now, datafd)
+            yield from qmutex.enter()
+            active["handlers"] -= 1
+            yield from qmutex.exit()
+
+        def acceptor(_):
+            handler_tids = []
+            while True:
+                try:
+                    conn = yield from unistd.accept(lfd)
+                except SyscallError as err:
+                    if err.errno == Errno.EINTR:
+                        continue  # a sibling LWP forked a client
+                    if err.errno in (Errno.ECONNABORTED, Errno.EBADF):
+                        break  # main closed the listener: shift over
+                    raise
+                m = (yield GetContext()).engine.metrics
+                if m is not None:
+                    m.count("server.accepts")
+                if mode == "thread-per-conn":
+                    tid = yield from threads.thread_create(
+                        handler, conn, flags=threads.THREAD_WAIT)
+                    handler_tids.append(tid)
+                    continue
+                rid_raw = yield from read_request(conn)
+                if rid_raw is None:
+                    yield from unistd.close(conn)
+                    continue
+                rid = rid_raw.decode()
                 now = yield from unistd.gettimeofday()
-                stats["served"] += 1
-                stats["latency_ns"] += now - enq_ns
+                # The admit ledger event goes out *before* the request
+                # becomes visible to workers (still under the queue
+                # mutex), so no schedule can serve an unadmitted id.
+                yield from qmutex.enter()
+                if len(queue) >= admission_limit:
+                    if shed == "oldest":
+                        old = queue.popleft()
+                        stats["admitted"] += 1
+                        yield from _note("net-admit", rid, mode=mode)
+                        queue.append((conn, rid, now))
+                        yield from qcv.signal()
+                        yield from qmutex.exit()
+                        yield from reject(old[0], old[1], "shed-oldest")
+                    else:
+                        yield from qmutex.exit()
+                        yield from reject(conn, rid, "reject-newest")
+                    continue
+                stats["admitted"] += 1
+                yield from _note("net-admit", rid, mode=mode)
+                queue.append((conn, rid, now))
+                yield from qcv.signal()
+                yield from qmutex.exit()
+            for tid in handler_tids:
+                yield from threads.thread_wait(tid)
 
         worker_tids = []
-        for _ in range(n_workers):
-            tid = yield from threads.thread_create(
-                worker, None, flags=threads.THREAD_WAIT)
-            worker_tids.append(tid)
+        if mode == "pool":
+            for _ in range(n_workers):
+                tid = yield from threads.thread_create(
+                    worker, None,
+                    flags=threads.THREAD_WAIT | threads.THREAD_NEW_LWP)
+                worker_tids.append(tid)
+        else:
+            # Thread-per-connection: handlers are unbound, so give the
+            # pool enough LWPs up front (the paper's
+            # thread_setconcurrency hint); SIGWAITING still grows it
+            # when every one of these blocks in the kernel at once.
+            yield from threads.thread_setconcurrency(n_workers + 1)
+        acceptor_tid = yield from threads.thread_create(
+            acceptor, None,
+            flags=threads.THREAD_WAIT | threads.THREAD_NEW_LWP)
 
-        # Fork the clients.
+        start = yield from unistd.gettimeofday()
         pids = []
         for c in range(n_clients):
             pid = yield from unistd.fork1(client, c)
             pids.append(pid)
+        for pid in pids:
+            yield from unistd.waitpid(pid)
 
-        # Acceptor loop (this thread): read fixed-size requests.
-        fiford = yield from unistd.open("/tmp/server.fifo", O_RDONLY)
-        start = yield from unistd.gettimeofday()
-        received = 0
-        buffered = b""
-        while received < total_requests:
-            data = yield from unistd.read(fiford, REQUEST_SIZE)
-            if not data:
-                break
-            buffered += data
-            while len(buffered) >= REQUEST_SIZE:
-                request, buffered = (buffered[:REQUEST_SIZE],
-                                     buffered[REQUEST_SIZE:])
-                received += 1
-                now = yield from unistd.gettimeofday()
-                yield from qmutex.enter()
-                queue.append((request, now))
-                yield from qcv.signal()
-                yield from qmutex.exit()
-
-        # Drain and stop the pool.
+        # Clients are done: retire the listener (the acceptor's pending
+        # accept aborts), then drain and poison the pool.  Queued,
+        # already-admitted requests are served before the poison —
+        # FIFO order guarantees no admitted request is ever dropped.
+        yield from unistd.close(lfd)
+        yield from threads.thread_wait(acceptor_tid)
         yield from qmutex.enter()
-        for _ in range(n_workers):
+        for _ in worker_tids:
             queue.append(None)
         yield from qcv.broadcast()
         yield from qmutex.exit()
         for tid in worker_tids:
             yield from threads.thread_wait(tid)
         end = yield from unistd.gettimeofday()
+        yield from unistd.close(datafd)
 
-        for pid in pids:
-            yield from unistd.waitpid(pid)
-
-        from repro.hw.isa import GetContext
         ctx = yield GetContext()
-        results["received"] = received
+        results["received"] = stats["admitted"]
         results["served"] = stats["served"]
+        results["shed"] = stats["shed"]
+        results["client_ok"] = stats["client_ok"]
+        results["client_giveups"] = stats["client_giveups"]
+        results["client_retries"] = stats["client_retries"]
+        results["backlog_drops"] = ctx.kernel.net.backlog_drops
+        results["resets"] = ctx.kernel.net.resets
         results["elapsed_usec"] = (end - start) / 1000.0
         results["avg_latency_usec"] = (
             stats["latency_ns"] / stats["served"] / 1000.0

@@ -14,6 +14,7 @@ read ``results`` afterwards.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
 from repro.hw.isa import GetContext
@@ -30,7 +31,7 @@ class Widget:
         self.index = index
         self.mutex = Mutex(name=f"w{index}.m")
         self.cv = CondVar(name=f"w{index}.cv")
-        self.events: list = []
+        self.events: deque = deque()
         self.processed = 0
 
 
@@ -67,7 +68,7 @@ def build(n_widgets: int = 100, n_events: int = 500,
                 yield from widget.mutex.enter()
                 while not widget.events:
                     yield from widget.cv.wait(widget.mutex)
-                stamp = widget.events.pop(0)
+                stamp = widget.events.popleft()
                 yield from widget.mutex.exit()
                 if stamp is None:  # shutdown
                     return

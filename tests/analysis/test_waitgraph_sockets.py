@@ -1,0 +1,61 @@
+"""Socket-wait attribution in the hang report.
+
+An LWP parked in ``accept``/``recv`` used to show only its raw wait
+channel; the report now carries the network-side story from
+``kernel.net.annotate_channel`` — which port, connection state, peer
+endpoint and owning pid, bytes buffered — so a hung server names its
+culprit instead of just its symptom.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.runtime import unistd
+from tests.conftest import run_program
+
+PORT = 6200
+
+
+class TestSocketAnnotations:
+    def test_hung_accept_names_port_and_backlog(self):
+        def main():
+            lfd = yield from unistd.socket()
+            yield from unistd.bind(lfd, PORT)
+            yield from unistd.listen(lfd, 4)
+            yield from unistd.accept(lfd)    # nobody ever connects
+
+        with pytest.raises(DeadlockError) as exc:
+            run_program(main)
+        report = str(exc.value)
+        assert f"listening on port {PORT}" in report
+        assert "backlog 0/4" in report
+        assert "0 accepted" in report
+
+    def test_hung_recv_names_the_peer(self):
+        def main():
+            lfd = yield from unistd.socket()
+            yield from unistd.bind(lfd, PORT)
+            yield from unistd.listen(lfd, 4)
+            fd = yield from unistd.socket()
+            yield from unistd.connect(fd, PORT)
+            yield from unistd.accept(lfd)
+            yield from unistd.recv(fd, 16)   # peer never sends
+
+        with pytest.raises(DeadlockError) as exc:
+            run_program(main)
+        report = str(exc.value)
+        assert "established connection" in report
+        assert f"peer sock:{PORT}#c1" in report
+        assert "0B buffered" in report
+
+    def test_non_socket_hangs_are_unannotated(self):
+        from repro.sync import Mutex
+
+        def main():
+            m = Mutex(name="m")
+            yield from m.enter()
+            yield from m.enter()             # self-deadlock
+
+        with pytest.raises(DeadlockError) as exc:
+            run_program(main)
+        assert "[" not in str(exc.value).split("===")[0]

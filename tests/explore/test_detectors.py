@@ -72,3 +72,81 @@ class TestWorkloadsClean:
                              program=module_name, run_index=k,
                              seed=1 + k, schedule_dict=plan)
             assert not result.failed, result.summary()
+
+
+class TestRequestLedger:
+    """Unit coverage for the lost-request detector: each violation class
+    is triggered by a minimal ledger-event program."""
+
+    @staticmethod
+    def _run_ledger(ops):
+        """Run a program that replays ``ops`` = [(op, rid), ...]."""
+        from repro.hw.isa import GetContext
+        from repro.sync.events import sync_event
+
+        def factory():
+            def main():
+                ctx = yield GetContext()
+                for op, rid in ops:
+                    sync_event(ctx, op, None, id=rid)
+            return main
+
+        return run_one(factory, program="ledger")
+
+    def test_admit_then_serve_is_clean(self):
+        result = self._run_ledger([("net-admit", "r1"),
+                                   ("net-serve", "r1")])
+        assert not result.findings
+
+    def test_admit_then_shed_is_clean(self):
+        result = self._run_ledger([("net-admit", "r1"),
+                                   ("net-shed", "r1")])
+        assert not result.findings
+
+    def test_shed_without_admit_is_legal(self):
+        # Rejection at the door (backlog RST, admission refusal).
+        result = self._run_ledger([("net-shed", "r1")])
+        assert not result.findings
+
+    def test_serve_without_admit_is_flagged(self):
+        result = self._run_ledger([("net-serve", "r1")])
+        kinds = {f.kind for f in result.findings}
+        assert kinds == {"lost-request"}
+        assert "never admitted" in result.findings[0].message
+
+    def test_admit_without_disposition_is_flagged(self):
+        result = self._run_ledger([("net-admit", "r1"),
+                                   ("net-admit", "r2"),
+                                   ("net-serve", "r2")])
+        msgs = [f.message for f in result.findings
+                if f.kind == "lost-request"]
+        assert len(msgs) == 1
+        assert "r1" in msgs[0] and "dropped on the floor" in msgs[0]
+
+    def test_double_admit_is_flagged(self):
+        result = self._run_ledger([("net-admit", "r1"),
+                                   ("net-admit", "r1"),
+                                   ("net-serve", "r1")])
+        assert any("admitted twice" in f.message
+                   for f in result.findings)
+
+    def test_double_disposition_is_flagged(self):
+        result = self._run_ledger([("net-admit", "r1"),
+                                   ("net-serve", "r1"),
+                                   ("net-shed", "r1")])
+        assert any("disposed twice" in f.message
+                   for f in result.findings)
+
+    def test_events_without_ids_are_ignored(self):
+        from repro.hw.isa import GetContext
+        from repro.sync.events import sync_event
+
+        def factory():
+            def main():
+                ctx = yield GetContext()
+                sync_event(ctx, "net-admit", None)
+                sync_event(ctx, "net-serve", None, id=None)
+            return main
+
+        result = run_one(factory, program="ledger")
+        assert not result.findings

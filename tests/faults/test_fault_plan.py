@@ -82,6 +82,8 @@ class TestSyscallFault:
 
 class TestSerialization:
     def test_round_trip_all_rule_kinds(self):
+        from repro.sim.faults import (AcceptStall, ConnDrop, PacketDelay,
+                                      PeerReset)
         plan = FaultPlan([
             SyscallFault("lwp_create", "EAGAIN", probability=0.25,
                          max_count=10, skip=3),
@@ -89,10 +91,18 @@ class TestSerialization:
             PageFaultStorm(2_000.0, pattern="file:*"),
             TimerJitter(500.0, probability=0.9),
             LwpCrash(10_000.0, pid=1, lwp_id=2),
+            ConnDrop(port=7000, mode="timeout", timeout_usec=5_000.0,
+                     probability=0.5, skip=1),
+            AcceptStall(port=None, stall_usec=1_500.0, every=4),
+            PacketDelay(op="recv", max_usec=750.0, probability=0.3),
+            PeerReset(op="send", pattern="sock:7000#*", max_count=2),
         ])
         data = plan.to_dict()
         rebuilt = FaultPlan.from_dict(data)
         assert rebuilt.to_dict() == data
+        # Every rule kind in the registry is covered by this round trip.
+        from repro.sim.faults import _RULE_KINDS
+        assert {r["kind"] for r in data["rules"]} == set(_RULE_KINDS)
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(SimulationError):

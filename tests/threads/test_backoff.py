@@ -1,0 +1,120 @@
+"""Unit tests for the shared EAGAIN backoff loop (repro.threads.backoff).
+
+The schedule is pure virtual time, so the tests can assert the *exact*
+capped-exponential delay sequence by timestamping each attempt.
+"""
+
+import pytest
+
+from repro.errors import Errno, LwpExhausted, SyscallError
+from repro.runtime import unistd
+from repro.threads import backoff
+from tests.conftest import run_program
+
+
+def _flaky(fails: int, stamps: list):
+    """Attempt factory failing EAGAIN ``fails`` times, stamping each try."""
+    state = {"calls": 0}
+
+    def attempt():
+        now = yield from unistd.gettimeofday()
+        stamps.append(now)
+        state["calls"] += 1
+        if state["calls"] <= fails:
+            raise SyscallError(Errno.EAGAIN, "flaky")
+        return state["calls"]
+
+    return attempt
+
+
+class TestRetryOnEagain:
+    def test_returns_value_after_transient_failures(self):
+        got, stamps = {}, []
+
+        def main():
+            got["value"] = yield from backoff.retry_on_eagain(
+                _flaky(3, stamps), attempts=6)
+
+        run_program(main)
+        assert got["value"] == 4
+        assert len(stamps) == 4
+
+    def test_delay_sequence_doubles_up_to_cap(self):
+        stamps = []
+
+        def main():
+            yield from backoff.retry_on_eagain(
+                _flaky(5, stamps), attempts=8, base_usec=100.0,
+                factor=2.0, max_delay_usec=400.0)
+
+        run_program(main)
+        # Five retries: 100, 200, 400, 400, 400 us (capped).  Each gap
+        # also carries a constant syscall-service overhead, so assert on
+        # the *differences* between consecutive gaps, which cancel it.
+        gaps = [(b - a) / 1000.0 for a, b in zip(stamps, stamps[1:])]
+        assert gaps[0] >= 100.0
+        deltas = [round(b - a) for a, b in zip(gaps, gaps[1:])]
+        assert deltas == [100, 200, 0, 0]
+
+    def test_budget_exhaustion_raises_the_last_eagain(self):
+        stamps = []
+
+        def main():
+            with pytest.raises(SyscallError) as exc:
+                yield from backoff.retry_on_eagain(
+                    _flaky(99, stamps), attempts=3)
+            assert exc.value.errno == Errno.EAGAIN
+
+        run_program(main)
+        assert len(stamps) == 3
+
+    def test_non_eagain_propagates_immediately(self):
+        stamps = []
+
+        def attempt():
+            now = yield from unistd.gettimeofday()
+            stamps.append(now)
+            raise SyscallError(Errno.EINVAL, "broken")
+
+        def main():
+            with pytest.raises(SyscallError) as exc:
+                yield from backoff.retry_on_eagain(attempt, attempts=5)
+            assert exc.value.errno == Errno.EINVAL
+
+        run_program(main)
+        assert len(stamps) == 1
+
+    def test_on_retry_hook_sees_one_based_counts(self):
+        seen = []
+
+        def main():
+            yield from backoff.retry_on_eagain(
+                _flaky(3, []), attempts=6,
+                on_retry=lambda n: seen.append(n))
+
+        run_program(main)
+        assert seen == [1, 2, 3]
+
+    def test_unbounded_mode_retries_until_success(self):
+        got = {}
+
+        def main():
+            got["value"] = yield from backoff.retry_on_eagain(
+                _flaky(20, []), attempts=None, base_usec=10.0)
+
+        run_program(main)
+        assert got["value"] == 21
+
+
+class TestLwpCreateBackoff:
+    def test_exhaustion_is_typed(self):
+        from repro import FaultPlan, SyscallFault
+
+        def main():
+            with pytest.raises(LwpExhausted):
+                yield from backoff.lwp_create_backoff(
+                    attempts=3, base_usec=10.0)
+
+        plan = FaultPlan([SyscallFault("lwp_create", "EAGAIN",
+                                       probability=1.0)])
+        run_program(main, faults=plan)

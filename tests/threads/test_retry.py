@@ -1,0 +1,250 @@
+"""Tests for the overload retry machinery (repro.threads.retry).
+
+Policies, budgets, and breakers are plain state machines (tested
+directly); ``call_with_retry`` / ``recv_with_deadline`` run in-sim so
+the deadline math and the seeded-jitter determinism are exercised in
+virtual time.
+"""
+
+import random
+
+import pytest
+
+from repro.api import Simulator
+from repro.errors import Errno, SyscallError
+from repro.runtime import unistd
+from repro.threads import retry
+from tests.conftest import run_program
+
+
+class TestRetryPolicy:
+    def test_delay_sequence_caps(self):
+        p = retry.RetryPolicy(base_usec=100.0, factor=2.0,
+                              max_delay_usec=400.0, jitter=0.0)
+        assert [p.delay_usec(n, None) for n in range(1, 6)] == \
+            [100.0, 200.0, 400.0, 400.0, 400.0]
+
+    def test_jitter_is_seed_deterministic(self):
+        p = retry.RetryPolicy(base_usec=100.0, jitter=0.5)
+        a = [p.delay_usec(n, random.Random(7)) for n in range(1, 5)]
+        b = [p.delay_usec(n, random.Random(7)) for n in range(1, 5)]
+        c = [p.delay_usec(n, random.Random(8)) for n in range(1, 5)]
+        assert a == b
+        assert a != c
+        # Jitter only ever *adds*, bounded by the fraction.
+        base = retry.RetryPolicy(base_usec=100.0, jitter=0.0)
+        for n, d in enumerate(a, start=1):
+            plain = base.delay_usec(n, None)
+            assert plain <= d <= plain * 1.5
+
+
+class TestRetryBudget:
+    def test_spend_deny_refill(self):
+        b = retry.RetryBudget(max_tokens=2, refill_per_success=0.5)
+        assert b.try_spend() and b.try_spend()
+        assert not b.try_spend()
+        assert b.denied == 1
+        b.on_success()      # 0.5 tokens: still not a whole one
+        assert not b.try_spend()
+        b.on_success()
+        assert b.try_spend()
+
+    def test_refill_caps_at_max(self):
+        b = retry.RetryBudget(max_tokens=1, refill_per_success=5.0)
+        b.on_success()
+        assert b.tokens == 1.0
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_cools_down(self):
+        cb = retry.CircuitBreaker(failure_threshold=3,
+                                  cooldown_usec=10.0)
+        for _ in range(3):
+            assert cb.allow(0)
+            cb.on_failure(0)
+        assert cb.state == retry.CircuitBreaker.OPEN
+        assert cb.trips == 1
+        assert not cb.allow(5_000)          # still cooling (ns)
+        assert cb.rejections == 1
+        assert cb.allow(10_000)             # half-open probe
+        assert cb.state == retry.CircuitBreaker.HALF_OPEN
+        cb.on_success()
+        assert cb.state == retry.CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        cb = retry.CircuitBreaker(failure_threshold=1,
+                                  cooldown_usec=10.0)
+        cb.on_failure(0)
+        assert cb.allow(10_000)
+        cb.on_failure(10_000)
+        assert cb.state == retry.CircuitBreaker.OPEN
+        assert cb.trips == 2
+
+    def test_success_resets_the_streak(self):
+        cb = retry.CircuitBreaker(failure_threshold=2)
+        cb.on_failure(0)
+        cb.on_success()
+        cb.on_failure(0)
+        assert cb.state == retry.CircuitBreaker.CLOSED
+
+
+def _flaky(fails: int, errno=Errno.EAGAIN):
+    state = {"calls": 0}
+
+    def attempt():
+        yield from unistd.getpid()
+        state["calls"] += 1
+        if state["calls"] <= fails:
+            raise SyscallError(errno, "flaky")
+        return state["calls"]
+
+    attempt.state = state
+    return attempt
+
+
+def _run(main):
+    sim = Simulator(ncpus=1, seed=0, metrics=True)
+    sim.spawn(main)
+    sim.run()
+    return sim
+
+
+class TestCallWithRetry:
+    def test_recovers_and_counts(self):
+        got = {}
+
+        def main():
+            got["v"] = yield from retry.call_with_retry(
+                _flaky(2), retry.RetryPolicy(attempts=5, jitter=0.0))
+
+        sim = _run(main)
+        assert got["v"] == 3
+        counters = sim.metrics.snapshot()["counters"]
+        assert counters["retry.failures"] == 2
+        assert counters["retry.retries"] == 2
+        assert counters["retry.recoveries"] == 1
+
+    def test_attempt_cap_propagates_last_error(self):
+        def main():
+            with pytest.raises(SyscallError) as exc:
+                yield from retry.call_with_retry(
+                    _flaky(99), retry.RetryPolicy(attempts=3, jitter=0.0))
+            assert exc.value.errno == Errno.EAGAIN
+
+        sim = _run(main)
+        assert sim.metrics.snapshot()["counters"]["retry.giveups"] == 1
+
+    def test_non_retryable_is_untouched(self):
+        attempt = _flaky(99, errno=Errno.EINVAL)
+
+        def main():
+            with pytest.raises(SyscallError) as exc:
+                yield from retry.call_with_retry(
+                    attempt, retry.RetryPolicy(attempts=5))
+            assert exc.value.errno == Errno.EINVAL
+
+        _run(main)
+        assert attempt.state["calls"] == 1
+
+    def test_deadline_expires_as_etimedout(self):
+        def main():
+            with pytest.raises(SyscallError) as exc:
+                yield from retry.call_with_retry(
+                    _flaky(99),
+                    retry.RetryPolicy(attempts=100, base_usec=300.0,
+                                      jitter=0.0, deadline_usec=1_000.0))
+            assert exc.value.errno == Errno.ETIMEDOUT
+
+        sim = _run(main)
+        # The loop never sleeps past the deadline, so expiry lands close
+        # to it (attempt overhead only).
+        assert 1_000.0 <= sim.now_usec < 2_000.0
+
+    def test_budget_denial_fails_fast(self):
+        budget = retry.RetryBudget(max_tokens=1)
+
+        def main():
+            with pytest.raises(SyscallError):
+                yield from retry.call_with_retry(
+                    _flaky(99), retry.RetryPolicy(attempts=10, jitter=0.0),
+                    budget=budget)
+
+        sim = _run(main)
+        # One retry spent the only token; the second was denied.
+        assert budget.denied == 1
+        counters = sim.metrics.snapshot()["counters"]
+        assert counters["retry.budget_denied"] == 1
+        assert counters["retry.retries"] == 1
+
+    def test_jittered_delays_replay_bit_for_bit(self):
+        def campaign():
+            def main():
+                with pytest.raises(SyscallError):
+                    yield from retry.call_with_retry(
+                        _flaky(99),
+                        retry.RetryPolicy(attempts=6, jitter=0.5),
+                        name="probe")
+            sim = _run(main)
+            return sim.now_usec
+
+        assert campaign() == campaign()
+
+
+class TestWithBreaker:
+    def test_open_breaker_fails_fast_without_calling(self):
+        cb = retry.CircuitBreaker(failure_threshold=1)
+        attempt = _flaky(99)
+
+        def main():
+            with pytest.raises(SyscallError):
+                yield from retry.with_breaker(cb, attempt)
+            with pytest.raises(SyscallError) as exc:
+                yield from retry.with_breaker(cb, attempt)
+            assert exc.value.errno == Errno.EAGAIN
+
+        sim = _run(main)
+        assert attempt.state["calls"] == 1          # second call never ran
+        assert cb.rejections == 1
+        counters = sim.metrics.snapshot()["counters"]
+        assert counters["retry.breaker_tripped"] == 1
+        assert counters["retry.breaker_rejected"] == 1
+
+
+class TestRecvWithDeadline:
+    PORT = 5600
+
+    def test_times_out_in_virtual_time(self):
+        def main():
+            lfd = yield from unistd.socket()
+            yield from unistd.bind(lfd, self.PORT)
+            yield from unistd.listen(lfd, 4)
+            fd = yield from unistd.socket()
+            yield from unistd.connect(fd, self.PORT)
+            yield from unistd.accept(lfd)   # nobody ever sends
+            start = yield from unistd.gettimeofday()
+            with pytest.raises(SyscallError) as exc:
+                yield from retry.recv_with_deadline(fd, 16, 2_000.0)
+            assert exc.value.errno == Errno.ETIMEDOUT
+            end = yield from unistd.gettimeofday()
+            assert (end - start) / 1000.0 >= 2_000.0
+
+        sim = _run(main)
+        counters = sim.metrics.snapshot()["counters"]
+        assert counters["retry.recv_timeouts"] == 1
+
+    def test_returns_data_when_it_arrives(self):
+        got = {}
+
+        def main():
+            lfd = yield from unistd.socket()
+            yield from unistd.bind(lfd, self.PORT)
+            yield from unistd.listen(lfd, 4)
+            fd = yield from unistd.socket()
+            yield from unistd.connect(fd, self.PORT)
+            conn = yield from unistd.accept(lfd)
+            yield from unistd.send(conn, b"late but present")
+            got["data"] = yield from retry.recv_with_deadline(
+                fd, 64, 2_000.0)
+
+        run_program(main)
+        assert got["data"] == b"late but present"
