@@ -27,9 +27,9 @@ from repro.api import Simulator
 from repro.errors import (DeadlockError, Errno, LwpExhausted, ReproError,
                           SimulationError, SyncError, SyscallError,
                           ThreadError)
-from repro.sim.faults import (AcceptStall, ConnDrop, FaultPlan, LwpCrash,
-                              PacketDelay, PageFaultStorm, PeerReset,
-                              SyscallFault, TimerJitter)
+from repro.sim.faults import (AcceptStall, ConnDrop, CrashStorm, FaultPlan,
+                              LwpCrash, PacketDelay, PageFaultStorm,
+                              PeerReset, SyscallFault, TimerJitter)
 from repro.sim.schedule import (ForcedPreempt, PctPriorities, RandomPick,
                                 RandomPreempt, SchedulePlan)
 
@@ -40,7 +40,8 @@ __all__ = [
     "DeadlockError", "Errno", "LwpExhausted", "ReproError",
     "SimulationError", "SyncError", "SyscallError", "ThreadError",
     "FaultPlan", "SyscallFault", "PageFaultStorm", "TimerJitter",
-    "LwpCrash", "ConnDrop", "AcceptStall", "PacketDelay", "PeerReset",
+    "LwpCrash", "CrashStorm", "ConnDrop", "AcceptStall", "PacketDelay",
+    "PeerReset",
     "SchedulePlan", "RandomPreempt", "RandomPick", "PctPriorities",
     "ForcedPreempt",
     "__version__",

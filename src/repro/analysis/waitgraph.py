@@ -51,7 +51,9 @@ class WaitEdge:
     def describe(self, now_ns: int) -> str:
         held = ""
         if self.holders:
-            held = " held by " + ", ".join(h.name for h in self.holders)
+            held = " held by " + ", ".join(
+                f"{h.name} (dead)" if h.exited else h.name
+                for h in self.holders)
         since = ""
         if self.since_ns is not None:
             since = (f" (waiting {now_ns - self.since_ns} ns, "
@@ -135,8 +137,11 @@ def build_wait_graph(kernel) -> tuple[list[WaitEdge], list[tuple]]:
             if queue is None:
                 continue
             kind, resource, holders = _resolve_queue(queue, lib)
-            holders = [h for h in holders
-                       if isinstance(h, Thread) and not h.exited]
+            # Keep dead holders: a lock orphaned by a crashed owner is
+            # precisely the hang a report must name (describe() renders
+            # them "<name> (dead)").  The cycle finder sees through them
+            # naturally — a corpse blocks on nothing.
+            holders = [h for h in holders if isinstance(h, Thread)]
             edges.append(WaitEdge(pid, thread, kind, resource, holders,
                                   thread.sleep_since_ns))
     return edges, lwp_waits

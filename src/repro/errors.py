@@ -37,6 +37,10 @@ class Errno(enum.IntEnum):
     ESPIPE = 29
     EPIPE = 32
     EDEADLK = 45
+    # Robust-mutex owner-death protocol (SVR4 slots; Linux reuses 130/131,
+    # which here belong to the socket errnos below).
+    EOWNERDEAD = 58
+    ENOTRECOVERABLE = 59
     ENOSYS = 78
     EADDRINUSE = 125
     ECONNABORTED = 130

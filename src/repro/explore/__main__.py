@@ -14,6 +14,12 @@ Examples::
     # request ledger ever fails to balance (or anything hangs).
     python -m repro.explore --overload --runs 8 --out bundles/
 
+    # Chaos gate: the supervised network server under a crash storm
+    # (better than one crash per ten requests); exit 1 if any seeded
+    # schedule ends with a lost request, an orphaned owner-dead lock,
+    # restart churn, a hang, or an error.
+    python -m repro.explore --chaos --runs 8 --out bundles/
+
     # Replay a repro bundle produced by a failing run.
     python -m repro.explore --replay bundles/racy_counter.json
 """
@@ -76,6 +82,20 @@ def _overload_fault_dict() -> dict:
     ]).to_dict()
 
 
+def _chaos_fault_dict() -> dict:
+    """The crash storm the chaos gate composes with every schedule:
+    three worker kills across a twenty-request run (comfortably past
+    the one-crash-per-ten-requests bar), aimed only at pool workers —
+    killing the acceptor or main is process death, a different test.
+    The supervised server must absorb every storm with a balanced
+    ledger, no orphaned locks, and no restart churn."""
+    from repro.sim.faults import CrashStorm, FaultPlan
+    return FaultPlan([
+        CrashStorm(start_usec=2_000.0, interval_usec=2_500.0,
+                   count=3, target="worker-*"),
+    ]).to_dict()
+
+
 def _dump_bundle(result, out_dir: str) -> str:
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir,
@@ -103,6 +123,11 @@ def main(argv=None) -> int:
                         help="overload gate: the network server at "
                              "several times capacity under net faults; "
                              "fail on any lost request, hang, or error")
+    parser.add_argument("--chaos", action="store_true",
+                        help="chaos gate: the supervised network server "
+                             "under a crash storm; fail on any lost "
+                             "request, orphaned lock, restart churn, "
+                             "hang, or error")
     parser.add_argument("--programs", nargs="*", default=None,
                         help="restrict to these program names")
     parser.add_argument("--runs", "-k", type=int, default=25,
@@ -127,9 +152,9 @@ def main(argv=None) -> int:
     if args.replay:
         return _replay(args)
     if not (args.corpus or args.clean or args.workloads or args.examples
-            or args.overload):
+            or args.overload or args.chaos):
         parser.error("pick at least one of --corpus / --clean / "
-                     "--workloads / --examples / --overload "
+                     "--workloads / --examples / --overload / --chaos "
                      "(or --replay)")
 
     failures = 0
@@ -183,6 +208,21 @@ def main(argv=None) -> int:
                 continue
             factory = registry.overload_factory(name)
             report = _explore(name, factory, args, ref=f"overload:{name}",
+                              faults_dict=faults_dict)
+            print(report.summary())
+            if report.failures:
+                failures += 1
+                if args.out:
+                    for res in report.failures:
+                        print(f"  bundle: {_dump_bundle(res, args.out)}")
+
+    if args.chaos:
+        faults_dict = _chaos_fault_dict()
+        for name in registry.CHAOS_SCENARIOS:
+            if args.programs and name not in args.programs:
+                continue
+            factory = registry.chaos_factory(name)
+            report = _explore(name, factory, args, ref=f"chaos:{name}",
                               faults_dict=faults_dict)
             print(report.summary())
             if report.failures:

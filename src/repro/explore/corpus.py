@@ -21,6 +21,17 @@ The four seeded bug classes match the acceptance list:
 * ``sema_underflow`` — a double ``sema_v`` on one code path pushes a
   resource pool above its initial count;
 * ``exit_holding_lock`` — a thread returns without releasing its mutex.
+
+Two network-server entries round out the list: ``lossy_server`` admits
+requests and then silently drops the overloaded ones (lost-request), and
+``crash_storm_server`` runs an *unsupervised* worker pool under a
+:class:`~repro.sim.faults.CrashStorm` — a worker that dies mid-request
+takes its in-flight work to the grave, so the ledger ends with admitted
+requests that were never served nor shed.  Its clean twin,
+``clean_supervised_server``, is the same pool under a
+:class:`~repro.threads.supervisor.Supervisor` (crash-free run; the
+crash-storm-with-supervision configuration is the ``--chaos`` gate's
+job, see :mod:`repro.explore.__main__`).
 """
 
 from __future__ import annotations
@@ -265,6 +276,23 @@ def lossy_server():
     return _socket_server(lossy=True)
 
 
+def crash_storm_server():
+    """Unsupervised worker pool under a crash storm.
+
+    The storm kills a worker roughly every other request; with nobody
+    supervising, the dead worker's in-flight request is admitted on the
+    ledger but never served nor shed, and requests stranded on the
+    queue when the last worker dies share its fate.
+    """
+    from repro.workloads import network_server
+    return network_server.build(
+        n_clients=3, requests_per_client=4, n_workers=3,
+        service_compute_usec=800.0, client_think_usec=300.0,
+        admission_limit=8, client_attempts=4,
+        crash_storm=dict(start_usec=2_000.0, interval_usec=2_000.0,
+                         count=3, target="worker-*"))[0]
+
+
 # =====================================================================
 # Clean twins — must stay finding-free under every schedule
 # =====================================================================
@@ -273,6 +301,20 @@ def lossy_server():
 def clean_socket_server():
     """lossy_server's twin: overload is an explicit BUSY + net-shed."""
     return _socket_server(lossy=False)
+
+
+def clean_supervised_server():
+    """crash_storm_server's twin: the same pool, supervised, crash-free.
+
+    Exercises the supervision plumbing (spawn wrappers, heartbeats, the
+    in-flight handover ledger) on a healthy run — none of it may emit
+    an event or perturb a finding-free schedule.
+    """
+    from repro.workloads import network_server
+    return network_server.build(
+        n_clients=3, requests_per_client=4, n_workers=3,
+        service_compute_usec=800.0, client_think_usec=300.0,
+        admission_limit=8, client_attempts=4, supervise=True)[0]
 
 def clean_counter():
     """racy_counter with the increments under a mutex."""
@@ -390,6 +432,7 @@ BUGGY = {
     "sema_underflow": (sema_underflow, {"sema-underflow"}),
     "exit_holding_lock": (exit_holding_lock, {"exit-holding-lock"}),
     "lossy_server": (lossy_server, {"lost-request"}),
+    "crash_storm_server": (crash_storm_server, {"lost-request"}),
 }
 
 #: name -> rule ids `python -m repro.lint --corpus` must report for the
@@ -410,4 +453,5 @@ CLEAN = {
     "clean_ordered_locks": clean_ordered_locks,
     "clean_queue": clean_queue,
     "clean_socket_server": clean_socket_server,
+    "clean_supervised_server": clean_supervised_server,
 }

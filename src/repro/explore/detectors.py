@@ -14,7 +14,7 @@ exactly the same transitions as one without (they draw no randomness and
 inject nothing), which is what lets a repro bundle replay findings
 bit-for-bit.
 
-The five detectors:
+The seven detectors:
 
 :class:`LocksetDetector`
     Eraser-style lockset discipline checking over shared memory cells.
@@ -40,6 +40,17 @@ The five detectors:
     server *admits* (ledger op ``net-admit``) must be served exactly
     once (``net-serve``) or explicitly rejected (``net-shed``) — never
     silently dropped, double-served, or answered without admission.
+:class:`OrphanedResourceDetector`
+    Crash-containment accounting: when a thread dies with its LWP, every
+    lock it held must be reclaimed by the kernel walk (``owner-dead``
+    events), and every lock that went owner-dead must be repaired
+    (``mutex_consistent``) — not left owner-dead or bricked
+    unrecoverable at the end of the run.
+:class:`RestartStormDetector`
+    Supervision-layer health: a supervisor that gives a child up, or
+    restarts one child so fast that the restart backoff cannot be
+    operating (a tight crash-restart loop), is reported — self-healing
+    that spins is not healing.
 
 Known bounds (see ARCHITECTURE.md for the full discussion): the lockset
 detector approximates join ordering by dropping exited threads (false
@@ -145,7 +156,12 @@ class _HeldLocks:
     def update(self, ctx, op: str, sv, detail: dict) -> Optional[tuple]:
         """Apply one event; returns the (key, name, mode, blocking)
         entry for an acquire, else None."""
-        if op not in ("acquire", "release"):
+        if op == "owner-dead":
+            # The crash-reclaim walk released this entry on behalf of a
+            # dead holder (who can never emit its own release); the
+            # emitting ctx carries the dead thread as the actor.
+            op = "release"
+        elif op not in ("acquire", "release"):
             return None
         if (not self._track_composite and isinstance(sv, RwLock)
                 and sv.is_shared):
@@ -618,22 +634,174 @@ class RequestLedgerDetector(Detector):
                     "saw only a timeout")
 
 
+# =====================================================================
+# Crash containment (the orphaned-lock invariant)
+# =====================================================================
+
+class OrphanedResourceDetector(Detector):
+    """Proves the kernel's crash-reclaim walk left nothing behind.
+
+    Two invariants, checked from the crash event stream
+    (:mod:`repro.threads.reclaim` announces ``owner-dead`` per reclaimed
+    lock, then one ``thread-crash`` per victim):
+
+    * **No lock outlives its dead holder unreclaimed.**  At each
+      ``thread-crash``, any lock the victim still holds per the
+      acquire/release feed — i.e. one the reclaim walk did not announce
+      ``owner-dead`` for — is orphaned: every later acquirer deadlocks,
+      and no detector downstream would ever see a release.
+    * **Every owner-dead lock is eventually repaired.**  At finalize, a
+      lock that went owner-dead during the run must have been made
+      consistent again (``mutex_consistent`` after an ``EOWNERDEAD``
+      acquire).  Still-owner-dead means the inheritance protocol stalled
+      with nobody repairing; ``unrecoverable`` means an inheritor
+      released without repairing and bricked the lock for good.
+
+    Semaphores are exempt: a dead holder's units are returned silently
+    (holder annotations are advisory; there is no unit identity to
+    repair).
+    """
+
+    name = "orphaned-resource"
+
+    def __init__(self, held=None):
+        super().__init__()
+        self._shared_held = held is not None
+        self.held = held if held is not None else _HeldLocks()
+        self.crashes = 0
+        self.reclaims = 0
+        # _seq-ordered record of every lock that went owner-dead this
+        # run (strong refs; bounded by the run's lock population).  The
+        # global sync-variable registry is deliberately not walked at
+        # finalize — it is a process-wide WeakSet that may still hold
+        # variables from an earlier run in the same host process.
+        self._dead_locks: dict[int, object] = {}
+
+    def on_sync(self, ctx, op, sv, detail) -> None:
+        if not self._shared_held:
+            self.held.update(ctx, op, sv, detail)
+        if op == "owner-dead":
+            self.reclaims += 1
+            if sv is not None:
+                self._dead_locks.setdefault(id(sv), sv)
+        elif op == "thread-crash":
+            self.crashes += 1
+            # Crash events come from kernel context (sync_notify): the
+            # victim rides the ctx, not the detail dict.
+            thread = ctx.thread if ctx.thread is not None \
+                else detail.get("thread")
+            leftovers = (self.held.held_of(thread)
+                         if thread is not None else [])
+            for (_key, lname, mode, _blocking) in leftovers:
+                self.report(
+                    "orphaned-lock", lname,
+                    f"{thread.name} crashed holding {lname} "
+                    f"(mode={mode}) and the reclaim walk never "
+                    "transitioned it to owner-dead — every later "
+                    "acquirer deadlocks on a corpse's lock")
+
+    def finalize(self, sim) -> None:
+        for sv in sorted(self._dead_locks.values(),
+                         key=lambda v: getattr(v, "_seq", 0)):
+            name = getattr(sv, "name", "?")
+            if getattr(sv, "unrecoverable", False):
+                self.report(
+                    "orphaned-lock", name,
+                    f"{name} went owner-dead and an inheritor released "
+                    "it without mutex_consistent — permanently "
+                    "ENOTRECOVERABLE; the data it protects is lost")
+            elif getattr(sv, "owner_dead", False):
+                self.report(
+                    "orphaned-lock", name,
+                    f"{name} is still owner-dead at the end of the run — "
+                    "the crashed holder's EOWNERDEAD was never repaired "
+                    "by a surviving thread")
+
+
+# =====================================================================
+# Supervision health (restart storms)
+# =====================================================================
+
+class RestartStormDetector(Detector):
+    """Flags supervision churn: give-ups and backoff-free restart loops.
+
+    The supervisor announces its transitions (``sup-restart``,
+    ``sup-give-up``, ``sup-watchdog-kill``).  Two verdicts:
+
+    * any ``sup-give-up`` — a child burned through its whole restart
+      budget and the supervisor abandoned it; whatever that child was
+      responsible for is now permanently unserved;
+    * ``burst_threshold`` restarts of the *same* child within
+      ``window_usec`` of virtual time — with the default exponential
+      backoff (200µs base, doubling) that many restarts cannot fit in
+      the window, so hitting it means the crash-restart loop is running
+      unthrottled (the classic restart storm).
+
+    Watchdog kills alone are not reported: a kill that leads to a
+    successful restart is the watchdog doing its job.
+    """
+
+    name = "restart-storm"
+
+    #: Same-child restarts within the window that imply no backoff.
+    BURST_THRESHOLD = 5
+    #: Window, µs of virtual time (5 default-backoff restarts need
+    #: 200+400+800+1600 = 3000µs of delay alone).
+    WINDOW_USEC = 2_000.0
+
+    def __init__(self, burst_threshold: int = BURST_THRESHOLD,
+                 window_usec: float = WINDOW_USEC):
+        super().__init__()
+        self.burst_threshold = burst_threshold
+        self.window_ns = int(window_usec * 1_000)
+        self.restarts: dict[str, list] = {}   # child name -> [time_ns]
+        self.give_ups = 0
+
+    def on_sync(self, ctx, op, sv, detail) -> None:
+        if op == "sup-restart":
+            child = str(detail.get("child"))
+            times = self.restarts.setdefault(child, [])
+            times.append(ctx.engine.now_ns)
+            recent = [t for t in times
+                      if ctx.engine.now_ns - t <= self.window_ns]
+            if len(recent) >= self.burst_threshold:
+                sup = detail.get("supervisor", "?")
+                self.report(
+                    "restart-storm", child,
+                    f"supervisor {sup} restarted {child} "
+                    f"{len(recent)} times within "
+                    f"{self.window_ns // 1000}µs — faster than the "
+                    "restart backoff allows; the crash loop is "
+                    "running unthrottled")
+        elif op == "sup-give-up":
+            self.give_ups += 1
+            child = str(detail.get("child"))
+            sup = detail.get("supervisor", "?")
+            self.report(
+                "restart-storm", child,
+                f"supervisor {sup} gave up on {child} after "
+                f"{detail.get('restarts', '?')} restarts — the child's "
+                "responsibilities are permanently unserved")
+
+
 def default_detectors(sim) -> list:
     """The standard detector suite for one run, installed.
 
-    Lockset, lost-wakeup, and exit-invariant share one held-locks
-    tracker: the lockset detector (first in listener order, so the
-    state is current before anyone reads it) applies each event once
-    instead of three identical applications.  The lock-order detector
-    keeps its own — it excludes composite shared-rwlock internals,
-    a different tracking config.
+    Lockset, lost-wakeup, exit-invariant, and orphaned-resource share
+    one held-locks tracker: the lockset detector (first in listener
+    order, so the state is current before anyone reads it) applies each
+    event once instead of four identical applications.  The lock-order
+    detector keeps its own — it excludes composite shared-rwlock
+    internals, a different tracking config.
     """
     held = _HeldLocks()
     detectors = [LocksetDetector(sim.machine, held=held),
                  LockOrderDetector(),
                  LostWakeupDetector(held=held),
                  ExitInvariantDetector(held=held),
-                 RequestLedgerDetector()]
+                 RequestLedgerDetector(),
+                 OrphanedResourceDetector(held=held),
+                 RestartStormDetector()]
     for det in detectors:
         det.install(sim)
     return detectors

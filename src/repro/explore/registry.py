@@ -9,8 +9,8 @@ string resolved freshly on the worker — hermetic by construction, since
 every resolution returns a factory that builds new program state.
 
 Reference syntax: ``kind:name`` with kind one of ``buggy``, ``clean``,
-``workload``, ``overload``, ``example``; a bare ``name`` searches all
-kinds in that order.
+``workload``, ``overload``, ``chaos``, ``example``; a bare ``name``
+searches all kinds in that order.
 """
 
 from __future__ import annotations
@@ -71,6 +71,29 @@ def overload_factory(name: str) -> Optional[Callable]:
     return lambda: network_server.build(**params)[0]
 
 
+#: Chaos scenarios: the *supervised* network server, meant to be run
+#: under a CrashStorm fault plan (the ``--chaos`` gate composes one, at
+#: better than one crash per ten requests).  Twenty requests against
+#: three supervised workers; the restart budget comfortably exceeds the
+#: storm, so a give-up (or any lost request, orphaned lock, or restart
+#: churn) is a genuine self-healing failure, not a tuning artifact.
+CHAOS_SCENARIOS = {
+    "ch_supervised_pool": dict(
+        n_clients=4, requests_per_client=5, n_workers=3,
+        service_compute_usec=800.0, client_think_usec=300.0,
+        admission_limit=8, supervise=True, max_restarts=8),
+}
+
+
+def chaos_factory(name: str) -> Optional[Callable]:
+    """Factory for a chaos scenario, or None if ``name`` is not one."""
+    params = CHAOS_SCENARIOS.get(name)
+    if params is None:
+        return None
+    from repro.workloads import network_server
+    return lambda: network_server.build(**params)[0]
+
+
 def example_factory(name: str) -> Optional[Callable]:
     """Factory for a clean example program (repo ``examples/`` as cwd)."""
     if name != "ex_dining_philosophers" or not os.path.isdir("examples"):
@@ -101,6 +124,10 @@ def resolve(ref: str) -> Callable:
             return factory
     if kind in ("", "overload"):
         factory = overload_factory(name)
+        if factory is not None:
+            return factory
+    if kind in ("", "chaos"):
+        factory = chaos_factory(name)
         if factory is not None:
             return factory
     if kind in ("", "example"):

@@ -666,6 +666,41 @@ class Kernel:
         lwp.channel = None
         self.tracer.emit(self.engine.now_ns, "lwp", "terminate", lwp.name)
 
+    def crash_lwp(self, lwp: Lwp, status: Optional[int] = None) -> None:
+        """An LWP died abruptly (fault injection, watchdog kill).
+
+        Beyond :meth:`terminate_lwp`'s kernel-side teardown, this runs
+        the crash-containment reclaim walk in cooperation with the
+        user-level threads runtime (the debugger-cooperation precedent:
+        the kernel never schedules user threads, but it may read and
+        repair the library's bookkeeping on behalf of a thread that can
+        no longer run), and turns the crash of the last LWP — or of the
+        last live thread — into a process exit whose status is visible
+        to ``waitpid``.
+        """
+        from repro.threads.reclaim import CRASHED_STATUS, reclaim_dead_lwp
+        proc = lwp.process
+        if lwp.state is LwpState.ZOMBIE:
+            return
+        if status is None:
+            status = CRASHED_STATUS
+        self.terminate_lwp(lwp)
+        lwp.exit_status = status
+        victims = []
+        if not proc.dying and proc.threadlib is not None:
+            victims = reclaim_dead_lwp(self, lwp)
+        self.tracer.emit(self.engine.now_ns, "crash", "lwp", lwp.name,
+                         threads=[t.name for t in victims])
+        m = self.engine.metrics
+        if m is not None:
+            m.count("crash.lwps")
+        self.wakeup_all(proc.lwp_wait, value=lwp.lwp_id)
+        if not proc.dying and proc.state is ProcState.ACTIVE:
+            lib = proc.threadlib
+            no_threads = lib is not None and lib.live_count() == 0
+            if not proc.live_lwps() or no_threads:
+                self.exit_process(proc, status=status)
+
     def on_activity_finished(self, lwp: Lwp, activity: Activity,
                              value: Any) -> None:
         """An LWP's root activity returned (pure-LWP programming model)."""

@@ -21,8 +21,13 @@ from repro.pthreads.api import (PTHREAD_CANCELED, PTHREAD_PROCESS_PRIVATE,
                                 pthread_detach, pthread_equal,
                                 pthread_exit, pthread_join, pthread_once,
                                 pthread_self, pthread_yield)
-from repro.pthreads.sync import (PthreadCond, PthreadCondAttr,
-                                 PthreadMutex, PthreadMutexAttr)
+from repro.pthreads.sync import (PTHREAD_MUTEX_ERRORCHECK,
+                                 PTHREAD_MUTEX_NORMAL,
+                                 PTHREAD_MUTEX_ROBUST,
+                                 PTHREAD_MUTEX_STALLED, PthreadCond,
+                                 PthreadCondAttr, PthreadMutex,
+                                 PthreadMutexAttr,
+                                 pthread_mutex_consistent)
 from repro.pthreads.tsd import (pthread_getspecific, pthread_key_create,
                                 pthread_key_delete, pthread_setspecific)
 
@@ -32,7 +37,10 @@ __all__ = [
     "PTHREAD_SCOPE_SYSTEM", "Pthread", "PthreadAttr",
     "pthread_create", "pthread_detach", "pthread_equal", "pthread_exit",
     "pthread_join", "pthread_once", "pthread_self", "pthread_yield",
+    "PTHREAD_MUTEX_NORMAL", "PTHREAD_MUTEX_ERRORCHECK",
+    "PTHREAD_MUTEX_STALLED", "PTHREAD_MUTEX_ROBUST",
     "PthreadCond", "PthreadCondAttr", "PthreadMutex", "PthreadMutexAttr",
+    "pthread_mutex_consistent",
     "pthread_getspecific", "pthread_key_create", "pthread_key_delete",
     "pthread_setspecific",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import Errno, SyncError
+from repro.errors import Errno, SyncError, SyscallError
 from repro.hw.isa import GetContext
 from repro.pthreads.api import (PTHREAD_PROCESS_PRIVATE,
                                 PTHREAD_PROCESS_SHARED)
@@ -21,19 +21,39 @@ from repro.sync import (CondVar, Mutex, SYNC_DEBUG, THREAD_SYNC_SHARED,
 PTHREAD_MUTEX_NORMAL = 0
 PTHREAD_MUTEX_ERRORCHECK = 1
 
+#: Robustness attribute (pthread_mutexattr_setrobust).  The underlying
+#: SunOS mutex is always reclaimed by the kernel when its holder's LWP
+#: dies; the attribute only controls whether the *caller* is told.  A
+#: robust mutex surfaces ``EOWNERDEAD`` from the acquire and expects
+#: ``pthread_mutex_consistent`` before unlock (else the lock bricks to
+#: ``ENOTRECOVERABLE``); a stalled (default) mutex repairs silently so
+#: legacy callers never see an errno they predate.
+PTHREAD_MUTEX_STALLED = 0
+PTHREAD_MUTEX_ROBUST = 1
+
 
 class PthreadMutexAttr:
     """pthread_mutexattr_t."""
 
     def __init__(self, pshared: int = PTHREAD_PROCESS_PRIVATE,
                  kind: int = PTHREAD_MUTEX_NORMAL,
-                 cell: Optional[SharedCell] = None):
+                 cell: Optional[SharedCell] = None,
+                 robust: int = PTHREAD_MUTEX_STALLED):
         if pshared == PTHREAD_PROCESS_SHARED and cell is None:
             raise SyncError(
                 "PTHREAD_PROCESS_SHARED needs a cell in shared memory")
+        if robust == PTHREAD_MUTEX_ROBUST \
+                and pshared == PTHREAD_PROCESS_SHARED:
+            # The futex-cell variant keeps no owner identity for the
+            # kernel to reclaim — same simplification as the crash walk.
+            raise SyncError(
+                "PTHREAD_MUTEX_ROBUST is not supported for "
+                "PTHREAD_PROCESS_SHARED mutexes (no cross-process "
+                "owner identity to reclaim)")
         self.pshared = pshared
         self.kind = kind
         self.cell = cell
+        self.robust = robust
 
     def _vtype(self) -> int:
         vtype = 0
@@ -53,7 +73,18 @@ class PthreadMutex:
         self._impl = Mutex(attr._vtype(), cell=attr.cell, name=name)
         self.attr = attr
 
+    def _owner_dead_result(self):
+        """Map the primitive's EOWNERDEAD to this mutex's robustness."""
+        if self.attr.robust == PTHREAD_MUTEX_ROBUST:
+            return Errno.EOWNERDEAD
+        # Stalled (default): the kernel reclaimed the lock either way;
+        # repair silently so the acquire reports plain success.
+        self._impl.consistent()
+        return 0
+
     def lock(self):
+        """pthread_mutex_lock: 0, EDEADLK (errorcheck), EOWNERDEAD
+        (robust, previous holder crashed), or ENOTRECOVERABLE."""
         if (self.attr.kind == PTHREAD_MUTEX_ERRORCHECK
                 and not self._impl.is_shared):
             # POSIX errorcheck semantics: a relock by the owner returns
@@ -63,26 +94,61 @@ class PthreadMutex:
             ctx = yield GetContext()
             if self._impl.owner is not None and self._impl.owner is ctx.thread:
                 return Errno.EDEADLK
-        result = yield from self._impl.enter()
+        try:
+            result = yield from self._impl.enter()
+        except SyscallError as err:
+            if err.errno == Errno.ENOTRECOVERABLE:
+                return Errno.ENOTRECOVERABLE
+            raise
+        if result is Errno.EOWNERDEAD:
+            return self._owner_dead_result()
         return 0 if result is None else result
 
     def trylock(self):
-        result = yield from self._impl.tryenter()
+        """pthread_mutex_trylock: truthy on acquire (True, or
+        EOWNERDEAD for a robust mutex whose holder crashed), False when
+        busy; ENOTRECOVERABLE as an errno return on a bricked robust
+        mutex."""
+        try:
+            result = yield from self._impl.tryenter()
+        except SyscallError as err:
+            if (err.errno == Errno.ENOTRECOVERABLE
+                    and self.attr.robust == PTHREAD_MUTEX_ROBUST):
+                return Errno.ENOTRECOVERABLE
+            raise
+        if result is Errno.EOWNERDEAD:
+            mapped = self._owner_dead_result()
+            return True if mapped == 0 else mapped
         return result
 
     def timedlock(self, timeout_usec: float):
-        """pthread_mutex_timedlock: 0 on acquire, ETIMEDOUT on timeout."""
+        """pthread_mutex_timedlock: 0 on acquire, ETIMEDOUT on timeout,
+        EOWNERDEAD/ENOTRECOVERABLE per the robust protocol."""
         if (self.attr.kind == PTHREAD_MUTEX_ERRORCHECK
                 and not self._impl.is_shared):
             ctx = yield GetContext()
             if (self._impl.owner is not None
                     and self._impl.owner is ctx.thread):
                 return Errno.EDEADLK
-        acquired = yield from self._impl.timedenter(timeout_usec)
+        try:
+            acquired = yield from self._impl.timedenter(timeout_usec)
+        except SyscallError as err:
+            if err.errno == Errno.ENOTRECOVERABLE:
+                return Errno.ENOTRECOVERABLE
+            raise
+        if acquired is Errno.EOWNERDEAD:
+            return self._owner_dead_result()
         return 0 if acquired else Errno.ETIMEDOUT
 
     def unlock(self):
         yield from self._impl.exit()
+
+    def consistent(self) -> int:
+        """pthread_mutex_consistent (plain call, no yields): 0, or
+        EINVAL when the mutex is not robust or not owner-dead."""
+        if self.attr.robust != PTHREAD_MUTEX_ROBUST:
+            return Errno.EINVAL
+        return self._impl.consistent()
 
     @property
     def impl(self) -> Mutex:
@@ -145,6 +211,12 @@ def pthread_mutex_timedlock(mutex: PthreadMutex, timeout_usec: float):
 
 def pthread_mutex_unlock(mutex: PthreadMutex):
     yield from mutex.unlock()
+
+
+def pthread_mutex_consistent(mutex: PthreadMutex) -> int:
+    """Plain call (no yields): mark the protected state repaired after
+    an ``EOWNERDEAD`` acquire of a robust mutex."""
+    return mutex.consistent()
 
 
 def pthread_cond_wait(cond: PthreadCond, mutex: PthreadMutex):

@@ -17,6 +17,10 @@ Rule kinds:
   amount, perturbing timing-sensitive code deterministically.
 * :class:`LwpCrash` — at a virtual time, terminate one LWP mid-run, as
   if the kernel reclaimed it.
+* :class:`CrashStorm` — a repeating :class:`LwpCrash`: every
+  ``interval_usec`` kill one LWP whose riding thread's name matches a
+  glob, up to ``count`` kills.  The chaos gate (``explore --chaos``)
+  drives the supervised server through these.
 
 Network rules (consulted by :mod:`repro.kernel.syscalls.net_calls` at
 the natural failure points of the simulated socket layer):
@@ -252,9 +256,7 @@ class LwpCrash(FaultRule):
             if victim is None:
                 return
             self.victim_name = victim.name
-            proc = victim.process
-            kernel.terminate_lwp(victim)
-            kernel.wakeup_all(proc.lwp_wait, value=victim.lwp_id)
+            kernel.crash_lwp(victim)
             plan.note(kernel, "lwp-crash", victim.name)
 
         kernel.engine.call_at(usec(self.at_usec), fire, tag="fault-crash")
@@ -285,6 +287,98 @@ class LwpCrash(FaultRule):
     @classmethod
     def _from_dict(cls, d: dict) -> "LwpCrash":
         return cls(d["at_usec"], pid=d.get("pid"), lwp_id=d.get("lwp_id"))
+
+
+class CrashStorm(FaultRule):
+    """Kill one matching LWP every ``interval_usec``, ``count`` times.
+
+    The chaos-engineering workhorse: starting at ``start_usec``, each
+    tick picks one live LWP (seeded) whose *riding thread's* name
+    matches the ``target`` glob and crashes it through the full
+    owner-death reclaim path (:meth:`repro.kernel.kernel.Kernel.
+    crash_lwp`).  Matching on the thread name rather than the LWP means
+    a storm targeting ``worker-*`` only ever hits a worker mid-request —
+    an idle unbound worker sleeping on a condvar is off-LWP and safe —
+    which is exactly the discipline a supervised server must survive.
+
+    A tick with no matching victim is skipped (it still counts against
+    nothing; the storm keeps ticking until ``count`` kills land or the
+    run ends).
+    """
+
+    KIND = "crash-storm"
+
+    def __init__(self, start_usec: float, interval_usec: float,
+                 count: int, target: str = "*", pid: Optional[int] = None):
+        if interval_usec <= 0:
+            raise SimulationError(f"bad storm interval {interval_usec}")
+        if count < 1:
+            raise SimulationError(f"bad storm count {count}")
+        self.start_usec = start_usec
+        self.interval_usec = interval_usec
+        self.count = count
+        self.target = target
+        self.pid = pid
+        self.killed = 0
+        self.victims: list[str] = []
+
+    def arm(self, plan: "FaultPlan", kernel) -> None:
+        self.killed = 0
+        self.victims = []
+
+        def tick():
+            from repro.kernel.process import ProcState
+            if self.killed >= self.count:
+                return
+            if not any(p.state is ProcState.ACTIVE
+                       for p in kernel.processes.values()):
+                return   # everyone exited; stop re-arming
+            victim = self._pick(plan, kernel)
+            if victim is not None:
+                self.killed += 1
+                self.victims.append(victim.name)
+                thread = victim.current_thread
+                kernel.crash_lwp(victim)
+                plan.note(kernel, "crash-storm", victim.name,
+                          thread=getattr(thread, "name", None),
+                          kill=self.killed)
+            if self.killed < self.count:
+                kernel.engine.call_after(usec(self.interval_usec), tick,
+                                         tag="fault-crash-storm")
+
+        kernel.engine.call_at(usec(self.start_usec), tick,
+                              tag="fault-crash-storm")
+
+    def _pick(self, plan: "FaultPlan", kernel):
+        from repro.kernel.process import ProcState
+        candidates = []
+        for pid in sorted(kernel.processes):
+            proc = kernel.processes[pid]
+            if proc.state is not ProcState.ACTIVE:
+                continue
+            if self.pid is not None and pid != self.pid:
+                continue
+            for lwp in proc.live_lwps():
+                thread = lwp.current_thread
+                name = getattr(thread, "name", None)
+                if name is None or not fnmatch.fnmatch(name, self.target):
+                    continue
+                candidates.append(lwp)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        return plan.rng("crash").choice(candidates)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "start_usec": self.start_usec,
+                "interval_usec": self.interval_usec, "count": self.count,
+                "target": self.target, "pid": self.pid}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "CrashStorm":
+        return cls(d["start_usec"], d["interval_usec"], d["count"],
+                   target=d.get("target", "*"), pid=d.get("pid"))
 
 
 # =====================================================================
@@ -441,7 +535,7 @@ class PeerReset(SelectedRule):
 
 _RULE_KINDS = {cls.KIND: cls for cls in
                (SyscallFault, PageFaultStorm, TimerJitter, LwpCrash,
-                ConnDrop, AcceptStall, PacketDelay, PeerReset)}
+                CrashStorm, ConnDrop, AcceptStall, PacketDelay, PeerReset)}
 
 
 class FaultPlan:

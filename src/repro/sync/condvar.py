@@ -69,6 +69,9 @@ class CondVar(SyncVariable):
 
         The mutex must be held by the caller (checked for private
         mutexes; a shared mutex carries no owner identity to check).
+        Returns the re-acquire's result — ``Errno.EOWNERDEAD`` when the
+        mutex came back from a crashed holder (robust-mutex protocol),
+        else None — so monitor loops can repair before retesting.
         """
         ctx = yield GET_CONTEXT
         lib = ctx.process.threadlib
@@ -96,13 +99,14 @@ class CondVar(SyncVariable):
                 guard=lambda: self.generation == target_gen)
             # NO_SLEEP means a signal landed in the window: treat it as
             # our wakeup (the paper's retest loop absorbs spurious ones).
-        yield from mutex.enter()
+        acquired = yield from mutex.enter()
         m = ctx.engine.metrics
         if m is not None:
             # Wall-to-wall wait including the mutex re-acquire — the
             # latency the paper's monitor pattern actually experiences.
             m.observe(f"sync.cv.wait_ns.{self.metric_label}",
                       ctx.engine.now_ns - t0)
+        return acquired
 
 
     @guarded

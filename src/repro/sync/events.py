@@ -38,6 +38,49 @@ from repro.hw.isa import GetContext
 #:                             semaphore traffic (detail: ``value``,
 #:                             ``initial``)
 #: ``thread-exit``             a user thread died (detail: ``thread``)
+#: ``thread-crash``            a thread died with its LWP (detail:
+#:                             ``thread``) — emitted by the crash-reclaim
+#:                             walk *after* the per-lock ``owner-dead``
+#:                             events
+#: ``owner-dead``              a crashed thread's lock transitioned to
+#:                             owner-dead (detail: ``thread``,
+#:                             ``handoff`` = next holder's name or None)
+#: ``sup-restart`` / ``sup-give-up`` / ``sup-watchdog-kill``
+#:                             supervision-layer transitions (detail:
+#:                             ``child``, ``supervisor``, ``restarts``)
+
+
+class _NotifyCtx:
+    """Minimal ExecContext stand-in for kernel-context emissions.
+
+    The crash-reclaim walk and the supervisor run from engine timers and
+    kernel callbacks where no CPU is mid-step, so there is no real
+    ExecContext to pass to the listeners; they only read ``.thread``,
+    ``.lwp``, and ``.engine``.
+    """
+
+    __slots__ = ("thread", "lwp", "engine", "cpu", "process")
+
+    def __init__(self, engine, thread=None, lwp=None, process=None):
+        self.engine = engine
+        self.thread = thread
+        self.lwp = lwp
+        self.cpu = None
+        self.process = process
+
+
+def sync_notify(engine, op: str, sv, thread=None, lwp=None,
+                process=None, **detail) -> None:
+    """Kernel-context :func:`sync_event`: notify listeners without a CPU.
+
+    Free when no listener is registered, like sync_event itself.
+    """
+    listeners = engine.sync_listeners
+    if not listeners:
+        return
+    ctx = _NotifyCtx(engine, thread=thread, lwp=lwp, process=process)
+    for listener in listeners:
+        listener.on_sync(ctx, op, sv, detail)
 
 
 def sync_active(ctx) -> bool:

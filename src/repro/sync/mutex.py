@@ -44,6 +44,16 @@ class Mutex(SyncVariable):
         # lives in the shared cell).
         self.owner = None            # Thread holding the lock
         self.waiters: list = []      # user-level sleep queue
+        # Robust-mutex owner-death protocol (private variant only; a
+        # shared mutex's holder is just a bit in the cell, so the crash
+        # reclaim walk cannot attribute it).  When the holder's LWP dies
+        # the reclaim walk sets ``owner_dead`` and hands the lock off;
+        # the next acquirer gets ``Errno.EOWNERDEAD`` and must call
+        # :meth:`consistent` before releasing, or the mutex becomes
+        # permanently ``unrecoverable`` (every later acquire raises
+        # ``SyscallError(ENOTRECOVERABLE)``).
+        self.owner_dead = False
+        self.unrecoverable = False
         # Contention statistics (read by the ablation benchmarks).
         self.acquisitions = 0
         self.contended = 0
@@ -66,6 +76,10 @@ class Mutex(SyncVariable):
             raise SyncError(f"{self.name}: recursive mutex_enter")
         attempted = False
         while True:
+            if self.unrecoverable:
+                raise SyscallError(Errno.ENOTRECOVERABLE, "mutex_enter",
+                                   f"{self.name}: owner died and the lock "
+                                   "was released without mutex_consistent")
             if self.owner is None:
                 self.owner = me
                 self.acquisitions += 1
@@ -74,7 +88,7 @@ class Mutex(SyncVariable):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
                                                  cell=self.cell)
-                return
+                return Errno.EOWNERDEAD if self.owner_dead else None
             self.contended += 1
             if not attempted:
                 # Contended: announce the *attempt* so the lock-order
@@ -93,6 +107,11 @@ class Mutex(SyncVariable):
                 self.waiters, reason=self.name,
                 guard=lambda: self.owner is not None)
             if outcome is not NO_SLEEP:
+                if self.unrecoverable:
+                    raise SyscallError(
+                        Errno.ENOTRECOVERABLE, "mutex_enter",
+                        f"{self.name}: owner died and the lock was "
+                        "released without mutex_consistent")
                 # Direct handoff: the releaser made us the owner.
                 assert self.owner is me
                 self.acquisitions += 1
@@ -101,7 +120,7 @@ class Mutex(SyncVariable):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
                                                  cell=self.cell)
-                return
+                return Errno.EOWNERDEAD if self.owner_dead else None
 
     def _owner_running(self) -> bool:
         """Adaptive policy: is the holder on a CPU right now?"""
@@ -133,6 +152,10 @@ class Mutex(SyncVariable):
         deadline = kernel.engine.now_ns + usec(timeout_usec)
         was_contended = False
         while True:
+            if self.unrecoverable:
+                raise SyscallError(Errno.ENOTRECOVERABLE, "mutex_enter",
+                                   f"{self.name}: owner died and the lock "
+                                   "was released without mutex_consistent")
             if self.owner is None:
                 self.owner = me
                 self.acquisitions += 1
@@ -141,7 +164,7 @@ class Mutex(SyncVariable):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
                                                  cell=self.cell)
-                return True
+                return Errno.EOWNERDEAD if self.owner_dead else True
             self.contended += 1
             was_contended = True
             if kernel.engine.now_ns >= deadline:
@@ -173,6 +196,11 @@ class Mutex(SyncVariable):
             if timed_out_box["value"] or outcome is _TIMEDOUT:
                 return False
             if outcome is not NO_SLEEP:
+                if self.unrecoverable:
+                    raise SyscallError(
+                        Errno.ENOTRECOVERABLE, "mutex_enter",
+                        f"{self.name}: owner died and the lock was "
+                        "released without mutex_consistent")
                 # Direct handoff: the releaser made us the owner.
                 assert self.owner is me
                 self.acquisitions += 1
@@ -181,7 +209,7 @@ class Mutex(SyncVariable):
                     yield from events.sync_point(ctx, "acquire", self,
                                                  mode="mutex", blocking=True,
                                                  cell=self.cell)
-                return True
+                return Errno.EOWNERDEAD if self.owner_dead else True
 
     def _timedenter_shared(self, timeout_usec: float):
         ctx = yield GET_CONTEXT
@@ -240,6 +268,10 @@ class Mutex(SyncVariable):
             return result
         ctx = yield GET_CONTEXT
         yield charge(ctx.costs.mutex_fast_path)
+        if self.unrecoverable:
+            raise SyscallError(Errno.ENOTRECOVERABLE, "mutex_tryenter",
+                               f"{self.name}: owner died and the lock was "
+                               "released without mutex_consistent")
         if self.owner is None:
             self.owner = ctx.thread
             self.acquisitions += 1
@@ -248,7 +280,9 @@ class Mutex(SyncVariable):
                 yield from events.sync_point(ctx, "acquire", self,
                                              mode="mutex", blocking=False,
                                              cell=self.cell)
-            return True
+            # Truthy either way; EOWNERDEAD tells the caller the previous
+            # holder died and the protected state needs inspection.
+            return Errno.EOWNERDEAD if self.owner_dead else True
         return False
 
     # ------------------------------------------------------------- exit
@@ -270,6 +304,22 @@ class Mutex(SyncVariable):
             raise SyncError(
                 f"{self.name}: mutex_exit by non-owner "
                 f"(owner={self.owner!r}, caller={me!r})")
+        if self.owner_dead:
+            # Released without mutex_consistent(): the protected state is
+            # suspect forever (POSIX robust-mutex semantics).  Wake every
+            # waiter; each raises ENOTRECOVERABLE when it resumes.
+            self.owner_dead = False
+            self.unrecoverable = True
+            self._m_released(ctx)
+            self.owner = None
+            if self.waiters:
+                yield charge(ctx.costs.sync_user_op)
+                yield from lib.wake_from_queue(self.waiters,
+                                               n=len(self.waiters))
+            if events.sync_active(ctx):
+                yield from events.sync_point(ctx, "release", self,
+                                             mode="mutex", cell=self.cell)
+            return
         self._m_released(ctx)
         if self.waiters:
             # Hand off directly to the longest waiter (no barging).
@@ -288,6 +338,44 @@ class Mutex(SyncVariable):
         if self.is_shared:
             return self.cell.load() != 0
         return self.owner is not None
+
+    # ------------------------------------------- owner-death reclamation
+
+    def consistent(self, me=None) -> int:
+        """Mark the protected state repaired after an EOWNERDEAD acquire.
+
+        Plain call (no yields): guest code runs atomically between
+        yields, so no event is needed.  Returns 0 on success and
+        ``Errno.EINVAL`` when the mutex is not in the owner-dead state,
+        mirroring ``pthread_mutex_consistent``.
+        """
+        if not self.owner_dead:
+            return Errno.EINVAL
+        if self.owner is None or (me is not None and self.owner is not me):
+            raise SyncError(f"{self.name}: mutex_consistent by non-owner")
+        self.owner_dead = False
+        return 0
+
+    def reclaim_dead_owner(self, lib, kernel):
+        """Owner's LWP died: transition to owner-dead and hand off.
+
+        Called by the kernel's crash-reclaim walk (plain kernel-context
+        call, never from guest code).  Returns the thread the lock was
+        handed to, or None when it was left free for the next acquirer.
+        """
+        self.owner = None
+        self.owner_dead = True
+        self._held_since = None      # hold-time metric ends with the owner
+        if not self.waiters:
+            return None
+        nxt = self.waiters.pop(0)
+        nxt.wait_queue = None
+        self.owner = nxt
+        for lwp_id in lib.make_runnable(nxt, value="owner-dead"):
+            lwp = lib.process.lwps.get(lwp_id)
+            if lwp is not None:
+                kernel.unpark_lwp(lwp)
+        return nxt
 
     # ==================================================== shared variant
     #

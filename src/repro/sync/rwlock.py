@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from repro.errors import SyncError
+from repro.errors import Errno, SyncError, SyscallError
 from repro.hw.isa import GET_CONTEXT, charge
 from repro.sync import events
 from repro.sync.guards import guarded
@@ -65,6 +65,11 @@ class RwLock(SyncVariable):
         self.upgrading = False
         self.reader_waiters: list = []
         self.writer_waiters: list = []
+        # Owner-death protocol (private variant; writer deaths only — a
+        # dead reader cannot have been mutating the protected object, so
+        # its hold is reclaimed silently).  Mirrors Mutex.owner_dead.
+        self.owner_dead = False
+        self.unrecoverable = False
         # Threads currently holding the lock as readers (private variant
         # only) — read by the hang diagnostics so writer waits can name
         # the readers blocking them, not just a count.
@@ -111,6 +116,11 @@ class RwLock(SyncVariable):
         attempted = False
         if rw_type is RW_READER:
             while True:
+                if self.unrecoverable:
+                    raise SyscallError(
+                        Errno.ENOTRECOVERABLE, "rw_enter",
+                        f"{self.name}: writer died and the lock was "
+                        "released without consistent()")
                 if self.writer is None and not self.writer_waiters:
                     self.readers += 1
                     self.read_acquires += 1
@@ -121,7 +131,8 @@ class RwLock(SyncVariable):
                         yield from events.sync_point(ctx, "acquire", self,
                                                      mode="reader",
                                                      blocking=True)
-                    return
+                    return (Errno.EOWNERDEAD if self.owner_dead
+                            else None)
                 if not attempted:
                     # Announce the contended attempt so lock-order edges
                     # exist even when this acquire deadlocks (see
@@ -135,6 +146,11 @@ class RwLock(SyncVariable):
                                    or bool(self.writer_waiters)))
         elif rw_type is RW_WRITER:
             while True:
+                if self.unrecoverable:
+                    raise SyscallError(
+                        Errno.ENOTRECOVERABLE, "rw_enter",
+                        f"{self.name}: writer died and the lock was "
+                        "released without consistent()")
                 if self.writer is None and self.readers == 0:
                     self.writer = me
                     self.write_acquires += 1
@@ -143,7 +159,8 @@ class RwLock(SyncVariable):
                         yield from events.sync_point(ctx, "acquire", self,
                                                      mode="writer",
                                                      blocking=True)
-                    return
+                    return (Errno.EOWNERDEAD if self.owner_dead
+                            else None)
                 if not attempted:
                     attempted = True
                     events.sync_event(ctx, "acquire-attempt", self,
@@ -198,7 +215,10 @@ class RwLock(SyncVariable):
         if self.writer is me:
             self.writer = None
             self._m_released(ctx)
-            yield from self._wake_next(lib)
+            if self.owner_dead:
+                yield from self._brick(lib)
+            else:
+                yield from self._wake_next(lib)
             if events.sync_active(ctx):
                 yield from events.sync_point(ctx, "release", self,
                                              mode="writer")
@@ -209,9 +229,27 @@ class RwLock(SyncVariable):
         if me in self.reader_holders:
             self.reader_holders.remove(me)
         if self.readers == 0:
-            yield from self._wake_next(lib)
+            if self.owner_dead:
+                yield from self._brick(lib)
+            else:
+                yield from self._wake_next(lib)
         if events.sync_active(ctx):
             yield from events.sync_point(ctx, "release", self, mode="reader")
+
+    def _brick(self, lib):
+        """Last holder out without consistent(): permanently unrecoverable.
+
+        Every waiter is woken; each raises ENOTRECOVERABLE when its
+        acquire loop re-checks.
+        """
+        self.owner_dead = False
+        self.unrecoverable = True
+        if self.writer_waiters:
+            yield from lib.wake_from_queue(self.writer_waiters,
+                                           n=len(self.writer_waiters))
+        if self.reader_waiters:
+            yield from lib.wake_from_queue(self.reader_waiters,
+                                           n=len(self.reader_waiters))
 
     def _wake_next(self, lib):
         """Writer preference: wake one waiting writer, else all readers."""
@@ -287,6 +325,59 @@ class RwLock(SyncVariable):
         if self.readers:
             return f"readers:{self.readers}"
         return "free"
+
+    # ------------------------------------------- owner-death reclamation
+
+    def consistent(self, me=None) -> int:
+        """Mark the protected state repaired after an EOWNERDEAD acquire.
+
+        Any current holder may repair (readers included — unlike a mutex
+        the EOWNERDEAD handoff can go to several readers at once).
+        Returns 0, or ``Errno.EINVAL`` when not in the owner-dead state.
+        """
+        if not self.owner_dead:
+            return Errno.EINVAL
+        if self.writer is None and self.readers == 0:
+            raise SyncError(f"{self.name}: consistent() while not held")
+        if (me is not None and self.writer is not me
+                and me not in self.reader_holders):
+            raise SyncError(f"{self.name}: consistent() by non-holder")
+        self.owner_dead = False
+        return 0
+
+    def reclaim_dead_owner(self, lib, kernel, thread) -> bool:
+        """``thread``'s LWP died holding this lock; reclaim its hold.
+
+        Kernel-context plain call (crash-reclaim walk).  A dead writer
+        marks the lock owner-dead (its mutation may be half-done); a dead
+        reader's hold is dropped silently.  Returns True when the death
+        transitioned the lock to owner-dead.
+        """
+        marked = False
+        if self.writer is thread:
+            self.writer = None
+            self.owner_dead = True
+            self._held_since = None
+            marked = True
+        elif thread in self.reader_holders:
+            self.reader_holders.remove(thread)
+            self.readers -= 1
+        else:
+            return False
+        if self.writer is None and self.readers == 0:
+            # Non-generator _wake_next: writer preference, same policy.
+            if self.writer_waiters:
+                queue, n = self.writer_waiters, 1
+            else:
+                queue, n = self.reader_waiters, len(self.reader_waiters)
+            for _ in range(n):
+                nxt = queue.pop(0)
+                nxt.wait_queue = None
+                for lwp_id in lib.make_runnable(nxt, value="owner-dead"):
+                    lwp = lib.process.lwps.get(lwp_id)
+                    if lwp is not None:
+                        kernel.unpark_lwp(lwp)
+        return marked
 
     # ==================================================== shared variant
     #

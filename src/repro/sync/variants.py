@@ -21,6 +21,7 @@ Variants provided (or'able where sensible):
 
 from __future__ import annotations
 
+import itertools
 import weakref
 from typing import Optional
 
@@ -68,10 +69,22 @@ class SharedCell:
 _ALL_SYNC_VARIABLES: "weakref.WeakSet[SyncVariable]" = weakref.WeakSet()
 
 
+#: Creation sequence numbers: WeakSet iteration order is address-based
+#: and so differs between host processes, but a run's *creation order*
+#: is deterministic.  Anything that acts on the registry (the crash
+#: reclaim walk) must sort by ``_seq`` so replays stay bit-identical.
+_SEQ = itertools.count()
+
+
 def all_sync_variables() -> list:
     """Snapshot of live sync variables (diagnostics; deterministic order
     is the caller's problem — match by identity, not position)."""
     return list(_ALL_SYNC_VARIABLES)
+
+
+def sync_variables_in_creation_order() -> list:
+    """Snapshot sorted by creation order (deterministic across replays)."""
+    return sorted(_ALL_SYNC_VARIABLES, key=lambda sv: sv._seq)
 
 
 class SyncVariable:
@@ -84,6 +97,7 @@ class SyncVariable:
         self.vtype = vtype
         self.name = name or f"{self.KIND}@{id(self):x}"
         self.cell = cell
+        self._seq = next(_SEQ)
         if cell is not None:
             # Mark the protocol word so dynamic detectors (repro.explore)
             # skip it: futex-style state words are accessed racily by

@@ -13,6 +13,7 @@ from repro.threads.api import (THREAD_BIND_LWP, THREAD_NEW_LWP, THREAD_STOP,
                                tsd_get, tsd_key_create, tsd_set)
 from repro.threads.scheduler import ThreadsLibrary
 from repro.threads.stack import DEFAULT_STACK_SIZE, Stack, StackAllocator
+from repro.threads.supervisor import ChildSpec, Supervisor
 from repro.threads.thread import Thread, ThreadState
 from repro.threads.tls import TlsBlock, TlsLayout, TsdKeys
 
@@ -28,4 +29,5 @@ __all__ = [
     "tsd_get", "tsd_key_create", "tsd_set",
     "ThreadsLibrary", "DEFAULT_STACK_SIZE", "Stack", "StackAllocator",
     "Thread", "ThreadState", "TlsBlock", "TlsLayout", "TsdKeys",
+    "ChildSpec", "Supervisor",
 ]

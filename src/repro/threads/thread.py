@@ -82,6 +82,11 @@ class Thread:
         #: sleeps inside an lwp_park system call whose return value owns
         #: that slot.
         self.wake_value: Any = None
+        #: Set by the crash-reclaim walk when this thread died with its
+        #: LWP (fault injection, watchdog kill) rather than exiting.
+        self.crashed = False
+        #: Owning :class:`repro.threads.supervisor.Supervisor`, if any.
+        self.supervisor = None
 
     @property
     def effective_priority(self) -> int:

@@ -22,6 +22,16 @@ Every admitted request is accounted for on a ledger
 ``net-serve`` / ``net-shed``), which the explorer's lost-request
 detector audits: admitted exactly once implies served exactly once or
 explicitly shed — under overload, faults, and adversarial schedules.
+
+``supervise=True`` puts the pool workers under a
+:class:`~repro.threads.supervisor.Supervisor`: a worker that dies with
+its LWP (a ``CrashStorm``, a watchdog kill) is respawned on backoff,
+and its in-flight request — tracked in a plain dict the crash-reclaim
+walk can read — is handed to the replacement as its first work item, so
+the ledger stays exactly-once through crash storms.  The admission
+mutex is treated as robust everywhere: any acquire that returns
+``EOWNERDEAD`` repairs with ``consistent()`` (the queue deque is only
+mutated between yields, so it is always structurally sound).
 """
 
 from __future__ import annotations
@@ -66,12 +76,25 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
           shed: str = "reject-newest",
           client_attempts: int = 8,
           reply_deadline_usec: float = 200_000.0,
-          port: int = PORT) -> tuple[Callable, dict]:
-    """Build the server program (it forks its own client processes)."""
+          port: int = PORT,
+          supervise: bool = False,
+          max_restarts: int = 6,
+          heartbeat_timeout_usec=None,
+          crash_storm=None) -> tuple[Callable, dict]:
+    """Build the server program (it forks its own client processes).
+
+    ``supervise`` runs pool workers under a Supervisor (see module
+    docstring).  ``crash_storm``, when given, is a dict of
+    :class:`~repro.sim.faults.CrashStorm` kwargs the program attaches to
+    its own kernel at startup (unless a fault plan is already attached)
+    — the self-contained form the regression corpus uses.
+    """
     if mode not in ("pool", "thread-per-conn"):
         raise ValueError(f"unknown mode {mode!r}")
     if shed not in ("reject-newest", "oldest"):
         raise ValueError(f"unknown shed policy {shed!r}")
+    if supervise and mode != "pool":
+        raise ValueError("supervise=True requires mode='pool'")
     results: dict = {}
     stats = {"admitted": 0, "served": 0, "shed": 0, "latency_ns": 0,
              "client_ok": 0, "client_giveups": 0, "client_retries": 0}
@@ -109,7 +132,11 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                         raise
                 finally:
                     yield from unistd.close(fd)
-                if resp and resp.startswith(b"OK:"):
+                # Strict match on the echoed request id: a reply for a
+                # *different* request (conceivable only when a crashed
+                # worker's replacement re-serves onto a reused fd) must
+                # not count as this request's success.
+                if resp == b"OK:" + _payload(client_id, req, attempt):
                     stats["client_ok"] += 1
                     break
                 # BUSY, EOF, reset, refused, or timed out: try again.
@@ -118,6 +145,22 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
 
     # ------------------------------------------------- server: the pool
 
+    def enter_robust(m):
+        """Generator: ``m.enter()`` that absorbs owner death.  The data
+        the admission mutex protects (a deque and counters) is only ever
+        mutated between yields, so a lock inherited from a crashed
+        holder is always structurally consistent — repair and go."""
+        if (yield from m.enter()):
+            m.consistent()
+
+    def close_quiet(fd: int):
+        """Generator: close that tolerates an already-dead fd (a crashed
+        worker's replacement may re-close what the victim closed)."""
+        try:
+            yield from unistd.close(fd)
+        except SyscallError:
+            pass
+
     def reject(conn: int, rid: str, reason: str):
         """Explicitly shed one request: tell the client, close, ledger."""
         stats["shed"] += 1
@@ -125,7 +168,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
             yield from unistd.send(conn, BUSY)
         except SyscallError:
             pass  # client already gone; the shed is still explicit
-        yield from unistd.close(conn)
+        yield from close_quiet(conn)
         yield from _note("net-shed", rid, reason=reason)
         ctx = yield GetContext()
         m = ctx.engine.metrics
@@ -156,7 +199,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
             yield from unistd.send(conn, b"OK:" + rid.encode())
         except SyscallError:
             ok = False  # client gave up first; served all the same
-        yield from unistd.close(conn)
+        yield from close_quiet(conn)
         now = yield from unistd.gettimeofday()
         stats["served"] += 1
         stats["latency_ns"] += now - enq_ns
@@ -172,6 +215,14 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
         # on the first disappointment.
         from repro.kernel.signals import SIG_IGN, Sig
         yield from unistd.sigaction(int(Sig.SIGPIPE), SIG_IGN)
+        if crash_storm is not None:
+            # Self-contained chaos: the program carries its own storm
+            # (the regression-corpus form).  An externally attached plan
+            # wins — explore passes faults through the run config.
+            ctx = yield GetContext()
+            if ctx.kernel.faults is None:
+                from repro.sim.faults import CrashStorm, FaultPlan
+                FaultPlan([CrashStorm(**crash_storm)]).attach(ctx.kernel)
         datafd = yield from unistd.open("/tmp/server.data",
                                         O_CREAT | O_RDWR)
         yield from unistd.write(datafd, b"x" * 4096)
@@ -186,12 +237,21 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
         qcv = CondVar(name="srv.qcv")
         # Concurrent-handler cap (thread-per-conn mode).
         active = {"handlers": 0}
+        # Crash containment (supervised mode): worker-name → in-flight
+        # item.  Written in the same atomic block as the queue pop, so
+        # from admission to disposal every request is reachable either
+        # from the queue or from this dict — that invariant is what the
+        # crash-recovery handover and the end-of-run sweep rely on.
+        sup = None
+        wspecs: dict = {}
+        inflight: dict = {}
 
         def worker(_):
             while True:
-                yield from qmutex.enter()
+                yield from enter_robust(qmutex)
                 while not queue:
-                    yield from qcv.wait(qmutex)
+                    if (yield from qcv.wait(qmutex)):
+                        qmutex.consistent()
                 item = queue.popleft()
                 yield from qmutex.exit()
                 if item is None:
@@ -199,13 +259,40 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                 conn, rid, enq_ns = item
                 yield from serve(conn, rid, enq_ns, datafd)
 
+        def sworker(handover):
+            """Supervised worker: first serve the crashed predecessor's
+            in-flight item (``handover``), then pull from the queue."""
+            ctx = yield GetContext()
+            me = ctx.thread
+            item = handover
+            while True:
+                if item is None:
+                    yield from enter_robust(qmutex)
+                    while not queue:
+                        if (yield from qcv.wait(qmutex)):
+                            qmutex.consistent()
+                    item = queue.popleft()
+                    if item is not None:
+                        inflight[me.name] = item
+                    yield from qmutex.exit()
+                    if item is None:
+                        return  # poison: graceful drain
+                else:
+                    inflight[me.name] = item
+                if sup is not None:
+                    sup.heartbeat(wspecs[me.name])
+                conn, rid, enq_ns = item
+                yield from serve(conn, rid, enq_ns, datafd)
+                inflight.pop(me.name, None)
+                item = None
+
         def handler(conn):
             rid_raw = yield from read_request(conn)
             if rid_raw is None:
                 yield from unistd.close(conn)
                 return
             rid = rid_raw.decode()
-            yield from qmutex.enter()
+            yield from enter_robust(qmutex)
             over = active["handlers"] >= admission_limit
             if not over:
                 active["handlers"] += 1
@@ -217,7 +304,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
             stats["admitted"] += 1
             yield from _note("net-admit", rid, mode=mode)
             yield from serve(conn, rid, now, datafd)
-            yield from qmutex.enter()
+            yield from enter_robust(qmutex)
             active["handlers"] -= 1
             yield from qmutex.exit()
 
@@ -249,7 +336,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                 # The admit ledger event goes out *before* the request
                 # becomes visible to workers (still under the queue
                 # mutex), so no schedule can serve an unadmitted id.
-                yield from qmutex.enter()
+                yield from enter_robust(qmutex)
                 if len(queue) >= admission_limit:
                     if shed == "oldest":
                         old = queue.popleft()
@@ -272,12 +359,35 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                 yield from threads.thread_wait(tid)
 
         worker_tids = []
-        if mode == "pool":
-            for _ in range(n_workers):
+        if mode == "pool" and supervise:
+            from repro.threads.supervisor import Supervisor
+
+            def handover_arg(spec, dead):
+                # Kernel context (crash time): pull the victim's
+                # in-flight request; the replacement serves it first.
+                return inflight.pop(spec.name, None)
+
+            sup = Supervisor(max_restarts=max_restarts,
+                             restart_arg=handover_arg,
+                             heartbeat_timeout_usec=heartbeat_timeout_usec,
+                             name="srv-sup")
+            for i in range(n_workers):
+                spec = yield from sup.spawn(
+                    sworker, None, name=f"worker-{i}",
+                    flags=threads.THREAD_WAIT | threads.THREAD_NEW_LWP)
+                wspecs[spec.name] = spec
+        elif mode == "pool":
+            for i in range(n_workers):
                 tid = yield from threads.thread_create(
                     worker, None,
                     flags=threads.THREAD_WAIT | threads.THREAD_NEW_LWP)
                 worker_tids.append(tid)
+            if crash_storm is not None:
+                # Name the pool so the storm's target glob can find it
+                # (the supervised path names through its ChildSpecs).
+                ctx = yield GetContext()
+                for i, tid in enumerate(worker_tids):
+                    ctx.process.threadlib.threads[tid].name = f"worker-{i}"
         else:
             # Thread-per-connection: handlers are unbound, so give the
             # pool enough LWPs up front (the paper's
@@ -302,13 +412,34 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
         # FIFO order guarantees no admitted request is ever dropped.
         yield from unistd.close(lfd)
         yield from threads.thread_wait(acceptor_tid)
-        yield from qmutex.enter()
-        for _ in worker_tids:
-            queue.append(None)
-        yield from qcv.broadcast()
-        yield from qmutex.exit()
-        for tid in worker_tids:
-            yield from threads.thread_wait(tid)
+        if supervise:
+            # Graceful drain: stop restarts *first*, then poison exactly
+            # the children still alive.  A crash from here on stays dead.
+            sup.drain()
+            yield from enter_robust(qmutex)
+            live = [s for s in sup.children if s.thread is not None]
+            for _ in live:
+                queue.append(None)
+            yield from qcv.broadcast()
+            yield from qmutex.exit()
+            for spec in live:
+                t = spec.thread
+                if t is not None:
+                    yield from threads.thread_wait(t.thread_id)
+            # Requests the supervisor could not recover — a give-up, or
+            # a crash whose restart this drain pre-empted — are shed
+            # explicitly so the ledger still balances.
+            for wname in sorted(inflight):
+                conn, rid, _enq = inflight.pop(wname)
+                yield from reject(conn, rid, "crash-unrecovered")
+        else:
+            yield from enter_robust(qmutex)
+            for _ in worker_tids:
+                queue.append(None)
+            yield from qcv.broadcast()
+            yield from qmutex.exit()
+            for tid in worker_tids:
+                yield from threads.thread_wait(tid)
         end = yield from unistd.gettimeofday()
         yield from unistd.close(datafd)
 
@@ -331,5 +462,10 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
         results["pool_lwps"] = len(ctx.process.threadlib.pool_lwps)
         results["lwps_grown"] = (
             ctx.process.threadlib.lwps_grown_by_sigwaiting)
+        if supervise:
+            results["worker_restarts"] = sum(
+                s.restarts for s in sup.children)
+            results["worker_give_ups"] = sum(
+                1 for s in sup.children if s.gave_up)
 
     return main, results

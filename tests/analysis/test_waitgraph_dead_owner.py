@@ -1,0 +1,59 @@
+"""Hang reports name dead lock owners as such.
+
+A thread that *exits normally* while holding a mutex (a plain bug — no
+crash, so the owner-death reclaim walk never runs) leaves the lock
+orphaned.  Anyone who then blocks on it hangs forever, and the wait-for
+graph must say why in a way a human can act on: the holder is rendered
+``thread-N (dead)``, not as a live thread that might still release.
+"""
+
+import pytest
+
+from repro import threads
+from repro.errors import DeadlockError
+from repro.sync import Mutex
+from tests.conftest import run_program
+
+
+class TestDeadOwnerRendering:
+    def _run(self):
+        m = Mutex(name="orphan")
+
+        def worker(_):
+            yield from m.enter()
+            # Exits holding the lock: never released, never reclaimed.
+
+        def main():
+            yield from threads.thread_create(worker, None)
+            yield from threads.thread_yield()
+            yield from m.enter()              # hangs forever
+
+        with pytest.raises(DeadlockError) as exc:
+            run_program(main)
+        return str(exc.value)
+
+    def test_holder_is_marked_dead(self):
+        report = self._run()
+        assert "thread-2 (dead)" in report
+        assert "mutex 'orphan'" in report
+
+    def test_live_holders_are_not_marked_dead(self):
+        gate = Mutex(name="gate")
+        m = Mutex(name="held")
+
+        def worker(_):
+            yield from m.enter()
+            yield from threads.thread_yield()
+            yield from gate.enter()           # blocks: main holds gate
+
+        def main():
+            yield from gate.enter()
+            yield from threads.thread_create(worker, None)
+            yield from threads.thread_yield()
+            yield from m.enter()              # blocks: worker holds m
+
+        with pytest.raises(DeadlockError) as exc:
+            run_program(main)
+        report = str(exc.value)
+        assert "mutex 'held'" in report
+        assert "(dead)" not in report

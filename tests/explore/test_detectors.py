@@ -150,3 +150,148 @@ class TestRequestLedger:
 
         result = run_one(factory, program="ledger")
         assert not result.findings
+
+
+class TestOrphanedResourceDetector:
+    """Crash-reclaim coverage: real crash runs through ``run_one`` for
+    the repair verdicts, direct event drive for the missed-reclaim case
+    (which the real kernel walk should make unreachable)."""
+
+    @staticmethod
+    def _crash_run(after_crash):
+        """Bound holder dies at t=3ms holding a mutex; ``after_crash``
+        is a generator function given the mutex, run from main."""
+        from repro import FaultPlan, LwpCrash, threads
+        from repro.runtime import libc
+        from repro.sync import Mutex
+
+        def factory():
+            m = Mutex(name="estate")
+
+            def holder(_):
+                yield from m.enter()
+                yield from libc.compute(100_000.0)   # crash lands here
+
+            def main():
+                yield from threads.thread_create(
+                    holder, None, flags=threads.THREAD_BIND_LWP)
+                yield from libc.compute(6_000.0)     # crash has happened
+                yield from after_crash(m)
+
+            return main
+
+        faults = FaultPlan([LwpCrash(3_000.0, pid=1, lwp_id=2)])
+        return run_one(factory, program="crash-estate",
+                       faults_dict=faults.to_dict())
+
+    def test_reclaimed_and_repaired_is_clean(self):
+        from repro.errors import Errno
+
+        def repair(m):
+            res = yield from m.enter()
+            assert res is Errno.EOWNERDEAD
+            m.consistent()
+            yield from m.exit()
+
+        result = self._crash_run(repair)
+        assert not result.failed, result.summary()
+
+    def test_never_repaired_lock_is_reported(self):
+        def ignore(m):
+            return
+            yield   # pragma: no cover — generator shape only
+
+        result = self._crash_run(ignore)
+        orphans = [f for f in result.findings if f.kind == "orphaned-lock"]
+        assert orphans
+        assert any("still owner-dead" in f.message for f in orphans)
+
+    def test_bricked_lock_is_reported(self):
+        def brick(m):
+            yield from m.enter()        # EOWNERDEAD
+            yield from m.exit()         # released without consistent()
+
+        result = self._crash_run(brick)
+        orphans = [f for f in result.findings if f.kind == "orphaned-lock"]
+        assert orphans
+        assert any("ENOTRECOVERABLE" in f.message for f in orphans)
+
+    @staticmethod
+    def _fake_ctx(thread):
+        from types import SimpleNamespace
+        return SimpleNamespace(thread=thread, lwp=None)
+
+    def test_missed_reclaim_is_an_orphan(self):
+        from types import SimpleNamespace
+        from repro.explore.detectors import OrphanedResourceDetector
+
+        det = OrphanedResourceDetector()
+        victim = SimpleNamespace(name="victim")
+        sv = SimpleNamespace(name="m")
+        ctx = self._fake_ctx(victim)
+        det.on_sync(ctx, "acquire", sv, {"mode": "write"})
+        # Crash with NO owner-dead announcement: the walk missed it.
+        det.on_sync(ctx, "thread-crash", None, {})
+        assert [f.kind for f in det.findings] == ["orphaned-lock"]
+        assert "never transitioned" in det.findings[0].message
+
+    def test_announced_reclaim_is_not_an_orphan(self):
+        from types import SimpleNamespace
+        from repro.explore.detectors import OrphanedResourceDetector
+
+        det = OrphanedResourceDetector()
+        victim = SimpleNamespace(name="victim")
+        sv = SimpleNamespace(name="m")       # owner_dead absent -> False
+        ctx = self._fake_ctx(victim)
+        det.on_sync(ctx, "acquire", sv, {"mode": "write"})
+        det.on_sync(ctx, "owner-dead", sv, {"mode": "write"})
+        det.on_sync(ctx, "thread-crash", None, {})
+        det.finalize(sim=None)
+        assert det.reclaims == 1 and det.crashes == 1
+        assert not det.findings
+
+
+class TestRestartStormDetector:
+    @staticmethod
+    def _ctx(now_usec):
+        from types import SimpleNamespace
+        return SimpleNamespace(
+            engine=SimpleNamespace(now_ns=int(now_usec * 1_000)),
+            thread=None, lwp=None)
+
+    def test_give_up_is_always_reported(self):
+        from repro.explore.detectors import RestartStormDetector
+
+        det = RestartStormDetector()
+        det.on_sync(self._ctx(500.0), "sup-give-up", None,
+                    {"child": "kid", "supervisor": "sup", "restarts": 3})
+        assert [f.kind for f in det.findings] == ["restart-storm"]
+        assert "gave up" in det.findings[0].message
+
+    def test_unthrottled_burst_is_reported(self):
+        from repro.explore.detectors import RestartStormDetector
+
+        det = RestartStormDetector()
+        for i in range(5):
+            det.on_sync(self._ctx(100.0 * i), "sup-restart", None,
+                        {"child": "kid", "supervisor": "sup"})
+        assert [f.kind for f in det.findings] == ["restart-storm"]
+        assert "unthrottled" in det.findings[0].message
+
+    def test_backed_off_restarts_are_clean(self):
+        from repro.explore.detectors import RestartStormDetector
+
+        det = RestartStormDetector()
+        for i in range(5):                     # 1000µs apart: legal pace
+            det.on_sync(self._ctx(1_000.0 * i), "sup-restart", None,
+                        {"child": "kid", "supervisor": "sup"})
+        assert not det.findings
+
+    def test_bursts_of_distinct_children_are_clean(self):
+        from repro.explore.detectors import RestartStormDetector
+
+        det = RestartStormDetector()
+        for i in range(5):                     # one restart each: fine
+            det.on_sync(self._ctx(100.0 * i), "sup-restart", None,
+                        {"child": f"kid-{i}", "supervisor": "sup"})
+        assert not det.findings

@@ -5,9 +5,14 @@ fault plan reclaims the owner's LWP mid-hold (``LwpCrash``), the kernel
 clears ``lwp.cpu`` on termination, so ``Mutex._owner_running()`` must go
 False and contenders must fall through to blocking — a contender that
 kept spinning against a dead owner would burn virtual time forever.
+
+Since the crash-reclaim walk landed, the crashed holder's lock is no
+longer orphaned: the contender acquires it with ``EOWNERDEAD`` (and
+without a multi-millisecond spin against the corpse).
 """
 
 from repro import FaultPlan, LwpCrash, threads
+from repro.errors import Errno
 from repro.runtime import libc, unistd
 from repro.sync import Mutex, SYNC_ADAPTIVE
 from tests.conftest import run_program
@@ -29,25 +34,32 @@ class TestAdaptiveSpinAfterOwnerCrash:
             yield from threads.thread_create(
                 holder, None, flags=threads.THREAD_BIND_LWP)
             yield from libc.compute(20_000)   # crash already happened
+            # Probe the spin policy against the corpse *before* the
+            # acquire hands us the lock (after which we are the owner).
+            observed["owner_running"] = m._owner_running()
             spins_before = m.spins
             ok = yield from m.timedenter(10_000)
             observed["ok"] = ok
             observed["spins"] = m.spins - spins_before
-            observed["owner_running"] = m._owner_running()
-            # The orphaned holder can never exit; end the process
-            # explicitly rather than wait on a dead thread.
+            observed["owner_dead"] = m.owner_dead
+            # The crashed holder is gone; end the process explicitly
+            # rather than wait on a dead thread.
             yield from unistd.exit(0)
 
         plan = FaultPlan([LwpCrash(10_000.0, pid=1, lwp_id=2)])
         run_program(main, ncpus=2, faults=plan)
         return observed
 
-    def test_contender_blocks_instead_of_spinning(self):
+    def test_contender_inherits_owner_dead_lock(self):
         observed = self._run()
-        # The lock is orphaned: the timed acquire must give up...
-        assert observed["ok"] is False
-        # ...by sleeping until the deadline, not by polling it.  A
-        # 10ms adaptive spin would cost thousands of poll iterations.
+        # The reclaim walk hands the lock over: the timed acquire
+        # succeeds, flagged EOWNERDEAD so the taker knows the protected
+        # state is suspect...
+        assert observed["ok"] is Errno.EOWNERDEAD
+        assert observed["owner_dead"] is True
+        # ...and it gets there by sleeping/acquiring, not by polling a
+        # dead owner.  A 10ms adaptive spin would cost thousands of
+        # poll iterations.
         assert observed["spins"] < 100, observed
 
     def test_owner_not_considered_running_after_crash(self):

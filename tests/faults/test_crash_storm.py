@@ -1,0 +1,109 @@
+"""CrashStorm fault rule: targeting, count, determinism, termination.
+
+The storm is the chaos-gate workhorse, so its discipline matters: it
+must only ever kill LWPs whose *riding thread* matches the target glob,
+land exactly ``count`` kills, pick identically under identical seeds,
+and stop re-arming once the world has exited.
+"""
+
+from repro import CrashStorm, FaultPlan, threads
+from repro.hw.isa import GetContext
+from repro.runtime import libc, unistd
+from tests.conftest import run_program
+
+
+def _spin(_):
+    while True:
+        yield from libc.compute(200.0)
+
+
+def _pool(names):
+    """Generator: create one bound, renamed spinner per name."""
+    ctx = yield GetContext()
+    for name in names:
+        tid = yield from threads.thread_create(
+            _spin, None, flags=threads.THREAD_BIND_LWP)
+        ctx.process.threadlib.threads[tid].name = name
+
+
+class _CrashLog:
+    def __init__(self):
+        self.names = []
+
+    def on_sync(self, ctx, op, sv, detail):
+        if op == "thread-crash":
+            self.names.append(getattr(ctx.thread, "name", None))
+
+
+def _run(storm, seed=7, run_usec=30_000.0):
+    from repro.api import Simulator
+    log = _CrashLog()
+    sim = Simulator(ncpus=4, seed=seed, faults=FaultPlan([storm]))
+    sim.engine.sync_listeners.append(log)
+
+    def main():
+        yield from _pool(["worker-0", "worker-1", "worker-2",
+                          "bystander-0"])
+        yield from libc.compute(run_usec)
+        yield from unistd.exit(0)
+
+    sim.spawn(main)
+    sim.run(max_events=2_000_000)
+    return storm, log
+
+
+class TestTargeting:
+    def test_glob_spares_non_matching_threads(self):
+        storm = CrashStorm(start_usec=2_000.0, interval_usec=2_000.0,
+                           count=3, target="worker-*")
+        storm, log = _run(storm)
+        assert storm.killed == 3
+        assert len(log.names) == 3
+        assert all(name.startswith("worker-") for name in log.names)
+
+    def test_count_is_honored_exactly(self):
+        storm = CrashStorm(start_usec=2_000.0, interval_usec=1_000.0,
+                           count=2, target="worker-*")
+        storm, log = _run(storm)
+        assert storm.killed == 2
+        assert len(log.names) == 2
+
+
+class TestDeterminism:
+    def test_identical_seeds_pick_identical_victims(self):
+        def storm():
+            return CrashStorm(start_usec=2_000.0, interval_usec=2_000.0,
+                              count=3, target="worker-*")
+
+        _, first = _run(storm(), seed=42)
+        _, second = _run(storm(), seed=42)
+        assert first.names == second.names
+        assert len(first.names) == 3
+
+
+class TestTermination:
+    def test_storm_stops_rearming_after_world_exit(self):
+        # Far more ticks than the run can host: the storm must notice
+        # the empty world and stop, or the engine would spin on
+        # fault-crash-storm timers forever.
+        storm = CrashStorm(start_usec=2_000.0, interval_usec=500.0,
+                           count=1_000, target="worker-*")
+        storm, log = _run(storm, run_usec=10_000.0)
+        assert storm.killed < 1_000
+        assert storm.killed == len(log.names)
+
+    def test_tick_with_no_matching_victim_is_skipped(self):
+        observed = {}
+
+        def main():
+            # No worker-* thread ever exists; every tick skips.
+            yield from libc.compute(10_000.0)
+            observed["done"] = True
+            yield from unistd.exit(0)
+
+        storm = CrashStorm(start_usec=1_000.0, interval_usec=1_000.0,
+                           count=5, target="worker-*")
+        run_program(main, ncpus=2, faults=FaultPlan([storm]))
+        assert observed["done"] is True
+        assert storm.killed == 0
+        assert storm.victims == []

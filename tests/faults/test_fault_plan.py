@@ -82,8 +82,8 @@ class TestSyscallFault:
 
 class TestSerialization:
     def test_round_trip_all_rule_kinds(self):
-        from repro.sim.faults import (AcceptStall, ConnDrop, PacketDelay,
-                                      PeerReset)
+        from repro.sim.faults import (AcceptStall, ConnDrop, CrashStorm,
+                                      PacketDelay, PeerReset)
         plan = FaultPlan([
             SyscallFault("lwp_create", "EAGAIN", probability=0.25,
                          max_count=10, skip=3),
@@ -91,6 +91,7 @@ class TestSerialization:
             PageFaultStorm(2_000.0, pattern="file:*"),
             TimerJitter(500.0, probability=0.9),
             LwpCrash(10_000.0, pid=1, lwp_id=2),
+            CrashStorm(5_000.0, 2_000.0, 4, target="worker-*", pid=1),
             ConnDrop(port=7000, mode="timeout", timeout_usec=5_000.0,
                      probability=0.5, skip=1),
             AcceptStall(port=None, stall_usec=1_500.0, every=4),

@@ -1,0 +1,161 @@
+"""LwpCrash against the blocking primitives: the reclaim edge cases.
+
+Three deaths the crash-reclaim walk must get exactly right:
+
+* a thread crashed while blocked in ``cv_wait`` holds *nothing* — it
+  released the mutex before sleeping and had not yet re-acquired it, so
+  the mutex must not go owner-dead and the corpse must leave the cv's
+  sleep queue;
+* a thread crashed while parked in ``accept`` is a kernel-side sleeper:
+  the process survives, and the listening socket stays closeable;
+* a crash of a process's *last* LWP is process death: exit status 134
+  (as if SIGABRT), SIGCHLD to the parent before its ``waitpid`` returns.
+"""
+
+from repro import Errno, FaultPlan, LwpCrash, SyscallError, threads
+from repro.hw.isa import GetContext
+from repro.kernel.signals import Sig
+from repro.runtime import libc, unistd
+from repro.sim.clock import usec
+from repro.sync import CondVar, Mutex
+from repro.threads.reclaim import CRASHED_STATUS
+from repro.threads.thread import ThreadState
+from tests.conftest import run_program
+
+
+class TestCrashInCvWait:
+    def _run(self):
+        observed = {}
+        m = Mutex(name="monitor")
+        cv = CondVar(name="monitor-cv")
+        state = {"ready": False}
+
+        def waiter(_):
+            ctx = yield GetContext()
+            observed["victim"] = ctx.thread
+            yield from m.enter()
+            while not state["ready"]:
+                yield from cv.wait(m)      # crash lands in this sleep
+            yield from m.exit()
+
+        def main():
+            ctx = yield GetContext()
+            tid = yield from threads.thread_create(
+                waiter, None, flags=threads.THREAD_BIND_LWP)
+            yield from libc.compute(2_000.0)   # waiter is asleep on cv
+
+            def kill():
+                victim = observed["victim"]
+                if victim.lwp is not None:
+                    ctx.kernel.crash_lwp(victim.lwp)
+
+            ctx.engine.call_after(usec(1_000.0), kill)
+            yield from libc.compute(5_000.0)   # crash has happened
+            # The mutex was NOT held by the sleeping waiter: it must be
+            # freely acquirable with no owner-dead residue.
+            acquired = yield from m.enter()
+            observed["acquired"] = acquired
+            observed["owner_dead"] = m.owner_dead
+            observed["cv_waiters"] = list(cv.waiters)
+            state["ready"] = True
+            yield from cv.signal()             # wakes nobody; no corpse
+            yield from m.exit()
+            yield from unistd.exit(0)
+
+        run_program(main, ncpus=2)
+        return observed
+
+    def test_mutex_is_not_half_reacquired(self):
+        observed = self._run()
+        assert observed["acquired"] is None        # plain acquire
+        assert observed["owner_dead"] is False
+
+    def test_corpse_leaves_the_cv_sleep_queue(self):
+        observed = self._run()
+        assert observed["cv_waiters"] == []
+        victim = observed["victim"]
+        assert victim.crashed and victim.state is ThreadState.ZOMBIE
+        assert victim.wait_queue is None
+
+
+class TestCrashInAccept:
+    def test_process_survives_an_acceptor_crash(self):
+        observed = {}
+
+        def acceptor(_):
+            ctx = yield GetContext()
+            observed["victim"] = ctx.thread
+            lfd = yield from unistd.socket()
+            yield from unistd.bind(lfd, 9321)
+            yield from unistd.listen(lfd, 2)
+            observed["lfd"] = lfd
+            conn = yield from unistd.accept(lfd)   # parks; crash lands here
+            observed["accepted"] = conn            # never reached
+
+        def main():
+            ctx = yield GetContext()
+            yield from threads.thread_create(
+                acceptor, None, flags=threads.THREAD_BIND_LWP)
+            yield from libc.compute(2_000.0)       # acceptor is parked
+
+            def kill():
+                victim = observed["victim"]
+                if victim.lwp is not None:
+                    ctx.kernel.crash_lwp(victim.lwp)
+
+            ctx.engine.call_after(usec(1_000.0), kill)
+            yield from libc.compute(5_000.0)
+            # The process keeps running; the listener is still ours to
+            # close, and closing it is an ordinary close.
+            yield from unistd.close(observed["lfd"])
+            observed["alive"] = True
+            yield from unistd.exit(0)
+
+        run_program(main, ncpus=2)
+        assert observed["alive"] is True
+        assert "accepted" not in observed
+        victim = observed["victim"]
+        assert victim.crashed and victim.exit_status == CRASHED_STATUS
+
+
+class TestLastLwpCrashIsProcessDeath:
+    def _run(self):
+        observed = {"order": []}
+
+        def child_main():
+            while True:
+                yield from libc.compute(500.0)
+
+        def main():
+            def on_sigchld(sig):
+                observed["order"].append("sigchld")
+
+            yield from unistd.sigaction(int(Sig.SIGCHLD), on_sigchld)
+            pid = yield from unistd.fork1(child_main)
+            observed["child_pid"] = pid
+            # The handled SIGCHLD interrupts the blocking waitpid —
+            # classic UNIX EINTR — so reap with the canonical retry loop.
+            while True:
+                try:
+                    reaped = yield from unistd.waitpid(pid)
+                except SyscallError as err:
+                    if err.errno is Errno.EINTR:
+                        continue
+                    raise
+                break
+            observed["order"].append("reaped")
+            observed["reaped"] = reaped
+
+        plan = FaultPlan([LwpCrash(5_000.0, pid=2, lwp_id=1)])
+        run_program(main, ncpus=2, faults=plan)
+        return observed
+
+    def test_waitpid_reports_crash_status(self):
+        observed = self._run()
+        pid, status = observed["reaped"]
+        assert pid == observed["child_pid"]
+        assert status == CRASHED_STATUS            # 128 + SIGABRT
+
+    def test_sigchld_arrives_before_waitpid_returns(self):
+        observed = self._run()
+        assert observed["order"] == ["sigchld", "reaped"]
