@@ -8,22 +8,32 @@ Usage::
 
 The analyzer is purely AST-based: it never imports or executes the code
 it checks.  See :mod:`repro.lint.loader` for the symbol model,
-:mod:`repro.lint.absint` for the path-sensitive interpreter, and
-:mod:`repro.lint.rules` for the rule catalogue (L101–L601).
+:mod:`repro.lint.absint` for the path-sensitive interpreter,
+:mod:`repro.lint.summaries` for the interprocedural bottom-up function
+summaries, and :mod:`repro.lint.rules` for the rule catalogue
+(L101–L903).
+
+Analysis is per-file by construction — every identity key (lock, cell,
+spawn target) is module-qualified, so no rule can relate evidence from
+two different files.  That is what makes ``jobs=N`` process fan-out
+byte-identical to the serial run: each worker lints a shard of files
+with its own sink, and the merged report sorts into the same order.
 """
 
 from __future__ import annotations
 
 import os
 
-from repro.lint import callgraph
+from repro.lint import callgraph, summaries
 from repro.lint.absint import Interp, Sink
 from repro.lint.loader import ModuleInfo, load_module
 from repro.lint.report import (KIND_BY_RULE, RULE_CATALOGUE,
                                SEVERITY_BY_RULE, LintFinding,
                                LintReport)
-from repro.lint.rules import (condvar, fork_hygiene, lock_balance,
-                              lock_order, lockset, yield_discipline)
+from repro.lint.rules import (blocking, condvar, fork_hygiene,
+                              lock_balance, lock_order, lockset,
+                              retry_discipline, robust,
+                              yield_discipline)
 
 __all__ = ["lint_paths", "lint_files", "collect_files", "LintReport",
            "LintFinding", "KIND_BY_RULE", "SEVERITY_BY_RULE",
@@ -53,13 +63,21 @@ def _normalize(path: str) -> str:
         else path.replace(os.sep, "/")
 
 
-def lint_files(files) -> LintReport:
-    """Analyze the given .py files together (one shared evidence sink,
-    so cross-function facts like cv/mutex associations work)."""
+def lint_files(files, interprocedural: bool = True,
+               jobs: int = 1) -> LintReport:
+    """Analyze the given .py files together.
+
+    With ``interprocedural=False`` (the CLI's ``--no-summaries``) the
+    pre-PR-8 local analyzer is restored: helper calls are opaque, no
+    inlining, no summaries, and every generator is its own entry point.
+    """
+    if jobs > 1 and len(files) > 1:
+        return _lint_parallel(files, interprocedural, jobs)
     report = LintReport()
     sink = Sink()
     modules = []
     spawns = []
+    summs_by_path = {}
     for path in files:
         try:
             module = load_module(path)
@@ -67,10 +85,14 @@ def lint_files(files) -> LintReport:
             raise SystemExit(f"repro.lint: cannot parse {path}: {err}")
         modules.append(module)
         report.files.append(path)
+        summs = summaries.compute(module) if interprocedural else {}
+        summs_by_path[module.path] = summs
         _called, msp, _edges = callgraph.analyze(module)
         spawns.extend(msp)
-        for fi in callgraph.entry_points(module):
-            Interp(module, sink).run_entry(fi)
+        for fi in callgraph.entry_points(
+                module, everything=not interprocedural):
+            Interp(module, sink, summs,
+                   interprocedural=interprocedural).run_entry(fi)
     findings = []
     findings += yield_discipline.run(modules)
     findings += lock_order.run(sink)
@@ -78,6 +100,10 @@ def lint_files(files) -> LintReport:
     findings += condvar.run(sink)
     findings += fork_hygiene.run(sink)
     findings += lockset.run(sink, spawns)
+    findings += blocking.run(sink)
+    findings += robust.run(sink)
+    findings += retry_discipline.run(modules, summs_by_path, spawns,
+                                     interprocedural=interprocedural)
 
     by_path = {m.path: m for m in modules}
     seen = set()
@@ -94,8 +120,46 @@ def lint_files(files) -> LintReport:
     return report.finish()
 
 
-def lint_paths(paths, baseline=None) -> LintReport:
-    report = lint_files(collect_files(paths))
+def _from_dict(d: dict) -> LintFinding:
+    return LintFinding(d["rule"], d["file"], d["line"], d["function"],
+                       d["subject"], d["message"], col=d["col"],
+                       detail=d["detail"])
+
+
+def _lint_worker(args):
+    """Lint one file in a pool process (module-level: picklable)."""
+    path, interprocedural = args
+    try:
+        report = lint_files([path], interprocedural=interprocedural)
+    except SystemExit as err:
+        return (path, str(err), None)
+    return (path, [f.to_dict() for f in report.findings],
+            [f.to_dict() for f in report.suppressed])
+
+
+def _lint_parallel(files, interprocedural, jobs) -> LintReport:
+    """Per-file process fan-out.  Sound because every identity key is
+    module-qualified (no cross-file evidence exists to lose), and
+    byte-identical to serial because ``finish()`` imposes the same
+    total order either way."""
+    from concurrent.futures import ProcessPoolExecutor
+    report = LintReport()
+    with ProcessPoolExecutor(max_workers=min(jobs, len(files))) as pool:
+        results = pool.map(_lint_worker,
+                           [(f, interprocedural) for f in files])
+        for path, findings, suppressed in results:
+            if suppressed is None:
+                raise SystemExit(findings)
+            report.files.append(path)
+            report.findings.extend(_from_dict(d) for d in findings)
+            report.suppressed.extend(_from_dict(d) for d in suppressed)
+    return report.finish()
+
+
+def lint_paths(paths, baseline=None, interprocedural: bool = True,
+               jobs: int = 1) -> LintReport:
+    report = lint_files(collect_files(paths),
+                        interprocedural=interprocedural, jobs=jobs)
     if baseline:
         report.apply_baseline(baseline)
         report.finish()

@@ -15,6 +15,10 @@ Examples::
     # Baseline known findings instead of fixing them.
     python -m repro.lint --baseline lint-baseline.txt src/
 
+    # Fan out over 4 processes (byte-identical to the serial report);
+    # --no-summaries restores the pre-interprocedural local analyzer.
+    python -m repro.lint --jobs 4 examples/ src/repro/workloads/
+
 Exit codes: 0 clean, 1 findings (or a missed corpus expectation),
 2 usage error.
 """
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import os
 import sys
 
 from repro.lint import (RULE_CATALOGUE, collect_files, lint_files,
@@ -40,12 +45,32 @@ def _load_baseline(path):
 
 
 def _corpus_check(args) -> int:
-    """Lint explore/corpus.py; compare against its static_expect tags."""
+    """Lint explore/corpus.py (plus the workload modules its entries
+    delegate to); compare against its static_expect tags.
+
+    Attribution: an entry owns the findings inside its own top-level
+    function span, plus any extra spans listed in
+    ``corpus.STATIC_SPANS`` — helper functions (``_socket_server``) or
+    whole delegated workload files (``"workloads:<module>"``).  An
+    entry present in ``STATIC_EXPECT`` with an *empty* set is a
+    statically-clean pin: any finding is a false positive.  Entries
+    absent from ``STATIC_EXPECT`` are dynamic-only.
+    """
     from repro.explore import corpus
 
     path = corpus.__file__
-    report = lint_files(collect_files([path]))
+    extra_files = []
+    for span in set().union(*corpus.STATIC_SPANS.values(), set()):
+        if span.startswith("workloads:"):
+            extra_files.append(os.path.join(
+                os.path.dirname(os.path.dirname(path)),
+                "workloads", span.partition(":")[2] + ".py"))
+    files = collect_files([path] + sorted(set(extra_files)))
+    report = lint_files(files)
     findings = report.findings
+    by_file = {}
+    for f in findings:
+        by_file.setdefault(os.path.basename(f.file), []).append(f)
     # Attribute findings to corpus entries by top-level function span.
     spans = {}
     with open(path, "r", encoding="utf-8") as fh:
@@ -55,18 +80,36 @@ def _corpus_check(args) -> int:
             spans[node.name] = (node.lineno, node.end_lineno)
 
     def rules_in(name):
-        lo, hi = spans.get(name, (0, -1))
-        return {f.rule for f in findings if lo <= f.line <= hi}
+        got = set()
+        own = by_file.get(os.path.basename(path), [])
+        for span in (name,) + corpus.STATIC_SPANS.get(name, ()):
+            if span.startswith("workloads:"):
+                got |= {f.rule for f in by_file.get(
+                    span.partition(":")[2] + ".py", [])}
+            else:
+                lo, hi = spans.get(span, (0, -1))
+                got |= {f.rule for f in own if lo <= f.line <= hi}
+        return got
 
     failures = 0
     for name in corpus.BUGGY:
-        expected = corpus.STATIC_EXPECT.get(name, set())
         got = rules_in(name)
-        missing = expected - got
-        status = "ok" if not missing else "MISSED"
-        print(f"{name}: expect {sorted(expected) or '(dynamic-only)'} "
+        if name not in corpus.STATIC_EXPECT:
+            print(f"{name}: (dynamic-only) got {sorted(got)} -> ok")
+            continue
+        expected = corpus.STATIC_EXPECT[name]
+        if expected:
+            missing = expected - got
+            status = "ok" if not missing else "MISSED"
+            failed = bool(missing)
+        else:
+            # Statically-clean pin: the seeded bug is dynamic-only and
+            # the code must stay finding-free.
+            status = "ok" if not got else "FALSE POSITIVE"
+            failed = bool(got)
+        print(f"{name}: expect {sorted(expected) or '(clean pin)'} "
               f"got {sorted(got)} -> {status}")
-        if missing:
+        if failed:
             failures += 1
     for name in corpus.CLEAN:
         got = rules_in(name)
@@ -98,6 +141,13 @@ def main(argv=None) -> int:
                              "static_expect tags")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint files in N processes (the report is "
+                             "byte-identical to the serial run)")
+    parser.add_argument("--no-summaries", action="store_true",
+                        help="disable interprocedural analysis "
+                             "(inlining + callee summaries); restores "
+                             "the local, helpers-are-opaque analyzer")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -118,7 +168,9 @@ def main(argv=None) -> int:
 
 def _lint(args) -> int:
     baseline = _load_baseline(args.baseline) if args.baseline else None
-    report = lint_paths(args.paths, baseline=baseline)
+    report = lint_paths(args.paths, baseline=baseline,
+                        interprocedural=not args.no_summaries,
+                        jobs=max(1, args.jobs))
     if args.json:
         sys.stdout.write(report.to_json())
     else:

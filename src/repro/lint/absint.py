@@ -28,7 +28,8 @@ from __future__ import annotations
 import ast
 from typing import Optional
 
-from repro.lint.loader import FuncInfo, ModuleInfo, Op, classify_call
+from repro.lint.loader import FuncInfo, ModuleInfo, Op, Val, classify_call
+from repro.lint.summaries import subst_key
 
 MAX_STATES = 48
 MAX_INLINE_DEPTH = 8
@@ -38,42 +39,68 @@ MAX_HELD_SNAPSHOTS = 16
 _LENIENT_PREFIXES = ("param", "param-attr", "expr")
 
 
-class LockEntry:
-    __slots__ = ("key", "display", "kind", "line", "blocking")
+def _block_rule(reason: str):
+    """Rule id for a blocking-under-lock reason, or None when the
+    precise site-level handler owns it (cv waits -> L703)."""
+    if reason.startswith("net-"):
+        return "L701"
+    if reason in ("sleep", "join", "sema-p", "structure", "block"):
+        return "L702"
+    return None
 
-    def __init__(self, key, display, kind, line, blocking=True):
+
+class LockEntry:
+    __slots__ = ("key", "display", "kind", "line", "blocking", "func",
+                 "dead")
+
+    def __init__(self, key, display, kind, line, blocking=True,
+                 func="", dead=False):
         self.key = key
         self.display = display
         self.kind = kind
         self.line = line
         self.blocking = blocking
+        self.func = func      # function that acquired (for traces)
+        self.dead = dead      # EOWNERDEAD observed, not yet repaired
+
+    def copy(self, dead):
+        return LockEntry(self.key, self.display, self.kind, self.line,
+                         self.blocking, self.func, dead)
 
 
 class PathState:
     """One feasible execution path's abstract state."""
 
-    __slots__ = ("held", "units")
+    __slots__ = ("held", "units", "robust")
 
-    def __init__(self, held=(), units=()):
+    def __init__(self, held=(), units=(), robust=()):
         self.held = held      # tuple of LockEntry, acquisition order
         self.units = units    # sorted tuple of (sema key, net P-V)
+        self.robust = robust  # tuple of (var name, lock key) bindings
 
     @property
     def dedupe_key(self):
-        return (tuple((e.key, e.kind) for e in self.held), self.units)
+        return (tuple((e.key, e.kind, e.dead) for e in self.held),
+                self.units, self.robust)
 
     def held_keys(self):
         return [e.key for e in self.held]
 
+    def topmost(self, key):
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i].key == key:
+                return self.held[i]
+        return None
+
     def with_lock(self, entry):
-        return PathState(self.held + (entry,), self.units)
+        return PathState(self.held + (entry,), self.units, self.robust)
 
     def without_lock(self, key):
         """Drop the most recent entry with ``key`` (no-op if absent)."""
         for i in range(len(self.held) - 1, -1, -1):
             if self.held[i].key == key:
                 return PathState(self.held[:i] + self.held[i + 1:],
-                                 self.units)
+                                 self.units, self.robust)
         return self
 
     def sema_net(self, key) -> int:
@@ -85,7 +112,35 @@ class PathState:
     def with_sema(self, key, delta):
         units = dict(self.units)
         units[key] = units.get(key, 0) + delta
-        return PathState(self.held, tuple(sorted(units.items())))
+        return PathState(self.held, tuple(sorted(units.items())),
+                         self.robust)
+
+    def with_robust(self, name, key):
+        kept = tuple((n, k) for n, k in self.robust if n != name)
+        return PathState(self.held, self.units, kept + ((name, key),))
+
+    def robust_key(self, name):
+        for n, k in reversed(self.robust):
+            if n == name:
+                return k
+        return None
+
+    def mark_dead(self, key):
+        """Mark the most recent holding of ``key`` as owner-dead."""
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i].key == key:
+                held = (self.held[:i] + (self.held[i].copy(dead=True),)
+                        + self.held[i + 1:])
+                return PathState(held, self.units, self.robust)
+        return self
+
+    def clear_dead(self, key):
+        """``mutex_consistent``: repair every dead holding of ``key``."""
+        if not any(e.key == key and e.dead for e in self.held):
+            return self
+        held = tuple(e.copy(dead=False) if e.key == key and e.dead
+                     else e for e in self.held)
+        return PathState(held, self.units, self.robust)
 
     def witness(self) -> str:
         return ", ".join(f"{e.display}@{e.line}" for e in self.held)
@@ -169,6 +224,8 @@ class Sink:
         self.cv_mutexes: dict = {}      # cv key -> set of mutex keys
         self.cells: dict = {}           # (path,line,region,off)->access
         self.signal_cv: dict = {}       # (path,line,col) -> cv key
+        self.robust_ignored: list = []  # (module,func,node,key,display)
+        self.repaired_keys: set = set()  # keys mutex_consistent'ed
 
     def site(self, rule, module, function, node, subject) -> Site:
         key = (rule, module.path, node.lineno, node.col_offset, subject)
@@ -209,9 +266,12 @@ class _Frame:
 
 
 class Interp:
-    def __init__(self, module: ModuleInfo, sink: Sink):
+    def __init__(self, module: ModuleInfo, sink: Sink, summaries=None,
+                 interprocedural: bool = True):
         self.module = module
         self.sink = sink
+        self.summaries = summaries or {}
+        self.interprocedural = interprocedural
 
     # ------------------------------------------------------ entry point
 
@@ -241,6 +301,77 @@ class Interp:
         if isinstance(parent, ast.Expr):
             return "discard"
         return "stored"
+
+    def _result_ignored(self, call) -> bool:
+        """``yield from <call>`` used as a bare statement: the robust
+        EOWNERDEAD result is dropped on the floor."""
+        parent = self.module.parents.get(id(call))
+        if isinstance(parent, ast.YieldFrom):
+            return isinstance(self.module.parents.get(id(parent)),
+                              ast.Expr)
+        return False
+
+    def _robust_test(self, test, fi, activation):
+        """(key-or-var, negated) when an ``if`` test observes a robust
+        acquire/wait result, else (None, False)."""
+        node, neg = test, False
+        while isinstance(node, ast.UnaryOp) and \
+                isinstance(node.op, ast.Not):
+            neg = not neg
+            node = node.operand
+        if isinstance(node, ast.YieldFrom) and \
+                isinstance(node.value, ast.Call):
+            key = self._robust_result_key(node, fi, activation)
+            if key is not None:
+                return key, neg
+        if isinstance(node, ast.Name):
+            return ("__robustvar__", node.id), neg
+        return None, False
+
+    def _robust_result_key(self, expr, fi, activation):
+        """Lock key whose EOWNERDEAD result ``expr`` produces, if it is
+        ``yield from m.enter()`` / ``yield from cv.wait(m)``."""
+        if not (isinstance(expr, ast.YieldFrom)
+                and isinstance(expr.value, ast.Call)):
+            return None
+        op = classify_call(self.module, fi, expr.value, activation)
+        if op is None:
+            return None
+        if op.opkind in ("acquire", "timed") and op.lock is not None:
+            return op.lock.key
+        if op.opkind == "wait" and op.mutex is not None:
+            return op.mutex.key
+        return None
+
+    def _mark_dead_state(self, st, robust):
+        key = robust
+        if isinstance(robust, tuple) and robust \
+                and robust[0] == "__robustvar__":
+            key = st.robust_key(robust[1])
+        if key is None:
+            return st
+        return st.mark_dead(key)
+
+    def _block_trace(self, st, fi, stack, api) -> str:
+        """Interprocedural witness: where each held lock was acquired
+        and where the blocking call sits in the inline chain."""
+        held = "; ".join(
+            f"{e.display} acquired in {e.func or fi.name} at "
+            f"{self.module.path}:{e.line}" for e in st.held)
+        mids = [f2.name for f2 in stack[1:-1]]
+        via = f" via {' -> '.join(mids)}" if mids else ""
+        where = f"{api} blocks in {fi.name}{via}"
+        return f"{held}; {where}" if held else where
+
+    def _chain_trace(self, st, site, chain) -> str:
+        held = "; ".join(
+            f"{e.display} acquired in {e.func or '?'} at "
+            f"{self.module.path}:{e.line}" for e in st.held)
+        mids = [c for c in chain[:-1]]
+        via = f" via {' -> '.join(mids)}" if mids else ""
+        where = (f"{site.api} blocks in {site.function}{via} "
+                 f"({site.path}:{site.line})")
+        return f"{held}; {where}" if held else where
 
     def _calls_in(self, node):
         """Call nodes in evaluation order (args before the call itself),
@@ -297,10 +428,22 @@ class Interp:
                 loop.continues.extend(states)
             return []
         if isinstance(stmt, ast.If):
+            robust, neg = self._robust_test(stmt.test, fi, activation)
             states = self._eval(stmt.test, states, *ctx)
-            then = self._walk_body(stmt.body, fi, list(states),
+            then_in, else_in = list(states), list(states)
+            if robust is not None:
+                # ``if (yield from m.enter()):`` — the truthy branch is
+                # the EOWNERDEAD branch: mark the holding owner-dead
+                # until a ``consistent()`` repairs it.
+                marked = [self._mark_dead_state(st, robust)
+                          for st in states]
+                if neg:
+                    else_in = marked
+                else:
+                    then_in = marked
+            then = self._walk_body(stmt.body, fi, then_in,
                                    activation, stack, loop, inline)
-            other = self._walk_body(stmt.orelse, fi, list(states),
+            other = self._walk_body(stmt.orelse, fi, else_in,
                                     activation, stack, loop, inline)
             return _dedupe(then + other)
         if isinstance(stmt, (ast.While, ast.For)):
@@ -326,7 +469,18 @@ class Interp:
                 states = self._eval(item.context_expr, states, *ctx)
             return self._walk_body(stmt.body, fi, states, activation,
                                    stack, loop, inline)
-        # Expr / Assign / AugAssign / AnnAssign / Assert / plain stmts.
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            # ``got = yield from m.enter()`` — remember that ``got``
+            # carries a robust acquire result so a later ``if got:``
+            # can mark the owner-death branch.
+            key = self._robust_result_key(stmt.value, fi, activation)
+            states = self._eval(stmt.value, states, *ctx)
+            if key is not None:
+                name = stmt.targets[0].id
+                states = [st.with_robust(name, key) for st in states]
+            return states
+        # Expr / AugAssign / AnnAssign / Assert / plain stmts.
         for field in ("value", "test", "target", "msg"):
             sub = getattr(stmt, field, None)
             if isinstance(sub, ast.AST):
@@ -396,8 +550,15 @@ class Interp:
         k = op.opkind
         if k == "inline":
             return self._inline(op, call, states, fi, activation, stack)
-        if k in ("call", "genapi"):
+        if k == "call":
+            return self._summary_effects(op, call, states, fi,
+                                         activation, stack)
+        if k == "genapi":
             return states
+        if k == "block":
+            return self._block(op, call, states, fi, stack)
+        if k == "repair":
+            return self._repair(op, call, states, fi, activation)
         if k in ("acquire", "timed", "try"):
             return self._acquire(op, call, states, fi, activation,
                                  kind="mutex")
@@ -411,7 +572,7 @@ class Interp:
         if k == "signal":
             return self._signal(op, call, states, fi)
         if k in ("semp", "semtryp", "semv"):
-            return self._sema(op, call, states, fi, activation)
+            return self._sema(op, call, states, fi, activation, stack)
         if k in ("load", "store"):
             return self._cell(op, call, states, fi, stack)
         if k in ("fork", "fork1"):
@@ -425,10 +586,99 @@ class Interp:
             return states       # spawn topology handled by callgraph
         return states
 
+    def _block(self, op, call, states, fi, stack):
+        """A directly blocking call: L701 (net) / L702 (sleep, join,
+        structure) when any lock is statically held."""
+        rule = _block_rule(op.reason or "block")
+        if rule is None:
+            return states
+        api = ast.unparse(call.func)
+        for st in states:
+            self.sink.record(rule, self.module, fi.name, call,
+                             subject=api, violating=bool(st.held),
+                             witness=self._block_trace(st, fi, stack,
+                                                       api))
+        return states
+
+    def _repair(self, op, call, states, fi, activation):
+        """``mutex_consistent``: repair owner-death marks; L802 when
+        called without holding the mutex (runtime raises there too)."""
+        lock = op.lock
+        if lock is None or lock.key is None:
+            return states
+        self.sink.repaired_keys.add(lock.key)
+        lenient = self._lenient(lock, activation)
+        out = []
+        for st in states:
+            held = lock.key in st.held_keys()
+            if not lenient:
+                self.sink.record("L802", self.module, fi.name, call,
+                                 subject=lock.display,
+                                 violating=not held,
+                                 witness=st.witness())
+            out.append(st.clear_dead(lock.key) if held else st)
+        return out
+
+    def _summary_effects(self, op, call, states, fi, activation, stack):
+        """Apply a non-inlined callee's summary: blocking witnesses
+        while locks are held, repairs, and lock/semaphore deltas.
+        This is how every rule sees beyond the inline horizon
+        (recursion, depth cap, plain helper calls)."""
+        if not self.interprocedural or op.target is None:
+            return states
+        target = op.target.func
+        summ = self.summaries.get(target.qualname)
+        if summ is None:
+            return states
+        for site in summ.blocks:
+            rule = _block_rule(site.reason)
+            if rule is None:
+                continue
+            chain = ((target.name,) + site.chain)
+            for st in states:
+                self.sink.record(
+                    rule, self.module, fi.name, call, subject=site.api,
+                    violating=bool(st.held),
+                    witness=self._chain_trace(st, site, chain))
+        for key in sorted(summ.repairs, key=repr):
+            self.sink.repaired_keys.add(
+                subst_key(self.module, target, call, fi, key,
+                          activation))
+        if summ.deltas is None:
+            return states       # widened (recursion): identity effect
+        out = []
+        for st in states:
+            for acquires, releases, sema in sorted(summ.deltas):
+                st2 = st
+                for key in releases:
+                    st2 = st2.without_lock(
+                        subst_key(self.module, target, call, fi, key,
+                                  activation))
+                for (key, disp, kindname, _line, blocking) in acquires:
+                    k2 = subst_key(self.module, target, call, fi, key,
+                                   activation)
+                    if blocking and kindname == "mutex" \
+                            and k2 not in st2.held_keys():
+                        self._edges_to(st2, Val(kindname, key=k2,
+                                                display=disp),
+                                       fi, call)
+                    st2 = st2.with_lock(LockEntry(
+                        k2, disp, kindname, call.lineno, blocking,
+                        func=target.name))
+                for key, net in sema:
+                    st2 = st2.with_sema(
+                        subst_key(self.module, target, call, fi, key,
+                                  activation), net)
+                out.append(st2)
+        return _dedupe(out)
+
     def _inline(self, op, call, states, fi, activation, stack):
+        if not self.interprocedural:
+            return states       # --no-summaries: helpers are opaque
         target = op.target.func
         if target in stack or len(stack) >= MAX_INLINE_DEPTH:
-            return states
+            return self._summary_effects(op, call, states, fi,
+                                         activation, stack)
         frame_bindings = {}
         args = list(call.args)
         params = list(target.params)
@@ -457,6 +707,13 @@ class Interp:
         forks = op.opkind in ("try", "timed", "rwtry")
         lenient = self._lenient(lock, activation)
         edge_ok = blocking and (kind == "mutex" or op.rw_writer)
+        if kind == "mutex" and op.opkind in ("acquire", "timed") \
+                and self._result_ignored(call):
+            # ``yield from m.enter()`` as a bare statement: the robust
+            # EOWNERDEAD return is discarded (L801, gated on the
+            # program being crash-aware elsewhere).
+            self.sink.robust_ignored.append(
+                (self.module, fi.name, call, lock.key, lock.display))
         out = []
         for st in states:
             already = lock.key in st.held_keys()
@@ -469,7 +726,7 @@ class Interp:
             if edge_ok and not already:
                 self._edges_to(st, lock, fi, call)
             entry = LockEntry(lock.key, lock.display, kind,
-                              call.lineno, blocking)
+                              call.lineno, blocking, func=fi.name)
             out.append(st.with_lock(entry))
             if forks:
                 out.append(st)
@@ -496,6 +753,17 @@ class Interp:
         out = []
         for st in states:
             held = lock.key in st.held_keys()
+            entry = st.topmost(lock.key)
+            if entry is not None and entry.dead:
+                # Owner died holding this mutex; releasing without
+                # ``consistent()`` marks it permanently unusable.
+                self.sink.record(
+                    "L803", self.module, fi.name, call,
+                    subject=lock.display, violating=True,
+                    witness=(f"EOWNERDEAD observed on {lock.display} "
+                             f"(acquired in {entry.func or fi.name} at "
+                             f"{self.module.path}:{entry.line}); "
+                             f"released without consistent()"))
             if not lock.star and not lenient:
                 self.sink.record("L302", self.module, fi.name, call,
                                  subject=lock.display,
@@ -513,10 +781,24 @@ class Interp:
         self.sink.wait_sites.append((self.module, fi, op))
         if mutex is None or mutex.key is None:
             return states
+        if self._result_ignored(call):
+            # Robust waits return EOWNERDEAD too (the owner can die
+            # between the signal and the re-acquire).
+            self.sink.robust_ignored.append(
+                (self.module, fi.name, call, mutex.key, mutex.display))
         lenient = self._lenient(mutex, activation)
+        subject_disp = (cv.display if cv is not None and cv.display
+                        else mutex.display)
         out = []
         for st in states:
             held = mutex.key in st.held_keys()
+            others = [e for e in st.held if e.key != mutex.key]
+            self.sink.record(
+                "L703", self.module, fi.name, call,
+                subject=subject_disp, violating=bool(others),
+                witness="; ".join(
+                    f"{e.display} acquired in {e.func or fi.name} at "
+                    f"{self.module.path}:{e.line}" for e in others))
             if not lenient:
                 self.sink.record("L401", self.module, fi.name, call,
                                  subject=mutex.display,
@@ -544,10 +826,17 @@ class Interp:
                              call.col_offset)] = cv.key
         return states
 
-    def _sema(self, op, call, states, fi, activation):
+    def _sema(self, op, call, states, fi, activation, stack):
         sema = op.lock
         if sema is None or sema.key is None:
             return states
+        if op.opkind == "semp":
+            api = ast.unparse(call.func)
+            for st in states:
+                self.sink.record(
+                    "L702", self.module, fi.name, call, subject=api,
+                    violating=bool(st.held),
+                    witness=self._block_trace(st, fi, stack, api))
         if sema.initial is None or sema.initial == 0:
             return states       # notification semaphore / unknown pool
         out = []
@@ -577,7 +866,7 @@ class Interp:
             acc = self.sink.cells[key] = CellAccess(
                 region.key, region.display, offset,
                 op.opkind == "store", self.module, fi.name,
-                stack[0].qualname, call.lineno)
+                (self.module.path, stack[0].qualname), call.lineno)
         for st in states:
             held = frozenset(map(str, st.held_keys()))
             acc.visits += 1

@@ -6,10 +6,16 @@ Two syntactic facts drive the analysis layout:
   helper(...)``) — those are analyzed inline with bound parameters, not
   as standalone entry points;
 * which functions are *spawned as threads* (``thread_create(worker,
-  ...)``, ``pthread_create``, ``parallel_for`` bodies) — those are
-  always entry points, and the lockset rule treats their shared-memory
-  accesses as concurrent (multi-instance when spawned in a loop or from
-  two or more sites).
+  ...)``, ``pthread_create``, ``parallel_for`` bodies, supervisor
+  ``spawn``) — those are always entry points, and the lockset rule
+  treats their shared-memory accesses as concurrent (multi-instance
+  when spawned in a loop or from two or more sites).
+
+On top of that, :func:`call_edges` exposes the full local call graph
+(inline *and* plain helper calls) — the interprocedural summary layer
+(:mod:`repro.lint.summaries`) runs its bottom-up fixpoint over it, and
+the retry-discipline rules use its transitive closure to decide which
+functions run on a spawned thread.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ class Spawn:
     __slots__ = ("target", "in_loop", "module", "line")
 
     def __init__(self, target, in_loop, module, line):
-        self.target = target        # qualname of the spawned function
+        self.target = target        # (module path, qualname) spawned
         self.in_loop = in_loop
         self.module = module
         self.line = line
@@ -60,7 +66,7 @@ def analyze(module: ModuleInfo):
     """Returns ``(inline_called, spawns, edges)``:
 
     * ``inline_called`` — qualnames called as local generators;
-    * ``spawns`` — list of :class:`Spawn`;
+    * ``spawns`` — list of :class:`Spawn` (module-qualified targets);
     * ``edges`` — caller qualname -> set of callee qualnames.
     """
     inline_called = set()
@@ -80,16 +86,38 @@ def analyze(module: ModuleInfo):
                 dotted = module.resolve_callable(call.func, fi) or ""
                 in_loop = (_in_loop(module, call)
                            or dotted.endswith("parallel_for"))
-                spawns.append(Spawn(op.target.func.qualname, in_loop,
-                                    module, call.lineno))
+                spawns.append(Spawn(
+                    (module.path, op.target.func.qualname), in_loop,
+                    module, call.lineno))
     return inline_called, spawns, edges
 
 
-def entry_points(module: ModuleInfo):
+def call_edges(module: ModuleInfo) -> dict:
+    """Full local call graph: caller qualname -> sorted callee
+    qualnames, covering both inline (``yield from helper()``) and plain
+    non-generator helper calls."""
+    edges: dict = {}
+    for fi in module.functions.values():
+        out = edges.setdefault(fi.qualname, set())
+        for call in _own_calls(fi):
+            op = classify_call(module, fi, call)
+            if op is not None and op.opkind in ("inline", "call") \
+                    and op.target is not None \
+                    and op.target.func is not None:
+                out.add(op.target.func.qualname)
+    return {q: sorted(c) for q, c in edges.items()}
+
+
+def entry_points(module: ModuleInfo, everything: bool = False):
     """Generator functions analyzed standalone: never inline-called, or
-    explicitly spawned as a thread body."""
+    explicitly spawned as a thread body.  With ``everything=True``
+    (the ``--no-summaries`` intraprocedural mode) every generator is an
+    entry point, since helper calls are treated as opaque."""
+    if everything:
+        return [fi for fi in module.functions.values()
+                if fi.is_generator]
     inline_called, spawns, _edges = analyze(module)
-    spawned = {s.target for s in spawns}
+    spawned = {s.target[1] for s in spawns if s.target[0] == module.path}
     entries = []
     for qual, fi in module.functions.items():
         if not fi.is_generator:

@@ -40,6 +40,8 @@ CONSTRUCTORS = {
     "repro.pthreads.PthreadCond": "cv",
     "repro.sync.Barrier": "structure", "repro.sync.BoundedQueue":
     "structure", "repro.sync.Latch": "structure",
+    "repro.threads.supervisor.Supervisor": "supervisor",
+    "repro.threads.Supervisor": "supervisor",
 }
 
 # Defining-submodule spellings (from repro.sync.mutex import Mutex, ...).
@@ -113,10 +115,26 @@ def _suffix(dotted: str) -> str:
     return dotted.rpartition(".")[2]
 
 
+#: calls that park the whole LWP until an external event: suffix ->
+#: block reason.  ``net-*`` reasons are the server killers (unbounded
+#: kernel waits on a peer); ``sleep`` and ``join`` are bounded-by-code
+#: but still serialize every sibling while a lock is held.  Nonblocking
+#: and deadline-bounded variants (``tryenter``, ``sema_tryp``,
+#: ``recv_with_deadline``, ``poll``/``select`` with a timeout) are
+#: deliberately absent.
+BLOCK_REASONS = {
+    "accept": "net-accept", "connect": "net-connect",
+    "recv": "net-recv", "send": "net-send",
+    "nanosleep": "sleep", "sleep_usec": "sleep", "pause": "sleep",
+    "sigsuspend": "sleep",
+    "thread_wait": "join", "thread_waitid": "join",
+    "pthread_join": "join", "waitpid": "join",
+}
+
 #: function-form ops: suffix name -> (opkind, lock-arg index).  opkind is
 #: one of acquire / try / timed / release / wait / signal / semp /
 #: semtryp / semv / rwacquire / rwtry / rwrelease / fork / fork1 /
-#: procexit / threadexit / spawn.
+#: procexit / threadexit / spawn / block.
 FUNC_OPS = {
     "mutex_enter": ("acquire", 0), "mutex_tryenter": ("try", 0),
     "mutex_exit": ("release", 0),
@@ -139,13 +157,16 @@ FUNC_OPS = {
     "thread_create": ("spawn", 0), "pthread_create": ("spawn", 0),
     "parallel_for": ("spawn", 1), "parallel_sum": ("spawn", None),
 }
+for _name in BLOCK_REASONS:
+    FUNC_OPS.setdefault(_name, ("block", None))
 
 #: method ops by receiver kind: method -> opkind.
 METHOD_OPS = {
     "mutex": {"enter": "acquire", "timedenter": "timed",
               "tryenter": "try", "exit": "release",
               "lock": "acquire", "timedlock": "timed",
-              "trylock": "try", "unlock": "release"},
+              "trylock": "try", "unlock": "release",
+              "consistent": "repair"},
     "cv": {"wait": "wait", "timedwait": "wait",
            "signal": "signal", "broadcast": "signal"},
     "sema": {"p": "semp", "timedp": "semtryp", "tryp": "semtryp",
@@ -155,9 +176,10 @@ METHOD_OPS = {
                "tryupgrade": "genapi"},
     "region": {"cell_load": "load", "cell_store": "store",
                "load_cell": "load", "store_cell": "store"},
-    "structure": {"wait": "genapi", "put": "genapi", "get": "genapi",
+    "structure": {"wait": "block", "put": "block", "get": "block",
                   "close": "genapi", "count_down": "genapi",
-                  "await_zero": "genapi"},
+                  "await_zero": "block"},
+    "supervisor": {"spawn": "spawn"},
 }
 
 #: method-name inference for receivers we cannot resolve (e.g. a lock
@@ -171,12 +193,13 @@ INFER_METHODS = {
     "signal": ("cv", "signal"), "broadcast": ("cv", "signal"),
     "p": ("sema", "semp"), "timedp": ("sema", "semtryp"),
     "tryp": ("sema", "semtryp"), "v": ("sema", "semv"),
+    "consistent": ("mutex", "repair"),
     "cell_load": ("region", "load"), "cell_store": ("region", "store"),
     "load_cell": ("region", "load"), "store_cell": ("region", "store"),
 }
 
 #: methods that are NOT generators even on sync-ish receivers.
-_DIRECT_METHODS = {"load_cell", "store_cell", "size"}
+_DIRECT_METHODS = {"load_cell", "store_cell", "size", "consistent"}
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow(-file)?\s*=\s*"
                           r"([A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)")
@@ -590,14 +613,16 @@ class Op:
 
     ``opkind``: acquire / try / timed / release / wait / signal / semp /
     semtryp / semv / rwacquire / rwtry / rwrelease / load / store /
-    fork / fork1 / procexit / threadexit / spawn / genapi / inline.
+    fork / fork1 / procexit / threadexit / spawn / genapi / inline /
+    block / repair.
     """
 
     __slots__ = ("opkind", "lock", "mutex", "node", "is_genapi",
-                 "target", "rw_writer")
+                 "target", "rw_writer", "reason")
 
     def __init__(self, opkind, node, lock=None, mutex=None,
-                 is_genapi=True, target=None, rw_writer=False):
+                 is_genapi=True, target=None, rw_writer=False,
+                 reason=None):
         self.opkind = opkind
         self.node = node
         self.lock = lock          # Val: the sync variable operated on
@@ -605,6 +630,7 @@ class Op:
         self.is_genapi = is_genapi
         self.target = target      # Val("func"): spawn/inline target
         self.rw_writer = rw_writer
+        self.reason = reason      # block reason (opkind "block")
 
 
 def classify_call(module: ModuleInfo, fi: FuncInfo, call: ast.Call,
@@ -641,7 +667,8 @@ def classify_call(module: ModuleInfo, fi: FuncInfo, call: ast.Call,
             mutex = module.resolve_value(call.args[1], fi, activation)
         writer = _rw_writer_arg(module, fi, call, 1)
         return Op(opkind, call, lock=lock, mutex=mutex, target=tgt,
-                  rw_writer=writer)
+                  rw_writer=writer,
+                  reason=BLOCK_REASONS.get(_suffix(dotted)))
 
     # Method calls.
     if not isinstance(func, ast.Attribute):
@@ -652,13 +679,21 @@ def classify_call(module: ModuleInfo, fi: FuncInfo, call: ast.Call,
         opkind = METHOD_OPS[recv.kind].get(method)
         if opkind is None:
             return None
+        if opkind == "spawn":
+            tgt = None
+            if call.args:
+                tv = module.resolve_value(call.args[0], fi, activation)
+                if tv is not None and tv.kind == "func":
+                    tgt = tv
+            return Op("spawn", call, lock=recv, target=tgt)
         mutex = None
         if opkind == "wait" and call.args:
             mutex = module.resolve_value(call.args[0], fi, activation)
         writer = _rw_writer_arg(module, fi, call, 0)
         return Op(opkind, call, lock=recv, mutex=mutex,
                   is_genapi=method not in _DIRECT_METHODS,
-                  rw_writer=writer)
+                  rw_writer=writer,
+                  reason="structure" if opkind == "block" else None)
     if recv is not None and recv.kind == "region":
         return None
     # Receiver is a param or unresolvable: infer from the method name.

@@ -8,7 +8,8 @@ and a :class:`repro.explore.explorer.ReproBundle` can be diffed directly:
 detector (``lock-order``, ``lost-wakeup``, ``sema-underflow``,
 ``exit-holding-lock``, ``data-race``), and static-only rules introduce
 their own kinds (``yield-discipline``, ``lock-balance``,
-``condvar-discipline``, ``fork-hygiene``).
+``condvar-discipline``, ``fork-hygiene``, ``blocking-under-lock``,
+``robust-mutex``, ``retry-discipline``).
 
 On top of the shared keys a finding carries its static provenance:
 ``rule`` id, ``file``, ``line``, ``function``, ``severity``, and a
@@ -39,6 +40,15 @@ KIND_BY_RULE = {
     "L403": "lost-wakeup",
     "L501": "fork-hygiene",
     "L601": "data-race",
+    "L701": "blocking-under-lock",
+    "L702": "blocking-under-lock",
+    "L703": "blocking-under-lock",
+    "L801": "robust-mutex",
+    "L802": "robust-mutex",
+    "L803": "robust-mutex",
+    "L901": "retry-discipline",
+    "L902": "retry-discipline",
+    "L903": "retry-discipline",
 }
 
 #: rule id -> severity ("error" fails the gate outright; "warning" also
@@ -51,6 +61,9 @@ SEVERITY_BY_RULE = {
     "L401": "error", "L402": "error", "L403": "warning",
     "L501": "warning",
     "L601": "error",
+    "L701": "error", "L702": "warning", "L703": "warning",
+    "L801": "warning", "L802": "error", "L803": "error",
+    "L901": "error", "L902": "warning", "L903": "warning",
 }
 
 #: rule id -> one-line catalogue entry (--list-rules, docs).
@@ -80,6 +93,31 @@ RULE_CATALOGUE = {
             "protocol",
     "L601": "shared memory cell written by concurrently running "
             "threads whose static locksets share no common lock",
+    "L701": "blocking net syscall (accept/connect/recv/send) reachable "
+            "while any lock is statically held — serializes every "
+            "sibling thread behind the stalled holder",
+    "L702": "sleep, join, semaphore-P, or blocking structure op "
+            "reachable while a lock is held (bounded stall; tryenter "
+            "and nonblocking variants exempt)",
+    "L703": "cv wait holding a lock beyond the mutex the wait "
+            "releases — the extra lock stays held across the sleep",
+    "L801": "robust-mutex EOWNERDEAD result discarded (bare "
+            "`yield from m.enter()`) in a program that repairs owner "
+            "death elsewhere — the recovery branch is unreachable",
+    "L802": "`consistent()` called on a path where the mutex is not "
+            "held (the runtime raises `not owner` there)",
+    "L803": "mutex released while its owner-death mark is unrepaired — "
+            "without `consistent()` first the lock is permanently "
+            "unusable (NOTRECOVERABLE)",
+    "L901": "unbounded retry: `while True` + handler that swallows "
+            "syscall errors around a net attempt with no RetryPolicy "
+            "deadline/budget or loop exit",
+    "L902": "bare `recv` reachable from a supervised/spawned worker "
+            "body; use `recv_with_deadline` so the supervisor's "
+            "heartbeat can see the stall",
+    "L903": "supervisor restart loop with no backoff (zero "
+            "`backoff_base_usec` or a spawn/join retry loop with no "
+            "sleep) — crash storms respawn at full speed",
 }
 
 
@@ -120,6 +158,9 @@ class LintFinding:
     def format(self) -> str:
         held = self.detail.get("held")
         witness = f"  (held: {held})" if held else ""
+        trace = self.detail.get("trace")
+        if trace:
+            witness += f"  [{trace}]"
         return (f"{self.file}:{self.line}: {self.rule} "
                 f"[{self.kind}/{self.severity}] {self.function}: "
                 f"{self.message}{witness}")

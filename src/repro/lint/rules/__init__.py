@@ -1,7 +1,9 @@
 """Rule families for the static analyzer.
 
 Each module exposes ``run(...)`` returning a list of
-:class:`repro.lint.report.LintFinding`:
+:class:`repro.lint.report.LintFinding`, plus a ``RULES`` tuple of the
+ids it owns (the registry self-check asserts the tuples partition the
+catalogue):
 
 * :mod:`.yield_discipline` — L101/L102, syntactic (discarded or
   mis-yielded generator-API calls);
@@ -12,11 +14,27 @@ Each module exposes ``run(...)`` returning a list of
 * :mod:`.condvar` — L401/L402/L403, wait/signal discipline;
 * :mod:`.fork_hygiene` — L501, fork while a lock may be held;
 * :mod:`.lockset` — L601, Eraser-style static lockset over shared
-  mapped cells accessed by spawned threads.
+  mapped cells accessed by spawned threads;
+* :mod:`.blocking` — L701/L702/L703, blocking calls (net, sleep, join,
+  sema-P, cv wait) reachable while a lock is statically held —
+  interprocedural via callee summaries;
+* :mod:`.robust` — L801/L802/L803, robust-mutex owner-death protocol
+  (ignored EOWNERDEAD, consistent() misuse, release-without-repair);
+* :mod:`.retry_discipline` — L901/L902/L903, unbounded retry loops,
+  bare recv in supervised workers, restart paths with no backoff.
 """
 
-from repro.lint.rules import (condvar, fork_hygiene, lock_balance,
-                              lock_order, lockset, yield_discipline)
+from repro.lint.rules import (blocking, condvar, fork_hygiene,
+                              lock_balance, lock_order, lockset,
+                              retry_discipline, robust,
+                              yield_discipline)
 
-__all__ = ["condvar", "fork_hygiene", "lock_balance", "lock_order",
-           "lockset", "yield_discipline"]
+#: every rule module, for registry introspection (--list-rules, docs
+#: self-check).
+ALL_MODULES = (yield_discipline, lock_order, lock_balance, condvar,
+               fork_hygiene, lockset, blocking, robust,
+               retry_discipline)
+
+__all__ = ["blocking", "condvar", "fork_hygiene", "lock_balance",
+           "lock_order", "lockset", "retry_discipline", "robust",
+           "yield_discipline", "ALL_MODULES"]

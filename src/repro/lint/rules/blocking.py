@@ -1,0 +1,58 @@
+"""L701/L702/L703: blocking while holding a lock.
+
+The paper's M:N scheduling argument collapses the moment one thread
+stalls inside a blocking call while holding a mutex its siblings need:
+every waiter serializes behind a thread that is not even runnable.
+The interpreter records a visit at every blocking site (direct, or
+through a callee summary when the call is beyond the inline horizon)
+together with whether any lock was statically held, so these rules use
+*any-path* semantics — one feasible holding path is enough.
+
+* L701 — a blocking net syscall (``accept``/``connect``/``recv``/
+  ``send``) reachable with a lock held.  Unbounded stall: the peer may
+  never send.  ``recv_with_deadline`` and tryenter-style nonblocking
+  variants are exempt.
+* L702 — a bounded-ish stall under a lock: ``nanosleep``/``sleep_usec``,
+  thread joins, semaphore P, or a blocking structure op
+  (``queue.get``/``put``, ``latch.wait``, barrier-style ``await_zero``).
+* L703 — ``cv.wait(m)`` while holding a lock *other than* ``m``: the
+  wait releases only its paired mutex, so the extra lock stays held
+  across the whole sleep.
+
+Findings carry the interprocedural trace in ``detail["trace"]``
+("``m` acquired in `serve` at a.py:10; recv blocks in `h` via `g`").
+"""
+
+from __future__ import annotations
+
+from repro.lint.report import LintFinding
+
+RULES = ("L701", "L702", "L703")
+
+_MESSAGES = {
+    "L701": "blocking net syscall `{subj}` while holding a lock — an "
+            "unresponsive peer stalls every thread queued behind the "
+            "holder; release the lock first (or use a deadline "
+            "variant)",
+    "L702": "`{subj}` blocks while holding a lock — siblings contend "
+            "for the whole stall; release before sleeping/joining/"
+            "waiting",
+    "L703": "cv wait on `{subj}` releases only its paired mutex; the "
+            "other held lock(s) stay held across the sleep",
+}
+
+
+def run(sink) -> list:
+    findings = []
+    for key, site in sorted(sink.sites.items(), key=lambda kv: (
+            str(kv[0][0]), kv[0][1], kv[0][2], kv[0][3],
+            str(kv[0][4]))):
+        rule = key[0]
+        if rule not in RULES or site.viols == 0:
+            continue
+        findings.append(LintFinding(
+            rule, key[1], site.line, site.function,
+            subject=site.subject, col=site.col,
+            message=_MESSAGES[rule].format(subj=site.subject),
+            detail={"trace": site.sample_held or ""}))
+    return findings

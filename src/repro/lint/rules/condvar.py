@@ -23,6 +23,8 @@ import ast
 
 from repro.lint.report import LintFinding
 
+RULES = ("L401", "L402", "L403")
+
 
 def _has_while_ancestor(module, node) -> bool:
     cur = module.parents.get(id(node))

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from repro.lint.report import LintFinding
 
+RULES = ("L501",)
+
 
 def run(sink) -> list:
     findings = []

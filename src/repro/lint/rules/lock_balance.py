@@ -10,6 +10,9 @@ decorrelated failure state, so "release while unheld" is not definite.
 * L301 exit-holding-lock compares, per function-exit node, the number
   of visiting states holding each lock against the total number of
   states reaching that exit (tracked by the ``<exit>`` pseudo-site).
+* L302 flags a release on paths that never hold the lock, L303 a
+  blocking re-enter of a non-recursive mutex already held — both only
+  when *every* visiting path violates.
 * L304 only tracks pool semaphores (literal initial count > 0) —
   initial-0 notification semaphores legitimately V before P, exactly
   like the dynamic sema-underflow invariant.
@@ -22,6 +25,8 @@ decorrelated failure state, so "release while unheld" is not definite.
 from __future__ import annotations
 
 from repro.lint.report import LintFinding
+
+RULES = ("L301", "L302", "L303", "L304", "L305")
 
 _MESSAGES = {
     "L302": "`{subj}` released on a path where it is not held "

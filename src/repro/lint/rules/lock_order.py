@@ -16,6 +16,8 @@ for the same bug diff clean.
 
 from __future__ import annotations
 
+RULES = ("L201",)
+
 
 def _sccs(graph):
     """Tarjan, iterative, deterministic (nodes processed in sorted
@@ -74,6 +76,7 @@ def _sccs(graph):
 
 def run(sink) -> list:
     from repro.lint.report import LintFinding
+
     graph = {}
     for e in sink.edges:
         graph.setdefault(e.src, set()).add(e.dst)

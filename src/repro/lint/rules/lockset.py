@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from repro.lint.report import LintFinding
 
+RULES = ("L601",)
+
 
 def _off_overlap(a: str, b: str) -> bool:
     return a == b or a == "*" or b == "*"
@@ -64,6 +66,7 @@ def run(sink, spawns) -> list:
                 detail={"held": ", ".join(sorted(
                     a.common_held or ())) or "<empty>",
                     "other": f"{b.module.path}:{b.line}",
-                    "threads": ",".join(sorted({a.root, b.root}))}))
+                    "threads": ",".join(sorted(
+                        {a.root[1], b.root[1]}))}))
             break
     return findings

@@ -1,0 +1,237 @@
+"""L901/L902/L903: retry and supervision discipline.
+
+PR 6 added lossy sockets and ``RetryPolicy``; PR 7 added supervised
+workers.  Both come with a discipline that is easy to drop on the
+floor, and all three smells here are invisible to tests that only run
+the happy path:
+
+* L901 — an unbounded retry loop: ``while True`` whose ``try`` makes a
+  net attempt and whose ``except`` swallows the failure (broad catch,
+  no ``raise``/``break``/``return`` in the handler) with no
+  ``RetryPolicy`` deadline or budget bounding the loop.  Under a
+  partition this spins forever, invisible to the supervisor.
+* L902 — a bare ``unistd.recv`` reachable from a spawned worker body
+  (transitively, via the local call graph): a dead peer parks the
+  worker forever and the supervisor's heartbeat can only shoot it.
+  ``recv_with_deadline`` is the bounded variant.
+* L903 — a restart path with no backoff: a ``while True`` respawn loop
+  (spawn + join, no sleep between rounds), or a ``Supervisor``
+  constructed with ``backoff_base_usec=0``.  Crash storms respawn at
+  full speed and starve every healthy thread.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint import callgraph
+from repro.lint.callgraph import _own_calls
+from repro.lint.loader import classify_call
+from repro.lint.report import LintFinding
+
+RULES = ("L901", "L902", "L903")
+
+#: call suffixes that count as "a net attempt" inside a retry body.
+NET_ATTEMPTS = ("accept", "connect", "recv", "send",
+                "recv_with_deadline", "call_with_retry")
+
+_BROAD = ("Exception", "BaseException", "OSError", "IOError",
+          "SyscallError")
+
+
+def _infinite(loop) -> bool:
+    return (isinstance(loop, ast.While)
+            and isinstance(loop.test, ast.Constant)
+            and bool(loop.test.value))
+
+
+def _own_nodes(fi):
+    """Nodes lexically inside ``fi`` (not in nested functions)."""
+    out = []
+
+    def visit(n):
+        for child in ast.iter_child_nodes(n):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            out.append(child)
+            visit(child)
+    visit(fi.node)
+    return out
+
+
+def _type_names(expr):
+    if expr is None:
+        return [None]
+    if isinstance(expr, ast.Tuple):
+        return [n for e in expr.elts for n in _type_names(e)]
+    try:
+        return [ast.unparse(expr).rpartition(".")[2]]
+    except Exception:
+        return []
+
+
+def _swallows(handler) -> bool:
+    """Broad catch whose body never exits the loop (retry continues)."""
+    names = _type_names(handler.type)
+    if not any(n is None or n in _BROAD for n in names):
+        return False
+    return not any(isinstance(n, (ast.Raise, ast.Break, ast.Return))
+                   for n in ast.walk(handler))
+
+
+def _net_attempt(module, fi, call, summaries, interprocedural):
+    op = classify_call(module, fi, call)
+    if op is None:
+        return None
+    if op.opkind == "block" and (op.reason or "").startswith("net-"):
+        return ast.unparse(call.func)
+    dotted = module.resolve_callable(call.func, fi) or ""
+    if dotted.rpartition(".")[2] in NET_ATTEMPTS:
+        return ast.unparse(call.func)
+    if interprocedural and op.opkind in ("call", "inline") \
+            and op.target is not None and op.target.func is not None:
+        summ = summaries.get(op.target.func.qualname)
+        if summ is not None and any(
+                s.reason.startswith("net-") for s in summ.blocks):
+            return op.target.func.name
+    return None
+
+
+def _l901(module, summaries, interprocedural):
+    findings = []
+    for fi in module.functions.values():
+        for loop in _own_nodes(fi):
+            if not _infinite(loop):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Try):
+                    continue
+                if not any(_swallows(h) for h in node.handlers):
+                    continue
+                attempt = None
+                for stmt in node.body:
+                    for call in (c for c in ast.walk(stmt)
+                                 if isinstance(c, ast.Call)):
+                        attempt = _net_attempt(module, fi, call,
+                                               summaries,
+                                               interprocedural)
+                        if attempt:
+                            break
+                    if attempt:
+                        break
+                if not attempt:
+                    continue
+                findings.append(LintFinding(
+                    "L901", module.path, loop.lineno, fi.name,
+                    subject=attempt, col=loop.col_offset,
+                    message=(f"unbounded retry: `while True` swallows "
+                             f"failures of `{attempt}` and retries "
+                             "forever — bound it with a RetryPolicy "
+                             "deadline/budget or re-raise after N "
+                             "attempts")))
+                break       # one finding per loop
+    return findings
+
+
+def _l902(module, spawns, interprocedural):
+    roots = {s.target[1] for s in spawns
+             if s.target[0] == module.path}
+    if not roots:
+        return []
+    reachable = set(roots)
+    if interprocedural:
+        edges = callgraph.call_edges(module)
+        work = list(roots)
+        while work:
+            for callee in edges.get(work.pop(), ()):
+                if callee not in reachable:
+                    reachable.add(callee)
+                    work.append(callee)
+    findings = []
+    for qual in sorted(reachable):
+        fi = module.functions.get(qual)
+        if fi is None:
+            continue
+        for call in _own_calls(fi):
+            op = classify_call(module, fi, call)
+            if op is None or op.opkind != "block" \
+                    or op.reason != "net-recv":
+                continue
+            api = ast.unparse(call.func)
+            findings.append(LintFinding(
+                "L902", module.path, call.lineno, fi.name,
+                subject=api, col=call.col_offset,
+                message=(f"bare `{api}` in a spawned worker parks the "
+                         "thread until the peer speaks — use "
+                         "recv_with_deadline so stalls surface as "
+                         "timeouts the supervisor can see")))
+    return findings
+
+
+def _l903(module):
+    findings = []
+    # (a) Supervisor(..., backoff_base_usec=0): syntactic, any scope.
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        try:
+            name = ast.unparse(node.func).rpartition(".")[2]
+        except Exception:
+            continue
+        if name != "Supervisor":
+            continue
+        for kw in node.keywords:
+            if kw.arg == "backoff_base_usec" \
+                    and isinstance(kw.value, ast.Constant) \
+                    and kw.value.value == 0:
+                findings.append(LintFinding(
+                    "L903", module.path, node.lineno, "<module>",
+                    subject="Supervisor", col=node.col_offset,
+                    message=("Supervisor(backoff_base_usec=0) restarts "
+                             "crashed workers at full speed — a crash "
+                             "storm starves every healthy thread; use "
+                             "a nonzero backoff base")))
+    # (b) hand-rolled respawn loop with no sleep between rounds.
+    for fi in module.functions.values():
+        for loop in _own_nodes(fi):
+            if not _infinite(loop):
+                continue
+            has_spawn = has_join = has_sleep = False
+            target = "worker"
+            for call in (c for body in loop.body
+                         for c in ast.walk(body)
+                         if isinstance(c, ast.Call)):
+                op = classify_call(module, fi, call)
+                if op is None:
+                    continue
+                if op.opkind == "spawn":
+                    has_spawn = True
+                    if op.target is not None \
+                            and op.target.func is not None:
+                        target = op.target.func.name
+                elif op.opkind == "block" and op.reason == "join":
+                    has_join = True
+                elif op.opkind == "block" and op.reason == "sleep":
+                    has_sleep = True
+            if has_spawn and has_join and not has_sleep:
+                findings.append(LintFinding(
+                    "L903", module.path, loop.lineno, fi.name,
+                    subject=target, col=loop.col_offset,
+                    message=(f"restart loop respawns `{target}` with "
+                             "no backoff sleep between rounds — a "
+                             "crash storm respawns at full speed; "
+                             "sleep (exponential backoff) before "
+                             "re-spawning")))
+    return findings
+
+
+def run(modules, summaries_by_path, spawns,
+        interprocedural: bool = True) -> list:
+    findings = []
+    for module in modules:
+        summaries = summaries_by_path.get(module.path, {})
+        findings += _l901(module, summaries, interprocedural)
+        findings += _l902(module, spawns, interprocedural)
+        findings += _l903(module)
+    return findings

@@ -1,0 +1,79 @@
+"""L801/L802/L803: robust-mutex owner-death protocol.
+
+Robust mutexes (PR 7) hand a crashed owner's lock to the next acquirer
+with an ``EOWNERDEAD`` return; the new owner must repair the protected
+state and call ``consistent()`` before releasing, or the mutex bricks
+(``NOTRECOVERABLE``).  Three ways to get that wrong:
+
+* L801 — the ``EOWNERDEAD`` result is discarded: a bare
+  ``yield from m.enter()`` statement (or an ignored robust wait
+  return).  Gated on the program being *crash-aware*: it fires only
+  for locks the program repairs with ``consistent()`` somewhere else,
+  so ordinary non-robust code never sees it.
+* L802 — ``consistent()`` on a path where the mutex is definitely not
+  held (the runtime raises ``not owner`` there).
+* L803 — a path observes ``EOWNERDEAD`` (the interpreter tracks the
+  owner-death mark through the truthy branch of
+  ``if (yield from m.enter()):``) and releases without ``consistent()``
+  — any-path: one such release permanently disables the lock.
+"""
+
+from __future__ import annotations
+
+from repro.lint.report import LintFinding
+
+RULES = ("L801", "L802", "L803")
+
+
+def run(sink) -> list:
+    findings = []
+
+    # L801: ignored robust results, only for repaired (crash-aware) keys.
+    seen = set()
+    for module, func, node, key, display in sorted(
+            sink.robust_ignored,
+            key=lambda t: (t[0].path, t[2].lineno, t[2].col_offset,
+                           t[4])):
+        if key not in sink.repaired_keys:
+            continue
+        dedup = (module.path, node.lineno, node.col_offset, display)
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        findings.append(LintFinding(
+            "L801", module.path, node.lineno, func,
+            subject=display, col=node.col_offset,
+            message=(f"EOWNERDEAD result of robust `{display}` is "
+                     "discarded — this program repairs owner death "
+                     "elsewhere with consistent(), but this acquire "
+                     "can never reach that branch; check the return "
+                     "value")))
+
+    for key, site in sorted(sink.sites.items(), key=lambda kv: (
+            str(kv[0][0]), kv[0][1], kv[0][2], kv[0][3],
+            str(kv[0][4]))):
+        rule = key[0]
+        if rule == "L802":
+            # Definite: every visiting path lacks the mutex.
+            if site.visits == 0 or site.viols < site.visits:
+                continue
+            findings.append(LintFinding(
+                "L802", key[1], site.line, site.function,
+                subject=site.subject, col=site.col,
+                message=(f"consistent() on `{site.subject}` while not "
+                         "holding it — the runtime raises `not owner` "
+                         "here; repair inside the critical section"),
+                detail={"held": site.sample_held or "<empty>"}))
+        elif rule == "L803":
+            # Any-path: one unrepaired release bricks the lock.
+            if site.viols == 0:
+                continue
+            findings.append(LintFinding(
+                "L803", key[1], site.line, site.function,
+                subject=site.subject, col=site.col,
+                message=(f"`{site.subject}` released while its "
+                         "owner-death mark is unrepaired — without "
+                         "consistent() first the mutex becomes "
+                         "permanently NOTRECOVERABLE"),
+                detail={"trace": site.sample_held or ""}))
+    return findings

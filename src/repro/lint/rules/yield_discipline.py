@@ -22,6 +22,8 @@ import ast
 from repro.lint.loader import ModuleInfo, classify_call
 from repro.lint.report import LintFinding
 
+RULES = ("L101", "L102")
+
 
 def _api_name(call: ast.Call) -> str:
     try:

@@ -1,0 +1,552 @@
+"""Bottom-up interprocedural summaries over the local call graph.
+
+The path-sensitive interpreter (:mod:`repro.lint.absint`) inlines
+``yield from helper(...)`` calls up to a depth cap and a recursion
+guard.  Beyond that horizon — recursive calls, helper chains deeper
+than ``MAX_INLINE_DEPTH``, and plain (non-generator) helper calls — it
+used to treat the callee as opaque.  This module closes the gap with a
+classic bottom-up fixpoint: every local function gets a
+:class:`Summary` of its externally visible concurrency effects, and the
+interpreter applies the summary at non-inlined call sites so the
+existing rules (L201 order edges, L301–L305 balance, L601 lockset) and
+the new L7xx blocking-under-lock family see through the call.
+
+A summary holds:
+
+* ``blocks`` — deterministic witnesses of blocking operations the
+  function may reach (net syscalls, cv waits, sleeps, joins,
+  semaphore P, blocking structure ops), each with the call chain that
+  reaches it ("blocks in ``h`` via ``g``");
+* ``deltas`` — the set of per-path-class lock/semaphore effects (locks
+  net-acquired in order, locks net-released, pool-semaphore balance
+  changes), or ``None`` when widened to top;
+* ``repairs`` — lock keys on which the function calls
+  ``mutex_consistent`` (the robust-mutex rules key off this);
+* ``may_crash`` — whether a ``raise`` is reachable;
+* ``widened`` — set for members of call-graph cycles (recursion):
+  their deltas are top (applied as a no-op, matching the pre-summary
+  leniency) while blocks/repairs still converge through a bounded
+  chain-capped join.
+
+Identity keys inside summaries use the *callee's* frame (parameter
+keys); :func:`subst_key` rewrites them into the caller's frame at the
+call site, so a lock passed into a helper keeps its identity exactly
+like the inliner's activation binding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.loader import FuncInfo, ModuleInfo, classify_call
+
+MAX_BLOCKS = 8          # block witnesses kept per summary
+MAX_CHAIN = 6           # call-chain depth kept per witness
+MAX_DELTAS = 8          # path classes before widening to top
+MAX_MINI_STATES = 16    # abstract paths per function walk
+_MAX_PASSES = 8
+
+
+class BlockSite:
+    """One deterministic witness that a function may block."""
+
+    __slots__ = ("reason", "api", "path", "function", "line", "chain")
+
+    def __init__(self, reason, api, path, function, line, chain=()):
+        self.reason = reason      # net-* / sleep / join / cv-wait / ...
+        self.api = api            # source text of the blocking callable
+        self.path = path          # file of the blocking call
+        self.function = function  # function that directly blocks
+        self.line = line
+        self.chain = chain        # helper names from summary owner down
+
+    @property
+    def signature(self):
+        return (self.reason, self.api, self.path, self.function,
+                self.line, self.chain)
+
+    def __eq__(self, other):
+        return isinstance(other, BlockSite) and \
+            self.signature == other.signature
+
+    def __hash__(self):
+        return hash(self.signature)
+
+    def __repr__(self):
+        return f"<BlockSite {self.reason} {self.path}:{self.line}>"
+
+
+class Summary:
+    __slots__ = ("qualname", "blocks", "deltas", "repairs", "may_crash",
+                 "widened")
+
+    def __init__(self, qualname, blocks=(), deltas=frozenset(),
+                 repairs=frozenset(), may_crash=False, widened=False):
+        self.qualname = qualname
+        self.blocks = blocks      # tuple of BlockSite, sorted, capped
+        self.deltas = deltas      # frozenset of delta tuples, or None
+        self.repairs = repairs    # frozenset of lock keys
+        self.may_crash = may_crash
+        self.widened = widened
+
+    @property
+    def signature(self):
+        return (self.qualname, self.blocks, self.deltas, self.repairs,
+                self.may_crash, self.widened)
+
+    def __eq__(self, other):
+        return isinstance(other, Summary) and \
+            self.signature == other.signature
+
+    def __repr__(self):
+        flags = "widened " if self.widened else ""
+        return (f"<Summary {self.qualname} {flags}"
+                f"blocks={len(self.blocks)}>")
+
+
+#: a delta is (acquires, releases, sema):
+#:   acquires — tuple of (key, display, kindname, line, blocking)
+#:              in acquisition order (net-held at exit);
+#:   releases — tuple of keys released without a matching acquire,
+#:              sorted by repr;
+#:   sema     — tuple of (key, net P-V) for pool semaphores, sorted.
+_IDENTITY_DELTA = ((), (), ())
+
+
+def subst_key(module: ModuleInfo, target: FuncInfo, call: ast.Call,
+              caller: FuncInfo, key, activation=None):
+    """Rewrite a callee-frame parameter key into the caller's frame."""
+    if not (isinstance(key, tuple) and key
+            and key[0] == "param"
+            and key[1] == module._q(target.qualname)):
+        return key
+    name = key[2]
+    arg = None
+    if name in target.params:
+        idx = target.params.index(name)
+        if idx < len(call.args):
+            arg = call.args[idx]
+    if arg is None:
+        for kw in call.keywords:
+            if kw.arg == name:
+                arg = kw.value
+    if arg is None:
+        return key
+    val = module.resolve_value(arg, caller, activation)
+    if val is not None and val.key is not None:
+        return val.key
+    return key
+
+
+def _driven(module: ModuleInfo, call: ast.Call) -> str:
+    parent = module.parents.get(id(call))
+    if isinstance(parent, ast.YieldFrom):
+        return "yield-from"
+    if isinstance(parent, ast.Yield):
+        return "yield"
+    if isinstance(parent, ast.Expr):
+        return "discard"
+    return "stored"
+
+
+def _calls_in(node):
+    out = []
+
+    def visit(n):
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.Lambda, ast.ClassDef)):
+            return
+        for child in ast.iter_child_nodes(n):
+            visit(child)
+        if isinstance(n, ast.Call):
+            out.append(n)
+    visit(node)
+    return out
+
+
+# ---------------------------------------------------------------------
+# Cycle detection (Tarjan, iterative)
+# ---------------------------------------------------------------------
+
+def _cyclic(edges: dict) -> set:
+    """Qualnames on any call-graph cycle (including self-loops)."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    cyclic = set()
+    counter = [0]
+
+    def strongconnect(root):
+        work = [(root, iter(edges.get(root, ())))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in edges:
+                    continue
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(edges.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    cyclic.update(scc)
+                elif node in edges.get(node, ()):
+                    cyclic.add(node)
+
+    for qual in sorted(edges):
+        if qual not in index:
+            strongconnect(qual)
+    return cyclic
+
+
+def _postorder(edges: dict) -> list:
+    """Callee-before-caller order (deterministic; cycles broken by the
+    visited set), so one fixpoint pass usually suffices."""
+    seen = set()
+    order = []
+
+    def visit(root):
+        work = [(root, iter(edges.get(root, ())))]
+        seen.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ in edges and succ not in seen:
+                    seen.add(succ)
+                    work.append((succ, iter(edges.get(succ, ()))))
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            work.pop()
+            order.append(node)
+
+    for qual in sorted(edges):
+        if qual not in seen:
+            visit(qual)
+    return order
+
+
+# ---------------------------------------------------------------------
+# Per-function summarization
+# ---------------------------------------------------------------------
+
+class _MiniWalk:
+    """One cheap abstract walk of a function body: tracks held locks,
+    stray releases, and pool-semaphore balances per path class, and
+    collects blocking witnesses through callee summaries."""
+
+    def __init__(self, module: ModuleInfo, fi: FuncInfo, table: dict):
+        self.module = module
+        self.fi = fi
+        self.table = table          # qual -> Summary (current pass)
+        self.blocks = {}            # (reason, path, line) -> BlockSite
+        self.repairs = set()
+        self.may_crash = False
+        self.top = False            # deltas widened
+        self.exits = []
+
+    # ------------------------------------------------------------ states
+
+    @staticmethod
+    def _dedupe(states):
+        seen = set()
+        out = []
+        for st in states:
+            if st not in seen:
+                seen.add(st)
+                out.append(st)
+            if len(out) >= MAX_MINI_STATES:
+                break
+        return out
+
+    def _block(self, reason, api, line, function=None, chain=()):
+        if len(self.blocks) >= MAX_BLOCKS:
+            return
+        key = (reason, self.module.path, line, chain)
+        if key not in self.blocks:
+            self.blocks[key] = BlockSite(
+                reason, api, self.module.path,
+                function or self.fi.name, line, chain)
+
+    # -------------------------------------------------------- statements
+
+    def walk(self):
+        states = self.walk_body(self.fi.node.body,
+                                [((), (), ())], loops=())
+        self.exits.extend(states)           # fall off the end
+
+    def walk_body(self, stmts, states, loops):
+        for stmt in stmts:
+            if not states:
+                return states
+            states = self.walk_stmt(stmt, states, loops)
+        return states
+
+    def walk_stmt(self, stmt, states, loops):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return states
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                states = self.eval(stmt.value, states)
+            self.exits.extend(states)
+            return []
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                states = self.eval(stmt.exc, states)
+            self.may_crash = True
+            self.exits.extend(states)
+            return []
+        if isinstance(stmt, ast.Break):
+            if loops:
+                loops[-1].extend(states)
+            return []
+        if isinstance(stmt, ast.Continue):
+            return []
+        if isinstance(stmt, ast.If):
+            states = self.eval(stmt.test, states)
+            then = self.walk_body(stmt.body, list(states), loops)
+            other = self.walk_body(stmt.orelse, list(states), loops)
+            return self._dedupe(then + other)
+        if isinstance(stmt, (ast.While, ast.For)):
+            head = stmt.test if isinstance(stmt, ast.While) else \
+                stmt.iter
+            states = self.eval(head, states)
+            breaks: list = []
+            body = self.walk_body(stmt.body, list(states),
+                                  loops + (breaks,))
+            out = self._dedupe(states + body + breaks)
+            if stmt.orelse:
+                out = self.walk_body(stmt.orelse, out, loops)
+            return out
+        if isinstance(stmt, ast.Try):
+            entry = list(states)
+            body = self.walk_body(stmt.body, states, loops)
+            outs = list(body)
+            for handler in stmt.handlers:
+                outs += self.walk_body(handler.body, list(entry), loops)
+            outs += self.walk_body(stmt.orelse, list(body), loops)
+            outs = self._dedupe(outs)
+            if stmt.finalbody:
+                outs = self.walk_body(stmt.finalbody, outs, loops)
+            return outs
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                states = self.eval(item.context_expr, states)
+            return self.walk_body(stmt.body, states, loops)
+        for field in ("value", "test", "target", "msg"):
+            sub = getattr(stmt, field, None)
+            if isinstance(sub, ast.AST):
+                states = self.eval(sub, states)
+        return states
+
+    # --------------------------------------------------------------- ops
+
+    def eval(self, expr, states):
+        for call in _calls_in(expr):
+            if not states:
+                return states
+            op = classify_call(self.module, self.fi, call)
+            if op is None:
+                continue
+            if op.is_genapi and _driven(self.module, call) in (
+                    "discard", "yield"):
+                continue            # never runs
+            states = self.apply(op, call, states)
+        return states
+
+    def apply(self, op, call, states):
+        k = op.opkind
+        if k in ("inline", "call"):
+            return self._callee(op, call, states)
+        if k in ("acquire", "timed", "try", "rwacquire", "rwtry"):
+            return self._acquire(op, call, states)
+        if k in ("release", "rwrelease"):
+            return self._release(op, states)
+        if k == "wait":
+            self._block("cv-wait", ast.unparse(call.func), call.lineno)
+            return states
+        if k == "block":
+            self._block(op.reason or "block", ast.unparse(call.func),
+                        call.lineno)
+            return states
+        if k in ("semp", "semtryp", "semv"):
+            return self._sema(op, call, states)
+        if k == "repair":
+            if op.lock is not None and op.lock.key is not None:
+                self.repairs.add(op.lock.key)
+            return states
+        if k in ("procexit", "threadexit"):
+            self.exits.extend(states)
+            return []
+        return states
+
+    def _callee(self, op, call, states):
+        target = op.target.func
+        summ = self.table.get(target.qualname)
+        if summ is None:
+            return states
+        for site in summ.blocks:
+            chain = ((target.name,) + site.chain)[:MAX_CHAIN]
+            self._block(site.reason, site.api, call.lineno,
+                        function=site.function, chain=chain)
+        for key in sorted(summ.repairs, key=repr):
+            self.repairs.add(subst_key(self.module, target, call,
+                                       self.fi, key))
+        if summ.may_crash:
+            self.may_crash = True
+        if summ.deltas is None:
+            self.top = True
+            return states
+        out = []
+        for held, released, sema in states:
+            for acquires, rels, dsema in sorted(summ.deltas):
+                h2, r2, s2 = held, released, dict(sema)
+                for key in rels:
+                    key = subst_key(self.module, target, call,
+                                    self.fi, key)
+                    h2, r2 = _drop(h2, r2, key)
+                for (key, disp, kindname, line, blocking) in acquires:
+                    key = subst_key(self.module, target, call,
+                                    self.fi, key)
+                    h2 = h2 + ((key, disp, kindname, call.lineno,
+                                blocking),)
+                for key, net in dsema:
+                    key = subst_key(self.module, target, call,
+                                    self.fi, key)
+                    s2[key] = s2.get(key, 0) + net
+                out.append((h2, r2,
+                            tuple(sorted(((k, n) for k, n
+                                          in s2.items() if n),
+                                         key=repr))))
+        return self._dedupe(out)
+
+    def _acquire(self, op, call, states):
+        lock = op.lock
+        if lock is None or lock.key is None:
+            return states
+        kindname = "rwlock" if op.opkind in ("rwacquire", "rwtry") \
+            else "mutex"
+        blocking = op.opkind in ("acquire", "timed", "rwacquire")
+        forks = op.opkind in ("try", "timed", "rwtry")
+        out = []
+        for held, released, sema in states:
+            entry = (lock.key, lock.display, kindname, call.lineno,
+                     blocking)
+            out.append((held + (entry,), released, sema))
+            if forks:
+                out.append((held, released, sema))
+        return self._dedupe(out)
+
+    def _release(self, op, states):
+        lock = op.lock
+        if lock is None or lock.key is None:
+            return states
+        out = []
+        for held, released, sema in states:
+            h2, r2 = _drop(held, released, lock.key)
+            out.append((h2, r2, sema))
+        return self._dedupe(out)
+
+    def _sema(self, op, call, states):
+        sema = op.lock
+        if sema is None or sema.key is None:
+            return states
+        if op.opkind == "semp":
+            self._block("sema-p", ast.unparse(call.func), call.lineno)
+        if sema.initial is None or sema.initial == 0:
+            return states
+        delta = -1 if op.opkind == "semv" else +1
+        out = []
+        for held, released, bal in states:
+            b2 = dict(bal)
+            b2[sema.key] = b2.get(sema.key, 0) + delta
+            st2 = (held, released,
+                   tuple(sorted(((k, n) for k, n in b2.items() if n),
+                                key=repr)))
+            out.append(st2)
+            if op.opkind == "semtryp":
+                out.append((held, released, bal))
+        return self._dedupe(out)
+
+
+def _drop(held, released, key):
+    """Drop the most recent held entry with ``key``, or record a stray
+    release."""
+    for i in range(len(held) - 1, -1, -1):
+        if held[i][0] == key:
+            return held[:i] + held[i + 1:], released
+    if key not in released:
+        released = tuple(sorted(released + (key,), key=repr))
+    return held, released
+
+
+def _summarize(module: ModuleInfo, fi: FuncInfo, table: dict,
+               widened: bool) -> Summary:
+    walk = _MiniWalk(module, fi, table)
+    walk.walk()
+    blocks = tuple(sorted(walk.blocks.values(),
+                          key=lambda b: (b.path, b.line, b.api,
+                                         b.chain)))[:MAX_BLOCKS]
+    deltas = None
+    if not widened and not walk.top:
+        seen = set()
+        for held, released, sema in walk.exits:
+            seen.add((held, released, sema))
+        if len(seen) <= MAX_DELTAS:
+            deltas = frozenset(seen) if seen else \
+                frozenset({_IDENTITY_DELTA})
+    return Summary(fi.qualname, blocks=blocks, deltas=deltas,
+                   repairs=frozenset(walk.repairs),
+                   may_crash=walk.may_crash, widened=widened)
+
+
+def compute(module: ModuleInfo) -> dict:
+    """Per-function summaries for one module: bottom-up over the local
+    call graph, fixpoint-iterated for cycles, deterministic."""
+    from repro.lint.callgraph import call_edges
+
+    edges = call_edges(module)
+    cyclic = _cyclic(edges)
+    order = _postorder(edges)
+    table: dict = {}
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for qual in order:
+            fi = module.functions.get(qual)
+            if fi is None:
+                continue
+            summ = _summarize(module, fi, table, widened=qual in cyclic)
+            if table.get(qual) != summ:
+                table[qual] = summ
+                changed = True
+        if not changed:
+            break
+    return table

@@ -1,0 +1,44 @@
+"""Negative twin: blocking ops outside the lock, the bounded
+recv_with_deadline variant under a lock, and a wait holding only its
+own mutex must all stay silent."""
+from repro.errors import SyscallError
+from repro.runtime import libc, unistd
+from repro.sync import CondVar, Mutex
+from repro.threads import retry
+
+
+def serves_outside_lock(fd):
+    m = Mutex(name="ok-m")
+    yield from m.enter()
+    yield from libc.compute(3)
+    yield from m.exit()
+    data = yield from unistd.recv(fd, 64)   # no lock held: fine
+    return data
+
+
+def deadline_under_lock(fd):
+    m = Mutex(name="dl-m")
+    yield from m.enter()
+    try:
+        data = yield from retry.recv_with_deadline(fd, 64, 1_000.0)
+    except SyscallError:
+        data = b""
+    yield from m.exit()
+    return data
+
+
+def sleeps_outside_lock():
+    m = Mutex(name="zz-m")
+    yield from m.enter()
+    yield from libc.compute(3)
+    yield from m.exit()
+    yield from unistd.sleep_usec(1_000.0)
+
+
+def waits_clean(flag):
+    m = Mutex(name="wc-m")
+    cv = CondVar(name="wc-cv")
+    yield from m.enter()
+    while not flag:
+        yield from cv.wait(m)               # only its own mutex held
+    yield from m.exit()

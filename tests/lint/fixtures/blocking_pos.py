@@ -1,0 +1,32 @@
+"""Positive fixture: L701 (net syscall under lock), L702 (sleep under
+lock), L703 (cv wait holding a lock beyond its paired mutex)."""
+from repro.runtime import libc, unistd
+from repro.sync import CondVar, Mutex
+
+
+def serves_under_lock(fd):
+    m = Mutex(name="srv-m")
+    yield from m.enter()
+    data = yield from unistd.recv(fd, 64)   # L701: recv holding srv-m
+    yield from m.exit()
+    return data
+
+
+def sleeps_under_lock():
+    m = Mutex(name="nap-m")
+    yield from m.enter()
+    yield from unistd.sleep_usec(1_000.0)   # L702: sleep holding nap-m
+    yield from m.exit()
+
+
+def waits_holding_extra(flag):
+    m = Mutex(name="wl-m")
+    extra = Mutex(name="wl-extra")
+    cv = CondVar(name="wl-cv")
+    yield from extra.enter()
+    yield from m.enter()
+    while not flag:
+        yield from cv.wait(m)               # L703: wl-extra stays held
+    yield from libc.compute(1)
+    yield from m.exit()
+    yield from extra.exit()

@@ -1,0 +1,26 @@
+"""Acceptance fixture for the interprocedural upgrade: the lock is
+acquired in ``serve``, and the blocking ``recv`` happens two calls
+deeper in ``read_bytes``.  The whole-program analyzer reports L701
+with the cross-function trace; the ``--no-summaries`` local analyzer
+(the pre-interprocedural behavior) provably misses it — each function
+is clean in isolation."""
+from repro.runtime import unistd
+from repro.sync import Mutex
+
+
+def serve(fd):
+    m = Mutex(name="chain-m")
+    yield from m.enter()
+    req = yield from read_request(fd)   # L701 surfaces through here
+    yield from m.exit()
+    return req
+
+
+def read_request(fd):
+    hdr = yield from read_bytes(fd)
+    return hdr
+
+
+def read_bytes(fd):
+    data = yield from unistd.recv(fd, 64)   # blocks; lock held by caller
+    return data

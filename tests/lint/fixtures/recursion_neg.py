@@ -1,0 +1,19 @@
+"""Recursion twin: same recursive pump, but the caller releases the
+lock before pumping — nothing blocks under a lock."""
+from repro.runtime import libc, unistd
+from repro.sync import Mutex
+
+
+def serve(fd):
+    m = Mutex(name="recn-m")
+    yield from m.enter()
+    yield from libc.compute(2)
+    yield from m.exit()
+    yield from pump(fd, 4)
+
+
+def pump(fd, n):
+    data = yield from unistd.recv(fd, 16)
+    if n:
+        yield from pump(fd, n - 1)
+    return data

@@ -1,0 +1,20 @@
+"""Recursion-widening fixture: ``pump`` recurses, so its summary gets
+the widened top delta (no lock effect assumed) — but its may-block
+fact survives widening, and the recv under ``serve``'s lock is still
+L701."""
+from repro.runtime import unistd
+from repro.sync import Mutex
+
+
+def serve(fd):
+    m = Mutex(name="rec-m")
+    yield from m.enter()
+    yield from pump(fd, 4)
+    yield from m.exit()
+
+
+def pump(fd, n):
+    data = yield from unistd.recv(fd, 16)   # blocks inside the lock
+    if n:
+        yield from pump(fd, n - 1)          # recursion: widened summary
+    return data

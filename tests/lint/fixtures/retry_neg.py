@@ -1,0 +1,47 @@
+"""Negative twin: a retry that escalates out of the loop, a worker on
+recv_with_deadline, a restart loop that backs off, and a Supervisor
+with a real backoff base all stay silent."""
+from repro import threads
+from repro.errors import SyscallError
+from repro.runtime import libc, unistd
+from repro.threads import retry
+from repro.threads.supervisor import Supervisor
+
+
+def escalates(fd):
+    while True:
+        try:
+            yield from unistd.connect(fd, 9_001)
+            break
+        except SyscallError:
+            raise                   # handler exits the loop: bounded
+
+
+def main():
+    def worker(_):
+        fd = yield from unistd.socket()
+        try:
+            data = yield from retry.recv_with_deadline(fd, 64, 1_000.0)
+        except SyscallError:
+            data = b""
+        yield from unistd.close(fd)
+        return data
+
+    tid = yield from threads.thread_create(worker, 0)
+    yield from threads.thread_wait(tid)
+
+
+def body(_):
+    yield from libc.compute(5)
+
+
+def restart_with_backoff():
+    while True:
+        tid = yield from threads.thread_create(body, 0)
+        yield from threads.thread_wait(tid)
+        yield from unistd.sleep_usec(2_000.0)   # backoff between rounds
+
+
+def sane_supervisor():
+    sup = Supervisor(name="s", backoff_base_usec=500.0)
+    return sup

@@ -1,0 +1,41 @@
+"""Positive fixture: L901 (unbounded swallow-and-retry around a net
+attempt), L902 (bare recv in a spawned worker), L903 (restart loop
+with no backoff, and Supervisor(backoff_base_usec=0))."""
+from repro import threads
+from repro.errors import SyscallError
+from repro.runtime import libc, unistd
+from repro.threads.supervisor import Supervisor
+
+
+def hammer(fd):
+    while True:                     # L901: retries forever, failures
+        try:                        # swallowed, no budget or deadline
+            yield from unistd.connect(fd, 9_000)
+        except SyscallError:
+            pass
+
+
+def main():
+    def worker(_):
+        fd = yield from unistd.socket()
+        data = yield from unistd.recv(fd, 64)   # L902: bare recv
+        yield from unistd.close(fd)
+        return data
+
+    tid = yield from threads.thread_create(worker, 0)
+    yield from threads.thread_wait(tid)
+
+
+def body(_):
+    yield from libc.compute(5)
+
+
+def restart_forever():
+    while True:                     # L903: full-speed respawn loop
+        tid = yield from threads.thread_create(body, 0)
+        yield from threads.thread_wait(tid)
+
+
+def no_backoff():
+    sup = Supervisor(name="s", backoff_base_usec=0)   # L903
+    return sup

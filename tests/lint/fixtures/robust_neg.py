@@ -1,0 +1,30 @@
+"""Negative twin: the full enter-robust idiom (check, repair, release)
+stays silent, and a bare enter of a mutex *nobody* ever repairs is not
+L801 — that program is not crash-aware, so the robust protocol rules
+stand down."""
+from repro.runtime import libc
+from repro.sync import Mutex
+
+
+def disciplined():
+    m = Mutex(name="neg-rob")
+    if (yield from m.enter()):
+        m.consistent()              # repaired before any release
+    yield from libc.compute(2)
+    yield from m.exit()
+
+
+def negated_test():
+    m = Mutex(name="neg-rob2")
+    if not (yield from m.enter()):
+        yield from libc.compute(1)  # healthy branch
+    else:
+        m.consistent()
+    yield from m.exit()
+
+
+def tolerated_bare():
+    m2 = Mutex(name="never-repaired")
+    yield from m2.enter()           # no consistent() anywhere: no L801
+    yield from libc.compute(2)
+    yield from m2.exit()

@@ -1,0 +1,29 @@
+"""Positive fixture: L801 (EOWNERDEAD result ignored in a crash-aware
+function), L802 (consistent() while not holding), L803 (release with
+the owner-death mark unrepaired)."""
+from repro.runtime import libc
+from repro.sync import Mutex
+
+
+def mixed_discipline():
+    m = Mutex(name="rob")
+    if (yield from m.enter()):      # owner died: repair before use
+        m.consistent()
+    yield from libc.compute(2)
+    yield from m.exit()
+    yield from m.enter()            # L801: EOWNERDEAD result discarded
+    yield from libc.compute(2)
+    yield from m.exit()
+
+
+def repair_outside():
+    m2 = Mutex(name="rob2")
+    yield from libc.compute(1)
+    m2.consistent()                 # L802: not holding rob2
+
+
+def brick():
+    m3 = Mutex(name="rob3")
+    if (yield from m3.enter()):
+        yield from libc.compute(1)  # saw EOWNERDEAD, repairs nothing
+    yield from m3.exit()            # L803: released unrepaired

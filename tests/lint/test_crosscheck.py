@@ -8,6 +8,7 @@ dynamic ``LockOrderDetector`` observes on real interleavings.
 """
 
 import ast
+import os
 
 from repro.explore import corpus
 from repro.explore.explorer import Explorer
@@ -49,6 +50,38 @@ class TestStaticExpect:
 
     def test_cli_corpus_mode_passes(self):
         assert _corpus_check(None) == 0
+
+
+class TestNetAndCrashEntries:
+    """PR 6–7 corpus entries carry static_expect tags too: their seeded
+    bugs are policy bugs (dynamic-only), so the tags are explicit
+    *clean pins* — any rule firing on their code is a false positive."""
+
+    def test_all_net_entries_are_tagged(self):
+        for name in ("lossy_server", "crash_storm_server"):
+            assert name in corpus.STATIC_EXPECT
+            assert corpus.STATIC_EXPECT[name] == set()
+
+    def test_socket_server_helper_statically_clean(self):
+        findings = _corpus_findings()
+        spans = _spans()
+        assert not _rules_in(findings, spans, "_socket_server")
+
+    def test_network_server_workload_statically_clean(self):
+        path = os.path.join(
+            os.path.dirname(os.path.dirname(corpus.__file__)),
+            "workloads", "network_server.py")
+        report = lint_files([path])
+        assert not report.findings, report.to_text()
+
+    def test_span_attribution_reaches_the_delegated_code(self):
+        # The cross-check must look at the code the factories delegate
+        # to, not just their (trivial) lexical spans.
+        assert "_socket_server" in corpus.STATIC_SPANS["lossy_server"]
+        assert ("workloads:network_server"
+                in corpus.STATIC_SPANS["crash_storm_server"])
+        assert ("workloads:network_server"
+                in corpus.STATIC_SPANS["clean_supervised_server"])
 
 
 class TestStaticVsDynamic:

@@ -1,0 +1,136 @@
+"""Interprocedural summaries: the whole point of PR 8.
+
+The acceptance case: a lock acquired in the caller and a ``recv`` two
+calls deeper.  The default (whole-program) analyzer reports L701 with a
+cross-function trace; ``interprocedural=False`` — the pre-PR local
+analyzer, exposed as ``--no-summaries`` — provably misses it.  The
+other tests drive the summary machinery directly: widened recursion,
+delta application beyond the inline depth cap, and serial-vs-parallel
+byte parity.
+"""
+
+import os
+
+from repro.lint import absint, lint_files, lint_paths, summaries
+from repro.lint.loader import load_module
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+class TestAcceptance:
+    def test_chain_caught_interprocedurally(self):
+        report = lint_paths([_fixture("chain_pos.py")])
+        rules = {f.rule for f in report.findings}
+        assert rules == {"L701"}, report.to_text()
+
+    def test_chain_missed_by_local_analyzer(self):
+        # The pre-PR intraprocedural behavior: helpers are opaque, so
+        # each function is clean in isolation.
+        report = lint_paths([_fixture("chain_pos.py")],
+                            interprocedural=False)
+        assert not report.findings, report.to_text()
+
+    def test_finding_carries_interprocedural_trace(self):
+        report = lint_paths([_fixture("chain_pos.py")])
+        f = report.findings[0]
+        trace = f.detail["trace"]
+        assert "chain-m" in trace and "serve" in trace
+        assert "read_bytes" in trace
+        assert "via read_request" in trace
+        assert "[" in f.format() and "chain-m" in f.format()
+
+
+class TestRecursionWidening:
+    def test_recursive_summary_is_widened_but_keeps_blocks(self):
+        module = load_module(_fixture("recursion_pos.py"))
+        summs = summaries.compute(module)
+        pump = summs["pump"]
+        assert pump.widened
+        assert pump.deltas is None          # top: no lock effect known
+        assert any(s.reason == "net-recv" for s in pump.blocks)
+
+    def test_recursive_chain_flagged(self):
+        rules = {f.rule
+                 for f in lint_paths([_fixture("recursion_pos.py")])
+                 .findings}
+        assert rules == {"L701"}
+
+    def test_recursive_chain_clean_without_lock(self):
+        assert not lint_paths([_fixture("recursion_neg.py")]).findings
+
+
+class TestSummaryDeltas:
+    """Beyond the inline horizon the interpreter applies the callee's
+    lock *delta*, so balance rules see through helpers too."""
+
+    SRC_ACQUIRES = (
+        "from repro.runtime import libc\n"
+        "from repro.sync import Mutex\n"
+        "def main():\n"
+        "    m = Mutex(name='deep')\n"
+        "    yield from grab(m)\n"
+        "    yield from libc.compute(1)\n"
+        "    return\n"
+        "def grab(m):\n"
+        "    yield from m.enter()\n")
+
+    SRC_BALANCED = (
+        "from repro.runtime import libc\n"
+        "from repro.sync import Mutex\n"
+        "def main():\n"
+        "    m = Mutex(name='bal')\n"
+        "    yield from visit(m)\n"
+        "    yield from libc.compute(1)\n"
+        "def visit(m):\n"
+        "    yield from m.enter()\n"
+        "    yield from libc.compute(1)\n"
+        "    yield from m.exit()\n")
+
+    def _lint(self, tmp_path, src):
+        path = tmp_path / "prog.py"
+        path.write_text(src, encoding="utf-8")
+        return lint_files([str(path)])
+
+    def test_l301_through_helper_summary(self, tmp_path, monkeypatch):
+        # Depth cap 1 forbids all inlining: only the summary delta can
+        # tell main() that grab() left `deep` held.
+        monkeypatch.setattr(absint, "MAX_INLINE_DEPTH", 1)
+        report = self._lint(tmp_path, self.SRC_ACQUIRES)
+        assert "L301" in {f.rule for f in report.findings}, \
+            report.to_text()
+
+    def test_balanced_helper_is_identity(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(absint, "MAX_INLINE_DEPTH", 1)
+        report = self._lint(tmp_path, self.SRC_BALANCED)
+        assert not report.findings, report.to_text()
+
+    def test_same_verdict_as_full_inlining(self, tmp_path):
+        # Without the cap the inliner reaches the same conclusion.
+        report = self._lint(tmp_path, self.SRC_ACQUIRES)
+        assert "L301" in {f.rule for f in report.findings}
+
+
+class TestJobsParity:
+    def test_parallel_report_byte_identical(self):
+        serial = lint_paths([FIXTURES]).to_json()
+        parallel = lint_paths([FIXTURES], jobs=4).to_json()
+        assert serial == parallel
+
+    def test_parallel_no_summaries_parity(self):
+        serial = lint_paths([FIXTURES], interprocedural=False).to_json()
+        parallel = lint_paths([FIXTURES], interprocedural=False,
+                              jobs=3).to_json()
+        assert serial == parallel
+
+    def test_new_finding_json_deterministic(self):
+        a = lint_paths([_fixture("blocking_pos.py"),
+                        _fixture("robust_pos.py"),
+                        _fixture("retry_pos.py")]).to_json()
+        b = lint_paths([_fixture("blocking_pos.py"),
+                        _fixture("robust_pos.py"),
+                        _fixture("retry_pos.py")]).to_json()
+        assert a == b

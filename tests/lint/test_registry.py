@@ -1,0 +1,44 @@
+"""Rule-registry self-check: one source of truth, no drift.
+
+Every rule id must appear in exactly one rule module's ``RULES`` tuple,
+carry a kind, a severity, and a catalogue entry, and be documented in
+its module docstring.  ``tools/check_docs.py`` layers the
+ARCHITECTURE §9 check on top of this.
+"""
+
+from repro.lint import rules
+from repro.lint.report import (KIND_BY_RULE, RULE_CATALOGUE,
+                               SEVERITY_BY_RULE)
+
+
+def test_vocabulary_tables_cover_the_same_rules():
+    assert set(KIND_BY_RULE) == set(SEVERITY_BY_RULE)
+    assert set(KIND_BY_RULE) == set(RULE_CATALOGUE)
+
+
+def test_rules_tuples_partition_the_catalogue():
+    seen = {}
+    for mod in rules.ALL_MODULES:
+        for rule in mod.RULES:
+            assert rule not in seen, \
+                f"{rule} owned by both {seen[rule]} and {mod.__name__}"
+            seen[rule] = mod.__name__
+    assert set(seen) == set(RULE_CATALOGUE), \
+        set(seen) ^ set(RULE_CATALOGUE)
+
+
+def test_every_module_documents_its_rules():
+    for mod in rules.ALL_MODULES:
+        assert mod.__doc__, mod.__name__
+        for rule in mod.RULES:
+            assert rule in mod.__doc__, (mod.__name__, rule)
+
+
+def test_severities_are_valid():
+    for rule, sev in SEVERITY_BY_RULE.items():
+        assert sev in ("error", "warning"), (rule, sev)
+
+
+def test_catalogue_entries_are_nonempty_one_liners():
+    for rule, text in RULE_CATALOGUE.items():
+        assert text.strip(), rule

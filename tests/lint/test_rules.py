@@ -34,6 +34,15 @@ CASES = [
     ("fork_neg.py", set()),
     ("lockset_pos.py", {"L601"}),
     ("lockset_neg.py", set()),
+    ("blocking_pos.py", {"L701", "L702", "L703"}),
+    ("blocking_neg.py", set()),
+    ("robust_pos.py", {"L801", "L802", "L803"}),
+    ("robust_neg.py", set()),
+    ("retry_pos.py", {"L901", "L902", "L903"}),
+    ("retry_neg.py", set()),
+    ("chain_pos.py", {"L701"}),
+    ("recursion_pos.py", {"L701"}),
+    ("recursion_neg.py", set()),
 ]
 
 

@@ -24,3 +24,7 @@ def test_cli_blocks_match_live_help():
 
 def test_example_inventory_in_sync():
     assert check_docs.check_example_inventory() == []
+
+
+def test_rule_catalogue_in_sync():
+    assert check_docs.check_rule_catalogue() == []

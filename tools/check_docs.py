@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs-consistency checker: links, CLI usage blocks, example coverage.
 
-Three classes of rot this catches, all of which have actually happened
+Four classes of rot this catches, all of which have actually happened
 to this repo or will:
 
 1. **Dead relative links** — ``[text](docs/FILE.md)`` pointing at a
@@ -10,7 +10,10 @@ to this repo or will:
 2. **CLI drift** — a fenced shell block showing ``python -m repro.x
    --flag`` where ``--flag`` is no longer (or never was) accepted.
    Flags are validated against the live ``--help`` of each CLI.
-3. **Example-list drift** — a file in ``examples/`` missing from the
+3. **Rule-catalogue drift** — a lint rule id (from the live
+   ``--list-rules``) missing from the ARCHITECTURE §9 catalogue, or a
+   doc mentioning an ``L###`` id the linter does not know.
+4. **Example-list drift** — a file in ``examples/`` missing from the
    README's inventory, or the README naming an example that is gone.
 
 Run:  python tools/check_docs.py   (exit 1 on any finding)
@@ -115,7 +118,37 @@ def check_cli_blocks() -> list[str]:
     return problems
 
 
-# ------------------------------------------------- 3. example inventory
+# -------------------------------------------- 3. lint rule catalogue
+
+def check_rule_catalogue() -> list[str]:
+    """Every lint rule id must appear in ARCHITECTURE §9, and every
+    L-rule token the docs mention must exist in the live catalogue
+    (no ghost rules, no undocumented rules)."""
+    problems = []
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--list-rules"],
+        capture_output=True, text=True, cwd=REPO,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")})
+    if out.returncode != 0:
+        return [f"repro.lint --list-rules failed:\n{out.stderr}"]
+    known = set(re.findall(r"^(L\d{3}):", out.stdout, re.MULTILINE))
+    arch_rel = "docs/ARCHITECTURE.md"
+    with open(os.path.join(REPO, arch_rel)) as fh:
+        arch = fh.read()
+    for rule in sorted(known):
+        if rule not in arch:
+            problems.append(f"{arch_rel}: rule {rule} missing from the "
+                            "§9 catalogue")
+    for rel in _doc_paths():
+        with open(os.path.join(REPO, rel)) as fh:
+            text = fh.read()
+        for rule in set(re.findall(r"\bL\d{3}\b", text)):
+            if rule not in known:
+                problems.append(f"{rel}: mentions unknown rule {rule}")
+    return problems
+
+
+# ------------------------------------------------- 4. example inventory
 
 def check_example_inventory() -> list[str]:
     """examples/*.py and the README inventory must agree both ways."""
@@ -138,7 +171,7 @@ def check_example_inventory() -> list[str]:
 
 def main() -> int:
     problems = (check_links() + check_cli_blocks()
-                + check_example_inventory())
+                + check_rule_catalogue() + check_example_inventory())
     for p in problems:
         print(f"DOCS: {p}")
     print(f"check_docs: {len(problems)} problem(s) across "
