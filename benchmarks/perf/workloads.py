@@ -16,6 +16,9 @@ paths of ARCHITECTURE §10:
 * ``explore_corpus``  — one schedule-exploration sweep of the seeded-bug
   and clean corpora end-to-end (detectors + schedule plans + digests):
   the CI stress job's inner loop.
+* ``sched_classes``   — Figure 5 and the network server rerun under
+  every registered scheduling class (the SchedulerChoice axis): the
+  pluggable-policy dispatch path end-to-end.
 
 Every workload performs a fixed amount of simulated work, so host
 seconds are comparable across commits; each returns ``(elapsed_s,
@@ -99,6 +102,28 @@ def explore_corpus() -> tuple:
     return time.perf_counter() - t0, runs
 
 
+def sched_classes() -> tuple:
+    from repro.analysis.experiments import run_fig5
+    from repro.api import Simulator
+    from repro.kernel.sched.policy import SchedClassTable
+    from repro.sim.schedule import SchedulePlan, SchedulerChoice
+    from repro.workloads import network_server
+
+    names = [pol.name for pol in SchedClassTable.default().ordered]
+    units = 0
+    t0 = time.perf_counter()
+    for name in names:
+        run_fig5(n=4, sched_class=name)
+        main, results = network_server.build(n_clients=3,
+                                             requests_per_client=8)
+        sim = Simulator(ncpus=2,
+                        schedule=SchedulePlan([SchedulerChoice(name)]))
+        sim.spawn(main, name="netserver")
+        sim.run()
+        units += 1
+    return time.perf_counter() - t0, units
+
+
 #: name -> (callable, metric kind).  "rate" reports units/elapsed
 #: (higher is better); "time" reports elapsed seconds (lower is better).
 WORKLOADS = {
@@ -106,4 +131,5 @@ WORKLOADS = {
     "thread_creations": (thread_creations, "rate"),
     "window_system": (window_system, "time"),
     "explore_corpus": (explore_corpus, "time"),
+    "sched_classes": (sched_classes, "time"),
 }

@@ -17,6 +17,15 @@ from repro.sim.clock import usec
 from repro.sync import Semaphore, THREAD_SYNC_SHARED
 from repro import threads
 
+def _choice_plan(sched_class):
+    """A fresh SchedulePlan forcing ``sched_class``, or None for the
+    default.  Fresh per Simulator: a plan attaches exactly once."""
+    if sched_class is None:
+        return None
+    from repro.sim.schedule import SchedulePlan, SchedulerChoice
+    return SchedulePlan([SchedulerChoice(sched_class)])
+
+
 #: Paper values for Figures 5 and 6 (microseconds).
 PAPER = {
     "unbound_create": 56.0,
@@ -32,11 +41,13 @@ PAPER = {
 # FIG5 — thread creation time
 # ====================================================================
 
-def run_fig5(n: int = 50, costs=None) -> dict:
+def run_fig5(n: int = 50, costs=None, sched_class=None) -> dict:
     """Measure unbound and bound thread creation (amortized over ``n``).
 
     Matches the paper's method: default cached stack, creation time only
     (the created threads are never switched to inside the window).
+    ``sched_class`` names a scheduling class ("CFS", "MLFQ", ...) to run
+    the measurement under, via a :class:`SchedulerChoice` plan.
     """
     results = {}
 
@@ -61,7 +72,8 @@ def run_fig5(n: int = 50, costs=None) -> dict:
             sim.metrics.observe(
                 f"bench.fig5.create_window_ns.{label}", t1 - t0)
 
-        sim = Simulator(ncpus=4, costs=costs, metrics=True)
+        sim = Simulator(ncpus=4, costs=costs, metrics=True,
+                        schedule=_choice_plan(sched_class))
         sim.spawn(main)
         sim.run(check_deadlock=False)
         h = sim.metrics.histograms[f"bench.fig5.create_window_ns.{label}"]
@@ -86,13 +98,17 @@ def fig5_table(results: dict) -> Table:
 # FIG6 — thread synchronization time
 # ====================================================================
 
-def run_fig6(n: int = 100, costs=None) -> dict:
-    """All four rows of Figure 6 (one-way synchronization times)."""
+def run_fig6(n: int = 100, costs=None, sched_class=None) -> dict:
+    """All four rows of Figure 6 (one-way synchronization times).
+
+    ``sched_class`` as in :func:`run_fig5`.
+    """
     return {
-        "setjmp_longjmp": _measure_setjmp(n, costs),
-        "unbound_sync": _measure_sync(0, n, costs),
-        "bound_sync": _measure_sync(threads.THREAD_BIND_LWP, n, costs),
-        "cross_process_sync": _measure_cross(n, costs),
+        "setjmp_longjmp": _measure_setjmp(n, costs, sched_class),
+        "unbound_sync": _measure_sync(0, n, costs, sched_class),
+        "bound_sync": _measure_sync(threads.THREAD_BIND_LWP, n, costs,
+                                    sched_class),
+        "cross_process_sync": _measure_cross(n, costs, sched_class),
     }
 
 
@@ -109,7 +125,7 @@ def fig6_table(results: dict) -> Table:
              results["cross_process_sync"])])
 
 
-def _measure_setjmp(n: int, costs) -> float:
+def _measure_setjmp(n: int, costs, sched_class=None) -> float:
     def main():
         t0 = yield Syscall("gettimeofday")
         for _ in range(n):
@@ -117,14 +133,15 @@ def _measure_setjmp(n: int, costs) -> float:
         t1 = yield Syscall("gettimeofday")
         sim.metrics.observe("bench.fig6.setjmp_window_ns", t1 - t0)
 
-    sim = Simulator(costs=costs, metrics=True)
+    sim = Simulator(costs=costs, metrics=True,
+                    schedule=_choice_plan(sched_class))
     sim.spawn(main)
     sim.run()
     return sim.metrics.histograms["bench.fig6.setjmp_window_ns"].total \
         / 1000 / n
 
 
-def _measure_sync(flags: int, n: int, costs) -> float:
+def _measure_sync(flags: int, n: int, costs, sched_class=None) -> float:
     """The paper's two-semaphore ping-pong, divided by two."""
     label = "bound" if flags & threads.THREAD_BIND_LWP else "unbound"
     key = f"bench.fig6.sync_window_ns.{label}"
@@ -154,13 +171,14 @@ def _measure_sync(flags: int, n: int, costs) -> float:
         yield from threads.thread_wait(a)
         yield from threads.thread_wait(b)
 
-    sim = Simulator(ncpus=1, costs=costs, metrics=True)
+    sim = Simulator(ncpus=1, costs=costs, metrics=True,
+                    schedule=_choice_plan(sched_class))
     sim.spawn(main)
     sim.run()
     return sim.metrics.histograms[key].total / 1000 / (2 * n)
 
 
-def _measure_cross(n: int, costs) -> float:
+def _measure_cross(n: int, costs, sched_class=None) -> float:
     """Two processes synchronizing "through a file in shared memory"."""
     def peer():
         region = yield from mapped.map_shared_file("/tmp/sync", 4096)
@@ -185,7 +203,8 @@ def _measure_cross(n: int, costs) -> float:
         sim.metrics.observe("bench.fig6.cross_window_ns", t1 - t0)
         yield from unistd.waitpid(pid)
 
-    sim = Simulator(ncpus=1, costs=costs, metrics=True)
+    sim = Simulator(ncpus=1, costs=costs, metrics=True,
+                    schedule=_choice_plan(sched_class))
     sim.spawn(main)
     sim.run()
     return sim.metrics.histograms["bench.fig6.cross_window_ns"].total \

@@ -20,6 +20,11 @@ Examples::
     # restart churn, a hang, or an error.
     python -m repro.explore --chaos --runs 8 --out bundles/
 
+    # Scheduler matrix: one clean corpus entry + Fig 5 under every
+    # registered scheduling class; each class must reproduce its own
+    # trace digest twice (determinism) and finish clean.
+    python -m repro.explore --sched-matrix --matrix-out sched-matrix.json
+
     # Replay a repro bundle produced by a failing run.
     python -m repro.explore --replay bundles/racy_counter.json
 """
@@ -147,17 +152,36 @@ def main(argv=None) -> int:
     parser.add_argument("--replay", metavar="BUNDLE",
                         help="replay a saved repro bundle against its "
                              "corpus program")
+    parser.add_argument("--sched-matrix", action="store_true",
+                        help="scheduler matrix gate: one clean corpus "
+                             "entry + Fig 5 under every registered "
+                             "scheduling class; fail on any finding or "
+                             "non-reproducible digest")
+    parser.add_argument("--matrix-out", default=None,
+                        help="write the per-class matrix results "
+                             "(digests + metrics) to this JSON file")
+    parser.add_argument("--list-sched-classes", action="store_true",
+                        help="list the registered scheduling classes "
+                             "and exit")
     args = parser.parse_args(argv)
 
+    if args.list_sched_classes:
+        from repro.kernel.sched.policy import SchedClassTable
+        for pol in SchedClassTable.default().ordered:
+            print(f"{pol.name}: {pol.DOC}")
+        return 0
     if args.replay:
         return _replay(args)
     if not (args.corpus or args.clean or args.workloads or args.examples
-            or args.overload or args.chaos):
+            or args.overload or args.chaos or args.sched_matrix):
         parser.error("pick at least one of --corpus / --clean / "
-                     "--workloads / --examples / --overload / --chaos "
-                     "(or --replay)")
+                     "--workloads / --examples / --overload / --chaos / "
+                     "--sched-matrix (or --replay)")
 
     failures = 0
+
+    if args.sched_matrix:
+        failures += _sched_matrix(args)
 
     if args.corpus:
         for name, (factory, expected) in corpus.BUGGY.items():
@@ -236,6 +260,54 @@ def main(argv=None) -> int:
         return 1
     print("\nall gates passed")
     return 0
+
+
+def _sched_matrix(args) -> int:
+    """The scheduler-matrix gate: every registered class runs one clean
+    corpus entry twice (digests must match run-to-run and the run must
+    stay clean) plus a small Fig 5; per-class results optionally land in
+    ``--matrix-out`` as JSON."""
+    import json
+
+    from repro.analysis.experiments import run_fig5
+    from repro.explore.explorer import run_one
+    from repro.kernel.sched.policy import SchedClassTable
+
+    program = "clean_queue"
+    factory = registry.resolve(f"clean:{program}")
+    failures = 0
+    matrix = {}
+    for pol in SchedClassTable.default().ordered:
+        name = pol.name
+        plan = {"rules": [{"kind": "scheduler", "sched_class": name}]}
+        runs = [run_one(factory, program=program, seed=args.seed,
+                        ncpus=args.ncpus, max_events=args.max_events,
+                        schedule_dict=plan, with_metrics=True)
+                for _ in range(2)]
+        fig5 = run_fig5(n=8, sched_class=name)
+        bad = []
+        if runs[0].digest != runs[1].digest:
+            bad.append("digest not reproducible")
+        for res in runs:
+            if res.failed:
+                bad.append(res.summary())
+                break
+        status = "FAIL: " + "; ".join(bad) if bad else "ok"
+        print(f"sched-matrix {name:5s} {program}: {status}  "
+              f"fig5 unbound={fig5['unbound_create']:.1f}us")
+        if bad:
+            failures += 1
+        matrix[name] = {
+            "digest": runs[0].digest,
+            "reproducible": runs[0].digest == runs[1].digest,
+            "fig5": fig5,
+            "metrics": json.loads(runs[0].metrics_json),
+        }
+    if args.matrix_out:
+        with open(args.matrix_out, "w") as fh:
+            json.dump(matrix, fh, indent=2, sort_keys=True)
+        print(f"sched-matrix results written to {args.matrix_out}")
+    return failures
 
 
 def _replay(args) -> int:

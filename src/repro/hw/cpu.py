@@ -106,8 +106,10 @@ class CPU:
         self._clock = engine.clock
         self._step_fn = self._step
         self._charge_end_ns: Optional[int] = None
-        # Virtual time the current LWP was assigned; metrics-only
-        # (per-class / per-LWP on-CPU accounting in release()).
+        # Virtual time the current LWP was assigned.  Feeds both the
+        # metrics (per-class / per-LWP on-CPU accounting) and the
+        # scheduler policies' span bookkeeping (CFS vruntime, SJF burst
+        # estimates) via dispatcher.on_offcpu() in release().
         self._oncpu_since: Optional[int] = None
         # The activity whose generator is live on the Python stack right
         # now (frame injection must defer while set).
@@ -138,8 +140,7 @@ class CPU:
         lwp.cpu = self
         self.dispatch_count += 1
         self._preempt_pending = False
-        if self.engine.metrics is not None:
-            self._oncpu_since = self.engine.now_ns
+        self._oncpu_since = self.engine.now_ns
         if self.tracer.want_sched:
             self.tracer.emit(self.engine.now_ns, "sched", "dispatch",
                              lwp.name, cpu=self.name)
@@ -152,11 +153,17 @@ class CPU:
         lwp = self.lwp
         if lwp is not None:
             lwp.cpu = None
-            m = self.engine.metrics
-            if m is not None and self._oncpu_since is not None:
+            if self._oncpu_since is not None:
                 span = self.engine.now_ns - self._oncpu_since
-                m.observe(f"sched.oncpu_ns.{lwp.sched_class.value}", span)
-                m.count(f"sched.oncpu_ns_by_lwp.{lwp.name}", span)
+                m = self.engine.metrics
+                if m is not None:
+                    m.observe(f"sched.oncpu_ns.{lwp.sched_class.value}",
+                              span)
+                    m.count(f"sched.oncpu_ns_by_lwp.{lwp.name}", span)
+                if self.kernel is not None:
+                    # Policy span bookkeeping (CFS vruntime, SJF burst
+                    # estimate) — pure accounting, schedules nothing.
+                    self.kernel.dispatcher.on_offcpu(lwp, span)
         self._oncpu_since = None
         self.lwp = None
         self._cancel_step()

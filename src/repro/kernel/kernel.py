@@ -43,6 +43,9 @@ class Kernel:
         self.dispatcher = Dispatcher(machine)
         self.processes: dict[int, Process] = {}
         self._next_pid = 1
+        # Gang ids are per-kernel (not a class-level counter) so reusing
+        # one worker process for several simulations stays deterministic.
+        self._next_gang_id = 0
         # Where self-terminating LWPs go; never woken.
         self.grave = WaitChannel("grave")
         # Channels for kernel-level sleeps on process-shared sync
@@ -136,10 +139,20 @@ class Kernel:
         self._next_pid += 1
         return pid
 
+    def next_gang_id(self) -> int:
+        self._next_gang_id += 1
+        return self._next_gang_id
+
     def create_lwp(self, process: Process, activity: Activity,
                    sched_class: SchedClass = SchedClass.TIMESHARE,
                    priority: int = 30,
                    runnable: bool = True) -> Lwp:
+        if sched_class is SchedClass.TIMESHARE:
+            # A SchedulerChoice perturbation rule re-homes the default
+            # timesharing class; explicit RT/GANG requests always win.
+            override = getattr(self.engine, "sched_class_override", None)
+            if override is not None:
+                sched_class = self.dispatcher.table.class_for_name(override)
         lwp = Lwp(process.next_lwp_id(), process, activity)
         lwp.sched_class = sched_class
         lwp.priority = priority
@@ -234,6 +247,7 @@ class Kernel:
         lwp.sleep_interruptible = interruptible
         lwp.sleep_indefinite = indefinite
         lwp.sleep_since_ns = self.engine.now_ns
+        self.dispatcher.on_sleep(lwp)
         for chan in channels:
             chan.add(lwp)
         if indefinite:
@@ -341,9 +355,7 @@ class Kernel:
             lwp.stop_pending = False
             lwp.state = LwpState.STOPPED
             return
-        from repro.kernel.sched import classes
-        classes.on_sleep_return(lwp)
-        self.dispatcher.make_runnable(lwp)
+        self.dispatcher.on_sleep_return(lwp)
 
     def unpark_lwp(self, lwp: Lwp) -> bool:
         """Wake an LWP from lwp_park (or leave it a permit).

@@ -38,21 +38,38 @@ class LwpState(enum.Enum):
 
 class SchedClass(enum.Enum):
     """Scheduling classes (paper: class and priority are per-LWP state;
-    a new "gang" class supports fine-grain parallelism)."""
+    a new "gang" class supports fine-grain parallelism).
+
+    TIMESHARE/REALTIME/GANG are the paper's classes; the rest are
+    pluggable policies hosted on the same :class:`SchedPolicy` framework
+    (see :mod:`repro.kernel.sched.policy`): fair-share by virtual
+    runtime (CFS), multilevel feedback queue (MLFQ), shortest job first
+    (SJF), and hierarchical round-robin over process groups (HRR).
+    """
 
     TIMESHARE = "TS"
     REALTIME = "RT"
     GANG = "GANG"
+    CFS = "CFS"
+    MLFQ = "MLFQ"
+    SJF = "SJF"
+    HRR = "HRR"
 
 
 #: Priority bands per class; higher effective priority always dispatches
 #: first.  Real-time sits above every timeshare priority, per the Chorus
 #: comparison ("a thread [can] bind to an LWP ... and ask that the
 #: underlying LWP be made a member of a real-time scheduling class").
+#: The pluggable timesharing-family classes share the timeshare band:
+#: they arbitrate against RT/GANG exactly as TS does.
 CLASS_BASE = {
     SchedClass.TIMESHARE: 0,
     SchedClass.GANG: 100,
     SchedClass.REALTIME: 200,
+    SchedClass.CFS: 0,
+    SchedClass.MLFQ: 0,
+    SchedClass.SJF: 0,
+    SchedClass.HRR: 0,
 }
 
 #: Priority range within a class.
@@ -91,6 +108,11 @@ class Lwp:
         self.priority = 30               # mid-band default
         self.bound_cpu = None            # CPU binding via priocntl
         self.gang = None                 # gang group membership
+        # Class-owned scheduling state blob (vruntime, MLFQ level, burst
+        # estimate, ...).  Owned by the LWP's current SchedPolicy; reset
+        # to None on every class change (the priocntl handoff protocol).
+        # None for policies that keep no per-LWP state (TS/RT/GANG).
+        self.sched_state: Optional[dict] = None
 
         # Placement / blocking bookkeeping (kernel + dispatcher owned).
         self.cpu = None

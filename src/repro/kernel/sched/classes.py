@@ -25,13 +25,16 @@ from repro.kernel.lwp import Lwp, SchedClass, PRIO_MIN, PRIO_MAX
 
 
 class GangGroup:
-    """A set of LWPs that want to run simultaneously."""
+    """A set of LWPs that want to run simultaneously.
 
-    _counter = 0
+    Gang ids are per-kernel (handed out by ``Kernel.next_gang_id``), not
+    a class-level counter: a process-global counter leaks ids across
+    engine instances and breaks run-to-run determinism when one worker
+    process runs several simulations (``explore --jobs``).
+    """
 
-    def __init__(self):
-        GangGroup._counter += 1
-        self.gang_id = GangGroup._counter
+    def __init__(self, gang_id: int = 0):
+        self.gang_id = gang_id
         self.members: list[Lwp] = []
 
     def add(self, lwp: Lwp) -> None:
@@ -39,11 +42,17 @@ class GangGroup:
             self.members.append(lwp)
             lwp.gang = self
             lwp.sched_class = SchedClass.GANG
+            lwp.sched_state = None
 
     def remove(self, lwp: Lwp) -> None:
         if lwp in self.members:
             self.members.remove(lwp)
             lwp.gang = None
+            # A departed member must not stay in the GANG class with no
+            # gang: drop it back to timesharing (fresh state blob).
+            if lwp.sched_class is SchedClass.GANG:
+                lwp.sched_class = SchedClass.TIMESHARE
+                lwp.sched_state = None
 
 
 def quantum_ns(lwp: Lwp, base_quantum_ns: int) -> Optional[int]:

@@ -2,8 +2,11 @@
 
 "All the LWPs in the system are scheduled by the kernel onto the available
 CPU resources according to their scheduling class and priority."  The
-dispatcher owns the run queue, quantum timers, priority preemption, CPU
-binding, and gang co-dispatch.  It knows nothing about user threads.
+dispatcher owns quantum timers, priority preemption, CPU binding, and gang
+co-dispatch; the run queues themselves belong to the scheduling classes
+(one :class:`~repro.kernel.sched.policy.SchedPolicy` each), reached
+through the per-kernel :class:`~repro.kernel.sched.policy.SchedClassTable`.
+It knows nothing about user threads.
 """
 
 from __future__ import annotations
@@ -11,18 +14,19 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.kernel.lwp import Lwp, LwpState
-from repro.kernel.sched import classes
-from repro.kernel.sched.runqueue import RunQueue
+from repro.kernel.sched.policy import SchedClassTable
 
 
 class Dispatcher:
     """Global dispatcher over all CPUs of the machine."""
 
-    def __init__(self, machine, tracer=None):
+    def __init__(self, machine, tracer=None, table: SchedClassTable = None):
         self.machine = machine
         self.engine = machine.engine
         self.costs = machine.costs
-        self.runqueue = RunQueue()
+        # The scheduling-class registry; every queue operation and every
+        # policy hook goes through it.
+        self.table = table if table is not None else SchedClassTable.default()
         # Per-CPU quantum expiry events, indexed by cpu.index.
         self._quantum_events: dict[int, object] = {}
         # Statistics.
@@ -36,11 +40,13 @@ class Dispatcher:
         if lwp.state is LwpState.RUNNING:
             return
         lwp.state = LwpState.RUNNABLE
-        self.runqueue.insert(lwp, front=front)
+        pol = self.table.policy_for(lwp)
+        pol.enqueue(lwp, front=front)
         m = self.engine.metrics
         if m is not None:
             lwp.ready_since_ns = self.engine.now_ns
-            m.observe("sched.runq_depth", len(self.runqueue))
+            m.observe("sched.runq_depth", len(self.table))
+            m.observe(f"sched.runq_depth.{pol.name}", len(pol))
         self._place(lwp)
 
     def cpu_idle(self, cpu) -> None:
@@ -50,7 +56,7 @@ class Dispatcher:
             # path); nothing to do.
             return
         self._clear_quantum(cpu)
-        lwp = self.runqueue.pick(lambda l: self._eligible(l, cpu))
+        lwp = self.table.pick(lambda l: self._eligible(l, cpu))
         if lwp is not None:
             self._dispatch(cpu, lwp)
 
@@ -64,9 +70,9 @@ class Dispatcher:
             lwp.state = LwpState.STOPPED
             self.refill_idle_cpus()
             return
-        classes.on_quantum_expired(lwp)
+        self.table.policy_for(lwp).on_quantum_expired(lwp)
         lwp.state = LwpState.RUNNABLE
-        self.runqueue.insert(lwp, front=False)
+        self.table.insert(lwp, front=False)
         # Refill every idle CPU: the preempted LWP may only be eligible on
         # some other CPU (it may have just bound itself elsewhere).
         self.refill_idle_cpus()
@@ -78,7 +84,25 @@ class Dispatcher:
 
     def remove(self, lwp: Lwp) -> None:
         """Pull a queued LWP out (stopped or killed before running)."""
-        self.runqueue.remove(lwp)
+        self.table.remove(lwp)
+
+    # ------------------------------------------------------ policy hooks
+
+    def on_sleep(self, lwp: Lwp) -> None:
+        """The LWP is blocking on a wait channel."""
+        self.table.policy_for(lwp).on_sleep(lwp)
+
+    def on_sleep_return(self, lwp: Lwp) -> None:
+        """The LWP's sleep ended: apply class feedback, then requeue."""
+        self.table.policy_for(lwp).on_wakeup(lwp)
+        self.make_runnable(lwp)
+
+    def on_offcpu(self, lwp: Lwp, span_ns: int) -> None:
+        """The LWP ran ``span_ns`` and came off a CPU (called by the CPU
+        on release; pure accounting — vruntime, burst estimates)."""
+        pol = self.table.for_class(lwp.sched_class)
+        if pol is not None:
+            pol.on_offcpu(lwp, span_ns)
 
     # ------------------------------------------------------------ placing
 
@@ -90,21 +114,24 @@ class Dispatcher:
         # First choice: an idle CPU it may use.
         for cpu in self.machine.cpus:
             if cpu.idle and self._eligible(lwp, cpu):
-                picked = self.runqueue.pick(
+                picked = self.table.pick(
                     lambda l: self._eligible(l, cpu))
                 if picked is not None:
                     self._dispatch(cpu, picked)
                 # If `picked` wasn't `lwp`, someone better went first; the
                 # queue keeps `lwp` for the next opening.
                 return
-        # Otherwise: preempt the lowest-priority running LWP if we beat it.
+        # Otherwise: preempt the lowest-priority running LWP if the
+        # newcomer's policy agrees it should win.
+        pol = self.table.policy_for(lwp)
         victim_cpu = None
         victim_prio = lwp.effective_priority
         for cpu in self.machine.cpus:
             running = cpu.lwp
             if running is None or not self._eligible(lwp, cpu):
                 continue
-            if running.effective_priority < victim_prio:
+            if (running.effective_priority < victim_prio
+                    and pol.preempt_check(lwp, running)):
                 victim_prio = running.effective_priority
                 victim_cpu = cpu
         if victim_cpu is not None:
@@ -117,8 +144,11 @@ class Dispatcher:
             m.count(f"sched.dispatches.{lwp.sched_class.value}")
             ready = lwp.ready_since_ns
             if ready is not None:
-                m.observe("sched.dispatch_latency_ns",
-                          self.engine.now_ns - ready)
+                latency = self.engine.now_ns - ready
+                m.observe("sched.dispatch_latency_ns", latency)
+                m.observe(
+                    f"sched.dispatch_latency_ns.{lwp.sched_class.value}",
+                    latency)
                 lwp.ready_since_ns = None
         cpu.assign(lwp)
         self._arm_quantum(cpu, lwp)
@@ -132,7 +162,7 @@ class Dispatcher:
                 continue
             for cpu in self.machine.cpus:
                 if cpu.idle and self._eligible(member, cpu):
-                    if self.runqueue.remove(member):
+                    if self.table.remove(member):
                         self._dispatch(cpu, member)
                     break
 
@@ -140,7 +170,7 @@ class Dispatcher:
 
     def _arm_quantum(self, cpu, lwp: Lwp) -> None:
         self._clear_quantum(cpu)
-        q = classes.quantum_ns(lwp, self.costs.timeslice)
+        q = self.table.policy_for(lwp).quantum_ns(lwp, self.costs.timeslice)
         if q is None:
             return
         self._quantum_events[cpu.index] = self.engine.call_after(
@@ -157,7 +187,7 @@ class Dispatcher:
             return  # it already left this CPU
         # Round-robin only if somebody comparable is waiting; otherwise
         # let it keep running (no useless switch).
-        best = self.runqueue.best_priority()
+        best = self.table.best_priority()
         if best is None:
             self._arm_quantum(cpu, lwp)
             return
@@ -171,10 +201,11 @@ class Dispatcher:
     # ------------------------------------------------------------- stats
 
     def runnable_count(self) -> int:
-        return len(self.runqueue)
+        return len(self.table)
 
     def describe_blocked(self) -> Optional[str]:
         """Used by the engine's deadlock check via the kernel."""
-        if len(self.runqueue) == 0:
+        n = len(self.table)
+        if n == 0:
             return None
-        return f"{len(self.runqueue)} LWPs runnable but no CPU picked them"
+        return f"{n} LWPs runnable but no CPU picked them"

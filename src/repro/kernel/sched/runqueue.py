@@ -66,6 +66,14 @@ class RunQueue:
                     return lwp
         return None
 
+    def peek(self, eligible: Callable[[Lwp], bool]) -> Optional[Lwp]:
+        """The LWP :meth:`pick` would return, without removing it."""
+        for prio in sorted(self._queues, reverse=True):
+            for lwp in self._queues[prio]:
+                if eligible(lwp):
+                    return lwp
+        return None
+
     def best_priority(self) -> Optional[int]:
         """Highest priority with a queued LWP, or None when empty."""
         for prio in sorted(self._queues, reverse=True):

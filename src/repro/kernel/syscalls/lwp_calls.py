@@ -170,10 +170,25 @@ def sys_priocntl(ctx, cmd: int, lwp_id: int = 0, arg=None):
     if cmd == PC_SETCLASS:
         if not isinstance(arg, SchedClass):
             raise SyscallError(Errno.EINVAL, "priocntl", f"class {arg!r}")
+        table = ctx.kernel.dispatcher.table
+        if table.for_class(arg) is None:
+            raise SyscallError(Errno.EINVAL, "priocntl",
+                               f"class {arg.value} not registered")
         if arg is SchedClass.REALTIME and proc.euid != 0:
             raise SyscallError(Errno.EPERM, "priocntl",
                                "real-time class requires privilege")
-        lwp.sched_class = arg
+        if arg is not lwp.sched_class:
+            # Class-change handoff: pull the LWP off its old class's
+            # queue, drop the old class's state blob (the new policy
+            # re-initializes at the next enqueue), and requeue under the
+            # new class if it was waiting to run.
+            requeue = lwp.state is LwpState.RUNNABLE
+            if requeue:
+                ctx.kernel.dispatcher.remove(lwp)
+            lwp.sched_state = None
+            lwp.sched_class = arg
+            if requeue:
+                ctx.kernel.dispatcher.make_runnable(lwp)
         return 0
     if cmd == PC_SETPRIO:
         prio = int(arg)
@@ -194,7 +209,10 @@ def sys_priocntl(ctx, cmd: int, lwp_id: int = 0, arg=None):
         lwp.bound_cpu = None
         return 0
     if cmd == PC_JOIN_GANG:
-        gang = arg if isinstance(arg, GangGroup) else GangGroup()
+        if isinstance(arg, GangGroup):
+            gang = arg
+        else:
+            gang = GangGroup(gang_id=ctx.kernel.next_gang_id())
         gang.add(lwp)
         return gang
     if cmd == PC_LEAVE_GANG:

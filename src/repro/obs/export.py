@@ -56,10 +56,23 @@ def sched_report(reg: MetricsRegistry) -> str:
     lat = reg.histograms.get("sched.dispatch_latency_ns")
     if lat is not None and lat.count:
         lines.append(f"  dispatch latency        {_hist_row(lat)}")
+    for key in sorted(k for k in reg.histograms
+                      if k.startswith("sched.dispatch_latency_ns.")):
+        h = reg.histograms[key]
+        if h.count:
+            cls = key.rsplit(".", 1)[1]
+            lines.append(f"  dispatch latency[{cls:<4s}]  {_hist_row(h)}")
     depth = reg.histograms.get("sched.runq_depth")
     if depth is not None and depth.count:
         lines.append(f"  runq depth at enqueue   n={depth.count} "
                      f"mean={depth.mean:.2f} max={depth.max}")
+    for key in sorted(k for k in reg.histograms
+                      if k.startswith("sched.runq_depth.")):
+        h = reg.histograms[key]
+        if h.count:
+            cls = key.rsplit(".", 1)[1]
+            lines.append(f"  runq depth[{cls:<4s}]        n={h.count} "
+                         f"mean={h.mean:.2f} max={h.max}")
     for key in sorted(k for k in reg.histograms
                       if k.startswith("sched.oncpu_ns.")):
         cls = key.rsplit(".", 1)[1]

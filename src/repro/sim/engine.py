@@ -47,6 +47,11 @@ class Engine:
         # Active schedule-perturbation plan (repro.sim.schedule.
         # SchedulePlan): consulted at instrumented yield points.
         self.schedule = None
+        # Scheduling-class override armed by a SchedulerChoice rule: a
+        # plain class-name string ("CFS", "MLFQ", ...).  The kernel
+        # interprets it at LWP creation; the engine itself stays
+        # kernel-agnostic.
+        self.sched_class_override: Optional[str] = None
         # Attached MetricsRegistry (repro.obs.registry), or None.
         # Instrumentation sites gate on `engine.metrics is not None` —
         # the same one-attribute-check price as the tracer gates — and

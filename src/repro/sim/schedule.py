@@ -34,6 +34,11 @@ Rule kinds:
   priority on first sight and picks follow those priorities strictly;
   optionally a random thread's priority is re-drawn every
   ``change_every`` picks (priority change points).
+* :class:`SchedulerChoice` — run the workload under a different kernel
+  scheduling class (CFS, MLFQ, SJF, HRR, ...): LWPs that would be
+  created TIMESHARE are created in the chosen class instead.  Not a
+  perturbation of *when* but of *policy* — the explorer's scheduler
+  matrix axis.
 
 Plans compose with fault plans — ``Simulator(faults=..., schedule=...)``
 — for fault × schedule stress, and serialize to plain dicts for repro
@@ -256,8 +261,36 @@ class PctPriorities(ScheduleRule):
         return cls(change_every=d.get("change_every", 0))
 
 
+class SchedulerChoice(ScheduleRule):
+    """Run the workload under a named kernel scheduling class.
+
+    Arming sets ``engine.sched_class_override`` to the class *name*
+    (e.g. ``"CFS"``); the kernel resolves it against its class table at
+    LWP creation, so an unknown or unregistered name fails loudly there.
+    Explicitly requested RT/GANG LWPs keep their class — the rule only
+    re-homes the TIMESHARE default.  Deterministic and replayable like
+    every other rule: the class is part of the serialized plan.
+    """
+
+    KIND = "scheduler"
+
+    def __init__(self, sched_class: str = "TS"):
+        self.sched_class = str(sched_class)
+
+    def arm(self, plan: "SchedulePlan", engine) -> None:
+        engine.sched_class_override = self.sched_class
+
+    def to_dict(self) -> dict:
+        return {"kind": self.KIND, "sched_class": self.sched_class}
+
+    @classmethod
+    def _from_dict(cls, d: dict) -> "SchedulerChoice":
+        return cls(sched_class=d.get("sched_class", "TS"))
+
+
 _RULE_KINDS = {cls.KIND: cls for cls in
-               (RandomPreempt, ForcedPreempt, RandomPick, PctPriorities)}
+               (RandomPreempt, ForcedPreempt, RandomPick, PctPriorities,
+                SchedulerChoice)}
 
 
 class SchedulePlan:

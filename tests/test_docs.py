@@ -28,3 +28,7 @@ def test_example_inventory_in_sync():
 
 def test_rule_catalogue_in_sync():
     assert check_docs.check_rule_catalogue() == []
+
+
+def test_class_catalogue_in_sync():
+    assert check_docs.check_class_catalogue() == []

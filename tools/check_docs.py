@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs-consistency checker: links, CLI usage blocks, example coverage.
 
-Four classes of rot this catches, all of which have actually happened
+Five classes of rot this catches, all of which have actually happened
 to this repo or will:
 
 1. **Dead relative links** — ``[text](docs/FILE.md)`` pointing at a
@@ -13,7 +13,11 @@ to this repo or will:
 3. **Rule-catalogue drift** — a lint rule id (from the live
    ``--list-rules``) missing from the ARCHITECTURE §9 catalogue, or a
    doc mentioning an ``L###`` id the linter does not know.
-4. **Example-list drift** — a file in ``examples/`` missing from the
+4. **Sched-class catalogue drift** — a registered scheduling class
+   (from the live ``--list-sched-classes``) missing from the
+   ARCHITECTURE catalogue table, or the table naming a class the
+   kernel does not register.
+5. **Example-list drift** — a file in ``examples/`` missing from the
    README's inventory, or the README naming an example that is gone.
 
 Run:  python tools/check_docs.py   (exit 1 on any finding)
@@ -148,7 +152,47 @@ def check_rule_catalogue() -> list[str]:
     return problems
 
 
-# ------------------------------------------------- 4. example inventory
+# -------------------------------------------- 4. sched class catalogue
+
+def check_class_catalogue() -> list[str]:
+    """Every registered scheduling class must appear in the
+    ARCHITECTURE §12 catalogue table, and every class the table names
+    must exist in the live registry (no ghost classes, no undocumented
+    classes) — the scheduler twin of the lint-rule check above."""
+    problems = []
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.explore", "--list-sched-classes"],
+        capture_output=True, text=True, cwd=REPO,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")})
+    if out.returncode != 0:
+        return [f"repro.explore --list-sched-classes failed:\n"
+                f"{out.stderr}"]
+    known = set(re.findall(r"^([A-Z]+):", out.stdout, re.MULTILINE))
+    if not known:
+        return ["repro.explore --list-sched-classes printed no classes"]
+    arch_rel = "docs/ARCHITECTURE.md"
+    with open(os.path.join(REPO, arch_rel)) as fh:
+        arch = fh.read()
+    sect = re.search(r"^## \d+\. Kernel scheduling classes\b.*?"
+                     r"(?=^## )", arch, re.MULTILINE | re.DOTALL)
+    if sect is None:
+        return [f"{arch_rel}: scheduling-classes section not found"]
+    section = sect.group(0)
+    for cls in sorted(known):
+        if f"`{cls}`" not in section:
+            problems.append(f"{arch_rel}: class {cls} missing from the "
+                            "scheduling-class catalogue")
+    # Only the catalogue table's first column counts as a class claim;
+    # prose backticks elsewhere (errno names etc.) are out of scope.
+    for cls in set(re.findall(r"^\| `([A-Z]+)` \|", section,
+                              re.MULTILINE)):
+        if cls not in known:
+            problems.append(f"{arch_rel}: catalogue lists unknown "
+                            f"class {cls}")
+    return problems
+
+
+# ------------------------------------------------- 5. example inventory
 
 def check_example_inventory() -> list[str]:
     """examples/*.py and the README inventory must agree both ways."""
@@ -171,7 +215,8 @@ def check_example_inventory() -> list[str]:
 
 def main() -> int:
     problems = (check_links() + check_cli_blocks()
-                + check_rule_catalogue() + check_example_inventory())
+                + check_rule_catalogue() + check_class_catalogue()
+                + check_example_inventory())
     for p in problems:
         print(f"DOCS: {p}")
     print(f"check_docs: {len(problems)} problem(s) across "
