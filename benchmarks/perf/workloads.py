@@ -19,6 +19,10 @@ paths of ARCHITECTURE §10:
 * ``sched_classes``   — Figure 5 and the network server rerun under
   every registered scheduling class (the SchedulerChoice axis): the
   pluggable-policy dispatch path end-to-end.
+* ``load_bakeoff``    — the three-architecture open-loop bakeoff on a
+  small Poisson trace: the kernel-edge synthetic-client driver, the
+  select()-based event loop, and the ``repro.load`` summary path —
+  the scaling study's inner loop (requests/sec of host time).
 
 Every workload performs a fixed amount of simulated work, so host
 seconds are comparable across commits; each returns ``(elapsed_s,
@@ -124,6 +128,20 @@ def sched_classes() -> tuple:
     return time.perf_counter() - t0, units
 
 
+def load_bakeoff() -> tuple:
+    from repro.load import run_bakeoff
+
+    spec = {"kind": "poisson", "params": {"rate_per_sec": 1_000.0},
+            "clients": 300, "seed": 0, "start_usec": 1_000.0}
+    t0 = time.perf_counter()
+    result = run_bakeoff(spec)
+    elapsed = time.perf_counter() - t0
+    total = sum(sum(r["outcomes"].values())
+                for r in result["architectures"].values())
+    assert total == 3 * 300
+    return elapsed, total
+
+
 #: name -> (callable, metric kind).  "rate" reports units/elapsed
 #: (higher is better); "time" reports elapsed seconds (lower is better).
 WORKLOADS = {
@@ -132,4 +150,5 @@ WORKLOADS = {
     "window_system": (window_system, "time"),
     "explore_corpus": (explore_corpus, "time"),
     "sched_classes": (sched_classes, "time"),
+    "load_bakeoff": (load_bakeoff, "rate"),
 }

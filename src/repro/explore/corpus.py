@@ -32,6 +32,14 @@ requests that were never served nor shed.  Its clean twin,
 :class:`~repro.threads.supervisor.Supervisor` (crash-free run; the
 crash-storm-with-supervision configuration is the ``--chaos`` gate's
 job, see :mod:`repro.explore.__main__`).
+
+Finally, an architecture pair for the bakeoff's central claim (see
+docs/SCALING.md): ``racy_stats_server`` bumps a shared stats cell with
+no lock from thread-per-connection handlers (data race), and
+``clean_stats_event_loop`` runs the *identical* unlocked bump from a
+single-threaded event loop, where the race is impossible by
+architecture — the same seeded bug reproduces under exactly one server
+architecture.
 """
 
 from __future__ import annotations
@@ -271,6 +279,98 @@ def _socket_server(lossy: bool):
     return main
 
 
+def racy_stats_server():
+    """Thread-per-connection server with an unlocked shared stats cell.
+
+    The architecture *is* the bug: each connection gets its own handler
+    thread, and every handler bumps a served-request counter in shared
+    memory with no lock — a lockset data race (and, under an
+    adversarial schedule, genuinely lost increments).  Its clean twin,
+    ``clean_stats_event_loop``, runs the identical unlocked bump from a
+    single-threaded event loop, where the race is impossible *by
+    architecture* — the pair pins the bakeoff's central claim that some
+    bugs reproduce under exactly one server architecture.
+    """
+    PORT = 9102
+    TOTAL = 4
+
+    def main():
+        from repro.kernel.signals import SIG_IGN, Sig
+        yield from unistd.sigaction(int(Sig.SIGPIPE), SIG_IGN)
+        yield from threads.thread_setconcurrency(3)
+        region = yield from mapped.map_anon_shared(4096)
+
+        def handle(conn):
+            try:
+                req = yield from retry.recv_with_deadline(
+                    conn, 16, 20_000.0)
+            except SyscallError:
+                yield from unistd.close(conn)
+                return
+            rid = req.decode()
+            yield from _ledger("net-admit", rid)
+            served = yield from region.cell_load(0)   # racy read
+            yield from libc.compute(5)
+            yield from region.cell_store(0, served + 1)
+            ok = True
+            try:
+                yield from unistd.send(conn, b"OK:" + req)
+            except SyscallError:
+                ok = False
+            yield from unistd.close(conn)
+            yield from _ledger("net-serve", rid, ok=ok)
+
+        def server(_):
+            lfd = yield from unistd.socket()
+            yield from unistd.bind(lfd, PORT)
+            yield from unistd.listen(lfd, TOTAL)
+            yield from region.cell_store(0, 0)
+            handler_tids = []
+            for _i in range(TOTAL):
+                conn = yield from unistd.accept(lfd)
+                tid = yield from threads.thread_create(
+                    handle, conn, flags=threads.THREAD_WAIT)
+                handler_tids.append(tid)
+            for tid in handler_tids:
+                yield from threads.thread_wait(tid)
+            yield from unistd.close(lfd)
+
+        ts = yield from threads.thread_create(
+            server, 0, flags=threads.THREAD_WAIT)
+        client_tids = []
+        for i in range(TOTAL):
+            tid = yield from threads.thread_create(
+                _stats_client, (PORT, i), flags=threads.THREAD_WAIT)
+            client_tids.append(tid)
+        for tid in client_tids:
+            yield from threads.thread_wait(tid)
+        yield from threads.thread_wait(ts)
+    return main
+
+
+def _stats_client(arg):
+    """One request against a stats server: connect (with retry while
+    the listener comes up), send, await the echo, hang up."""
+    port, i = arg
+    policy = retry.RetryPolicy(
+        attempts=6, base_usec=100.0,
+        retry_on={Errno.ECONNREFUSED, Errno.EINTR})
+    fd = yield from unistd.socket()
+
+    def attempt():
+        yield from unistd.connect(fd, port)
+
+    yield from retry.call_with_retry(
+        attempt, policy, name=f"stats-connect/{port}")
+    yield from unistd.send(fd, f"s{i:04d}".encode().ljust(16, b"."))
+    try:
+        yield from retry.recv_with_deadline(fd, 64, 20_000.0)
+    except SyscallError as err:
+        if err.errno != Errno.ETIMEDOUT:
+            raise
+    yield from unistd.close(fd)
+
+
 def lossy_server():
     """Admits requests, then drops the overloaded ones on the floor."""
     return _socket_server(lossy=True)
@@ -315,6 +415,64 @@ def clean_supervised_server():
         n_clients=3, requests_per_client=4, n_workers=3,
         service_compute_usec=800.0, client_think_usec=300.0,
         admission_limit=8, client_attempts=4, supervise=True)[0]
+
+def clean_stats_event_loop():
+    """racy_stats_server's twin: the same unlocked bump, one thread.
+
+    The event-loop architecture serves every connection from a single
+    server thread, so the *identical* lock-free stats update is
+    perfectly safe — only one thread ever touches the cell (the region
+    is created, initialized, and read back entirely inside it).  No
+    lock added, no code fixed: the architecture alone removes the race.
+    """
+    PORT = 9103
+    TOTAL = 4
+
+    def main():
+        from repro.kernel.signals import SIG_IGN, Sig
+        yield from unistd.sigaction(int(Sig.SIGPIPE), SIG_IGN)
+        yield from threads.thread_setconcurrency(2)
+
+        def server(_):
+            region = yield from mapped.map_anon_shared(4096)
+            yield from region.cell_store(0, 0)
+            lfd = yield from unistd.socket()
+            yield from unistd.bind(lfd, PORT)
+            yield from unistd.listen(lfd, TOTAL)
+            for _i in range(TOTAL):
+                conn = yield from unistd.accept(lfd)
+                try:
+                    req = yield from retry.recv_with_deadline(
+                        conn, 16, 20_000.0)
+                except SyscallError:
+                    yield from unistd.close(conn)
+                    continue
+                rid = req.decode()
+                yield from _ledger("net-admit", rid)
+                served = yield from region.cell_load(0)
+                yield from libc.compute(5)
+                yield from region.cell_store(0, served + 1)
+                ok = True
+                try:
+                    yield from unistd.send(conn, b"OK:" + req)
+                except SyscallError:
+                    ok = False
+                yield from unistd.close(conn)
+                yield from _ledger("net-serve", rid, ok=ok)
+            yield from unistd.close(lfd)
+
+        ts = yield from threads.thread_create(
+            server, 0, flags=threads.THREAD_WAIT)
+        client_tids = []
+        for i in range(TOTAL):
+            tid = yield from threads.thread_create(
+                _stats_client, (PORT, i), flags=threads.THREAD_WAIT)
+            client_tids.append(tid)
+        for tid in client_tids:
+            yield from threads.thread_wait(tid)
+        yield from threads.thread_wait(ts)
+    return main
+
 
 def clean_counter():
     """racy_counter with the increments under a mutex."""
@@ -433,6 +591,7 @@ BUGGY = {
     "exit_holding_lock": (exit_holding_lock, {"exit-holding-lock"}),
     "lossy_server": (lossy_server, {"lost-request"}),
     "crash_storm_server": (crash_storm_server, {"lost-request"}),
+    "racy_stats_server": (racy_stats_server, {"data-race"}),
 }
 
 #: name -> rule ids `python -m repro.lint --corpus` must report for the
@@ -451,6 +610,7 @@ STATIC_EXPECT = {
     # clean: any L-rule finding on their code is a false positive.
     "lossy_server": set(),
     "crash_storm_server": set(),
+    "racy_stats_server": {"L601"},
 }
 
 #: extra attribution spans for the static cross-check: entry name ->
@@ -463,6 +623,8 @@ STATIC_EXPECT = {
 STATIC_SPANS = {
     "lossy_server": ("_socket_server",),
     "clean_socket_server": ("_socket_server",),
+    "racy_stats_server": ("_stats_client",),
+    "clean_stats_event_loop": ("_stats_client",),
     "crash_storm_server": ("workloads:network_server",),
     "clean_supervised_server": ("workloads:network_server",),
 }
@@ -473,5 +635,6 @@ CLEAN = {
     "clean_ordered_locks": clean_ordered_locks,
     "clean_queue": clean_queue,
     "clean_socket_server": clean_socket_server,
+    "clean_stats_event_loop": clean_stats_event_loop,
     "clean_supervised_server": clean_supervised_server,
 }

@@ -92,6 +92,13 @@ class Socket(Inode):
         self.space_channel: Optional[WaitChannel] = None
         self.rd_closed = False
         self.wr_closed = False
+        # Readiness watchers: callbacks fired (synchronously) whenever
+        # this socket *becomes* readable — data arrival, EOF, reset, a
+        # queued connection on a listener.  This is the batching hook
+        # the all-socket select() fast path and the load generator's
+        # completion callbacks hang off; with no watchers registered
+        # every notification site is a no-op.
+        self.watchers: list = []
 
     @property
     def kind(self) -> str:
@@ -173,6 +180,58 @@ class Network:
         self.by_channel[id(chan)] = sock
         return chan
 
+    def _unregister(self, sock: Socket) -> None:
+        """Drop waitgraph bookkeeping for a closed socket's channels.
+
+        Without this, every short-lived connection leaks four
+        ``by_channel`` entries (and pins both endpoint objects) for the
+        rest of the run — fatal at load-generator scale (10^5–10^6
+        connections).  Closed channels can no longer host a blocked
+        waiter for the waitgraph to attribute, so the entries are dead
+        weight by construction.
+        """
+        for chan in (sock.read_channel, sock.space_channel,
+                     sock.accept_channel):
+            if chan is not None:
+                self.by_channel.pop(id(chan), None)
+
+    # -------------------------------------------------------- readiness
+
+    def mark_readable(self, sock: Socket) -> None:
+        """Notify readiness watchers that ``sock`` may now be readable.
+
+        Called from every kernel site where a socket's readability can
+        newly hold: bytes landing in ``rbuf``, a connection joining a
+        listener's backlog, EOF, reset, listener close.  Watchers run
+        synchronously; anything that must not happen mid-syscall (the
+        load driver's completion handling, say) schedules itself onto
+        the engine instead of acting inline.  No watchers — the common
+        case for every pre-existing workload — costs one truth test.
+        """
+        if sock.watchers:
+            for fn in list(sock.watchers):
+                fn(sock)
+
+    def push_bytes(self, sock: Socket, data: bytes) -> int:
+        """Deliver bytes straight into ``sock.rbuf`` from outside any
+        process — the load generator's kernel-edge injection path (a
+        synthetic client "sending" without an LWP to charge).  Honors
+        the stream bound; returns the count actually buffered.  Wakes
+        blocked receivers and readiness watchers exactly like
+        ``sys_send`` does on the guest path.
+        """
+        if sock.state is not S_ESTABLISHED or sock.rd_closed:
+            return 0
+        space = STREAM_CAPACITY - len(sock.rbuf)
+        chunk = data[:space]
+        if not chunk:
+            return 0
+        sock.rbuf.extend(chunk)
+        if sock.read_channel is not None:
+            self.kernel.wakeup_all(sock.read_channel)
+        self.mark_readable(sock)
+        return len(chunk)
+
     # ------------------------------------------------------ bind/listen
 
     def bind(self, sock: Socket, port: int) -> None:
@@ -229,6 +288,7 @@ class Network:
         self._establish(client, server)
         listener.backlog.append(server)
         self.kernel.wakeup_one(listener.accept_channel)
+        self.mark_readable(listener)
 
     def _establish(self, a: Socket, b: Socket) -> None:
         for sock, peer in ((a, b), (b, a)):
@@ -254,6 +314,8 @@ class Network:
             end.state = S_RESET
             end.rbuf.clear()
             self._wake_all(end)
+            self._unregister(end)
+            self.mark_readable(end)
 
     def _wake_all(self, sock: Socket) -> None:
         for chan in (sock.read_channel, sock.space_channel,
@@ -273,6 +335,8 @@ class Network:
             while sock.backlog:
                 self.reset_connection(sock.backlog.popleft())
             self._wake_all(sock)
+            self._unregister(sock)
+            self.mark_readable(sock)
             return
         if sock.state is S_BOUND:
             del self.ports[sock.port]
@@ -286,9 +350,12 @@ class Network:
                 sock.state = S_CLOSED
                 # Peer's pending recv sees EOF; its pending send, EPIPE.
                 self._wake_all(peer)
+                self.mark_readable(peer)
         else:
             sock.state = S_CLOSED
         self._wake_all(sock)
+        self._unregister(sock)
+        self.mark_readable(sock)
 
     # ------------------------------------------------------ diagnostics
 

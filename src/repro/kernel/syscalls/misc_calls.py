@@ -139,16 +139,75 @@ def _read_channel_of(inode):
     return None
 
 
+def _select_sockets(ctx, opens, deadline):
+    """All-socket select: one ephemeral wait channel fed by readiness
+    watchers, instead of a channel set over every descriptor.
+
+    The generic path below re-scans every descriptor on each wakeup and
+    rebuilds an N-member channel list each time it blocks — O(n) per
+    spurious wakeup, which dominates once a single-LWP event loop
+    watches thousands of connections.  Here each socket that *becomes*
+    readable pushes itself onto ``pending`` via its watcher hook
+    (:meth:`repro.kernel.net.Network.mark_readable`), so a wakeup only
+    touches the sockets that actually changed.  The full fd-order scan
+    runs once on entry and once per successful return, preserving the
+    generic path's result order exactly.
+    """
+    from repro.hw.isa import WaitChannel
+    kernel = ctx.kernel
+    chan = WaitChannel(f"{ctx.lwp.name}:select")
+    pending: list = []
+
+    def on_ready(sock):
+        pending.append(sock)
+        if chan.waiters:
+            kernel.wakeup_one(chan)
+
+    socks = [of.inode for _fd, of in opens]
+    for sock in socks:
+        sock.watchers.append(on_ready)
+    timer_event = None
+    if deadline is not None:
+        timer_event = kernel.engine.call_after(
+            max(0, deadline - kernel.engine.now_ns),
+            lambda: kernel.wakeup_one(chan) if chan.waiters else None,
+            tag="select-timeout")
+    try:
+        ready = [fd for fd, of in opens if _readable_now(of.inode)]
+        while not ready:
+            hot = {id(s) for s in pending if s.recv_ready()}
+            pending.clear()
+            if hot:
+                ready = [fd for fd, of in opens if id(of.inode) in hot]
+                continue
+            if deadline is not None and kernel.engine.now_ns >= deadline:
+                return []
+            yield Block(chan, interruptible=True,
+                        indefinite=deadline is None)
+        return ready
+    finally:
+        if timer_event is not None:
+            kernel.engine.cancel(timer_event)
+        for sock in socks:
+            try:
+                sock.watchers.remove(on_ready)
+            except ValueError:
+                pass
+
+
 @syscall("select")
 def sys_select(ctx, fds, timeout_ns=None):
     """Wait until any of ``fds`` is readable; returns the ready list.
 
     With no timeout this is an indefinite, external wait (SIGWAITING
     territory, like the paper's poll() example).  A zero timeout is a
-    pure readiness probe.  The LWP sleeps on *all* the descriptors' wait
-    channels at once; the first wakeup resumes it.
+    pure readiness probe.  When every descriptor is a socket the wait
+    uses the batched watcher path (see :func:`_select_sockets`);
+    otherwise the LWP sleeps on *all* the descriptors' wait channels at
+    once and the first wakeup resumes it.
     """
     from repro.hw.isa import WaitChannel
+    from repro.kernel.net import Socket
     kernel = ctx.kernel
     proc = ctx.process
     yield Charge(ctx.costs.syscall_service_trivial)
@@ -156,6 +215,8 @@ def sys_select(ctx, fds, timeout_ns=None):
 
     deadline = (kernel.engine.now_ns + timeout_ns
                 if timeout_ns is not None else None)
+    if opens and all(isinstance(of.inode, Socket) for _fd, of in opens):
+        return (yield from _select_sockets(ctx, opens, deadline))
     while True:
         ready = [fd for fd, of in opens if _readable_now(of.inode)]
         if ready:

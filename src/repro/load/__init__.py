@@ -1,0 +1,13 @@
+"""repro.load — the open-loop load generator and architecture bakeoff.
+
+The million-client half of ROADMAP item 1: seeded arrival processes
+(:mod:`repro.load.arrivals`), a kernel-edge synthetic-client driver
+(:mod:`repro.load.driver`), and the three-architecture bakeoff runner
+(:mod:`repro.load.bakeoff`).  ``python -m repro.load bakeoff`` is the
+CLI; docs/SCALING.md is the guide.
+"""
+
+from repro.load.arrivals import ARRIVALS, ArrivalTrace  # noqa: F401
+from repro.load.bakeoff import (ARCHITECTURES, run_arch,  # noqa: F401
+                                run_bakeoff, to_json)
+from repro.load.driver import OUTCOMES, LoadDriver, knee  # noqa: F401

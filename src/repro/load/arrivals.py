@@ -1,0 +1,171 @@
+"""Arrival processes and serialized traces for the open-loop generator.
+
+An **open-loop** load test fixes the arrival times of requests *before*
+the run: clients show up when the trace says they show up, whether or
+not the server has kept pace.  That is the honest way to measure an
+overloaded server — a closed-loop client politely waits for its last
+response before issuing the next request, which silently throttles the
+offered load to whatever the server can absorb and hides the saturation
+knee entirely (the classic "coordinated omission" trap).
+
+Every process is seeded and pure: the same ``(kind, params, clients,
+seed)`` tuple regenerates the same trace byte for byte, on any host and
+any worker process — which is what lets ``--jobs`` fan a bakeoff out
+without shipping megabytes of timestamps around, and what makes a run
+reproducible from nothing but its result JSON.
+
+The catalogue below is registry-driven so ``python -m repro.load
+--list-arrivals`` and the docs drift check in ``tools/check_docs.py``
+can enumerate it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+from typing import Callable
+
+#: kind -> (generator fn, one-line doc).  Filled by @arrival_process.
+ARRIVALS: dict[str, tuple[Callable, str]] = {}
+
+
+def arrival_process(kind: str, doc: str):
+    """Register an arrival-process generator in the catalogue."""
+    def deco(fn):
+        ARRIVALS[kind] = (fn, doc)
+        return fn
+    return deco
+
+
+@arrival_process("poisson",
+                 "memoryless stream: exponential gaps at --rate-per-sec")
+def _poisson(rng: random.Random, n: int, *, rate_per_sec: float,
+             **_ignored) -> list[float]:
+    """Independent exponential inter-arrival gaps (usec offsets)."""
+    lam = rate_per_sec / 1e6          # arrivals per usec
+    t = 0.0
+    out = []
+    for _ in range(n):
+        # Explicit inverse-CDF draw (not rng.expovariate) so the bytes
+        # of a trace never depend on stdlib implementation details.
+        t += -math.log(1.0 - rng.random()) / lam
+        out.append(t)
+    return out
+
+
+@arrival_process("burst",
+                 "two-state MMPP: Poisson at --rate-per-sec, bursts at "
+                 "--burst-rate-per-sec, exponential dwells")
+def _burst(rng: random.Random, n: int, *, rate_per_sec: float,
+           burst_rate_per_sec: float = None,
+           dwell_usec: float = 20_000.0,
+           burst_dwell_usec: float = 5_000.0,
+           **_ignored) -> list[float]:
+    """Markov-modulated Poisson process, the classic burst model.
+
+    Two states: *base* (rate ``rate_per_sec``, mean dwell
+    ``dwell_usec``) and *burst* (rate ``burst_rate_per_sec``, default
+    5x base, mean dwell ``burst_dwell_usec``).  Both dwell times are
+    exponential, so state changes are memoryless and the gap draw can
+    be restarted fresh after each switch.
+    """
+    if burst_rate_per_sec is None:
+        burst_rate_per_sec = 5.0 * rate_per_sec
+    rates = (rate_per_sec / 1e6, burst_rate_per_sec / 1e6)
+    dwells = (dwell_usec, burst_dwell_usec)
+    state = 0
+    t = 0.0
+    remain = -math.log(1.0 - rng.random()) * dwells[state]
+    out = []
+    while len(out) < n:
+        gap = -math.log(1.0 - rng.random()) / rates[state]
+        if gap >= remain:
+            # The dwell expires before the next arrival: switch state
+            # and redraw (memorylessness makes the discard exact).
+            t += remain
+            state = 1 - state
+            remain = -math.log(1.0 - rng.random()) * dwells[state]
+            continue
+        t += gap
+        remain -= gap
+        out.append(t)
+    return out
+
+
+@arrival_process("uniform",
+                 "jitterless pacing: one arrival every 1e6/--rate-per-sec "
+                 "usec (baseline)")
+def _uniform(rng: random.Random, n: int, *, rate_per_sec: float,
+             **_ignored) -> list[float]:
+    gap = 1e6 / rate_per_sec
+    return [gap * (i + 1) for i in range(n)]
+
+
+@arrival_process("closed",
+                 "closed-loop comparison: per-client first arrivals; the "
+                 "next request follows each completion after --think-usec")
+def _closed(rng: random.Random, n: int, *, think_usec: float = 1_000.0,
+            **_ignored) -> list[float]:
+    """Initial arrival per client, staggered by uniform think jitter.
+
+    Only the *first* request per client is in the trace; every
+    subsequent request is scheduled reactively by the driver (completion
+    + think time), which is precisely what makes the mode closed-loop —
+    and why its numbers must never be compared against open-loop runs
+    at face value (see docs/SCALING.md).
+    """
+    return sorted(rng.random() * think_usec for _ in range(n))
+
+
+class ArrivalTrace:
+    """A serialized arrival trace: integer-ns offsets plus the spec that
+    regenerates it.  Byte-identical serialization is the contract the
+    bakeoff's determinism tests pin."""
+
+    def __init__(self, kind: str, params: dict, clients: int, seed: int,
+                 start_usec: float, arrivals_ns: list[int]):
+        self.kind = kind
+        self.params = params
+        self.clients = clients
+        self.seed = seed
+        self.start_usec = start_usec
+        self.arrivals_ns = arrivals_ns
+
+    @classmethod
+    def generate(cls, kind: str, clients: int, seed: int,
+                 start_usec: float = 1_000.0, **params) -> "ArrivalTrace":
+        """Generate a trace; ``start_usec`` offsets every arrival so the
+        server is listening before the first synthetic SYN."""
+        if kind not in ARRIVALS:
+            raise ValueError(f"unknown arrival process {kind!r} "
+                             f"(known: {', '.join(sorted(ARRIVALS))})")
+        fn, _doc = ARRIVALS[kind]
+        rng = random.Random(f"{seed}/load/{kind}")
+        offsets = fn(rng, clients, **params)
+        arrivals = [int(round((start_usec + t) * 1000.0))
+                    for t in offsets]
+        return cls(kind, dict(params), clients, seed, start_usec,
+                   arrivals)
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ArrivalTrace":
+        """Regenerate from a spec dict (what crosses --jobs workers)."""
+        return cls.generate(spec["kind"], spec["clients"], spec["seed"],
+                            start_usec=spec["start_usec"],
+                            **spec["params"])
+
+    def spec(self) -> dict:
+        return {"kind": self.kind, "params": self.params,
+                "clients": self.clients, "seed": self.seed,
+                "start_usec": self.start_usec}
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization (sorted keys, no whitespace churn)."""
+        return json.dumps(
+            {"spec": self.spec(), "arrivals_ns": self.arrivals_ns},
+            sort_keys=True, separators=(",", ":")).encode()
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.to_bytes()).hexdigest()

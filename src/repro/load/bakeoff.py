@@ -1,0 +1,115 @@
+"""The bakeoff: three server architectures, one arrival trace.
+
+Each architecture runs in its own hermetic simulator — fresh kernel,
+same seed, same trace (regenerated from the spec, never shipped), same
+optional fault plan — so every difference in the result JSON is the
+architecture's doing and nothing else's.  The result is deterministic
+down to the byte: re-running with the same seed reproduces the same
+JSON, and ``--jobs N`` fans architectures across host processes with
+output identical to a serial run (the explorer's discipline, applied to
+load testing).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.load.arrivals import ArrivalTrace
+from repro.load.driver import LoadDriver
+
+#: Reporting order — also the default set a bakeoff runs.
+ARCHITECTURES = ("thread-per-conn", "pool", "event-loop")
+
+#: Event budget per architecture run.  ~30-60 engine events per request
+#: puts a 10^6-client run within budget; exhaustion raises rather than
+#: silently truncating a measurement.
+DEFAULT_MAX_EVENTS = 100_000_000
+
+#: Keys of the server results dict worth echoing per architecture.
+_SERVER_KEYS = ("received", "served", "shed", "backlog_drops", "resets",
+                "pool_lwps", "lwps_grown")
+
+
+def run_arch(arch: str, trace_spec: dict, *, server: dict = None,
+             deadline_usec: float = 50_000.0, closed: tuple = None,
+             faults: dict = None, ncpus: int = 2, windows: int = 10,
+             with_digest: bool = False,
+             max_events: int = DEFAULT_MAX_EVENTS) -> dict:
+    """One architecture, one simulator, one trace.  Returns a plain
+    JSON-able dict (it crosses the ``--jobs`` process boundary)."""
+    from repro.api import Simulator
+    from repro.sim.trace import DigestSink
+    from repro.workloads import network_server
+
+    trace = ArrivalTrace.from_spec(trace_spec)
+    plan = None
+    if faults:
+        from repro.sim.faults import FaultPlan
+        plan = FaultPlan.from_dict(faults)
+    digest_sink = DigestSink() if with_digest else None
+    sim = Simulator(ncpus=ncpus, seed=trace.seed, metrics=True,
+                    trace=with_digest, trace_sink=digest_sink,
+                    trace_store=False, faults=plan)
+    main, server_results = network_server.build_server(
+        mode=arch, **(server or {}))
+    sim.spawn(main, name=f"server-{arch}")
+    driver = LoadDriver(sim, trace, label=arch,
+                        deadline_usec=deadline_usec,
+                        windows=windows, closed=closed)
+    driver.start()
+    sim.run(max_events=max_events)
+    out = driver.summary()
+    out["server"] = {k: server_results[k] for k in _SERVER_KEYS
+                     if k in server_results}
+    out["digest"] = (digest_sink.hexdigest() if digest_sink is not None
+                     else None)
+    return out
+
+
+def _run_arch_job(kwargs: dict) -> tuple[str, dict]:
+    """Process-pool entry: everything in, everything out, JSON-able."""
+    return kwargs["arch"], run_arch(**kwargs)
+
+
+def run_bakeoff(trace_spec: dict, *, archs=ARCHITECTURES,
+                server: dict = None, deadline_usec: float = 50_000.0,
+                closed: tuple = None, faults: dict = None,
+                ncpus: int = 2, windows: int = 10,
+                with_digest: bool = False, jobs: int = 1,
+                max_events: int = DEFAULT_MAX_EVENTS) -> dict:
+    """Run every architecture on the shared trace; deterministic dict.
+
+    ``jobs > 1`` runs architectures in parallel host processes.  Each
+    worker regenerates the trace from its spec (cheap, seeded), so
+    nothing schedule-dependent crosses the pool; results are keyed and
+    ordered by architecture name, byte-identical to a serial run.
+    """
+    kw = [dict(arch=a, trace_spec=trace_spec, server=server,
+               deadline_usec=deadline_usec, closed=closed,
+               faults=faults, ncpus=ncpus, windows=windows,
+               with_digest=with_digest, max_events=max_events)
+          for a in archs]
+    if jobs > 1 and len(kw) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, len(kw))) as ex:
+            per_arch = dict(ex.map(_run_arch_job, kw))
+    else:
+        per_arch = dict(_run_arch_job(k) for k in kw)
+    trace = ArrivalTrace.from_spec(trace_spec)
+    return {
+        "schema": "repro.load/bakeoff-v1",
+        "seed": trace.seed,
+        "clients": trace.clients,
+        "arrival": trace.spec(),
+        "trace_digest": trace.digest(),
+        "deadline_usec": deadline_usec,
+        "server": dict(server or {}),
+        "faults": faults,
+        "closed": list(closed) if closed else None,
+        "architectures": {a: per_arch[a] for a in archs},
+    }
+
+
+def to_json(result: dict) -> str:
+    """The canonical byte form the determinism tests pin."""
+    return json.dumps(result, sort_keys=True, indent=2) + "\n"

@@ -5,7 +5,7 @@ another thread of control) to handle requests."  Clients in separate
 processes connect to the server's listening socket (one connection per
 request attempt), send a fixed-size request, and wait — with deadlines
 and seeded-jitter backoff from :mod:`repro.threads.retry` — for the
-response.  The server offers two architectures:
+response.  The server offers three architectures:
 
 * ``mode="pool"`` (default): a bound-LWP worker pool behind a bounded
   admission queue.  The acceptor reads each request and either admits
@@ -16,6 +16,15 @@ response.  The server offers two architectures:
 * ``mode="thread-per-conn"``: the paper's flagship — an unbound thread
   per connection, LWP pool growing via SIGWAITING as handlers block in
   the kernel, with admission as a cap on concurrent handlers.
+* ``mode="event-loop"``: the architecture the paper argues *against* —
+  a single LWP multiplexing every descriptor through ``select()`` on a
+  nonblocking listener, serving each request inline (see
+  :func:`_event_loop`).  No locks and no handoff, but one slow request
+  head-of-line-blocks every other ready descriptor.
+
+:func:`build` forks real client processes (the self-contained workload
+form); :func:`build_server` is the server half alone, for the open-loop
+load generator in :mod:`repro.load` to drive at 10^5–10^6 clients.
 
 Every admitted request is accounted for on a ledger
 (:func:`repro.sync.events.sync_event` ops ``net-admit`` /
@@ -41,7 +50,7 @@ from typing import Callable
 
 from repro.errors import Errno, SyscallError
 from repro.hw.isa import GetContext
-from repro.kernel.fs.file import O_CREAT, O_RDWR
+from repro.kernel.fs.file import O_CREAT, O_NONBLOCK, O_RDWR
 from repro.runtime import libc, unistd
 from repro.sync import CondVar, Mutex
 from repro.sync.events import sync_event
@@ -64,6 +73,201 @@ def _note(op: str, rid: str, **detail):
     """Generator: emit one ledger event (free when nobody listens)."""
     ctx = yield GetContext()
     sync_event(ctx, op, None, id=rid, **detail)
+
+
+# ---------------------------------------------------------------------
+# Shared server plumbing (used by build() and build_server() alike —
+# every architecture reads, serves, sheds, and closes the same way).
+# ---------------------------------------------------------------------
+
+def _enter_robust(m):
+    """Generator: ``m.enter()`` that absorbs owner death.  The data
+    the admission mutex protects (a deque and counters) is only ever
+    mutated between yields, so a lock inherited from a crashed
+    holder is always structurally consistent — repair and go."""
+    if (yield from m.enter()):
+        m.consistent()
+
+
+def _close_quiet(fd: int):
+    """Generator: close that tolerates an already-dead fd (a crashed
+    worker's replacement may re-close what the victim closed)."""
+    try:
+        yield from unistd.close(fd)
+    except SyscallError:
+        pass
+
+
+def _reject(conn: int, rid: str, reason: str, stats: dict):
+    """Explicitly shed one request: tell the client, close, ledger."""
+    stats["shed"] += 1
+    try:
+        yield from unistd.send(conn, BUSY)
+    except SyscallError:
+        pass  # client already gone; the shed is still explicit
+    yield from _close_quiet(conn)
+    yield from _note("net-shed", rid, reason=reason)
+    ctx = yield GetContext()
+    m = ctx.engine.metrics
+    if m is not None:
+        m.count("server.shed")
+
+
+def _read_request(conn: int):
+    """Read one fixed-size request; None on EOF/reset/timeout."""
+    data = b""
+    while len(data) < REQUEST_SIZE:
+        try:
+            chunk = yield from retry.recv_with_deadline(
+                conn, REQUEST_SIZE - len(data), 50_000.0)
+        except SyscallError:
+            return None
+        if not chunk:
+            return None
+        data += chunk
+    return data
+
+
+def _serve(conn: int, rid: str, enq_ns: int, datafd: int, stats: dict,
+           service_compute_usec: float):
+    """The service: read the "database", compute, respond."""
+    yield from unistd.lseek(datafd, 0)
+    yield from unistd.read(datafd, 512)
+    yield from libc.compute(service_compute_usec)
+    ok = True
+    try:
+        yield from unistd.send(conn, b"OK:" + rid.encode())
+    except SyscallError:
+        ok = False  # client gave up first; served all the same
+    yield from _close_quiet(conn)
+    now = yield from unistd.gettimeofday()
+    stats["served"] += 1
+    stats["latency_ns"] += now - enq_ns
+    yield from _note("net-serve", rid, ok=ok)
+    ctx = yield GetContext()
+    m = ctx.engine.metrics
+    if m is not None:
+        m.count("server.served")
+        m.sample("server.latency_usec", (now - enq_ns) // 1000)
+
+
+def _event_loop(lfd: int, datafd: int, stats: dict,
+                service_compute_usec: float):
+    """The third architecture: a single-LWP event loop.
+
+    One thread multiplexes every descriptor through ``select()`` over
+    the nonblocking listener: drain the backlog, read whatever arrived
+    (partial requests are buffered per connection), and serve each
+    complete request to completion *inline* — no handoff, no second
+    thread, no locks.  That inline service is the architecture's
+    signature and its weakness: while one request computes, every other
+    ready descriptor waits (head-of-line blocking), which is exactly
+    the knee the bakeoff measures under burst arrivals.
+
+    The loop exits when the listener is retired (``close``d by a
+    sibling thread in :func:`build`, or by the load driver at the
+    kernel edge in :func:`build_server`) and the surviving connections
+    have drained.
+    """
+    conns: dict[int, bytes] = {}
+    listening = True
+    # EMFILE backpressure: when the fd table fills, park the listener
+    # (stop select()ing it) until serving or hangups release a slot —
+    # connections wait in the backlog instead of killing the loop.
+    parked = False
+    while listening or conns:
+        if parked and not conns:
+            parked = False  # nothing left to drain; retry the accept
+        watch = ([lfd] if listening and not parked else []) \
+            + sorted(conns)
+        try:
+            ready = yield from unistd.select(watch)
+        except SyscallError as err:
+            if err.errno in (Errno.EBADF, Errno.EINTR):
+                if err.errno == Errno.EBADF:
+                    listening = False  # listener fd retired under us
+                continue
+            raise
+        for fd in ready:
+            if fd == lfd and listening:
+                # Bounded drain: under a steady arrival stream the
+                # backlog refills as fast as it empties, and an
+                # unbounded accept loop would starve every admitted
+                # connection (accept-biased head-of-line blocking).
+                for _burst in range(32):
+                    try:
+                        conn = yield from unistd.accept(lfd)
+                    except SyscallError as err:
+                        if err.errno == Errno.EAGAIN:
+                            break  # backlog drained
+                        if err.errno in (Errno.EINVAL, Errno.EBADF,
+                                         Errno.ECONNABORTED,
+                                         Errno.EINTR):
+                            listening = False
+                            break
+                        if err.errno in (Errno.EMFILE, Errno.ENFILE):
+                            parked = True
+                            break
+                        raise
+                    m = (yield GetContext()).engine.metrics
+                    if m is not None:
+                        m.count("server.accepts")
+                    conns[conn] = b""
+                continue
+            buf = conns.get(fd)
+            if buf is None:
+                continue
+            # Readiness-gated: select() said readable, and nothing else
+            # drains this buffer, so the recv returns data, EOF, or an
+            # error without blocking.
+            try:
+                chunk = yield from unistd.recv(  # lint: allow=L902
+                    fd, REQUEST_SIZE - len(buf))
+            except SyscallError:
+                del conns[fd]
+                yield from _close_quiet(fd)
+                parked = False
+                continue
+            if not chunk:
+                del conns[fd]
+                yield from _close_quiet(fd)
+                parked = False
+                continue
+            buf += chunk
+            if len(buf) < REQUEST_SIZE:
+                conns[fd] = buf
+                continue
+            del conns[fd]
+            rid = buf.decode()
+            now = yield from unistd.gettimeofday()
+            stats["admitted"] += 1
+            yield from _note("net-admit", rid, mode="event-loop")
+            yield from _serve(fd, rid, now, datafd, stats,
+                              service_compute_usec)
+            parked = False  # _serve closed the conn: a slot is free
+
+
+def _fill_results(results: dict, stats: dict, start: int, end: int,
+                  ctx) -> None:
+    """Common end-of-run accounting for every architecture."""
+    results["received"] = stats["admitted"]
+    results["served"] = stats["served"]
+    results["shed"] = stats["shed"]
+    results["client_ok"] = stats["client_ok"]
+    results["client_giveups"] = stats["client_giveups"]
+    results["client_retries"] = stats["client_retries"]
+    results["backlog_drops"] = ctx.kernel.net.backlog_drops
+    results["resets"] = ctx.kernel.net.resets
+    results["elapsed_usec"] = (end - start) / 1000.0
+    results["avg_latency_usec"] = (
+        stats["latency_ns"] / stats["served"] / 1000.0
+        if stats["served"] else 0.0)
+    results["throughput_per_sec"] = (
+        stats["served"] / (results["elapsed_usec"] / 1e6)
+        if results["elapsed_usec"] else 0.0)
+    results["pool_lwps"] = len(ctx.process.threadlib.pool_lwps)
+    results["lwps_grown"] = (
+        ctx.process.threadlib.lwps_grown_by_sigwaiting)
 
 
 def build(n_clients: int = 3, requests_per_client: int = 10,
@@ -89,7 +293,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
     its own kernel at startup (unless a fault plan is already attached)
     — the self-contained form the regression corpus uses.
     """
-    if mode not in ("pool", "thread-per-conn"):
+    if mode not in ("pool", "thread-per-conn", "event-loop"):
         raise ValueError(f"unknown mode {mode!r}")
     if shed not in ("reject-newest", "oldest"):
         raise ValueError(f"unknown shed policy {shed!r}")
@@ -145,70 +349,13 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
 
     # ------------------------------------------------- server: the pool
 
-    def enter_robust(m):
-        """Generator: ``m.enter()`` that absorbs owner death.  The data
-        the admission mutex protects (a deque and counters) is only ever
-        mutated between yields, so a lock inherited from a crashed
-        holder is always structurally consistent — repair and go."""
-        if (yield from m.enter()):
-            m.consistent()
-
-    def close_quiet(fd: int):
-        """Generator: close that tolerates an already-dead fd (a crashed
-        worker's replacement may re-close what the victim closed)."""
-        try:
-            yield from unistd.close(fd)
-        except SyscallError:
-            pass
 
     def reject(conn: int, rid: str, reason: str):
-        """Explicitly shed one request: tell the client, close, ledger."""
-        stats["shed"] += 1
-        try:
-            yield from unistd.send(conn, BUSY)
-        except SyscallError:
-            pass  # client already gone; the shed is still explicit
-        yield from close_quiet(conn)
-        yield from _note("net-shed", rid, reason=reason)
-        ctx = yield GetContext()
-        m = ctx.engine.metrics
-        if m is not None:
-            m.count("server.shed")
-
-    def read_request(conn: int):
-        """Read one fixed-size request; None on EOF/reset/timeout."""
-        data = b""
-        while len(data) < REQUEST_SIZE:
-            try:
-                chunk = yield from retry.recv_with_deadline(
-                    conn, REQUEST_SIZE - len(data), 50_000.0)
-            except SyscallError:
-                return None
-            if not chunk:
-                return None
-            data += chunk
-        return data
+        yield from _reject(conn, rid, reason, stats)
 
     def serve(conn: int, rid: str, enq_ns: int, datafd: int):
-        """The service: read the "database", compute, respond."""
-        yield from unistd.lseek(datafd, 0)
-        yield from unistd.read(datafd, 512)
-        yield from libc.compute(service_compute_usec)
-        ok = True
-        try:
-            yield from unistd.send(conn, b"OK:" + rid.encode())
-        except SyscallError:
-            ok = False  # client gave up first; served all the same
-        yield from close_quiet(conn)
-        now = yield from unistd.gettimeofday()
-        stats["served"] += 1
-        stats["latency_ns"] += now - enq_ns
-        yield from _note("net-serve", rid, ok=ok)
-        ctx = yield GetContext()
-        m = ctx.engine.metrics
-        if m is not None:
-            m.count("server.served")
-            m.sample("server.latency_usec", (now - enq_ns) // 1000)
+        yield from _serve(conn, rid, enq_ns, datafd, stats,
+                          service_compute_usec)
 
     def main():
         # A server that writes to clients that may hang up must not die
@@ -227,9 +374,41 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                                         O_CREAT | O_RDWR)
         yield from unistd.write(datafd, b"x" * 4096)
 
-        lfd = yield from unistd.socket()
+        if mode == "event-loop":
+            # The event loop accept-drains on readiness, so the
+            # listener must be nonblocking.
+            lfd = yield from unistd.socket(O_NONBLOCK)
+        else:
+            lfd = yield from unistd.socket()
         yield from unistd.bind(lfd, port)
         yield from unistd.listen(lfd, backlog)
+
+        if mode == "event-loop":
+            # Single-LWP server: the main thread *is* the event loop.
+            # A reaper on its own LWP joins the client processes and
+            # then retires the listener, which is what tells the loop
+            # to drain and exit.
+            start = yield from unistd.gettimeofday()
+            pids = []
+            for c in range(n_clients):
+                pids.append((yield from unistd.fork1(client, c)))
+
+            def reaper(_):
+                for pid in pids:
+                    yield from unistd.waitpid(pid)
+                yield from _close_quiet(lfd)
+
+            reaper_tid = yield from threads.thread_create(
+                reaper, None,
+                flags=threads.THREAD_WAIT | threads.THREAD_NEW_LWP)
+            yield from _event_loop(lfd, datafd, stats,
+                                   service_compute_usec)
+            yield from threads.thread_wait(reaper_tid)
+            end = yield from unistd.gettimeofday()
+            yield from unistd.close(datafd)
+            _fill_results(results, stats, start, end,
+                          (yield GetContext()))
+            return
 
         # Admission queue feeding the worker pool (pool mode).
         queue: deque = deque()
@@ -248,7 +427,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
 
         def worker(_):
             while True:
-                yield from enter_robust(qmutex)
+                yield from _enter_robust(qmutex)
                 while not queue:
                     if (yield from qcv.wait(qmutex)):
                         qmutex.consistent()
@@ -267,7 +446,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
             item = handover
             while True:
                 if item is None:
-                    yield from enter_robust(qmutex)
+                    yield from _enter_robust(qmutex)
                     while not queue:
                         if (yield from qcv.wait(qmutex)):
                             qmutex.consistent()
@@ -287,12 +466,12 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                 item = None
 
         def handler(conn):
-            rid_raw = yield from read_request(conn)
+            rid_raw = yield from _read_request(conn)
             if rid_raw is None:
                 yield from unistd.close(conn)
                 return
             rid = rid_raw.decode()
-            yield from enter_robust(qmutex)
+            yield from _enter_robust(qmutex)
             over = active["handlers"] >= admission_limit
             if not over:
                 active["handlers"] += 1
@@ -304,7 +483,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
             stats["admitted"] += 1
             yield from _note("net-admit", rid, mode=mode)
             yield from serve(conn, rid, now, datafd)
-            yield from enter_robust(qmutex)
+            yield from _enter_robust(qmutex)
             active["handlers"] -= 1
             yield from qmutex.exit()
 
@@ -318,6 +497,11 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                         continue  # a sibling LWP forked a client
                     if err.errno in (Errno.ECONNABORTED, Errno.EBADF):
                         break  # main closed the listener: shift over
+                    if err.errno in (Errno.EMFILE, Errno.ENFILE):
+                        # fd table full: let in-flight handlers close
+                        # their conns, then drain the backlog.
+                        yield from unistd.sleep_usec(500.0)
+                        continue
                     raise
                 m = (yield GetContext()).engine.metrics
                 if m is not None:
@@ -327,7 +511,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                         handler, conn, flags=threads.THREAD_WAIT)
                     handler_tids.append(tid)
                     continue
-                rid_raw = yield from read_request(conn)
+                rid_raw = yield from _read_request(conn)
                 if rid_raw is None:
                     yield from unistd.close(conn)
                     continue
@@ -336,7 +520,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                 # The admit ledger event goes out *before* the request
                 # becomes visible to workers (still under the queue
                 # mutex), so no schedule can serve an unadmitted id.
-                yield from enter_robust(qmutex)
+                yield from _enter_robust(qmutex)
                 if len(queue) >= admission_limit:
                     if shed == "oldest":
                         old = queue.popleft()
@@ -416,7 +600,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
             # Graceful drain: stop restarts *first*, then poison exactly
             # the children still alive.  A crash from here on stays dead.
             sup.drain()
-            yield from enter_robust(qmutex)
+            yield from _enter_robust(qmutex)
             live = [s for s in sup.children if s.thread is not None]
             for _ in live:
                 queue.append(None)
@@ -433,7 +617,7 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
                 conn, rid, _enq = inflight.pop(wname)
                 yield from reject(conn, rid, "crash-unrecovered")
         else:
-            yield from enter_robust(qmutex)
+            yield from _enter_robust(qmutex)
             for _ in worker_tids:
                 queue.append(None)
             yield from qcv.broadcast()
@@ -444,28 +628,209 @@ def build(n_clients: int = 3, requests_per_client: int = 10,
         yield from unistd.close(datafd)
 
         ctx = yield GetContext()
-        results["received"] = stats["admitted"]
-        results["served"] = stats["served"]
-        results["shed"] = stats["shed"]
-        results["client_ok"] = stats["client_ok"]
-        results["client_giveups"] = stats["client_giveups"]
-        results["client_retries"] = stats["client_retries"]
-        results["backlog_drops"] = ctx.kernel.net.backlog_drops
-        results["resets"] = ctx.kernel.net.resets
-        results["elapsed_usec"] = (end - start) / 1000.0
-        results["avg_latency_usec"] = (
-            stats["latency_ns"] / stats["served"] / 1000.0
-            if stats["served"] else 0.0)
-        results["throughput_per_sec"] = (
-            stats["served"] / (results["elapsed_usec"] / 1e6)
-            if results["elapsed_usec"] else 0.0)
-        results["pool_lwps"] = len(ctx.process.threadlib.pool_lwps)
-        results["lwps_grown"] = (
-            ctx.process.threadlib.lwps_grown_by_sigwaiting)
+        _fill_results(results, stats, start, end, ctx)
         if supervise:
             results["worker_restarts"] = sum(
                 s.restarts for s in sup.children)
             results["worker_give_ups"] = sum(
                 1 for s in sup.children if s.gave_up)
+
+    return main, results
+
+
+def build_server(mode: str = "pool", n_workers: int = 4,
+                 service_compute_usec: float = 200.0,
+                 backlog: int = 64,
+                 admission_limit: int = 64,
+                 shed: str = "reject-newest",
+                 port: int = PORT) -> tuple[Callable, dict]:
+    """The server half only — no forked client processes.
+
+    This is the entry the open-loop load generator (:mod:`repro.load`)
+    drives: synthetic clients are injected at the kernel edge, so the
+    program is just the chosen architecture serving whatever arrives on
+    ``port``.  Termination is externally triggered — when the last
+    arrival has resolved, the driver retires the listening socket via
+    ``Network.close_socket``; acceptors observe ``ECONNABORTED`` /
+    ``EINVAL``, the event loop sees the listener turn readable-and-
+    closed, and every architecture drains in-flight work before the
+    results dict is filled.
+
+    Differences from :func:`build` are deliberate and architectural:
+
+    * ``thread-per-conn`` handlers here are *detached* (completion
+      tracked with a counter under the admission mutex) — joining 10^5
+      zombie threads at drain time would hold every dead handler alive
+      for the whole run;
+    * pool workers are always named ``worker-<i>`` so crash-storm fault
+      plans can target them;
+    * there is no ``supervise`` flag — crash containment is
+      :func:`build`'s chaos-gate territory; under the bakeoff a killed
+      worker simply surfaces as timeouts in the outcome table.
+    """
+    if mode not in ("pool", "thread-per-conn", "event-loop"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if shed not in ("reject-newest", "oldest"):
+        raise ValueError(f"unknown shed policy {shed!r}")
+    results: dict = {}
+    stats = {"admitted": 0, "served": 0, "shed": 0, "latency_ns": 0,
+             "client_ok": 0, "client_giveups": 0, "client_retries": 0}
+
+    def main():
+        from repro.kernel.signals import SIG_IGN, Sig
+        yield from unistd.sigaction(int(Sig.SIGPIPE), SIG_IGN)
+        datafd = yield from unistd.open("/tmp/server.data",
+                                        O_CREAT | O_RDWR)
+        yield from unistd.write(datafd, b"x" * 4096)
+        if mode == "event-loop":
+            lfd = yield from unistd.socket(O_NONBLOCK)
+        else:
+            lfd = yield from unistd.socket()
+        yield from unistd.bind(lfd, port)
+        yield from unistd.listen(lfd, backlog)
+        start = yield from unistd.gettimeofday()
+
+        if mode == "event-loop":
+            yield from _event_loop(lfd, datafd, stats,
+                                   service_compute_usec)
+            end = yield from unistd.gettimeofday()
+            yield from unistd.close(datafd)
+            _fill_results(results, stats, start, end,
+                          (yield GetContext()))
+            return
+
+        queue: deque = deque()
+        qmutex = Mutex(name="srv.qm")
+        qcv = CondVar(name="srv.qcv")
+        # Thread-per-conn accounting: handlers are detached, so the
+        # drain waits on spawned == finished instead of joining tids.
+        active = {"handlers": 0, "spawned": 0, "finished": 0}
+
+        def worker(_):
+            while True:
+                yield from _enter_robust(qmutex)
+                while not queue:
+                    if (yield from qcv.wait(qmutex)):
+                        qmutex.consistent()
+                item = queue.popleft()
+                yield from qmutex.exit()
+                if item is None:
+                    return
+                conn, rid, enq_ns = item
+                yield from _serve(conn, rid, enq_ns, datafd, stats,
+                                  service_compute_usec)
+
+        def handler(conn):
+            rid_raw = yield from _read_request(conn)
+            if rid_raw is not None:
+                rid = rid_raw.decode()
+                yield from _enter_robust(qmutex)
+                over = active["handlers"] >= admission_limit
+                if not over:
+                    active["handlers"] += 1
+                yield from qmutex.exit()
+                if over:
+                    yield from _reject(conn, rid, "handler-cap", stats)
+                else:
+                    now = yield from unistd.gettimeofday()
+                    stats["admitted"] += 1
+                    yield from _note("net-admit", rid, mode=mode)
+                    yield from _serve(conn, rid, now, datafd, stats,
+                                      service_compute_usec)
+                    yield from _enter_robust(qmutex)
+                    active["handlers"] -= 1
+                    yield from qmutex.exit()
+            else:
+                yield from _close_quiet(conn)
+            yield from _enter_robust(qmutex)
+            active["finished"] += 1
+            yield from qcv.broadcast()
+            yield from qmutex.exit()
+
+        def acceptor(_):
+            while True:
+                try:
+                    conn = yield from unistd.accept(lfd)
+                except SyscallError as err:
+                    if err.errno == Errno.EINTR:
+                        continue
+                    if err.errno in (Errno.ECONNABORTED, Errno.EBADF,
+                                     Errno.EINVAL):
+                        break  # listener retired: drain and exit
+                    if err.errno in (Errno.EMFILE, Errno.ENFILE):
+                        # fd table full: let in-flight handlers close
+                        # their conns, then drain the backlog.
+                        yield from unistd.sleep_usec(500.0)
+                        continue
+                    raise
+                m = (yield GetContext()).engine.metrics
+                if m is not None:
+                    m.count("server.accepts")
+                if mode == "thread-per-conn":
+                    active["spawned"] += 1
+                    yield from threads.thread_create(handler, conn)
+                    continue
+                rid_raw = yield from _read_request(conn)
+                if rid_raw is None:
+                    yield from _close_quiet(conn)
+                    continue
+                rid = rid_raw.decode()
+                now = yield from unistd.gettimeofday()
+                yield from _enter_robust(qmutex)
+                if len(queue) >= admission_limit:
+                    if shed == "oldest":
+                        old = queue.popleft()
+                        stats["admitted"] += 1
+                        yield from _note("net-admit", rid, mode=mode)
+                        queue.append((conn, rid, now))
+                        yield from qcv.signal()
+                        yield from qmutex.exit()
+                        yield from _reject(old[0], old[1],
+                                           "shed-oldest", stats)
+                    else:
+                        yield from qmutex.exit()
+                        yield from _reject(conn, rid, "reject-newest",
+                                           stats)
+                    continue
+                stats["admitted"] += 1
+                yield from _note("net-admit", rid, mode=mode)
+                queue.append((conn, rid, now))
+                yield from qcv.signal()
+                yield from qmutex.exit()
+
+        worker_tids = []
+        if mode == "pool":
+            ctx = yield GetContext()
+            for i in range(n_workers):
+                tid = yield from threads.thread_create(
+                    worker, None,
+                    flags=threads.THREAD_WAIT | threads.THREAD_NEW_LWP)
+                worker_tids.append(tid)
+                ctx.process.threadlib.threads[tid].name = f"worker-{i}"
+        else:
+            yield from threads.thread_setconcurrency(n_workers + 1)
+        acceptor_tid = yield from threads.thread_create(
+            acceptor, None,
+            flags=threads.THREAD_WAIT | threads.THREAD_NEW_LWP)
+        yield from threads.thread_wait(acceptor_tid)
+
+        if mode == "pool":
+            yield from _enter_robust(qmutex)
+            for _ in worker_tids:
+                queue.append(None)
+            yield from qcv.broadcast()
+            yield from qmutex.exit()
+            for tid in worker_tids:
+                yield from threads.thread_wait(tid)
+        else:
+            yield from _enter_robust(qmutex)
+            while active["finished"] < active["spawned"]:
+                if (yield from qcv.wait(qmutex)):
+                    qmutex.consistent()
+            yield from qmutex.exit()
+        end = yield from unistd.gettimeofday()
+        yield from unistd.close(datafd)
+        _fill_results(results, stats, start, end,
+                      (yield GetContext()))
 
     return main, results

@@ -1,0 +1,77 @@
+"""Determinism and shape of the arrival-process catalogue."""
+
+import pytest
+
+from repro.load.arrivals import ARRIVALS, ArrivalTrace
+
+
+def _spec(kind, **params):
+    return {"kind": kind, "params": params, "clients": 200, "seed": 42,
+            "start_usec": 1_000.0}
+
+
+KINDS = sorted(ARRIVALS)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_same_seed_byte_identical(kind):
+    params = {"rate_per_sec": 2_000.0} if kind != "closed" else {}
+    a = ArrivalTrace.from_spec(_spec(kind, **params))
+    b = ArrivalTrace.from_spec(_spec(kind, **params))
+    assert a.to_bytes() == b.to_bytes()
+    assert a.digest() == b.digest()
+
+
+@pytest.mark.parametrize("kind", [k for k in KINDS if k != "uniform"])
+def test_different_seed_different_trace(kind):
+    """Every stochastic process draws from the seed (uniform pacing is
+    deliberately seed-free)."""
+    params = {"rate_per_sec": 2_000.0} if kind != "closed" else {}
+    a = ArrivalTrace.generate(kind, 200, 1, **params)
+    b = ArrivalTrace.generate(kind, 200, 2, **params)
+    assert a.arrivals_ns != b.arrivals_ns
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_monotone_and_offset(kind):
+    """Arrivals are sorted and respect the start offset (the server
+    must be listening before the first synthetic SYN)."""
+    params = {"rate_per_sec": 2_000.0} if kind != "closed" else {}
+    t = ArrivalTrace.generate(kind, 200, 7, start_usec=1_000.0,
+                              **params)
+    assert len(t.arrivals_ns) == 200
+    assert t.arrivals_ns == sorted(t.arrivals_ns)
+    assert t.arrivals_ns[0] >= 1_000_000  # >= start_usec, in ns
+
+
+def test_spec_roundtrip():
+    t = ArrivalTrace.generate("burst", 50, 3, rate_per_sec=1_000.0,
+                              burst_dwell_usec=2_500.0)
+    again = ArrivalTrace.from_spec(t.spec())
+    assert again.to_bytes() == t.to_bytes()
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ValueError, match="unknown arrival process"):
+        ArrivalTrace.generate("zipf", 10, 0)
+
+
+def test_uniform_is_exact_pacing():
+    t = ArrivalTrace.generate("uniform", 4, 0, start_usec=0.0,
+                              rate_per_sec=1_000.0)
+    assert t.arrivals_ns == [1_000_000, 2_000_000, 3_000_000, 4_000_000]
+
+
+def test_burst_is_denser_than_base():
+    """Mean gap of the MMPP sits between the pure base and burst
+    rates — the modulation actually modulates."""
+    base = ArrivalTrace.generate("poisson", 2_000, 9,
+                                 rate_per_sec=1_000.0)
+    mmpp = ArrivalTrace.generate("burst", 2_000, 9,
+                                 rate_per_sec=1_000.0)
+    assert mmpp.arrivals_ns[-1] < base.arrivals_ns[-1]
+
+
+def test_catalogue_has_docs():
+    for kind, (fn, doc) in ARRIVALS.items():
+        assert doc and isinstance(doc, str), kind

@@ -1,0 +1,88 @@
+"""Bakeoff determinism: byte-identical JSON, --jobs parity, and golden
+event-stream digests for a scaled-down run of each architecture."""
+
+import json
+import os
+
+import pytest
+
+from repro.load.bakeoff import ARCHITECTURES, run_arch, run_bakeoff, to_json
+from repro.load.driver import OUTCOMES, knee
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_bakeoff.json")
+
+SPEC = {"kind": "poisson", "params": {"rate_per_sec": 1_000.0},
+        "clients": 60, "seed": 0, "start_usec": 1_000.0}
+
+
+def test_rerun_byte_identical():
+    a = to_json(run_bakeoff(SPEC))
+    b = to_json(run_bakeoff(SPEC))
+    assert a == b
+
+
+def test_jobs_parity():
+    """--jobs fans across host processes without changing a byte."""
+    serial = to_json(run_bakeoff(SPEC))
+    fanned = to_json(run_bakeoff(SPEC, jobs=3))
+    assert serial == fanned
+
+
+@pytest.mark.parametrize("arch", ARCHITECTURES)
+def test_golden_digest(arch):
+    """The full virtual-time event stream of a scaled-down bakeoff run
+    is pinned per architecture — kernel, scheduler, or driver changes
+    that alter any run's event order show up here."""
+    with open(GOLDEN) as fh:
+        golden = json.load(fh)
+    out = run_arch(arch, SPEC, with_digest=True)
+    assert out["digest"] == golden[arch], (
+        f"bakeoff event stream for {arch} diverged from golden")
+
+
+def test_golden_covers_all_architectures():
+    with open(GOLDEN) as fh:
+        golden = json.load(fh)
+    assert set(golden) == set(ARCHITECTURES)
+
+
+def test_outcomes_account_for_every_arrival():
+    for arch in ARCHITECTURES:
+        out = run_arch(arch, SPEC)
+        assert sum(out["outcomes"].values()) == out["offered"] == 60
+        win = out["saturation"]["windows"]
+        assert sum(w["arrivals"] for w in win) == 60
+
+
+def test_summary_schema():
+    out = run_arch("pool", SPEC)
+    assert set(out["outcomes"]) == set(OUTCOMES)
+    for key in ("p50", "p99", "p999", "max", "mean_ns"):
+        assert key in out["latency_ns"]
+    assert out["latency_ns"]["p50"] <= out["latency_ns"]["p99"] \
+        <= out["latency_ns"]["p999"] <= out["latency_ns"]["max"]
+
+
+def test_closed_loop_deterministic():
+    spec = {"kind": "closed", "params": {"think_usec": 500.0},
+            "clients": 10, "seed": 4, "start_usec": 1_000.0}
+    a = to_json(run_bakeoff(spec, archs=("pool",), closed=(4, 500.0)))
+    b = to_json(run_bakeoff(spec, archs=("pool",), closed=(4, 500.0)))
+    assert a == b
+    r = json.loads(a)["architectures"]["pool"]
+    assert sum(r["outcomes"].values()) == 40  # 10 clients x 4 requests
+
+
+def test_knee_detection():
+    ok = {"ok": 90, "busy": 0, "refused": 0, "timeout": 0, "reset": 0,
+          "eof": 0, "arrivals": 90}
+    bad = {"ok": 50, "busy": 10, "refused": 20, "timeout": 20,
+           "reset": 0, "eof": 0, "arrivals": 100}
+    assert knee([ok, ok, ok]) is None
+    assert knee([ok, bad, bad]) == 1
+    # busy is an explicit answer, not a miss
+    shed = {"ok": 50, "busy": 50, "refused": 0, "timeout": 0,
+            "reset": 0, "eof": 0, "arrivals": 100}
+    assert knee([shed, shed]) is None
+    # empty windows don't divide by zero
+    assert knee([{"arrivals": 0}, bad]) == 1

@@ -32,3 +32,11 @@ def test_rule_catalogue_in_sync():
 
 def test_class_catalogue_in_sync():
     assert check_docs.check_class_catalogue() == []
+
+
+def test_load_cli_flag_reference_in_sync():
+    assert check_docs.check_load_cli() == []
+
+
+def test_arrival_catalogue_in_sync():
+    assert check_docs.check_arrival_catalogue() == []

@@ -73,6 +73,18 @@ class TestExamples:
         assert "replay identical  : True" in out
         assert "deadlock cycle detected:" in out
 
+    def test_million_clients(self):
+        # The bare script runs the full 10^4-client demo; the smoke
+        # test keeps the same assertions at a fraction of the trace.
+        module = importlib.import_module("million_clients")
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            module.main(clients=1500)
+        out = buf.getvalue()
+        assert "architecture bakeoff: 1500 open-loop clients" in out
+        assert "poisson (steady" in out and "burst (same mean rate" in out
+        assert "thread-per-conn" in out and "event-loop" in out
+
     def test_metrics_dashboard(self, tmp_path):
         module = importlib.import_module("metrics_dashboard")
         trace_path = tmp_path / "trace.json"

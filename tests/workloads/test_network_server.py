@@ -99,3 +99,56 @@ class TestReplay:
         b = run_one(factory, program="netsrv", seed=6,
                     schedule_dict=plan)
         assert a.digest != b.digest
+
+
+class TestEventLoop:
+    """The third architecture: a single-LWP select() event loop."""
+
+    def test_serves_everything_underload(self):
+        main, res = network_server.build(mode="event-loop", n_clients=3,
+                                         requests_per_client=5)
+        run(main)
+        assert res["received"] == res["served"] == 15
+        assert res["client_ok"] == 15
+        assert res["shed"] == 0
+        # The whole server is one LWP: nothing pool-grown.
+        assert res["lwps_grown"] == 0
+
+    def test_single_thread_no_locks(self):
+        """An event-loop run emits no lock contention at all — there is
+        nothing to contend for."""
+        main, res = network_server.build(mode="event-loop", n_clients=2,
+                                         requests_per_client=3)
+        sim = run(main, metrics=True)
+        counters = sim.metrics.snapshot()["counters"]
+        assert counters.get("lwp.sleeps", 0) == 0 or res["served"] == 6
+
+    def test_overload_degrades_not_deadlocks(self):
+        main, res = network_server.build(
+            mode="event-loop", n_clients=12, requests_per_client=8,
+            service_compute_usec=2_000.0, client_think_usec=200.0)
+        run(main)
+        # Inline service head-of-line blocks: clients give up, but the
+        # run terminates and everything admitted is accounted for.
+        assert res["received"] == res["served"] + res["shed"]
+        assert res["client_ok"] + res["client_giveups"] == 12 * 8
+        assert res["client_ok"] > 0
+
+    def test_replays_bit_for_bit(self):
+        from repro.sim.schedule import RandomPreempt
+        plan = {"rules": [RandomPreempt(probability=0.2).to_dict()]}
+
+        def factory():
+            return network_server.build(mode="event-loop", n_clients=4,
+                                        requests_per_client=4)[0]
+
+        a = run_one(factory, program="evloop", seed=9,
+                    schedule_dict=plan)
+        b = run_one(factory, program="evloop", seed=9,
+                    schedule_dict=plan)
+        assert not a.failed, a.summary()
+        assert a.digest == b.digest
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            network_server.build(mode="coroutine-farm")

@@ -17,7 +17,11 @@ to this repo or will:
    (from the live ``--list-sched-classes``) missing from the
    ARCHITECTURE catalogue table, or the table naming a class the
    kernel does not register.
-5. **Example-list drift** — a file in ``examples/`` missing from the
+5. **Load-CLI / arrival-catalogue drift** — docs/SCALING.md's flag
+   reference disagreeing with the live ``python -m repro.load bakeoff
+   --help``, or its arrival-process table disagreeing with
+   ``--list-arrivals`` (both checked in both directions).
+6. **Example-list drift** — a file in ``examples/`` missing from the
    README's inventory, or the README naming an example that is gone.
 
 Run:  python tools/check_docs.py   (exit 1 on any finding)
@@ -39,6 +43,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOC_FILES = [
     "README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
     "docs/ARCHITECTURE.md", "docs/PAPER_MAP.md", "docs/OBSERVABILITY.md",
+    "docs/SCALING.md",
 ]
 
 #: CLI commands whose --help defines the set of legal flags.
@@ -46,6 +51,11 @@ CLI_COMMANDS = {
     "python -m repro.explore": [sys.executable, "-m", "repro.explore"],
     "python -m repro.lint": [sys.executable, "-m", "repro.lint"],
     "python -m repro.obs": [sys.executable, "-m", "repro.obs"],
+    "python -m repro.load bakeoff": [
+        sys.executable, "-m", "repro.load", "bakeoff"],
+    "python -m repro.load trace": [
+        sys.executable, "-m", "repro.load", "trace"],
+    "python -m repro.load": [sys.executable, "-m", "repro.load"],
     "python -m repro": [sys.executable, "-m", "repro"],
     "python benchmarks/perf/run.py": [
         sys.executable, os.path.join("benchmarks", "perf", "run.py")],
@@ -192,7 +202,84 @@ def check_class_catalogue() -> list[str]:
     return problems
 
 
-# ------------------------------------------------- 5. example inventory
+# ------------------------------------- 5. load CLI / arrival catalogue
+
+def _scaling_section(title: str) -> str | None:
+    """Return the named ``## <title>`` section of docs/SCALING.md."""
+    with open(os.path.join(REPO, "docs", "SCALING.md")) as fh:
+        text = fh.read()
+    m = re.search(rf"^## {re.escape(title)}\b.*?(?=^## |\Z)", text,
+                  re.MULTILINE | re.DOTALL)
+    return m.group(0) if m else None
+
+
+def check_load_cli() -> list[str]:
+    """SCALING.md's flag reference and the live ``python -m repro.load
+    bakeoff --help`` must agree both ways: no flag the CLI dropped, no
+    flag the doc forgot."""
+    problems = []
+    doc_rel = "docs/SCALING.md"
+    section = _scaling_section("Flag reference")
+    if section is None:
+        return [f"{doc_rel}: '## Flag reference' section not found"]
+    # Doc side: only the bullet lines claim flags; prose references
+    # (``--list-arrivals`` etc.) are out of scope.
+    documented = set()
+    for line in section.splitlines():
+        if line.startswith("* `--"):
+            documented.update(_FLAG_RE.findall(line))
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.load", "bakeoff", "--help"],
+        capture_output=True, text=True, cwd=REPO,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")})
+    if out.returncode != 0:
+        return [f"repro.load bakeoff --help failed:\n{out.stderr}"]
+    # Live side: the usage block lists each accepted flag exactly once
+    # (option descriptions mention other commands' flags; skip them).
+    usage = out.stdout.split("\noptions:", 1)[0]
+    live = set(_FLAG_RE.findall(usage)) - {"--help"}
+    for flag in sorted(live - documented):
+        problems.append(f"{doc_rel}: bakeoff flag {flag} missing from "
+                        "the flag reference")
+    for flag in sorted(documented - live):
+        problems.append(f"{doc_rel}: flag reference lists {flag}, which "
+                        "bakeoff --help does not accept")
+    return problems
+
+
+def check_arrival_catalogue() -> list[str]:
+    """Every arrival process the generator registers must appear in the
+    SCALING.md catalogue table, and every kind the table names must
+    exist live — the load-generator twin of the catalogue checks
+    above."""
+    problems = []
+    doc_rel = "docs/SCALING.md"
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.load", "--list-arrivals"],
+        capture_output=True, text=True, cwd=REPO,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")})
+    if out.returncode != 0:
+        return [f"repro.load --list-arrivals failed:\n{out.stderr}"]
+    known = set(re.findall(r"^([a-z]+):", out.stdout, re.MULTILINE))
+    if not known:
+        return ["repro.load --list-arrivals printed no processes"]
+    section = _scaling_section("Arrival-process catalogue")
+    if section is None:
+        return [f"{doc_rel}: '## Arrival-process catalogue' section "
+                "not found"]
+    for kind in sorted(known):
+        if f"| `{kind}` |" not in section:
+            problems.append(f"{doc_rel}: arrival process {kind} missing "
+                            "from the catalogue table")
+    for kind in set(re.findall(r"^\| `([a-z]+)` \|", section,
+                               re.MULTILINE)):
+        if kind not in known:
+            problems.append(f"{doc_rel}: catalogue lists unknown "
+                            f"arrival process {kind}")
+    return problems
+
+
+# ------------------------------------------------- 6. example inventory
 
 def check_example_inventory() -> list[str]:
     """examples/*.py and the README inventory must agree both ways."""
@@ -216,6 +303,7 @@ def check_example_inventory() -> list[str]:
 def main() -> int:
     problems = (check_links() + check_cli_blocks()
                 + check_rule_catalogue() + check_class_catalogue()
+                + check_load_cli() + check_arrival_catalogue()
                 + check_example_inventory())
     for p in problems:
         print(f"DOCS: {p}")
